@@ -1,0 +1,142 @@
+#pragma once
+
+/**
+ * @file bench_common.hpp
+ * Shared helpers for the per-table/per-figure bench binaries.
+ *
+ * Every bench reproduces one table or figure of the paper at a reduced
+ * trial budget (the simulated clock still charges the full calibrated
+ * per-action costs, so reported times are paper-scale). Set
+ * PRUNER_BENCH_SCALE=<float> to scale tuning rounds up toward the paper's
+ * 200-round budget.
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "baselines/tenset_mlp.hpp"
+#include "cost/mlp_cost_model.hpp"
+#include "cost/pacm_model.hpp"
+#include "cost/tlp_cost_model.hpp"
+#include "dataset/dataset.hpp"
+#include "ir/workload_registry.hpp"
+#include "search/search_policy.hpp"
+#include "support/table.hpp"
+
+namespace pruner {
+namespace bench {
+
+/** Rounds for one tuning run, honouring PRUNER_BENCH_SCALE. */
+inline int
+scaledRounds(int base)
+{
+    double scale = 1.0;
+    if (const char* env = std::getenv("PRUNER_BENCH_SCALE")) {
+        scale = std::max(std::atof(env), 0.1);
+    }
+    return std::max(static_cast<int>(base * scale), 4);
+}
+
+/** Keep only the `max_tasks` most compute-significant tasks (weight x
+ *  FLOPs) of a workload — the scaled-down stand-in for full-graph tuning. */
+inline Workload
+capTasks(Workload w, size_t max_tasks)
+{
+    if (w.tasks.size() <= max_tasks) {
+        return w;
+    }
+    std::sort(w.tasks.begin(), w.tasks.end(),
+              [](const TaskInstance& a, const TaskInstance& b) {
+                  return a.weight * a.task.totalFlops() >
+                         b.weight * b.task.totalFlops();
+              });
+    w.tasks.resize(max_tasks);
+    return w;
+}
+
+/** Run independent jobs two at a time (the bench hosts have few cores). */
+inline void
+runParallel(std::vector<std::function<void()>> jobs)
+{
+    const size_t workers = 2;
+    std::vector<std::future<void>> inflight;
+    for (auto& job : jobs) {
+        if (inflight.size() >= workers) {
+            inflight.front().get();
+            inflight.erase(inflight.begin());
+        }
+        inflight.push_back(std::async(std::launch::async, job));
+    }
+    for (auto& f : inflight) {
+        f.get();
+    }
+}
+
+/** Standard tuning options for benches. */
+inline TuneOptions
+benchOptions(const DeviceSpec& device, int rounds, uint64_t seed)
+{
+    TuneOptions opts;
+    opts.rounds = scaledRounds(rounds);
+    opts.seed = seed;
+    opts.constants = CostConstants::forDevice(device.name);
+    return opts;
+}
+
+/** Pre-train a PaCM on a simulated dataset; returns flat weights. */
+inline std::vector<double>
+pretrainPaCM(const DeviceSpec& data_device, const DeviceSpec& model_device,
+             const std::vector<Workload>& workloads, size_t per_task,
+             int epochs, uint64_t seed)
+{
+    DatasetConfig config;
+    config.schedules_per_task = per_task;
+    config.seed = seed;
+    const auto data = generateDataset(workloads, data_device, config);
+    PaCMModel model(model_device, seed);
+    return baselines::pretrainCostModel(model, data, epochs);
+}
+
+/** Pre-train the TenSet MLP; returns flat weights. */
+inline std::vector<double>
+pretrainMlp(const DeviceSpec& device, const std::vector<Workload>& workloads,
+            size_t per_task, int epochs, uint64_t seed)
+{
+    DatasetConfig config;
+    config.schedules_per_task = per_task;
+    config.seed = seed;
+    const auto data = generateDataset(workloads, device, config);
+    MlpCostModel model(device, seed);
+    return baselines::pretrainCostModel(model, data, epochs);
+}
+
+/** Pre-train the TLP model; returns flat weights. */
+inline std::vector<double>
+pretrainTlp(const DeviceSpec& device, const std::vector<Workload>& workloads,
+            size_t per_task, int epochs, uint64_t seed)
+{
+    DatasetConfig config;
+    config.schedules_per_task = per_task;
+    config.seed = seed;
+    const auto data = generateDataset(workloads, device, config);
+    TlpCostModel model(device, seed);
+    return baselines::pretrainCostModel(model, data, epochs);
+}
+
+/** Print the standard scaling disclaimer. */
+inline void
+printScalingNote(int rounds, const char* paper_setup)
+{
+    std::printf(
+        "note: scaled reproduction — %d tuning rounds x 10 trials here vs "
+        "%s in the paper;\n      simulated-clock times use the full "
+        "calibrated per-action costs (see DESIGN.md).\n\n",
+        scaledRounds(rounds), paper_setup);
+}
+
+} // namespace bench
+} // namespace pruner

@@ -1,0 +1,78 @@
+/**
+ * Figure 10: Llama decode robustness at long context (1K and 4K, batch
+ * 32, FP32) on A100 — normalized performance vs PyTorch / Triton /
+ * TensorRT / Ansor, plus the 1K tuning curve of MoA-Pruner vs Ansor.
+ * Paper: MoA-Pruner competitive with TensorRT, 1.28x over Ansor.
+ */
+
+#include <cstdio>
+
+#include "baselines/ansor.hpp"
+#include "bench_common.hpp"
+#include "core/pruner_tuner.hpp"
+#include "sim/vendor_library.hpp"
+
+using namespace pruner;
+
+int main()
+{
+    const auto dev = DeviceSpec::a100();
+    const int rounds = 14;
+    bench::printScalingNote(rounds, "2,000 trials");
+
+    const VendorLibrary lib(dev);
+    Table table("Figure 10 (left) — Llama decode bs=32, normalized "
+                "performance, A100");
+    table.setHeader({"Context", "PyTorch", "Triton", "TensorRT", "Ansor",
+                     "MoA-Pruner"});
+
+    TuneResult curve_ansor, curve_moa; // kept from the 1K run
+    for (int ctx : {1024, 4096}) {
+        const Workload w =
+            bench::capTasks(workloads::llamaDecode(32, ctx), 6);
+        const TuneOptions opts = bench::benchOptions(dev, rounds, 103);
+        TuneResult ra, rm;
+        std::vector<std::function<void()>> jobs;
+        jobs.push_back([&]() {
+            ra = baselines::makeAnsor(dev, 3)->tune(w, opts);
+        });
+        jobs.push_back([&]() {
+            PrunerConfig c;
+            c.use_moa = true;
+            c.pretrained = bench::pretrainPaCM(DeviceSpec::k80(), dev, {w},
+                                               32, 5, 0xA7);
+            PrunerPolicy moa(dev, c);
+            rm = moa.tune(w, opts);
+        });
+        bench::runParallel(std::move(jobs));
+        if (ctx == 1024) {
+            curve_ansor = ra;
+            curve_moa = rm;
+        }
+        const double pt = lib.workloadLatency(w, VendorBackend::PyTorch);
+        const double tr = lib.workloadLatency(w, VendorBackend::Triton);
+        const double trt = lib.workloadLatency(w, VendorBackend::TensorRT);
+        const double best = std::min(
+            {pt, tr, trt, ra.final_latency, rm.final_latency});
+        table.addRow({std::to_string(ctx / 1024) + "K",
+                      Table::fmt(best / pt, 2), Table::fmt(best / tr, 2),
+                      Table::fmt(best / trt, 2),
+                      Table::fmt(best / ra.final_latency, 2),
+                      Table::fmt(best / rm.final_latency, 2)});
+    }
+    table.print();
+
+    std::printf("\nFigure 10 (right) — tuning curve, Llama 1K ctx:\n");
+    auto print_curve = [](const char* tag, const TuneResult& r) {
+        std::printf("%-12s", tag);
+        const size_t step = std::max<size_t>(1, r.curve.size() / 6);
+        for (size_t i = 0; i < r.curve.size(); i += step) {
+            std::printf("(%5.0fs, %7.3fms) ", r.curve[i].time_s,
+                        r.curve[i].latency_s * 1e3);
+        }
+        std::printf("| final %.3fms\n", r.final_latency * 1e3);
+    };
+    print_curve("Ansor", curve_ansor);
+    print_curve("MoA-Pruner", curve_moa);
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * Figure 11: single-operator performance (800 trials, no pre-trained
+ * models) vs PyTorch and Ansor on A100. M-k are matmuls, C1-k stride-1
+ * convolutions, C2-k stride-2 convolutions. Paper: Pruner beats Ansor
+ * everywhere in less time; PyTorch wins on splitK-friendly M-2.
+ */
+
+#include <cstdio>
+
+#include "baselines/ansor.hpp"
+#include "bench_common.hpp"
+#include "core/pruner_tuner.hpp"
+#include "sim/vendor_library.hpp"
+
+using namespace pruner;
+
+int main()
+{
+    const auto dev = DeviceSpec::a100();
+    const int rounds = 10; // paper: 80 rounds (800 trials) per operator
+    bench::printScalingNote(rounds, "80 rounds (800 trials) per operator");
+
+    const VendorLibrary lib(dev);
+    Table table("Figure 11 — single-operator normalized performance, "
+                "A100 (1.00 = best)");
+    table.setHeader({"Op", "PyTorch", "Ansor", "Pruner", "Pruner wins?"});
+
+    for (const auto& op : workloads::singleOpSuite()) {
+        Workload w;
+        w.name = op.key;
+        w.tasks.push_back({op, 1.0});
+        const TuneOptions opts = bench::benchOptions(dev, rounds, 113);
+        TuneResult ra, rp;
+        std::vector<std::function<void()>> jobs;
+        jobs.push_back([&]() {
+            ra = baselines::makeAnsor(dev, 3)->tune(w, opts);
+        });
+        jobs.push_back([&]() {
+            PrunerPolicy p(dev, {}); // online, no pre-training (paper)
+            rp = p.tune(w, opts);
+        });
+        bench::runParallel(std::move(jobs));
+        const double pt =
+            lib.taskLatency(op, VendorBackend::PyTorch).latency_s;
+        const double best =
+            std::min({pt, ra.final_latency, rp.final_latency});
+        table.addRow({op.key, Table::fmt(best / pt, 2),
+                      Table::fmt(best / ra.final_latency, 2),
+                      Table::fmt(best / rp.final_latency, 2),
+                      rp.final_latency <= std::min(pt, ra.final_latency)
+                          ? "yes"
+                          : (pt < rp.final_latency ? "PyTorch" : "Ansor")});
+    }
+    table.print();
+    std::printf("\nexpected shape (paper): Pruner >= Ansor on all ops; "
+                "PyTorch wins M-2 (splitK) and large-K cases.\n");
+    return 0;
+}

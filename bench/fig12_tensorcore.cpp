@@ -1,0 +1,85 @@
+/**
+ * Figure 12: normalized inference performance on A100 TensorCore at batch
+ * sizes 1 and 4 for the six half-precision language models — PyTorch
+ * (cudaLib) vs Triton vs MetaSchedule vs Pruner. Paper: Pruner ~1.22x
+ * over MetaSchedule, ~1.23x over PyTorch, ~1.3x over Triton; cudaLib wins
+ * some GPT-2/Llama cases via splitK.
+ */
+
+#include <cstdio>
+
+#include "baselines/metaschedule.hpp"
+#include "bench_common.hpp"
+#include "core/pruner_tuner.hpp"
+#include "sim/vendor_library.hpp"
+#include "support/stats.hpp"
+
+using namespace pruner;
+
+int main()
+{
+    const auto dev = DeviceSpec::a100();
+    const int rounds = 12;
+    bench::printScalingNote(rounds, "full tuning budgets");
+
+    const std::vector<std::string> names{"B-tiny", "B-base", "GPT-2",
+                                         "Llama", "OPT", "Mistral"};
+    const VendorLibrary lib(dev);
+
+    std::vector<double> su_pt, su_tr, su_meta;
+    for (int batch : {1, 4}) {
+        Table table("Figure 12 — TensorCore normalized performance, A100, "
+                    "bs=" + std::to_string(batch));
+        table.setHeader({"Model", "PyTorch", "Triton", "MetaSchedule",
+                         "Pruner"});
+        for (const auto& name : names) {
+            Workload w;
+            if (name == "B-tiny") {
+                w = workloads::bertTiny(batch, 128, DType::Fp16Tc);
+            } else if (name == "B-base") {
+                w = workloads::bertBase(batch, 128, DType::Fp16Tc);
+            } else if (name == "GPT-2") {
+                w = workloads::gpt2(batch, 128, DType::Fp16Tc);
+            } else if (name == "Llama") {
+                w = workloads::llama(batch, 128, DType::Fp16Tc);
+            } else if (name == "OPT") {
+                w = workloads::opt13b(batch, 128, DType::Fp16Tc);
+            } else {
+                w = workloads::mistral7b(batch, 128, DType::Fp16Tc);
+            }
+            w = bench::capTasks(w, 5);
+            const TuneOptions opts =
+                bench::benchOptions(dev, rounds, 151 + batch);
+            TuneResult rm, rp;
+            std::vector<std::function<void()>> jobs;
+            jobs.push_back([&]() {
+                rm = baselines::makeMetaSchedule(dev, 3)->tune(w, opts);
+            });
+            jobs.push_back([&]() {
+                PrunerPolicy p(dev, {});
+                rp = p.tune(w, opts);
+            });
+            bench::runParallel(std::move(jobs));
+            const double pt =
+                lib.workloadLatency(w, VendorBackend::PyTorch);
+            const double tr =
+                lib.workloadLatency(w, VendorBackend::Triton);
+            const double best = std::min(
+                {pt, tr, rm.final_latency, rp.final_latency});
+            table.addRow({name, Table::fmt(best / pt, 2),
+                          Table::fmt(best / tr, 2),
+                          Table::fmt(best / rm.final_latency, 2),
+                          Table::fmt(best / rp.final_latency, 2)});
+            su_pt.push_back(pt / rp.final_latency);
+            su_tr.push_back(tr / rp.final_latency);
+            su_meta.push_back(rm.final_latency / rp.final_latency);
+        }
+        table.print();
+        std::printf("\n");
+    }
+    std::printf("Pruner avg speedup: vs PyTorch %.2fx (paper 1.23x), vs "
+                "Triton %.2fx (paper 1.3x), vs MetaSchedule %.2fx "
+                "(paper 1.22x)\n",
+                geomean(su_pt), geomean(su_tr), geomean(su_meta));
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * Figure 16: tuning curves of the Table 12 ablation configurations for
+ * ResNet-50 on Titan V. Paper: removing LSE flattens the early curve the
+ * most; the full MoA-Pruner converges fastest and lowest.
+ */
+
+#include <cstdio>
+
+#include "baselines/ansor.hpp"
+#include "bench_common.hpp"
+#include "core/pruner_tuner.hpp"
+
+using namespace pruner;
+
+namespace {
+
+void
+printCurve(const char* tag, const TuneResult& r)
+{
+    std::printf("%-12s", tag);
+    const size_t step = std::max<size_t>(1, r.curve.size() / 7);
+    for (size_t i = 0; i < r.curve.size(); i += step) {
+        std::printf("(%5.0fs, %6.3fms) ", r.curve[i].time_s,
+                    r.curve[i].latency_s * 1e3);
+    }
+    std::printf("| final %.3fms\n", r.final_latency * 1e3);
+}
+
+} // namespace
+
+int main()
+{
+    const auto dev = DeviceSpec::titanV();
+    const int rounds = 18;
+    bench::printScalingNote(rounds, "200 rounds (2,000 trials)");
+    std::printf("Figure 16 — ablation tuning curves, ResNet-50, Titan V\n\n");
+
+    const Workload w = bench::capTasks(workloads::resnet50(), 6);
+    const TuneOptions opts = bench::benchOptions(dev, rounds, 191);
+    const auto moa_weights =
+        bench::pretrainPaCM(DeviceSpec::k80(), dev, {w}, 32, 5, 0xF16);
+
+    TuneResult results[6];
+    std::vector<std::function<void()>> jobs;
+    jobs.push_back([&]() {
+        results[0] = baselines::makeAnsor(dev, 3)->tune(w, opts);
+        PrunerConfig no_lse;
+        no_lse.use_lse = false;
+        PrunerPolicy p1(dev, no_lse);
+        results[1] = p1.tune(w, opts);
+        PrunerConfig no_sf;
+        no_sf.pacm.use_statement_features = false;
+        PrunerPolicy p2(dev, no_sf);
+        results[2] = p2.tune(w, opts);
+    });
+    jobs.push_back([&]() {
+        PrunerConfig no_tdf;
+        no_tdf.pacm.use_dataflow_features = false;
+        PrunerPolicy p3(dev, no_tdf);
+        results[3] = p3.tune(w, opts);
+        PrunerPolicy p4(dev, {}); // w/o MoA
+        results[4] = p4.tune(w, opts);
+        PrunerConfig full;
+        full.use_moa = true;
+        full.pretrained = moa_weights;
+        PrunerPolicy p5(dev, full);
+        results[5] = p5.tune(w, opts);
+    });
+    bench::runParallel(std::move(jobs));
+
+    const char* labels[6] = {"Ansor",     "w/o LSE",  "w/o S.F.",
+                             "w/o T.D.F", "w/o MoA",  "MoA-Pruner"};
+    for (int i = 0; i < 6; ++i) {
+        printCurve(labels[i], results[i]);
+    }
+    return 0;
+}

@@ -1,0 +1,125 @@
+/**
+ * Figure 6: workload tuning curves (best end-to-end latency vs search
+ * time) in online and offline cost-model tuning modes, on A100, Orin, and
+ * Titan V. Online: Ansor vs Pruner vs MoA-Pruner; offline: TenSetMLP vs
+ * TLP vs Pruner-offline. Prints each curve as (time s, latency ms) series.
+ */
+
+#include <cstdio>
+
+#include "baselines/ansor.hpp"
+#include "baselines/tlp.hpp"
+#include "bench_common.hpp"
+#include "core/pruner_tuner.hpp"
+
+using namespace pruner;
+
+namespace {
+
+void
+printCurve(const std::string& tag, const TuneResult& r)
+{
+    std::printf("%-44s", tag.c_str());
+    if (r.failed) {
+        std::printf("FAILED (%s)\n", r.failure_reason.c_str());
+        return;
+    }
+    const size_t step = std::max<size_t>(1, r.curve.size() / 6);
+    for (size_t i = 0; i < r.curve.size(); i += step) {
+        std::printf("(%5.0fs, %7.3fms) ", r.curve[i].time_s,
+                    r.curve[i].latency_s * 1e3);
+    }
+    std::printf("| final %.3fms @ %.0fs\n", r.final_latency * 1e3,
+                r.total_time_s);
+}
+
+} // namespace
+
+int main()
+{
+    const int rounds = 12;
+    bench::printScalingNote(rounds, "200 rounds (2,000 trials)");
+
+    const std::vector<std::string> workload_names{"R50", "ViT", "Dv3-R50",
+                                                  "B-base"};
+    const std::vector<DeviceSpec> devices{
+        DeviceSpec::a100(), DeviceSpec::orinAgx(), DeviceSpec::titanV()};
+
+    for (const auto& dev : devices) {
+        // Offline pre-training data: this platform's own dataset (the
+        // paper fine-tunes offline models on the target platform).
+        std::vector<Workload> capped;
+        for (const auto& name : workload_names) {
+            capped.push_back(bench::capTasks(workloads::byName(name), 5));
+        }
+        std::vector<double> mlp_weights, tlp_weights, pacm_weights;
+        // The MoA Siamese model is pre-trained cross-platform on K80 data
+        // (the paper uses the TenSet K80-6M dataset).
+        std::vector<double> moa_weights;
+        {
+            std::vector<std::function<void()>> jobs;
+            jobs.push_back([&]() {
+                mlp_weights = bench::pretrainMlp(dev, capped, 48, 5, 0xA1);
+            });
+            jobs.push_back([&]() {
+                tlp_weights = bench::pretrainTlp(dev, capped, 48, 5, 0xA2);
+            });
+            jobs.push_back([&]() {
+                pacm_weights =
+                    bench::pretrainPaCM(dev, dev, capped, 48, 5, 0xA3);
+            });
+            jobs.push_back([&]() {
+                moa_weights = bench::pretrainPaCM(DeviceSpec::k80(), dev,
+                                                  capped, 48, 5, 0xA4);
+            });
+            bench::runParallel(std::move(jobs));
+        }
+
+        for (size_t wi = 0; wi < workload_names.size(); ++wi) {
+            const Workload& w = capped[wi];
+            const TuneOptions opts = bench::benchOptions(dev, rounds, 991);
+            std::vector<std::pair<std::string, TuneResult>> results(6);
+
+            std::vector<std::function<void()>> jobs;
+            jobs.push_back([&, wi]() { // online: Ansor
+                auto p = baselines::makeAnsor(dev, 5);
+                results[0] = {"Ansor(online)", p->tune(w, opts)};
+            });
+            jobs.push_back([&, wi]() { // online: Pruner
+                PrunerPolicy p(dev, {});
+                results[1] = {"Pruner(online)", p.tune(w, opts)};
+            });
+            jobs.push_back([&, wi]() { // online: MoA-Pruner
+                PrunerConfig c;
+                c.use_moa = true;
+                c.pretrained = moa_weights;
+                PrunerPolicy p(dev, c);
+                results[2] = {"MoA-Pruner(online)", p.tune(w, opts)};
+            });
+            jobs.push_back([&, wi]() { // offline: TenSetMLP
+                auto p = baselines::makeTenSetMlp(dev, 7, mlp_weights);
+                results[3] = {"TenSetMLP(offline)", p->tune(w, opts)};
+            });
+            jobs.push_back([&, wi]() { // offline: TLP
+                auto p = baselines::makeTlp(dev, 7, tlp_weights);
+                results[4] = {"TLP(offline)", p->tune(w, opts)};
+            });
+            jobs.push_back([&, wi]() { // offline: Pruner
+                PrunerConfig c;
+                c.online_finetune = false;
+                c.pretrained = pacm_weights;
+                PrunerPolicy p(dev, c);
+                results[5] = {"Pruner(offline)", p.tune(w, opts)};
+            });
+            bench::runParallel(std::move(jobs));
+
+            std::printf("--- %s / %s ---\n", dev.name.c_str(),
+                        workload_names[wi].c_str());
+            for (const auto& [tag, result] : results) {
+                printCurve(tag, result);
+            }
+            std::printf("\n");
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * Figure 7: search-time comparison on A100 — how long Pruner /
+ * MoA-Pruner take to reach the best performance of each baseline's entire
+ * search (Ansor, TenSetMLP, TLP). Reported as speedups (baseline total
+ * time / Pruner time-to-match). Paper averages: ~2.6x over Ansor online,
+ * ~4.7x over TenSetMLP, ~4x over TLP.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/ansor.hpp"
+#include "baselines/tlp.hpp"
+#include "bench_common.hpp"
+#include "core/pruner_tuner.hpp"
+#include "support/stats.hpp"
+
+using namespace pruner;
+
+int main()
+{
+    const auto dev = DeviceSpec::a100();
+    const int rounds = 16;
+    bench::printScalingNote(rounds, "200 rounds (2,000 trials)");
+
+    const std::vector<std::string> names{"R50",   "WR-50", "Mb-V2",
+                                         "D-121", "ViT",   "B-base",
+                                         "B-tiny"};
+    Table table("Figure 7 — time for (MoA-)Pruner to reach each "
+                "baseline's best, A100 (speedup over baseline total)");
+    table.setHeader({"Workload", "vs Ansor (Pruner)", "vs Ansor (MoA)",
+                     "vs TenSetMLP", "vs TLP"});
+
+    std::vector<std::vector<std::string>> rows(names.size());
+    std::vector<double> sp_ansor, sp_moa, sp_tenset, sp_tlp;
+
+    for (size_t i = 0; i < names.size(); ++i) {
+        const Workload w = bench::capTasks(workloads::byName(names[i]), 6);
+        const TuneOptions opts = bench::benchOptions(dev, rounds, 47 + i);
+        std::vector<double> mlp_w, tlp_w, moa_w;
+        TuneResult ra, rten, rtlp, rp, rm;
+        std::vector<std::function<void()>> jobs;
+        jobs.push_back([&]() {
+            auto p = baselines::makeAnsor(dev, 3);
+            ra = p->tune(w, opts);
+            moa_w = bench::pretrainPaCM(DeviceSpec::k80(), dev, {w}, 48, 6,
+                                        0xF7);
+        });
+        jobs.push_back([&]() {
+            mlp_w = bench::pretrainMlp(dev, {w}, 48, 6, 0xF1);
+            auto p = baselines::makeTenSetMlp(dev, 3, mlp_w);
+            rten = p->tune(w, opts);
+        });
+        jobs.push_back([&]() {
+            tlp_w = bench::pretrainTlp(dev, {w}, 48, 6, 0xF2);
+            auto p = baselines::makeTlp(dev, 3, tlp_w);
+            rtlp = p->tune(w, opts);
+        });
+        bench::runParallel(std::move(jobs));
+
+        std::vector<std::function<void()>> jobs2;
+        jobs2.push_back([&]() {
+            PrunerPolicy p(dev, {});
+            rp = p.tune(w, opts);
+        });
+        jobs2.push_back([&]() {
+            PrunerConfig c;
+            c.use_moa = true;
+            c.pretrained = moa_w;
+            PrunerPolicy p(dev, c);
+            rm = p.tune(w, opts);
+        });
+        bench::runParallel(std::move(jobs2));
+
+        auto speedup = [](const TuneResult& base, const TuneResult& ours) {
+            const double t = ours.timeToReach(base.final_latency);
+            return std::isfinite(t) ? base.total_time_s / t : 1.0;
+        };
+        const double s1 = speedup(ra, rp);
+        const double s2 = speedup(ra, rm);
+        const double s3 = speedup(rten, rp);
+        const double s4 = rtlp.failed ? 0.0 : speedup(rtlp, rp);
+        sp_ansor.push_back(s1);
+        sp_moa.push_back(s2);
+        sp_tenset.push_back(s3);
+        if (s4 > 0.0) {
+            sp_tlp.push_back(s4);
+        }
+        table.addRow({names[i], Table::fmtSpeedup(s1), Table::fmtSpeedup(s2),
+                      Table::fmtSpeedup(s3),
+                      s4 > 0.0 ? Table::fmtSpeedup(s4) : "X"});
+    }
+    table.print();
+    std::printf("\ngeomean speedups: Pruner vs Ansor %.2fx (paper ~2.6x), "
+                "MoA vs Ansor %.2fx (paper ~4.2x),\n                  "
+                "vs TenSetMLP %.2fx (paper ~4.7x), vs TLP %.2fx "
+                "(paper ~4.05x)\n",
+                geomean(sp_ansor), geomean(sp_moa), geomean(sp_tenset),
+                sp_tlp.empty() ? 0.0 : geomean(sp_tlp));
+    std::printf("(speedup 1.00x = Pruner never dipped below the baseline's "
+                "final latency within its budget)\n");
+    return 0;
+}

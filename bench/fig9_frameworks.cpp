@@ -1,0 +1,63 @@
+/**
+ * Figure 9: normalized inference performance vs off-the-shelf frameworks
+ * (PyTorch, Triton/TorchInductor, Torch-TensorRT) on A100. Paper: Pruner
+ * averages 1.95x over PyTorch, 2.27x over Triton, 1.21x over TensorRT,
+ * with TensorRT winning a few operator mixes.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/pruner_tuner.hpp"
+#include "sim/vendor_library.hpp"
+#include "support/stats.hpp"
+
+using namespace pruner;
+
+int main()
+{
+    const auto dev = DeviceSpec::a100();
+    const int rounds = 12;
+    bench::printScalingNote(rounds, "200 rounds (2,000 trials)");
+
+    const std::vector<std::string> names{"R50",    "Mb-V2", "I-V3",
+                                         "D-121",  "ViT",   "DeTR",
+                                         "B-tiny", "DCGAN", "Llama",
+                                         "GPT-2"};
+    Table table("Figure 9 — normalized performance vs inference "
+                "frameworks, A100 (1.00 = best)");
+    table.setHeader({"Workload", "PyTorch", "Triton", "TensorRT",
+                     "MoA-Pruner"});
+
+    const VendorLibrary lib(dev);
+    std::vector<double> su_pt, su_tr, su_trt;
+    for (const auto& name : names) {
+        const Workload w = bench::capTasks(workloads::byName(name), 5);
+        const TuneOptions opts = bench::benchOptions(dev, rounds, 93);
+        PrunerConfig c;
+        c.use_moa = true;
+        c.pretrained =
+            bench::pretrainPaCM(DeviceSpec::k80(), dev, {w}, 32, 5, 0x91);
+        PrunerPolicy moa(dev, c);
+        const TuneResult r = moa.tune(w, opts);
+
+        const double pt = lib.workloadLatency(w, VendorBackend::PyTorch);
+        const double tr = lib.workloadLatency(w, VendorBackend::Triton);
+        const double trt =
+            lib.workloadLatency(w, VendorBackend::TensorRT);
+        const double ours = r.final_latency;
+        const double best = std::min({pt, tr, trt, ours});
+        table.addRow({name, Table::fmt(best / pt, 2),
+                      Table::fmt(best / tr, 2), Table::fmt(best / trt, 2),
+                      Table::fmt(best / ours, 2)});
+        su_pt.push_back(pt / ours);
+        su_tr.push_back(tr / ours);
+        su_trt.push_back(trt / ours);
+    }
+    table.print();
+    std::printf("\nMoA-Pruner avg speedup: vs PyTorch %.2fx (paper 1.95x), "
+                "vs Triton %.2fx (paper 2.27x), vs TensorRT %.2fx "
+                "(paper 1.21x)\n",
+                geomean(su_pt), geomean(su_tr), geomean(su_trt));
+    return 0;
+}

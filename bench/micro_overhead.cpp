@@ -1,0 +1,165 @@
+/**
+ * Micro-benchmarks (google-benchmark): real CPU cost of the components
+ * whose calibrated simulated costs drive the SimClock — Symbol-based
+ * Analyzer evaluation vs learned-model inference, feature extraction, the
+ * simulator itself, and schedule sampling/mutation. The paper's core
+ * economic argument (Table 1 / Section 2.3) is that the draft model is
+ * orders of magnitude cheaper per candidate than the learned model; this
+ * binary shows that the same holds for the real implementations here.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/symbol_analyzer.hpp"
+#include "cost/mlp_cost_model.hpp"
+#include "cost/pacm_model.hpp"
+#include "cost/tlp_cost_model.hpp"
+#include "feature/dataflow_features.hpp"
+#include "feature/statement_features.hpp"
+#include "sched/mutator.hpp"
+#include "sched/sampler.hpp"
+#include "sim/gpu_simulator.hpp"
+
+using namespace pruner;
+
+namespace {
+
+const SubgraphTask&
+benchTask()
+{
+    static const SubgraphTask task = makeGemm("bench", 1, 1024, 1024, 1024);
+    return task;
+}
+
+const DeviceSpec&
+benchDevice()
+{
+    static const DeviceSpec dev = DeviceSpec::a100();
+    return dev;
+}
+
+std::vector<Schedule>
+benchSchedules(size_t n)
+{
+    ScheduleSampler sampler(benchTask(), benchDevice());
+    Rng rng(1);
+    return sampler.sampleMany(rng, n);
+}
+
+void
+BM_SaEvaluate(benchmark::State& state)
+{
+    const SymbolAnalyzer sa(benchDevice());
+    const auto schedules = benchSchedules(64);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sa.estimateLatency(benchTask(), schedules[i++ % 64]));
+    }
+}
+BENCHMARK(BM_SaEvaluate);
+
+void
+BM_SimulatorTrueLatency(benchmark::State& state)
+{
+    const GpuSimulator sim(benchDevice());
+    const auto schedules = benchSchedules(64);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sim.trueLatency(benchTask(), schedules[i++ % 64]));
+    }
+}
+BENCHMARK(BM_SimulatorTrueLatency);
+
+void
+BM_StatementFeatures(benchmark::State& state)
+{
+    const auto schedules = benchSchedules(64);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(extractStatementFeatures(
+            benchTask(), schedules[i++ % 64], benchDevice()));
+    }
+}
+BENCHMARK(BM_StatementFeatures);
+
+void
+BM_DataflowFeatures(benchmark::State& state)
+{
+    const auto schedules = benchSchedules(64);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(extractDataflowFeatures(
+            benchTask(), schedules[i++ % 64], benchDevice()));
+    }
+}
+BENCHMARK(BM_DataflowFeatures);
+
+void
+BM_MlpPredictOne(benchmark::State& state)
+{
+    const MlpCostModel model(benchDevice(), 1);
+    const auto schedules = benchSchedules(8);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            model.predict(benchTask(), {schedules[i++ % 8]}));
+    }
+}
+BENCHMARK(BM_MlpPredictOne);
+
+void
+BM_PaCMPredictOne(benchmark::State& state)
+{
+    const PaCMModel model(benchDevice(), 1);
+    const auto schedules = benchSchedules(8);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            model.predict(benchTask(), {schedules[i++ % 8]}));
+    }
+}
+BENCHMARK(BM_PaCMPredictOne);
+
+void
+BM_TlpPredictOne(benchmark::State& state)
+{
+    const TlpCostModel model(benchDevice(), 1);
+    const auto schedules = benchSchedules(8);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            model.predict(benchTask(), {schedules[i++ % 8]}));
+    }
+}
+BENCHMARK(BM_TlpPredictOne);
+
+void
+BM_ScheduleSample(benchmark::State& state)
+{
+    ScheduleSampler sampler(benchTask(), benchDevice());
+    Rng rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sampler.sample(rng));
+    }
+}
+BENCHMARK(BM_ScheduleSample);
+
+void
+BM_ScheduleMutate(benchmark::State& state)
+{
+    ScheduleMutator mutator(benchTask(), benchDevice());
+    ScheduleSampler sampler(benchTask(), benchDevice());
+    Rng rng(1);
+    Schedule sch = sampler.sample(rng);
+    for (auto _ : state) {
+        sch = mutator.mutate(sch, rng);
+        benchmark::DoNotOptimize(sch);
+    }
+}
+BENCHMARK(BM_ScheduleMutate);
+
+} // namespace
+
+BENCHMARK_MAIN();

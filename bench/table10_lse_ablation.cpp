@@ -1,0 +1,105 @@
+/**
+ * Table 10: Best-1 score of S_spec at different draft sizes, with and
+ * without the compute / memory penalty families in the Symbol-based
+ * Analyzer. Paper (TenSet): LSE 0.914/0.968/0.986/0.995 at 50/128/256/512;
+ * both ablations degrade, w/o P_{l,c} most.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/latent_explorer.hpp"
+#include "dataset/metrics.hpp"
+#include "sched/sampler.hpp"
+#include "sim/gpu_simulator.hpp"
+
+using namespace pruner;
+
+namespace {
+
+/** Best-1 over the test tasks for one SA configuration and spec size. */
+double
+bestOneScore(const std::vector<TaskInstance>& tasks, const DeviceSpec& dev,
+             const SymbolAnalyzerConfig& sa, size_t spec_size)
+{
+    const GpuSimulator sim(dev);
+    std::vector<BestKGroup> groups;
+    for (const auto& inst : tasks) {
+        // Reference exploration set: 2,000 random schedules (scaled-down
+        // stand-in for the paper's 4,000 per subgraph).
+        ScheduleSampler sampler(inst.task, dev);
+        Rng rng(hashCombine(0xB10, inst.task.hash()));
+        BestKGroup g;
+        g.weight = inst.weight;
+        double optimal = 1e30;
+        for (int i = 0; i < 2000; ++i) {
+            const double t =
+                sim.trueLatency(inst.task, sampler.sample(rng));
+            if (std::isfinite(t)) {
+                optimal = std::min(optimal, t);
+            }
+        }
+        LatentScheduleExplorer lse(dev, sa);
+        LseConfig config;
+        config.spec_size = spec_size;
+        const auto spec = lse.explore(inst.task, config, {}, rng, nullptr);
+        for (const auto& s : spec) {
+            const double t = sim.trueLatency(inst.task, s.sch);
+            if (std::isfinite(t)) {
+                g.subset_latencies.push_back(t);
+            }
+        }
+        // LSE can out-search the random reference; Best-k caps at 1 by
+        // taking the better of the two as the optimum, as in Eq. 3 where
+        // L* is the optimum over all explored programs.
+        if (!g.subset_latencies.empty()) {
+            optimal = std::min(
+                optimal, *std::min_element(g.subset_latencies.begin(),
+                                           g.subset_latencies.end()));
+            g.optimal_latency = optimal;
+            groups.push_back(std::move(g));
+        }
+    }
+    return bestKScore(groups, 1);
+}
+
+} // namespace
+
+int main()
+{
+    const auto dev = DeviceSpec::t4(); // TenSet's T4 platform
+    std::printf("Table 10 — Best-1 of S_spec vs draft size (TenSet-T4 "
+                "substrate)\n\n");
+
+    const Workload r50 = bench::capTasks(workloads::resnet50(), 5);
+    const Workload bb = bench::capTasks(workloads::bertBase(), 3);
+    std::vector<TaskInstance> tasks = r50.tasks;
+    tasks.insert(tasks.end(), bb.tasks.begin(), bb.tasks.end());
+
+    Table table;
+    table.setHeader({"Method", "50", "128", "256", "512"});
+    struct Config
+    {
+        const char* label;
+        SymbolAnalyzerConfig sa;
+    };
+    const std::vector<Config> configs{
+        {"w/o P_l,c", {.use_compute_penalties = false}},
+        {"w/o P_l,m", {.use_memory_penalties = false}},
+        {"LSE (ours)", {}},
+    };
+    for (const auto& config : configs) {
+        std::vector<std::string> row{config.label};
+        for (size_t size : {50u, 128u, 256u, 512u}) {
+            row.push_back(
+                Table::fmt(bestOneScore(tasks, dev, config.sa, size), 3));
+        }
+        table.addRow(row);
+    }
+    table.print();
+    std::printf("\npaper: w/o P_l,c 0.685-0.880, w/o P_l,m 0.757-0.930, "
+                "LSE 0.914-0.995 across sizes 50-512\n");
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * Table 11: Top-1 / Top-5 of TenSetMLP, TLP and PaCM on the TenSet T4 and
+ * K80 substrates (train on one network mix, test on the paper's held-out
+ * networks). Paper: PaCM 0.892/0.962 (T4) and 0.897/0.969 (K80), above
+ * both baselines.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "dataset/metrics.hpp"
+
+using namespace pruner;
+
+namespace {
+
+std::vector<TopKGroup>
+makeGroups(CostModel& model, const std::vector<MeasuredRecord>& test,
+           const std::vector<SubgraphTask>& tasks)
+{
+    std::vector<TopKGroup> groups;
+    for (const auto& task : tasks) {
+        TopKGroup g;
+        std::vector<Schedule> cands;
+        for (const auto& rec : test) {
+            if (rec.task.hash() == task.hash()) {
+                g.latencies.push_back(rec.latency);
+                cands.push_back(rec.sch);
+            }
+        }
+        if (g.latencies.size() < 2) {
+            continue;
+        }
+        g.scores = model.predict(task, cands);
+        groups.push_back(std::move(g));
+    }
+    return groups;
+}
+
+} // namespace
+
+int main()
+{
+    std::printf("Table 11 — Top-k on the TenSet substrates\n\n");
+    Table table;
+    table.setHeader({"Method", "T4 top-1", "T4 top-5", "K80 top-1",
+                     "K80 top-5"});
+
+    // Train/test split by network, as in TenSet/TLP.
+    const std::vector<Workload> train_nets{
+        bench::capTasks(workloads::inceptionV3(), 5),
+        bench::capTasks(workloads::densenet121(), 5),
+        bench::capTasks(workloads::vit(), 4),
+        bench::capTasks(workloads::gpt2(), 4)};
+    const std::vector<Workload> test_nets{
+        bench::capTasks(workloads::resnet50(), 4),
+        bench::capTasks(workloads::mobilenetV2(), 4),
+        bench::capTasks(workloads::bertBase(), 3),
+        bench::capTasks(workloads::bertTiny(), 3),
+        bench::capTasks(workloads::resnet3d18(), 3)};
+
+    std::vector<std::vector<double>> cells(3, std::vector<double>(4));
+    int col = 0;
+    for (const auto& dev : {DeviceSpec::t4(), DeviceSpec::k80()}) {
+        DatasetConfig dc;
+        dc.schedules_per_task = 96;
+        const auto train_data = generateDataset(train_nets, dev, dc);
+        dc.seed = 0xFE57;
+        dc.schedules_per_task = 64;
+        const auto test_data = generateDataset(test_nets, dev, dc);
+        const auto test_tasks = distinctTasks(test_nets);
+
+        MlpCostModel mlp(dev, 3);
+        TlpCostModel tlp(dev, 3);
+        PaCMModel pacm(dev, 3);
+        std::vector<std::function<void()>> jobs;
+        jobs.push_back([&]() {
+            mlp.train(train_data, 10);
+            tlp.train(train_data, 10);
+        });
+        jobs.push_back([&]() { pacm.train(train_data, 10); });
+        bench::runParallel(std::move(jobs));
+
+        const auto g_mlp = makeGroups(mlp, test_data, test_tasks);
+        const auto g_tlp = makeGroups(tlp, test_data, test_tasks);
+        const auto g_pacm = makeGroups(pacm, test_data, test_tasks);
+        cells[0][col] = topKScore(g_mlp, 1);
+        cells[0][col + 1] = topKScore(g_mlp, 5);
+        cells[1][col] = topKScore(g_tlp, 1);
+        cells[1][col + 1] = topKScore(g_tlp, 5);
+        cells[2][col] = topKScore(g_pacm, 1);
+        cells[2][col + 1] = topKScore(g_pacm, 5);
+        col += 2;
+    }
+    const char* labels[3] = {"TenSetMLP", "TLP", "PaCM (ours)"};
+    for (int m = 0; m < 3; ++m) {
+        table.addRow({labels[m], Table::fmt(cells[m][0], 3),
+                      Table::fmt(cells[m][1], 3), Table::fmt(cells[m][2], 3),
+                      Table::fmt(cells[m][3], 3)});
+    }
+    table.print();
+    std::printf("\npaper: TenSetMLP .859/.941/.878/.958, TLP "
+                ".862/.935/.880/.947, PaCM .892/.962/.897/.969\n");
+    return 0;
+}

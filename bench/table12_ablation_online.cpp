@@ -1,0 +1,85 @@
+/**
+ * Table 12: online-mode component ablation — Ansor vs Pruner without LSE /
+ * statement features / temporal-dataflow features / MoA, Pruner with plain
+ * online fine-tuning, and the full MoA-Pruner. Values: tuned end-to-end
+ * latency (ms). Paper: every removal hurts; w/o LSE hurts most.
+ */
+
+#include <cstdio>
+
+#include "baselines/ansor.hpp"
+#include "bench_common.hpp"
+#include "core/pruner_tuner.hpp"
+
+using namespace pruner;
+
+int main()
+{
+    const auto dev = DeviceSpec::a100();
+    const int rounds = 14;
+    bench::printScalingNote(rounds, "200 rounds (2,000 trials)");
+
+    const std::vector<std::string> names{"R50", "I-V3", "ViT", "Dv3-R50",
+                                         "B-tiny"};
+    Table table("Table 12 — online ablation, tuned latency (ms), A100");
+    table.setHeader({"Method", "R50", "I-V3", "ViT", "Dl-V3", "B-tiny"});
+
+    // Methods: Ansor, w/o LSE, w/o S.F., w/o T.D.F., w/o MoA (= plain
+    // Pruner), w/ O-F, full MoA-Pruner.
+    const int kMethods = 7;
+    std::vector<std::vector<double>> lat(kMethods,
+                                         std::vector<double>(names.size()));
+
+    for (size_t wi = 0; wi < names.size(); ++wi) {
+        const Workload w = bench::capTasks(workloads::byName(names[wi]), 6);
+        const TuneOptions opts = bench::benchOptions(dev, rounds, 171);
+        const auto moa_weights = bench::pretrainPaCM(
+            DeviceSpec::k80(), dev, {w}, 32, 5, 0xAB1);
+
+        auto run_config = [&](int slot, PrunerConfig config) {
+            PrunerPolicy policy(dev, std::move(config));
+            lat[slot][wi] = policy.tune(w, opts).final_latency * 1e3;
+        };
+        std::vector<std::function<void()>> jobs;
+        jobs.push_back([&]() {
+            lat[0][wi] = baselines::makeAnsor(dev, 3)
+                             ->tune(w, opts)
+                             .final_latency * 1e3;
+            PrunerConfig no_lse;
+            no_lse.use_lse = false;
+            run_config(1, no_lse);
+            PrunerConfig no_sf;
+            no_sf.pacm.use_statement_features = false;
+            run_config(2, no_sf);
+            PrunerConfig no_tdf;
+            no_tdf.pacm.use_dataflow_features = false;
+            run_config(3, no_tdf);
+        });
+        jobs.push_back([&]() {
+            run_config(4, {}); // w/o MoA = plain Pruner
+            PrunerConfig of; // w/ O-F: pretrained + plain fine-tuning
+            of.pretrained = moa_weights;
+            run_config(5, of);
+            PrunerConfig full;
+            full.use_moa = true;
+            full.pretrained = moa_weights;
+            run_config(6, full);
+        });
+        bench::runParallel(std::move(jobs));
+    }
+
+    const char* labels[kMethods] = {"Ansor",    "w/o LSE", "w/o S.F.",
+                                    "w/o T.D.F", "w/o MoA", "w/ O-F",
+                                    "MoA-Pruner"};
+    for (int m = 0; m < kMethods; ++m) {
+        std::vector<std::string> row{labels[m]};
+        for (size_t wi = 0; wi < names.size(); ++wi) {
+            row.push_back(Table::fmt(lat[m][wi], 3));
+        }
+        table.addRow(row);
+    }
+    table.print();
+    std::printf("\nexpected shape (paper): MoA-Pruner lowest on most "
+                "columns; Ansor and w/o LSE highest.\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * Table 1: tuning cost breakdown (minutes) for Ansor on Jetson Orin —
+ * space exploration vs cost-model training vs hardware measurement.
+ * Paper: R50 35/5.4/44.4, DeTR 30.3/5.6/50.6, I-V3 41.8/5.5/49.4.
+ */
+
+#include <cstdio>
+
+#include "baselines/ansor.hpp"
+#include "bench_common.hpp"
+
+using namespace pruner;
+
+int main()
+{
+    const auto dev = DeviceSpec::orinAgx();
+    const int rounds = 24;
+    bench::printScalingNote(rounds, "200 rounds (2,000 trials)");
+
+    Table table("Table 1 — Ansor tuning costs (min) on Jetson Orin, "
+                "normalized to 2,000 trials");
+    table.setHeader({"Ansor", "R50", "DeTR", "I-V3"});
+
+    std::vector<std::string> names{"R50", "DeTR", "I-V3"};
+    std::vector<double> exploration(3), training(3), measurement(3);
+
+    std::vector<std::function<void()>> jobs;
+    for (size_t i = 0; i < names.size(); ++i) {
+        jobs.push_back([&, i]() {
+            const Workload w =
+                bench::capTasks(workloads::byName(names[i]), 8);
+            auto ansor = baselines::makeAnsor(dev, 11 + i);
+            const TuneOptions opts = bench::benchOptions(dev, rounds, 31);
+            const TuneResult r = ansor->tune(w, opts);
+            // Normalize the scaled run to the paper's 200-round budget.
+            const double norm = 200.0 / opts.rounds;
+            exploration[i] = r.exploration_s * norm / 60.0;
+            training[i] = r.training_s * norm / 60.0;
+            measurement[i] =
+                (r.measurement_s + r.compile_s) * norm / 60.0;
+        });
+    }
+    bench::runParallel(std::move(jobs));
+
+    auto row = [&](const char* label, const std::vector<double>& v) {
+        table.addRow({label, Table::fmt(v[0], 1), Table::fmt(v[1], 1),
+                      Table::fmt(v[2], 1)});
+    };
+    row("Exploration", exploration);
+    row("Training", training);
+    row("Measurement", measurement);
+    table.print();
+    std::printf("\npaper: Exploration 35/30.3/41.8, Training 5.4/5.6/5.5, "
+                "Measurement 44.4/50.6/49.4\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * Table 7: end-to-end compilation time (minutes) with 2,000 tuning trials
+ * on Titan V for Ansor vs Pruner vs MoA-Pruner.
+ * Paper: Pruner ~84.1% and MoA-Pruner ~75.3% of Ansor's time on average.
+ */
+
+#include <cstdio>
+
+#include "baselines/ansor.hpp"
+#include "bench_common.hpp"
+#include "core/pruner_tuner.hpp"
+
+using namespace pruner;
+
+int main()
+{
+    const auto dev = DeviceSpec::titanV();
+    const int rounds = 20;
+    bench::printScalingNote(rounds, "200 rounds (2,000 trials)");
+
+    const std::vector<std::string> names{"R50", "I-V3", "ViT", "Dv3-R50",
+                                         "B-base"};
+    Table table("Table 7 — compilation time (min), normalized to 2,000 "
+                "trials, Titan V");
+    table.setHeader({"Method", "R50", "I-V3", "ViT", "Dl-V3", "B-base"});
+
+    std::vector<std::vector<double>> minutes(3,
+                                             std::vector<double>(5, 0.0));
+    std::vector<std::function<void()>> jobs;
+    for (size_t i = 0; i < names.size(); ++i) {
+        jobs.push_back([&, i]() {
+            const Workload w =
+                bench::capTasks(workloads::byName(names[i]), 6);
+            const TuneOptions opts = bench::benchOptions(dev, rounds, 77);
+            const double norm = 200.0 / opts.rounds / 60.0;
+
+            auto ansor = baselines::makeAnsor(dev, 3 + i);
+            minutes[0][i] = ansor->tune(w, opts).total_time_s * norm;
+
+            PrunerPolicy pruner(dev, {});
+            minutes[1][i] = pruner.tune(w, opts).total_time_s * norm;
+
+            PrunerConfig moa_cfg;
+            moa_cfg.use_moa = true;
+            PrunerPolicy moa(dev, moa_cfg);
+            minutes[2][i] = moa.tune(w, opts).total_time_s * norm;
+        });
+    }
+    bench::runParallel(std::move(jobs));
+
+    const char* labels[3] = {"Ansor", "Pruner", "MoA-Pruner"};
+    for (int m = 0; m < 3; ++m) {
+        std::vector<std::string> row{labels[m]};
+        for (size_t i = 0; i < names.size(); ++i) {
+            row.push_back(Table::fmt(minutes[m][i], 1));
+        }
+        table.addRow(row);
+    }
+    table.print();
+
+    double pruner_ratio = 0.0, moa_ratio = 0.0;
+    for (size_t i = 0; i < names.size(); ++i) {
+        pruner_ratio += minutes[1][i] / minutes[0][i];
+        moa_ratio += minutes[2][i] / minutes[0][i];
+    }
+    std::printf("\navg time vs Ansor: Pruner %.1f%% (paper 84.1%%), "
+                "MoA-Pruner %.1f%% (paper 75.3%%)\n",
+                100.0 * pruner_ratio / names.size(),
+                100.0 * moa_ratio / names.size());
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * Table 9: search speedup of Pruner over MetaSchedule on A100 TensorCore —
+ * time for Pruner to reach MetaSchedule's entire-search best, for the six
+ * half-precision language models at batch 1 and 4. Paper average: 4.08x.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/metaschedule.hpp"
+#include "bench_common.hpp"
+#include "core/pruner_tuner.hpp"
+#include "support/stats.hpp"
+
+using namespace pruner;
+
+int main()
+{
+    const auto dev = DeviceSpec::a100();
+    const int rounds = 14;
+    bench::printScalingNote(rounds, "full MetaSchedule search budgets");
+
+    const std::vector<std::string> names{"B-tiny", "B-base", "GPT-2",
+                                         "Llama", "OPT", "Mistral"};
+    Table table("Table 9 — Pruner search speedup vs MetaSchedule, A100 "
+                "TensorCore");
+    table.setHeader({"Input", "Bert-Tiny", "Bert-Base", "GPT-2", "Llama",
+                     "OPT", "Mistral"});
+
+    std::vector<double> all_speedups;
+    for (int batch : {1, 4}) {
+        std::vector<std::string> row{"(" + std::to_string(batch) +
+                                     ", 128)"};
+        for (const auto& name : names) {
+            Workload base = workloads::byName(name);
+            // Half-precision variants per Table 3.
+            Workload w;
+            if (name == "B-tiny") {
+                w = workloads::bertTiny(batch, 128, DType::Fp16Tc);
+            } else if (name == "B-base") {
+                w = workloads::bertBase(batch, 128, DType::Fp16Tc);
+            } else if (name == "GPT-2") {
+                w = workloads::gpt2(batch, 128, DType::Fp16Tc);
+            } else if (name == "Llama") {
+                w = workloads::llama(batch, 128, DType::Fp16Tc);
+            } else if (name == "OPT") {
+                w = workloads::opt13b(batch, 128, DType::Fp16Tc);
+            } else {
+                w = workloads::mistral7b(batch, 128, DType::Fp16Tc);
+            }
+            w = bench::capTasks(w, 5);
+            const TuneOptions opts =
+                bench::benchOptions(dev, rounds, 131 + batch);
+            TuneResult rm, rp;
+            std::vector<std::function<void()>> jobs;
+            jobs.push_back([&]() {
+                rm = baselines::makeMetaSchedule(dev, 3)->tune(w, opts);
+            });
+            jobs.push_back([&]() {
+                PrunerPolicy p(dev, {});
+                rp = p.tune(w, opts);
+            });
+            bench::runParallel(std::move(jobs));
+            const double t = rp.timeToReach(rm.final_latency);
+            const double speedup =
+                std::isfinite(t) ? rm.total_time_s / t : 1.0;
+            all_speedups.push_back(speedup);
+            row.push_back(Table::fmtSpeedup(speedup));
+        }
+        table.addRow(row);
+    }
+    table.print();
+    std::printf("\ngeomean speedup %.2fx (paper average 4.08x; 1.00x = "
+                "never matched within budget)\n",
+                geomean(all_speedups));
+    return 0;
+}

@@ -1,0 +1,48 @@
+#include "baselines/adatune.hpp"
+
+#include "cost/mlp_cost_model.hpp"
+
+namespace pruner {
+namespace baselines {
+
+namespace {
+
+class AdatunePolicy : public EvoCostModelPolicy
+{
+  public:
+    AdatunePolicy(const DeviceSpec& device, uint64_t seed,
+                  EvoPolicyConfig config)
+        : EvoCostModelPolicy("Adatune", device,
+                             std::make_unique<MlpCostModel>(device, seed),
+                             config)
+    {
+    }
+
+  protected:
+    bool
+    supportsTask(const SubgraphTask& task) const override
+    {
+        return task.op_class != OpClass::ConvTranspose2d;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<SearchPolicy>
+makeAdatune(const DeviceSpec& device, uint64_t seed)
+{
+    EvoPolicyConfig config;
+    config.online_training = true;
+    config.adaptive_measurement = true;
+    config.adaptive_time_scale = 0.55; // early-terminated measurements
+    config.adaptive_extra_noise = 0.15;
+    // AutoTVM-style manual templates cover a much smaller space than
+    // Ansor's generated sketches: a small, shallow search stands in for
+    // the restricted template space.
+    config.evolution.population = 128;
+    config.evolution.iterations = 3;
+    return std::make_unique<AdatunePolicy>(device, seed, config);
+}
+
+} // namespace baselines
+} // namespace pruner

@@ -1,0 +1,23 @@
+#pragma once
+
+/**
+ * @file adatune.hpp
+ * The Adatune baseline: AutoTVM-style search with adaptive (statistically
+ * early-terminated) hardware measurement — cheaper per trial but noisier,
+ * and without schedule rules for transposed convolutions (the DCGAN
+ * failure the paper marks in Figure 8).
+ */
+
+#include <memory>
+
+#include "search/search_policy.hpp"
+
+namespace pruner {
+namespace baselines {
+
+/** Build the Adatune policy. */
+std::unique_ptr<SearchPolicy> makeAdatune(const DeviceSpec& device,
+                                          uint64_t seed);
+
+} // namespace baselines
+} // namespace pruner

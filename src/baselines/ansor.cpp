@@ -1,0 +1,25 @@
+#include "baselines/ansor.hpp"
+
+#include "cost/mlp_cost_model.hpp"
+
+namespace pruner {
+namespace baselines {
+
+std::unique_ptr<SearchPolicy>
+makeAnsor(const DeviceSpec& device, uint64_t seed)
+{
+    EvoPolicyConfig config;
+    config.online_training = true;
+    // Ansor scores its whole evolutionary population with the learned
+    // model every generation: 512 x (4+1) = 2,560 evaluations per round,
+    // which at the calibrated per-candidate cost reproduces the ~35 min of
+    // exploration in the paper's Table 1.
+    config.evolution.population = 512;
+    config.evolution.iterations = 4;
+    return std::make_unique<EvoCostModelPolicy>(
+        "Ansor", device, std::make_unique<MlpCostModel>(device, seed),
+        config);
+}
+
+} // namespace baselines
+} // namespace pruner

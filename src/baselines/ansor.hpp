@@ -1,0 +1,22 @@
+#pragma once
+
+/**
+ * @file ansor.hpp
+ * The Ansor baseline: evolutionary search scored by a learned model that
+ * is trained online from scratch, the full population scored every
+ * generation (the exploration cost Table 1 quantifies).
+ */
+
+#include <memory>
+
+#include "search/search_policy.hpp"
+
+namespace pruner {
+namespace baselines {
+
+/** Build the Ansor policy (online statement-feature model). */
+std::unique_ptr<SearchPolicy> makeAnsor(const DeviceSpec& device,
+                                        uint64_t seed);
+
+} // namespace baselines
+} // namespace pruner

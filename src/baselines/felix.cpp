@@ -1,0 +1,76 @@
+#include "baselines/felix.hpp"
+
+#include "cost/mlp_cost_model.hpp"
+
+namespace pruner {
+namespace baselines {
+
+namespace {
+
+/** Largest prime factor of n. */
+int64_t
+largestPrimeFactor(int64_t n)
+{
+    int64_t largest = 1;
+    for (int64_t p = 2; p * p <= n; ++p) {
+        while (n % p == 0) {
+            largest = p;
+            n /= p;
+        }
+    }
+    return n > 1 ? n : largest;
+}
+
+class FelixPolicy : public EvoCostModelPolicy
+{
+  public:
+    FelixPolicy(const DeviceSpec& device, uint64_t seed,
+                EvoPolicyConfig config)
+        : EvoCostModelPolicy("Felix", device,
+                             std::make_unique<MlpCostModel>(device, seed),
+                             config)
+    {
+    }
+
+  protected:
+    bool
+    supportsTask(const SubgraphTask& task) const override
+    {
+        return felixSupportsTask(task);
+    }
+};
+
+} // namespace
+
+bool
+felixSupportsTask(const SubgraphTask& task)
+{
+    for (const auto& axis : task.spatial) {
+        if (largestPrimeFactor(axis.extent) > 13) {
+            return false;
+        }
+    }
+    for (const auto& axis : task.reduction) {
+        if (largestPrimeFactor(axis.extent) > 13) {
+            return false;
+        }
+    }
+    // The relaxation also lacks rules for transposed convolutions.
+    return task.op_class != OpClass::ConvTranspose2d;
+}
+
+std::unique_ptr<SearchPolicy>
+makeFelix(const DeviceSpec& device, uint64_t seed)
+{
+    EvoPolicyConfig config;
+    config.online_training = true;
+    // Gradient descent == strongly local search: tiny population, many
+    // mutation-only steps.
+    config.evolution.population = 64;
+    config.evolution.iterations = 8;
+    config.evolution.mutation_prob = 1.0;
+    return std::make_unique<FelixPolicy>(device, seed, config);
+}
+
+} // namespace baselines
+} // namespace pruner

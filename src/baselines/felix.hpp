@@ -1,0 +1,31 @@
+#pragma once
+
+/**
+ * @file felix.hpp
+ * The Felix baseline: gradient-descent search over a differentiable
+ * relaxation of the schedule space.
+ *
+ * Felix rewrites tile factors as continuous variables and follows surrogate
+ * gradients; this makes per-round exploration local (small population, many
+ * small steps) and, as the paper observes, its feature/relaxation machinery
+ * cannot handle operators with irregular shapes — those workloads fail
+ * outright (the X marks of Figure 8).
+ */
+
+#include <memory>
+
+#include "search/search_policy.hpp"
+
+namespace pruner {
+namespace baselines {
+
+/** Build the Felix policy. */
+std::unique_ptr<SearchPolicy> makeFelix(const DeviceSpec& device,
+                                        uint64_t seed);
+
+/** True if Felix's relaxation supports this task (regular extents only:
+ *  every axis extent must factor over small primes). Exposed for tests. */
+bool felixSupportsTask(const SubgraphTask& task);
+
+} // namespace baselines
+} // namespace pruner

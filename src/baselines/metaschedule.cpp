@@ -1,0 +1,21 @@
+#include "baselines/metaschedule.hpp"
+
+#include "cost/mlp_cost_model.hpp"
+
+namespace pruner {
+namespace baselines {
+
+std::unique_ptr<SearchPolicy>
+makeMetaSchedule(const DeviceSpec& device, uint64_t seed)
+{
+    EvoPolicyConfig config;
+    config.online_training = true;
+    config.evolution.population = 384; // larger per-round exploration
+    config.evolution.iterations = 4;
+    return std::make_unique<EvoCostModelPolicy>(
+        "MetaSchedule", device, std::make_unique<MlpCostModel>(device, seed),
+        config);
+}
+
+} // namespace baselines
+} // namespace pruner

@@ -1,0 +1,23 @@
+#pragma once
+
+/**
+ * @file metaschedule.hpp
+ * The MetaSchedule baseline: TVM's TensorCore-capable search framework.
+ * Structurally it is the same evolution+learned-model loop as Ansor (the
+ * paper integrates Pruner into it the same way), with a larger population
+ * per round — thorough but expensive exploration.
+ */
+
+#include <memory>
+
+#include "search/search_policy.hpp"
+
+namespace pruner {
+namespace baselines {
+
+/** Build the MetaSchedule policy (online statement-feature model). */
+std::unique_ptr<SearchPolicy> makeMetaSchedule(const DeviceSpec& device,
+                                               uint64_t seed);
+
+} // namespace baselines
+} // namespace pruner

@@ -1,0 +1,27 @@
+#pragma once
+
+/**
+ * @file roller.hpp
+ * The Roller baseline: rule-based rTile construction.
+ *
+ * Roller derives a small candidate set from empirical formulas — tiles
+ * aligned to the warp size, memory transactions, and shared-memory banks —
+ * scores them with its hardware micro-model, and measures only a handful
+ * (the paper uses 50 trials per subgraph). It is very fast but can miss
+ * optima that fall outside its alignment rules (Table 6's observation).
+ */
+
+#include <memory>
+
+#include "search/search_policy.hpp"
+
+namespace pruner {
+namespace baselines {
+
+/** Build the Roller policy. @p trials_per_task matches the paper's 50. */
+std::unique_ptr<SearchPolicy> makeRoller(const DeviceSpec& device,
+                                         uint64_t seed,
+                                         int trials_per_task = 50);
+
+} // namespace baselines
+} // namespace pruner

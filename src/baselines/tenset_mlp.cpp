@@ -1,0 +1,33 @@
+#include "baselines/tenset_mlp.hpp"
+
+#include "cost/mlp_cost_model.hpp"
+#include "support/logging.hpp"
+
+namespace pruner {
+namespace baselines {
+
+std::unique_ptr<SearchPolicy>
+makeTenSetMlp(const DeviceSpec& device, uint64_t seed,
+              const std::vector<double>& pretrained, bool online_training)
+{
+    auto model = std::make_unique<MlpCostModel>(device, seed);
+    if (!pretrained.empty()) {
+        model->setParams(pretrained);
+    }
+    EvoPolicyConfig config;
+    config.online_training = online_training;
+    return std::make_unique<EvoCostModelPolicy>(
+        "TenSetMLP", device, std::move(model), config);
+}
+
+std::vector<double>
+pretrainCostModel(CostModel& model, const std::vector<MeasuredRecord>& data,
+                  int epochs)
+{
+    PRUNER_CHECK_MSG(!data.empty(), "pretraining needs data");
+    model.train(data, epochs);
+    return model.getParams();
+}
+
+} // namespace baselines
+} // namespace pruner

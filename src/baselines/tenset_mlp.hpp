@@ -1,0 +1,33 @@
+#pragma once
+
+/**
+ * @file tenset_mlp.hpp
+ * The TenSetMLP baseline: the statement-feature MLP pre-trained on a
+ * TenSet-style dataset, used in the paper's offline tuning scenario
+ * (pre-trained + fine-tuned on the target platform, then frozen during
+ * search) and for the TenSet transfer strategy of Table 5.
+ */
+
+#include <memory>
+
+#include "cost/cost_model.hpp"
+#include "search/search_policy.hpp"
+
+namespace pruner {
+namespace baselines {
+
+/** Build the TenSetMLP policy with pre-trained weights. If
+ *  @p online_training is true the model keeps fine-tuning online (the
+ *  "TenSet transfer" configuration of Table 5). */
+std::unique_ptr<SearchPolicy>
+makeTenSetMlp(const DeviceSpec& device, uint64_t seed,
+              const std::vector<double>& pretrained,
+              bool online_training = false);
+
+/** Pre-train any cost model on a dataset; returns the flat weights. */
+std::vector<double> pretrainCostModel(CostModel& model,
+                                      const std::vector<MeasuredRecord>& data,
+                                      int epochs);
+
+} // namespace baselines
+} // namespace pruner

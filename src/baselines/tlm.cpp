@@ -1,0 +1,58 @@
+#include "baselines/tlm.hpp"
+
+#include "cost/mlp_cost_model.hpp"
+
+namespace pruner {
+namespace baselines {
+
+namespace {
+
+class TlmPolicy : public EvoCostModelPolicy
+{
+  public:
+    TlmPolicy(const DeviceSpec& device, uint64_t seed,
+              std::unordered_set<uint64_t> corpus,
+              const std::vector<double>& pretrained,
+              EvoPolicyConfig config)
+        : EvoCostModelPolicy("TLM", device,
+                             std::make_unique<MlpCostModel>(device, seed),
+                             config),
+          corpus_(std::move(corpus))
+    {
+        if (!pretrained.empty()) {
+            model_->setParams(pretrained);
+        }
+    }
+
+  protected:
+    bool
+    supportsTask(const SubgraphTask& task) const override
+    {
+        // A language model can only emit programs for subgraphs it has
+        // seen; unseen subgraphs fail the whole workload.
+        return corpus_.contains(task.hash());
+    }
+
+  private:
+    std::unordered_set<uint64_t> corpus_;
+};
+
+} // namespace
+
+std::unique_ptr<SearchPolicy>
+makeTlm(const DeviceSpec& device, uint64_t seed,
+        std::unordered_set<uint64_t> corpus_tasks,
+        const std::vector<double>& pretrained)
+{
+    EvoPolicyConfig config;
+    config.online_training = false; // TLM does not train online
+    // TLM *generates* candidates from its learned distribution rather than
+    // hill-climbing with measurement feedback: shallow generation rounds.
+    config.evolution.population = 256;
+    config.evolution.iterations = 2;
+    return std::make_unique<TlmPolicy>(device, seed, std::move(corpus_tasks),
+                                       pretrained, config);
+}
+
+} // namespace baselines
+} // namespace pruner

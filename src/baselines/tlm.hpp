@@ -1,0 +1,28 @@
+#pragma once
+
+/**
+ * @file tlm.hpp
+ * The TLM baseline: a tensor language model that generates schedules for
+ * subgraphs it saw during pre-training. It cannot tune subgraphs outside
+ * its pre-training corpus (the X marks of Figure 8), and it performs no
+ * online cost-model training.
+ */
+
+#include <memory>
+#include <unordered_set>
+
+#include "search/search_policy.hpp"
+
+namespace pruner {
+namespace baselines {
+
+/** Build the TLM policy.
+ *  @param corpus_tasks  hashes of the subgraphs in the pre-training corpus
+ *  @param pretrained    pre-trained scorer weights (statement MLP) */
+std::unique_ptr<SearchPolicy>
+makeTlm(const DeviceSpec& device, uint64_t seed,
+        std::unordered_set<uint64_t> corpus_tasks,
+        const std::vector<double>& pretrained);
+
+} // namespace baselines
+} // namespace pruner

@@ -1,0 +1,27 @@
+#include "baselines/tlp.hpp"
+
+#include "cost/tlp_cost_model.hpp"
+
+namespace pruner {
+namespace baselines {
+
+std::unique_ptr<SearchPolicy>
+makeTlp(const DeviceSpec& device, uint64_t seed,
+        const std::vector<double>& pretrained, bool online_training)
+{
+    auto model = std::make_unique<TlpCostModel>(device, seed);
+    if (!pretrained.empty()) {
+        model->setParams(pretrained);
+    }
+    EvoPolicyConfig config;
+    config.online_training = online_training;
+    // TLP's Transformer is several times more expensive per candidate than
+    // the MLP models, so its practical evolution budget is smaller.
+    config.evolution.population = 256;
+    config.evolution.iterations = 3;
+    return std::make_unique<EvoCostModelPolicy>("TLP", device,
+                                                std::move(model), config);
+}
+
+} // namespace baselines
+} // namespace pruner

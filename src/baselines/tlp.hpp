@@ -1,0 +1,24 @@
+#pragma once
+
+/**
+ * @file tlp.hpp
+ * The TLP baseline: primitive-sequence Transformer cost model (data-hungry
+ * by construction — see feature/primitive_features.hpp), pre-trained on a
+ * TenSet-style dataset and frozen (offline) or fine-tuned online.
+ */
+
+#include <memory>
+
+#include "search/search_policy.hpp"
+
+namespace pruner {
+namespace baselines {
+
+/** Build the TLP policy (offline by default, like the paper's setup). */
+std::unique_ptr<SearchPolicy>
+makeTlp(const DeviceSpec& device, uint64_t seed,
+        const std::vector<double>& pretrained,
+        bool online_training = false);
+
+} // namespace baselines
+} // namespace pruner

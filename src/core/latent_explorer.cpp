@@ -1,0 +1,37 @@
+#include "core/latent_explorer.hpp"
+
+#include "support/logging.hpp"
+
+namespace pruner {
+
+LatentScheduleExplorer::LatentScheduleExplorer(const DeviceSpec& device,
+                                               SymbolAnalyzerConfig sa_config)
+    : device_(device), analyzer_(device, sa_config)
+{
+}
+
+std::vector<ScoredSchedule>
+LatentScheduleExplorer::explore(const SubgraphTask& task,
+                                const LseConfig& config,
+                                const std::vector<Schedule>& seeds, Rng& rng,
+                                size_t* n_evaluated) const
+{
+    EvolutionarySearch evo(task, device_);
+    EvolutionConfig evo_config;
+    evo_config.population = config.population;
+    evo_config.iterations = config.n_steps;
+    evo_config.out_size = config.spec_size;
+    // Fitness = hardware-fitness score from the draft model (CSA in
+    // Algorithm 2): no learned model anywhere in this loop.
+    const ScoreFn fitness = [&](const std::vector<Schedule>& cands) {
+        std::vector<double> scores;
+        scores.reserve(cands.size());
+        for (const auto& sch : cands) {
+            scores.push_back(analyzer_.score(task, sch));
+        }
+        return scores;
+    };
+    return evo.run(evo_config, fitness, seeds, rng, n_evaluated);
+}
+
+} // namespace pruner

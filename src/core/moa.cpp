@@ -1,0 +1,39 @@
+#include "core/moa.hpp"
+
+#include "nn/optimizer.hpp"
+#include "support/logging.hpp"
+
+namespace pruner {
+
+MoAAdapter::MoAAdapter(CostModel* target, double momentum)
+    : target_(target), momentum_(momentum)
+{
+    PRUNER_CHECK(target_ != nullptr);
+    PRUNER_CHECK(momentum >= 0.0 && momentum <= 1.0);
+    siamese_ = target_->getParams();
+}
+
+void
+MoAAdapter::initializeFromPretrained(const std::vector<double>& params)
+{
+    PRUNER_CHECK_MSG(params.size() == siamese_.size(),
+                     "pretrained snapshot does not match model size");
+    siamese_ = params;
+    target_->setParams(params);
+}
+
+double
+MoAAdapter::roundUpdate(const std::vector<MeasuredRecord>& records,
+                        int epochs)
+{
+    // 1. Load Siamese weights into the target (high-quality init).
+    target_->setParams(siamese_);
+    // 2. Fine-tune the target on online data.
+    const double loss = target_->train(records, epochs);
+    // 3. Momentum-update the Siamese model toward the fine-tuned target.
+    const std::vector<double> tuned = target_->getParams();
+    momentumUpdate(siamese_, tuned, momentum_);
+    return loss;
+}
+
+} // namespace pruner

@@ -1,0 +1,52 @@
+#pragma once
+
+/**
+ * @file moa.hpp
+ * Momentum online Adaptation (paper Section 4.3).
+ *
+ * MoA maintains a Siamese copy of a cross-platform pre-trained cost model.
+ * Each online update round:
+ *   1. the target model is (re)initialized from the Siamese weights,
+ *   2. the target fine-tunes on the online-collected data,
+ *   3. the Siamese weights take a momentum step toward the target:
+ *        phi_s <- m * phi_s + (1 - m) * phi_t,   m = 0.99.
+ * The Siamese model needs no forward/backward of its own, so the transfer
+ * adds essentially no overhead; the bidirectional feedback damps the bias
+ * of small early online datasets.
+ */
+
+#include <memory>
+
+#include "cost/cost_model.hpp"
+
+namespace pruner {
+
+/** MoA wrapper around any CostModel. */
+class MoAAdapter
+{
+  public:
+    /** @param target    the model used for prediction (owned elsewhere)
+     *  @param momentum  the EMA coefficient m (paper: 0.99) */
+    MoAAdapter(CostModel* target, double momentum = 0.99);
+
+    /** Seed both Siamese and target from a pre-trained snapshot. */
+    void initializeFromPretrained(const std::vector<double>& params);
+
+    /**
+     * One MoA online update: load Siamese weights into the target,
+     * fine-tune on @p records, then momentum-update the Siamese weights.
+     * Returns the fine-tuning loss.
+     */
+    double roundUpdate(const std::vector<MeasuredRecord>& records,
+                       int epochs);
+
+    double momentum() const { return momentum_; }
+    const std::vector<double>& siameseParams() const { return siamese_; }
+
+  private:
+    CostModel* target_;
+    std::vector<double> siamese_;
+    double momentum_;
+};
+
+} // namespace pruner

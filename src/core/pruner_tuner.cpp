@@ -1,0 +1,181 @@
+#include "core/pruner_tuner.hpp"
+
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace pruner {
+
+PrunerPolicy::PrunerPolicy(const DeviceSpec& device, PrunerConfig config,
+                           uint64_t model_seed)
+    : device_(device),
+      config_(std::move(config)),
+      model_(std::make_unique<PaCMModel>(device, model_seed, config_.pacm)),
+      explorer_(device, config_.sa)
+{
+    if (!config_.pretrained.empty()) {
+        model_->setParams(config_.pretrained);
+    }
+}
+
+std::string
+PrunerPolicy::name() const
+{
+    return config_.use_moa ? "MoA-Pruner" : "Pruner";
+}
+
+TuneResult
+PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
+{
+    TuneResult result;
+    result.policy = name();
+
+    SimClock clock;
+    Rng rng(opts.seed);
+    Measurer measurer(device_, &clock, hashCombine(opts.seed, 0x9EA5),
+                      opts.constants);
+    TuningRecordDb db;
+    TaskScheduler scheduler(workload);
+
+    std::unique_ptr<MoAAdapter> moa;
+    if (config_.use_moa) {
+        moa = std::make_unique<MoAAdapter>(model_.get(),
+                                           config_.moa_momentum);
+        if (!config_.pretrained.empty()) {
+            moa->initializeFromPretrained(config_.pretrained);
+        }
+    }
+
+    const auto& constants = opts.constants;
+    for (int round = 0; round < opts.rounds; ++round) {
+        const size_t idx = scheduler.nextTask(db, rng);
+        const SubgraphTask& task = workload.tasks[idx].task;
+        ScheduleSampler sampler(task, device_);
+
+        std::vector<Schedule> seeds;
+        if (const Schedule* best = db.bestSchedule(task)) {
+            seeds.push_back(*best);
+        }
+
+        // --- Draft ------------------------------------------------------
+        std::vector<Schedule> draft;
+        if (config_.use_lse) {
+            size_t sa_evals = 0;
+            const auto spec = explorer_.explore(task, config_.lse, seeds,
+                                                rng, &sa_evals);
+            clock.charge(CostCategory::Exploration,
+                         static_cast<double>(sa_evals) *
+                             constants.sa_eval_per_candidate);
+            draft.reserve(spec.size() + config_.random_init);
+            for (const auto& scored : spec) {
+                draft.push_back(scored.sch);
+            }
+            // Algorithm 1, line 10: union with random-init schedules to
+            // keep exploration randomness.
+            const auto random_part =
+                sampler.sampleMany(rng, config_.random_init);
+            draft.insert(draft.end(), random_part.begin(),
+                         random_part.end());
+            // Mutation neighbourhood of the incumbent: judged by PaCM, so
+            // hill-climbing is not capped by the draft model's biases.
+            if (!seeds.empty() && config_.incumbent_mutants > 0) {
+                ScheduleMutator mutator(task, device_);
+                for (size_t m = 0; m < config_.incumbent_mutants; ++m) {
+                    draft.push_back(mutator.mutate(seeds.front(), rng));
+                }
+            }
+        } else {
+            // Ablation "w/o LSE": the learned model must score the entire
+            // evolutionary population, exactly like the Ansor-style loop.
+            EvolutionarySearch evo(task, device_);
+            EvolutionConfig evo_config;
+            evo_config.out_size = config_.lse.spec_size;
+            size_t evals = 0;
+            const auto ranked = evo.run(
+                evo_config,
+                [&](const std::vector<Schedule>& cands) {
+                    return model_->predict(task, cands);
+                },
+                seeds, rng, &evals);
+            clock.charge(CostCategory::Exploration,
+                         static_cast<double>(evals) *
+                             model_->evalCostPerCandidate());
+            draft.reserve(ranked.size());
+            for (const auto& scored : ranked) {
+                draft.push_back(scored.sch);
+            }
+        }
+
+        // --- Verify -----------------------------------------------------
+        const std::vector<double> scores = model_->predict(task, draft);
+        clock.charge(CostCategory::Exploration,
+                     static_cast<double>(draft.size()) *
+                         model_->evalCostPerCandidate());
+        std::vector<ScoredSchedule> ranked;
+        ranked.reserve(draft.size());
+        for (size_t i = 0; i < draft.size(); ++i) {
+            ranked.push_back({draft[i], scores[i]});
+        }
+        std::sort(ranked.begin(), ranked.end(),
+                  [](const auto& a, const auto& b) {
+                      return a.score > b.score;
+                  });
+
+        // --- Measure ------------------------------------------------------
+        const auto to_measure = selectForMeasurement(
+            ranked, task, db, sampler,
+            static_cast<size_t>(opts.measures_per_round), opts.eps_greedy,
+            rng);
+        const auto latencies = measurer.measure(task, to_measure);
+        for (size_t i = 0; i < to_measure.size(); ++i) {
+            if (std::isfinite(latencies[i])) {
+                db.add({task, to_measure[i], latencies[i]});
+            }
+        }
+        scheduler.observe(idx, db.bestLatency(task));
+
+        // --- Online model update -----------------------------------------
+        if (opts.online_training && config_.online_finetune &&
+            db.size() >= 16) {
+            if (config_.use_moa) {
+                if (round % config_.moa_train_every == 0) {
+                    // MoA lowers the training *frequency*; each update
+                    // compensates with proportionally more fine-tune
+                    // epochs from the Siamese init, so the total gradient
+                    // work matches the per-round baseline while the
+                    // simulated training time is charged less often.
+                    moa->roundUpdate(db.recentWindow(768),
+                                     opts.train_epochs *
+                                         config_.moa_train_every);
+                    clock.charge(CostCategory::Training,
+                                 model_->trainCostPerRound());
+                }
+            } else {
+                model_->train(db.recentWindow(768), opts.train_epochs);
+                clock.charge(CostCategory::Training,
+                             model_->trainCostPerRound());
+            }
+        }
+
+        const double e2e = workloadBest(workload, db);
+        if (std::isfinite(e2e)) {
+            result.curve.push_back({clock.now(), e2e});
+        }
+    }
+
+    result.best_per_task.reserve(workload.tasks.size());
+    for (const auto& inst : workload.tasks) {
+        result.best_per_task.push_back(db.bestLatency(inst.task));
+    }
+    result.final_latency = workloadBest(workload, db);
+    result.total_time_s = clock.now();
+    result.exploration_s = clock.total(CostCategory::Exploration);
+    result.training_s = clock.total(CostCategory::Training);
+    result.measurement_s = clock.total(CostCategory::Measurement);
+    result.compile_s = clock.total(CostCategory::Compile);
+    result.trials = measurer.totalTrials();
+    result.failed_trials = measurer.failedTrials();
+    return result;
+}
+
+} // namespace pruner

@@ -1,0 +1,74 @@
+#include "core/symbol_analyzer.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace pruner {
+
+SymbolAnalyzer::SymbolAnalyzer(const DeviceSpec& device,
+                               SymbolAnalyzerConfig config)
+    : device_(device), config_(config)
+{
+}
+
+double
+SymbolAnalyzer::estimateLatency(const SubgraphTask& task,
+                                const Schedule& sch) const
+{
+    const SymbolSet sym = extractSymbols(task, sch);
+    const PenaltySet pen = computePenalties(sym, device_);
+
+    double peak_flops = device_.peak_flops;
+    if (task.dtype == DType::Fp16Tc && device_.has_tensorcore) {
+        // TensorCore path: higher peak, scaled by the WMMA tile-alignment
+        // symbol (the MetaSchedule-integration extension of Section 6.4).
+        peak_flops = device_.tc_peak_flops * std::max(sym.tc_alignment,
+                                                      1e-3);
+    }
+
+    // The paper defines P_l0,c = 1 + S2/S1 (> 1). Used literally it would
+    // inflate U_p far above T_p and erase the compute term, so we apply the
+    // monotone saturating map x -> x / (x + K/4) (K = padded reduction
+    // length). This keeps the penalty in (0, 1] and preserves the paper's
+    // ordering between schedules of the same task.
+    double k_padded = 1.0;
+    for (const auto& r : sch.reduction()) {
+        k_padded *= static_cast<double>(r.product());
+    }
+    const double p_l0c_raw = pen.p_l0_c; // 1 + S2/S1
+    const double p_l0c =
+        p_l0c_raw / (p_l0c_raw + std::max(k_padded, 1.0) / 4.0);
+    const double compute_product =
+        config_.use_compute_penalties
+            ? p_l0c * pen.p_l1_c * pen.alpha_l1 * pen.p_l2_c
+            : 1.0;
+    const double u_p = peak_flops * compute_product;
+
+    const double bytes_per_elem = dtypeBytes(task.dtype);
+    double total = 0.0;
+    for (const auto& stmt : sym.statements) {
+        if (stmt.s8_flops > 0.0) {
+            total += stmt.s8_flops / u_p;
+        }
+        if (stmt.s5_traffic > 0.0) {
+            const double mem_product =
+                config_.use_memory_penalties
+                    ? pen.memoryProduct() * statementP2m(stmt, device_)
+                    : 1.0;
+            const double u_m = device_.peak_bandwidth * mem_product;
+            total += stmt.s5_traffic * bytes_per_elem / u_m;
+        }
+    }
+    PRUNER_CHECK_MSG(total > 0.0, "SA produced non-positive latency for "
+                                      << task.key);
+    return total;
+}
+
+double
+SymbolAnalyzer::score(const SubgraphTask& task, const Schedule& sch) const
+{
+    return -estimateLatency(task, sch);
+}
+
+} // namespace pruner

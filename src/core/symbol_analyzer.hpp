@@ -1,0 +1,61 @@
+#pragma once
+
+/**
+ * @file symbol_analyzer.hpp
+ * The Symbol-based Analyzer (SA) — the paper's draft model (Eq. 1).
+ *
+ * SA is the naive empirical-formula cost model that drives the Latent
+ * Schedule Explorer. It prices each buffer statement separately:
+ *
+ *   U_p = T_p * prod_l P_{l,c}        (utilized compute throughput)
+ *   U_m = T_m * prod_l P_{l,m}        (utilized memory bandwidth)
+ *   L_c^i = S8_i / U_p,  L_m^i = S5_i / U_m,  L_total = sum_i (L_c + L_m)
+ *
+ * It is intentionally simpler than the ground-truth simulator: it knows
+ * nothing about caches, bank conflicts, unrolling or latency hiding, so it
+ * correlates with — but does not equal — measured latency. That gap is
+ * exactly why the paper verifies the drafted candidates with a learned
+ * model.
+ *
+ * The `use_compute_penalties` / `use_memory_penalties` switches implement
+ * the Table 10 ablations (w/o P_{l,c} and w/o P_{l,m}).
+ */
+
+#include "core/penalty.hpp"
+#include "device/device_spec.hpp"
+#include "ir/task.hpp"
+#include "sched/schedule.hpp"
+
+namespace pruner {
+
+/** Configuration of the Symbol-based Analyzer. */
+struct SymbolAnalyzerConfig
+{
+    bool use_compute_penalties = true; ///< ablation: drop P_{l,c} if false
+    bool use_memory_penalties = true;  ///< ablation: drop P_{l,m} if false
+};
+
+/** The draft model: analytic latency estimate from symbols + penalties. */
+class SymbolAnalyzer
+{
+  public:
+    explicit SymbolAnalyzer(const DeviceSpec& device,
+                            SymbolAnalyzerConfig config = {});
+
+    /** Estimated latency in seconds (Eq. 1). Lower is better. */
+    double estimateLatency(const SubgraphTask& task,
+                           const Schedule& sch) const;
+
+    /** Hardware-fitness score used by the GA: negative latency, so higher
+     *  is better. */
+    double score(const SubgraphTask& task, const Schedule& sch) const;
+
+    const DeviceSpec& device() const { return device_; }
+    const SymbolAnalyzerConfig& config() const { return config_; }
+
+  private:
+    DeviceSpec device_;
+    SymbolAnalyzerConfig config_;
+};
+
+} // namespace pruner

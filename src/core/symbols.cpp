@@ -1,0 +1,197 @@
+#include "core/symbols.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace pruner {
+
+double
+SymbolSet::totalTraffic() const
+{
+    double total = 0.0;
+    for (const auto& s : statements) {
+        total += s.s5_traffic;
+    }
+    return total;
+}
+
+double
+SymbolSet::totalFlops() const
+{
+    double total = 0.0;
+    for (const auto& s : statements) {
+        total += s.s8_flops;
+    }
+    return total;
+}
+
+namespace {
+
+/** 16-alignment utilization for a tile length (TensorCore WMMA shape). */
+double
+tcAlign(int64_t tile)
+{
+    if (tile <= 0) {
+        return 1.0;
+    }
+    const int64_t rounded = roundUp(tile, 16);
+    return static_cast<double>(tile) / static_cast<double>(rounded);
+}
+
+} // namespace
+
+SymbolSet
+extractSymbols(const SubgraphTask& task, const Schedule& sch)
+{
+    PRUNER_CHECK(sch.spatial().size() == task.spatial.size());
+    PRUNER_CHECK(sch.reduction().size() == task.reduction.size());
+
+    const size_t n_sp = task.spatial.size();
+    const size_t n_rd = task.reduction.size();
+
+    // Per-axis padded extents, block tiles, thread register tiles.
+    std::vector<double> padded_sp(n_sp), block_tile(n_sp), reg_tile(n_sp),
+        block_count(n_sp);
+    for (size_t a = 0; a < n_sp; ++a) {
+        const auto& s = sch.spatial()[a];
+        padded_sp[a] = static_cast<double>(s.product());
+        block_tile[a] = static_cast<double>(s.f[1] * s.f[2] * s.f[3] *
+                                            s.f[4]);
+        reg_tile[a] = static_cast<double>(s.regTile());
+        block_count[a] = static_cast<double>(s.f[kBlock]);
+    }
+    std::vector<double> padded_rd(n_rd), inner_rd(n_rd);
+    for (size_t r = 0; r < n_rd; ++r) {
+        const auto& k = sch.reduction()[r];
+        padded_rd[r] = static_cast<double>(k.product());
+        inner_rd[r] = static_cast<double>(k.innerProduct());
+    }
+
+    SymbolSet sym;
+    sym.s4_threads = static_cast<double>(sch.threadsPerBlock());
+    sym.s6_blocks = static_cast<double>(sch.numBlocks());
+
+    // --- S1: register allocation per thread; S3: shared memory per block.
+    for (const auto& tensor : task.tensors) {
+        double l0 = 1.0;
+        for (int a : tensor.spatial_axes) {
+            l0 *= reg_tile[a];
+        }
+        sym.s1_l0_alloc += l0;
+        if (!tensor.is_output && sch.cacheShared()) {
+            double l1 = 1.0;
+            for (int a : tensor.spatial_axes) {
+                l1 *= block_tile[a];
+            }
+            for (int r : tensor.reduction_axes) {
+                l1 *= inner_rd[r];
+            }
+            sym.s3_l1_alloc += l1;
+        }
+    }
+
+    // --- S2: compute per thread (register tile x full padded reduction).
+    sym.s2_l0_comp = 1.0;
+    for (size_t a = 0; a < n_sp; ++a) {
+        sym.s2_l0_comp *= reg_tile[a];
+    }
+    for (size_t r = 0; r < n_rd; ++r) {
+        sym.s2_l0_comp *= padded_rd[r];
+    }
+
+    // --- Per-statement symbols.
+    double padded_points = 1.0;
+    for (size_t a = 0; a < n_sp; ++a) {
+        padded_points *= padded_sp[a];
+    }
+    double padded_reduction = 1.0;
+    for (size_t r = 0; r < n_rd; ++r) {
+        padded_reduction *= padded_rd[r];
+    }
+
+    for (size_t t = 0; t < task.tensors.size(); ++t) {
+        const auto& tensor = task.tensors[t];
+        if (tensor.is_output) {
+            continue;
+        }
+        StatementSymbols stmt;
+        stmt.kind = StatementSymbols::Kind::SharedLoad;
+        stmt.tensor = static_cast<int>(t);
+        // Traffic: full padded extent along participating spatial axes,
+        // one reload per block along non-participating spatial axes
+        // (paper: L2_A_traffic = Prod([I0..I4, J0, K0..K2])); loads of
+        // tensors not indexed by a reduction axis are hoisted out of it.
+        double traffic = 1.0;
+        for (size_t a = 0; a < n_sp; ++a) {
+            const bool participates =
+                std::find(tensor.spatial_axes.begin(),
+                          tensor.spatial_axes.end(),
+                          static_cast<int>(a)) != tensor.spatial_axes.end();
+            traffic *= participates ? padded_sp[a] : block_count[a];
+        }
+        for (size_t r = 0; r < n_rd; ++r) {
+            const bool participates =
+                std::find(tensor.reduction_axes.begin(),
+                          tensor.reduction_axes.end(), static_cast<int>(r))
+                != tensor.reduction_axes.end();
+            if (participates) {
+                traffic *= padded_rd[r];
+            }
+        }
+        stmt.s5_traffic = traffic;
+        if (tensor.contiguous_spatial >= 0) {
+            stmt.s7_trans_dim = block_tile[tensor.contiguous_spatial];
+        } else if (tensor.contiguous_reduction >= 0) {
+            stmt.s7_trans_dim = inner_rd[tensor.contiguous_reduction];
+        } else {
+            stmt.s7_trans_dim = 1.0;
+        }
+        sym.statements.push_back(stmt);
+    }
+
+    {
+        StatementSymbols compute;
+        compute.kind = StatementSymbols::Kind::Compute;
+        compute.s8_flops =
+            task.flops_per_point * padded_points * padded_reduction;
+        compute.s7_trans_dim = 1.0;
+        sym.statements.push_back(compute);
+    }
+
+    {
+        const auto& out = task.tensors[task.outputTensorIndex()];
+        StatementSymbols store;
+        store.kind = StatementSymbols::Kind::OutputStore;
+        store.tensor = task.outputTensorIndex();
+        double traffic = 1.0;
+        for (int a : out.spatial_axes) {
+            traffic *= padded_sp[a];
+        }
+        store.s5_traffic = traffic;
+        store.s8_flops = task.tail_flops_per_output * traffic;
+        if (out.contiguous_spatial >= 0) {
+            store.s7_trans_dim = block_tile[out.contiguous_spatial];
+        } else {
+            store.s7_trans_dim = 1.0;
+        }
+        sym.statements.push_back(store);
+    }
+
+    // --- TensorCore alignment symbol (Section 6.4: the extra Symbol that
+    // describes TensorCore resource utilization).
+    if (task.dtype == DType::Fp16Tc && n_rd > 0) {
+        double align = 1.0;
+        for (size_t a = 0; a < n_sp; ++a) {
+            align *= tcAlign(static_cast<int64_t>(block_tile[a]));
+        }
+        for (size_t r = 0; r < n_rd; ++r) {
+            align *= tcAlign(static_cast<int64_t>(inner_rd[r]));
+        }
+        sym.tc_alignment = align;
+    }
+
+    return sym;
+}
+
+} // namespace pruner

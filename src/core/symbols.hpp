@@ -1,0 +1,69 @@
+#pragma once
+
+/**
+ * @file symbols.hpp
+ * Hardware-aware symbol extraction (paper Section 4.1, Table 2, Figure 3).
+ *
+ * Given a task and a schedule, the extractor walks the buffer statements of
+ * the (conceptual) transformed program — one shared-memory load per cached
+ * input, the register-level compute statement, and the output store — and
+ * produces the eight symbols of Table 2:
+ *
+ *   L0: S1 L0MemAlloc (register floats/thread), S2 L0CompCount
+ *   L1: S3 L1MemAlloc (shared floats/block),    S4 L1ParaInfo (threads)
+ *   L2: S5 L2MemFootprint (global traffic),     S6 L2ParaInfo (blocks),
+ *       S7 L2TransDim (innermost access len),   S8 L2CompCount (flops)
+ *
+ * S5/S7/S8 are kept per-statement so the analyzer can price each statement
+ * separately as in Eq. 1; the rest are whole-program quantities.
+ *
+ * All products use the *padded* factor products, so padding waste is
+ * naturally charged to the schedule.
+ */
+
+#include <vector>
+
+#include "ir/task.hpp"
+#include "sched/schedule.hpp"
+
+namespace pruner {
+
+/** Symbols attached to one buffer statement of the transformed program. */
+struct StatementSymbols
+{
+    enum class Kind : int {
+        SharedLoad = 0,  ///< global -> shared staging of one input
+        Compute = 1,     ///< register-level FMA statement
+        OutputStore = 2, ///< registers -> global write of the output
+    };
+    Kind kind = Kind::Compute;
+    int tensor = -1;      ///< index into task.tensors (loads/stores)
+    double s5_traffic = 0.0;   ///< global elements moved by this statement
+    double s7_trans_dim = 1.0; ///< innermost contiguous access length
+    double s8_flops = 0.0;     ///< FLOPs executed by this statement
+};
+
+/** The full symbol set for one (task, schedule) pair. */
+struct SymbolSet
+{
+    double s1_l0_alloc = 0.0;  ///< register floats per thread
+    double s2_l0_comp = 0.0;   ///< MACs per thread
+    double s3_l1_alloc = 0.0;  ///< shared-memory floats per block
+    double s4_threads = 0.0;   ///< threads per block
+    double s6_blocks = 0.0;    ///< thread blocks in the grid
+    /** TensorCore tile-alignment factor in (0,1]; 1 when not applicable. */
+    double tc_alignment = 1.0;
+    std::vector<StatementSymbols> statements;
+
+    /** Total global traffic (sum of per-statement S5), in elements. */
+    double totalTraffic() const;
+
+    /** Total FLOPs (sum of per-statement S8). */
+    double totalFlops() const;
+};
+
+/** Extract the symbol set for @p sch applied to @p task. The schedule must
+ *  be structurally valid for the task. */
+SymbolSet extractSymbols(const SubgraphTask& task, const Schedule& sch);
+
+} // namespace pruner

@@ -1,0 +1,75 @@
+#include "cost/cost_model.hpp"
+
+#include <functional>
+#include <unordered_map>
+
+#include "nn/loss.hpp"
+#include "support/logging.hpp"
+
+namespace pruner {
+
+namespace detail {
+
+std::vector<std::vector<size_t>>
+groupByTask(const std::vector<MeasuredRecord>& records)
+{
+    std::unordered_map<uint64_t, size_t> index_of;
+    std::vector<std::vector<size_t>> groups;
+    for (size_t i = 0; i < records.size(); ++i) {
+        const uint64_t key = records[i].task.hash();
+        auto [it, inserted] = index_of.try_emplace(key, groups.size());
+        if (inserted) {
+            groups.emplace_back();
+        }
+        groups[it->second].push_back(i);
+    }
+    return groups;
+}
+
+} // namespace detail
+
+double
+trainRankingLoop(
+    const std::vector<MeasuredRecord>& records, int epochs, size_t group_cap,
+    Rng& rng,
+    const std::function<std::vector<double>(const std::vector<size_t>&)>&
+        infer_scores,
+    const std::function<void(size_t, double)>& fit_one,
+    const std::function<void()>& on_batch_end)
+{
+    auto groups = detail::groupByTask(records);
+    double last_epoch_loss = 0.0;
+    for (int epoch = 0; epoch < epochs; ++epoch) {
+        rng.shuffle(groups);
+        double epoch_loss = 0.0;
+        size_t batches = 0;
+        for (auto& group : groups) {
+            if (group.size() < 2) {
+                continue;
+            }
+            rng.shuffle(group);
+            std::vector<size_t> subset(
+                group.begin(),
+                group.begin() + std::min(group.size(), group_cap));
+            const std::vector<double> scores = infer_scores(subset);
+            std::vector<double> latencies;
+            latencies.reserve(subset.size());
+            for (size_t idx : subset) {
+                latencies.push_back(records[idx].latency);
+            }
+            const LossResult loss = lambdaRankLoss(scores, latencies);
+            for (size_t i = 0; i < subset.size(); ++i) {
+                if (loss.grad[i] != 0.0) {
+                    fit_one(subset[i], loss.grad[i]);
+                }
+            }
+            on_batch_end();
+            epoch_loss += loss.loss;
+            ++batches;
+        }
+        last_epoch_loss = batches > 0 ? epoch_loss / batches : 0.0;
+    }
+    return last_epoch_loss;
+}
+
+} // namespace pruner

@@ -1,0 +1,101 @@
+#pragma once
+
+/**
+ * @file cost_model.hpp
+ * Common interface for learned cost models plus the shared ranking
+ * training loop.
+ *
+ * All three learned models in the paper's evaluation (TenSetMLP, TLP, and
+ * Pruner's PaCM) share the same contract: score a batch of candidate
+ * schedules for one task (higher = predicted faster) and train from
+ * measured (task, schedule, latency) records with a ranking objective.
+ * The simulated per-candidate inference cost and per-round training cost
+ * differ per model and feed the SimClock.
+ */
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "device/device_spec.hpp"
+#include "ir/task.hpp"
+#include "sched/schedule.hpp"
+#include "support/rng.hpp"
+
+namespace pruner {
+
+/** One measured data point (the unit of both online and offline data). */
+struct MeasuredRecord
+{
+    SubgraphTask task;
+    Schedule sch;
+    double latency = 0.0; ///< measured latency in seconds (finite)
+};
+
+/** Abstract learned cost model. */
+class CostModel
+{
+  public:
+    virtual ~CostModel() = default;
+
+    /** Model name for reports ("TenSetMLP", "TLP", "PaCM"). */
+    virtual std::string name() const = 0;
+
+    /** Scores for candidate schedules of one task; higher = faster. Must
+     *  be const and reentrant (used inside search loops). */
+    virtual std::vector<double> predict(
+        const SubgraphTask& task,
+        const std::vector<Schedule>& candidates) const = 0;
+
+    /** Train on measured records (grouped by task internally). Returns
+     *  the final average ranking loss. */
+    virtual double train(const std::vector<MeasuredRecord>& records,
+                         int epochs) = 0;
+
+    /** Simulated seconds of exploration cost per scored candidate. */
+    virtual double evalCostPerCandidate() const = 0;
+
+    /** Simulated seconds of training cost per tuning round. */
+    virtual double trainCostPerRound() const = 0;
+
+    /** Flat parameter snapshot (MoA / pre-train hand-off). */
+    virtual std::vector<double> getParams() = 0;
+
+    /** Restore a snapshot produced by getParams() of the same model. */
+    virtual void setParams(const std::vector<double>& flat) = 0;
+
+    /** Deep copy. */
+    virtual std::unique_ptr<CostModel> clone() const = 0;
+};
+
+namespace detail {
+
+/** Group record indices by task hash (stable order of first appearance). */
+std::vector<std::vector<size_t>>
+groupByTask(const std::vector<MeasuredRecord>& records);
+
+} // namespace detail
+
+/**
+ * Shared LambdaRank training loop.
+ *
+ * @param records  measured data
+ * @param epochs   passes over the grouped data
+ * @param group_cap  max candidates per group per epoch (LambdaRank is
+ *                   quadratic in group size)
+ * @param rng      sampling source
+ * @param infer_scores  cache-free scoring of a subset of one group
+ * @param fit_one  forward+backward for record @p idx with dL/dscore
+ * @param on_batch_end  apply the optimizer step
+ * Returns the last epoch's mean loss.
+ */
+double trainRankingLoop(
+    const std::vector<MeasuredRecord>& records, int epochs, size_t group_cap,
+    Rng& rng,
+    const std::function<std::vector<double>(const std::vector<size_t>&)>&
+        infer_scores,
+    const std::function<void(size_t, double)>& fit_one,
+    const std::function<void()>& on_batch_end);
+
+} // namespace pruner

@@ -1,0 +1,125 @@
+#include "cost/mlp_cost_model.hpp"
+
+#include "nn/optimizer.hpp"
+#include "support/logging.hpp"
+#include "support/sim_clock.hpp"
+
+namespace pruner {
+
+namespace {
+constexpr size_t kHidden = 64;
+} // namespace
+
+MlpCostModel::MlpCostModel(const DeviceSpec& device, uint64_t seed)
+    : device_(device), rng_(seed)
+{
+    embed_ = Mlp({kStatementFeatureDim, kHidden, kHidden}, rng_);
+    head_ = Mlp({kHidden, kHidden, 1}, rng_);
+}
+
+double
+MlpCostModel::scoreOne(const SubgraphTask& task, const Schedule& sch) const
+{
+    const Matrix feats = extractStatementFeatures(task, sch, device_);
+    const Matrix embedded = embed_.infer(feats);
+    const Matrix pooled = embedded.colSum();
+    return head_.infer(pooled).at(0, 0);
+}
+
+std::vector<double>
+MlpCostModel::predict(const SubgraphTask& task,
+                      const std::vector<Schedule>& candidates) const
+{
+    std::vector<double> scores;
+    scores.reserve(candidates.size());
+    for (const auto& sch : candidates) {
+        scores.push_back(scoreOne(task, sch));
+    }
+    return scores;
+}
+
+double
+MlpCostModel::train(const std::vector<MeasuredRecord>& records, int epochs)
+{
+    if (records.size() < 2) {
+        return 0.0;
+    }
+    std::vector<ParamRef> params = paramRefs();
+    Adam adam(params, 1e-3);
+    adam.zeroGrad();
+
+    auto infer_scores = [&](const std::vector<size_t>& subset) {
+        std::vector<double> scores;
+        scores.reserve(subset.size());
+        for (size_t idx : subset) {
+            scores.push_back(scoreOne(records[idx].task, records[idx].sch));
+        }
+        return scores;
+    };
+    auto fit_one = [&](size_t idx, double dscore) {
+        const Matrix feats = extractStatementFeatures(
+            records[idx].task, records[idx].sch, device_);
+        const Matrix embedded = embed_.forward(feats);
+        const Matrix pooled = embedded.colSum();
+        head_.forward(pooled);
+        Matrix dy(1, 1);
+        dy.at(0, 0) = dscore;
+        const Matrix dpooled = head_.backward(dy);
+        // Sum-pooling backward: broadcast to every statement row.
+        Matrix dembedded(embedded.rows(), embedded.cols());
+        for (size_t r = 0; r < dembedded.rows(); ++r) {
+            for (size_t c = 0; c < dembedded.cols(); ++c) {
+                dembedded.at(r, c) = dpooled.at(0, c);
+            }
+        }
+        embed_.backward(dembedded);
+    };
+    auto on_batch_end = [&]() {
+        adam.clipGradNorm(5.0);
+        adam.step();
+        adam.zeroGrad();
+    };
+    return trainRankingLoop(records, epochs, /*group_cap=*/48, rng_,
+                            infer_scores, fit_one, on_batch_end);
+}
+
+double
+MlpCostModel::evalCostPerCandidate() const
+{
+    return CostConstants::defaults().mlp_eval_per_candidate;
+}
+
+double
+MlpCostModel::trainCostPerRound() const
+{
+    return CostConstants::defaults().mlp_train_per_round;
+}
+
+std::vector<ParamRef>
+MlpCostModel::paramRefs()
+{
+    std::vector<ParamRef> params;
+    embed_.collectParams(params);
+    head_.collectParams(params);
+    return params;
+}
+
+std::vector<double>
+MlpCostModel::getParams()
+{
+    return flattenParams(paramRefs());
+}
+
+void
+MlpCostModel::setParams(const std::vector<double>& flat)
+{
+    unflattenParams(paramRefs(), flat);
+}
+
+std::unique_ptr<CostModel>
+MlpCostModel::clone() const
+{
+    return std::make_unique<MlpCostModel>(*this);
+}
+
+} // namespace pruner

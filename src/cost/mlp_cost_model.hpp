@@ -1,0 +1,46 @@
+#pragma once
+
+/**
+ * @file mlp_cost_model.hpp
+ * The TenSetMLP-style learned cost model (also used as Ansor's online
+ * model in this reproduction): per-statement features through a shared
+ * MLP, sum-pooled over statements, then a linear head.
+ */
+
+#include "cost/cost_model.hpp"
+#include "feature/statement_features.hpp"
+#include "nn/layers.hpp"
+
+namespace pruner {
+
+/** Statement-feature MLP cost model (TenSetMLP). */
+class MlpCostModel : public CostModel
+{
+  public:
+    /** @param device  platform whose features/labels this model sees
+     *  @param seed    weight-init / training-shuffle seed */
+    MlpCostModel(const DeviceSpec& device, uint64_t seed);
+
+    std::string name() const override { return "TenSetMLP"; }
+    std::vector<double>
+    predict(const SubgraphTask& task,
+            const std::vector<Schedule>& candidates) const override;
+    double train(const std::vector<MeasuredRecord>& records,
+                 int epochs) override;
+    double evalCostPerCandidate() const override;
+    double trainCostPerRound() const override;
+    std::vector<double> getParams() override;
+    void setParams(const std::vector<double>& flat) override;
+    std::unique_ptr<CostModel> clone() const override;
+
+  private:
+    double scoreOne(const SubgraphTask& task, const Schedule& sch) const;
+    std::vector<ParamRef> paramRefs();
+
+    DeviceSpec device_;
+    Rng rng_;
+    Mlp embed_; ///< per-statement encoder
+    Mlp head_;  ///< pooled-vector scorer
+};
+
+} // namespace pruner

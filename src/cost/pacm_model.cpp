@@ -1,0 +1,185 @@
+#include "cost/pacm_model.hpp"
+
+#include "nn/optimizer.hpp"
+#include "support/logging.hpp"
+#include "support/sim_clock.hpp"
+
+namespace pruner {
+
+namespace {
+constexpr size_t kHidden = 64;
+} // namespace
+
+PaCMModel::PaCMModel(const DeviceSpec& device, uint64_t seed, PaCMConfig cfg)
+    : device_(device), rng_(seed), cfg_(cfg)
+{
+    PRUNER_CHECK_MSG(cfg_.use_statement_features ||
+                         cfg_.use_dataflow_features,
+                     "PaCM needs at least one feature branch");
+    stmt_embed_ = Mlp({kStatementFeatureDim, kHidden, kHidden, kHidden},
+                      rng_);
+    flow_embed_ = Mlp({kDataflowFeatureDim, kHidden, kHidden, kHidden},
+                      rng_);
+    attn_ = SelfAttention(kHidden, rng_);
+    head_ = Mlp({2 * kHidden, kHidden, 1}, rng_);
+}
+
+double
+PaCMModel::scoreOne(const SubgraphTask& task, const Schedule& sch) const
+{
+    Matrix fused(1, 2 * kHidden);
+    if (cfg_.use_statement_features) {
+        const Matrix stmt_feats =
+            extractStatementFeatures(task, sch, device_);
+        const Matrix pooled = stmt_embed_.infer(stmt_feats).colSum();
+        for (size_t c = 0; c < kHidden; ++c) {
+            fused.at(0, c) = pooled.at(0, c);
+        }
+    }
+    if (cfg_.use_dataflow_features) {
+        const Matrix flow_feats =
+            extractDataflowFeatures(task, sch, device_);
+        const Matrix ctx = attn_.infer(flow_embed_.infer(flow_feats));
+        const Matrix pooled = ctx.colMean();
+        for (size_t c = 0; c < kHidden; ++c) {
+            fused.at(0, kHidden + c) = pooled.at(0, c);
+        }
+    }
+    return head_.infer(fused).at(0, 0);
+}
+
+void
+PaCMModel::fitOne(const MeasuredRecord& rec, double dscore)
+{
+    Matrix fused(1, 2 * kHidden);
+    Matrix stmt_embedded;
+    if (cfg_.use_statement_features) {
+        const Matrix stmt_feats =
+            extractStatementFeatures(rec.task, rec.sch, device_);
+        stmt_embedded = stmt_embed_.forward(stmt_feats);
+        const Matrix pooled = stmt_embedded.colSum();
+        for (size_t c = 0; c < kHidden; ++c) {
+            fused.at(0, c) = pooled.at(0, c);
+        }
+    }
+    Matrix flow_ctx;
+    if (cfg_.use_dataflow_features) {
+        const Matrix flow_feats =
+            extractDataflowFeatures(rec.task, rec.sch, device_);
+        flow_ctx = attn_.forward(flow_embed_.forward(flow_feats));
+        const Matrix pooled = flow_ctx.colMean();
+        for (size_t c = 0; c < kHidden; ++c) {
+            fused.at(0, kHidden + c) = pooled.at(0, c);
+        }
+    }
+    head_.forward(fused);
+
+    Matrix dy(1, 1);
+    dy.at(0, 0) = dscore;
+    const Matrix dfused = head_.backward(dy);
+    if (cfg_.use_statement_features) {
+        Matrix dembedded(stmt_embedded.rows(), stmt_embedded.cols());
+        for (size_t r = 0; r < dembedded.rows(); ++r) {
+            for (size_t c = 0; c < kHidden; ++c) {
+                dembedded.at(r, c) = dfused.at(0, c);
+            }
+        }
+        stmt_embed_.backward(dembedded);
+    }
+    if (cfg_.use_dataflow_features) {
+        // Mean-pool backward: distribute 1/T to every step row.
+        Matrix dctx(flow_ctx.rows(), flow_ctx.cols());
+        const double inv_t = 1.0 / static_cast<double>(flow_ctx.rows());
+        for (size_t r = 0; r < dctx.rows(); ++r) {
+            for (size_t c = 0; c < kHidden; ++c) {
+                dctx.at(r, c) = dfused.at(0, kHidden + c) * inv_t;
+            }
+        }
+        const Matrix dflow = attn_.backward(dctx);
+        flow_embed_.backward(dflow);
+    }
+}
+
+std::vector<double>
+PaCMModel::predict(const SubgraphTask& task,
+                   const std::vector<Schedule>& candidates) const
+{
+    std::vector<double> scores;
+    scores.reserve(candidates.size());
+    for (const auto& sch : candidates) {
+        scores.push_back(scoreOne(task, sch));
+    }
+    return scores;
+}
+
+double
+PaCMModel::train(const std::vector<MeasuredRecord>& records, int epochs)
+{
+    if (records.size() < 2) {
+        return 0.0;
+    }
+    std::vector<ParamRef> params = paramRefs();
+    Adam adam(params, 1e-3);
+    adam.zeroGrad();
+    auto infer_scores = [&](const std::vector<size_t>& subset) {
+        std::vector<double> scores;
+        scores.reserve(subset.size());
+        for (size_t idx : subset) {
+            scores.push_back(scoreOne(records[idx].task, records[idx].sch));
+        }
+        return scores;
+    };
+    auto fit_one = [&](size_t idx, double dscore) {
+        fitOne(records[idx], dscore);
+    };
+    auto on_batch_end = [&]() {
+        adam.clipGradNorm(5.0);
+        adam.step();
+        adam.zeroGrad();
+    };
+    return trainRankingLoop(records, epochs, /*group_cap=*/48, rng_,
+                            infer_scores, fit_one, on_batch_end);
+}
+
+double
+PaCMModel::evalCostPerCandidate() const
+{
+    return CostConstants::defaults().pacm_eval_per_candidate;
+}
+
+double
+PaCMModel::trainCostPerRound() const
+{
+    return CostConstants::defaults().pacm_train_per_round;
+}
+
+std::vector<ParamRef>
+PaCMModel::paramRefs()
+{
+    std::vector<ParamRef> params;
+    stmt_embed_.collectParams(params);
+    flow_embed_.collectParams(params);
+    attn_.collectParams(params);
+    head_.collectParams(params);
+    return params;
+}
+
+std::vector<double>
+PaCMModel::getParams()
+{
+    return flattenParams(paramRefs());
+}
+
+void
+PaCMModel::setParams(const std::vector<double>& flat)
+{
+    unflattenParams(paramRefs(), flat);
+}
+
+std::unique_ptr<CostModel>
+PaCMModel::clone() const
+{
+    return std::make_unique<PaCMModel>(*this);
+}
+
+} // namespace pruner

@@ -1,0 +1,66 @@
+#pragma once
+
+/**
+ * @file pacm_model.hpp
+ * Pruner's Pattern-aware Cost Model (paper Section 4.2, Figure 4).
+ *
+ * PaCM is a multi-branch "Pattern-aware Transformer":
+ *  - statement branch: per-statement features -> 3 linear layers -> sum,
+ *  - temporal-dataflow branch: [10, 23] movement rows -> 3 linear layers ->
+ *    self-attention -> mean pool,
+ *  - concat -> linear head -> normalized score.
+ * Trained with LambdaRank on normalized latency, exactly as the paper
+ * describes. Either branch can be disabled for the Table 12 ablations
+ * (w/o S.F. and w/o T.D.F.).
+ */
+
+#include "cost/cost_model.hpp"
+#include "feature/dataflow_features.hpp"
+#include "feature/statement_features.hpp"
+#include "nn/attention.hpp"
+#include "nn/layers.hpp"
+
+namespace pruner {
+
+/** Ablation switches for PaCM's two feature branches. */
+struct PaCMConfig
+{
+    bool use_statement_features = true; ///< S.F. branch (Table 12)
+    bool use_dataflow_features = true;  ///< T.D.F. branch (Table 12)
+};
+
+/** The Pattern-aware Cost Model. */
+class PaCMModel : public CostModel
+{
+  public:
+    PaCMModel(const DeviceSpec& device, uint64_t seed, PaCMConfig cfg = {});
+
+    std::string name() const override { return "PaCM"; }
+    std::vector<double>
+    predict(const SubgraphTask& task,
+            const std::vector<Schedule>& candidates) const override;
+    double train(const std::vector<MeasuredRecord>& records,
+                 int epochs) override;
+    double evalCostPerCandidate() const override;
+    double trainCostPerRound() const override;
+    std::vector<double> getParams() override;
+    void setParams(const std::vector<double>& flat) override;
+    std::unique_ptr<CostModel> clone() const override;
+
+    const PaCMConfig& config() const { return cfg_; }
+
+  private:
+    double scoreOne(const SubgraphTask& task, const Schedule& sch) const;
+    void fitOne(const MeasuredRecord& rec, double dscore);
+    std::vector<ParamRef> paramRefs();
+
+    DeviceSpec device_;
+    Rng rng_;
+    PaCMConfig cfg_;
+    Mlp stmt_embed_;       ///< statement branch encoder
+    Mlp flow_embed_;       ///< dataflow branch encoder
+    SelfAttention attn_;   ///< dataflow context modelling
+    Mlp head_;             ///< fused scorer
+};
+
+} // namespace pruner

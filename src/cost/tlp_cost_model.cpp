@@ -1,0 +1,131 @@
+#include "cost/tlp_cost_model.hpp"
+
+#include "nn/optimizer.hpp"
+#include "support/logging.hpp"
+#include "support/sim_clock.hpp"
+
+namespace pruner {
+
+namespace {
+constexpr size_t kHidden = 64;
+} // namespace
+
+TlpCostModel::TlpCostModel(const DeviceSpec& device, uint64_t seed)
+    : device_(device), rng_(seed)
+{
+    embed_ = Mlp({kPrimitiveFeatureDim, kHidden}, rng_);
+    attn_ = SelfAttention(kHidden, rng_);
+    head_ = Mlp({kHidden, kHidden, 1}, rng_);
+}
+
+double
+TlpCostModel::scoreOne(const SubgraphTask& task, const Schedule& sch) const
+{
+    const Matrix feats = extractPrimitiveFeatures(task, sch);
+    const Matrix h = attn_.infer(embed_.infer(feats));
+    return head_.infer(h.colMean()).at(0, 0);
+}
+
+void
+TlpCostModel::fitOne(const MeasuredRecord& rec, double dscore)
+{
+    const Matrix feats = extractPrimitiveFeatures(rec.task, rec.sch);
+    const Matrix h = attn_.forward(embed_.forward(feats));
+    const Matrix pooled = h.colMean();
+    head_.forward(pooled);
+
+    Matrix dy(1, 1);
+    dy.at(0, 0) = dscore;
+    const Matrix dpooled = head_.backward(dy);
+    Matrix dh(h.rows(), h.cols());
+    const double inv_t = 1.0 / static_cast<double>(h.rows());
+    for (size_t r = 0; r < dh.rows(); ++r) {
+        for (size_t c = 0; c < dh.cols(); ++c) {
+            dh.at(r, c) = dpooled.at(0, c) * inv_t;
+        }
+    }
+    embed_.backward(attn_.backward(dh));
+}
+
+std::vector<double>
+TlpCostModel::predict(const SubgraphTask& task,
+                      const std::vector<Schedule>& candidates) const
+{
+    std::vector<double> scores;
+    scores.reserve(candidates.size());
+    for (const auto& sch : candidates) {
+        scores.push_back(scoreOne(task, sch));
+    }
+    return scores;
+}
+
+double
+TlpCostModel::train(const std::vector<MeasuredRecord>& records, int epochs)
+{
+    if (records.size() < 2) {
+        return 0.0;
+    }
+    std::vector<ParamRef> params = paramRefs();
+    Adam adam(params, 1e-3);
+    adam.zeroGrad();
+    auto infer_scores = [&](const std::vector<size_t>& subset) {
+        std::vector<double> scores;
+        scores.reserve(subset.size());
+        for (size_t idx : subset) {
+            scores.push_back(scoreOne(records[idx].task, records[idx].sch));
+        }
+        return scores;
+    };
+    auto fit_one = [&](size_t idx, double dscore) {
+        fitOne(records[idx], dscore);
+    };
+    auto on_batch_end = [&]() {
+        adam.clipGradNorm(5.0);
+        adam.step();
+        adam.zeroGrad();
+    };
+    return trainRankingLoop(records, epochs, /*group_cap=*/48, rng_,
+                            infer_scores, fit_one, on_batch_end);
+}
+
+double
+TlpCostModel::evalCostPerCandidate() const
+{
+    return CostConstants::defaults().tlp_eval_per_candidate;
+}
+
+double
+TlpCostModel::trainCostPerRound() const
+{
+    return CostConstants::defaults().tlp_train_per_round;
+}
+
+std::vector<ParamRef>
+TlpCostModel::paramRefs()
+{
+    std::vector<ParamRef> params;
+    embed_.collectParams(params);
+    attn_.collectParams(params);
+    head_.collectParams(params);
+    return params;
+}
+
+std::vector<double>
+TlpCostModel::getParams()
+{
+    return flattenParams(paramRefs());
+}
+
+void
+TlpCostModel::setParams(const std::vector<double>& flat)
+{
+    unflattenParams(paramRefs(), flat);
+}
+
+std::unique_ptr<CostModel>
+TlpCostModel::clone() const
+{
+    return std::make_unique<TlpCostModel>(*this);
+}
+
+} // namespace pruner

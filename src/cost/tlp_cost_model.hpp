@@ -1,0 +1,53 @@
+#pragma once
+
+/**
+ * @file tlp_cost_model.hpp
+ * The TLP baseline cost model: a Transformer over the high-level
+ * schedule-primitive sequence.
+ *
+ * TLP avoids heavy feature extraction by encoding schedule primitives as
+ * mostly one-hot rows. As the paper stresses, the resulting feature
+ * diversity is tiny (only split factors vary between schedules of one
+ * task), which makes the model data-hungry and brittle when fine-tuned on
+ * small online datasets — behaviour this reproduction inherits naturally
+ * from the same encoding.
+ */
+
+#include "cost/cost_model.hpp"
+#include "feature/primitive_features.hpp"
+#include "nn/attention.hpp"
+#include "nn/layers.hpp"
+
+namespace pruner {
+
+/** Primitive-sequence Transformer cost model (TLP). */
+class TlpCostModel : public CostModel
+{
+  public:
+    TlpCostModel(const DeviceSpec& device, uint64_t seed);
+
+    std::string name() const override { return "TLP"; }
+    std::vector<double>
+    predict(const SubgraphTask& task,
+            const std::vector<Schedule>& candidates) const override;
+    double train(const std::vector<MeasuredRecord>& records,
+                 int epochs) override;
+    double evalCostPerCandidate() const override;
+    double trainCostPerRound() const override;
+    std::vector<double> getParams() override;
+    void setParams(const std::vector<double>& flat) override;
+    std::unique_ptr<CostModel> clone() const override;
+
+  private:
+    double scoreOne(const SubgraphTask& task, const Schedule& sch) const;
+    void fitOne(const MeasuredRecord& rec, double dscore);
+    std::vector<ParamRef> paramRefs();
+
+    DeviceSpec device_;
+    Rng rng_;
+    Mlp embed_;
+    SelfAttention attn_;
+    Mlp head_;
+};
+
+} // namespace pruner

@@ -1,0 +1,73 @@
+#include "dataset/dataset.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "sched/sampler.hpp"
+#include "support/logging.hpp"
+
+namespace pruner {
+
+std::vector<SubgraphTask>
+distinctTasks(const std::vector<Workload>& workloads)
+{
+    std::vector<SubgraphTask> tasks;
+    std::unordered_set<uint64_t> seen;
+    for (const auto& w : workloads) {
+        for (const auto& inst : w.tasks) {
+            if (seen.insert(inst.task.hash()).second) {
+                tasks.push_back(inst.task);
+            }
+        }
+    }
+    return tasks;
+}
+
+std::vector<MeasuredRecord>
+generateDataset(const std::vector<Workload>& workloads,
+                const DeviceSpec& device, const DatasetConfig& config)
+{
+    const GpuSimulator sim(device);
+    Rng rng(config.seed);
+    std::vector<MeasuredRecord> records;
+    for (const auto& task : distinctTasks(workloads)) {
+        ScheduleSampler sampler(task, device);
+        Rng task_rng(hashCombine(config.seed, task.hash()));
+        size_t produced = 0;
+        size_t attempts = 0;
+        const size_t max_attempts = config.schedules_per_task * 8;
+        while (produced < config.schedules_per_task &&
+               attempts++ < max_attempts) {
+            const Schedule sch = sampler.sample(task_rng);
+            const double latency = sim.measure(task, sch, task_rng);
+            if (std::isfinite(latency)) {
+                records.push_back({task, sch, latency});
+                ++produced;
+            }
+        }
+    }
+    return records;
+}
+
+std::vector<MeasuredRecord>
+subsampleRecords(const std::vector<MeasuredRecord>& records, size_t n,
+                 uint64_t seed)
+{
+    if (n >= records.size()) {
+        return records;
+    }
+    std::vector<size_t> indices(records.size());
+    for (size_t i = 0; i < indices.size(); ++i) {
+        indices[i] = i;
+    }
+    Rng rng(seed);
+    rng.shuffle(indices);
+    std::vector<MeasuredRecord> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        out.push_back(records[indices[i]]);
+    }
+    return out;
+}
+
+} // namespace pruner

@@ -1,0 +1,48 @@
+#pragma once
+
+/**
+ * @file dataset.hpp
+ * TenSet-like dataset substrate.
+ *
+ * TenSet pairs thousands of subgraphs with measured schedules on K80/T4
+ * GPUs. This generator reproduces the schema at a size that runs in
+ * seconds: for each distinct task of the given workloads it samples
+ * schedules and "measures" them on the simulated device. The records feed
+ * offline pre-training, the Top-k/Best-k metrics, and the cross-platform
+ * (MoA) experiments.
+ */
+
+#include <vector>
+
+#include "cost/cost_model.hpp"
+#include "ir/workload_registry.hpp"
+#include "sim/gpu_simulator.hpp"
+
+namespace pruner {
+
+/** Dataset generation settings. */
+struct DatasetConfig
+{
+    size_t schedules_per_task = 256; ///< sampled schedules per subgraph
+    uint64_t seed = 0xD5;
+};
+
+/**
+ * Generate a dataset: every distinct task in @p workloads, each with
+ * DatasetConfig::schedules_per_task measured (finite) schedules on
+ * @p device. Tasks appearing in several workloads are deduplicated.
+ */
+std::vector<MeasuredRecord>
+generateDataset(const std::vector<Workload>& workloads,
+                const DeviceSpec& device, const DatasetConfig& config = {});
+
+/** Distinct tasks of a workload set (dedup by task hash). */
+std::vector<SubgraphTask>
+distinctTasks(const std::vector<Workload>& workloads);
+
+/** Uniformly subsample @p n records (for data-scaling studies). */
+std::vector<MeasuredRecord>
+subsampleRecords(const std::vector<MeasuredRecord>& records, size_t n,
+                 uint64_t seed);
+
+} // namespace pruner

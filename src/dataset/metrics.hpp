@@ -1,0 +1,45 @@
+#pragma once
+
+/**
+ * @file metrics.hpp
+ * Dataset-based cost-model and draft-quality metrics (paper Section 6.5).
+ *
+ * Top-k (Eq. 2) scores a learned model: how close the best true latency
+ * among its k highest-scored candidates comes to the subgraph optimum,
+ * weighted by subgraph occurrence. Best-k (Eq. 3) scores the draft stage:
+ * how good the k-th best latency inside S_spec is relative to the optimum
+ * of the full exploration set.
+ */
+
+#include <vector>
+
+namespace pruner {
+
+/** One subgraph's candidates for Top-k: true latencies + model scores. */
+struct TopKGroup
+{
+    double weight = 1.0;
+    std::vector<double> latencies; ///< true latency per candidate
+    std::vector<double> scores;    ///< model score per candidate (higher
+                                   ///< = predicted faster)
+};
+
+/** Eq. 2: sum_i(L*_i w_i) / sum_i(min_{j<=k} L_{i,j} w_i). In [0, 1],
+ *  1 = the model's top-k always contains the optimum. */
+double topKScore(const std::vector<TopKGroup>& groups, int k);
+
+/** One subgraph's draft set for Best-k. */
+struct BestKGroup
+{
+    double weight = 1.0;
+    /** Optimal latency over the FULL exploration set (L*_i). */
+    double optimal_latency = 0.0;
+    /** Latencies of the drafted subset S_spec. */
+    std::vector<double> subset_latencies;
+};
+
+/** Eq. 3: sum_i(L*_i w_i) / sum_i(Lhat_{i,k} w_i), where Lhat_{i,k} is the
+ *  k-th best latency inside the drafted subset. */
+double bestKScore(const std::vector<BestKGroup>& groups, int k);
+
+} // namespace pruner

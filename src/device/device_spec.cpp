@@ -1,0 +1,190 @@
+#include "device/device_spec.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "support/logging.hpp"
+#include "support/rng.hpp"
+
+namespace pruner {
+
+namespace {
+
+constexpr double kGiga = 1e9;
+constexpr double kTera = 1e12;
+constexpr int64_t kKiB = 1024;
+constexpr int64_t kMiB = 1024 * 1024;
+
+} // namespace
+
+DeviceSpec
+DeviceSpec::a100()
+{
+    DeviceSpec d;
+    d.name = "A100";
+    d.num_sms = 108;
+    d.mem_transaction_floats = 32;
+    d.peak_flops = 19.5 * kTera;
+    d.peak_bandwidth = 1555.0 * kGiga;
+    d.l2_cache_bytes = 40 * kMiB;
+    d.dram_bytes = 40ll * 1024 * kMiB;
+    d.warp_size = 32;
+    d.warp_schedulers = 4;
+    d.max_threads_per_block = 1024;
+    d.max_threads_per_sm = 2048;
+    d.max_blocks_per_sm = 32;
+    d.smem_per_block_floats = 48 * kKiB / 4;
+    d.smem_per_sm_floats = 164 * kKiB / 4;
+    d.regs_per_thread = 255;
+    d.regs_per_sm = 65536;
+    d.has_tensorcore = true;
+    d.tc_peak_flops = 312.0 * kTera;
+    d.launch_overhead_s = 3.5e-6;
+    d.l2_hit_bandwidth_scale = 4.0;
+    d.fingerprint = splitmix64(0xA100);
+    return d;
+}
+
+DeviceSpec
+DeviceSpec::titanV()
+{
+    DeviceSpec d;
+    d.name = "TitanV";
+    d.num_sms = 80;
+    d.mem_transaction_floats = 32;
+    d.peak_flops = 14.9 * kTera;
+    d.peak_bandwidth = 652.8 * kGiga;
+    d.l2_cache_bytes = 4608 * kKiB;
+    d.dram_bytes = 12ll * 1024 * kMiB;
+    d.warp_size = 32;
+    d.warp_schedulers = 4;
+    d.max_threads_per_block = 1024;
+    d.max_threads_per_sm = 2048;
+    d.max_blocks_per_sm = 32;
+    d.smem_per_block_floats = 48 * kKiB / 4;
+    d.smem_per_sm_floats = 96 * kKiB / 4;
+    d.regs_per_thread = 255;
+    d.regs_per_sm = 65536;
+    d.has_tensorcore = true;
+    d.tc_peak_flops = 110.0 * kTera;
+    d.launch_overhead_s = 4.0e-6;
+    d.l2_hit_bandwidth_scale = 3.5;
+    d.fingerprint = splitmix64(0x717A);
+    return d;
+}
+
+DeviceSpec
+DeviceSpec::orinAgx()
+{
+    DeviceSpec d;
+    d.name = "Orin-AGX";
+    d.num_sms = 16;
+    d.mem_transaction_floats = 32;
+    d.peak_flops = 5.32 * kTera;
+    d.peak_bandwidth = 204.8 * kGiga;
+    d.l2_cache_bytes = 4 * kMiB;
+    d.dram_bytes = 32ll * 1024 * kMiB;
+    d.warp_size = 32;
+    d.warp_schedulers = 4;
+    d.max_threads_per_block = 1024;
+    d.max_threads_per_sm = 1536;
+    d.max_blocks_per_sm = 16;
+    d.smem_per_block_floats = 48 * kKiB / 4;
+    d.smem_per_sm_floats = 164 * kKiB / 4;
+    d.regs_per_thread = 255;
+    d.regs_per_sm = 65536;
+    d.has_tensorcore = true;
+    d.tc_peak_flops = 85.0 * kTera;
+    d.launch_overhead_s = 8.0e-6;
+    d.l2_hit_bandwidth_scale = 3.0;
+    d.fingerprint = splitmix64(0x0514);
+    return d;
+}
+
+DeviceSpec
+DeviceSpec::t4()
+{
+    DeviceSpec d;
+    d.name = "T4";
+    d.num_sms = 40;
+    d.mem_transaction_floats = 32;
+    d.peak_flops = 8.14 * kTera;
+    d.peak_bandwidth = 300.0 * kGiga;
+    d.l2_cache_bytes = 4 * kMiB;
+    d.dram_bytes = 16ll * 1024 * kMiB;
+    d.warp_size = 32;
+    d.warp_schedulers = 4;
+    d.max_threads_per_block = 1024;
+    d.max_threads_per_sm = 1024;
+    d.max_blocks_per_sm = 16;
+    d.smem_per_block_floats = 48 * kKiB / 4;
+    d.smem_per_sm_floats = 64 * kKiB / 4;
+    d.regs_per_thread = 255;
+    d.regs_per_sm = 65536;
+    d.has_tensorcore = true;
+    d.tc_peak_flops = 65.0 * kTera;
+    d.launch_overhead_s = 4.5e-6;
+    d.l2_hit_bandwidth_scale = 3.5;
+    d.fingerprint = splitmix64(0x0074);
+    return d;
+}
+
+DeviceSpec
+DeviceSpec::k80()
+{
+    DeviceSpec d;
+    d.name = "K80";
+    d.num_sms = 13;
+    d.mem_transaction_floats = 32;
+    d.peak_flops = 4.37 * kTera;
+    d.peak_bandwidth = 240.0 * kGiga;
+    d.l2_cache_bytes = 1536 * kKiB;
+    d.dram_bytes = 12ll * 1024 * kMiB;
+    d.warp_size = 32;
+    d.warp_schedulers = 4;
+    d.max_threads_per_block = 1024;
+    d.max_threads_per_sm = 2048;
+    d.max_blocks_per_sm = 16;
+    d.smem_per_block_floats = 48 * kKiB / 4;
+    d.smem_per_sm_floats = 48 * kKiB / 4;
+    d.regs_per_thread = 255;
+    d.regs_per_sm = 65536;
+    d.has_tensorcore = false;
+    d.tc_peak_flops = 0.0;
+    d.launch_overhead_s = 6.0e-6;
+    d.l2_hit_bandwidth_scale = 2.5;
+    d.fingerprint = splitmix64(0x6B80);
+    return d;
+}
+
+DeviceSpec
+DeviceSpec::byName(const std::string& name)
+{
+    std::string lower(name);
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (lower == "a100") {
+        return a100();
+    }
+    if (lower == "titanv" || lower == "titan-v" || lower == "titan_v") {
+        return titanV();
+    }
+    if (lower == "orin" || lower == "orin-agx" || lower == "orinagx") {
+        return orinAgx();
+    }
+    if (lower == "t4") {
+        return t4();
+    }
+    if (lower == "k80") {
+        return k80();
+    }
+    PRUNER_FATAL("unknown device name: " << name);
+}
+
+std::vector<DeviceSpec>
+DeviceSpec::all()
+{
+    return {a100(), titanV(), orinAgx(), t4(), k80()};
+}
+
+} // namespace pruner

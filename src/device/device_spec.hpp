@@ -1,0 +1,76 @@
+#pragma once
+
+/**
+ * @file device_spec.hpp
+ * Device abstraction for the GPU platforms used in the paper's evaluation.
+ *
+ * The paper's hardware-aware penalties (Section 4.1) are parameterized by a
+ * small set of per-level resources: register budget (L0), shared-memory
+ * budget and warp scheduling (L1), SM count and memory transaction length
+ * (L2), plus theoretical peak compute (T_p) and bandwidth (T_m). The
+ * ground-truth simulator (src/sim) consumes the same structure plus a few
+ * extra microarchitectural parameters (L2 cache size, launch overhead,
+ * per-platform behavioural fingerprint).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pruner {
+
+/** Static description of a GPU platform. Sizes are in floats (4 bytes)
+ *  where noted, so they compare directly against the paper's symbols. */
+struct DeviceSpec
+{
+    std::string name;
+
+    // --- L2 level (whole device) ---
+    int num_sms = 0;               ///< pu_l2: parallel units at L2 level
+    int mem_transaction_floats = 32; ///< n_l2: transaction length (floats)
+    double peak_flops = 0.0;       ///< T_p for FP32, FLOP/s
+    double peak_bandwidth = 0.0;   ///< T_m, bytes/s
+    int64_t l2_cache_bytes = 0;    ///< hardware L2 cache capacity
+    int64_t dram_bytes = 0;        ///< device memory capacity
+
+    // --- L1 level (thread block / SM) ---
+    int warp_size = 32;            ///< n_l1: scheduling size within a block
+    int warp_schedulers = 4;       ///< pu_l1: schedulers per SM
+    int max_threads_per_block = 1024;
+    int max_threads_per_sm = 2048;
+    int max_blocks_per_sm = 32;
+    int64_t smem_per_block_floats = 0; ///< m_l1: shared memory (floats)
+    int64_t smem_per_sm_floats = 0;
+
+    // --- L0 level (thread / registers) ---
+    int regs_per_thread = 255;     ///< m_l0: register (float) budget/thread
+    int64_t regs_per_sm = 65536;
+
+    // --- TensorCore ---
+    bool has_tensorcore = false;
+    double tc_peak_flops = 0.0;    ///< FP16 TensorCore peak, FLOP/s
+
+    // --- simulation-only parameters ---
+    double launch_overhead_s = 4e-6;   ///< kernel launch latency
+    double l2_hit_bandwidth_scale = 4.0; ///< L2-hit BW relative to DRAM
+    /** Per-platform fingerprint: seeds platform-specific perturbations so
+     *  the same schedule ranks differently across devices (the domain gap
+     *  that motivates MoA). */
+    uint64_t fingerprint = 0;
+
+    /** Platform factories matching the paper's evaluation platforms. */
+    static DeviceSpec a100();
+    static DeviceSpec titanV();
+    static DeviceSpec orinAgx();
+    static DeviceSpec t4();
+    static DeviceSpec k80();
+
+    /** Look up a platform by name ("a100", "titanv", "orin", "t4", "k80").
+     *  Throws FatalError for unknown names. */
+    static DeviceSpec byName(const std::string& name);
+
+    /** All five platforms, server first. */
+    static std::vector<DeviceSpec> all();
+};
+
+} // namespace pruner

@@ -1,0 +1,34 @@
+#pragma once
+
+/**
+ * @file dataflow_features.hpp
+ * Pruner's temporal dataflow features (paper Section 4.2, Figure 4).
+ *
+ * The multi-tiling pattern is abstracted as a sequence of data-block
+ * movements across the memory hierarchy: accumulator initialization, one
+ * global->shared stage per cached input, the shared->register compute
+ * step, and the register->global write-back of the (possibly fused)
+ * epilogue. Each movement is a 23-dimensional row
+ * (compute:1 | mem access:21 | alloc size:1); sequences are zero-padded to
+ * a fixed length, which also covers element-wise operators exactly as the
+ * paper does.
+ */
+
+#include "device/device_spec.hpp"
+#include "ir/task.hpp"
+#include "nn/matrix.hpp"
+#include "sched/schedule.hpp"
+
+namespace pruner {
+
+/** Width of one dataflow step row (compute:1 | mem:21 | alloc:1). */
+constexpr size_t kDataflowFeatureDim = 23;
+
+/** Fixed (padded) number of dataflow steps per program. */
+constexpr size_t kDataflowSteps = 10;
+
+/** Extract the temporal dataflow feature matrix: [kDataflowSteps, 23]. */
+Matrix extractDataflowFeatures(const SubgraphTask& task, const Schedule& sch,
+                               const DeviceSpec& device);
+
+} // namespace pruner

@@ -1,0 +1,38 @@
+#include "feature/primitive_features.hpp"
+
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace pruner {
+
+Matrix
+extractPrimitiveFeatures(const SubgraphTask& task, const Schedule& sch)
+{
+    Matrix feat(kPrimitiveSteps, kPrimitiveFeatureDim);
+    const auto seq = sch.primitiveSequence(task);
+    const size_t n = std::min(seq.size(), kPrimitiveSteps);
+    for (size_t i = 0; i < n; ++i) {
+        const auto& prim = seq[i];
+        double* f = feat.row(i);
+        size_t k = 0;
+        // Primitive kind one-hot (5).
+        f[k + static_cast<size_t>(prim.kind)] = 1.0;
+        k += 5;
+        // Axis ordinal one-hot (up to 6 axes).
+        const size_t axis = std::min<size_t>(prim.axis, 5);
+        f[k + axis] = 1.0;
+        k += 6;
+        // Factor / argument encodings — the only schedule-dependent values.
+        f[k++] = std::log1p(static_cast<double>(prim.arg));
+        f[k++] = static_cast<double>(prim.arg % 2 == 0);
+        f[k++] = static_cast<double>(prim.arg) / 64.0;
+        // Position encoding.
+        f[k++] = static_cast<double>(i) / kPrimitiveSteps;
+        f[k++] = i % 2 == 0 ? 1.0 : 0.0;
+        PRUNER_CHECK(k == kPrimitiveFeatureDim);
+    }
+    return feat;
+}
+
+} // namespace pruner

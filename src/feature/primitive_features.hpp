@@ -1,0 +1,30 @@
+#pragma once
+
+/**
+ * @file primitive_features.hpp
+ * TLP-style schedule-primitive sequence features.
+ *
+ * TLP encodes the high-level schedule primitives (Split / Reorder /
+ * CacheRead / Annotate / Bind) as mostly one-hot rows; as the paper points
+ * out, only a tiny fraction of values (the split factors) differ between
+ * schedules of the same task, which is precisely what makes the model
+ * data-hungry. We reproduce that property deliberately.
+ */
+
+#include "ir/task.hpp"
+#include "nn/matrix.hpp"
+#include "sched/schedule.hpp"
+
+namespace pruner {
+
+/** Width of one primitive row. */
+constexpr size_t kPrimitiveFeatureDim = 16;
+
+/** Fixed (padded) primitive-sequence length. */
+constexpr size_t kPrimitiveSteps = 28;
+
+/** Extract the primitive-sequence features: [kPrimitiveSteps, 16]. */
+Matrix extractPrimitiveFeatures(const SubgraphTask& task,
+                                const Schedule& sch);
+
+} // namespace pruner

@@ -1,0 +1,28 @@
+#pragma once
+
+/**
+ * @file statement_features.hpp
+ * Ansor/TenSet-style per-statement features.
+ *
+ * The original extracts 164 hand-engineered values per innermost non-loop
+ * statement. This reproduction keeps the same structure (one feature row
+ * per buffer statement, log-scaled resource counts) with a compact
+ * 40-dimensional layout; the learned MLP consumes rows and sum-pools over
+ * statements exactly like the TenSet MLP.
+ */
+
+#include "device/device_spec.hpp"
+#include "ir/task.hpp"
+#include "nn/matrix.hpp"
+#include "sched/schedule.hpp"
+
+namespace pruner {
+
+/** Width of one statement feature row. */
+constexpr size_t kStatementFeatureDim = 40;
+
+/** Extract one feature row per buffer statement: [n_statements, 40]. */
+Matrix extractStatementFeatures(const SubgraphTask& task, const Schedule& sch,
+                                const DeviceSpec& device);
+
+} // namespace pruner

@@ -1,0 +1,371 @@
+#include "ir/task.hpp"
+
+#include <sstream>
+
+#include "support/logging.hpp"
+#include "support/rng.hpp"
+
+namespace pruner {
+
+const char*
+opClassName(OpClass c)
+{
+    switch (c) {
+      case OpClass::Gemm:
+        return "gemm";
+      case OpClass::Conv2d:
+        return "conv2d";
+      case OpClass::DepthwiseConv2d:
+        return "dwconv2d";
+      case OpClass::ConvTranspose2d:
+        return "convtranspose2d";
+      case OpClass::Elementwise:
+        return "elementwise";
+      case OpClass::Reduction:
+        return "reduction";
+    }
+    return "unknown";
+}
+
+const char*
+dtypeName(DType d)
+{
+    switch (d) {
+      case DType::Fp32:
+        return "fp32";
+      case DType::Fp16Tc:
+        return "fp16tc";
+    }
+    return "unknown";
+}
+
+int
+dtypeBytes(DType d)
+{
+    return d == DType::Fp16Tc ? 2 : 4;
+}
+
+int64_t
+TensorAccess::numElements(const SubgraphTask& task) const
+{
+    int64_t n = 1;
+    for (int a : spatial_axes) {
+        PRUNER_CHECK(a >= 0 && a < static_cast<int>(task.spatial.size()));
+        n *= task.spatial[a].extent;
+    }
+    for (int a : reduction_axes) {
+        PRUNER_CHECK(a >= 0 && a < static_cast<int>(task.reduction.size()));
+        n *= task.reduction[a].extent;
+    }
+    return n;
+}
+
+int64_t
+SubgraphTask::outputPoints() const
+{
+    int64_t n = 1;
+    for (const auto& axis : spatial) {
+        n *= axis.extent;
+    }
+    return n;
+}
+
+int64_t
+SubgraphTask::reductionSize() const
+{
+    int64_t n = 1;
+    for (const auto& axis : reduction) {
+        n *= axis.extent;
+    }
+    return n;
+}
+
+double
+SubgraphTask::totalFlops() const
+{
+    return flops_per_point * static_cast<double>(outputPoints()) *
+               static_cast<double>(reductionSize()) +
+           tail_flops_per_output * static_cast<double>(outputPoints());
+}
+
+double
+SubgraphTask::uniqueBytes() const
+{
+    double bytes = 0.0;
+    for (const auto& t : tensors) {
+        bytes += static_cast<double>(t.numElements(*this)) *
+                 t.footprint_scale * dtypeBytes(dtype);
+    }
+    return bytes;
+}
+
+double
+SubgraphTask::arithmeticIntensity() const
+{
+    const double bytes = uniqueBytes();
+    return bytes > 0.0 ? totalFlops() / bytes : 0.0;
+}
+
+uint64_t
+SubgraphTask::hash() const
+{
+    uint64_t h = splitmix64(static_cast<uint64_t>(op_class) * 31 +
+                            static_cast<uint64_t>(dtype));
+    for (char c : key) {
+        h = hashCombine(h, static_cast<uint64_t>(c));
+    }
+    for (const auto& axis : spatial) {
+        h = hashCombine(h, static_cast<uint64_t>(axis.extent));
+    }
+    for (const auto& axis : reduction) {
+        h = hashCombine(h, static_cast<uint64_t>(axis.extent) | (1ull << 40));
+    }
+    return h;
+}
+
+std::string
+SubgraphTask::toString() const
+{
+    std::ostringstream oss;
+    oss << key << " [" << opClassName(op_class) << "/" << dtypeName(dtype)
+        << "] spatial(";
+    for (size_t i = 0; i < spatial.size(); ++i) {
+        oss << (i ? "," : "") << spatial[i].name << "=" << spatial[i].extent;
+    }
+    oss << ") reduction(";
+    for (size_t i = 0; i < reduction.size(); ++i) {
+        oss << (i ? "," : "") << reduction[i].name << "="
+            << reduction[i].extent;
+    }
+    oss << ") flops=" << totalFlops();
+    return oss.str();
+}
+
+int
+SubgraphTask::outputTensorIndex() const
+{
+    int found = -1;
+    for (size_t i = 0; i < tensors.size(); ++i) {
+        if (tensors[i].is_output) {
+            PRUNER_CHECK_MSG(found < 0, "multiple output tensors");
+            found = static_cast<int>(i);
+        }
+    }
+    PRUNER_CHECK_MSG(found >= 0, "task has no output tensor");
+    return found;
+}
+
+SubgraphTask
+makeGemm(const std::string& name, int64_t batch, int64_t m, int64_t n,
+         int64_t k, DType dtype, bool fused_tail)
+{
+    PRUNER_CHECK(batch >= 1 && m >= 1 && n >= 1 && k >= 1);
+    SubgraphTask t;
+    std::ostringstream key;
+    key << name << "_b" << batch << "_m" << m << "_n" << n << "_k" << k << "_"
+        << dtypeName(dtype);
+    t.key = key.str();
+    t.op_class = OpClass::Gemm;
+    t.dtype = dtype;
+    t.spatial = {{"i", batch * m}, {"j", n}};
+    t.reduction = {{"k", k}};
+    // A[i, k]: contiguous along k.
+    TensorAccess a;
+    a.name = "A";
+    a.spatial_axes = {0};
+    a.reduction_axes = {0};
+    a.contiguous_reduction = 0;
+    t.tensors.push_back(a);
+    // B[k, j]: contiguous along j.
+    TensorAccess b;
+    b.name = "B";
+    b.spatial_axes = {1};
+    b.reduction_axes = {0};
+    b.contiguous_spatial = 1;
+    t.tensors.push_back(b);
+    // C[i, j]: contiguous along j.
+    TensorAccess c;
+    c.name = "C";
+    c.spatial_axes = {0, 1};
+    c.contiguous_spatial = 1;
+    c.is_output = true;
+    t.tensors.push_back(c);
+    t.flops_per_point = 2.0;
+    t.has_elementwise_tail = fused_tail;
+    t.tail_flops_per_output = fused_tail ? 2.0 : 0.0;
+    return t;
+}
+
+SubgraphTask
+makeConv2d(const std::string& name, int64_t n, int64_t h, int64_t w,
+           int64_t ci, int64_t co, int kernel, int stride, DType dtype,
+           bool fused_tail)
+{
+    PRUNER_CHECK(n >= 1 && h >= 1 && w >= 1 && ci >= 1 && co >= 1);
+    PRUNER_CHECK(kernel >= 1 && stride >= 1);
+    const int64_t oh = (h + stride - 1) / stride;
+    const int64_t ow = (w + stride - 1) / stride;
+    SubgraphTask t;
+    std::ostringstream key;
+    key << name << "_n" << n << "_hw" << h << "x" << w << "_ci" << ci << "_co"
+        << co << "_k" << kernel << "_s" << stride << "_" << dtypeName(dtype);
+    t.key = key.str();
+    t.op_class = OpClass::Conv2d;
+    t.dtype = dtype;
+    // Implicit GEMM: i = N*OH*OW, j = CO, k = CI*KH*KW.
+    t.spatial = {{"i", n * oh * ow}, {"j", co}};
+    t.reduction = {{"k", ci * kernel * kernel}};
+    // Input image: touched by (i, k); the unique footprint is N*H*W*CI which
+    // is smaller than i*k by the halo-reuse factor.
+    TensorAccess img;
+    img.name = "X";
+    img.spatial_axes = {0};
+    img.reduction_axes = {0};
+    img.contiguous_reduction = 0; // NHWC: channels innermost
+    const double naive = static_cast<double>(n * oh * ow) *
+                         static_cast<double>(ci * kernel * kernel);
+    const double unique = static_cast<double>(n * h * w * ci);
+    img.footprint_scale = unique / naive;
+    t.tensors.push_back(img);
+    // Weights: touched by (j, k).
+    TensorAccess wgt;
+    wgt.name = "W";
+    wgt.spatial_axes = {1};
+    wgt.reduction_axes = {0};
+    wgt.contiguous_reduction = 0;
+    t.tensors.push_back(wgt);
+    // Output: (i, j), channels innermost.
+    TensorAccess out;
+    out.name = "Y";
+    out.spatial_axes = {0, 1};
+    out.contiguous_spatial = 1;
+    out.is_output = true;
+    t.tensors.push_back(out);
+    t.flops_per_point = 2.0;
+    t.has_elementwise_tail = fused_tail;
+    t.tail_flops_per_output = fused_tail ? 3.0 : 0.0; // bias + relu
+    t.conv_stride = stride;
+    t.conv_kernel = kernel;
+    return t;
+}
+
+SubgraphTask
+makeDepthwiseConv2d(const std::string& name, int64_t n, int64_t h, int64_t w,
+                    int64_t c, int kernel, int stride, DType dtype)
+{
+    PRUNER_CHECK(n >= 1 && h >= 1 && w >= 1 && c >= 1);
+    const int64_t oh = (h + stride - 1) / stride;
+    const int64_t ow = (w + stride - 1) / stride;
+    SubgraphTask t;
+    std::ostringstream key;
+    key << name << "_n" << n << "_hw" << h << "x" << w << "_c" << c << "_k"
+        << kernel << "_s" << stride << "_" << dtypeName(dtype);
+    t.key = key.str();
+    t.op_class = OpClass::DepthwiseConv2d;
+    t.dtype = dtype;
+    t.spatial = {{"i", n * oh * ow}, {"j", c}};
+    t.reduction = {{"k", static_cast<int64_t>(kernel) * kernel}};
+    TensorAccess img;
+    img.name = "X";
+    img.spatial_axes = {0, 1};
+    img.reduction_axes = {0};
+    img.contiguous_spatial = 1;
+    const double naive = static_cast<double>(n * oh * ow * c) *
+                         static_cast<double>(kernel) * kernel;
+    img.footprint_scale = static_cast<double>(n * h * w * c) / naive;
+    t.tensors.push_back(img);
+    TensorAccess wgt;
+    wgt.name = "W";
+    wgt.spatial_axes = {1};
+    wgt.reduction_axes = {0};
+    wgt.contiguous_reduction = 0;
+    t.tensors.push_back(wgt);
+    TensorAccess out;
+    out.name = "Y";
+    out.spatial_axes = {0, 1};
+    out.contiguous_spatial = 1;
+    out.is_output = true;
+    t.tensors.push_back(out);
+    t.flops_per_point = 2.0;
+    t.has_elementwise_tail = true;
+    t.tail_flops_per_output = 3.0;
+    t.conv_stride = stride;
+    t.conv_kernel = kernel;
+    return t;
+}
+
+SubgraphTask
+makeConvTranspose2d(const std::string& name, int64_t n, int64_t h, int64_t w,
+                    int64_t ci, int64_t co, int kernel, int stride,
+                    DType dtype)
+{
+    // Transposed conv upsamples: output spatial = input spatial * stride.
+    SubgraphTask t =
+        makeConv2d(name, n, h * stride, w * stride, ci, co, kernel, 1, dtype);
+    t.op_class = OpClass::ConvTranspose2d;
+    t.conv_stride = stride;
+    std::ostringstream key;
+    key << name << "_n" << n << "_hw" << h << "x" << w << "_ci" << ci << "_co"
+        << co << "_k" << kernel << "_s" << stride << "_ct_"
+        << dtypeName(dtype);
+    t.key = key.str();
+    return t;
+}
+
+SubgraphTask
+makeElementwise(const std::string& name, int64_t elems, double flops_per_elem,
+                DType dtype)
+{
+    PRUNER_CHECK(elems >= 1);
+    SubgraphTask t;
+    std::ostringstream key;
+    key << name << "_e" << elems << "_" << dtypeName(dtype);
+    t.key = key.str();
+    t.op_class = OpClass::Elementwise;
+    t.dtype = dtype;
+    t.spatial = {{"i", elems}};
+    TensorAccess in;
+    in.name = "X";
+    in.spatial_axes = {0};
+    in.contiguous_spatial = 0;
+    t.tensors.push_back(in);
+    TensorAccess out;
+    out.name = "Y";
+    out.spatial_axes = {0};
+    out.contiguous_spatial = 0;
+    out.is_output = true;
+    t.tensors.push_back(out);
+    t.flops_per_point = flops_per_elem;
+    return t;
+}
+
+SubgraphTask
+makeReductionOp(const std::string& name, int64_t rows, int64_t cols,
+                DType dtype)
+{
+    PRUNER_CHECK(rows >= 1 && cols >= 1);
+    SubgraphTask t;
+    std::ostringstream key;
+    key << name << "_r" << rows << "_c" << cols << "_" << dtypeName(dtype);
+    t.key = key.str();
+    t.op_class = OpClass::Reduction;
+    t.dtype = dtype;
+    t.spatial = {{"i", rows}};
+    t.reduction = {{"k", cols}};
+    TensorAccess in;
+    in.name = "X";
+    in.spatial_axes = {0};
+    in.reduction_axes = {0};
+    in.contiguous_reduction = 0;
+    t.tensors.push_back(in);
+    TensorAccess out;
+    out.name = "Y";
+    out.spatial_axes = {0};
+    out.contiguous_spatial = 0;
+    out.is_output = true;
+    t.tensors.push_back(out);
+    t.flops_per_point = 2.0;
+    return t;
+}
+
+} // namespace pruner

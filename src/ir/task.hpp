@@ -1,0 +1,158 @@
+#pragma once
+
+/**
+ * @file task.hpp
+ * Tensor-workload IR: a subgraph expressed as a tiled loop nest.
+ *
+ * The paper partitions a DNN into fused subgraphs (Ansor-style) and tunes
+ * each one. After Ansor's multi-level tiling sketch is applied, every
+ * subgraph we care about is a perfectly nested loop over some spatial axes
+ * and some reduction axes, with each tensor operand touching a subset of
+ * those axes (implicit-GEMM view of convolutions). That is exactly the
+ * structure the paper's Figure 3 extracts hardware-aware symbols from, so
+ * our IR encodes it directly: a SubgraphTask is a set of axes plus per-
+ * tensor axis-participation lists and a handful of operator attributes.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pruner {
+
+/** Operator families that need distinct vendor-library / simulator
+ *  behaviour. */
+enum class OpClass : int {
+    Gemm = 0,            ///< matmul / batched matmul / attention matmuls
+    Conv2d = 1,          ///< direct or implicit-GEMM convolution
+    DepthwiseConv2d = 2,
+    ConvTranspose2d = 3,
+    Elementwise = 4,     ///< fused pointwise chains, no reduction
+    Reduction = 5,       ///< softmax / pooling style: spatial + reduction
+};
+
+/** Numeric precision of the task. Fp16Tc enables the TensorCore path. */
+enum class DType : int {
+    Fp32 = 0,
+    Fp16Tc = 1,
+};
+
+const char* opClassName(OpClass c);
+const char* dtypeName(DType d);
+
+/** Bytes per element for a dtype. */
+int dtypeBytes(DType d);
+
+/** One iteration axis of the loop nest. */
+struct Axis
+{
+    std::string name;
+    int64_t extent = 1;
+};
+
+/**
+ * One tensor operand and how the loop nest walks it.
+ *
+ * Axis references are indices into SubgraphTask::spatial /
+ * SubgraphTask::reduction. `contiguous_spatial`/`contiguous_reduction`
+ * identify which axis is innermost in the tensor's memory layout; the
+ * simulator derives global-memory coalescing behaviour from it.
+ */
+struct TensorAccess
+{
+    std::string name;
+    std::vector<int> spatial_axes;
+    std::vector<int> reduction_axes;
+    /** Axis index (into spatial) that is contiguous in memory, or -1. */
+    int contiguous_spatial = -1;
+    /** Axis index (into reduction) that is contiguous in memory, or -1. */
+    int contiguous_reduction = -1;
+    /** Unique-footprint inflation (conv halo) or deflation (stride reuse)
+     *  relative to the naive product of participating extents. */
+    double footprint_scale = 1.0;
+    bool is_output = false;
+
+    /** Product of the extents of all participating axes of @p task. */
+    int64_t numElements(const struct SubgraphTask& task) const;
+};
+
+/** A fused subgraph expressed as a tiled loop nest. */
+struct SubgraphTask
+{
+    std::string key;       ///< unique identifier, e.g. "gemm_b1_m128..."
+    OpClass op_class = OpClass::Gemm;
+    DType dtype = DType::Fp32;
+    std::vector<Axis> spatial;
+    std::vector<Axis> reduction;
+    std::vector<TensorAccess> tensors;
+
+    /** FLOPs per innermost iteration point (2 for FMA-based ops). */
+    double flops_per_point = 2.0;
+    /** Extra fused-epilogue FLOPs per output element (ReLU, bias...). */
+    double tail_flops_per_output = 0.0;
+    /** True if an elementwise epilogue is fused after the reduction. */
+    bool has_elementwise_tail = false;
+
+    // Operator attributes used by vendor-library models and baselines.
+    int conv_stride = 1;
+    int conv_kernel = 1;
+
+    /** Product of spatial extents (number of output points). */
+    int64_t outputPoints() const;
+
+    /** Product of reduction extents (1 if there is no reduction). */
+    int64_t reductionSize() const;
+
+    /** Total FLOPs of the task (loop body + fused tail). */
+    double totalFlops() const;
+
+    /** Total bytes touched once (sum of unique tensor footprints). */
+    double uniqueBytes() const;
+
+    /** Arithmetic intensity (FLOPs / unique byte). */
+    double arithmeticIntensity() const;
+
+    /** Stable content hash (used for dataset keys and simulator noise). */
+    uint64_t hash() const;
+
+    /** One-line human-readable description. */
+    std::string toString() const;
+
+    /** Index of the output tensor in `tensors`. Requires exactly one. */
+    int outputTensorIndex() const;
+};
+
+/** Factory: (batched) GEMM C[b,m,n] += A[b,m,k] * B[k,n], with the batch
+ *  folded into the first spatial axis. `fused_tail` adds a ReLU-style
+ *  epilogue. */
+SubgraphTask makeGemm(const std::string& name, int64_t batch, int64_t m,
+                      int64_t n, int64_t k, DType dtype = DType::Fp32,
+                      bool fused_tail = true);
+
+/** Factory: conv2d in implicit-GEMM form (NHWC, OIHW weights). */
+SubgraphTask makeConv2d(const std::string& name, int64_t n, int64_t h,
+                        int64_t w, int64_t ci, int64_t co, int kernel,
+                        int stride, DType dtype = DType::Fp32,
+                        bool fused_tail = true);
+
+/** Factory: depthwise conv2d. */
+SubgraphTask makeDepthwiseConv2d(const std::string& name, int64_t n,
+                                 int64_t h, int64_t w, int64_t c, int kernel,
+                                 int stride, DType dtype = DType::Fp32);
+
+/** Factory: transposed conv2d (DCGAN-style upsampling). */
+SubgraphTask makeConvTranspose2d(const std::string& name, int64_t n,
+                                 int64_t h, int64_t w, int64_t ci, int64_t co,
+                                 int kernel, int stride,
+                                 DType dtype = DType::Fp32);
+
+/** Factory: fused elementwise chain over `elems` elements. */
+SubgraphTask makeElementwise(const std::string& name, int64_t elems,
+                             double flops_per_elem = 4.0,
+                             DType dtype = DType::Fp32);
+
+/** Factory: reduction op (softmax / pooling): `rows` x reduce(`cols`). */
+SubgraphTask makeReductionOp(const std::string& name, int64_t rows,
+                             int64_t cols, DType dtype = DType::Fp32);
+
+} // namespace pruner

@@ -1,0 +1,500 @@
+#include "ir/workload_registry.hpp"
+
+#include "support/logging.hpp"
+
+namespace pruner {
+
+double
+Workload::endToEndLatency(const std::vector<double>& per_task) const
+{
+    PRUNER_CHECK(per_task.size() == tasks.size());
+    double total = 0.0;
+    for (size_t i = 0; i < tasks.size(); ++i) {
+        total += tasks[i].weight * per_task[i];
+    }
+    return total;
+}
+
+double
+Workload::totalWeight() const
+{
+    double total = 0.0;
+    for (const auto& inst : tasks) {
+        total += inst.weight;
+    }
+    return total;
+}
+
+namespace workloads {
+
+namespace {
+
+/** Append one weighted task. */
+void
+add(Workload& w, SubgraphTask task, double weight)
+{
+    w.tasks.push_back({std::move(task), weight});
+}
+
+/**
+ * Append the subgraphs of one standard transformer encoder/decoder stack:
+ * fused QKV projection, the two attention matmuls, softmax, output
+ * projection, the two FFN matmuls, and the fused layernorm/residual chain.
+ */
+void
+addTransformerStack(Workload& w, const std::string& prefix, int layers,
+                    int heads, int hidden, int intermediate, int batch,
+                    int seq, DType dtype)
+{
+    PRUNER_CHECK(hidden % heads == 0);
+    const int head_dim = hidden / heads;
+    const int64_t tokens = static_cast<int64_t>(batch) * seq;
+    add(w, makeGemm(prefix + "_qkv", 1, tokens, 3ll * hidden, hidden, dtype),
+        layers);
+    add(w,
+        makeGemm(prefix + "_qkt", static_cast<int64_t>(batch) * heads, seq,
+                 seq, head_dim, dtype, /*fused_tail=*/false),
+        layers);
+    add(w,
+        makeReductionOp(prefix + "_softmax",
+                        static_cast<int64_t>(batch) * heads * seq, seq,
+                        dtype),
+        layers);
+    add(w,
+        makeGemm(prefix + "_attnv", static_cast<int64_t>(batch) * heads, seq,
+                 head_dim, seq, dtype, /*fused_tail=*/false),
+        layers);
+    add(w, makeGemm(prefix + "_proj", 1, tokens, hidden, hidden, dtype),
+        layers);
+    add(w, makeGemm(prefix + "_ffn1", 1, tokens, intermediate, hidden, dtype),
+        layers);
+    add(w, makeGemm(prefix + "_ffn2", 1, tokens, hidden, intermediate, dtype),
+        layers);
+    add(w, makeElementwise(prefix + "_lnres", tokens * hidden, 8.0, dtype),
+        2.0 * layers);
+}
+
+} // namespace
+
+Workload
+resnet50(int batch)
+{
+    Workload w;
+    w.name = "R50_b" + std::to_string(batch);
+    const int64_t b = batch;
+    add(w, makeConv2d("r50_conv1", b, 224, 224, 3, 64, 7, 2), 1);
+    // Stage 2 (56x56, width 64 -> 256).
+    add(w, makeConv2d("r50_s2_1x1a", b, 56, 56, 64, 64, 1, 1), 3);
+    add(w, makeConv2d("r50_s2_3x3", b, 56, 56, 64, 64, 3, 1), 3);
+    add(w, makeConv2d("r50_s2_1x1b", b, 56, 56, 64, 256, 1, 1), 3);
+    add(w, makeConv2d("r50_s2_1x1c", b, 56, 56, 256, 64, 1, 1), 2);
+    // Stage 3 (28x28, width 128 -> 512).
+    add(w, makeConv2d("r50_s3_down", b, 56, 56, 256, 128, 1, 2), 1);
+    add(w, makeConv2d("r50_s3_3x3", b, 28, 28, 128, 128, 3, 1), 4);
+    add(w, makeConv2d("r50_s3_1x1b", b, 28, 28, 128, 512, 1, 1), 4);
+    add(w, makeConv2d("r50_s3_1x1c", b, 28, 28, 512, 128, 1, 1), 3);
+    // Stage 4 (14x14, width 256 -> 1024).
+    add(w, makeConv2d("r50_s4_down", b, 28, 28, 512, 256, 1, 2), 1);
+    add(w, makeConv2d("r50_s4_3x3", b, 14, 14, 256, 256, 3, 1), 6);
+    add(w, makeConv2d("r50_s4_1x1b", b, 14, 14, 256, 1024, 1, 1), 6);
+    add(w, makeConv2d("r50_s4_1x1c", b, 14, 14, 1024, 256, 1, 1), 5);
+    // Stage 5 (7x7, width 512 -> 2048).
+    add(w, makeConv2d("r50_s5_down", b, 14, 14, 1024, 512, 1, 2), 1);
+    add(w, makeConv2d("r50_s5_3x3", b, 7, 7, 512, 512, 3, 1), 3);
+    add(w, makeConv2d("r50_s5_1x1b", b, 7, 7, 512, 2048, 1, 1), 3);
+    add(w, makeConv2d("r50_s5_1x1c", b, 7, 7, 2048, 512, 1, 1), 2);
+    add(w, makeGemm("r50_fc", 1, b, 1000, 2048), 1);
+    add(w, makeElementwise("r50_res_add", b * 56 * 56 * 256, 2.0), 4);
+    add(w, makeElementwise("r50_res_add2", b * 14 * 14 * 1024, 2.0), 6);
+    return w;
+}
+
+Workload
+wideResnet50(int batch)
+{
+    Workload w;
+    w.name = "WR50_b" + std::to_string(batch);
+    const int64_t b = batch;
+    add(w, makeConv2d("wr50_conv1", b, 224, 224, 3, 64, 7, 2), 1);
+    add(w, makeConv2d("wr50_s2_1x1a", b, 56, 56, 64, 128, 1, 1), 3);
+    add(w, makeConv2d("wr50_s2_3x3", b, 56, 56, 128, 128, 3, 1), 3);
+    add(w, makeConv2d("wr50_s2_1x1b", b, 56, 56, 128, 256, 1, 1), 3);
+    add(w, makeConv2d("wr50_s3_3x3", b, 28, 28, 256, 256, 3, 1), 4);
+    add(w, makeConv2d("wr50_s3_1x1b", b, 28, 28, 256, 512, 1, 1), 4);
+    add(w, makeConv2d("wr50_s4_3x3", b, 14, 14, 512, 512, 3, 1), 6);
+    add(w, makeConv2d("wr50_s4_1x1b", b, 14, 14, 512, 1024, 1, 1), 6);
+    add(w, makeConv2d("wr50_s5_3x3", b, 7, 7, 1024, 1024, 3, 1), 3);
+    add(w, makeConv2d("wr50_s5_1x1b", b, 7, 7, 1024, 2048, 1, 1), 3);
+    add(w, makeGemm("wr50_fc", 1, b, 1000, 2048), 1);
+    add(w, makeElementwise("wr50_res_add", b * 56 * 56 * 256, 2.0), 4);
+    return w;
+}
+
+Workload
+inceptionV3(int batch)
+{
+    Workload w;
+    w.name = "IV3_b" + std::to_string(batch);
+    const int64_t b = batch;
+    add(w, makeConv2d("iv3_stem1", b, 299, 299, 3, 32, 3, 2), 1);
+    add(w, makeConv2d("iv3_stem2", b, 149, 149, 32, 64, 3, 1), 2);
+    add(w, makeConv2d("iv3_stem3", b, 73, 73, 64, 192, 3, 1), 1);
+    add(w, makeConv2d("iv3_a_1x1", b, 35, 35, 288, 64, 1, 1), 6);
+    add(w, makeConv2d("iv3_a_3x3", b, 35, 35, 64, 96, 3, 1), 6);
+    add(w, makeConv2d("iv3_a_5x5", b, 35, 35, 48, 64, 5, 1), 3);
+    add(w, makeConv2d("iv3_b_1x1", b, 17, 17, 768, 192, 1, 1), 8);
+    add(w, makeConv2d("iv3_b_7x1", b, 17, 17, 160, 160, 7, 1), 8);
+    add(w, makeConv2d("iv3_c_1x1", b, 8, 8, 2048, 320, 1, 1), 4);
+    add(w, makeConv2d("iv3_c_3x3", b, 8, 8, 448, 384, 3, 1), 4);
+    add(w, makeGemm("iv3_fc", 1, b, 1000, 2048), 1);
+    add(w, makeElementwise("iv3_concat", b * 35 * 35 * 288, 1.0), 6);
+    return w;
+}
+
+Workload
+densenet121(int batch)
+{
+    Workload w;
+    w.name = "D121_b" + std::to_string(batch);
+    const int64_t b = batch;
+    add(w, makeConv2d("d121_conv1", b, 224, 224, 3, 64, 7, 2), 1);
+    add(w, makeConv2d("d121_b1_1x1", b, 56, 56, 256, 128, 1, 1), 6);
+    add(w, makeConv2d("d121_b1_3x3", b, 56, 56, 128, 32, 3, 1), 6);
+    add(w, makeConv2d("d121_t1", b, 56, 56, 256, 128, 1, 2), 1);
+    add(w, makeConv2d("d121_b2_1x1", b, 28, 28, 384, 128, 1, 1), 12);
+    add(w, makeConv2d("d121_b2_3x3", b, 28, 28, 128, 32, 3, 1), 12);
+    add(w, makeConv2d("d121_t2", b, 28, 28, 512, 256, 1, 2), 1);
+    add(w, makeConv2d("d121_b3_1x1", b, 14, 14, 640, 128, 1, 1), 24);
+    add(w, makeConv2d("d121_b3_3x3", b, 14, 14, 128, 32, 3, 1), 24);
+    add(w, makeConv2d("d121_t3", b, 14, 14, 1024, 512, 1, 2), 1);
+    add(w, makeConv2d("d121_b4_1x1", b, 7, 7, 768, 128, 1, 1), 16);
+    add(w, makeConv2d("d121_b4_3x3", b, 7, 7, 128, 32, 3, 1), 16);
+    add(w, makeGemm("d121_fc", 1, b, 1000, 1024), 1);
+    return w;
+}
+
+Workload
+mobilenetV2(int batch)
+{
+    Workload w;
+    w.name = "MbV2_b" + std::to_string(batch);
+    const int64_t b = batch;
+    add(w, makeConv2d("mb2_conv1", b, 224, 224, 3, 32, 3, 2), 1);
+    add(w, makeDepthwiseConv2d("mb2_dw1", b, 112, 112, 32, 3, 1), 1);
+    add(w, makeConv2d("mb2_pw1", b, 112, 112, 32, 16, 1, 1), 1);
+    add(w, makeConv2d("mb2_exp2", b, 112, 112, 16, 96, 1, 1), 1);
+    add(w, makeDepthwiseConv2d("mb2_dw2", b, 112, 112, 96, 3, 2), 1);
+    add(w, makeConv2d("mb2_pw2", b, 56, 56, 96, 24, 1, 1), 2);
+    add(w, makeConv2d("mb2_exp3", b, 56, 56, 24, 144, 1, 1), 2);
+    add(w, makeDepthwiseConv2d("mb2_dw3", b, 56, 56, 144, 3, 2), 1);
+    add(w, makeConv2d("mb2_pw3", b, 28, 28, 144, 32, 1, 1), 3);
+    add(w, makeConv2d("mb2_exp4", b, 28, 28, 32, 192, 1, 1), 3);
+    add(w, makeDepthwiseConv2d("mb2_dw4", b, 28, 28, 192, 3, 2), 1);
+    add(w, makeConv2d("mb2_pw4", b, 14, 14, 192, 64, 1, 1), 4);
+    add(w, makeConv2d("mb2_exp5", b, 14, 14, 64, 384, 1, 1), 4);
+    add(w, makeDepthwiseConv2d("mb2_dw5", b, 14, 14, 384, 3, 1), 4);
+    add(w, makeConv2d("mb2_pw5", b, 14, 14, 384, 96, 1, 1), 3);
+    add(w, makeDepthwiseConv2d("mb2_dw6", b, 14, 14, 576, 3, 2), 1);
+    add(w, makeConv2d("mb2_pw6", b, 7, 7, 576, 160, 1, 1), 3);
+    add(w, makeConv2d("mb2_exp7", b, 7, 7, 160, 960, 1, 1), 3);
+    add(w, makeConv2d("mb2_pw7", b, 7, 7, 960, 320, 1, 1), 1);
+    add(w, makeConv2d("mb2_head", b, 7, 7, 320, 1280, 1, 1), 1);
+    add(w, makeGemm("mb2_fc", 1, b, 1000, 1280), 1);
+    return w;
+}
+
+Workload
+dcgan(int batch)
+{
+    Workload w;
+    w.name = "DCGAN_b" + std::to_string(batch);
+    const int64_t b = batch;
+    add(w, makeGemm("dcgan_fc", 1, b, 512ll * 4 * 4, 100), 1);
+    add(w, makeConvTranspose2d("dcgan_ct1", b, 4, 4, 512, 256, 4, 2), 1);
+    add(w, makeConvTranspose2d("dcgan_ct2", b, 8, 8, 256, 128, 4, 2), 1);
+    add(w, makeConvTranspose2d("dcgan_ct3", b, 16, 16, 128, 64, 4, 2), 1);
+    add(w, makeConvTranspose2d("dcgan_ct4", b, 32, 32, 64, 3, 4, 2), 1);
+    add(w, makeElementwise("dcgan_tanh", b * 64 * 64 * 3, 4.0), 1);
+    return w;
+}
+
+Workload
+deeplabV3(int batch)
+{
+    Workload w;
+    w.name = "Dv3R50_b" + std::to_string(batch);
+    const int64_t b = batch;
+    // ResNet-50 backbone at output stride 16 (stage 5 dilated, 28x28 kept).
+    add(w, makeConv2d("dv3_conv1", b, 224, 224, 3, 64, 7, 2), 1);
+    add(w, makeConv2d("dv3_s2_3x3", b, 56, 56, 64, 64, 3, 1), 3);
+    add(w, makeConv2d("dv3_s2_1x1", b, 56, 56, 64, 256, 1, 1), 5);
+    add(w, makeConv2d("dv3_s3_3x3", b, 28, 28, 128, 128, 3, 1), 4);
+    add(w, makeConv2d("dv3_s3_1x1", b, 28, 28, 128, 512, 1, 1), 7);
+    add(w, makeConv2d("dv3_s4_3x3", b, 28, 28, 256, 256, 3, 1), 6);
+    add(w, makeConv2d("dv3_s4_1x1", b, 28, 28, 256, 1024, 1, 1), 11);
+    add(w, makeConv2d("dv3_s5_3x3d", b, 28, 28, 512, 512, 3, 1), 3);
+    add(w, makeConv2d("dv3_s5_1x1", b, 28, 28, 512, 2048, 1, 1), 5);
+    // ASPP: parallel dilated 3x3 branches + 1x1 + projection.
+    add(w, makeConv2d("dv3_aspp_3x3", b, 28, 28, 2048, 256, 3, 1), 3);
+    add(w, makeConv2d("dv3_aspp_1x1", b, 28, 28, 2048, 256, 1, 1), 1);
+    add(w, makeConv2d("dv3_proj", b, 28, 28, 1280, 256, 1, 1), 1);
+    add(w, makeConv2d("dv3_cls", b, 28, 28, 256, 21, 1, 1), 1);
+    add(w, makeElementwise("dv3_upsample", b * 224 * 224 * 21, 4.0), 1);
+    return w;
+}
+
+Workload
+resnet3d18(int batch)
+{
+    Workload w;
+    w.name = "R3D18_b" + std::to_string(batch);
+    const int64_t b = batch;
+    // 3D convs over (T=16, 112x112) mapped to the implicit-GEMM loop nest;
+    // the time dimension is folded into the spatial axis and the kernel
+    // depth into the reduction axis.
+    add(w, makeConv2d("r3d_conv1", b, 16 * 112, 112, 3 * 3, 64, 3, 2), 1);
+    add(w, makeConv2d("r3d_s2", b, 16 * 56, 56, 64 * 3, 64, 3, 1), 4);
+    add(w, makeConv2d("r3d_s3", b, 8 * 28, 28, 128 * 3, 128, 3, 1), 3);
+    add(w, makeConv2d("r3d_s3d", b, 16 * 56, 56, 64 * 3, 128, 3, 2), 1);
+    add(w, makeConv2d("r3d_s4", b, 4 * 14, 14, 256 * 3, 256, 3, 1), 3);
+    add(w, makeConv2d("r3d_s4d", b, 8 * 28, 28, 128 * 3, 256, 3, 2), 1);
+    add(w, makeConv2d("r3d_s5", b, 2 * 7, 7, 512 * 3, 512, 3, 1), 3);
+    add(w, makeConv2d("r3d_s5d", b, 4 * 14, 14, 256 * 3, 512, 3, 2), 1);
+    add(w, makeGemm("r3d_fc", 1, b, 400, 512), 1);
+    return w;
+}
+
+Workload
+vit(int batch, DType dtype)
+{
+    Workload w;
+    w.name = std::string("ViT_b") + std::to_string(batch) + "_" +
+             dtypeName(dtype);
+    const int64_t b = batch;
+    const int seq = 256 + 1; // 16x16 patches of a 256x256 image + cls token
+    // Patch embedding as a GEMM over flattened 16x16x3 patches.
+    add(w, makeGemm("vit_patch", 1, b * 256, 768, 16 * 16 * 3, dtype), 1);
+    addTransformerStack(w, "vit", 12, 12, 768, 3072, batch, seq, dtype);
+    add(w, makeGemm("vit_head", 1, b, 1000, 768, dtype), 1);
+    return w;
+}
+
+Workload
+detr(int batch)
+{
+    Workload w;
+    w.name = "DeTR_b" + std::to_string(batch);
+    const int64_t b = batch;
+    // ResNet-50 backbone on a 256x256 image (reduced-resolution shapes).
+    add(w, makeConv2d("detr_conv1", b, 256, 256, 3, 64, 7, 2), 1);
+    add(w, makeConv2d("detr_s2_3x3", b, 64, 64, 64, 64, 3, 1), 3);
+    add(w, makeConv2d("detr_s2_1x1", b, 64, 64, 64, 256, 1, 1), 5);
+    add(w, makeConv2d("detr_s3_3x3", b, 32, 32, 128, 128, 3, 1), 4);
+    add(w, makeConv2d("detr_s3_1x1", b, 32, 32, 128, 512, 1, 1), 7);
+    add(w, makeConv2d("detr_s4_3x3", b, 16, 16, 256, 256, 3, 1), 6);
+    add(w, makeConv2d("detr_s4_1x1", b, 16, 16, 256, 1024, 1, 1), 11);
+    add(w, makeConv2d("detr_s5_3x3", b, 8, 8, 512, 512, 3, 1), 3);
+    add(w, makeConv2d("detr_s5_1x1", b, 8, 8, 512, 2048, 1, 1), 5);
+    add(w, makeConv2d("detr_input_proj", b, 8, 8, 2048, 256, 1, 1), 1);
+    // Transformer: 6 encoder layers over 64 tokens, 6 decoder layers over
+    // 64 memory + 100 query tokens (approximated as one 164-token stack).
+    addTransformerStack(w, "detr_enc", 6, 8, 256, 2048, batch, 64,
+                        DType::Fp32);
+    addTransformerStack(w, "detr_dec", 6, 8, 256, 2048, batch, 164,
+                        DType::Fp32);
+    add(w, makeGemm("detr_class", 1, b * 100, 92, 256), 1);
+    add(w, makeGemm("detr_bbox", 1, b * 100, 4, 256), 3);
+    return w;
+}
+
+namespace {
+
+Workload
+transformerLm(const std::string& short_name, int layers, int heads,
+              int hidden, int intermediate, int batch, int seq, DType dtype,
+              int64_t vocab)
+{
+    Workload w;
+    w.name = short_name + "_b" + std::to_string(batch) + "_s" +
+             std::to_string(seq) + "_" + dtypeName(dtype);
+    addTransformerStack(w, short_name, layers, heads, hidden, intermediate,
+                        batch, seq, dtype);
+    add(w,
+        makeGemm(short_name + "_lmhead", 1,
+                 static_cast<int64_t>(batch) * seq, vocab, hidden, dtype,
+                 /*fused_tail=*/false),
+        1);
+    return w;
+}
+
+} // namespace
+
+Workload
+bertBase(int batch, int seq, DType dtype)
+{
+    return transformerLm("Bbase", 12, 12, 768, 3072, batch, seq, dtype,
+                         30522);
+}
+
+Workload
+bertTiny(int batch, int seq, DType dtype)
+{
+    return transformerLm("Btiny", 6, 8, 512, 2048, batch, seq, dtype, 30522);
+}
+
+Workload
+bertLarge(int batch, int seq, DType dtype)
+{
+    return transformerLm("Blarge", 24, 16, 1024, 4096, batch, seq, dtype,
+                         30522);
+}
+
+Workload
+gpt2(int batch, int seq, DType dtype)
+{
+    return transformerLm("GPT2", 12, 12, 768, 3072, batch, seq, dtype, 50257);
+}
+
+Workload
+llama(int batch, int seq, DType dtype)
+{
+    // Table 4's compact Llama variant (12 layers, hidden 768).
+    return transformerLm("Llama", 12, 12, 768, 3072, batch, seq, dtype,
+                         32000);
+}
+
+Workload
+opt13b(int batch, int seq, DType dtype)
+{
+    return transformerLm("OPT", 24, 32, 2048, 8192, batch, seq, dtype, 50272);
+}
+
+Workload
+mistral7b(int batch, int seq, DType dtype)
+{
+    return transformerLm("Mistral", 32, 32, 4096, 14336, batch, seq, dtype,
+                         32000);
+}
+
+Workload
+llamaDecode(int batch, int ctx, DType dtype)
+{
+    // Llama-7B-scale decode: hidden 4096, 32 heads, SwiGLU FFN 11008.
+    Workload w;
+    w.name = "LlamaDec_b" + std::to_string(batch) + "_c" +
+             std::to_string(ctx) + "_" + dtypeName(dtype);
+    const int hidden = 4096;
+    const int heads = 32;
+    const int head_dim = hidden / heads;
+    const int inter = 11008;
+    const int layers = 32;
+    const int64_t b = batch; // one new token per sequence
+    add(w, makeGemm("ldec_proj_qkvo", 1, b, hidden, hidden, dtype,
+                    /*fused_tail=*/false),
+        4 * layers);
+    add(w, makeGemm("ldec_proj_gateup", 1, b, inter, hidden, dtype,
+                    /*fused_tail=*/false),
+        2 * layers);
+    add(w, makeGemm("ldec_proj_down", 1, b, hidden, inter, dtype,
+                    /*fused_tail=*/false),
+        layers);
+    // Attention against the KV cache: per (batch*head), 1 x ctx x head_dim.
+    add(w, makeGemm("ldec_qkt", b * heads, 1, ctx, head_dim, dtype,
+                    /*fused_tail=*/false),
+        layers);
+    add(w, makeReductionOp("ldec_softmax", b * heads, ctx, dtype), layers);
+    add(w, makeGemm("ldec_attnv", b * heads, 1, head_dim, ctx, dtype,
+                    /*fused_tail=*/false),
+        layers);
+    add(w, makeElementwise("ldec_lnres", b * hidden, 8.0, dtype), 2 * layers);
+    add(w, makeGemm("ldec_lmhead", 1, b, 32000, hidden, dtype,
+                    /*fused_tail=*/false),
+        1);
+    return w;
+}
+
+std::vector<SubgraphTask>
+singleOpSuite()
+{
+    std::vector<SubgraphTask> ops;
+    ops.push_back(makeGemm("M-1", 1, 1024, 1024, 1024));
+    ops.push_back(makeGemm("M-2", 1, 64, 64, 16384)); // splitK-friendly
+    ops.push_back(makeGemm("M-3", 1, 4096, 4096, 512));
+    ops.push_back(makeConv2d("C1-1", 1, 56, 56, 64, 64, 3, 1));
+    ops.push_back(makeConv2d("C1-2", 1, 28, 28, 128, 128, 3, 1));
+    ops.push_back(makeConv2d("C1-3", 1, 14, 14, 256, 256, 3, 1));
+    ops.push_back(makeConv2d("C1-4", 1, 112, 112, 64, 128, 1, 1));
+    ops.push_back(makeConv2d("C2-1", 1, 112, 112, 64, 128, 3, 2));
+    ops.push_back(makeConv2d("C2-2", 1, 56, 56, 128, 256, 3, 2));
+    ops.push_back(makeConv2d("C2-3", 1, 28, 28, 256, 512, 3, 2));
+    ops.push_back(makeConv2d("C2-4", 1, 224, 224, 3, 64, 7, 2));
+    return ops;
+}
+
+Workload
+byName(const std::string& name)
+{
+    if (name == "R50") {
+        return resnet50();
+    }
+    if (name == "WR-50") {
+        return wideResnet50();
+    }
+    if (name == "I-V3") {
+        return inceptionV3();
+    }
+    if (name == "D-121") {
+        return densenet121();
+    }
+    if (name == "Mb-V2") {
+        return mobilenetV2();
+    }
+    if (name == "DCGAN") {
+        return dcgan();
+    }
+    if (name == "Dv3-R50") {
+        return deeplabV3();
+    }
+    if (name == "R3d18") {
+        return resnet3d18();
+    }
+    if (name == "ViT") {
+        return vit();
+    }
+    if (name == "DeTR") {
+        return detr();
+    }
+    if (name == "B-base") {
+        return bertBase();
+    }
+    if (name == "B-tiny") {
+        return bertTiny();
+    }
+    if (name == "B-large") {
+        return bertLarge();
+    }
+    if (name == "GPT-2") {
+        return gpt2();
+    }
+    if (name == "Llama") {
+        return llama();
+    }
+    if (name == "OPT") {
+        return opt13b();
+    }
+    if (name == "Mistral") {
+        return mistral7b();
+    }
+    PRUNER_FATAL("unknown workload name: " << name);
+}
+
+std::vector<std::string>
+allNames()
+{
+    return {"R50",   "WR-50",  "I-V3", "D-121", "Mb-V2", "DCGAN",
+            "Dv3-R50", "R3d18", "ViT",  "DeTR",  "B-base", "B-tiny",
+            "B-large", "GPT-2", "Llama", "OPT",  "Mistral"};
+}
+
+} // namespace workloads
+} // namespace pruner

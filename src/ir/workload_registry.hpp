@@ -1,0 +1,85 @@
+#pragma once
+
+/**
+ * @file workload_registry.hpp
+ * Registry of the DNN workloads evaluated in the paper (Tables 3 and 4).
+ *
+ * Each workload is a set of fused subgraph tasks with occurrence weights
+ * (how many times the subgraph appears in the network), mirroring how
+ * Ansor's graph partitioner deduplicates repeated layers. End-to-end
+ * latency is the weight-sum of per-task latencies.
+ */
+
+#include <string>
+#include <vector>
+
+#include "ir/task.hpp"
+
+namespace pruner {
+
+/** A subgraph together with its occurrence count in the network. */
+struct TaskInstance
+{
+    SubgraphTask task;
+    double weight = 1.0;
+};
+
+/** A DNN workload: named set of weighted subgraph tasks. */
+struct Workload
+{
+    std::string name;
+    std::vector<TaskInstance> tasks;
+
+    /** Weighted end-to-end latency; `per_task` holds one latency per task
+     *  in the same order as `tasks`. */
+    double endToEndLatency(const std::vector<double>& per_task) const;
+
+    /** Sum of task weights. */
+    double totalWeight() const;
+
+    size_t size() const { return tasks.size(); }
+};
+
+namespace workloads {
+
+// --- CNNs (Table 3), batch-1 FP32 unless noted ---
+Workload resnet50(int batch = 1);
+Workload wideResnet50(int batch = 1);
+Workload inceptionV3(int batch = 1);
+Workload densenet121(int batch = 1);
+Workload mobilenetV2(int batch = 1);
+Workload dcgan(int batch = 1);
+Workload deeplabV3(int batch = 1);
+Workload resnet3d18(int batch = 1); ///< TenSet test-set model
+
+// --- Transformers (Tables 3/4) ---
+Workload vit(int batch = 1, DType dtype = DType::Fp32);
+Workload detr(int batch = 1);
+Workload bertBase(int batch = 1, int seq = 128, DType dtype = DType::Fp32);
+Workload bertTiny(int batch = 1, int seq = 128, DType dtype = DType::Fp32);
+Workload bertLarge(int batch = 1, int seq = 128, DType dtype = DType::Fp32);
+Workload gpt2(int batch = 1, int seq = 128, DType dtype = DType::Fp32);
+Workload llama(int batch = 1, int seq = 128, DType dtype = DType::Fp32);
+Workload opt13b(int batch = 1, int seq = 128, DType dtype = DType::Fp16Tc);
+Workload mistral7b(int batch = 1, int seq = 128,
+                   DType dtype = DType::Fp16Tc);
+
+/** Llama-7B-scale decode phase: one token per sequence against a KV cache
+ *  of length `ctx` (Figures 10 and 13). */
+Workload llamaDecode(int batch = 32, int ctx = 1024,
+                     DType dtype = DType::Fp32);
+
+/** Single-operator suite of Figure 11: M-1..3 matmuls, C1-1..4 stride-1
+ *  convolutions, C2-1..4 stride-2 convolutions. */
+std::vector<SubgraphTask> singleOpSuite();
+
+/** Look up a workload by the paper's short name (e.g. "R50", "B-base",
+ *  "Mb-V2"); uses the paper's default shapes. Throws FatalError if
+ *  unknown. */
+Workload byName(const std::string& name);
+
+/** Short names of all registered workloads. */
+std::vector<std::string> allNames();
+
+} // namespace workloads
+} // namespace pruner

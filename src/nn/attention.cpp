@@ -1,0 +1,82 @@
+#include "nn/attention.hpp"
+
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace pruner {
+
+SelfAttention::SelfAttention(size_t dim, Rng& rng)
+    : dim_(dim),
+      wq_(dim, dim, rng),
+      wk_(dim, dim, rng),
+      wv_(dim, dim, rng),
+      wo_(dim, dim, rng)
+{
+}
+
+Matrix
+SelfAttention::forward(const Matrix& x)
+{
+    PRUNER_CHECK(x.cols() == dim_);
+    q_ = wq_.forward(x);
+    k_ = wk_.forward(x);
+    v_ = wv_.forward(x);
+    attn_ = Matrix::matmulNT(q_, k_);
+    attn_.scale(1.0 / std::sqrt(static_cast<double>(dim_)));
+    attn_.softmaxRows();
+    const Matrix ctx = Matrix::matmul(attn_, v_);
+    return wo_.forward(ctx);
+}
+
+Matrix
+SelfAttention::infer(const Matrix& x) const
+{
+    const Matrix q = wq_.infer(x);
+    const Matrix k = wk_.infer(x);
+    const Matrix v = wv_.infer(x);
+    Matrix attn = Matrix::matmulNT(q, k);
+    attn.scale(1.0 / std::sqrt(static_cast<double>(dim_)));
+    attn.softmaxRows();
+    return wo_.infer(Matrix::matmul(attn, v));
+}
+
+Matrix
+SelfAttention::backward(const Matrix& dy)
+{
+    PRUNER_CHECK(!attn_.empty());
+    const Matrix dctx = wo_.backward(dy);
+    // dA = dctx V^T ; dV = A^T dctx
+    Matrix dattn = Matrix::matmulNT(dctx, v_);
+    const Matrix dv = Matrix::matmulTN(attn_, dctx);
+    // Softmax backward per row: dS = A .* (dA - rowsum(dA .* A)).
+    for (size_t i = 0; i < dattn.rows(); ++i) {
+        double dot = 0.0;
+        const double* arow = attn_.row(i);
+        double* drow = dattn.row(i);
+        for (size_t j = 0; j < dattn.cols(); ++j) {
+            dot += drow[j] * arow[j];
+        }
+        for (size_t j = 0; j < dattn.cols(); ++j) {
+            drow[j] = arow[j] * (drow[j] - dot);
+        }
+    }
+    dattn.scale(1.0 / std::sqrt(static_cast<double>(dim_)));
+    const Matrix dq = Matrix::matmul(dattn, k_);
+    const Matrix dk = Matrix::matmulTN(dattn, q_);
+    Matrix dx = wq_.backward(dq);
+    dx.add(wk_.backward(dk));
+    dx.add(wv_.backward(dv));
+    return dx;
+}
+
+void
+SelfAttention::collectParams(std::vector<ParamRef>& out)
+{
+    wq_.collectParams(out);
+    wk_.collectParams(out);
+    wv_.collectParams(out);
+    wo_.collectParams(out);
+}
+
+} // namespace pruner

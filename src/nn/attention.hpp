@@ -1,0 +1,44 @@
+#pragma once
+
+/**
+ * @file attention.hpp
+ * Single-head scaled dot-product self-attention with manual backward.
+ *
+ * Used by the Pattern-aware Transformer's temporal-dataflow branch and by
+ * the TLP baseline's primitive-sequence encoder. One forward call processes
+ * one sequence [T, D]; batching is a loop over sequences (T is at most a
+ * few dozen for every feature type in this system).
+ */
+
+#include "nn/layers.hpp"
+
+namespace pruner {
+
+/** y = softmax(Q K^T / sqrt(d)) V, followed by an output projection. */
+class SelfAttention
+{
+  public:
+    SelfAttention() = default;
+    SelfAttention(size_t dim, Rng& rng);
+
+    /** Forward for one sequence x: [T, dim]; caches for backward. */
+    Matrix forward(const Matrix& x);
+
+    /** Cache-free forward (inference only). */
+    Matrix infer(const Matrix& x) const;
+
+    /** Backward: dy is [T, dim]; returns dL/dx. */
+    Matrix backward(const Matrix& dy);
+
+    void collectParams(std::vector<ParamRef>& out);
+
+    size_t dim() const { return dim_; }
+
+  private:
+    size_t dim_ = 0;
+    Linear wq_, wk_, wv_, wo_;
+    // Caches for backward.
+    Matrix q_, k_, v_, attn_;
+};
+
+} // namespace pruner

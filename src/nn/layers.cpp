@@ -1,0 +1,154 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace pruner {
+
+Linear::Linear(size_t in, size_t out, Rng& rng)
+    : w_(Matrix::randn(in, out, rng, std::sqrt(2.0 / (in + out)))),
+      b_(1, out),
+      dw_(in, out),
+      db_(1, out)
+{
+}
+
+Matrix
+Linear::forward(const Matrix& x)
+{
+    x_cache_ = x;
+    Matrix y = Matrix::matmul(x, w_);
+    y.addRowVector(b_);
+    return y;
+}
+
+Matrix
+Linear::infer(const Matrix& x) const
+{
+    Matrix y = Matrix::matmul(x, w_);
+    y.addRowVector(b_);
+    return y;
+}
+
+Matrix
+Linear::backward(const Matrix& dy)
+{
+    PRUNER_CHECK(!x_cache_.empty());
+    dw_.add(Matrix::matmulTN(x_cache_, dy));
+    db_.add(dy.colSum());
+    return Matrix::matmulNT(dy, w_);
+}
+
+void
+Linear::collectParams(std::vector<ParamRef>& out)
+{
+    out.push_back({&w_, &dw_});
+    out.push_back({&b_, &db_});
+}
+
+Matrix
+ReLU::forward(const Matrix& x)
+{
+    mask_ = Matrix(x.rows(), x.cols());
+    Matrix y = x;
+    for (size_t i = 0; i < y.data().size(); ++i) {
+        if (y.data()[i] > 0.0) {
+            mask_.data()[i] = 1.0;
+        } else {
+            y.data()[i] = 0.0;
+        }
+    }
+    return y;
+}
+
+Matrix
+ReLU::infer(const Matrix& x) const
+{
+    Matrix y = x;
+    for (double& v : y.data()) {
+        v = v > 0.0 ? v : 0.0;
+    }
+    return y;
+}
+
+Matrix
+ReLU::backward(const Matrix& dy)
+{
+    PRUNER_CHECK(!mask_.empty());
+    Matrix dx = dy;
+    dx.hadamard(mask_);
+    return dx;
+}
+
+Mlp::Mlp(const std::vector<size_t>& dims, Rng& rng)
+{
+    PRUNER_CHECK(dims.size() >= 2);
+    for (size_t i = 0; i + 1 < dims.size(); ++i) {
+        linears_.emplace_back(dims[i], dims[i + 1], rng);
+    }
+    relus_.resize(linears_.size() - 1);
+}
+
+Matrix
+Mlp::forward(const Matrix& x)
+{
+    Matrix h = x;
+    for (size_t i = 0; i < linears_.size(); ++i) {
+        h = linears_[i].forward(h);
+        if (i < relus_.size()) {
+            h = relus_[i].forward(h);
+        }
+    }
+    return h;
+}
+
+Matrix
+Mlp::infer(const Matrix& x) const
+{
+    Matrix h = x;
+    for (size_t i = 0; i < linears_.size(); ++i) {
+        h = linears_[i].infer(h);
+        if (i < relus_.size()) {
+            h = relus_[i].infer(h);
+        }
+    }
+    return h;
+}
+
+Matrix
+Mlp::backward(const Matrix& dy)
+{
+    Matrix d = dy;
+    for (size_t i = linears_.size(); i-- > 0;) {
+        if (i < relus_.size()) {
+            d = relus_[i].backward(d);
+        }
+        d = linears_[i].backward(d);
+    }
+    return d;
+}
+
+void
+Mlp::collectParams(std::vector<ParamRef>& out)
+{
+    for (auto& l : linears_) {
+        l.collectParams(out);
+    }
+}
+
+size_t
+Mlp::inDim() const
+{
+    PRUNER_CHECK(!linears_.empty());
+    return linears_.front().inDim();
+}
+
+size_t
+Mlp::outDim() const
+{
+    PRUNER_CHECK(!linears_.empty());
+    return linears_.back().outDim();
+}
+
+} // namespace pruner

@@ -1,0 +1,91 @@
+#pragma once
+
+/**
+ * @file layers.hpp
+ * Neural-network modules with explicit forward/backward passes.
+ *
+ * The library deliberately avoids a general autograd tape: every cost model
+ * in this reproduction is a fixed composition of Linear / ReLU / attention /
+ * pooling blocks, so hand-written backward passes are simpler, faster, and
+ * easy to gradient-check.
+ */
+
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace pruner {
+
+/** A (parameter, gradient) pair registered with the optimizer. */
+struct ParamRef
+{
+    Matrix* value = nullptr;
+    Matrix* grad = nullptr;
+};
+
+/** Fully connected layer: y = x W + b. */
+class Linear
+{
+  public:
+    Linear() = default;
+
+    /** Initialize with Kaiming-scaled weights. */
+    Linear(size_t in, size_t out, Rng& rng);
+
+    /** Forward pass; caches the input for backward. x: [n, in]. */
+    Matrix forward(const Matrix& x);
+
+    /** Forward without caching (inference-only, reentrant-safe). */
+    Matrix infer(const Matrix& x) const;
+
+    /** Backward pass: accumulates dW/db, returns dL/dx. */
+    Matrix backward(const Matrix& dy);
+
+    /** Register parameters with an optimizer. */
+    void collectParams(std::vector<ParamRef>& out);
+
+    size_t inDim() const { return w_.rows(); }
+    size_t outDim() const { return w_.cols(); }
+
+  private:
+    Matrix w_, b_;
+    Matrix dw_, db_;
+    Matrix x_cache_;
+};
+
+/** Elementwise rectifier. */
+class ReLU
+{
+  public:
+    Matrix forward(const Matrix& x);
+    Matrix infer(const Matrix& x) const;
+    Matrix backward(const Matrix& dy);
+
+  private:
+    Matrix mask_;
+};
+
+/**
+ * A stack of Linear+ReLU blocks with a linear head, e.g. {40,64,64,1}.
+ * The workhorse for the MLP cost model and all model branches.
+ */
+class Mlp
+{
+  public:
+    Mlp() = default;
+    Mlp(const std::vector<size_t>& dims, Rng& rng);
+
+    Matrix forward(const Matrix& x);
+    Matrix infer(const Matrix& x) const;
+    Matrix backward(const Matrix& dy);
+    void collectParams(std::vector<ParamRef>& out);
+
+    size_t inDim() const;
+    size_t outDim() const;
+
+  private:
+    std::vector<Linear> linears_;
+    std::vector<ReLU> relus_; // one fewer than linears_
+};
+
+} // namespace pruner

@@ -1,0 +1,45 @@
+#pragma once
+
+/**
+ * @file loss.hpp
+ * Ranking losses for cost-model training.
+ *
+ * The paper trains PaCM with normalized latency labels and the LambdaRank
+ * objective (Section 4.2). LambdaRank is pairwise: for every pair where
+ * candidate i truly outranks candidate j, a RankNet-style lambda weighted
+ * by the pair's |delta NDCG| is pushed through the scores.
+ */
+
+#include <vector>
+
+namespace pruner {
+
+/** Result of one loss evaluation over a group of candidates. */
+struct LossResult
+{
+    double loss = 0.0;
+    /** dL/dscore per candidate (same order as the inputs). */
+    std::vector<double> grad;
+};
+
+/**
+ * LambdaRank over one task's candidate group.
+ *
+ * @param scores     model scores, higher = predicted faster
+ * @param latencies  measured latencies, lower = truly faster
+ * @param sigma      RankNet temperature
+ */
+LossResult lambdaRankLoss(const std::vector<double>& scores,
+                          const std::vector<double>& latencies,
+                          double sigma = 1.0);
+
+/** Plain MSE against throughput labels (max over group = 1), used by the
+ *  regression-style ablations. */
+LossResult mseThroughputLoss(const std::vector<double>& scores,
+                             const std::vector<double>& latencies);
+
+/** Relevance labels used by lambdaRankLoss: best latency -> 1, others
+ *  proportional to best/latency. Exposed for tests. */
+std::vector<double> latencyToRelevance(const std::vector<double>& latencies);
+
+} // namespace pruner

@@ -1,0 +1,194 @@
+#include "nn/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace pruner {
+
+Matrix::Matrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+{
+}
+
+void
+Matrix::zero()
+{
+    std::fill(data_.begin(), data_.end(), 0.0);
+}
+
+Matrix
+Matrix::randn(size_t rows, size_t cols, Rng& rng, double scale)
+{
+    Matrix m(rows, cols);
+    for (double& v : m.data_) {
+        v = rng.normal() * scale;
+    }
+    return m;
+}
+
+Matrix
+Matrix::matmul(const Matrix& a, const Matrix& b)
+{
+    PRUNER_CHECK(a.cols_ == b.rows_);
+    Matrix c(a.rows_, b.cols_);
+    for (size_t i = 0; i < a.rows_; ++i) {
+        const double* arow = a.row(i);
+        double* crow = c.row(i);
+        for (size_t k = 0; k < a.cols_; ++k) {
+            const double aik = arow[k];
+            if (aik == 0.0) {
+                continue;
+            }
+            const double* brow = b.row(k);
+            for (size_t j = 0; j < b.cols_; ++j) {
+                crow[j] += aik * brow[j];
+            }
+        }
+    }
+    return c;
+}
+
+Matrix
+Matrix::matmulNT(const Matrix& a, const Matrix& b)
+{
+    PRUNER_CHECK(a.cols_ == b.cols_);
+    Matrix c(a.rows_, b.rows_);
+    for (size_t i = 0; i < a.rows_; ++i) {
+        const double* arow = a.row(i);
+        for (size_t j = 0; j < b.rows_; ++j) {
+            const double* brow = b.row(j);
+            double acc = 0.0;
+            for (size_t k = 0; k < a.cols_; ++k) {
+                acc += arow[k] * brow[k];
+            }
+            c.at(i, j) = acc;
+        }
+    }
+    return c;
+}
+
+Matrix
+Matrix::matmulTN(const Matrix& a, const Matrix& b)
+{
+    PRUNER_CHECK(a.rows_ == b.rows_);
+    Matrix c(a.cols_, b.cols_);
+    for (size_t k = 0; k < a.rows_; ++k) {
+        const double* arow = a.row(k);
+        const double* brow = b.row(k);
+        for (size_t i = 0; i < a.cols_; ++i) {
+            const double aki = arow[i];
+            if (aki == 0.0) {
+                continue;
+            }
+            double* crow = c.row(i);
+            for (size_t j = 0; j < b.cols_; ++j) {
+                crow[j] += aki * brow[j];
+            }
+        }
+    }
+    return c;
+}
+
+void
+Matrix::add(const Matrix& other)
+{
+    PRUNER_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+    for (size_t i = 0; i < data_.size(); ++i) {
+        data_[i] += other.data_[i];
+    }
+}
+
+void
+Matrix::addScaled(const Matrix& other, double scale)
+{
+    PRUNER_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+    for (size_t i = 0; i < data_.size(); ++i) {
+        data_[i] += scale * other.data_[i];
+    }
+}
+
+void
+Matrix::addRowVector(const Matrix& bias)
+{
+    PRUNER_CHECK(bias.rows_ == 1 && bias.cols_ == cols_);
+    for (size_t i = 0; i < rows_; ++i) {
+        double* r = row(i);
+        for (size_t j = 0; j < cols_; ++j) {
+            r[j] += bias.data_[j];
+        }
+    }
+}
+
+void
+Matrix::hadamard(const Matrix& other)
+{
+    PRUNER_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+    for (size_t i = 0; i < data_.size(); ++i) {
+        data_[i] *= other.data_[i];
+    }
+}
+
+void
+Matrix::scale(double s)
+{
+    for (double& v : data_) {
+        v *= s;
+    }
+}
+
+Matrix
+Matrix::colSum() const
+{
+    Matrix out(1, cols_);
+    for (size_t i = 0; i < rows_; ++i) {
+        const double* r = row(i);
+        for (size_t j = 0; j < cols_; ++j) {
+            out.data_[j] += r[j];
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::colMean() const
+{
+    Matrix out = colSum();
+    if (rows_ > 0) {
+        out.scale(1.0 / static_cast<double>(rows_));
+    }
+    return out;
+}
+
+void
+Matrix::softmaxRows()
+{
+    for (size_t i = 0; i < rows_; ++i) {
+        double* r = row(i);
+        double mx = r[0];
+        for (size_t j = 1; j < cols_; ++j) {
+            mx = std::max(mx, r[j]);
+        }
+        double sum = 0.0;
+        for (size_t j = 0; j < cols_; ++j) {
+            r[j] = std::exp(r[j] - mx);
+            sum += r[j];
+        }
+        for (size_t j = 0; j < cols_; ++j) {
+            r[j] /= sum;
+        }
+    }
+}
+
+double
+Matrix::norm() const
+{
+    double acc = 0.0;
+    for (double v : data_) {
+        acc += v * v;
+    }
+    return std::sqrt(acc);
+}
+
+} // namespace pruner

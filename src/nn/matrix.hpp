@@ -1,0 +1,88 @@
+#pragma once
+
+/**
+ * @file matrix.hpp
+ * Dense row-major matrix used by the tiny neural-network library.
+ *
+ * The learned cost models in this reproduction are small (hidden width 64,
+ * a handful of layers), so a straightforward cache-friendly implementation
+ * is plenty: the whole training loop for a cost model runs in seconds.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace pruner {
+
+/** Row-major dense matrix of doubles. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+    Matrix(size_t rows, size_t cols, double fill = 0.0);
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    double& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+    double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+    double* row(size_t r) { return data_.data() + r * cols_; }
+    const double* row(size_t r) const { return data_.data() + r * cols_; }
+
+    std::vector<double>& data() { return data_; }
+    const std::vector<double>& data() const { return data_; }
+
+    /** Fill with zeros. */
+    void zero();
+
+    /** Kaiming-style init: N(0, sqrt(2/fan_in)). */
+    static Matrix randn(size_t rows, size_t cols, Rng& rng, double scale);
+
+    /** C = A * B. */
+    static Matrix matmul(const Matrix& a, const Matrix& b);
+
+    /** C = A * B^T. */
+    static Matrix matmulNT(const Matrix& a, const Matrix& b);
+
+    /** C = A^T * B. */
+    static Matrix matmulTN(const Matrix& a, const Matrix& b);
+
+    /** this += other (same shape). */
+    void add(const Matrix& other);
+
+    /** this += scale * other. */
+    void addScaled(const Matrix& other, double scale);
+
+    /** Add a row vector (bias) to every row. */
+    void addRowVector(const Matrix& bias);
+
+    /** Elementwise product in place. */
+    void hadamard(const Matrix& other);
+
+    /** Multiply all entries by s. */
+    void scale(double s);
+
+    /** Sum over rows -> [1, cols]. */
+    Matrix colSum() const;
+
+    /** Mean over rows -> [1, cols]. */
+    Matrix colMean() const;
+
+    /** Row-wise softmax (in place), numerically stable. */
+    void softmaxRows();
+
+    /** Frobenius norm. */
+    double norm() const;
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+} // namespace pruner

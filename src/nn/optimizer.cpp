@@ -1,0 +1,109 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace pruner {
+
+Adam::Adam(std::vector<ParamRef> params, double lr, double beta1,
+           double beta2, double eps)
+    : params_(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps)
+{
+    for (const auto& p : params_) {
+        PRUNER_CHECK(p.value != nullptr && p.grad != nullptr);
+        m_.emplace_back(p.value->rows(), p.value->cols());
+        v_.emplace_back(p.value->rows(), p.value->cols());
+    }
+}
+
+void
+Adam::zeroGrad()
+{
+    for (auto& p : params_) {
+        p.grad->zero();
+    }
+}
+
+void
+Adam::clipGradNorm(double max_norm)
+{
+    double total = 0.0;
+    for (const auto& p : params_) {
+        const double n = p.grad->norm();
+        total += n * n;
+    }
+    total = std::sqrt(total);
+    if (total > max_norm && total > 0.0) {
+        const double s = max_norm / total;
+        for (auto& p : params_) {
+            p.grad->scale(s);
+        }
+    }
+}
+
+void
+Adam::step()
+{
+    ++t_;
+    const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+    const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+    for (size_t i = 0; i < params_.size(); ++i) {
+        auto& value = params_[i].value->data();
+        const auto& grad = params_[i].grad->data();
+        auto& m = m_[i].data();
+        auto& v = v_[i].data();
+        for (size_t j = 0; j < value.size(); ++j) {
+            m[j] = beta1_ * m[j] + (1.0 - beta1_) * grad[j];
+            v[j] = beta2_ * v[j] + (1.0 - beta2_) * grad[j] * grad[j];
+            const double mhat = m[j] / bc1;
+            const double vhat = v[j] / bc2;
+            value[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+        }
+    }
+}
+
+std::vector<double>
+flattenParams(const std::vector<ParamRef>& params)
+{
+    std::vector<double> flat;
+    for (const auto& p : params) {
+        flat.insert(flat.end(), p.value->data().begin(),
+                    p.value->data().end());
+    }
+    return flat;
+}
+
+void
+unflattenParams(const std::vector<ParamRef>& params,
+                const std::vector<double>& flat)
+{
+    size_t offset = 0;
+    for (const auto& p : params) {
+        auto& data = p.value->data();
+        PRUNER_CHECK_MSG(offset + data.size() <= flat.size(),
+                         "flat parameter vector too short");
+        std::copy(flat.begin() + offset, flat.begin() + offset + data.size(),
+                  data.begin());
+        offset += data.size();
+    }
+    PRUNER_CHECK_MSG(offset == flat.size(),
+                     "flat parameter vector too long");
+}
+
+void
+momentumUpdate(std::vector<double>& siamese,
+               const std::vector<double>& target, double m)
+{
+    PRUNER_CHECK(siamese.size() == target.size());
+    PRUNER_CHECK(m >= 0.0 && m <= 1.0);
+    for (size_t i = 0; i < siamese.size(); ++i) {
+        siamese[i] = m * siamese[i] + (1.0 - m) * target[i];
+    }
+}
+
+} // namespace pruner

@@ -1,0 +1,46 @@
+#include "nn/serialize.hpp"
+
+#include <fstream>
+
+#include "support/logging.hpp"
+
+namespace pruner {
+
+void
+saveParams(const std::string& path, const std::vector<double>& flat)
+{
+    std::ofstream out(path);
+    if (!out) {
+        PRUNER_FATAL("cannot open " << path << " for writing");
+    }
+    out.precision(17);
+    out << flat.size() << "\n";
+    for (double v : flat) {
+        out << v << "\n";
+    }
+    if (!out) {
+        PRUNER_FATAL("write failure on " << path);
+    }
+}
+
+std::vector<double>
+loadParams(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        PRUNER_FATAL("cannot open " << path << " for reading");
+    }
+    size_t n = 0;
+    if (!(in >> n)) {
+        PRUNER_FATAL("malformed parameter file " << path);
+    }
+    std::vector<double> flat(n);
+    for (size_t i = 0; i < n; ++i) {
+        if (!(in >> flat[i])) {
+            PRUNER_FATAL("truncated parameter file " << path);
+        }
+    }
+    return flat;
+}
+
+} // namespace pruner

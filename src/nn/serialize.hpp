@@ -1,0 +1,21 @@
+#pragma once
+
+/**
+ * @file serialize.hpp
+ * Flat-vector parameter snapshots with file round-tripping. Used for
+ * pre-trained model hand-off (offline -> online tuning) and by MoA.
+ */
+
+#include <string>
+#include <vector>
+
+namespace pruner {
+
+/** Write a flat parameter vector to a text file (one value per line). */
+void saveParams(const std::string& path, const std::vector<double>& flat);
+
+/** Read a flat parameter vector from a file written by saveParams.
+ *  Throws FatalError if the file is missing or malformed. */
+std::vector<double> loadParams(const std::string& path);
+
+} // namespace pruner

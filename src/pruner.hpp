@@ -1,0 +1,71 @@
+#pragma once
+
+/**
+ * @file pruner.hpp
+ * Top-level convenience header and facade for the Pruner library.
+ *
+ * Downstream users who just want "tune this network on that GPU" can
+ * include this single header and call pruner::api::tune(); everything the
+ * facade builds on is also public (see the per-module headers).
+ *
+ *   #include "pruner.hpp"
+ *   using namespace pruner;
+ *   auto result = api::tune(workloads::resnet50(), DeviceSpec::a100(),
+ *                           api::Method::MoAPruner);
+ */
+
+#include <string>
+
+#include "baselines/adatune.hpp"
+#include "baselines/ansor.hpp"
+#include "baselines/felix.hpp"
+#include "baselines/metaschedule.hpp"
+#include "baselines/roller.hpp"
+#include "baselines/tenset_mlp.hpp"
+#include "baselines/tlm.hpp"
+#include "baselines/tlp.hpp"
+#include "core/pruner_tuner.hpp"
+#include "dataset/dataset.hpp"
+#include "dataset/metrics.hpp"
+#include "ir/workload_registry.hpp"
+#include "search/record_log.hpp"
+#include "sim/vendor_library.hpp"
+
+namespace pruner {
+namespace api {
+
+/** Tuning methods exposed by the facade. */
+enum class Method : int {
+    Pruner = 0,
+    MoAPruner = 1,
+    Ansor = 2,
+    MetaSchedule = 3,
+    Roller = 4,
+};
+
+/** Extra knobs for tune(). Defaults match the scaled-down bench setup. */
+struct TuneConfig
+{
+    int rounds = 24;
+    int measures_per_round = 10;
+    uint64_t seed = 1;
+    /** For MoAPruner: pre-train the Siamese model on this platform's
+     *  simulated dataset before tuning ("" = no pre-training). */
+    std::string pretrain_platform = "k80";
+    size_t pretrain_schedules_per_task = 48;
+    int pretrain_epochs = 6;
+};
+
+/**
+ * Tune @p workload on @p device with @p method and return the result
+ * (curve, per-task bests, cost split). One-call entry point wrapping
+ * policy construction, MoA pre-training, and option plumbing.
+ */
+TuneResult tune(const Workload& workload, const DeviceSpec& device,
+                Method method = Method::Pruner, TuneConfig config = {});
+
+/** Human-readable method name. */
+const char* methodName(Method method);
+
+} // namespace api
+} // namespace pruner

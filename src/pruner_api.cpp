@@ -1,0 +1,74 @@
+#include "pruner.hpp"
+
+#include "support/logging.hpp"
+
+namespace pruner {
+namespace api {
+
+const char*
+methodName(Method method)
+{
+    switch (method) {
+      case Method::Pruner:
+        return "Pruner";
+      case Method::MoAPruner:
+        return "MoA-Pruner";
+      case Method::Ansor:
+        return "Ansor";
+      case Method::MetaSchedule:
+        return "MetaSchedule";
+      case Method::Roller:
+        return "Roller";
+    }
+    return "unknown";
+}
+
+TuneResult
+tune(const Workload& workload, const DeviceSpec& device, Method method,
+     TuneConfig config)
+{
+    PRUNER_CHECK_MSG(!workload.tasks.empty(), "empty workload");
+    TuneOptions options;
+    options.rounds = config.rounds;
+    options.measures_per_round = config.measures_per_round;
+    options.seed = config.seed;
+    options.constants = CostConstants::forDevice(device.name);
+
+    switch (method) {
+      case Method::Pruner: {
+        PrunerPolicy policy(device, {});
+        return policy.tune(workload, options);
+      }
+      case Method::MoAPruner: {
+        PrunerConfig pruner_config;
+        pruner_config.use_moa = true;
+        if (!config.pretrain_platform.empty()) {
+            const DeviceSpec source =
+                DeviceSpec::byName(config.pretrain_platform);
+            DatasetConfig dataset_config;
+            dataset_config.schedules_per_task =
+                config.pretrain_schedules_per_task;
+            const auto data =
+                generateDataset({workload}, source, dataset_config);
+            PaCMModel pretrain_model(device, config.seed ^ 0x9ACC);
+            pruner_config.pretrained = baselines::pretrainCostModel(
+                pretrain_model, data, config.pretrain_epochs);
+        }
+        PrunerPolicy policy(device, std::move(pruner_config));
+        return policy.tune(workload, options);
+      }
+      case Method::Ansor:
+        return baselines::makeAnsor(device, config.seed)
+            ->tune(workload, options);
+      case Method::MetaSchedule:
+        return baselines::makeMetaSchedule(device, config.seed)
+            ->tune(workload, options);
+      case Method::Roller:
+        return baselines::makeRoller(device, config.seed)
+            ->tune(workload, options);
+    }
+    PRUNER_FATAL("unknown tuning method");
+}
+
+} // namespace api
+} // namespace pruner

@@ -1,0 +1,118 @@
+#include "sched/mutator.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace pruner {
+
+ScheduleMutator::ScheduleMutator(const SubgraphTask& task,
+                                 const DeviceSpec& device)
+    : task_(&task), device_(&device), sampler_(task, device)
+{
+}
+
+void
+ScheduleMutator::migrateFactor(Schedule& sch, Rng& rng) const
+{
+    if (!sch.spatialMut().empty() && rng.bernoulli(0.7)) {
+        auto& s = sch.spatialMut()[rng.index(sch.spatialMut().size())];
+        // Move a factor of 2 between two tile positions (1..4); outer is
+        // re-derived by repair.
+        const int from = static_cast<int>(rng.uniformInt(1, 4));
+        const int to = static_cast<int>(rng.uniformInt(1, 4));
+        if (from != to && s.f[from] % 2 == 0) {
+            s.f[from] /= 2;
+            s.f[to] *= 2;
+        }
+    } else if (!sch.reductionMut().empty()) {
+        auto& r = sch.reductionMut()[rng.index(sch.reductionMut().size())];
+        const int from = static_cast<int>(rng.uniformInt(1, 2));
+        const int to = from == 1 ? 2 : 1;
+        if (r.f[from] % 2 == 0) {
+            r.f[from] /= 2;
+            r.f[to] *= 2;
+        } else {
+            r.f[to] *= 2;
+        }
+    }
+}
+
+void
+ScheduleMutator::resampleAxis(Schedule& sch, Rng& rng) const
+{
+    const Schedule fresh = sampler_.sample(rng);
+    const size_t n_sp = sch.spatialMut().size();
+    const size_t n_rd = sch.reductionMut().size();
+    const size_t total = n_sp + n_rd;
+    if (total == 0) {
+        return;
+    }
+    const size_t pick = rng.index(total);
+    if (pick < n_sp) {
+        sch.spatialMut()[pick] = fresh.spatial()[pick];
+    } else {
+        sch.reductionMut()[pick - n_sp] = fresh.reduction()[pick - n_sp];
+    }
+}
+
+void
+ScheduleMutator::mutateAnnotation(Schedule& sch, Rng& rng) const
+{
+    if (rng.bernoulli(0.5)) {
+        sch.setUnroll(unrollChoices()[rng.index(unrollChoices().size())]);
+    } else {
+        sch.setVectorLen(
+            vectorChoices()[rng.index(vectorChoices().size())]);
+    }
+}
+
+Schedule
+ScheduleMutator::mutate(const Schedule& sch, Rng& rng) const
+{
+    Schedule out = sch;
+    const double roll = rng.uniform();
+    if (roll < 0.45) {
+        migrateFactor(out, rng);
+    } else if (roll < 0.8) {
+        resampleAxis(out, rng);
+    } else {
+        mutateAnnotation(out, rng);
+    }
+    if (!sampler_.repair(out)) {
+        // Extremely rare; fall back to a fresh sample to stay valid.
+        out = sampler_.sample(rng);
+    }
+    return out;
+}
+
+Schedule
+ScheduleMutator::crossover(const Schedule& a, const Schedule& b,
+                           Rng& rng) const
+{
+    PRUNER_CHECK(a.spatial().size() == b.spatial().size());
+    PRUNER_CHECK(a.reduction().size() == b.reduction().size());
+    Schedule out = a;
+    for (size_t i = 0; i < out.spatialMut().size(); ++i) {
+        if (rng.bernoulli(0.5)) {
+            out.spatialMut()[i] = b.spatial()[i];
+        }
+    }
+    for (size_t i = 0; i < out.reductionMut().size(); ++i) {
+        if (rng.bernoulli(0.5)) {
+            out.reductionMut()[i] = b.reduction()[i];
+        }
+    }
+    if (rng.bernoulli(0.5)) {
+        out.setUnroll(b.unroll());
+    }
+    if (rng.bernoulli(0.5)) {
+        out.setVectorLen(b.vectorLen());
+    }
+    if (!sampler_.repair(out)) {
+        out = a;
+    }
+    return out;
+}
+
+} // namespace pruner

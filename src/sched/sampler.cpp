@@ -1,0 +1,227 @@
+#include "sched/sampler.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "support/logging.hpp"
+
+namespace pruner {
+
+ScheduleSampler::ScheduleSampler(const SubgraphTask& task,
+                                 const DeviceSpec& device)
+    : task_(&task), device_(&device)
+{
+}
+
+Schedule
+ScheduleSampler::sample(Rng& rng) const
+{
+    const auto& task = *task_;
+    const auto& dev = *device_;
+    std::vector<SpatialSplit> spatial(task.spatial.size());
+    std::vector<ReductionSplit> reduction(task.reduction.size());
+
+    // Per-axis thread budget: distribute max_threads_per_block across axes.
+    const int64_t per_axis_thread_cap = std::max<int64_t>(
+        dev.warp_size,
+        static_cast<int64_t>(dev.max_threads_per_block) /
+            std::max<size_t>(task.spatial.size(), 1));
+
+    for (size_t i = 0; i < task.spatial.size(); ++i) {
+        const int64_t extent = task.spatial[i].extent;
+        auto& s = spatial[i];
+        s.f[kThread] = sampleTileFactor(rng, extent, per_axis_thread_cap);
+        s.f[kVThread] = sampleTileFactor(rng, extent, 4);
+        s.f[kInnerA] = sampleTileFactor(rng, extent, 8);
+        s.f[kInnerB] = sampleTileFactor(rng, extent, 4);
+    }
+    for (size_t i = 0; i < task.reduction.size(); ++i) {
+        const int64_t extent = task.reduction[i].extent;
+        auto& r = reduction[i];
+        r.f[1] = sampleTileFactor(rng, extent, 32);
+        r.f[2] = sampleTileFactor(rng, extent, 8);
+    }
+
+    Schedule sch(std::move(spatial), std::move(reduction),
+                 unrollChoices()[rng.index(unrollChoices().size())],
+                 vectorChoices()[rng.index(vectorChoices().size())],
+                 /*cache_shared=*/!task.reduction.empty());
+    const bool ok = repair(sch);
+    PRUNER_CHECK_MSG(ok, "sampler produced an unrepairable schedule for "
+                             << task.key);
+    return sch;
+}
+
+std::vector<Schedule>
+ScheduleSampler::sampleMany(Rng& rng, size_t n) const
+{
+    std::vector<Schedule> out;
+    out.reserve(n);
+    std::unordered_set<uint64_t> seen;
+    size_t attempts = 0;
+    const size_t max_attempts = n * 20 + 64;
+    while (out.size() < n && attempts < max_attempts) {
+        ++attempts;
+        Schedule sch = sample(rng);
+        if (seen.insert(sch.hash()).second) {
+            out.push_back(std::move(sch));
+        }
+    }
+    // Tiny spaces may not have n distinct schedules; fill with duplicates
+    // so callers always get the population size they asked for.
+    while (out.size() < n && !out.empty()) {
+        out.push_back(out[rng.index(out.size())]);
+    }
+    return out;
+}
+
+bool
+ScheduleSampler::repair(Schedule& sch) const
+{
+    const auto& task = *task_;
+    const auto& dev = *device_;
+    if (sch.spatialMut().size() != task.spatial.size() ||
+        sch.reductionMut().size() != task.reduction.size()) {
+        return false;
+    }
+    for (auto& s : sch.spatialMut()) {
+        for (auto& f : s.f) {
+            f = std::max<int64_t>(f, 1);
+        }
+    }
+    for (auto& r : sch.reductionMut()) {
+        for (auto& f : r.f) {
+            f = std::max<int64_t>(f, 1);
+        }
+    }
+    // Clamp total threads per block into [1, max_threads_per_block] by
+    // halving the largest thread factor until we fit.
+    auto too_many_threads = [&]() {
+        return sch.threadsPerBlock() > dev.max_threads_per_block;
+    };
+    int guard = 0;
+    while (too_many_threads() && guard++ < 64) {
+        auto& splits = sch.spatialMut();
+        size_t argmax = 0;
+        for (size_t i = 1; i < splits.size(); ++i) {
+            if (splits[i].f[kThread] > splits[argmax].f[kThread]) {
+                argmax = i;
+            }
+        }
+        splits[argmax].f[kThread] = std::max<int64_t>(
+            splits[argmax].f[kThread] / 2, 1);
+    }
+    // Clamp vthreads to the practical limit.
+    guard = 0;
+    while (sch.numVThreads() > 64 && guard++ < 64) {
+        auto& splits = sch.spatialMut();
+        size_t argmax = 0;
+        for (size_t i = 1; i < splits.size(); ++i) {
+            if (splits[i].f[kVThread] > splits[argmax].f[kVThread]) {
+                argmax = i;
+            }
+        }
+        splits[argmax].f[kVThread] = std::max<int64_t>(
+            splits[argmax].f[kVThread] / 2, 1);
+    }
+    // Keep register tiles within what Ansor's rules would emit.
+    guard = 0;
+    while (sch.regTilePoints() > 256 && guard++ < 64) {
+        auto& splits = sch.spatialMut();
+        size_t best_axis = 0;
+        int best_pos = kInnerA;
+        int64_t best_val = 0;
+        for (size_t i = 0; i < splits.size(); ++i) {
+            for (int p : {kVThread, kInnerA, kInnerB}) {
+                if (splits[i].f[p] > best_val) {
+                    best_val = splits[i].f[p];
+                    best_axis = i;
+                    best_pos = p;
+                }
+            }
+        }
+        if (best_val <= 1) {
+            break;
+        }
+        splits[best_axis].f[best_pos] = std::max<int64_t>(best_val / 2, 1);
+    }
+    // Keep the shared-memory staging within the per-block budget, the way
+    // Ansor rejects sketches that cannot launch.
+    if (sch.cacheShared() && !task.reduction.empty()) {
+        auto smem_floats = [&]() {
+            double total = 0.0;
+            for (const auto& tensor : task.tensors) {
+                if (tensor.is_output) {
+                    continue;
+                }
+                double tile = 1.0;
+                for (int a : tensor.spatial_axes) {
+                    const auto& s = sch.spatial()[a];
+                    tile *= static_cast<double>(s.f[1] * s.f[2] * s.f[3] *
+                                                s.f[4]);
+                }
+                for (int r : tensor.reduction_axes) {
+                    tile *= static_cast<double>(
+                        sch.reduction()[r].innerProduct());
+                }
+                total += tile;
+            }
+            return total;
+        };
+        const double budget =
+            static_cast<double>(dev.smem_per_block_floats);
+        guard = 0;
+        while (smem_floats() > budget && guard++ < 64) {
+            // Prefer shrinking the reduction inner factors first (cheaper
+            // for reuse), then the largest spatial tile factor.
+            int64_t* victim = nullptr;
+            int64_t best = 1;
+            for (auto& r : sch.reductionMut()) {
+                for (int p : {1, 2}) {
+                    if (r.f[p] > best) {
+                        best = r.f[p];
+                        victim = &r.f[p];
+                    }
+                }
+            }
+            if (victim == nullptr || best <= 2) {
+                for (auto& s : sch.spatialMut()) {
+                    for (int p = 1; p < 5; ++p) {
+                        if (s.f[p] > best) {
+                            best = s.f[p];
+                            victim = &s.f[p];
+                        }
+                    }
+                }
+            }
+            if (victim == nullptr || best <= 1) {
+                break;
+            }
+            *victim = std::max<int64_t>(best / 2, 1);
+        }
+    }
+    // Shrink inner tiles that overshoot the axis extent on their own.
+    for (size_t i = 0; i < task.spatial.size(); ++i) {
+        auto& s = sch.spatialMut()[i];
+        const int64_t extent = task.spatial[i].extent;
+        guard = 0;
+        while (s.f[1] * s.f[2] * s.f[3] * s.f[4] > roundUp(extent, 2) * 2 &&
+               guard++ < 64) {
+            // Halve the biggest inner factor; keeps padding waste bounded.
+            int argmax = 1;
+            for (int p = 2; p < 5; ++p) {
+                if (s.f[p] > s.f[argmax]) {
+                    argmax = p;
+                }
+            }
+            if (s.f[argmax] <= 1) {
+                break;
+            }
+            s.f[argmax] = std::max<int64_t>(s.f[argmax] / 2, 1);
+        }
+    }
+    sch.repairOuter(task);
+    return sch.valid(task, dev.max_threads_per_block);
+}
+
+} // namespace pruner

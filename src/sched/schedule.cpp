@@ -1,0 +1,294 @@
+#include "sched/schedule.hpp"
+
+#include <sstream>
+
+#include "support/logging.hpp"
+#include "support/rng.hpp"
+
+namespace pruner {
+
+Schedule::Schedule(std::vector<SpatialSplit> spatial,
+                   std::vector<ReductionSplit> reduction, int unroll,
+                   int vector_len, bool cache_shared)
+    : spatial_(std::move(spatial)),
+      reduction_(std::move(reduction)),
+      unroll_(unroll),
+      vector_len_(vector_len),
+      cache_shared_(cache_shared)
+{
+}
+
+int64_t
+Schedule::numBlocks() const
+{
+    int64_t n = 1;
+    for (const auto& s : spatial_) {
+        n *= s.f[kBlock];
+    }
+    return n;
+}
+
+int64_t
+Schedule::threadsPerBlock() const
+{
+    int64_t n = 1;
+    for (const auto& s : spatial_) {
+        n *= s.f[kThread];
+    }
+    return n;
+}
+
+int64_t
+Schedule::numVThreads() const
+{
+    int64_t n = 1;
+    for (const auto& s : spatial_) {
+        n *= s.f[kVThread];
+    }
+    return n;
+}
+
+int64_t
+Schedule::regTilePoints() const
+{
+    int64_t n = 1;
+    for (const auto& s : spatial_) {
+        n *= s.regTile();
+    }
+    return n;
+}
+
+int64_t
+Schedule::reductionInner() const
+{
+    int64_t n = 1;
+    for (const auto& r : reduction_) {
+        n *= r.innerProduct();
+    }
+    return n;
+}
+
+double
+Schedule::paddingWaste(const SubgraphTask& task) const
+{
+    PRUNER_CHECK(spatial_.size() == task.spatial.size());
+    PRUNER_CHECK(reduction_.size() == task.reduction.size());
+    double waste = 1.0;
+    for (size_t i = 0; i < spatial_.size(); ++i) {
+        waste *= static_cast<double>(spatial_[i].product()) /
+                 static_cast<double>(task.spatial[i].extent);
+    }
+    for (size_t i = 0; i < reduction_.size(); ++i) {
+        waste *= static_cast<double>(reduction_[i].product()) /
+                 static_cast<double>(task.reduction[i].extent);
+    }
+    return waste;
+}
+
+void
+Schedule::repairOuter(const SubgraphTask& task)
+{
+    PRUNER_CHECK(spatial_.size() == task.spatial.size());
+    PRUNER_CHECK(reduction_.size() == task.reduction.size());
+    for (size_t i = 0; i < spatial_.size(); ++i) {
+        auto& s = spatial_[i];
+        int64_t inner = s.f[1] * s.f[2] * s.f[3] * s.f[4];
+        PRUNER_CHECK(inner >= 1);
+        s.f[kBlock] = ceilDiv(task.spatial[i].extent, inner);
+    }
+    for (size_t i = 0; i < reduction_.size(); ++i) {
+        auto& r = reduction_[i];
+        int64_t inner = r.f[1] * r.f[2];
+        PRUNER_CHECK(inner >= 1);
+        r.f[0] = ceilDiv(task.reduction[i].extent, inner);
+    }
+}
+
+bool
+Schedule::valid(const SubgraphTask& task, int max_threads) const
+{
+    if (spatial_.size() != task.spatial.size() ||
+        reduction_.size() != task.reduction.size()) {
+        return false;
+    }
+    for (const auto& s : spatial_) {
+        for (int64_t f : s.f) {
+            if (f < 1) {
+                return false;
+            }
+        }
+    }
+    for (const auto& r : reduction_) {
+        for (int64_t f : r.f) {
+            if (f < 1) {
+                return false;
+            }
+        }
+    }
+    const int64_t threads = threadsPerBlock();
+    if (threads < 1 || threads > max_threads) {
+        return false;
+    }
+    // Keep vthread counts within TVM's practical limit.
+    if (numVThreads() > 64) {
+        return false;
+    }
+    // Padded extents must cover the axes.
+    for (size_t i = 0; i < spatial_.size(); ++i) {
+        if (spatial_[i].product() < task.spatial[i].extent) {
+            return false;
+        }
+    }
+    for (size_t i = 0; i < reduction_.size(); ++i) {
+        if (reduction_[i].product() < task.reduction[i].extent) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::vector<SchedulePrimitive>
+Schedule::primitiveSequence(const SubgraphTask& task) const
+{
+    std::vector<SchedulePrimitive> seq;
+    for (size_t i = 0; i < spatial_.size(); ++i) {
+        for (int pos = 1; pos < 5; ++pos) {
+            seq.push_back({SchedulePrimitive::Split, static_cast<int>(i),
+                           spatial_[i].f[pos]});
+        }
+        seq.push_back({SchedulePrimitive::Bind, static_cast<int>(i),
+                       spatial_[i].f[kThread]});
+    }
+    for (size_t i = 0; i < reduction_.size(); ++i) {
+        for (int pos = 1; pos < 3; ++pos) {
+            seq.push_back({SchedulePrimitive::Split,
+                           static_cast<int>(spatial_.size() + i),
+                           reduction_[i].f[pos]});
+        }
+    }
+    seq.push_back({SchedulePrimitive::Reorder, 0,
+                   static_cast<int64_t>(task.spatial.size())});
+    if (cache_shared_) {
+        for (size_t t = 0; t + 1 < task.tensors.size(); ++t) {
+            seq.push_back(
+                {SchedulePrimitive::CacheRead, static_cast<int>(t), 1});
+        }
+    }
+    seq.push_back({SchedulePrimitive::Annotate, 0, unroll_});
+    seq.push_back({SchedulePrimitive::Annotate, 1, vector_len_});
+    return seq;
+}
+
+uint64_t
+Schedule::hash() const
+{
+    uint64_t h = splitmix64(0x5C4Dull);
+    for (const auto& s : spatial_) {
+        for (int64_t f : s.f) {
+            h = hashCombine(h, static_cast<uint64_t>(f));
+        }
+    }
+    for (const auto& r : reduction_) {
+        for (int64_t f : r.f) {
+            h = hashCombine(h, static_cast<uint64_t>(f) | (1ull << 42));
+        }
+    }
+    h = hashCombine(h, static_cast<uint64_t>(unroll_));
+    h = hashCombine(h, static_cast<uint64_t>(vector_len_));
+    h = hashCombine(h, cache_shared_ ? 1 : 0);
+    return h;
+}
+
+std::string
+Schedule::toString() const
+{
+    std::ostringstream oss;
+    for (size_t i = 0; i < spatial_.size(); ++i) {
+        oss << (i ? " " : "") << "s" << i << ":[";
+        for (int p = 0; p < 5; ++p) {
+            oss << (p ? "," : "") << spatial_[i].f[p];
+        }
+        oss << "]";
+    }
+    for (size_t i = 0; i < reduction_.size(); ++i) {
+        oss << " r" << i << ":[";
+        for (int p = 0; p < 3; ++p) {
+            oss << (p ? "," : "") << reduction_[i].f[p];
+        }
+        oss << "]";
+    }
+    oss << " u" << unroll_ << " v" << vector_len_
+        << (cache_shared_ ? " smem" : "");
+    return oss.str();
+}
+
+std::string
+Schedule::serialize() const
+{
+    std::ostringstream oss;
+    oss << spatial_.size() << ";" << reduction_.size() << ";";
+    for (const auto& s : spatial_) {
+        for (int64_t f : s.f) {
+            oss << f << ",";
+        }
+    }
+    oss << ";";
+    for (const auto& r : reduction_) {
+        for (int64_t f : r.f) {
+            oss << f << ",";
+        }
+    }
+    oss << ";" << unroll_ << ";" << vector_len_ << ";"
+        << (cache_shared_ ? 1 : 0);
+    return oss.str();
+}
+
+Schedule
+Schedule::deserialize(const std::string& text)
+{
+    std::istringstream iss(text);
+    std::string field;
+    auto next = [&]() {
+        if (!std::getline(iss, field, ';')) {
+            PRUNER_FATAL("malformed schedule record: " << text);
+        }
+        return field;
+    };
+    const size_t n_spatial = std::stoul(next());
+    const size_t n_reduction = std::stoul(next());
+    Schedule sch;
+    {
+        std::istringstream nums(next());
+        std::string tok;
+        for (size_t i = 0; i < n_spatial; ++i) {
+            SpatialSplit s;
+            for (int p = 0; p < 5; ++p) {
+                if (!std::getline(nums, tok, ',')) {
+                    PRUNER_FATAL("malformed spatial factors: " << text);
+                }
+                s.f[p] = std::stoll(tok);
+            }
+            sch.spatial_.push_back(s);
+        }
+    }
+    {
+        std::istringstream nums(next());
+        std::string tok;
+        for (size_t i = 0; i < n_reduction; ++i) {
+            ReductionSplit r;
+            for (int p = 0; p < 3; ++p) {
+                if (!std::getline(nums, tok, ',')) {
+                    PRUNER_FATAL("malformed reduction factors: " << text);
+                }
+                r.f[p] = std::stoll(tok);
+            }
+            sch.reduction_.push_back(r);
+        }
+    }
+    sch.unroll_ = std::stoi(next());
+    sch.vector_len_ = std::stoi(next());
+    sch.cache_shared_ = std::stoi(next()) != 0;
+    return sch;
+}
+
+} // namespace pruner

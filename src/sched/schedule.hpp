@@ -1,0 +1,136 @@
+#pragma once
+
+/**
+ * @file schedule.hpp
+ * A concrete schedule instance for a SubgraphTask.
+ *
+ * A Schedule assigns the multi-level tiling factors of every axis plus the
+ * loop annotations Ansor's GPU sketch exposes (auto-unroll limit,
+ * vectorization width, cooperative shared-memory staging). It is the unit
+ * the whole system revolves around: the sampler generates them, the GA
+ * mutates them, the symbol analyzer / cost models score them, and the
+ * simulator "measures" them.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/task.hpp"
+#include "sched/tiling.hpp"
+
+namespace pruner {
+
+/** Auto-unroll settings used by Ansor's GPU rules. */
+inline const std::vector<int>& unrollChoices()
+{
+    static const std::vector<int> kChoices{0, 16, 64, 512};
+    return kChoices;
+}
+
+/** Vectorization widths considered for global-memory access. */
+inline const std::vector<int>& vectorChoices()
+{
+    static const std::vector<int> kChoices{1, 2, 4};
+    return kChoices;
+}
+
+/** One step of the high-level schedule-primitive sequence (TLP's view). */
+struct SchedulePrimitive
+{
+    enum Kind : int {
+        Split = 0,
+        Reorder = 1,
+        CacheRead = 2,
+        Annotate = 3,
+        Bind = 4,
+    };
+    Kind kind = Split;
+    int axis = 0;     ///< axis ordinal the primitive applies to
+    int64_t arg = 0;  ///< factor / annotation value
+};
+
+/** A concrete schedule for one SubgraphTask. */
+class Schedule
+{
+  public:
+    Schedule() = default;
+
+    /** Construct with the given split counts (axes must match the task). */
+    Schedule(std::vector<SpatialSplit> spatial,
+             std::vector<ReductionSplit> reduction, int unroll = 64,
+             int vector_len = 1, bool cache_shared = true);
+
+    const std::vector<SpatialSplit>& spatial() const { return spatial_; }
+    const std::vector<ReductionSplit>& reduction() const
+    {
+        return reduction_;
+    }
+    std::vector<SpatialSplit>& spatialMut() { return spatial_; }
+    std::vector<ReductionSplit>& reductionMut() { return reduction_; }
+
+    int unroll() const { return unroll_; }
+    int vectorLen() const { return vector_len_; }
+    bool cacheShared() const { return cache_shared_; }
+    void setUnroll(int u) { unroll_ = u; }
+    void setVectorLen(int v) { vector_len_ = v; }
+    void setCacheShared(bool c) { cache_shared_ = c; }
+
+    /** Grid size: product of block factors across spatial axes. */
+    int64_t numBlocks() const;
+
+    /** Threads per block: product of thread factors. */
+    int64_t threadsPerBlock() const;
+
+    /** Virtual threads per block: product of vthread factors. */
+    int64_t numVThreads() const;
+
+    /** Output points computed per thread (register tile). */
+    int64_t regTilePoints() const;
+
+    /** Reduction length covered by one shared-memory stage (prod K1*K2). */
+    int64_t reductionInner() const;
+
+    /** Total padded iteration count divided by the true iteration count of
+     *  @p task; 1.0 means no wasted work. */
+    double paddingWaste(const SubgraphTask& task) const;
+
+    /**
+     * Re-derive the outer factors so the padded extent covers each axis of
+     * @p task with minimal overshoot. Call after mutating inner factors.
+     */
+    void repairOuter(const SubgraphTask& task);
+
+    /** True if the schedule is structurally valid for @p task on a device
+     *  with @p max_threads per block (axis counts match, factors positive,
+     *  thread count within limits). */
+    bool valid(const SubgraphTask& task, int max_threads) const;
+
+    /** The high-level primitive sequence (for TLP-style features). */
+    std::vector<SchedulePrimitive>
+    primitiveSequence(const SubgraphTask& task) const;
+
+    /** Stable content hash. */
+    uint64_t hash() const;
+
+    /** Compact human-readable form, e.g. "i:[2,8,2,4,1] k:[8,4,1] u64 v4". */
+    std::string toString() const;
+
+    /** Serialize to a compact text record (one line, no spaces). */
+    std::string serialize() const;
+
+    /** Parse a record produced by serialize(). Throws FatalError on
+     *  malformed input. */
+    static Schedule deserialize(const std::string& text);
+
+    bool operator==(const Schedule&) const = default;
+
+  private:
+    std::vector<SpatialSplit> spatial_;
+    std::vector<ReductionSplit> reduction_;
+    int unroll_ = 64;
+    int vector_len_ = 1;
+    bool cache_shared_ = true;
+};
+
+} // namespace pruner

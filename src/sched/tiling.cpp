@@ -1,0 +1,74 @@
+#include "sched/tiling.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+#include "support/rng.hpp"
+
+namespace pruner {
+
+int64_t
+ceilDiv(int64_t a, int64_t b)
+{
+    PRUNER_CHECK(a >= 0 && b > 0);
+    return (a + b - 1) / b;
+}
+
+int64_t
+roundUp(int64_t n, int64_t align)
+{
+    PRUNER_CHECK(align >= 1);
+    return ceilDiv(n, align) * align;
+}
+
+std::vector<int64_t>
+divisorsOf(int64_t n)
+{
+    PRUNER_CHECK(n >= 1);
+    std::vector<int64_t> lo, hi;
+    for (int64_t d = 1; d * d <= n; ++d) {
+        if (n % d == 0) {
+            lo.push_back(d);
+            if (d != n / d) {
+                hi.push_back(n / d);
+            }
+        }
+    }
+    lo.insert(lo.end(), hi.rbegin(), hi.rend());
+    return lo;
+}
+
+std::vector<int64_t>
+powersOfTwoUpTo(int64_t limit)
+{
+    std::vector<int64_t> out{1};
+    while (out.back() * 2 <= limit) {
+        out.push_back(out.back() * 2);
+    }
+    return out;
+}
+
+int64_t
+sampleTileFactor(Rng& rng, int64_t extent, int64_t limit)
+{
+    PRUNER_CHECK(limit >= 1);
+    const int64_t cap = std::min(limit, std::max<int64_t>(extent, 1));
+    if (cap == 1) {
+        return 1;
+    }
+    if (rng.bernoulli(0.8)) {
+        const auto pows = powersOfTwoUpTo(cap);
+        return pows[rng.index(pows.size())];
+    }
+    // Occasionally use an exact divisor so odd extents tile without padding.
+    auto divs = divisorsOf(extent);
+    divs.erase(std::remove_if(divs.begin(), divs.end(),
+                              [cap](int64_t d) { return d > cap; }),
+               divs.end());
+    if (divs.empty()) {
+        return 1;
+    }
+    return divs[rng.index(divs.size())];
+}
+
+} // namespace pruner

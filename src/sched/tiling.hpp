@@ -1,0 +1,93 @@
+#pragma once
+
+/**
+ * @file tiling.hpp
+ * Multi-level tiling primitives for the GPU schedule template.
+ *
+ * Following the paper's Figure 3, every spatial axis is split five ways
+ *   [I0 block, I1 thread, I2 vthread, I3, I4]   (I3/I4: register tiles)
+ * and every reduction axis three ways
+ *   [K0 outer (shared-memory stage loop), K1, K2 inner].
+ * The outermost factor always absorbs the remainder, so the padded extent
+ * (product of all factors) is >= the loop extent; the overshoot is wasted
+ * work, tracked explicitly.
+ */
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace pruner {
+
+class Rng;
+
+/** Positions within a 5-way spatial split. */
+enum SpatialPos : int {
+    kBlock = 0,
+    kThread = 1,
+    kVThread = 2,
+    kInnerA = 3,
+    kInnerB = 4,
+};
+
+/** A 5-way split of one spatial axis. */
+struct SpatialSplit
+{
+    std::array<int64_t, 5> f{1, 1, 1, 1, 1};
+
+    int64_t
+    product() const
+    {
+        return f[0] * f[1] * f[2] * f[3] * f[4];
+    }
+
+    /** Product of the register-tile factors (vthread * inner tiles). */
+    int64_t
+    regTile() const
+    {
+        return f[kVThread] * f[kInnerA] * f[kInnerB];
+    }
+
+    bool operator==(const SpatialSplit&) const = default;
+};
+
+/** A 3-way split of one reduction axis: [K0, K1, K2]. */
+struct ReductionSplit
+{
+    std::array<int64_t, 3> f{1, 1, 1};
+
+    int64_t
+    product() const
+    {
+        return f[0] * f[1] * f[2];
+    }
+
+    /** Factors kept inside the shared-memory stage (K1 * K2). */
+    int64_t
+    innerProduct() const
+    {
+        return f[1] * f[2];
+    }
+
+    bool operator==(const ReductionSplit&) const = default;
+};
+
+/** ceil(a / b) for positive integers. */
+int64_t ceilDiv(int64_t a, int64_t b);
+
+/** Round @p n up to the next multiple of @p align (align >= 1). */
+int64_t roundUp(int64_t n, int64_t align);
+
+/** All divisors of n (unsorted ascending). Intended for small-ish n. */
+std::vector<int64_t> divisorsOf(int64_t n);
+
+/** Powers of two <= limit (at least {1}). */
+std::vector<int64_t> powersOfTwoUpTo(int64_t limit);
+
+/**
+ * Sample a plausible tile factor <= limit: mostly powers of two, sometimes
+ * a divisor of @p extent, so irregular extents can be tiled exactly.
+ */
+int64_t sampleTileFactor(Rng& rng, int64_t extent, int64_t limit);
+
+} // namespace pruner

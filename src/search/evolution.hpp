@@ -1,0 +1,72 @@
+#pragma once
+
+/**
+ * @file evolution.hpp
+ * Score-guided evolutionary search over schedules.
+ *
+ * This is the exploration engine shared by every search policy: Ansor /
+ * TenSetMLP / TLP / MetaSchedule use it with a learned cost model as the
+ * fitness function (scoring the *whole* population each iteration — the
+ * expense Pruner attacks), and the Latent Schedule Explorer uses it with
+ * the Symbol-based Analyzer as fitness.
+ */
+
+#include <functional>
+#include <vector>
+
+#include "sched/mutator.hpp"
+#include "sched/sampler.hpp"
+
+namespace pruner {
+
+/** Configuration of the evolutionary search. */
+struct EvolutionConfig
+{
+    size_t population = 256;     ///< individuals per generation
+    int iterations = 4;          ///< generations after the initial scoring
+    double mutation_prob = 0.85; ///< mutate vs crossover when breeding
+    double elite_frac = 0.15;    ///< survivors copied unchanged
+    size_t out_size = 512;       ///< size of the returned candidate set
+};
+
+/** A schedule with its fitness score (higher = better). */
+struct ScoredSchedule
+{
+    Schedule sch;
+    double score = 0.0;
+};
+
+/** Fitness: batch-scores candidates (higher = predicted faster). */
+using ScoreFn =
+    std::function<std::vector<double>(const std::vector<Schedule>&)>;
+
+/** Score-guided GA returning the all-time best candidates. */
+class EvolutionarySearch
+{
+  public:
+    EvolutionarySearch(const SubgraphTask& task, const DeviceSpec& device);
+
+    /**
+     * Run the GA.
+     *
+     * @param config  population / iteration settings
+     * @param score   fitness function
+     * @param seeds   schedules injected into the first generation (e.g.
+     *                the task's measured incumbents)
+     * @param rng     randomness source
+     * @param n_evaluated  out: number of fitness evaluations performed
+     * @return up to config.out_size distinct candidates, best first
+     */
+    std::vector<ScoredSchedule>
+    run(const EvolutionConfig& config, const ScoreFn& score,
+        const std::vector<Schedule>& seeds, Rng& rng,
+        size_t* n_evaluated) const;
+
+  private:
+    const SubgraphTask* task_;
+    const DeviceSpec* device_;
+    ScheduleSampler sampler_;
+    ScheduleMutator mutator_;
+};
+
+} // namespace pruner

@@ -1,0 +1,62 @@
+#include "search/measurer.hpp"
+
+#include <cmath>
+
+namespace pruner {
+
+Measurer::Measurer(const DeviceSpec& device, SimClock* clock, uint64_t seed,
+                   const CostConstants& constants)
+    : simulator_(device), clock_(clock), rng_(seed), constants_(constants)
+{
+}
+
+std::vector<double>
+Measurer::measure(const SubgraphTask& task,
+                  const std::vector<Schedule>& candidates)
+{
+    std::vector<double> out;
+    out.reserve(candidates.size());
+    for (const auto& sch : candidates) {
+        const double latency = simulator_.measure(task, sch, rng_);
+        out.push_back(latency);
+        ++total_trials_;
+        if (!std::isfinite(latency)) {
+            ++failed_trials_;
+        }
+        if (clock_ != nullptr) {
+            clock_->charge(CostCategory::Compile,
+                           constants_.compile_per_trial);
+            clock_->charge(CostCategory::Measurement,
+                           constants_.measure_per_trial);
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+Measurer::measureAdaptive(const SubgraphTask& task,
+                          const std::vector<Schedule>& candidates,
+                          double time_scale, double extra_noise)
+{
+    std::vector<double> out;
+    out.reserve(candidates.size());
+    for (const auto& sch : candidates) {
+        double latency = simulator_.measure(task, sch, rng_);
+        if (std::isfinite(latency)) {
+            latency *= std::exp(rng_.normal(0.0, extra_noise));
+        } else {
+            ++failed_trials_;
+        }
+        out.push_back(latency);
+        ++total_trials_;
+        if (clock_ != nullptr) {
+            clock_->charge(CostCategory::Compile,
+                           constants_.compile_per_trial);
+            clock_->charge(CostCategory::Measurement,
+                           constants_.measure_per_trial * time_scale);
+        }
+    }
+    return out;
+}
+
+} // namespace pruner

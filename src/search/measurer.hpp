@@ -1,0 +1,53 @@
+#pragma once
+
+/**
+ * @file measurer.hpp
+ * On-device measurement stage: compiles and runs candidate programs on the
+ * (simulated) target and charges the SimClock for compilation and
+ * measurement, following the cost split of the paper's Tables 1 and 7.
+ */
+
+#include <vector>
+
+#include "sim/gpu_simulator.hpp"
+#include "support/sim_clock.hpp"
+
+namespace pruner {
+
+/** Measurement executor for one device. */
+class Measurer
+{
+  public:
+    /** @param device     target platform
+     *  @param clock      simulated clock to charge (may be nullptr)
+     *  @param seed       measurement-noise stream seed
+     *  @param constants  calibrated per-trial costs */
+    Measurer(const DeviceSpec& device, SimClock* clock, uint64_t seed,
+             const CostConstants& constants = CostConstants::defaults());
+
+    /** Measure candidates; +inf entries are failed launches. Charges
+     *  compile+measurement cost per trial. */
+    std::vector<double> measure(const SubgraphTask& task,
+                                const std::vector<Schedule>& candidates);
+
+    /** Adaptive variant (the Adatune baseline): early-terminated
+     *  measurements cost @p time_scale of a full trial but carry
+     *  @p extra_noise additional relative error. */
+    std::vector<double> measureAdaptive(
+        const SubgraphTask& task, const std::vector<Schedule>& candidates,
+        double time_scale, double extra_noise);
+
+    const GpuSimulator& simulator() const { return simulator_; }
+    size_t totalTrials() const { return total_trials_; }
+    size_t failedTrials() const { return failed_trials_; }
+
+  private:
+    GpuSimulator simulator_;
+    SimClock* clock_;
+    Rng rng_;
+    CostConstants constants_;
+    size_t total_trials_ = 0;
+    size_t failed_trials_ = 0;
+};
+
+} // namespace pruner

@@ -1,0 +1,114 @@
+#include "search/record_log.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "support/logging.hpp"
+
+namespace pruner {
+
+std::string
+recordToLine(const MeasuredRecord& record)
+{
+    std::ostringstream oss;
+    oss.precision(17);
+    oss << record.task.key << "\t" << record.task.hash() << "\t"
+        << record.sch.serialize() << "\t" << record.latency;
+    return oss.str();
+}
+
+bool
+lineToRecord(const std::string& line,
+             const std::vector<SubgraphTask>& known_tasks,
+             MeasuredRecord* out)
+{
+    PRUNER_CHECK(out != nullptr);
+    std::istringstream iss(line);
+    std::string key, hash_str, sched_str, latency_str;
+    if (!std::getline(iss, key, '\t') ||
+        !std::getline(iss, hash_str, '\t') ||
+        !std::getline(iss, sched_str, '\t') ||
+        !std::getline(iss, latency_str)) {
+        return false;
+    }
+    uint64_t task_hash = 0;
+    double latency = 0.0;
+    try {
+        task_hash = std::stoull(hash_str);
+        latency = std::stod(latency_str);
+    } catch (const std::exception&) {
+        return false;
+    }
+    if (!std::isfinite(latency) || latency <= 0.0) {
+        return false;
+    }
+    const SubgraphTask* task = nullptr;
+    for (const auto& t : known_tasks) {
+        if (t.hash() == task_hash) {
+            task = &t;
+            break;
+        }
+    }
+    if (task == nullptr) {
+        return false;
+    }
+    try {
+        out->sch = Schedule::deserialize(sched_str);
+    } catch (const std::exception&) {
+        return false;
+    }
+    out->task = *task;
+    out->latency = latency;
+    return true;
+}
+
+void
+appendRecordLog(const std::string& path,
+                const std::vector<MeasuredRecord>& records)
+{
+    std::ofstream out(path, std::ios::app);
+    if (!out) {
+        PRUNER_FATAL("cannot open record log " << path << " for append");
+    }
+    for (const auto& record : records) {
+        out << recordToLine(record) << "\n";
+    }
+    if (!out) {
+        PRUNER_FATAL("write failure on record log " << path);
+    }
+}
+
+std::vector<MeasuredRecord>
+loadRecordLog(const std::string& path,
+              const std::vector<SubgraphTask>& known_tasks)
+{
+    std::ifstream in(path);
+    if (!in) {
+        PRUNER_FATAL("cannot open record log " << path);
+    }
+    std::vector<MeasuredRecord> records;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty()) {
+            continue;
+        }
+        MeasuredRecord record;
+        if (lineToRecord(line, known_tasks, &record)) {
+            records.push_back(std::move(record));
+        }
+    }
+    return records;
+}
+
+void
+replayIntoDb(const std::vector<MeasuredRecord>& records, TuningRecordDb* db)
+{
+    PRUNER_CHECK(db != nullptr);
+    for (const auto& record : records) {
+        db->add(record);
+    }
+}
+
+} // namespace pruner

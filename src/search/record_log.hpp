@@ -1,0 +1,52 @@
+#pragma once
+
+/**
+ * @file record_log.hpp
+ * Persistence for tuning records — the analog of TVM's JSON log files.
+ *
+ * A tuned workload's value is the set of best schedules found; persisting
+ * measured records lets a deployment apply them without re-tuning, warm-
+ * start later tuning sessions (the paper's offline scenario), or build
+ * datasets incrementally. The format is line-oriented text:
+ *
+ *   <task-key>\t<task-hash>\t<schedule-record>\t<latency-seconds>
+ */
+
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.hpp"
+#include "search/tuning_record.hpp"
+
+namespace pruner {
+
+/** Serialize one record to a single log line. */
+std::string recordToLine(const MeasuredRecord& record);
+
+/**
+ * Parse one log line against a set of known tasks (records referencing
+ * unknown tasks are skipped — the schedule alone cannot reconstruct a
+ * task). Returns true and fills @p out on success.
+ */
+bool lineToRecord(const std::string& line,
+                  const std::vector<SubgraphTask>& known_tasks,
+                  MeasuredRecord* out);
+
+/** Append records to a log file (creates it if missing). */
+void appendRecordLog(const std::string& path,
+                     const std::vector<MeasuredRecord>& records);
+
+/**
+ * Load all records from @p path that reference one of @p known_tasks.
+ * Malformed lines and unknown tasks are skipped; a missing file throws
+ * FatalError.
+ */
+std::vector<MeasuredRecord>
+loadRecordLog(const std::string& path,
+              const std::vector<SubgraphTask>& known_tasks);
+
+/** Replay records into a TuningRecordDb (e.g. to warm-start tuning). */
+void replayIntoDb(const std::vector<MeasuredRecord>& records,
+                  TuningRecordDb* db);
+
+} // namespace pruner

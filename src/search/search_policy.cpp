@@ -1,0 +1,201 @@
+#include "search/search_policy.hpp"
+
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+#include "support/logging.hpp"
+
+namespace pruner {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+} // namespace
+
+double
+TuneResult::timeToReach(double latency) const
+{
+    for (const auto& point : curve) {
+        if (point.latency_s <= latency) {
+            return point.time_s;
+        }
+    }
+    return kInf;
+}
+
+double
+workloadBest(const Workload& workload, const TuningRecordDb& db)
+{
+    double total = 0.0;
+    for (const auto& inst : workload.tasks) {
+        const double best = db.bestLatency(inst.task);
+        if (!std::isfinite(best)) {
+            return kInf;
+        }
+        total += inst.weight * best;
+    }
+    return total;
+}
+
+std::vector<Schedule>
+selectForMeasurement(const std::vector<ScoredSchedule>& ranked,
+                     const SubgraphTask& task, const TuningRecordDb& db,
+                     const ScheduleSampler& sampler, size_t n, double eps,
+                     Rng& rng)
+{
+    std::vector<Schedule> out;
+    std::unordered_set<uint64_t> chosen;
+    auto try_add = [&](const Schedule& sch) {
+        if (out.size() >= n) {
+            return;
+        }
+        if (db.measured(task, sch) || !chosen.insert(sch.hash()).second) {
+            return;
+        }
+        out.push_back(sch);
+    };
+    // Epsilon share comes from fresh random samples (exploration).
+    const size_t n_random =
+        static_cast<size_t>(std::ceil(eps * static_cast<double>(n)));
+    for (const auto& scored : ranked) {
+        if (out.size() + n_random >= n) {
+            break;
+        }
+        try_add(scored.sch);
+    }
+    size_t guard = 0;
+    while (out.size() < n && guard++ < n * 30) {
+        try_add(sampler.sample(rng));
+    }
+    return out;
+}
+
+EvoCostModelPolicy::EvoCostModelPolicy(std::string name,
+                                       const DeviceSpec& device,
+                                       std::unique_ptr<CostModel> model,
+                                       EvoPolicyConfig config)
+    : name_(std::move(name)),
+      device_(device),
+      model_(std::move(model)),
+      config_(config)
+{
+    PRUNER_CHECK(model_ != nullptr);
+}
+
+bool
+EvoCostModelPolicy::supportsTask(const SubgraphTask&) const
+{
+    return true;
+}
+
+std::vector<double>
+EvoCostModelPolicy::scoreCandidates(
+    const SubgraphTask& task, const std::vector<Schedule>& candidates) const
+{
+    return model_->predict(task, candidates);
+}
+
+TuneResult
+EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
+{
+    TuneResult result;
+    result.policy = name_;
+
+    // Operator-coverage check (Figure 8: unsupported operators abort the
+    // whole workload for Adatune / Felix / TLM).
+    for (const auto& inst : workload.tasks) {
+        if (!supportsTask(inst.task)) {
+            result.failed = true;
+            result.failure_reason =
+                "unsupported operator: " + inst.task.key;
+            result.final_latency = kInf;
+            return result;
+        }
+    }
+
+    SimClock clock;
+    Rng rng(opts.seed);
+    Measurer measurer(device_, &clock, hashCombine(opts.seed, 0x3EA5),
+                      opts.constants);
+    TuningRecordDb db;
+    TaskScheduler scheduler(workload);
+
+    for (int round = 0; round < opts.rounds; ++round) {
+        const size_t idx = scheduler.nextTask(db, rng);
+        const SubgraphTask& task = workload.tasks[idx].task;
+        ScheduleSampler sampler(task, device_);
+        EvolutionarySearch evo(task, device_);
+
+        std::vector<Schedule> seeds;
+        if (const Schedule* best = db.bestSchedule(task)) {
+            seeds.push_back(*best);
+        }
+        size_t evals = 0;
+        const auto ranked = evo.run(
+            config_.evolution,
+            [&](const std::vector<Schedule>& cands) {
+                return scoreCandidates(task, cands);
+            },
+            seeds, rng, &evals);
+        clock.charge(CostCategory::Exploration,
+                     static_cast<double>(evals) *
+                         model_->evalCostPerCandidate());
+
+        const auto to_measure = selectForMeasurement(
+            ranked, task, db, sampler,
+            static_cast<size_t>(opts.measures_per_round), opts.eps_greedy,
+            rng);
+        const auto latencies =
+            config_.adaptive_measurement
+                ? measurer.measureAdaptive(task, to_measure,
+                                           config_.adaptive_time_scale,
+                                           config_.adaptive_extra_noise)
+                : measurer.measure(task, to_measure);
+        for (size_t i = 0; i < to_measure.size(); ++i) {
+            if (std::isfinite(latencies[i])) {
+                db.add({task, to_measure[i], latencies[i]});
+            }
+        }
+        scheduler.observe(idx, db.bestLatency(task));
+
+        if (opts.online_training && config_.online_training &&
+            db.size() >= 16) {
+            model_->train(db.recentWindow(768), opts.train_epochs);
+            clock.charge(CostCategory::Training,
+                         model_->trainCostPerRound());
+        }
+
+        const double e2e = workloadBest(workload, db);
+        if (std::isfinite(e2e)) {
+            result.curve.push_back({clock.now(), e2e});
+        }
+    }
+
+    result.best_per_task.reserve(workload.tasks.size());
+    for (const auto& inst : workload.tasks) {
+        result.best_per_task.push_back(db.bestLatency(inst.task));
+    }
+    result.final_latency = workloadBest(workload, db);
+    result.total_time_s = clock.now();
+    result.exploration_s = clock.total(CostCategory::Exploration);
+    result.training_s = clock.total(CostCategory::Training);
+    result.measurement_s = clock.total(CostCategory::Measurement);
+    result.compile_s = clock.total(CostCategory::Compile);
+    result.trials = measurer.totalTrials();
+    result.failed_trials = measurer.failedTrials();
+
+    // A learned model that diverged (non-finite scores) means the policy
+    // lost its search signal — the paper observes this for TLP fine-tuned
+    // on small data ("the tuning curve disappears").
+    const auto probe = model_->predict(workload.tasks[0].task,
+                                       {ScheduleSampler(
+                                            workload.tasks[0].task, device_)
+                                            .sample(rng)});
+    if (!probe.empty() && !std::isfinite(probe[0])) {
+        result.failed = true;
+        result.failure_reason = "cost model diverged";
+    }
+    return result;
+}
+
+} // namespace pruner

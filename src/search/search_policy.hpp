@@ -1,0 +1,140 @@
+#pragma once
+
+/**
+ * @file search_policy.hpp
+ * The abstract tuner interface plus the shared evolution+cost-model tuning
+ * loop used by the Ansor / TenSetMLP / TLP / MetaSchedule baselines.
+ *
+ * A SearchPolicy tunes a whole workload: each round it picks one subgraph
+ * (gradient-based task scheduler), explores its schedule space, measures a
+ * few candidates, and optionally updates its cost model online. All time
+ * accounting flows through SimClock with the calibrated CostConstants.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.hpp"
+#include "ir/workload_registry.hpp"
+#include "search/evolution.hpp"
+#include "search/measurer.hpp"
+#include "search/task_scheduler.hpp"
+#include "search/tuning_record.hpp"
+#include "support/sim_clock.hpp"
+
+namespace pruner {
+
+/** Options shared by every tuner. */
+struct TuneOptions
+{
+    int rounds = 200;           ///< tuning rounds (paper: 200)
+    int measures_per_round = 10;///< programs measured per round (paper: 10)
+    uint64_t seed = 1;
+    bool online_training = true;///< online cost-model updates
+    int train_epochs = 1;       ///< epochs per online update
+    double eps_greedy = 0.05;   ///< random fraction of measured programs
+    CostConstants constants = CostConstants::defaults();
+};
+
+/** One point of a tuning curve: simulated time vs best end-to-end
+ *  latency. */
+struct CurvePoint
+{
+    double time_s = 0.0;
+    double latency_s = 0.0;
+};
+
+/** Result of tuning one workload. */
+struct TuneResult
+{
+    std::string policy;
+    std::vector<CurvePoint> curve;
+    std::vector<double> best_per_task; ///< +inf where nothing measured
+    double final_latency = 0.0;        ///< weighted end-to-end, +inf if
+                                       ///< any task is unmeasured
+    double total_time_s = 0.0;
+    double exploration_s = 0.0;
+    double training_s = 0.0;
+    double measurement_s = 0.0;
+    double compile_s = 0.0;
+    size_t trials = 0;
+    size_t failed_trials = 0;
+    bool failed = false; ///< the policy could not tune this workload
+    std::string failure_reason;
+
+    /** Simulated time at which the curve first reaches @p latency;
+     *  +inf if it never does. */
+    double timeToReach(double latency) const;
+};
+
+/** Weighted end-to-end latency from the per-task incumbents; +inf if any
+ *  task has no measurement. */
+double workloadBest(const Workload& workload, const TuningRecordDb& db);
+
+/** Abstract workload tuner. */
+class SearchPolicy
+{
+  public:
+    virtual ~SearchPolicy() = default;
+    virtual std::string name() const = 0;
+    virtual TuneResult tune(const Workload& workload,
+                            const TuneOptions& options) = 0;
+};
+
+/** Configuration of the shared evolution-based tuning loop. */
+struct EvoPolicyConfig
+{
+    EvolutionConfig evolution; ///< population/iterations of the GA
+    /** If false, skip online training (offline mode with a pre-trained
+     *  model, as in the paper's offline scenario). */
+    bool online_training = true;
+    /** Adaptive (early-terminated) measurement, the Adatune behaviour. */
+    bool adaptive_measurement = false;
+    double adaptive_time_scale = 0.6;
+    double adaptive_extra_noise = 0.08;
+};
+
+/**
+ * The shared tuning loop: evolutionary search scored by a learned cost
+ * model over the full population. Ansor, TenSetMLP, TLP, MetaSchedule and
+ * Adatune are this loop with different models/options.
+ */
+class EvoCostModelPolicy : public SearchPolicy
+{
+  public:
+    EvoCostModelPolicy(std::string name, const DeviceSpec& device,
+                       std::unique_ptr<CostModel> model,
+                       EvoPolicyConfig config = {});
+
+    std::string name() const override { return name_; }
+    TuneResult tune(const Workload& workload,
+                    const TuneOptions& options) override;
+
+    CostModel& model() { return *model_; }
+    const DeviceSpec& device() const { return device_; }
+
+  protected:
+    /** Hook: can this policy tune the given task at all? Baselines with
+     *  operator-coverage gaps override this (Figure 8's X marks). */
+    virtual bool supportsTask(const SubgraphTask& task) const;
+
+    /** Hook: scores candidates; default defers to the cost model. */
+    virtual std::vector<double>
+    scoreCandidates(const SubgraphTask& task,
+                    const std::vector<Schedule>& candidates) const;
+
+    std::string name_;
+    DeviceSpec device_;
+    std::unique_ptr<CostModel> model_;
+    EvoPolicyConfig config_;
+};
+
+/** Select up to @p n distinct unmeasured candidates: mostly best-first,
+ *  an eps fraction random (Ansor's epsilon-greedy selection). */
+std::vector<Schedule> selectForMeasurement(
+    const std::vector<ScoredSchedule>& ranked, const SubgraphTask& task,
+    const TuningRecordDb& db, const ScheduleSampler& sampler, size_t n,
+    double eps, Rng& rng);
+
+} // namespace pruner

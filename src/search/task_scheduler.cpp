@@ -1,0 +1,71 @@
+#include "search/task_scheduler.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "support/logging.hpp"
+
+namespace pruner {
+
+TaskScheduler::TaskScheduler(const Workload& workload)
+    : workload_(&workload),
+      history_(workload.tasks.size()),
+      rounds_(workload.tasks.size(), 0)
+{
+    PRUNER_CHECK(!workload.tasks.empty());
+}
+
+size_t
+TaskScheduler::nextTask(const TuningRecordDb& records, Rng& rng)
+{
+    const size_t n = workload_->tasks.size();
+    // First pass: round-robin until every task has been visited once, so
+    // the end-to-end latency is defined.
+    if (round_robin_cursor_ < n) {
+        return round_robin_cursor_++;
+    }
+    // Epsilon-greedy over the estimated objective gradient.
+    if (rng.bernoulli(0.05)) {
+        return rng.index(n);
+    }
+    size_t best_idx = 0;
+    double best_gain = -1.0;
+    for (size_t i = 0; i < n; ++i) {
+        const auto& inst = workload_->tasks[i];
+        const double best = records.bestLatency(inst.task);
+        if (!std::isfinite(best)) {
+            return i; // still unmeasured (all its trials failed): retry
+        }
+        // Recent improvement rate from this task's round history.
+        double rate = 0.15; // optimistic prior for barely-tuned tasks
+        const auto& h = history_[i];
+        if (h.size() >= 2) {
+            const double prev = h[h.size() - 2];
+            const double curr = h.back();
+            rate = std::max((prev - curr) / prev, 0.0);
+        }
+        // Exploration bonus decays with rounds spent on the task.
+        const double explore =
+            0.05 / std::sqrt(static_cast<double>(rounds_[i] + 1));
+        const double gain = inst.weight * best * (rate + explore);
+        if (gain > best_gain) {
+            best_gain = gain;
+            best_idx = i;
+        }
+    }
+    return best_idx;
+}
+
+void
+TaskScheduler::observe(size_t index, double best_latency)
+{
+    PRUNER_CHECK(index < history_.size());
+    ++rounds_[index];
+    auto& h = history_[index];
+    h.push_back(best_latency);
+    if (h.size() > 8) {
+        h.erase(h.begin());
+    }
+}
+
+} // namespace pruner

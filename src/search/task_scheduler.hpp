@@ -1,0 +1,43 @@
+#pragma once
+
+/**
+ * @file task_scheduler.hpp
+ * Ansor's gradient-based task scheduler (used by Algorithm 1, line 8).
+ *
+ * Tuning rounds are allocated across a workload's subgraphs to minimize the
+ * weighted end-to-end latency: each round the scheduler picks the task
+ * whose estimated latency-reduction gradient (weight x incumbent latency x
+ * recent improvement rate, plus an exploration bonus for under-tuned
+ * tasks) is largest.
+ */
+
+#include "ir/workload_registry.hpp"
+#include "search/tuning_record.hpp"
+#include "support/rng.hpp"
+
+namespace pruner {
+
+/** Gradient-based multi-task tuning scheduler. */
+class TaskScheduler
+{
+  public:
+    explicit TaskScheduler(const Workload& workload);
+
+    /** Choose the task index to tune next. */
+    size_t nextTask(const TuningRecordDb& records, Rng& rng);
+
+    /** Record that a round for task @p index finished with the given best
+     *  latency (feeds the improvement-rate estimate). */
+    void observe(size_t index, double best_latency);
+
+    size_t numTasks() const { return workload_->tasks.size(); }
+
+  private:
+    const Workload* workload_;
+    /** Per task: best latency seen at the end of its last few rounds. */
+    std::vector<std::vector<double>> history_;
+    std::vector<size_t> rounds_;
+    size_t round_robin_cursor_ = 0;
+};
+
+} // namespace pruner

@@ -1,0 +1,89 @@
+#pragma once
+
+/**
+ * @file gpu_simulator.hpp
+ * Ground-truth GPU performance model ("on-device measurement" substrate).
+ *
+ * The paper measures candidate programs on physical GPUs. This simulator
+ * replaces that step with an analytical model that is strictly richer than
+ * the Symbol-based Analyzer draft model: on top of the resource/penalty
+ * structure SA reasons about, it models
+ *
+ *   - occupancy (register / shared-memory / thread limits) and its effect
+ *     on latency hiding,
+ *   - SM wave quantization with a partial last wave,
+ *   - L2-cache capture of repeated global traffic,
+ *   - global-memory coalescing and vectorized access,
+ *   - shared-memory bank conflicts,
+ *   - unroll / vthread instruction-level parallelism,
+ *   - register spilling,
+ *   - the TensorCore (WMMA 16x16x16) path for FP16 tasks,
+ *   - a deterministic per-(platform, task, schedule) perturbation so
+ *     different platforms rank schedules differently (the domain gap that
+ *     motivates MoA), and
+ *   - optional measurement noise.
+ *
+ * None of the learned components ever see these formulas; they only see
+ * (schedule, measured latency) pairs, exactly like the real system.
+ */
+
+#include "device/device_spec.hpp"
+#include "ir/task.hpp"
+#include "sched/schedule.hpp"
+#include "support/rng.hpp"
+
+namespace pruner {
+
+/** Detailed breakdown of one simulated execution (for tests/debugging). */
+struct SimBreakdown
+{
+    double compute_s = 0.0;
+    double memory_s = 0.0;
+    double occupancy = 0.0;     ///< active warps / max warps per SM
+    double waves = 0.0;         ///< number of SM waves
+    double dram_bytes = 0.0;    ///< bytes served from DRAM
+    double l2_bytes = 0.0;      ///< bytes served from L2
+    double spill_factor = 1.0;  ///< register-spill slowdown
+    double bank_conflict = 1.0; ///< shared-memory conflict slowdown
+    bool launch_failed = false; ///< resource limits exceeded
+};
+
+/** The analytical GPU model. Thread-safe for concurrent const use. */
+class GpuSimulator
+{
+  public:
+    explicit GpuSimulator(const DeviceSpec& device);
+
+    /**
+     * Deterministic ("true") latency of @p sch on this device, in seconds.
+     * Returns +inf if the schedule cannot launch (shared memory or thread
+     * limits exceeded), mirroring a failed on-device measurement.
+     */
+    double trueLatency(const SubgraphTask& task, const Schedule& sch) const;
+
+    /** trueLatency with the component breakdown exposed. */
+    double trueLatency(const SubgraphTask& task, const Schedule& sch,
+                       SimBreakdown* breakdown) const;
+
+    /** One noisy measurement: trueLatency perturbed by ~2% lognormal
+     *  measurement noise drawn from @p rng. */
+    double measure(const SubgraphTask& task, const Schedule& sch,
+                   Rng& rng) const;
+
+    /**
+     * Best latency achievable by a perfectly tuned implementation of
+     * @p task on this device: the roofline bound at realistic peak
+     * efficiency. Vendor-library models build on this.
+     */
+    double idealLatency(const SubgraphTask& task) const;
+
+    const DeviceSpec& device() const { return device_; }
+
+    /** Measurement-noise sigma (lognormal). */
+    static constexpr double kMeasureNoise = 0.02;
+
+  private:
+    DeviceSpec device_;
+};
+
+} // namespace pruner

@@ -1,0 +1,137 @@
+#include "sim/vendor_library.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace pruner {
+
+const char*
+vendorBackendName(VendorBackend b)
+{
+    switch (b) {
+      case VendorBackend::CudaLib:
+        return "cudaLib";
+      case VendorBackend::PyTorch:
+        return "PyTorch";
+      case VendorBackend::Triton:
+        return "Triton";
+      case VendorBackend::TensorRT:
+        return "TensorRT";
+    }
+    return "unknown";
+}
+
+VendorLibrary::VendorLibrary(const DeviceSpec& device) : simulator_(device) {}
+
+bool
+VendorLibrary::wantsSplitK(const SubgraphTask& task) const
+{
+    if (task.op_class != OpClass::Gemm) {
+        return false;
+    }
+    // splitK pays off when the reduction axis dominates the spatial
+    // parallelism (decode-phase projections, Table 8's GEMM #2/#4, M-2):
+    // cuBLAS switches when K is long relative to the output tile grid.
+    const double k = static_cast<double>(task.reductionSize());
+    const double points = static_cast<double>(task.outputPoints());
+    return k >= 512.0 && k >= 2.0 * std::sqrt(points);
+}
+
+VendorResult
+VendorLibrary::taskLatency(const SubgraphTask& task,
+                           VendorBackend backend) const
+{
+    VendorResult res;
+    const double ideal = simulator_.idealLatency(task);
+
+    // --- operator-family efficiency of the cudaLib kernel set ---
+    double factor;
+    switch (task.op_class) {
+      case OpClass::Gemm: {
+        // Alignment: library kernels like multiples of 64 on the GEMM dims.
+        const int64_t n = task.spatial.back().extent;
+        const bool aligned = n % 64 == 0 && task.reductionSize() % 16 == 0;
+        factor = aligned ? 1.08 : 1.28;
+        if (wantsSplitK(task)) {
+            factor = 1.12; // splitK restores parallelism
+            res.used_splitk = true;
+        }
+        break;
+      }
+      case OpClass::Conv2d:
+        factor = 1.12;
+        if (task.conv_kernel == 3 && task.conv_stride == 1 &&
+            task.dtype == DType::Fp32) {
+            factor = 0.62; // Winograd F(2,3): ~2.25x fewer multiplies
+            res.used_winograd = true;
+        }
+        break;
+      case OpClass::DepthwiseConv2d:
+        factor = 1.55; // libraries are notoriously weak here
+        break;
+      case OpClass::ConvTranspose2d:
+        factor = 1.30;
+        break;
+      case OpClass::Elementwise:
+        factor = 1.05;
+        break;
+      case OpClass::Reduction:
+        factor = 1.15;
+        break;
+      default:
+        factor = 1.2;
+        break;
+    }
+
+    // --- backend adjustments ---
+    double overhead = 0.0;
+    switch (backend) {
+      case VendorBackend::CudaLib:
+        overhead = 3e-6;
+        break;
+      case VendorBackend::PyTorch:
+        overhead = 12e-6; // eager dispatch
+        if (task.op_class == OpClass::Elementwise ||
+            task.op_class == OpClass::Reduction) {
+            factor *= 1.25; // unfused pointwise chains
+        }
+        break;
+      case VendorBackend::Triton:
+        overhead = 6e-6;
+        factor *= 1.22; // generated kernels trail hand-tuned ones
+        if (task.op_class == OpClass::Elementwise) {
+            factor *= 0.70; // but Inductor fuses pointwise chains well
+        }
+        if (res.used_winograd) {
+            factor /= 0.62; // Triton convs do not use Winograd
+            factor *= 1.05;
+            res.used_winograd = false;
+        }
+        break;
+      case VendorBackend::TensorRT:
+        overhead = 2e-6;
+        factor *= 0.97; // tactic selection + fusion
+        if (task.op_class == OpClass::Elementwise) {
+            factor *= 0.30; // fused into neighbouring kernels
+        }
+        break;
+    }
+
+    res.latency_s = ideal * factor + overhead;
+    return res;
+}
+
+double
+VendorLibrary::workloadLatency(const Workload& workload,
+                               VendorBackend backend) const
+{
+    double total = 0.0;
+    for (const auto& inst : workload.tasks) {
+        total += inst.weight * taskLatency(inst.task, backend).latency_s;
+    }
+    return total;
+}
+
+} // namespace pruner

@@ -1,0 +1,68 @@
+#pragma once
+
+/**
+ * @file vendor_library.hpp
+ * Models of the off-the-shelf inference backends the paper compares against
+ * (PyTorch/cudaLib, Triton via TorchInductor, Torch-TensorRT).
+ *
+ * Each backend is priced as the device roofline (GpuSimulator::idealLatency)
+ * times a backend- and operator-dependent efficiency factor, plus a per-op
+ * dispatch overhead. The special cases the paper calls out are modelled
+ * explicitly:
+ *   - splitK GEMM kernels in cudaLib: near-roofline even when the spatial
+ *     parallelism is too small for tile-only mappings (Table 8, Fig. 13),
+ *   - Winograd for 3x3 stride-1 FP32 convolutions (Section 6.2),
+ *   - operator fusion in TensorRT/Triton (cheap elementwise epilogues),
+ *   - library weakness on depthwise / transposed convolutions.
+ */
+
+#include "device/device_spec.hpp"
+#include "ir/task.hpp"
+#include "ir/workload_registry.hpp"
+#include "sim/gpu_simulator.hpp"
+
+namespace pruner {
+
+/** The off-the-shelf backends of Figures 9/12/13 and Tables 6/8. */
+enum class VendorBackend : int {
+    CudaLib = 0,  ///< cuBLAS/cuDNN kernels, no framework overhead
+    PyTorch = 1,  ///< cudaLib kernels + eager dispatch overhead
+    Triton = 2,   ///< TorchInductor max-autotune Triton kernels
+    TensorRT = 3, ///< Torch-TensorRT engine
+};
+
+const char* vendorBackendName(VendorBackend b);
+
+/** Result of pricing one task on a vendor backend. */
+struct VendorResult
+{
+    double latency_s = 0.0;
+    bool used_splitk = false;
+    bool used_winograd = false;
+};
+
+/** Vendor-library latency model for one device. */
+class VendorLibrary
+{
+  public:
+    explicit VendorLibrary(const DeviceSpec& device);
+
+    /** Latency of a single fused subgraph on @p backend. */
+    VendorResult taskLatency(const SubgraphTask& task,
+                             VendorBackend backend) const;
+
+    /** Weighted end-to-end workload latency, including per-op dispatch
+     *  overhead. */
+    double workloadLatency(const Workload& workload,
+                           VendorBackend backend) const;
+
+    /** True if cudaLib would select a splitK kernel for this task. */
+    bool wantsSplitK(const SubgraphTask& task) const;
+
+    const DeviceSpec& device() const { return simulator_.device(); }
+
+  private:
+    GpuSimulator simulator_;
+};
+
+} // namespace pruner

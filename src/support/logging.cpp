@@ -1,0 +1,50 @@
+#include "support/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace pruner {
+
+namespace {
+std::atomic<int> g_log_level{0};
+} // namespace
+
+int
+logLevel()
+{
+    return g_log_level.load(std::memory_order_relaxed);
+}
+
+int
+setLogLevel(int level)
+{
+    return g_log_level.exchange(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+throwFatal(const char* file, int line, const std::string& msg)
+{
+    std::ostringstream oss;
+    oss << file << ":" << line << ": fatal: " << msg;
+    throw FatalError(oss.str());
+}
+
+void
+throwInternal(const char* file, int line, const std::string& msg)
+{
+    std::ostringstream oss;
+    oss << file << ":" << line << ": internal: " << msg;
+    throw InternalError(oss.str());
+}
+
+void
+logMessage(int level, const std::string& msg)
+{
+    const char* tag = level >= 2 ? "[debug] " : "[info] ";
+    std::cerr << tag << msg << "\n";
+}
+
+} // namespace detail
+} // namespace pruner

@@ -1,0 +1,89 @@
+#pragma once
+
+/**
+ * @file logging.hpp
+ * Logging and invariant-checking macros for the pruner library.
+ *
+ * Follows the gem5 fatal()/panic() split:
+ *  - PRUNER_FATAL: the situation is the caller's fault (bad configuration,
+ *    invalid argument); throws pruner::FatalError so callers/tests can catch.
+ *  - PRUNER_CHECK / PRUNER_ICHECK: internal invariant; a failure is a bug in
+ *    this library and also throws (with file/line), never silently continues.
+ */
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pruner {
+
+/** Error thrown for user-caused failures (invalid config or arguments). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/** Error thrown for violated internal invariants (library bugs). */
+class InternalError : public std::logic_error
+{
+  public:
+    explicit InternalError(const std::string& msg) : std::logic_error(msg) {}
+};
+
+/** Global log verbosity. 0 = silent, 1 = info, 2 = debug. */
+int logLevel();
+
+/** Set global log verbosity (returns the previous level). */
+int setLogLevel(int level);
+
+namespace detail {
+
+/** Stream-collecting helper that throws on destruction of the message. */
+[[noreturn]] void throwFatal(const char* file, int line,
+                             const std::string& msg);
+[[noreturn]] void throwInternal(const char* file, int line,
+                                const std::string& msg);
+void logMessage(int level, const std::string& msg);
+
+} // namespace detail
+
+} // namespace pruner
+
+#define PRUNER_FATAL(msg_expr)                                               \
+    do {                                                                     \
+        std::ostringstream pruner_oss_;                                      \
+        pruner_oss_ << msg_expr;                                             \
+        ::pruner::detail::throwFatal(__FILE__, __LINE__,                     \
+                                     pruner_oss_.str());                     \
+    } while (0)
+
+#define PRUNER_CHECK(cond)                                                   \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::pruner::detail::throwInternal(__FILE__, __LINE__,              \
+                                            "Check failed: " #cond);         \
+        }                                                                    \
+    } while (0)
+
+#define PRUNER_CHECK_MSG(cond, msg_expr)                                     \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            std::ostringstream pruner_oss_;                                  \
+            pruner_oss_ << "Check failed: " #cond << " — " << msg_expr;      \
+            ::pruner::detail::throwInternal(__FILE__, __LINE__,              \
+                                            pruner_oss_.str());              \
+        }                                                                    \
+    } while (0)
+
+#define PRUNER_LOG(level, msg_expr)                                          \
+    do {                                                                     \
+        if (::pruner::logLevel() >= (level)) {                               \
+            std::ostringstream pruner_oss_;                                  \
+            pruner_oss_ << msg_expr;                                         \
+            ::pruner::detail::logMessage((level), pruner_oss_.str());        \
+        }                                                                    \
+    } while (0)
+
+#define PRUNER_INFO(msg_expr) PRUNER_LOG(1, msg_expr)
+#define PRUNER_DEBUG(msg_expr) PRUNER_LOG(2, msg_expr)

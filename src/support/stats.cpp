@@ -1,0 +1,113 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/logging.hpp"
+
+namespace pruner {
+
+double
+mean(const std::vector<double>& v)
+{
+    if (v.empty()) {
+        return 0.0;
+    }
+    return std::accumulate(v.begin(), v.end(), 0.0) /
+           static_cast<double>(v.size());
+}
+
+double
+stdev(const std::vector<double>& v)
+{
+    if (v.size() < 2) {
+        return 0.0;
+    }
+    const double m = mean(v);
+    double ss = 0.0;
+    for (double x : v) {
+        ss += (x - m) * (x - m);
+    }
+    return std::sqrt(ss / static_cast<double>(v.size() - 1));
+}
+
+double
+geomean(const std::vector<double>& v)
+{
+    PRUNER_CHECK(!v.empty());
+    double log_sum = 0.0;
+    for (double x : v) {
+        PRUNER_CHECK_MSG(x > 0.0, "geomean requires positive values");
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(v.size()));
+}
+
+double
+percentile(std::vector<double> v, double p)
+{
+    PRUNER_CHECK(!v.empty());
+    PRUNER_CHECK(p >= 0.0 && p <= 100.0);
+    std::sort(v.begin(), v.end());
+    const double pos = p / 100.0 * static_cast<double>(v.size() - 1);
+    const size_t lo = static_cast<size_t>(std::floor(pos));
+    const size_t hi = static_cast<size_t>(std::ceil(pos));
+    const double frac = pos - static_cast<double>(lo);
+    return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double
+pearson(const std::vector<double>& a, const std::vector<double>& b)
+{
+    PRUNER_CHECK(a.size() == b.size());
+    if (a.size() < 2) {
+        return 0.0;
+    }
+    const double ma = mean(a);
+    const double mb = mean(b);
+    double cov = 0.0, va = 0.0, vb = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        cov += (a[i] - ma) * (b[i] - mb);
+        va += (a[i] - ma) * (a[i] - ma);
+        vb += (b[i] - mb) * (b[i] - mb);
+    }
+    if (va <= 0.0 || vb <= 0.0) {
+        return 0.0;
+    }
+    return cov / std::sqrt(va * vb);
+}
+
+std::vector<double>
+rankWithTies(const std::vector<double>& v)
+{
+    const size_t n = v.size();
+    std::vector<size_t> idx(n);
+    std::iota(idx.begin(), idx.end(), 0);
+    std::sort(idx.begin(), idx.end(),
+              [&](size_t a, size_t b) { return v[a] < v[b]; });
+    std::vector<double> ranks(n, 0.0);
+    size_t i = 0;
+    while (i < n) {
+        size_t j = i;
+        while (j + 1 < n && v[idx[j + 1]] == v[idx[i]]) {
+            ++j;
+        }
+        // average 1-based rank over the tie group [i, j]
+        const double avg_rank = (static_cast<double>(i) +
+                                 static_cast<double>(j)) / 2.0 + 1.0;
+        for (size_t k = i; k <= j; ++k) {
+            ranks[idx[k]] = avg_rank;
+        }
+        i = j + 1;
+    }
+    return ranks;
+}
+
+double
+spearman(const std::vector<double>& a, const std::vector<double>& b)
+{
+    return pearson(rankWithTies(a), rankWithTies(b));
+}
+
+} // namespace pruner

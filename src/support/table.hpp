@@ -1,0 +1,49 @@
+#pragma once
+
+/**
+ * @file table.hpp
+ * ASCII table and CSV emission used by the bench binaries to print rows in
+ * the same shape as the paper's tables and figures.
+ */
+
+#include <string>
+#include <vector>
+
+namespace pruner {
+
+/** Column-aligned ASCII table with an optional title and CSV export. */
+class Table
+{
+  public:
+    explicit Table(std::string title = "");
+
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row (may be ragged; short rows are padded). */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: formats doubles with the given precision. */
+    static std::string fmt(double value, int precision = 3);
+
+    /** Formats a value as "N.NNx" speedup string. */
+    static std::string fmtSpeedup(double value, int precision = 2);
+
+    /** Render as an aligned ASCII table. */
+    std::string str() const;
+
+    /** Render as CSV (header first if present). */
+    std::string csv() const;
+
+    /** Print the ASCII rendering to stdout. */
+    void print() const;
+
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace pruner

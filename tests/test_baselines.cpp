@@ -1,0 +1,162 @@
+/** Tests for src/baselines: construction, coverage gaps (Figure 8's X
+ *  marks), Roller's rule-based behaviour, and TLM corpus limits. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/adatune.hpp"
+#include "baselines/ansor.hpp"
+#include "baselines/felix.hpp"
+#include "baselines/metaschedule.hpp"
+#include "baselines/roller.hpp"
+#include "baselines/tenset_mlp.hpp"
+#include "cost/mlp_cost_model.hpp"
+#include "baselines/tlm.hpp"
+#include "baselines/tlp.hpp"
+#include "dataset/dataset.hpp"
+#include "ir/workload_registry.hpp"
+
+namespace pruner {
+namespace {
+
+TuneOptions
+quickOptions()
+{
+    TuneOptions opts;
+    opts.rounds = 6;
+    opts.seed = 101;
+    return opts;
+}
+
+Workload
+smallWorkload()
+{
+    Workload w = workloads::resnet50();
+    w.tasks.resize(3);
+    return w;
+}
+
+TEST(Baselines, NamesAreStable)
+{
+    const auto dev = DeviceSpec::a100();
+    EXPECT_EQ(baselines::makeAnsor(dev, 1)->name(), "Ansor");
+    EXPECT_EQ(baselines::makeTenSetMlp(dev, 1, {})->name(), "TenSetMLP");
+    EXPECT_EQ(baselines::makeTlp(dev, 1, {})->name(), "TLP");
+    EXPECT_EQ(baselines::makeMetaSchedule(dev, 1)->name(), "MetaSchedule");
+    EXPECT_EQ(baselines::makeRoller(dev, 1)->name(), "Roller");
+    EXPECT_EQ(baselines::makeFelix(dev, 1)->name(), "Felix");
+    EXPECT_EQ(baselines::makeAdatune(dev, 1)->name(), "Adatune");
+    EXPECT_EQ(baselines::makeTlm(dev, 1, {}, {})->name(), "TLM");
+}
+
+TEST(Baselines, AdatuneFailsOnConvTranspose)
+{
+    const auto dev = DeviceSpec::a100();
+    auto adatune = baselines::makeAdatune(dev, 1);
+    const Workload w = workloads::dcgan();
+    const TuneResult r = adatune->tune(w, quickOptions());
+    EXPECT_TRUE(r.failed);
+    EXPECT_NE(r.failure_reason.find("unsupported"), std::string::npos);
+}
+
+TEST(Baselines, AdatuneTunesRegularWorkloads)
+{
+    const auto dev = DeviceSpec::a100();
+    auto adatune = baselines::makeAdatune(dev, 1);
+    const TuneResult r = adatune->tune(smallWorkload(), quickOptions());
+    EXPECT_FALSE(r.failed);
+}
+
+TEST(Baselines, FelixRejectsIrregularShapes)
+{
+    EXPECT_TRUE(baselines::felixSupportsTask(
+        makeGemm("ok", 1, 512, 512, 512)));
+    // 197 is prime: DeTR-style irregular token counts are unsupported.
+    EXPECT_FALSE(baselines::felixSupportsTask(
+        makeGemm("odd", 1, 197, 512, 512)));
+    EXPECT_FALSE(baselines::felixSupportsTask(
+        makeConvTranspose2d("ct", 1, 8, 8, 128, 64, 4, 2)));
+}
+
+TEST(Baselines, FelixFailsWholeWorkloadOnUnsupportedTask)
+{
+    const auto dev = DeviceSpec::a100();
+    auto felix = baselines::makeFelix(dev, 1);
+    Workload w;
+    w.name = "odd";
+    w.tasks.push_back({makeGemm("odd", 1, 197, 512, 512), 1.0});
+    const TuneResult r = felix->tune(w, quickOptions());
+    EXPECT_TRUE(r.failed);
+}
+
+TEST(Baselines, TlmOnlySupportsCorpusTasks)
+{
+    const auto dev = DeviceSpec::a100();
+    Workload w = smallWorkload();
+    std::unordered_set<uint64_t> corpus;
+    for (const auto& inst : w.tasks) {
+        corpus.insert(inst.task.hash());
+    }
+    auto tlm_seen = baselines::makeTlm(dev, 1, corpus, {});
+    EXPECT_FALSE(tlm_seen->tune(w, quickOptions()).failed);
+
+    auto tlm_blind = baselines::makeTlm(dev, 1, {}, {});
+    EXPECT_TRUE(tlm_blind->tune(w, quickOptions()).failed);
+}
+
+TEST(Baselines, RollerIsFastButRuleBound)
+{
+    const auto dev = DeviceSpec::titanV();
+    auto roller = baselines::makeRoller(dev, 1, /*trials_per_task=*/20);
+    auto ansor = baselines::makeAnsor(dev, 1);
+    Workload w = smallWorkload();
+    TuneOptions opts = quickOptions();
+    opts.rounds = 12;
+    const TuneResult rr = roller->tune(w, opts);
+    const TuneResult ra = ansor->tune(w, opts);
+    EXPECT_FALSE(rr.failed);
+    EXPECT_TRUE(std::isfinite(rr.final_latency));
+    // Roller measures 20 per task once; Ansor 10 per round for 12 rounds.
+    EXPECT_LT(rr.trials, ra.trials);
+    // And its total (simulated) tuning time is far smaller.
+    EXPECT_LT(rr.total_time_s, 0.5 * ra.total_time_s);
+}
+
+TEST(Baselines, PretrainedTenSetMlpPredictsConsistently)
+{
+    const auto dev = DeviceSpec::t4();
+    Workload w = smallWorkload();
+    DatasetConfig config;
+    config.schedules_per_task = 24;
+    const auto data = generateDataset({w}, dev, config);
+    MlpCostModel model(dev, 7);
+    const auto weights = baselines::pretrainCostModel(model, data, 4);
+    EXPECT_FALSE(weights.empty());
+    // Reload into a fresh policy: must not throw, sizes must line up.
+    auto policy = baselines::makeTenSetMlp(dev, 9, weights);
+    const TuneResult r = policy->tune(w, quickOptions());
+    EXPECT_FALSE(r.failed);
+    // Offline mode: no training time charged.
+    EXPECT_DOUBLE_EQ(r.training_s, 0.0);
+}
+
+TEST(Baselines, MetaScheduleExploresMoreThanAnsor)
+{
+    const auto dev = DeviceSpec::a100();
+    auto meta = baselines::makeMetaSchedule(dev, 1);
+    auto ansor = baselines::makeAnsor(dev, 1);
+    // MetaSchedule's config uses a smaller population than Ansor's 512 but
+    // both charge exploration; just verify both produce sane results on a
+    // TensorCore workload.
+    Workload w = workloads::bertTiny(1, 128, DType::Fp16Tc);
+    w.tasks.resize(3);
+    const TuneResult rm = meta->tune(w, quickOptions());
+    const TuneResult ra = ansor->tune(w, quickOptions());
+    EXPECT_FALSE(rm.failed);
+    EXPECT_FALSE(ra.failed);
+    EXPECT_TRUE(std::isfinite(rm.final_latency));
+}
+
+} // namespace
+} // namespace pruner

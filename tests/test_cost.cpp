@@ -1,0 +1,245 @@
+/** Tests for src/feature and src/cost: extractors and the three learned
+ *  cost models (including "does it actually learn to rank?"). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cost/mlp_cost_model.hpp"
+#include "cost/pacm_model.hpp"
+#include "cost/tlp_cost_model.hpp"
+#include "feature/dataflow_features.hpp"
+#include "feature/primitive_features.hpp"
+#include "feature/statement_features.hpp"
+#include "sched/sampler.hpp"
+#include "sim/gpu_simulator.hpp"
+#include "support/stats.hpp"
+
+namespace pruner {
+namespace {
+
+class FeatureFixture : public ::testing::Test
+{
+  protected:
+    SubgraphTask task_ = makeGemm("t", 1, 256, 256, 256);
+    DeviceSpec dev_ = DeviceSpec::a100();
+    ScheduleSampler sampler_{task_, dev_};
+    Rng rng_{31};
+};
+
+TEST_F(FeatureFixture, StatementFeatureShape)
+{
+    const Schedule sch = sampler_.sample(rng_);
+    const Matrix f = extractStatementFeatures(task_, sch, dev_);
+    EXPECT_EQ(f.rows(), 4u); // 2 loads + compute + store
+    EXPECT_EQ(f.cols(), kStatementFeatureDim);
+}
+
+TEST_F(FeatureFixture, StatementFeaturesFiniteAndScheduleSensitive)
+{
+    const Schedule a = sampler_.sample(rng_);
+    Schedule b = a;
+    b.setUnroll(a.unroll() == 0 ? 64 : 0);
+    const Matrix fa = extractStatementFeatures(task_, a, dev_);
+    const Matrix fb = extractStatementFeatures(task_, b, dev_);
+    bool any_diff = false;
+    for (size_t i = 0; i < fa.data().size(); ++i) {
+        EXPECT_TRUE(std::isfinite(fa.data()[i]));
+        any_diff |= fa.data()[i] != fb.data()[i];
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST_F(FeatureFixture, DataflowFeatureShapeAndPadding)
+{
+    const Schedule sch = sampler_.sample(rng_);
+    const Matrix f = extractDataflowFeatures(task_, sch, dev_);
+    EXPECT_EQ(f.rows(), kDataflowSteps);
+    EXPECT_EQ(f.cols(), kDataflowFeatureDim);
+    // GEMM chain: init, 2 loads, compute, epilogue, store = 6 rows used;
+    // the rest must be zero padding.
+    for (size_t r = 6; r < kDataflowSteps; ++r) {
+        for (size_t c = 0; c < kDataflowFeatureDim; ++c) {
+            EXPECT_DOUBLE_EQ(f.at(r, c), 0.0);
+        }
+    }
+}
+
+TEST_F(FeatureFixture, ElementwiseDataflowIsMostlyZeroPadded)
+{
+    // The paper zero-pads element-wise operators' dataflow features.
+    const auto ew = makeElementwise("e", 1 << 16);
+    ScheduleSampler s(ew, dev_);
+    const Schedule sch = s.sample(rng_);
+    const Matrix f = extractDataflowFeatures(ew, sch, dev_);
+    size_t nonzero_rows = 0;
+    for (size_t r = 0; r < f.rows(); ++r) {
+        double sum = 0.0;
+        for (size_t c = 0; c < f.cols(); ++c) {
+            sum += std::abs(f.at(r, c));
+        }
+        nonzero_rows += sum > 0.0;
+    }
+    EXPECT_LE(nonzero_rows, 4u);
+}
+
+TEST_F(FeatureFixture, DataflowFlowDirectionsAreOneHot)
+{
+    const Schedule sch = sampler_.sample(rng_);
+    const Matrix f = extractDataflowFeatures(task_, sch, dev_);
+    for (size_t r = 0; r < 6; ++r) {
+        double flow_sum = 0.0;
+        for (size_t c = 1; c <= 6; ++c) {
+            flow_sum += f.at(r, c);
+        }
+        EXPECT_DOUBLE_EQ(flow_sum, 1.0) << "row " << r;
+    }
+}
+
+TEST_F(FeatureFixture, PrimitiveFeaturesMostlyOneHot)
+{
+    // TLP's key property: only a tiny fraction of feature values differ
+    // between two schedules of the same task.
+    const Schedule a = sampler_.sample(rng_);
+    const Schedule b = sampler_.sample(rng_);
+    const Matrix fa = extractPrimitiveFeatures(task_, a);
+    const Matrix fb = extractPrimitiveFeatures(task_, b);
+    ASSERT_EQ(fa.data().size(), fb.data().size());
+    size_t diff = 0;
+    for (size_t i = 0; i < fa.data().size(); ++i) {
+        diff += fa.data()[i] != fb.data()[i];
+    }
+    const double diff_frac =
+        static_cast<double>(diff) / static_cast<double>(fa.data().size());
+    EXPECT_LT(diff_frac, 0.15); // low feature diversity, as the paper notes
+    EXPECT_GT(diff, 0u);
+}
+
+/** Shared harness: train a model on simulator data for one task and
+ *  report the Spearman correlation between -score and true latency. */
+double
+trainedRankCorrelation(CostModel& model, const SubgraphTask& task,
+                       const DeviceSpec& dev, int n_train, int epochs,
+                       uint64_t seed)
+{
+    const GpuSimulator sim(dev);
+    ScheduleSampler sampler(task, dev);
+    Rng rng(seed);
+    std::vector<MeasuredRecord> train;
+    while (static_cast<int>(train.size()) < n_train) {
+        const Schedule sch = sampler.sample(rng);
+        const double lat = sim.measure(task, sch, rng);
+        if (std::isfinite(lat)) {
+            train.push_back({task, sch, lat});
+        }
+    }
+    model.train(train, epochs);
+    std::vector<Schedule> test;
+    std::vector<double> true_lat;
+    while (test.size() < 120) {
+        const Schedule sch = sampler.sample(rng);
+        const double lat = sim.trueLatency(task, sch);
+        if (std::isfinite(lat)) {
+            test.push_back(sch);
+            true_lat.push_back(lat);
+        }
+    }
+    const auto scores = model.predict(task, test);
+    std::vector<double> neg_scores;
+    for (double s : scores) {
+        neg_scores.push_back(-s);
+    }
+    return spearman(neg_scores, true_lat);
+}
+
+TEST(CostModels, MlpLearnsToRank)
+{
+    const auto task = makeGemm("t", 1, 512, 512, 512);
+    const auto dev = DeviceSpec::a100();
+    MlpCostModel model(dev, 41);
+    const double rho =
+        trainedRankCorrelation(model, task, dev, 200, 24, 43);
+    EXPECT_GT(rho, 0.5) << "MLP failed to learn ranking";
+}
+
+TEST(CostModels, PaCMLearnsToRank)
+{
+    const auto task = makeGemm("t", 1, 512, 512, 512);
+    const auto dev = DeviceSpec::a100();
+    PaCMModel model(dev, 41);
+    const double rho =
+        trainedRankCorrelation(model, task, dev, 200, 24, 43);
+    EXPECT_GT(rho, 0.55) << "PaCM failed to learn ranking";
+}
+
+TEST(CostModels, PaCMBeatsTlpOnSmallData)
+{
+    // The paper's Figure 15 story: with little data the dataflow features
+    // train much better than TLP's one-hot primitive features.
+    const auto task = makeConv2d("c", 1, 28, 28, 128, 128, 3, 1);
+    const auto dev = DeviceSpec::t4();
+    PaCMModel pacm(dev, 47);
+    TlpCostModel tlp(dev, 47);
+    const double rho_pacm =
+        trainedRankCorrelation(pacm, task, dev, 150, 20, 49);
+    const double rho_tlp =
+        trainedRankCorrelation(tlp, task, dev, 150, 20, 49);
+    EXPECT_GT(rho_pacm, rho_tlp);
+}
+
+TEST(CostModels, ParamsRoundTripPreservesPredictions)
+{
+    const auto task = makeGemm("t", 1, 128, 128, 128);
+    const auto dev = DeviceSpec::a100();
+    PaCMModel model(dev, 53);
+    ScheduleSampler sampler(task, dev);
+    Rng rng(55);
+    const std::vector<Schedule> cands = sampler.sampleMany(rng, 8);
+    const auto before = model.predict(task, cands);
+    const auto snapshot = model.getParams();
+    PaCMModel other(dev, 99); // different init
+    other.setParams(snapshot);
+    const auto after = other.predict(task, cands);
+    for (size_t i = 0; i < before.size(); ++i) {
+        EXPECT_NEAR(before[i], after[i], 1e-12);
+    }
+}
+
+TEST(CostModels, CloneIsIndependent)
+{
+    const auto dev = DeviceSpec::a100();
+    MlpCostModel model(dev, 57);
+    auto copy = model.clone();
+    EXPECT_EQ(copy->name(), model.name());
+    EXPECT_EQ(copy->getParams(), model.getParams());
+}
+
+TEST(CostModels, EvalCostsOrderedByModelComplexity)
+{
+    const auto dev = DeviceSpec::a100();
+    MlpCostModel mlp(dev, 1);
+    PaCMModel pacm(dev, 1);
+    TlpCostModel tlp(dev, 1);
+    EXPECT_LT(mlp.evalCostPerCandidate(), pacm.evalCostPerCandidate());
+    EXPECT_LT(pacm.evalCostPerCandidate(), tlp.evalCostPerCandidate());
+}
+
+TEST(CostModels, AblatedPaCMBranchesStillPredict)
+{
+    const auto task = makeGemm("t", 1, 128, 128, 128);
+    const auto dev = DeviceSpec::a100();
+    ScheduleSampler sampler(task, dev);
+    Rng rng(61);
+    const auto cands = sampler.sampleMany(rng, 4);
+    PaCMModel no_sf(dev, 1, {.use_statement_features = false});
+    PaCMModel no_tdf(dev, 1, {.use_dataflow_features = false});
+    EXPECT_EQ(no_sf.predict(task, cands).size(), 4u);
+    EXPECT_EQ(no_tdf.predict(task, cands).size(), 4u);
+    EXPECT_THROW(PaCMModel(dev, 1,
+                           {.use_statement_features = false,
+                            .use_dataflow_features = false}),
+                 InternalError);
+}
+
+} // namespace
+} // namespace pruner

@@ -1,0 +1,136 @@
+/** Tests for src/dataset: generation and the Top-k / Best-k metrics. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dataset/dataset.hpp"
+#include "dataset/metrics.hpp"
+#include "ir/workload_registry.hpp"
+
+namespace pruner {
+namespace {
+
+TEST(Dataset, GeneratesRequestedSchedulesPerTask)
+{
+    Workload w = workloads::bertTiny();
+    w.tasks.resize(4);
+    DatasetConfig config;
+    config.schedules_per_task = 32;
+    const auto data = generateDataset({w}, DeviceSpec::t4(), config);
+    EXPECT_EQ(data.size(), 4u * 32u);
+    for (const auto& rec : data) {
+        EXPECT_TRUE(std::isfinite(rec.latency));
+        EXPECT_GT(rec.latency, 0.0);
+    }
+}
+
+TEST(Dataset, DeduplicatesTasksAcrossWorkloads)
+{
+    Workload a = workloads::resnet50();
+    a.tasks.resize(3);
+    const auto tasks = distinctTasks({a, a});
+    EXPECT_EQ(tasks.size(), 3u);
+}
+
+TEST(Dataset, DeterministicForSeed)
+{
+    Workload w = workloads::bertTiny();
+    w.tasks.resize(2);
+    DatasetConfig config;
+    config.schedules_per_task = 16;
+    const auto d1 = generateDataset({w}, DeviceSpec::k80(), config);
+    const auto d2 = generateDataset({w}, DeviceSpec::k80(), config);
+    ASSERT_EQ(d1.size(), d2.size());
+    for (size_t i = 0; i < d1.size(); ++i) {
+        EXPECT_DOUBLE_EQ(d1[i].latency, d2[i].latency);
+    }
+}
+
+TEST(Dataset, PlatformChangesLabels)
+{
+    Workload w = workloads::bertTiny();
+    w.tasks.resize(2);
+    DatasetConfig config;
+    config.schedules_per_task = 16;
+    const auto t4 = generateDataset({w}, DeviceSpec::t4(), config);
+    const auto k80 = generateDataset({w}, DeviceSpec::k80(), config);
+    ASSERT_EQ(t4.size(), k80.size());
+    bool any_diff = false;
+    for (size_t i = 0; i < t4.size(); ++i) {
+        any_diff |= t4[i].latency != k80[i].latency;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Dataset, SubsampleSizesAndDeterminism)
+{
+    Workload w = workloads::bertTiny();
+    w.tasks.resize(2);
+    DatasetConfig config;
+    config.schedules_per_task = 32;
+    const auto data = generateDataset({w}, DeviceSpec::t4(), config);
+    const auto sub = subsampleRecords(data, 10, 7);
+    EXPECT_EQ(sub.size(), 10u);
+    const auto sub2 = subsampleRecords(data, 10, 7);
+    for (size_t i = 0; i < sub.size(); ++i) {
+        EXPECT_DOUBLE_EQ(sub[i].latency, sub2[i].latency);
+    }
+    EXPECT_EQ(subsampleRecords(data, data.size() + 5, 7).size(),
+              data.size());
+}
+
+TEST(Metrics, TopKPerfectModelScoresOne)
+{
+    TopKGroup g;
+    g.latencies = {3.0, 1.0, 2.0};
+    g.scores = {-3.0, -1.0, -2.0}; // perfect inverse ranking
+    EXPECT_DOUBLE_EQ(topKScore({g}, 1), 1.0);
+}
+
+TEST(Metrics, TopKWorstModelBelowOne)
+{
+    TopKGroup g;
+    g.latencies = {3.0, 1.0, 2.0};
+    g.scores = {+3.0, +1.0, +2.0}; // ranks the slowest first
+    EXPECT_DOUBLE_EQ(topKScore({g}, 1), 1.0 / 3.0);
+    // Larger k forgives errors.
+    EXPECT_GT(topKScore({g}, 3), topKScore({g}, 1));
+}
+
+TEST(Metrics, TopKWeightsMatter)
+{
+    TopKGroup good;
+    good.weight = 1.0;
+    good.latencies = {1.0, 2.0};
+    good.scores = {1.0, 0.0};
+    TopKGroup bad = good;
+    bad.scores = {0.0, 1.0}; // picks the 2.0 candidate first
+    bad.weight = 9.0;
+    const double mostly_bad = topKScore({good, bad}, 1);
+    bad.weight = 0.01;
+    const double mostly_good = topKScore({good, bad}, 1);
+    EXPECT_LT(mostly_bad, mostly_good);
+}
+
+TEST(Metrics, BestKUsesKthBestOfSubset)
+{
+    BestKGroup g;
+    g.optimal_latency = 1.0;
+    g.subset_latencies = {1.0, 2.0, 4.0};
+    EXPECT_DOUBLE_EQ(bestKScore({g}, 1), 1.0);
+    EXPECT_DOUBLE_EQ(bestKScore({g}, 2), 0.5);
+    EXPECT_DOUBLE_EQ(bestKScore({g}, 3), 0.25);
+    // k beyond the subset clamps to the worst element.
+    EXPECT_DOUBLE_EQ(bestKScore({g}, 10), 0.25);
+}
+
+TEST(Metrics, BestKEmptyGroupRejected)
+{
+    BestKGroup g;
+    g.optimal_latency = 1.0;
+    EXPECT_THROW(bestKScore({g}, 1), InternalError);
+}
+
+} // namespace
+} // namespace pruner

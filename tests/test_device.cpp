@@ -1,0 +1,82 @@
+/** Tests for src/device: platform specifications. */
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hpp"
+#include "device/device_spec.hpp"
+
+namespace pruner {
+namespace {
+
+TEST(DeviceSpec, AllPlatformsPresent)
+{
+    const auto all = DeviceSpec::all();
+    ASSERT_EQ(all.size(), 5u);
+    EXPECT_EQ(all[0].name, "A100");
+    EXPECT_EQ(all[1].name, "TitanV");
+    EXPECT_EQ(all[2].name, "Orin-AGX");
+    EXPECT_EQ(all[3].name, "T4");
+    EXPECT_EQ(all[4].name, "K80");
+}
+
+TEST(DeviceSpec, ByNameIsCaseInsensitive)
+{
+    EXPECT_EQ(DeviceSpec::byName("A100").name, "A100");
+    EXPECT_EQ(DeviceSpec::byName("a100").name, "A100");
+    EXPECT_EQ(DeviceSpec::byName("titan-v").name, "TitanV");
+    EXPECT_EQ(DeviceSpec::byName("orin").name, "Orin-AGX");
+}
+
+TEST(DeviceSpec, ByNameRejectsUnknown)
+{
+    EXPECT_THROW(DeviceSpec::byName("h100"), FatalError);
+}
+
+TEST(DeviceSpec, FingerprintsDistinct)
+{
+    const auto all = DeviceSpec::all();
+    for (size_t i = 0; i < all.size(); ++i) {
+        for (size_t j = i + 1; j < all.size(); ++j) {
+            EXPECT_NE(all[i].fingerprint, all[j].fingerprint)
+                << all[i].name << " vs " << all[j].name;
+        }
+    }
+}
+
+TEST(DeviceSpec, ServerOutranksEdge)
+{
+    const auto a100 = DeviceSpec::a100();
+    const auto orin = DeviceSpec::orinAgx();
+    EXPECT_GT(a100.peak_flops, orin.peak_flops);
+    EXPECT_GT(a100.peak_bandwidth, orin.peak_bandwidth);
+    EXPECT_GT(a100.num_sms, orin.num_sms);
+}
+
+class DeviceSanity : public ::testing::TestWithParam<DeviceSpec>
+{
+};
+
+TEST_P(DeviceSanity, ResourceFieldsArePositiveAndConsistent)
+{
+    const DeviceSpec& d = GetParam();
+    EXPECT_GT(d.num_sms, 0);
+    EXPECT_GT(d.peak_flops, 0.0);
+    EXPECT_GT(d.peak_bandwidth, 0.0);
+    EXPECT_GT(d.l2_cache_bytes, 0);
+    EXPECT_EQ(d.warp_size, 32);
+    EXPECT_GE(d.max_threads_per_sm, d.max_threads_per_block);
+    EXPECT_GE(d.smem_per_sm_floats, d.smem_per_block_floats);
+    EXPECT_GT(d.regs_per_thread, 0);
+    if (d.has_tensorcore) {
+        EXPECT_GT(d.tc_peak_flops, d.peak_flops);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDevices, DeviceSanity,
+                         ::testing::ValuesIn(DeviceSpec::all()),
+                         [](const auto& info) { return info.param.name ==
+                             "Orin-AGX" ? std::string("OrinAGX")
+                                        : info.param.name; });
+
+} // namespace
+} // namespace pruner

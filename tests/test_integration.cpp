@@ -1,0 +1,162 @@
+/** Cross-module integration tests: the end-to-end properties the paper's
+ *  headline results rest on. Kept small enough to run in seconds. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/ansor.hpp"
+#include "baselines/tenset_mlp.hpp"
+#include "cost/mlp_cost_model.hpp"
+#include "core/pruner_tuner.hpp"
+#include "dataset/dataset.hpp"
+#include "dataset/metrics.hpp"
+#include "ir/workload_registry.hpp"
+#include "sim/vendor_library.hpp"
+
+namespace pruner {
+namespace {
+
+TEST(Integration, PrunerFindsCompetitiveSchedulesWithLessExploration)
+{
+    // Scaled-down Figure 6: on the same budget, Pruner's curve must be at
+    // or below Ansor's at the time Pruner finishes, and its exploration
+    // cost must be a small fraction of Ansor's.
+    const auto dev = DeviceSpec::a100();
+    Workload w = workloads::resnet50();
+    w.tasks.resize(4);
+    TuneOptions opts;
+    opts.rounds = 16;
+    opts.seed = 211;
+
+    auto ansor = baselines::makeAnsor(dev, 3);
+    const TuneResult ra = ansor->tune(w, opts);
+    PrunerConfig config;
+    config.lse.spec_size = 256;
+    PrunerPolicy pruner(dev, config);
+    const TuneResult rp = pruner.tune(w, opts);
+
+    ASSERT_FALSE(ra.failed);
+    ASSERT_FALSE(rp.failed);
+    EXPECT_LT(rp.exploration_s, 0.3 * ra.exploration_s);
+    // Pruner's quality at its own end time must beat Ansor's at the same
+    // simulated time (Ansor is still mid-run then).
+    double ansor_at_rp_end = ra.curve.back().latency_s;
+    for (const auto& point : ra.curve) {
+        if (point.time_s >= rp.total_time_s) {
+            ansor_at_rp_end = point.latency_s;
+            break;
+        }
+    }
+    EXPECT_LE(rp.final_latency, ansor_at_rp_end * 1.05);
+}
+
+TEST(Integration, TunedScheduleBeatsVendorOnDepthwiseConv)
+{
+    // Libraries are weak on depthwise convolutions; the tuner should win.
+    const auto dev = DeviceSpec::a100();
+    Workload w;
+    w.name = "dw";
+    w.tasks.push_back({makeDepthwiseConv2d("dw", 1, 56, 56, 144, 3, 1),
+                       1.0});
+    PrunerConfig config;
+    config.lse.spec_size = 256;
+    PrunerPolicy pruner(dev, config);
+    TuneOptions opts;
+    opts.rounds = 8;
+    opts.seed = 17;
+    const TuneResult r = pruner.tune(w, opts);
+    const VendorLibrary lib(dev);
+    const double vendor =
+        lib.taskLatency(w.tasks[0].task, VendorBackend::CudaLib).latency_s;
+    EXPECT_LT(r.final_latency, vendor);
+}
+
+TEST(Integration, VendorSplitKBeatsTunerOnDecodeGemm)
+{
+    // The Table 8 / Figure 13 crossover: tile-only search cannot recover
+    // splitK parallelism for reduction-dominated decode GEMMs.
+    const auto dev = DeviceSpec::a100();
+    Workload w;
+    w.name = "decode";
+    w.tasks.push_back(
+        {makeGemm("dec", 1, 32, 768, 3072, DType::Fp32, false), 1.0});
+    PrunerConfig config;
+    config.lse.spec_size = 256;
+    PrunerPolicy pruner(dev, config);
+    TuneOptions opts;
+    opts.rounds = 10;
+    opts.seed = 19;
+    const TuneResult r = pruner.tune(w, opts);
+    const VendorLibrary lib(dev);
+    const auto vendor =
+        lib.taskLatency(w.tasks[0].task, VendorBackend::CudaLib);
+    EXPECT_TRUE(vendor.used_splitk);
+    EXPECT_LT(vendor.latency_s, r.final_latency);
+}
+
+TEST(Integration, CrossPlatformPretrainTransfersViaParams)
+{
+    // A PaCM pretrained on K80 data must load cleanly into an A100 tuner
+    // (the MoA hand-off) and produce finite predictions.
+    const auto k80 = DeviceSpec::k80();
+    const auto a100 = DeviceSpec::a100();
+    Workload w = workloads::bertTiny();
+    w.tasks.resize(3);
+    DatasetConfig dc;
+    dc.schedules_per_task = 24;
+    const auto data = generateDataset({w}, k80, dc);
+    PaCMModel source(k80, 3);
+    source.train(data, 4);
+    PaCMModel target(a100, 5);
+    target.setParams(source.getParams());
+    ScheduleSampler sampler(w.tasks[0].task, a100);
+    Rng rng(7);
+    const auto scores =
+        target.predict(w.tasks[0].task, sampler.sampleMany(rng, 8));
+    for (double s : scores) {
+        EXPECT_TRUE(std::isfinite(s));
+    }
+}
+
+TEST(Integration, TopKOnGeneratedDatasetDiscriminatesModels)
+{
+    // Pretrained model must clearly beat an untrained one on Top-1 over a
+    // held-out schedule set (the Table 11 measurement machinery).
+    const auto dev = DeviceSpec::t4();
+    Workload w = workloads::bertTiny();
+    w.tasks.resize(4);
+    DatasetConfig dc;
+    dc.schedules_per_task = 64;
+    const auto train_data = generateDataset({w}, dev, dc);
+    dc.seed = 0xBEEF;
+    const auto test_data = generateDataset({w}, dev, dc);
+
+    MlpCostModel trained(dev, 11);
+    trained.train(train_data, 10);
+    MlpCostModel untrained(dev, 13);
+
+    auto to_groups = [&](MlpCostModel& model) {
+        std::vector<TopKGroup> groups;
+        for (const auto& task : distinctTasks({w})) {
+            TopKGroup g;
+            std::vector<Schedule> cands;
+            for (const auto& rec : test_data) {
+                if (rec.task.hash() == task.hash()) {
+                    g.latencies.push_back(rec.latency);
+                    cands.push_back(rec.sch);
+                }
+            }
+            g.scores = model.predict(task, cands);
+            groups.push_back(std::move(g));
+        }
+        return groups;
+    };
+    const double top1_trained = topKScore(to_groups(trained), 1);
+    const double top1_untrained = topKScore(to_groups(untrained), 1);
+    EXPECT_GT(top1_trained, top1_untrained);
+    EXPECT_GT(top1_trained, 0.6);
+}
+
+} // namespace
+} // namespace pruner

@@ -1,0 +1,203 @@
+/** Tests for src/ir: task factories and the workload registry. */
+
+#include <gtest/gtest.h>
+
+#include "ir/task.hpp"
+#include "ir/workload_registry.hpp"
+#include "support/logging.hpp"
+
+namespace pruner {
+namespace {
+
+TEST(Task, GemmShapeAndFlops)
+{
+    const auto t = makeGemm("g", 1, 128, 256, 512, DType::Fp32,
+                            /*fused_tail=*/false);
+    EXPECT_EQ(t.op_class, OpClass::Gemm);
+    EXPECT_EQ(t.outputPoints(), 128 * 256);
+    EXPECT_EQ(t.reductionSize(), 512);
+    EXPECT_DOUBLE_EQ(t.totalFlops(), 2.0 * 128 * 256 * 512);
+    EXPECT_EQ(t.tensors.size(), 3u);
+    EXPECT_EQ(t.outputTensorIndex(), 2);
+}
+
+TEST(Task, GemmBatchFoldsIntoFirstAxis)
+{
+    const auto t = makeGemm("g", 8, 64, 32, 16);
+    EXPECT_EQ(t.spatial[0].extent, 8 * 64);
+    EXPECT_EQ(t.spatial[1].extent, 32);
+}
+
+TEST(Task, FusedTailAddsFlops)
+{
+    const auto plain = makeGemm("g", 1, 64, 64, 64, DType::Fp32, false);
+    const auto fused = makeGemm("g", 1, 64, 64, 64, DType::Fp32, true);
+    EXPECT_GT(fused.totalFlops(), plain.totalFlops());
+    EXPECT_TRUE(fused.has_elementwise_tail);
+}
+
+TEST(Task, ConvImplicitGemmDimensions)
+{
+    const auto t = makeConv2d("c", 1, 56, 56, 64, 128, 3, 1);
+    EXPECT_EQ(t.spatial[0].extent, 56 * 56); // N*OH*OW
+    EXPECT_EQ(t.spatial[1].extent, 128);     // CO
+    EXPECT_EQ(t.reduction[0].extent, 64 * 3 * 3);
+    // FLOPs match the direct-convolution count.
+    EXPECT_NEAR(t.totalFlops(),
+                2.0 * 56 * 56 * 128 * 64 * 9 + 3.0 * 56 * 56 * 128, 1.0);
+}
+
+TEST(Task, StridedConvShrinksOutput)
+{
+    const auto t = makeConv2d("c", 1, 56, 56, 64, 128, 3, 2);
+    EXPECT_EQ(t.spatial[0].extent, 28 * 28);
+    EXPECT_EQ(t.conv_stride, 2);
+}
+
+TEST(Task, ConvInputFootprintScaleReflectsHaloReuse)
+{
+    const auto t = makeConv2d("c", 1, 56, 56, 64, 128, 3, 1);
+    // Unique input elements = 56*56*64; naive i*k product is 9x larger.
+    EXPECT_NEAR(t.tensors[0].footprint_scale, 1.0 / 9.0, 1e-9);
+}
+
+TEST(Task, DepthwiseTouchesChannelAxisInInput)
+{
+    const auto t = makeDepthwiseConv2d("d", 1, 28, 28, 96, 3, 1);
+    EXPECT_EQ(t.op_class, OpClass::DepthwiseConv2d);
+    EXPECT_EQ(t.tensors[0].spatial_axes.size(), 2u);
+    EXPECT_EQ(t.reduction[0].extent, 9);
+}
+
+TEST(Task, ConvTransposeUpsamples)
+{
+    const auto t = makeConvTranspose2d("ct", 1, 8, 8, 256, 128, 4, 2);
+    EXPECT_EQ(t.op_class, OpClass::ConvTranspose2d);
+    EXPECT_EQ(t.spatial[0].extent, 16 * 16);
+}
+
+TEST(Task, ElementwiseHasNoReduction)
+{
+    const auto t = makeElementwise("e", 1 << 20);
+    EXPECT_TRUE(t.reduction.empty());
+    EXPECT_EQ(t.outputPoints(), 1 << 20);
+    EXPECT_EQ(t.reductionSize(), 1);
+}
+
+TEST(Task, HashIsStableAndShapeSensitive)
+{
+    const auto a = makeGemm("g", 1, 128, 128, 128);
+    const auto b = makeGemm("g", 1, 128, 128, 128);
+    const auto c = makeGemm("g", 1, 128, 128, 256);
+    EXPECT_EQ(a.hash(), b.hash());
+    EXPECT_NE(a.hash(), c.hash());
+}
+
+TEST(Task, ArithmeticIntensityOrdering)
+{
+    const auto gemm = makeGemm("g", 1, 1024, 1024, 1024);
+    const auto ew = makeElementwise("e", 1 << 20);
+    EXPECT_GT(gemm.arithmeticIntensity(), ew.arithmeticIntensity());
+}
+
+TEST(Registry, EndToEndLatencyIsWeightedSum)
+{
+    Workload w;
+    w.name = "toy";
+    w.tasks.push_back({makeGemm("a", 1, 8, 8, 8), 2.0});
+    w.tasks.push_back({makeGemm("b", 1, 8, 8, 8), 3.0});
+    EXPECT_DOUBLE_EQ(w.endToEndLatency({1.0, 10.0}), 32.0);
+    EXPECT_DOUBLE_EQ(w.totalWeight(), 5.0);
+}
+
+TEST(Registry, EndToEndLatencyChecksArity)
+{
+    Workload w = workloads::resnet50();
+    EXPECT_THROW(w.endToEndLatency({1.0}), InternalError);
+}
+
+TEST(Registry, AllNamedWorkloadsResolve)
+{
+    for (const auto& name : workloads::allNames()) {
+        const Workload w = workloads::byName(name);
+        EXPECT_FALSE(w.tasks.empty()) << name;
+        for (const auto& inst : w.tasks) {
+            EXPECT_GT(inst.weight, 0.0) << name;
+            EXPECT_GT(inst.task.totalFlops(), 0.0)
+                << name << " / " << inst.task.key;
+        }
+    }
+}
+
+TEST(Registry, UnknownNameThrows)
+{
+    EXPECT_THROW(workloads::byName("NotANet"), FatalError);
+}
+
+TEST(Registry, TransformerScalesWithConfig)
+{
+    const auto tiny = workloads::bertTiny();
+    const auto base = workloads::bertBase();
+    double tiny_flops = 0.0, base_flops = 0.0;
+    for (const auto& t : tiny.tasks) {
+        tiny_flops += t.weight * t.task.totalFlops();
+    }
+    for (const auto& t : base.tasks) {
+        base_flops += t.weight * t.task.totalFlops();
+    }
+    EXPECT_GT(base_flops, 2.0 * tiny_flops);
+}
+
+TEST(Registry, MistralUsesTensorCoreDtypeByDefault)
+{
+    const auto m = workloads::mistral7b();
+    bool any_fp16 = false;
+    for (const auto& t : m.tasks) {
+        any_fp16 |= t.task.dtype == DType::Fp16Tc;
+    }
+    EXPECT_TRUE(any_fp16);
+}
+
+TEST(Registry, LlamaDecodeHasSmallSpatialLargeReduction)
+{
+    const auto w = workloads::llamaDecode(32, 1024);
+    bool found_proj = false;
+    for (const auto& t : w.tasks) {
+        if (t.task.key.find("proj_down") != std::string::npos) {
+            found_proj = true;
+            EXPECT_LT(t.task.outputPoints(), 200000);
+            EXPECT_GE(t.task.reductionSize(), 4096);
+        }
+    }
+    EXPECT_TRUE(found_proj);
+}
+
+TEST(Registry, SingleOpSuiteMatchesFigure11)
+{
+    const auto ops = workloads::singleOpSuite();
+    ASSERT_EQ(ops.size(), 11u);
+    int matmuls = 0, stride1 = 0, stride2 = 0;
+    for (const auto& op : ops) {
+        if (op.op_class == OpClass::Gemm) {
+            ++matmuls;
+        } else if (op.conv_stride == 1) {
+            ++stride1;
+        } else if (op.conv_stride == 2) {
+            ++stride2;
+        }
+    }
+    EXPECT_EQ(matmuls, 3);
+    EXPECT_EQ(stride1, 4);
+    EXPECT_EQ(stride2, 4);
+}
+
+TEST(Registry, BatchParameterScalesSpatialExtent)
+{
+    const auto b1 = workloads::resnet50(1);
+    const auto b128 = workloads::resnet50(128);
+    EXPECT_EQ(b128.tasks[0].task.spatial[0].extent,
+              128 * b1.tasks[0].task.spatial[0].extent);
+}
+
+} // namespace
+} // namespace pruner

@@ -1,0 +1,356 @@
+/** Tests for src/nn: matrix ops, layers (with numerical gradient checks),
+ *  attention, Adam, LambdaRank, parameter serialization. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "nn/attention.hpp"
+#include "nn/layers.hpp"
+#include "nn/loss.hpp"
+#include "nn/matrix.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/serialize.hpp"
+#include "support/logging.hpp"
+
+namespace pruner {
+namespace {
+
+TEST(Matrix, MatmulAgainstHand)
+{
+    Matrix a(2, 3);
+    Matrix b(3, 2);
+    int v = 1;
+    for (size_t i = 0; i < 2; ++i) {
+        for (size_t j = 0; j < 3; ++j) {
+            a.at(i, j) = v++;
+        }
+    }
+    for (size_t i = 0; i < 3; ++i) {
+        for (size_t j = 0; j < 2; ++j) {
+            b.at(i, j) = v++;
+        }
+    }
+    const Matrix c = Matrix::matmul(a, b);
+    // a = [[1,2,3],[4,5,6]]; b = [[7,8],[9,10],[11,12]]
+    EXPECT_DOUBLE_EQ(c.at(0, 0), 58.0);
+    EXPECT_DOUBLE_EQ(c.at(0, 1), 64.0);
+    EXPECT_DOUBLE_EQ(c.at(1, 0), 139.0);
+    EXPECT_DOUBLE_EQ(c.at(1, 1), 154.0);
+}
+
+TEST(Matrix, TransposedMatmulsConsistent)
+{
+    Rng rng(3);
+    const Matrix a = Matrix::randn(4, 5, rng, 1.0);
+    const Matrix b = Matrix::randn(4, 6, rng, 1.0);
+    // A^T B via matmulTN equals explicit transpose + matmul.
+    Matrix at(5, 4);
+    for (size_t i = 0; i < 4; ++i) {
+        for (size_t j = 0; j < 5; ++j) {
+            at.at(j, i) = a.at(i, j);
+        }
+    }
+    const Matrix c1 = Matrix::matmulTN(a, b);
+    const Matrix c2 = Matrix::matmul(at, b);
+    for (size_t i = 0; i < c1.rows(); ++i) {
+        for (size_t j = 0; j < c1.cols(); ++j) {
+            EXPECT_NEAR(c1.at(i, j), c2.at(i, j), 1e-12);
+        }
+    }
+}
+
+TEST(Matrix, SoftmaxRowsSumToOne)
+{
+    Rng rng(5);
+    Matrix m = Matrix::randn(4, 7, rng, 3.0);
+    m.softmaxRows();
+    for (size_t i = 0; i < m.rows(); ++i) {
+        double sum = 0.0;
+        for (size_t j = 0; j < m.cols(); ++j) {
+            EXPECT_GT(m.at(i, j), 0.0);
+            sum += m.at(i, j);
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-12);
+    }
+}
+
+TEST(Matrix, SoftmaxStableForLargeValues)
+{
+    Matrix m(1, 3);
+    m.at(0, 0) = 1000.0;
+    m.at(0, 1) = 1001.0;
+    m.at(0, 2) = 999.0;
+    m.softmaxRows();
+    EXPECT_TRUE(std::isfinite(m.at(0, 0)));
+    EXPECT_GT(m.at(0, 1), m.at(0, 0));
+}
+
+/** Scalar loss used by the gradient checks: sum of outputs. */
+template <typename Net>
+double
+forwardSum(Net& net, const Matrix& x)
+{
+    const Matrix y = net.forward(x);
+    double s = 0.0;
+    for (double v : y.data()) {
+        s += v;
+    }
+    return s;
+}
+
+TEST(GradCheck, LinearLayer)
+{
+    Rng rng(7);
+    Linear lin(5, 4, rng);
+    std::vector<ParamRef> params;
+    lin.collectParams(params);
+    const Matrix x = Matrix::randn(3, 5, rng, 1.0);
+
+    // Analytic gradients.
+    for (auto& p : params) {
+        p.grad->zero();
+    }
+    Matrix y = lin.forward(x);
+    Matrix dy(y.rows(), y.cols(), 1.0);
+    lin.backward(dy);
+
+    // Numerical check on a few entries of each parameter.
+    for (auto& p : params) {
+        for (size_t i = 0; i < std::min<size_t>(p.value->size(), 6); ++i) {
+            const double eps = 1e-6;
+            const double orig = p.value->data()[i];
+            p.value->data()[i] = orig + eps;
+            const double plus = forwardSum(lin, x);
+            p.value->data()[i] = orig - eps;
+            const double minus = forwardSum(lin, x);
+            p.value->data()[i] = orig;
+            const double numeric = (plus - minus) / (2 * eps);
+            EXPECT_NEAR(p.grad->data()[i], numeric, 1e-5);
+        }
+    }
+}
+
+TEST(GradCheck, MlpInputGradient)
+{
+    Rng rng(11);
+    Mlp mlp({6, 8, 1}, rng);
+    Matrix x = Matrix::randn(2, 6, rng, 1.0);
+    Matrix y = mlp.forward(x);
+    Matrix dy(y.rows(), y.cols(), 1.0);
+    const Matrix dx = mlp.backward(dy);
+
+    for (size_t i = 0; i < x.size(); ++i) {
+        const double eps = 1e-6;
+        const double orig = x.data()[i];
+        x.data()[i] = orig + eps;
+        const double plus = forwardSum(mlp, x);
+        x.data()[i] = orig - eps;
+        const double minus = forwardSum(mlp, x);
+        x.data()[i] = orig;
+        EXPECT_NEAR(dx.data()[i], (plus - minus) / (2 * eps), 1e-4)
+            << "input grad " << i;
+    }
+}
+
+TEST(GradCheck, SelfAttentionParamsAndInput)
+{
+    Rng rng(13);
+    SelfAttention attn(6, rng);
+    std::vector<ParamRef> params;
+    attn.collectParams(params);
+    Matrix x = Matrix::randn(4, 6, rng, 0.7);
+
+    for (auto& p : params) {
+        p.grad->zero();
+    }
+    Matrix y = attn.forward(x);
+    Matrix dy(y.rows(), y.cols(), 1.0);
+    const Matrix dx = attn.backward(dy);
+
+    // Input gradient check.
+    for (size_t i = 0; i < std::min<size_t>(x.size(), 10); ++i) {
+        const double eps = 1e-6;
+        const double orig = x.data()[i];
+        x.data()[i] = orig + eps;
+        const double plus = forwardSum(attn, x);
+        x.data()[i] = orig - eps;
+        const double minus = forwardSum(attn, x);
+        x.data()[i] = orig;
+        EXPECT_NEAR(dx.data()[i], (plus - minus) / (2 * eps), 1e-4)
+            << "attention input grad " << i;
+    }
+    // Parameter gradient check (a few entries of each weight).
+    for (auto& p : params) {
+        for (size_t i = 0; i < std::min<size_t>(p.value->size(), 4); ++i) {
+            const double eps = 1e-6;
+            const double orig = p.value->data()[i];
+            p.value->data()[i] = orig + eps;
+            const double plus = forwardSum(attn, x);
+            p.value->data()[i] = orig - eps;
+            const double minus = forwardSum(attn, x);
+            p.value->data()[i] = orig;
+            EXPECT_NEAR(p.grad->data()[i], (plus - minus) / (2 * eps), 1e-4);
+        }
+    }
+}
+
+TEST(Adam, MinimizesQuadratic)
+{
+    // One 1x1 "weight", loss (w - 3)^2.
+    Matrix w(1, 1, 0.0), g(1, 1, 0.0);
+    Adam adam({{&w, &g}}, 0.05);
+    for (int step = 0; step < 800; ++step) {
+        g.at(0, 0) = 2.0 * (w.at(0, 0) - 3.0);
+        adam.step();
+    }
+    EXPECT_NEAR(w.at(0, 0), 3.0, 0.05);
+}
+
+TEST(Adam, ClipGradNormBoundsGlobalNorm)
+{
+    Matrix w(2, 2), g(2, 2, 10.0);
+    Adam adam(std::vector<ParamRef>{{&w, &g}});
+    adam.clipGradNorm(1.0);
+    EXPECT_NEAR(g.norm(), 1.0, 1e-9);
+}
+
+TEST(Loss, RelevanceLabelsInUnitInterval)
+{
+    const auto rel = latencyToRelevance({2.0, 1.0, 4.0});
+    EXPECT_DOUBLE_EQ(rel[1], 1.0);
+    EXPECT_DOUBLE_EQ(rel[0], 0.5);
+    EXPECT_DOUBLE_EQ(rel[2], 0.25);
+}
+
+TEST(Loss, LambdaRankGradPushesBetterCandidateUp)
+{
+    // Candidate 0 is truly faster but scored lower: its gradient must be
+    // negative (score goes UP when stepping against the gradient).
+    const LossResult r = lambdaRankLoss({0.0, 1.0}, {1.0, 2.0});
+    EXPECT_GT(r.loss, 0.0);
+    EXPECT_LT(r.grad[0], 0.0);
+    EXPECT_GT(r.grad[1], 0.0);
+}
+
+TEST(Loss, LambdaRankZeroWhenPerfectlyOrderedAndSeparated)
+{
+    const LossResult good = lambdaRankLoss({30.0, 0.0}, {1.0, 2.0});
+    const LossResult bad = lambdaRankLoss({0.0, 30.0}, {1.0, 2.0});
+    EXPECT_LT(good.loss, bad.loss);
+}
+
+TEST(Loss, GradientsSumToZero)
+{
+    const LossResult r =
+        lambdaRankLoss({0.3, -0.2, 0.9, 0.1}, {3.0, 1.0, 2.0, 5.0});
+    double sum = 0.0;
+    for (double g : r.grad) {
+        sum += g;
+    }
+    EXPECT_NEAR(sum, 0.0, 1e-12);
+}
+
+TEST(Loss, MseThroughputGradientDirection)
+{
+    const LossResult r = mseThroughputLoss({0.0, 0.0}, {1.0, 2.0});
+    // Targets are 1.0 and 0.5; scores 0 -> gradients negative.
+    EXPECT_LT(r.grad[0], 0.0);
+    EXPECT_LT(r.grad[1], 0.0);
+}
+
+TEST(Optimizer, FlattenUnflattenRoundTrip)
+{
+    Rng rng(17);
+    Mlp mlp({4, 5, 1}, rng);
+    std::vector<ParamRef> params;
+    mlp.collectParams(params);
+    const auto flat = flattenParams(params);
+    // Perturb, then restore.
+    for (auto& p : params) {
+        p.value->scale(0.0);
+    }
+    unflattenParams(params, flat);
+    EXPECT_EQ(flattenParams(params), flat);
+}
+
+TEST(Optimizer, UnflattenRejectsWrongSize)
+{
+    Rng rng(19);
+    Mlp mlp({4, 5, 1}, rng);
+    std::vector<ParamRef> params;
+    mlp.collectParams(params);
+    std::vector<double> wrong(3, 0.0);
+    EXPECT_THROW(unflattenParams(params, wrong), InternalError);
+}
+
+TEST(Optimizer, MomentumUpdateInterpolates)
+{
+    std::vector<double> siamese{1.0, 2.0};
+    momentumUpdate(siamese, {3.0, 4.0}, 0.5);
+    EXPECT_DOUBLE_EQ(siamese[0], 2.0);
+    EXPECT_DOUBLE_EQ(siamese[1], 3.0);
+    // m = 1: Siamese frozen.
+    momentumUpdate(siamese, {100.0, 100.0}, 1.0);
+    EXPECT_DOUBLE_EQ(siamese[0], 2.0);
+}
+
+TEST(Serialize, FileRoundTrip)
+{
+    const std::string path = "/tmp/pruner_test_params.txt";
+    const std::vector<double> flat{1.5, -2.25, 3.125e-7, 0.0};
+    saveParams(path, flat);
+    EXPECT_EQ(loadParams(path), flat);
+    std::filesystem::remove(path);
+}
+
+TEST(Serialize, MissingFileThrows)
+{
+    EXPECT_THROW(loadParams("/tmp/definitely_missing_params.txt"),
+                 FatalError);
+}
+
+TEST(Training, TinyMlpLearnsRankingSignal)
+{
+    // A 1-d regression the ranking loss must be able to exploit:
+    // latency = feature value; the MLP score should learn to invert it.
+    Rng rng(23);
+    Mlp mlp({1, 8, 1}, rng);
+    std::vector<ParamRef> params;
+    mlp.collectParams(params);
+    Adam adam(params, 1e-2);
+    std::vector<double> feats, lats;
+    for (int i = 0; i < 16; ++i) {
+        feats.push_back(static_cast<double>(i) / 16.0);
+        lats.push_back(1.0 + feats.back());
+    }
+    for (int epoch = 0; epoch < 200; ++epoch) {
+        std::vector<double> scores;
+        for (double f : feats) {
+            Matrix x(1, 1);
+            x.at(0, 0) = f;
+            scores.push_back(mlp.infer(x).at(0, 0));
+        }
+        const LossResult loss = lambdaRankLoss(scores, lats);
+        adam.zeroGrad();
+        for (size_t i = 0; i < feats.size(); ++i) {
+            Matrix x(1, 1);
+            x.at(0, 0) = feats[i];
+            mlp.forward(x);
+            Matrix dy(1, 1);
+            dy.at(0, 0) = loss.grad[i];
+            mlp.backward(dy);
+        }
+        adam.step();
+    }
+    // After training, lower-latency candidates must score higher.
+    Matrix lo(1, 1), hi(1, 1);
+    lo.at(0, 0) = 0.0;
+    hi.at(0, 0) = 1.0;
+    EXPECT_GT(mlp.infer(lo).at(0, 0), mlp.infer(hi).at(0, 0));
+}
+
+} // namespace
+} // namespace pruner

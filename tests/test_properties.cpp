@@ -1,0 +1,213 @@
+/** Property-based sweeps across the whole stack: invariants that must hold
+ *  for any (device, operator, schedule) combination. These complement the
+ *  per-module tests with broad parameterized coverage. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/penalty.hpp"
+#include "core/symbol_analyzer.hpp"
+#include "feature/dataflow_features.hpp"
+#include "feature/primitive_features.hpp"
+#include "feature/statement_features.hpp"
+#include "ir/workload_registry.hpp"
+#include "sched/mutator.hpp"
+#include "sched/sampler.hpp"
+#include "sim/gpu_simulator.hpp"
+#include "sim/vendor_library.hpp"
+
+namespace pruner {
+namespace {
+
+/** The cross-product axes: device x operator family. */
+struct SweepCase
+{
+    std::string name;
+    DeviceSpec device;
+    SubgraphTask task;
+};
+
+std::vector<SweepCase>
+sweepCases()
+{
+    std::vector<SweepCase> cases;
+    const std::vector<DeviceSpec> devices{DeviceSpec::a100(),
+                                          DeviceSpec::orinAgx(),
+                                          DeviceSpec::k80()};
+    std::vector<std::pair<std::string, SubgraphTask>> ops{
+        {"gemm", makeGemm("p", 1, 384, 768, 512)},
+        {"tall_gemm", makeGemm("p", 1, 7, 2048, 768, DType::Fp32, false)},
+        {"conv", makeConv2d("p", 1, 28, 28, 96, 160, 3, 1)},
+        {"strided", makeConv2d("p", 1, 112, 112, 32, 64, 3, 2)},
+        {"dw", makeDepthwiseConv2d("p", 1, 56, 56, 144, 3, 1)},
+        {"elem", makeElementwise("p", 500000)},
+        {"fp16", makeGemm("p", 1, 512, 512, 512, DType::Fp16Tc)},
+    };
+    for (const auto& dev : devices) {
+        for (const auto& [op_name, task] : ops) {
+            cases.push_back({dev.name + "_" + op_name, dev, task});
+        }
+    }
+    return cases;
+}
+
+class StackSweep : public ::testing::TestWithParam<SweepCase>
+{
+};
+
+TEST_P(StackSweep, SymbolsNonNegativeAndSelfConsistent)
+{
+    const auto& c = GetParam();
+    ScheduleSampler sampler(c.task, c.device);
+    Rng rng(hashCombine(0x51, c.task.hash()));
+    for (int i = 0; i < 25; ++i) {
+        const Schedule sch = sampler.sample(rng);
+        const SymbolSet sym = extractSymbols(c.task, sch);
+        EXPECT_GE(sym.s1_l0_alloc, 1.0);
+        EXPECT_GE(sym.s2_l0_comp, 1.0);
+        EXPECT_GE(sym.s3_l1_alloc, 0.0);
+        EXPECT_DOUBLE_EQ(sym.s4_threads,
+                         static_cast<double>(sch.threadsPerBlock()));
+        EXPECT_DOUBLE_EQ(sym.s6_blocks,
+                         static_cast<double>(sch.numBlocks()));
+        EXPECT_GT(sym.tc_alignment, 0.0);
+        EXPECT_LE(sym.tc_alignment, 1.0);
+        // Total flops at least the task's unpadded flops.
+        EXPECT_GE(sym.totalFlops(), c.task.totalFlops() * 0.999);
+        // Per-thread compute x threads x blocks >= total padded compute /
+        // padding of spatial-only axes... at minimum positive traffic.
+        EXPECT_GE(sym.totalTraffic(), 0.0);
+    }
+}
+
+TEST_P(StackSweep, PenaltiesBounded)
+{
+    const auto& c = GetParam();
+    ScheduleSampler sampler(c.task, c.device);
+    Rng rng(hashCombine(0x52, c.task.hash()));
+    for (int i = 0; i < 25; ++i) {
+        const SymbolSet sym =
+            extractSymbols(c.task, sampler.sample(rng));
+        const PenaltySet p = computePenalties(sym, c.device);
+        for (double v : {p.p_l0_m, p.p_l1_m, p.p_l1_c, p.alpha_l1,
+                         p.p_l2_c}) {
+            EXPECT_GT(v, 0.0);
+            EXPECT_LE(v, 1.0);
+        }
+        EXPECT_GE(p.p_l0_c, 1.0);
+    }
+}
+
+TEST_P(StackSweep, SaAndSimulatorAgreeOnSign)
+{
+    const auto& c = GetParam();
+    const SymbolAnalyzer sa(c.device);
+    const GpuSimulator sim(c.device);
+    ScheduleSampler sampler(c.task, c.device);
+    Rng rng(hashCombine(0x53, c.task.hash()));
+    for (int i = 0; i < 25; ++i) {
+        const Schedule sch = sampler.sample(rng);
+        const double est = sa.estimateLatency(c.task, sch);
+        EXPECT_TRUE(std::isfinite(est));
+        EXPECT_GT(est, 0.0);
+        const double t = sim.trueLatency(c.task, sch);
+        if (std::isfinite(t)) {
+            EXPECT_GT(t, 0.0);
+            // Neither model may be absurdly below the roofline.
+            EXPECT_GT(t, 0.5 * sim.idealLatency(c.task));
+        }
+    }
+}
+
+TEST_P(StackSweep, FeaturesFiniteEverywhere)
+{
+    const auto& c = GetParam();
+    ScheduleSampler sampler(c.task, c.device);
+    Rng rng(hashCombine(0x54, c.task.hash()));
+    for (int i = 0; i < 10; ++i) {
+        const Schedule sch = sampler.sample(rng);
+        for (const Matrix& f :
+             {extractStatementFeatures(c.task, sch, c.device),
+              extractDataflowFeatures(c.task, sch, c.device),
+              extractPrimitiveFeatures(c.task, sch)}) {
+            for (double v : f.data()) {
+                ASSERT_TRUE(std::isfinite(v));
+            }
+        }
+    }
+}
+
+TEST_P(StackSweep, MutationClosure)
+{
+    // The GA operators must keep schedules valid indefinitely.
+    const auto& c = GetParam();
+    ScheduleSampler sampler(c.task, c.device);
+    ScheduleMutator mutator(c.task, c.device);
+    Rng rng(hashCombine(0x55, c.task.hash()));
+    Schedule sch = sampler.sample(rng);
+    for (int i = 0; i < 100; ++i) {
+        sch = mutator.mutate(sch, rng);
+        ASSERT_TRUE(sch.valid(c.task, c.device.max_threads_per_block));
+    }
+}
+
+TEST_P(StackSweep, VendorLatencyAboveRooflineBound)
+{
+    const auto& c = GetParam();
+    const VendorLibrary lib(c.device);
+    const GpuSimulator sim(c.device);
+    const double ideal = sim.idealLatency(c.task);
+    for (VendorBackend backend :
+         {VendorBackend::CudaLib, VendorBackend::PyTorch,
+          VendorBackend::Triton, VendorBackend::TensorRT}) {
+        const double lat = lib.taskLatency(c.task, backend).latency_s;
+        EXPECT_GT(lat, 0.0);
+        // Vendor kernels cannot beat the roofline by more than the
+        // Winograd algorithmic advantage (2.25x fewer multiplies) —
+        // except fused elementwise ops, which TensorRT absorbs into
+        // neighbouring kernels almost for free.
+        const bool fused_away = backend == VendorBackend::TensorRT &&
+                                c.task.op_class == OpClass::Elementwise;
+        EXPECT_GT(lat, ideal / (fused_away ? 5.0 : 2.5))
+            << vendorBackendName(backend);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DeviceOpMatrix, StackSweep, ::testing::ValuesIn(sweepCases()),
+    [](const auto& info) {
+        std::string name = info.param.name;
+        for (char& ch : name) {
+            if (!std::isalnum(static_cast<unsigned char>(ch))) {
+                ch = '_';
+            }
+        }
+        return name;
+    });
+
+TEST(WorkloadSweep, EveryRegisteredTaskIsTunableEverywhere)
+{
+    // Every task of every registered workload must be schedulable and
+    // simulatable on every platform — the "no stub operators" guarantee.
+    for (const auto& name : workloads::allNames()) {
+        const Workload w = workloads::byName(name);
+        const auto dev = DeviceSpec::titanV();
+        const GpuSimulator sim(dev);
+        for (const auto& inst : w.tasks) {
+            ScheduleSampler sampler(inst.task, dev);
+            Rng rng(hashCombine(0x57, inst.task.hash()));
+            bool any_finite = false;
+            for (int i = 0; i < 12 && !any_finite; ++i) {
+                any_finite = std::isfinite(
+                    sim.trueLatency(inst.task, sampler.sample(rng)));
+            }
+            EXPECT_TRUE(any_finite)
+                << name << " / " << inst.task.key
+                << ": no launchable schedule found";
+        }
+    }
+}
+
+} // namespace
+} // namespace pruner

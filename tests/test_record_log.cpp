@@ -1,0 +1,148 @@
+/** Tests for src/search/record_log and the top-level API facade. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "pruner.hpp"
+#include "sched/sampler.hpp"
+#include "support/logging.hpp"
+
+namespace pruner {
+namespace {
+
+class RecordLogTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = "/tmp/pruner_test_records.log";
+        std::filesystem::remove(path_);
+    }
+    void
+    TearDown() override
+    {
+        std::filesystem::remove(path_);
+    }
+
+    std::string path_;
+    SubgraphTask task_ = makeGemm("log", 1, 128, 128, 128);
+    DeviceSpec dev_ = DeviceSpec::a100();
+};
+
+TEST_F(RecordLogTest, RoundTripPreservesRecords)
+{
+    ScheduleSampler sampler(task_, dev_);
+    Rng rng(3);
+    std::vector<MeasuredRecord> records;
+    for (int i = 0; i < 12; ++i) {
+        records.push_back({task_, sampler.sample(rng), 1e-4 + i * 1e-6});
+    }
+    appendRecordLog(path_, records);
+    const auto loaded = loadRecordLog(path_, {task_});
+    ASSERT_EQ(loaded.size(), records.size());
+    for (size_t i = 0; i < loaded.size(); ++i) {
+        EXPECT_EQ(loaded[i].task.hash(), records[i].task.hash());
+        EXPECT_EQ(loaded[i].sch, records[i].sch);
+        EXPECT_DOUBLE_EQ(loaded[i].latency, records[i].latency);
+    }
+}
+
+TEST_F(RecordLogTest, AppendAccumulates)
+{
+    ScheduleSampler sampler(task_, dev_);
+    Rng rng(5);
+    appendRecordLog(path_, {{task_, sampler.sample(rng), 1e-4}});
+    appendRecordLog(path_, {{task_, sampler.sample(rng), 2e-4}});
+    EXPECT_EQ(loadRecordLog(path_, {task_}).size(), 2u);
+}
+
+TEST_F(RecordLogTest, UnknownTasksAreSkipped)
+{
+    ScheduleSampler sampler(task_, dev_);
+    Rng rng(7);
+    appendRecordLog(path_, {{task_, sampler.sample(rng), 1e-4}});
+    const auto other = makeGemm("other", 1, 64, 64, 64);
+    EXPECT_TRUE(loadRecordLog(path_, {other}).empty());
+}
+
+TEST_F(RecordLogTest, MalformedLinesAreSkipped)
+{
+    ScheduleSampler sampler(task_, dev_);
+    Rng rng(9);
+    appendRecordLog(path_, {{task_, sampler.sample(rng), 1e-4}});
+    {
+        std::ofstream out(path_, std::ios::app);
+        out << "garbage line without tabs\n";
+        out << "a\tb\tc\td\n"; // right arity, wrong content
+    }
+    EXPECT_EQ(loadRecordLog(path_, {task_}).size(), 1u);
+}
+
+TEST_F(RecordLogTest, MissingFileThrows)
+{
+    EXPECT_THROW(loadRecordLog("/tmp/definitely_missing.log", {task_}),
+                 FatalError);
+}
+
+TEST_F(RecordLogTest, ReplayWarmStartsDb)
+{
+    ScheduleSampler sampler(task_, dev_);
+    Rng rng(11);
+    std::vector<MeasuredRecord> records;
+    for (int i = 0; i < 5; ++i) {
+        records.push_back({task_, sampler.sample(rng), 5e-4 - i * 1e-5});
+    }
+    TuningRecordDb db;
+    replayIntoDb(records, &db);
+    EXPECT_EQ(db.size(), 5u);
+    EXPECT_DOUBLE_EQ(db.bestLatency(task_), 5e-4 - 4e-5);
+}
+
+TEST(ApiFacade, MethodNames)
+{
+    EXPECT_STREQ(api::methodName(api::Method::Pruner), "Pruner");
+    EXPECT_STREQ(api::methodName(api::Method::MoAPruner), "MoA-Pruner");
+    EXPECT_STREQ(api::methodName(api::Method::Roller), "Roller");
+}
+
+TEST(ApiFacade, TuneSingleTaskWorkload)
+{
+    Workload w;
+    w.name = "api";
+    w.tasks.push_back({makeGemm("api", 1, 256, 256, 256), 1.0});
+    api::TuneConfig config;
+    config.rounds = 6;
+    config.pretrain_platform = ""; // skip pre-training for speed
+    const TuneResult r =
+        api::tune(w, DeviceSpec::a100(), api::Method::Pruner, config);
+    EXPECT_FALSE(r.failed);
+    EXPECT_TRUE(std::isfinite(r.final_latency));
+    EXPECT_EQ(r.policy, "Pruner");
+}
+
+TEST(ApiFacade, TuneRejectsEmptyWorkload)
+{
+    Workload w;
+    w.name = "empty";
+    EXPECT_THROW(api::tune(w, DeviceSpec::a100()), InternalError);
+}
+
+TEST(ApiFacade, RollerMethodRuns)
+{
+    Workload w;
+    w.name = "api";
+    w.tasks.push_back({makeGemm("api", 1, 256, 256, 256), 1.0});
+    api::TuneConfig config;
+    config.rounds = 4;
+    const TuneResult r =
+        api::tune(w, DeviceSpec::t4(), api::Method::Roller, config);
+    EXPECT_FALSE(r.failed);
+    EXPECT_EQ(r.policy, "Roller");
+}
+
+} // namespace
+} // namespace pruner

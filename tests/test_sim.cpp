@@ -1,0 +1,249 @@
+/** Tests for src/sim: the ground-truth GPU simulator and the vendor-library
+ *  model. These pin down the behavioural properties the reproduction relies
+ *  on (resource limits, platform gaps, splitK/Winograd special cases). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ir/workload_registry.hpp"
+#include "sched/sampler.hpp"
+#include "sim/gpu_simulator.hpp"
+#include "sim/vendor_library.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace pruner {
+namespace {
+
+Schedule
+blockedGemmSchedule(const SubgraphTask& task)
+{
+    SpatialSplit i{{16, 16, 1, 4, 1}};
+    SpatialSplit j{{16, 16, 1, 4, 1}};
+    ReductionSplit k{{64, 4, 4}};
+    Schedule sch({i, j}, {k}, 64, 4, true);
+    sch.repairOuter(task); // cover the actual extents
+    return sch;
+}
+
+TEST(GpuSimulator, DeterministicLatency)
+{
+    const auto task = makeGemm("g", 1, 1024, 1024, 1024);
+    const GpuSimulator sim(DeviceSpec::a100());
+    const Schedule sch = blockedGemmSchedule(task);
+    EXPECT_DOUBLE_EQ(sim.trueLatency(task, sch),
+                     sim.trueLatency(task, sch));
+}
+
+TEST(GpuSimulator, MeasurementNoiseIsSmallAndMultiplicative)
+{
+    const auto task = makeGemm("g", 1, 1024, 1024, 1024);
+    const GpuSimulator sim(DeviceSpec::a100());
+    const Schedule sch = blockedGemmSchedule(task);
+    const double base = sim.trueLatency(task, sch);
+    Rng rng(5);
+    std::vector<double> meas;
+    for (int i = 0; i < 300; ++i) {
+        meas.push_back(sim.measure(task, sch, rng));
+    }
+    EXPECT_NEAR(mean(meas), base, base * 0.01);
+    EXPECT_LT(stdev(meas) / base, 0.05);
+}
+
+TEST(GpuSimulator, SharedMemoryOverflowFailsLaunch)
+{
+    const auto task = makeGemm("g", 1, 4096, 4096, 4096);
+    const GpuSimulator sim(DeviceSpec::a100());
+    // Enormous block tile: shared usage far beyond 48 KiB.
+    SpatialSplit i{{8, 32, 2, 4, 2}};  // block tile 512
+    SpatialSplit j{{8, 32, 2, 4, 2}};  // block tile 512
+    ReductionSplit k{{64, 8, 8}};      // inner 64
+    const Schedule sch({i, j}, {k});
+    SimBreakdown bd;
+    EXPECT_TRUE(std::isinf(sim.trueLatency(task, sch, &bd)));
+    EXPECT_TRUE(bd.launch_failed);
+}
+
+TEST(GpuSimulator, GoodScheduleApproachesIdeal)
+{
+    const auto task = makeGemm("g", 1, 4096, 4096, 4096,
+                               DType::Fp32, false);
+    const auto dev = DeviceSpec::a100();
+    const GpuSimulator sim(dev);
+    ScheduleSampler sampler(task, dev);
+    Rng rng(3);
+    double best = 1e30;
+    for (int i = 0; i < 3000; ++i) {
+        best = std::min(best, sim.trueLatency(task, sampler.sample(rng)));
+    }
+    const double ideal = sim.idealLatency(task);
+    EXPECT_LT(best, 3.0 * ideal);  // a tuned schedule gets close...
+    EXPECT_GT(best, 0.9 * ideal);  // ...but cannot beat the roofline much
+}
+
+TEST(GpuSimulator, FasterDeviceIsFasterOnBigGemm)
+{
+    const auto task = makeGemm("g", 1, 2048, 2048, 2048);
+    const Schedule sch = blockedGemmSchedule(task);
+    const double a100 = GpuSimulator(DeviceSpec::a100())
+                            .trueLatency(task, sch);
+    const double orin = GpuSimulator(DeviceSpec::orinAgx())
+                            .trueLatency(task, sch);
+    EXPECT_LT(a100, orin);
+}
+
+TEST(GpuSimulator, PlatformsRankSchedulesDifferently)
+{
+    // The cross-platform domain gap that motivates MoA: schedule rankings
+    // on two platforms must correlate but not match.
+    const auto task = makeConv2d("c", 1, 28, 28, 128, 128, 3, 1);
+    const auto dev_a = DeviceSpec::t4();
+    const auto dev_b = DeviceSpec::k80();
+    const GpuSimulator sim_a(dev_a), sim_b(dev_b);
+    ScheduleSampler sampler(task, dev_a);
+    Rng rng(17);
+    std::vector<double> lat_a, lat_b;
+    for (int i = 0; i < 400; ++i) {
+        const Schedule sch = sampler.sample(rng);
+        const double a = sim_a.trueLatency(task, sch);
+        const double b = sim_b.trueLatency(task, sch);
+        if (std::isfinite(a) && std::isfinite(b)) {
+            lat_a.push_back(a);
+            lat_b.push_back(b);
+        }
+    }
+    ASSERT_GT(lat_a.size(), 200u);
+    const double rho = spearman(lat_a, lat_b);
+    EXPECT_GT(rho, 0.5);   // same physics...
+    EXPECT_LT(rho, 0.995); // ...but platform-specific rankings
+}
+
+TEST(GpuSimulator, TensorCoreBeatsCudaCoreOnAlignedFp16Gemm)
+{
+    const auto fp32 = makeGemm("g", 1, 2048, 2048, 2048, DType::Fp32);
+    const auto fp16 = makeGemm("g", 1, 2048, 2048, 2048, DType::Fp16Tc);
+    const GpuSimulator sim(DeviceSpec::a100());
+    const Schedule sch = blockedGemmSchedule(fp32);
+    EXPECT_LT(sim.trueLatency(fp16, sch), sim.trueLatency(fp32, sch));
+}
+
+TEST(GpuSimulator, OccupancyReportedInBreakdown)
+{
+    const auto task = makeGemm("g", 1, 1024, 1024, 1024);
+    const GpuSimulator sim(DeviceSpec::a100());
+    SimBreakdown bd;
+    sim.trueLatency(task, blockedGemmSchedule(task), &bd);
+    EXPECT_GT(bd.occupancy, 0.0);
+    EXPECT_LE(bd.occupancy, 1.0);
+    EXPECT_GE(bd.waves, 1.0);
+    EXPECT_GT(bd.dram_bytes, 0.0);
+}
+
+TEST(GpuSimulator, LowParallelismHurts)
+{
+    // A schedule with very few blocks cannot fill the device.
+    const auto task = makeGemm("g", 1, 256, 256, 8192, DType::Fp32, false);
+    const GpuSimulator sim(DeviceSpec::a100());
+    SpatialSplit i_few{{1, 16, 1, 16, 1}};  // 1 block along i
+    SpatialSplit j_few{{2, 16, 1, 8, 1}};   // 2 blocks along j
+    ReductionSplit k{{512, 4, 4}};
+    const Schedule few({i_few, j_few}, {k});
+    SpatialSplit i_many{{16, 16, 1, 1, 1}};
+    SpatialSplit j_many{{16, 16, 1, 1, 1}};
+    const Schedule many({i_many, j_many}, {k});
+    EXPECT_GT(sim.trueLatency(task, few), sim.trueLatency(task, many));
+}
+
+TEST(VendorLibrary, SplitKSelectedForDecodeShapes)
+{
+    const auto dev = DeviceSpec::a100();
+    const VendorLibrary lib(dev);
+    const auto decode = makeGemm("d", 1, 32, 4096, 11008, DType::Fp32,
+                                 false);
+    EXPECT_TRUE(lib.wantsSplitK(decode));
+    const auto big = makeGemm("b", 1, 4096, 4096, 4096);
+    EXPECT_FALSE(lib.wantsSplitK(big));
+}
+
+TEST(VendorLibrary, WinogradOnlyFor3x3Stride1Fp32)
+{
+    const VendorLibrary lib(DeviceSpec::a100());
+    const auto w = makeConv2d("c", 1, 56, 56, 64, 64, 3, 1);
+    EXPECT_TRUE(lib.taskLatency(w, VendorBackend::CudaLib).used_winograd);
+    const auto s2 = makeConv2d("c", 1, 56, 56, 64, 64, 3, 2);
+    EXPECT_FALSE(lib.taskLatency(s2, VendorBackend::CudaLib).used_winograd);
+    const auto k1 = makeConv2d("c", 1, 56, 56, 64, 64, 1, 1);
+    EXPECT_FALSE(lib.taskLatency(k1, VendorBackend::CudaLib).used_winograd);
+}
+
+TEST(VendorLibrary, PyTorchSlowerThanCudaLibDueToDispatch)
+{
+    const VendorLibrary lib(DeviceSpec::a100());
+    const auto t = makeGemm("g", 1, 512, 512, 512);
+    EXPECT_GT(lib.taskLatency(t, VendorBackend::PyTorch).latency_s,
+              lib.taskLatency(t, VendorBackend::CudaLib).latency_s);
+}
+
+TEST(VendorLibrary, TensorRtFusesElementwise)
+{
+    const VendorLibrary lib(DeviceSpec::a100());
+    const auto e = makeElementwise("e", 1 << 20);
+    EXPECT_LT(lib.taskLatency(e, VendorBackend::TensorRT).latency_s,
+              lib.taskLatency(e, VendorBackend::PyTorch).latency_s);
+}
+
+TEST(VendorLibrary, WorkloadLatencySumsWeightedTasks)
+{
+    const VendorLibrary lib(DeviceSpec::a100());
+    const auto w = workloads::resnet50();
+    const double total = lib.workloadLatency(w, VendorBackend::CudaLib);
+    EXPECT_GT(total, 0.0);
+    double manual = 0.0;
+    for (const auto& inst : w.tasks) {
+        manual += inst.weight *
+                  lib.taskLatency(inst.task, VendorBackend::CudaLib)
+                      .latency_s;
+    }
+    EXPECT_DOUBLE_EQ(total, manual);
+}
+
+class SimulatorShapeSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, SubgraphTask>>
+{
+};
+
+TEST_P(SimulatorShapeSweep, FiniteLatencyForSampledSchedules)
+{
+    const auto& task = std::get<1>(GetParam());
+    for (const auto& dev : DeviceSpec::all()) {
+        const GpuSimulator sim(dev);
+        ScheduleSampler sampler(task, dev);
+        Rng rng(23);
+        int finite = 0;
+        for (int i = 0; i < 50; ++i) {
+            const double lat = sim.trueLatency(task, sampler.sample(rng));
+            if (std::isfinite(lat)) {
+                EXPECT_GT(lat, 0.0);
+                ++finite;
+            }
+        }
+        EXPECT_GT(finite, 25) << dev.name << " / " << task.key;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OpSweep, SimulatorShapeSweep,
+    ::testing::Values(
+        std::make_tuple("gemm", makeGemm("g", 1, 512, 512, 512)),
+        std::make_tuple("conv", makeConv2d("c", 1, 28, 28, 128, 128, 3, 1)),
+        std::make_tuple("dwconv",
+                        makeDepthwiseConv2d("d", 1, 56, 56, 96, 3, 1)),
+        std::make_tuple("elemwise", makeElementwise("e", 1 << 18)),
+        std::make_tuple("reduce", makeReductionOp("r", 4096, 512)),
+        std::make_tuple("fp16",
+                        makeGemm("h", 1, 512, 512, 512, DType::Fp16Tc))),
+    [](const auto& info) { return std::get<0>(info.param); });
+
+} // namespace
+} // namespace pruner

@@ -1,0 +1,259 @@
+/** Tests for src/core symbol extraction, penalties, and the SA draft
+ *  model, including the paper's worked GEMM example (Figure 3). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/penalty.hpp"
+#include "core/symbol_analyzer.hpp"
+#include "core/symbols.hpp"
+#include "sched/sampler.hpp"
+#include "sim/gpu_simulator.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace pruner {
+namespace {
+
+/** Build the Figure 3 GEMM (128^3) with explicit factors. */
+Schedule
+figure3Schedule()
+{
+    // i split [I0..I4] = [4, 8, 2, 2, 1]  (product 128)
+    // j split [J0..J4] = [2, 16, 1, 4, 1] (product 128)
+    // k split [K0,K1,K2] = [8, 4, 4]      (product 128)
+    SpatialSplit i{{4, 8, 2, 2, 1}};
+    SpatialSplit j{{2, 16, 1, 4, 1}};
+    ReductionSplit k{{8, 4, 4}};
+    return Schedule({i, j}, {k}, /*unroll=*/64, /*vec=*/4,
+                    /*cache_shared=*/true);
+}
+
+TEST(Symbols, Figure3GemmSymbolValues)
+{
+    const auto task = makeGemm("gemm", 1, 128, 128, 128, DType::Fp32,
+                               /*fused_tail=*/true);
+    const Schedule sch = figure3Schedule();
+    ASSERT_TRUE(sch.valid(task, 1024));
+    const SymbolSet sym = extractSymbols(task, sch);
+
+    // S1: L0_C = (I2*I3*I4)*(J2*J3*J4) = 4*4 = 16; L0_A = 4; L0_B = 4.
+    EXPECT_DOUBLE_EQ(sym.s1_l0_alloc, 16.0 + 4.0 + 4.0);
+    // S2: regTile * K = 16 * 128.
+    EXPECT_DOUBLE_EQ(sym.s2_l0_comp, 16.0 * 128.0);
+    // S3: L1_A = (I1..I4)*(K1*K2) = 32*16 = 512; L1_B = 64*16 = 1024.
+    EXPECT_DOUBLE_EQ(sym.s3_l1_alloc, 512.0 + 1024.0);
+    // S4: threads = I1*J1 = 128.
+    EXPECT_DOUBLE_EQ(sym.s4_threads, 128.0);
+    // S6: blocks = I0*J0 = 8.
+    EXPECT_DOUBLE_EQ(sym.s6_blocks, 8.0);
+
+    // Statements: loads for A and B, compute, output store.
+    ASSERT_EQ(sym.statements.size(), 4u);
+    // L2_A_traffic = I * J0 * K = 128 * 2 * 128.
+    EXPECT_DOUBLE_EQ(sym.statements[0].s5_traffic, 128.0 * 2.0 * 128.0);
+    // L2_B_traffic = I0 * J * K = 4 * 128 * 128.
+    EXPECT_DOUBLE_EQ(sym.statements[1].s5_traffic, 4.0 * 128.0 * 128.0);
+    // Compute statement: 2 * I * J * K FLOPs.
+    EXPECT_DOUBLE_EQ(sym.statements[2].s8_flops,
+                     2.0 * 128.0 * 128.0 * 128.0);
+    // Output store: I * J elements.
+    EXPECT_DOUBLE_EQ(sym.statements[3].s5_traffic, 128.0 * 128.0);
+}
+
+TEST(Symbols, PaddingInflatesSymbols)
+{
+    const auto task = makeGemm("gemm", 1, 100, 100, 100);
+    SpatialSplit i{{0, 8, 1, 4, 1}}; // inner = 32, needs outer 4 -> 128
+    SpatialSplit j{{0, 8, 1, 4, 1}};
+    ReductionSplit k{{0, 4, 4}};
+    Schedule sch({i, j}, {k});
+    sch.repairOuter(task);
+    const SymbolSet sym = extractSymbols(task, sch);
+    EXPECT_GT(sym.statements[2].s8_flops, 2.0 * 100.0 * 100.0 * 100.0);
+}
+
+TEST(Symbols, NoSharedCachingZeroesL1Alloc)
+{
+    const auto task = makeGemm("gemm", 1, 128, 128, 128);
+    Schedule sch = figure3Schedule();
+    sch.setCacheShared(false);
+    const SymbolSet sym = extractSymbols(task, sch);
+    EXPECT_DOUBLE_EQ(sym.s3_l1_alloc, 0.0);
+}
+
+TEST(Symbols, TensorCoreAlignmentPerfectFor16Tiles)
+{
+    const auto task = makeGemm("gemm", 1, 256, 256, 256, DType::Fp16Tc);
+    SpatialSplit i{{4, 16, 1, 4, 1}}; // block tile 64
+    SpatialSplit j{{8, 8, 1, 4, 1}};  // block tile 32
+    ReductionSplit k{{16, 4, 4}};     // inner 16
+    const Schedule sch({i, j}, {k});
+    const SymbolSet sym = extractSymbols(task, sch);
+    EXPECT_DOUBLE_EQ(sym.tc_alignment, 1.0);
+}
+
+TEST(Symbols, TensorCoreAlignmentDegradesForOddTiles)
+{
+    const auto task = makeGemm("gemm", 1, 256, 256, 256, DType::Fp16Tc);
+    SpatialSplit i{{16, 6, 1, 1, 1}}; // block tile 6: poorly aligned
+    SpatialSplit j{{8, 8, 1, 4, 1}};
+    ReductionSplit k{{16, 4, 4}};
+    const Schedule sch({i, j}, {k});
+    const SymbolSet sym = extractSymbols(task, sch);
+    EXPECT_LT(sym.tc_alignment, 0.5);
+}
+
+TEST(Penalty, WithinUnitIntervalWhereDefined)
+{
+    const auto task = makeGemm("gemm", 1, 128, 128, 128);
+    const auto dev = DeviceSpec::a100();
+    const SymbolSet sym = extractSymbols(task, figure3Schedule());
+    const PenaltySet p = computePenalties(sym, dev);
+    EXPECT_GT(p.p_l0_m, 0.0);
+    EXPECT_LE(p.p_l0_m, 1.0);
+    EXPECT_GT(p.p_l1_m, 0.0);
+    EXPECT_LE(p.p_l1_m, 1.0);
+    EXPECT_GT(p.p_l1_c, 0.0);
+    EXPECT_LE(p.p_l1_c, 1.0);
+    EXPECT_GT(p.alpha_l1, 0.0);
+    EXPECT_LE(p.alpha_l1, 1.0);
+    EXPECT_GT(p.p_l2_c, 0.0);
+    EXPECT_LE(p.p_l2_c, 1.0);
+    EXPECT_GT(p.p_l0_c, 1.0); // defined as 1 + S2/S1
+}
+
+TEST(Penalty, BlocksMultipleOfSmsMaximizesP2c)
+{
+    const auto task = makeGemm("gemm", 1, 4096, 4096, 64);
+    auto dev = DeviceSpec::a100(); // 108 SMs
+    // 108 blocks: perfect wave.
+    SymbolSet sym;
+    sym.s1_l0_alloc = 32;
+    sym.s2_l0_comp = 1024;
+    sym.s3_l1_alloc = 1024;
+    sym.s4_threads = 128;
+    sym.s6_blocks = 108;
+    EXPECT_DOUBLE_EQ(computePenalties(sym, dev).p_l2_c, 1.0);
+    // 109 blocks: a nearly empty second wave.
+    sym.s6_blocks = 109;
+    EXPECT_NEAR(computePenalties(sym, dev).p_l2_c, 109.0 / 216.0, 1e-12);
+}
+
+TEST(Penalty, WarpAlignedThreadsMaximizeAlpha)
+{
+    auto dev = DeviceSpec::a100();
+    SymbolSet sym;
+    sym.s1_l0_alloc = 32;
+    sym.s2_l0_comp = 1024;
+    sym.s3_l1_alloc = 1024;
+    sym.s6_blocks = 108;
+    sym.s4_threads = 128; // 4 warps
+    EXPECT_DOUBLE_EQ(computePenalties(sym, dev).alpha_l1, 1.0);
+    sym.s4_threads = 100; // partial warp
+    EXPECT_LT(computePenalties(sym, dev).alpha_l1, 1.0);
+}
+
+TEST(Penalty, TransactionPenaltyFavorsFullTransactions)
+{
+    const auto dev = DeviceSpec::a100();
+    StatementSymbols stmt;
+    stmt.s7_trans_dim = 32;
+    EXPECT_DOUBLE_EQ(statementP2m(stmt, dev), 1.0);
+    stmt.s7_trans_dim = 8;
+    EXPECT_DOUBLE_EQ(statementP2m(stmt, dev), 0.25);
+    stmt.s7_trans_dim = 40;
+    EXPECT_DOUBLE_EQ(statementP2m(stmt, dev), 40.0 / 64.0);
+}
+
+TEST(SymbolAnalyzer, LatencyPositiveAndFinite)
+{
+    const auto task = makeGemm("gemm", 1, 512, 512, 512);
+    const auto dev = DeviceSpec::a100();
+    const SymbolAnalyzer sa(dev);
+    ScheduleSampler sampler(task, dev);
+    Rng rng(5);
+    for (int i = 0; i < 200; ++i) {
+        const double lat = sa.estimateLatency(task, sampler.sample(rng));
+        EXPECT_TRUE(std::isfinite(lat));
+        EXPECT_GT(lat, 0.0);
+    }
+}
+
+TEST(SymbolAnalyzer, PrefersRegisterBlockedSchedules)
+{
+    const auto task = makeGemm("gemm", 1, 1024, 1024, 1024);
+    const auto dev = DeviceSpec::a100();
+    const SymbolAnalyzer sa(dev);
+    // A classic well-blocked schedule...
+    SpatialSplit gi{{16, 16, 1, 4, 1}};
+    SpatialSplit gj{{16, 16, 1, 4, 1}};
+    ReductionSplit gk{{64, 4, 4}};
+    const Schedule good({gi, gj}, {gk}, 64, 4, true);
+    // ...versus a degenerate one-output-per-thread schedule.
+    SpatialSplit bi{{1024, 1, 1, 1, 1}};
+    SpatialSplit bj{{32, 32, 1, 1, 1}};
+    ReductionSplit bk{{1024, 1, 1}};
+    const Schedule bad({bi, bj}, {bk}, 0, 1, true);
+    EXPECT_LT(sa.estimateLatency(task, good),
+              sa.estimateLatency(task, bad));
+}
+
+TEST(SymbolAnalyzer, ScoreIsNegativeLatency)
+{
+    const auto task = makeGemm("gemm", 1, 128, 128, 128);
+    const auto dev = DeviceSpec::t4();
+    const SymbolAnalyzer sa(dev);
+    const Schedule sch = figure3Schedule();
+    EXPECT_DOUBLE_EQ(sa.score(task, sch), -sa.estimateLatency(task, sch));
+}
+
+TEST(SymbolAnalyzer, AblationsChangeEstimates)
+{
+    const auto task = makeGemm("gemm", 1, 512, 512, 512);
+    const auto dev = DeviceSpec::a100();
+    const SymbolAnalyzer full(dev);
+    const SymbolAnalyzer no_c(dev, {.use_compute_penalties = false});
+    const SymbolAnalyzer no_m(dev, {.use_memory_penalties = false});
+    const Schedule sch = []() {
+        SpatialSplit i{{32, 16, 1, 1, 1}};
+        SpatialSplit j{{32, 16, 1, 1, 1}};
+        ReductionSplit k{{128, 2, 2}};
+        return Schedule({i, j}, {k});
+    }();
+    const double a = full.estimateLatency(task, sch);
+    const double b = no_c.estimateLatency(task, sch);
+    const double c = no_m.estimateLatency(task, sch);
+    EXPECT_NE(a, b);
+    EXPECT_NE(a, c);
+}
+
+TEST(SymbolAnalyzer, CorrelatesWithSimulatorGroundTruth)
+{
+    // The draft model must correlate with "measured" latency (that is its
+    // entire purpose) without being exact.
+    const auto task = makeConv2d("c", 1, 28, 28, 128, 128, 3, 1);
+    const auto dev = DeviceSpec::titanV();
+    const SymbolAnalyzer sa(dev);
+    ScheduleSampler sampler(task, dev);
+    Rng rng(11);
+    std::vector<double> sa_lat, true_lat;
+    GpuSimulator sim(dev);
+    for (int i = 0; i < 300; ++i) {
+        const Schedule sch = sampler.sample(rng);
+        const double t = sim.trueLatency(task, sch);
+        if (!std::isfinite(t)) {
+            continue;
+        }
+        sa_lat.push_back(sa.estimateLatency(task, sch));
+        true_lat.push_back(t);
+    }
+    ASSERT_GT(sa_lat.size(), 100u);
+    const double rho = spearman(sa_lat, true_lat);
+    EXPECT_GT(rho, 0.35); // correlated...
+    EXPECT_LT(rho, 0.99); // ...but not an oracle
+}
+
+} // namespace
+} // namespace pruner

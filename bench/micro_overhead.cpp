@@ -1,14 +1,25 @@
 /**
- * Micro-benchmarks (google-benchmark): real CPU cost of the components
- * whose calibrated simulated costs drive the SimClock — Symbol-based
- * Analyzer evaluation vs learned-model inference, feature extraction, the
- * simulator itself, and schedule sampling/mutation. The paper's core
- * economic argument (Table 1 / Section 2.3) is that the draft model is
- * orders of magnitude cheaper per candidate than the learned model; this
- * binary shows that the same holds for the real implementations here.
+ * Micro-benchmarks: real CPU cost of the components whose calibrated
+ * simulated costs drive the SimClock — Symbol-based Analyzer evaluation vs
+ * learned-model inference, feature extraction, the simulator itself, and
+ * schedule sampling/mutation. The paper's core economic argument (Table 1 /
+ * Section 2.3) is that the draft model is orders of magnitude cheaper per
+ * candidate than the learned model; this binary shows that the same holds
+ * for the real implementations here.
+ *
+ * It also times the parallel batched verify stage: Measurer::measureBatch
+ * with an emulated per-trial device round-trip, serial vs a worker pool.
+ * The batch values are bit-identical by construction (asserted below); only
+ * the wall-clock changes. Self-contained: no google-benchmark dependency,
+ * so the bench builds offline everywhere the library does.
  */
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "core/symbol_analyzer.hpp"
 #include "cost/mlp_cost_model.hpp"
@@ -18,11 +29,49 @@
 #include "feature/statement_features.hpp"
 #include "sched/mutator.hpp"
 #include "sched/sampler.hpp"
+#include "search/measurer.hpp"
 #include "sim/gpu_simulator.hpp"
+#include "support/thread_pool.hpp"
 
 using namespace pruner;
 
 namespace {
+
+/** Keep a result alive past the optimizer (benchmark::DoNotOptimize). */
+template <typename T>
+inline void
+doNotOptimize(const T& value)
+{
+    asm volatile("" : : "g"(&value) : "memory");
+}
+
+double
+nowSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Run fn repeatedly for >= min_time_s (and >= 10 iterations); returns
+ *  nanoseconds per call. */
+double
+timePerCall(const std::function<void()>& fn, double min_time_s = 0.1)
+{
+    // Warm-up.
+    fn();
+    size_t iters = 0;
+    const double start = nowSeconds();
+    double elapsed = 0.0;
+    do {
+        for (int i = 0; i < 10; ++i) {
+            fn();
+        }
+        iters += 10;
+        elapsed = nowSeconds() - start;
+    } while (elapsed < min_time_s);
+    return elapsed / static_cast<double>(iters) * 1e9;
+}
 
 const SubgraphTask&
 benchTask()
@@ -47,119 +96,166 @@ benchSchedules(size_t n)
 }
 
 void
-BM_SaEvaluate(benchmark::State& state)
+reportRow(const char* name, double ns_per_call)
 {
-    const SymbolAnalyzer sa(benchDevice());
+    if (ns_per_call >= 1e6) {
+        std::printf("  %-28s %10.2f ms/call\n", name, ns_per_call / 1e6);
+    } else if (ns_per_call >= 1e3) {
+        std::printf("  %-28s %10.2f us/call\n", name, ns_per_call / 1e3);
+    } else {
+        std::printf("  %-28s %10.0f ns/call\n", name, ns_per_call);
+    }
+}
+
+void
+componentBenchmarks()
+{
+    std::printf("per-candidate component cost (draft vs verify economics)\n");
+    const auto& task = benchTask();
+    const auto& dev = benchDevice();
     const auto schedules = benchSchedules(64);
     size_t i = 0;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            sa.estimateLatency(benchTask(), schedules[i++ % 64]));
-    }
-}
-BENCHMARK(BM_SaEvaluate);
 
-void
-BM_SimulatorTrueLatency(benchmark::State& state)
-{
-    const GpuSimulator sim(benchDevice());
-    const auto schedules = benchSchedules(64);
-    size_t i = 0;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            sim.trueLatency(benchTask(), schedules[i++ % 64]));
+    {
+        const SymbolAnalyzer sa(dev);
+        reportRow("SA estimateLatency", timePerCall([&]() {
+                      doNotOptimize(
+                          sa.estimateLatency(task, schedules[i++ % 64]));
+                  }));
     }
+    {
+        const GpuSimulator sim(dev);
+        reportRow("simulator trueLatency", timePerCall([&]() {
+                      doNotOptimize(
+                          sim.trueLatency(task, schedules[i++ % 64]));
+                  }));
+    }
+    reportRow("statement features", timePerCall([&]() {
+                  doNotOptimize(extractStatementFeatures(
+                      task, schedules[i++ % 64], dev));
+              }));
+    reportRow("dataflow features", timePerCall([&]() {
+                  doNotOptimize(extractDataflowFeatures(
+                      task, schedules[i++ % 64], dev));
+              }));
+    {
+        const MlpCostModel model(dev, 1);
+        reportRow("MLP predict (1 cand)", timePerCall([&]() {
+                      doNotOptimize(
+                          model.predict(task, {schedules[i++ % 8]}));
+                  }));
+    }
+    {
+        const PaCMModel model(dev, 1);
+        reportRow("PaCM predict (1 cand)", timePerCall([&]() {
+                      doNotOptimize(
+                          model.predict(task, {schedules[i++ % 8]}));
+                  }));
+    }
+    {
+        const TlpCostModel model(dev, 1);
+        reportRow("TLP predict (1 cand)", timePerCall([&]() {
+                      doNotOptimize(
+                          model.predict(task, {schedules[i++ % 8]}));
+                  }));
+    }
+    {
+        ScheduleSampler sampler(task, dev);
+        Rng rng(1);
+        reportRow("schedule sample", timePerCall([&]() {
+                      doNotOptimize(sampler.sample(rng));
+                  }));
+    }
+    {
+        ScheduleMutator mutator(task, dev);
+        ScheduleSampler sampler(task, dev);
+        Rng rng(1);
+        Schedule sch = sampler.sample(rng);
+        reportRow("schedule mutate", timePerCall([&]() {
+                      sch = mutator.mutate(sch, rng);
+                      doNotOptimize(sch);
+                  }));
+    }
+    std::printf("\n");
 }
-BENCHMARK(BM_SimulatorTrueLatency);
 
-void
-BM_StatementFeatures(benchmark::State& state)
+/** Wall-clock of one measureBatch call over @p candidates. */
+double
+runBatch(Measurer& measurer, const std::vector<Schedule>& candidates,
+         std::vector<double>* out)
 {
-    const auto schedules = benchSchedules(64);
-    size_t i = 0;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(extractStatementFeatures(
-            benchTask(), schedules[i++ % 64], benchDevice()));
+    const double start = nowSeconds();
+    auto lats = measurer.measureBatch(benchTask(), candidates);
+    const double elapsed = nowSeconds() - start;
+    if (out != nullptr) {
+        *out = std::move(lats);
     }
+    return elapsed;
 }
-BENCHMARK(BM_StatementFeatures);
 
-void
-BM_DataflowFeatures(benchmark::State& state)
+int
+measureBatchBenchmark()
 {
-    const auto schedules = benchSchedules(64);
-    size_t i = 0;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(extractDataflowFeatures(
-            benchTask(), schedules[i++ % 64], benchDevice()));
-    }
-}
-BENCHMARK(BM_DataflowFeatures);
+    // Each trial emulates the device round-trip a real measurement blocks
+    // on; the host-side win of the batched verify stage is overlapping
+    // those round-trips (plus candidate compilation) across workers.
+    const size_t batch = 128;
+    const auto device_us = std::chrono::microseconds(200);
+    const auto candidates = benchSchedules(batch);
 
-void
-BM_MlpPredictOne(benchmark::State& state)
-{
-    const MlpCostModel model(benchDevice(), 1);
-    const auto schedules = benchSchedules(8);
-    size_t i = 0;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            model.predict(benchTask(), {schedules[i++ % 8]}));
-    }
-}
-BENCHMARK(BM_MlpPredictOne);
+    std::printf("parallel batched verify: %zu trials, %lld us emulated "
+                "device round-trip each\n",
+                batch, static_cast<long long>(device_us.count()));
 
-void
-BM_PaCMPredictOne(benchmark::State& state)
-{
-    const PaCMModel model(benchDevice(), 1);
-    const auto schedules = benchSchedules(8);
-    size_t i = 0;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            model.predict(benchTask(), {schedules[i++ % 8]}));
-    }
-}
-BENCHMARK(BM_PaCMPredictOne);
+    std::vector<double> serial_lats;
+    Measurer serial(benchDevice(), nullptr, 7);
+    serial.setTrialLatency(device_us);
+    const double serial_s = runBatch(serial, candidates, &serial_lats);
+    std::printf("  %-28s %10.2f ms\n", "serial (1 worker)",
+                serial_s * 1e3);
 
-void
-BM_TlpPredictOne(benchmark::State& state)
-{
-    const TlpCostModel model(benchDevice(), 1);
-    const auto schedules = benchSchedules(8);
-    size_t i = 0;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            model.predict(benchTask(), {schedules[i++ % 8]}));
+    int status = 0;
+    for (const size_t workers : {2u, 4u, 8u}) {
+        Measurer parallel(benchDevice(), nullptr, 7);
+        parallel.setTrialLatency(device_us);
+        ThreadPool pool(workers);
+        parallel.setThreadPool(&pool);
+        std::vector<double> parallel_lats;
+        const double parallel_s =
+            runBatch(parallel, candidates, &parallel_lats);
+        const bool identical =
+            parallel_lats.size() == serial_lats.size() &&
+            std::memcmp(parallel_lats.data(), serial_lats.data(),
+                        serial_lats.size() * sizeof(double)) == 0;
+        char name[64];
+        std::snprintf(name, sizeof(name), "%zu workers", workers);
+        std::printf("  %-28s %10.2f ms   %.2fx speedup   values %s\n", name,
+                    parallel_s * 1e3, serial_s / parallel_s,
+                    identical ? "identical" : "DIVERGED");
+        if (!identical) {
+            status = 1;
+        }
     }
-}
-BENCHMARK(BM_TlpPredictOne);
 
-void
-BM_ScheduleSample(benchmark::State& state)
-{
-    ScheduleSampler sampler(benchTask(), benchDevice());
-    Rng rng(1);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(sampler.sample(rng));
-    }
+    // Cache replay: the same batch is free on re-visit.
+    MeasureCache cache;
+    Measurer cached(benchDevice(), nullptr, 7);
+    cached.setTrialLatency(device_us);
+    cached.setCache(&cache);
+    runBatch(cached, candidates, nullptr);
+    const double replay_s = runBatch(cached, candidates, nullptr);
+    std::printf("  %-28s %10.2f ms   (%zu/%zu cache hits)\n",
+                "cached replay", replay_s * 1e3, cached.cacheHits(), batch);
+    return status;
 }
-BENCHMARK(BM_ScheduleSample);
-
-void
-BM_ScheduleMutate(benchmark::State& state)
-{
-    ScheduleMutator mutator(benchTask(), benchDevice());
-    ScheduleSampler sampler(benchTask(), benchDevice());
-    Rng rng(1);
-    Schedule sch = sampler.sample(rng);
-    for (auto _ : state) {
-        sch = mutator.mutate(sch, rng);
-        benchmark::DoNotOptimize(sch);
-    }
-}
-BENCHMARK(BM_ScheduleMutate);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main()
+{
+    std::printf("micro_overhead: component costs + batched measurement "
+                "overlap\n\n");
+    componentBenchmarks();
+    return measureBatchBenchmark();
+}

@@ -46,10 +46,17 @@ int main()
         const TuneOptions opts = bench::benchOptions(dev, rounds, 123);
         const TuneResult r = pruner.tune(w, opts);
         const auto vendor = lib.taskLatency(task, VendorBackend::CudaLib);
-        table.addRow({std::to_string(op.id),
-                      "(1,128," + std::to_string(op.k) + ")",
-                      "(" + std::to_string(op.k) + "," +
-                          std::to_string(op.n) + ")",
+        // Built with += (not operator+ chains): GCC 12's -Wrestrict trips
+        // on the libstdc++ temporary-concat inlining (PR105329).
+        std::string in_shape = "(1,128,";
+        in_shape += std::to_string(op.k);
+        in_shape += ")";
+        std::string w_shape = "(";
+        w_shape += std::to_string(op.k);
+        w_shape += ",";
+        w_shape += std::to_string(op.n);
+        w_shape += ")";
+        table.addRow({std::to_string(op.id), in_shape, w_shape,
                       Table::fmt(vendor.latency_s * 1e6, 2),
                       vendor.used_splitk ? "w" : "w/o",
                       Table::fmt(r.final_latency * 1e6, 2)});

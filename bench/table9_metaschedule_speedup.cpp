@@ -29,8 +29,12 @@ int main()
 
     std::vector<double> all_speedups;
     for (int batch : {1, 4}) {
-        std::vector<std::string> row{"(" + std::to_string(batch) +
-                                     ", 128)"};
+        // += avoids GCC 12's -Wrestrict false positive on string
+        // operator+ chains (PR105329).
+        std::string input_shape = "(";
+        input_shape += std::to_string(batch);
+        input_shape += ", 128)";
+        std::vector<std::string> row{input_shape};
         for (const auto& name : names) {
             Workload base = workloads::byName(name);
             // Half-precision variants per Table 3.

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure + build + ctest, used locally and by CI.
+#
+# Usage: scripts/check_build.sh [build-dir] [extra cmake args...]
+#   scripts/check_build.sh                          # default build dir
+#   scripts/check_build.sh build-shim -DPRUNER_USE_MINIGTEST=ON
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+shift || true
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "$BUILD_DIR" -S . "$@"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "check_build: OK ($BUILD_DIR)"

@@ -88,6 +88,7 @@ class RollerPolicy : public SearchPolicy
         Rng rng(hashCombine(opts.seed, seed_));
         Measurer measurer(device_, &clock, hashCombine(seed_, 0x2011),
                           opts.constants);
+        MeasureEnv env(measurer, opts.measure_workers, opts.measure_cache);
         TuningRecordDb db;
 
         for (const auto& inst : workload.tasks) {
@@ -111,7 +112,7 @@ class RollerPolicy : public SearchPolicy
             const auto to_measure = selectForMeasurement(
                 ranked, task, db, sampler,
                 static_cast<size_t>(trials_), /*eps=*/0.0, rng);
-            const auto latencies = measurer.measure(task, to_measure);
+            const auto latencies = measurer.measureBatch(task, to_measure);
             for (size_t i = 0; i < to_measure.size(); ++i) {
                 if (std::isfinite(latencies[i])) {
                     db.add({task, to_measure[i], latencies[i]});

@@ -21,6 +21,7 @@ LatentScheduleExplorer::explore(const SubgraphTask& task,
     evo_config.population = config.population;
     evo_config.iterations = config.n_steps;
     evo_config.out_size = config.spec_size;
+    evo_config.score_pool = config.score_pool;
     // Fitness = hardware-fitness score from the draft model (CSA in
     // Algorithm 2): no learned model anywhere in this loop.
     const ScoreFn fitness = [&](const std::vector<Schedule>& cands) {

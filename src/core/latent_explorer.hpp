@@ -23,6 +23,10 @@ struct LseConfig
     size_t population = 256;  ///< GA individuals per step
     int n_steps = 8;          ///< GA steps (Algorithm 2's nSteps)
     size_t spec_size = 512;   ///< |S_spec| (paper's default)
+    /** Optional pool: SA fitness evaluation is sliced across workers
+     *  (values identical to serial; see EvolutionConfig::score_pool).
+     *  Borrowed, not owned; set per tuning run. */
+    ThreadPool* score_pool = nullptr;
 };
 
 /** The draft-stage explorer. */

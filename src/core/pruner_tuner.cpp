@@ -34,6 +34,10 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
     Rng rng(opts.seed);
     Measurer measurer(device_, &clock, hashCombine(opts.seed, 0x9EA5),
                       opts.constants);
+    // Parallel verify machinery shared by draft scoring and measurement.
+    MeasureEnv env(measurer, opts.measure_workers, opts.measure_cache);
+    LseConfig lse_config = config_.lse;
+    lse_config.score_pool = env.pool();
     TuningRecordDb db;
     TaskScheduler scheduler(workload);
 
@@ -61,7 +65,7 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
         std::vector<Schedule> draft;
         if (config_.use_lse) {
             size_t sa_evals = 0;
-            const auto spec = explorer_.explore(task, config_.lse, seeds,
+            const auto spec = explorer_.explore(task, lse_config, seeds,
                                                 rng, &sa_evals);
             clock.charge(CostCategory::Exploration,
                          static_cast<double>(sa_evals) *
@@ -90,6 +94,7 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
             EvolutionarySearch evo(task, device_);
             EvolutionConfig evo_config;
             evo_config.out_size = config_.lse.spec_size;
+            evo_config.score_pool = env.pool();
             size_t evals = 0;
             const auto ranked = evo.run(
                 evo_config,
@@ -107,7 +112,13 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
         }
 
         // --- Verify -----------------------------------------------------
-        const std::vector<double> scores = model_->predict(task, draft);
+        // PaCM scores only the drafted candidates; slices fan out across
+        // the pool (identical values to one serial predict call).
+        const std::vector<double> scores = scoreChunked(
+            [&](const std::vector<Schedule>& cands) {
+                return model_->predict(task, cands);
+            },
+            draft, env.pool());
         clock.charge(CostCategory::Exploration,
                      static_cast<double>(draft.size()) *
                          model_->evalCostPerCandidate());
@@ -126,7 +137,7 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
             ranked, task, db, sampler,
             static_cast<size_t>(opts.measures_per_round), opts.eps_greedy,
             rng);
-        const auto latencies = measurer.measure(task, to_measure);
+        const auto latencies = measurer.measureBatch(task, to_measure);
         for (size_t i = 0; i < to_measure.size(); ++i) {
             if (std::isfinite(latencies[i])) {
                 db.add({task, to_measure[i], latencies[i]});

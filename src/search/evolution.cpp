@@ -2,11 +2,37 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <unordered_map>
 
 #include "support/logging.hpp"
 
 namespace pruner {
+
+std::vector<double>
+scoreChunked(const ScoreFn& score, const std::vector<Schedule>& candidates,
+             ThreadPool* pool, size_t chunk)
+{
+    if (pool == nullptr || chunk == 0 || candidates.size() <= chunk) {
+        return score(candidates);
+    }
+    const size_t n_chunks = (candidates.size() + chunk - 1) / chunk;
+    std::vector<std::vector<double>> slices(n_chunks);
+    pool->parallelFor(n_chunks, [&](size_t c) {
+        const auto begin = candidates.begin() +
+                           static_cast<std::ptrdiff_t>(c * chunk);
+        const auto end = candidates.begin() +
+                         static_cast<std::ptrdiff_t>(
+                             std::min((c + 1) * chunk, candidates.size()));
+        slices[c] = score(std::vector<Schedule>(begin, end));
+    });
+    std::vector<double> out;
+    out.reserve(candidates.size());
+    for (auto& slice : slices) {
+        out.insert(out.end(), slice.begin(), slice.end());
+    }
+    return out;
+}
 
 EvolutionarySearch::EvolutionarySearch(const SubgraphTask& task,
                                        const DeviceSpec& device)
@@ -52,7 +78,8 @@ EvolutionarySearch::run(const EvolutionConfig& config, const ScoreFn& score,
 
     std::vector<double> scores;
     for (int iter = 0; iter <= config.iterations; ++iter) {
-        scores = score(population);
+        scores = scoreChunked(score, population, config.score_pool,
+                              config.score_chunk);
         PRUNER_CHECK(scores.size() == population.size());
         evals += population.size();
         for (size_t i = 0; i < population.size(); ++i) {

@@ -16,6 +16,7 @@
 
 #include "sched/mutator.hpp"
 #include "sched/sampler.hpp"
+#include "support/thread_pool.hpp"
 
 namespace pruner {
 
@@ -27,6 +28,13 @@ struct EvolutionConfig
     double mutation_prob = 0.85; ///< mutate vs crossover when breeding
     double elite_frac = 0.15;    ///< survivors copied unchanged
     size_t out_size = 512;       ///< size of the returned candidate set
+    /** Optional pool for fitness evaluation: the population is scored in
+     *  score_chunk-sized slices across workers. Every score function in
+     *  this repo is per-candidate independent (documented on
+     *  CostModel::predict), so chunked results equal serial results
+     *  exactly; the ScoreFn must be reentrant. Borrowed, may be null. */
+    ThreadPool* score_pool = nullptr;
+    size_t score_chunk = 64;     ///< candidates per scoring slice
 };
 
 /** A schedule with its fitness score (higher = better). */
@@ -39,6 +47,17 @@ struct ScoredSchedule
 /** Fitness: batch-scores candidates (higher = predicted faster). */
 using ScoreFn =
     std::function<std::vector<double>(const std::vector<Schedule>&)>;
+
+/**
+ * Evaluate @p score on @p candidates, slicing the batch into @p chunk
+ * pieces across @p pool when one is given. Slices are concatenated in
+ * order, so for any per-candidate-independent score function the result is
+ * identical to score(candidates). Falls back to one serial call when
+ * @p pool is null or the batch is a single chunk.
+ */
+std::vector<double> scoreChunked(const ScoreFn& score,
+                                 const std::vector<Schedule>& candidates,
+                                 ThreadPool* pool, size_t chunk = 64);
 
 /** Score-guided GA returning the all-time best candidates. */
 class EvolutionarySearch

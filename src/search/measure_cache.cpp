@@ -1,0 +1,96 @@
+#include "search/measure_cache.hpp"
+
+#include "support/rng.hpp"
+
+namespace pruner {
+
+MeasureCache::MeasureCache(size_t capacity) : capacity_(capacity) {}
+
+uint64_t
+MeasureCache::combinedKey(uint64_t task_hash, uint64_t sched_hash) const
+{
+    return hashCombine(task_hash, sched_hash);
+}
+
+bool
+MeasureCache::lookup(uint64_t task_hash, uint64_t sched_hash,
+                     double* latency)
+{
+    if (capacity_ == 0) {
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(combinedKey(task_hash, sched_hash));
+    if (it == index_.end()) {
+        ++misses_;
+        return false;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    if (latency != nullptr) {
+        *latency = it->second->latency;
+    }
+    return true;
+}
+
+void
+MeasureCache::insert(uint64_t task_hash, uint64_t sched_hash, double latency)
+{
+    if (capacity_ == 0) {
+        return;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    const uint64_t key = combinedKey(task_hash, sched_hash);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+        it->second->latency = latency;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    if (lru_.size() >= capacity_) {
+        index_.erase(lru_.back().key);
+        lru_.pop_back();
+        ++evictions_;
+    }
+    lru_.push_front({key, latency});
+    index_[key] = lru_.begin();
+}
+
+size_t
+MeasureCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lru_.size();
+}
+
+size_t
+MeasureCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+size_t
+MeasureCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+size_t
+MeasureCache::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+}
+
+void
+MeasureCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    lru_.clear();
+    index_.clear();
+    hits_ = misses_ = evictions_ = 0;
+}
+
+} // namespace pruner

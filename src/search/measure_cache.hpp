@@ -1,0 +1,67 @@
+#pragma once
+
+/**
+ * @file measure_cache.hpp
+ * LRU cache of measurement results keyed by (task, schedule) content hash.
+ *
+ * Evolutionary search and the draft-then-verify loop re-visit schedules
+ * (incumbent mutants, failed candidates re-proposed by later generations).
+ * Re-measuring them on hardware would cost a full compile+measure trial for
+ * information the tuner already has, so the Measurer consults this cache
+ * first: hits return the previously measured latency and charge nothing to
+ * the simulated clock. Failed launches (+inf) are cached too — resource
+ * overruns are deterministic, so retrying them is pure waste.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+namespace pruner {
+
+/** Thread-safe LRU map from (task hash, schedule hash) to latency. */
+class MeasureCache
+{
+  public:
+    /** @param capacity  max entries kept; 0 disables caching entirely. */
+    explicit MeasureCache(size_t capacity = kDefaultCapacity);
+
+    /** If present, stores the latency in @p latency, refreshes recency and
+     *  returns true. Counts a hit or a miss. */
+    bool lookup(uint64_t task_hash, uint64_t sched_hash, double* latency);
+
+    /** Insert or refresh an entry, evicting the least recently used entry
+     *  when full. */
+    void insert(uint64_t task_hash, uint64_t sched_hash, double latency);
+
+    size_t size() const;
+    size_t capacity() const { return capacity_; }
+    size_t hits() const;
+    size_t misses() const;
+    size_t evictions() const;
+    void clear();
+
+    static constexpr size_t kDefaultCapacity = 1 << 16;
+
+  private:
+    struct Entry
+    {
+        uint64_t key = 0;
+        double latency = 0.0;
+    };
+
+    uint64_t combinedKey(uint64_t task_hash, uint64_t sched_hash) const;
+
+    size_t capacity_;
+    /** Front = most recently used. */
+    std::list<Entry> lru_;
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+    size_t hits_ = 0;
+    size_t misses_ = 0;
+    size_t evictions_ = 0;
+    mutable std::mutex mutex_;
+};
+
+} // namespace pruner

@@ -1,12 +1,20 @@
 #include "search/measurer.hpp"
 
 #include <cmath>
+#include <thread>
+#include <unordered_map>
 
 namespace pruner {
 
+namespace {
+/** alias[] marker: candidate is unique in its batch (not a duplicate). */
+constexpr size_t kNotAliased = static_cast<size_t>(-1);
+} // namespace
+
 Measurer::Measurer(const DeviceSpec& device, SimClock* clock, uint64_t seed,
                    const CostConstants& constants)
-    : simulator_(device), clock_(clock), rng_(seed), constants_(constants)
+    : simulator_(device), clock_(clock), rng_(seed), constants_(constants),
+      batch_seed_base_(splitmix64(seed ^ 0xBA7C4ED5EEDull))
 {
 }
 
@@ -29,6 +37,99 @@ Measurer::measure(const SubgraphTask& task,
             clock_->charge(CostCategory::Measurement,
                            constants_.measure_per_trial);
         }
+    }
+    return out;
+}
+
+std::vector<double>
+Measurer::measureBatch(const SubgraphTask& task,
+                       const std::vector<Schedule>& candidates)
+{
+    const uint64_t batch_seed = hashCombine(batch_seed_base_, batch_index_++);
+    const uint64_t task_hash = task.hash();
+    const size_t n = candidates.size();
+    std::vector<double> out(n, 0.0);
+
+    // Hash every candidate once up front; measureBatch is the per-round
+    // hot path and the pre-pass, noise seeding, and cache insert all key
+    // off the same hash.
+    std::vector<uint64_t> sched_hashes(n);
+    for (size_t i = 0; i < n; ++i) {
+        sched_hashes[i] = candidates[i].hash();
+    }
+
+    // Sequential pre-pass: resolve cache hits and in-batch duplicates so
+    // the worker phase only sees distinct unmeasured candidates. Done on
+    // the calling thread, so hit/miss accounting is deterministic.
+    std::vector<size_t> jobs;
+    jobs.reserve(n);
+    std::vector<size_t> alias(n, kNotAliased);
+    std::unordered_map<uint64_t, size_t> first_seen;
+    size_t hits = 0;
+    for (size_t i = 0; i < n; ++i) {
+        double cached = 0.0;
+        if (cache_ != nullptr &&
+            cache_->lookup(task_hash, sched_hashes[i], &cached)) {
+            out[i] = cached;
+            ++hits;
+            continue;
+        }
+        const auto [it, inserted] =
+            first_seen.emplace(hashCombine(task_hash, sched_hashes[i]), i);
+        if (!inserted) {
+            alias[i] = it->second;
+            continue;
+        }
+        jobs.push_back(i);
+    }
+
+    // Worker phase. Each candidate's noise stream is derived from the
+    // batch seed, its index, and its content hash — never from the shared
+    // rng_ — so values are identical for any worker count.
+    const auto run_one = [&](size_t job) {
+        const size_t i = jobs[job];
+        Rng trial_rng(hashCombine(hashCombine(batch_seed, i),
+                                  sched_hashes[i]));
+        out[i] = simulator_.measure(task, candidates[i], trial_rng);
+        if (trial_latency_.count() > 0) {
+            std::this_thread::sleep_for(trial_latency_);
+        }
+    };
+    if (pool_ != nullptr && jobs.size() > 1) {
+        pool_->parallelFor(jobs.size(), run_one);
+    } else {
+        for (size_t job = 0; job < jobs.size(); ++job) {
+            run_one(job);
+        }
+    }
+
+    for (const size_t i : jobs) {
+        if (cache_ != nullptr) {
+            cache_->insert(task_hash, sched_hashes[i], out[i]);
+        }
+    }
+    for (size_t i = 0; i < n; ++i) {
+        if (alias[i] != kNotAliased) {
+            out[i] = out[alias[i]];
+        }
+        if (!std::isfinite(out[i])) {
+            ++failed_trials_;
+        }
+    }
+    total_trials_ += n;
+    cache_hits_ += hits;
+    simulated_trials_ += jobs.size();
+
+    if (clock_ != nullptr && !jobs.empty()) {
+        // Compilation is host work and overlaps across workers; the device
+        // itself runs one measurement at a time. Cache hits charge nothing.
+        const auto misses = static_cast<double>(jobs.size());
+        const auto lanes = static_cast<double>(workers());
+        clock_->charge(CostCategory::Compile,
+                       std::ceil(misses / lanes) *
+                           constants_.compile_per_trial);
+        clock_->charge(CostCategory::Measurement,
+                       misses * constants_.measure_per_trial);
     }
     return out;
 }
@@ -57,6 +158,23 @@ Measurer::measureAdaptive(const SubgraphTask& task,
         }
     }
     return out;
+}
+
+MeasureEnv::MeasureEnv(Measurer& measurer, int workers, bool use_cache)
+    : measurer_(&measurer),
+      cache_(use_cache ? MeasureCache::kDefaultCapacity : 0)
+{
+    if (workers > 1) {
+        pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(workers));
+        measurer.setThreadPool(pool_.get());
+    }
+    measurer.setCache(&cache_);
+}
+
+MeasureEnv::~MeasureEnv()
+{
+    measurer_->setThreadPool(nullptr);
+    measurer_->setCache(nullptr);
 }
 
 } // namespace pruner

@@ -5,12 +5,21 @@
  * On-device measurement stage: compiles and runs candidate programs on the
  * (simulated) target and charges the SimClock for compilation and
  * measurement, following the cost split of the paper's Tables 1 and 7.
+ *
+ * measureBatch() is the parallel hot path shared by every search policy:
+ * candidates fan out across a ThreadPool with one derived Rng stream per
+ * candidate, so results are bit-identical for any worker count, and an LRU
+ * MeasureCache makes re-visited (task, schedule) pairs free.
  */
 
+#include <chrono>
+#include <memory>
 #include <vector>
 
+#include "search/measure_cache.hpp"
 #include "sim/gpu_simulator.hpp"
 #include "support/sim_clock.hpp"
+#include "support/thread_pool.hpp"
 
 namespace pruner {
 
@@ -25,10 +34,42 @@ class Measurer
     Measurer(const DeviceSpec& device, SimClock* clock, uint64_t seed,
              const CostConstants& constants = CostConstants::defaults());
 
+    /** Attach a worker pool for measureBatch (borrowed, may be nullptr =
+     *  serial). Changing the pool never changes measured values. */
+    void setThreadPool(ThreadPool* pool) { pool_ = pool; }
+
+    /** Attach a measurement cache (borrowed, may be nullptr = uncached). */
+    void setCache(MeasureCache* cache) { cache_ = cache; }
+
+    /** Emulate the device round-trip a real measurement blocks on: each
+     *  simulated trial additionally sleeps this long on its worker thread.
+     *  Used by benches to demonstrate measurement overlap; zero (the
+     *  default) everywhere else. */
+    void setTrialLatency(std::chrono::microseconds us) { trial_latency_ = us; }
+
     /** Measure candidates; +inf entries are failed launches. Charges
-     *  compile+measurement cost per trial. */
+     *  compile+measurement cost per trial. (Legacy serial path: draws
+     *  noise from one sequential stream.) */
     std::vector<double> measure(const SubgraphTask& task,
                                 const std::vector<Schedule>& candidates);
+
+    /**
+     * Batched measurement: the parallel verify stage of the
+     * draft-then-verify loop.
+     *
+     * Semantics (independent of pool presence and worker count):
+     *  - candidate i draws noise from an Rng seeded by (per-batch seed,
+     *    i, schedule hash) — bit-identical results serial vs parallel;
+     *  - duplicate candidates within a batch share one simulation;
+     *  - cache hits return the previously measured latency and charge
+     *    nothing (re-visits are free).
+     *
+     * Clock model: compilation parallelizes across the host workers
+     * (ceil(misses / workers) x compile_per_trial) while the device runs
+     * measurements exclusively (misses x measure_per_trial).
+     */
+    std::vector<double> measureBatch(const SubgraphTask& task,
+                                     const std::vector<Schedule>& candidates);
 
     /** Adaptive variant (the Adatune baseline): early-terminated
      *  measurements cost @p time_scale of a full trial but carry
@@ -40,14 +81,59 @@ class Measurer
     const GpuSimulator& simulator() const { return simulator_; }
     size_t totalTrials() const { return total_trials_; }
     size_t failedTrials() const { return failed_trials_; }
+    /** Trials measureBatch answered from the cache. */
+    size_t cacheHits() const { return cache_hits_; }
+    /** Trials measureBatch actually simulated (cache misses). */
+    size_t simulatedTrials() const { return simulated_trials_; }
+    size_t workers() const { return pool_ != nullptr ? pool_->size() : 1; }
 
   private:
     GpuSimulator simulator_;
     SimClock* clock_;
     Rng rng_;
     CostConstants constants_;
+    ThreadPool* pool_ = nullptr;
+    MeasureCache* cache_ = nullptr;
+    std::chrono::microseconds trial_latency_{0};
+    /** Base of the per-batch seed derivation, fixed at construction so
+     *  measureBatch values never depend on interleaved measure() calls. */
+    uint64_t batch_seed_base_;
+    uint64_t batch_index_ = 0;
     size_t total_trials_ = 0;
     size_t failed_trials_ = 0;
+    size_t cache_hits_ = 0;
+    size_t simulated_trials_ = 0;
+};
+
+/**
+ * Per-tuning-run parallel-verify machinery: owns the optional worker pool
+ * and the measurement cache, and attaches both to a Measurer. Every
+ * policy's tune() loop builds one from TuneOptions so the wiring stays in
+ * one place.
+ */
+class MeasureEnv
+{
+  public:
+    /** @param measurer   the run's measurer to configure
+     *  @param workers    TuneOptions::measure_workers (1 = serial)
+     *  @param use_cache  TuneOptions::measure_cache */
+    MeasureEnv(Measurer& measurer, int workers, bool use_cache);
+
+    /** Detaches pool and cache from the measurer (they die with the env,
+     *  so the measurer must not keep the borrowed pointers). */
+    ~MeasureEnv();
+
+    MeasureEnv(const MeasureEnv&) = delete;
+    MeasureEnv& operator=(const MeasureEnv&) = delete;
+
+    /** Worker pool for chunked scoring; nullptr when serial. */
+    ThreadPool* pool() const { return pool_.get(); }
+    const MeasureCache& cache() const { return cache_; }
+
+  private:
+    Measurer* measurer_;
+    std::unique_ptr<ThreadPool> pool_;
+    MeasureCache cache_;
 };
 
 } // namespace pruner

@@ -117,6 +117,9 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
     Rng rng(opts.seed);
     Measurer measurer(device_, &clock, hashCombine(opts.seed, 0x3EA5),
                       opts.constants);
+    MeasureEnv env(measurer, opts.measure_workers, opts.measure_cache);
+    EvoPolicyConfig run_config = config_;
+    run_config.evolution.score_pool = env.pool();
     TuningRecordDb db;
     TaskScheduler scheduler(workload);
 
@@ -132,7 +135,7 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
         }
         size_t evals = 0;
         const auto ranked = evo.run(
-            config_.evolution,
+            run_config.evolution,
             [&](const std::vector<Schedule>& cands) {
                 return scoreCandidates(task, cands);
             },
@@ -150,7 +153,7 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
                 ? measurer.measureAdaptive(task, to_measure,
                                            config_.adaptive_time_scale,
                                            config_.adaptive_extra_noise)
-                : measurer.measure(task, to_measure);
+                : measurer.measureBatch(task, to_measure);
         for (size_t i = 0; i < to_measure.size(); ++i) {
             if (std::isfinite(latencies[i])) {
                 db.add({task, to_measure[i], latencies[i]});

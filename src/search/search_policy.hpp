@@ -35,6 +35,14 @@ struct TuneOptions
     int train_epochs = 1;       ///< epochs per online update
     double eps_greedy = 0.05;   ///< random fraction of measured programs
     CostConstants constants = CostConstants::defaults();
+    /** Host workers for the batched verify stage (candidate compilation
+     *  and cost-model scoring fan out across them). 1 = fully serial.
+     *  Measured values are bit-identical for any setting; only wall-clock
+     *  and the simulated compile overlap change. */
+    int measure_workers = 1;
+    /** LRU (task, schedule) measurement cache: re-visited candidates are
+     *  free. Deterministic for a fixed seed. */
+    bool measure_cache = true;
 };
 
 /** One point of a tuning curve: simulated time vs best end-to-end

@@ -1,0 +1,106 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "support/logging.hpp"
+
+namespace pruner {
+
+ThreadPool::ThreadPool(size_t workers)
+{
+    const size_t n = std::max<size_t>(workers, 1);
+    workers_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        workers_.emplace_back([this]() { workerLoop(); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& worker : workers_) {
+        worker.join();
+    }
+}
+
+void
+ThreadPool::enqueue(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        PRUNER_CHECK(!stopping_);
+        queue_.push(std::move(job));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                return; // stopping and drained
+            }
+            job = std::move(queue_.front());
+            queue_.pop();
+        }
+        job(); // packaged_task captures any exception into its future
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t n, const std::function<void(size_t)>& body)
+{
+    if (n == 0) {
+        return;
+    }
+    const size_t n_chunks = std::min(n, size());
+    if (n_chunks <= 1) {
+        for (size_t i = 0; i < n; ++i) {
+            body(i);
+        }
+        return;
+    }
+    std::vector<std::future<void>> chunks;
+    chunks.reserve(n_chunks);
+    const size_t per_chunk = (n + n_chunks - 1) / n_chunks;
+    for (size_t c = 0; c < n_chunks; ++c) {
+        const size_t begin = c * per_chunk;
+        const size_t end = std::min(begin + per_chunk, n);
+        if (begin >= end) {
+            break;
+        }
+        chunks.push_back(submit([&body, begin, end]() {
+            for (size_t i = begin; i < end; ++i) {
+                body(i);
+            }
+        }));
+    }
+    // Drain every chunk before rethrowing so no worker still touches
+    // caller state when the exception escapes.
+    std::exception_ptr first_error;
+    for (auto& chunk : chunks) {
+        try {
+            chunk.get();
+        } catch (...) {
+            if (first_error == nullptr) {
+                first_error = std::current_exception();
+            }
+        }
+    }
+    if (first_error != nullptr) {
+        std::rethrow_exception(first_error);
+    }
+}
+
+} // namespace pruner

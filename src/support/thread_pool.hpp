@@ -1,0 +1,78 @@
+#pragma once
+
+/**
+ * @file thread_pool.hpp
+ * Fixed-size worker pool shared by the parallel batched measurement stage
+ * and chunked cost-model scoring.
+ *
+ * Determinism contract: the pool never owns randomness. Callers derive an
+ * independent Rng stream per work item (from a counter + content hash, see
+ * Measurer::measureBatch), so results are bit-identical for any worker
+ * count, including the inline serial path. The pool only changes wall-clock
+ * time, never values.
+ */
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace pruner {
+
+/** Fixed-size thread pool with futures-based exception propagation. */
+class ThreadPool
+{
+  public:
+    /** Spawns @p workers threads (clamped to at least 1). */
+    explicit ThreadPool(size_t workers);
+
+    /** Joins all workers; queued jobs still run to completion first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    size_t size() const { return workers_.size(); }
+
+    /**
+     * Enqueue one callable; the returned future carries its result or the
+     * exception it threw.
+     */
+    template <typename Fn>
+    auto
+    submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn&>>
+    {
+        using Result = std::invoke_result_t<Fn&>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<Fn>(fn));
+        std::future<Result> future = task->get_future();
+        enqueue([task]() { (*task)(); });
+        return future;
+    }
+
+    /**
+     * Run body(i) for every i in [0, n), partitioned into contiguous
+     * chunks across the workers, and wait for completion. If any
+     * invocation throws, the exception thrown by the lowest-indexed chunk
+     * is rethrown after all chunks have finished (no job is left running).
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)>& body);
+
+  private:
+    void enqueue(std::function<void()> job);
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+} // namespace pruner

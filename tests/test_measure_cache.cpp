@@ -1,0 +1,178 @@
+/** Tests for src/search/measure_cache and its integration with
+ *  Measurer::measureBatch: hit/miss accounting, LRU eviction, and free
+ *  re-measurement of cached candidates. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "search/measure_cache.hpp"
+#include "search/measurer.hpp"
+#include "sched/sampler.hpp"
+
+namespace pruner {
+namespace {
+
+TEST(MeasureCache, MissThenHitAccounting)
+{
+    MeasureCache cache(8);
+    double latency = 0.0;
+    EXPECT_FALSE(cache.lookup(1, 2, &latency));
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 0u);
+
+    cache.insert(1, 2, 3.5e-3);
+    EXPECT_TRUE(cache.lookup(1, 2, &latency));
+    EXPECT_DOUBLE_EQ(latency, 3.5e-3);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(MeasureCache, KeyIsTaskAndSchedulePair)
+{
+    MeasureCache cache(8);
+    cache.insert(1, 2, 1.0);
+    double latency = 0.0;
+    EXPECT_FALSE(cache.lookup(2, 1, &latency)) << "pair must be ordered";
+    EXPECT_FALSE(cache.lookup(1, 3, &latency));
+    EXPECT_TRUE(cache.lookup(1, 2, &latency));
+}
+
+TEST(MeasureCache, EvictsLeastRecentlyUsed)
+{
+    MeasureCache cache(2);
+    cache.insert(0, 1, 1.0);
+    cache.insert(0, 2, 2.0);
+    double latency = 0.0;
+    // Touch (0,1) so (0,2) becomes the LRU entry.
+    EXPECT_TRUE(cache.lookup(0, 1, &latency));
+    cache.insert(0, 3, 3.0);
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_TRUE(cache.lookup(0, 1, &latency));
+    EXPECT_FALSE(cache.lookup(0, 2, &latency)) << "LRU entry evicted";
+    EXPECT_TRUE(cache.lookup(0, 3, &latency));
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(MeasureCache, InsertRefreshesExistingEntry)
+{
+    MeasureCache cache(2);
+    cache.insert(0, 1, 1.0);
+    cache.insert(0, 2, 2.0);
+    cache.insert(0, 1, 1.5); // refresh, not a new entry
+    EXPECT_EQ(cache.size(), 2u);
+    cache.insert(0, 3, 3.0); // evicts (0,2), the LRU entry
+    double latency = 0.0;
+    EXPECT_TRUE(cache.lookup(0, 1, &latency));
+    EXPECT_DOUBLE_EQ(latency, 1.5);
+    EXPECT_FALSE(cache.lookup(0, 2, &latency));
+}
+
+TEST(MeasureCache, ZeroCapacityDisablesCaching)
+{
+    MeasureCache cache(0);
+    cache.insert(1, 2, 3.0);
+    double latency = 0.0;
+    EXPECT_FALSE(cache.lookup(1, 2, &latency));
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(MeasureCache, CachesFailedLaunches)
+{
+    MeasureCache cache(8);
+    cache.insert(1, 2, std::numeric_limits<double>::infinity());
+    double latency = 0.0;
+    EXPECT_TRUE(cache.lookup(1, 2, &latency));
+    EXPECT_TRUE(std::isinf(latency));
+}
+
+TEST(MeasureCache, ClearResetsEntriesAndCounters)
+{
+    MeasureCache cache(8);
+    cache.insert(1, 2, 1.0);
+    double latency = 0.0;
+    cache.lookup(1, 2, &latency);
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+    EXPECT_FALSE(cache.lookup(1, 2, &latency));
+}
+
+class MeasureBatchCacheTest : public ::testing::Test
+{
+  protected:
+    SubgraphTask task_ = makeGemm("t", 1, 128, 128, 128);
+    DeviceSpec dev_ = DeviceSpec::a100();
+    ScheduleSampler sampler_{task_, dev_};
+    Rng rng_{29};
+};
+
+TEST_F(MeasureBatchCacheTest, RevisitedBatchIsFree)
+{
+    SimClock clock;
+    CostConstants constants;
+    MeasureCache cache;
+    Measurer measurer(dev_, &clock, 5, constants);
+    measurer.setCache(&cache);
+
+    const auto candidates = sampler_.sampleMany(rng_, 8);
+    const auto first = measurer.measureBatch(task_, candidates);
+    EXPECT_EQ(measurer.simulatedTrials(), 8u);
+    EXPECT_EQ(measurer.cacheHits(), 0u);
+    const double measured_after_first =
+        clock.total(CostCategory::Measurement);
+    const double compiled_after_first = clock.total(CostCategory::Compile);
+    EXPECT_NEAR(measured_after_first, 8 * constants.measure_per_trial,
+                1e-9);
+
+    // Same candidates again: answered from the cache, clock untouched.
+    const auto second = measurer.measureBatch(task_, candidates);
+    EXPECT_EQ(measurer.cacheHits(), 8u);
+    EXPECT_EQ(measurer.simulatedTrials(), 8u);
+    EXPECT_DOUBLE_EQ(clock.total(CostCategory::Measurement),
+                     measured_after_first);
+    EXPECT_DOUBLE_EQ(clock.total(CostCategory::Compile),
+                     compiled_after_first);
+    ASSERT_EQ(second.size(), first.size());
+    for (size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(second[i], first[i]) << "cached value differs at " << i;
+    }
+    // Trials still count every requested candidate.
+    EXPECT_EQ(measurer.totalTrials(), 16u);
+}
+
+TEST_F(MeasureBatchCacheTest, DuplicatesWithinBatchShareOneSimulation)
+{
+    SimClock clock;
+    CostConstants constants;
+    Measurer measurer(dev_, &clock, 5, constants);
+
+    const Schedule sch = sampler_.sample(rng_);
+    const std::vector<Schedule> batch{sch, sch, sch};
+    const auto lats = measurer.measureBatch(task_, batch);
+    EXPECT_EQ(measurer.simulatedTrials(), 1u);
+    EXPECT_EQ(lats[0], lats[1]);
+    EXPECT_EQ(lats[0], lats[2]);
+    EXPECT_NEAR(clock.total(CostCategory::Measurement),
+                constants.measure_per_trial, 1e-9);
+}
+
+TEST_F(MeasureBatchCacheTest, CacheDisabledSimulatesEveryBatch)
+{
+    SimClock clock;
+    Measurer measurer(dev_, &clock, 5);
+    const auto candidates = sampler_.sampleMany(rng_, 4);
+    measurer.measureBatch(task_, candidates);
+    measurer.measureBatch(task_, candidates);
+    EXPECT_EQ(measurer.simulatedTrials(), 8u);
+    EXPECT_EQ(measurer.cacheHits(), 0u);
+}
+
+} // namespace
+} // namespace pruner

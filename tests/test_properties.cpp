@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cmath>
 
 #include "core/penalty.hpp"

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <tuple>
+
 #include "device/device_spec.hpp"
 #include "ir/task.hpp"
 #include "sched/mutator.hpp"

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <tuple>
 
 #include "ir/workload_registry.hpp"
 #include "sched/sampler.hpp"

@@ -1,0 +1,157 @@
+/** Tests for src/support/thread_pool: execution, exception safety, and the
+ *  determinism contract of pool-sized-independent results. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/pruner_tuner.hpp"
+#include "ir/workload_registry.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace pruner {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsResultThroughFuture)
+{
+    ThreadPool pool(2);
+    auto future = pool.submit([]() { return 6 * 7; });
+    EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, ClampsZeroWorkersToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+    auto future = pool.submit([]() { return 1; });
+    EXPECT_EQ(future.get(), 1);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionThroughFuture)
+{
+    ThreadPool pool(2);
+    auto future = pool.submit(
+        []() -> int { throw std::runtime_error("worker failed"); });
+    EXPECT_THROW(future.get(), std::runtime_error);
+    // The pool survives a failed job.
+    EXPECT_EQ(pool.submit([]() { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    const size_t n = 1000;
+    std::vector<std::atomic<int>> counts(n);
+    pool.parallelFor(n, [&](size_t i) { counts[i].fetch_add(1); });
+    for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(counts[i].load(), 1);
+    }
+}
+
+TEST(ThreadPool, ParallelForHandlesEmptyAndSingle)
+{
+    ThreadPool pool(4);
+    pool.parallelFor(0, [](size_t) { FAIL() << "must not be called"; });
+    int calls = 0;
+    pool.parallelFor(1, [&](size_t i) {
+        EXPECT_EQ(i, 0u);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ParallelForRethrowsWorkerFailureAfterDraining)
+{
+    ThreadPool pool(4);
+    std::atomic<int> completed{0};
+    EXPECT_THROW(pool.parallelFor(100,
+                                  [&](size_t i) {
+                                      if (i == 37) {
+                                          throw std::runtime_error("boom");
+                                      }
+                                      completed.fetch_add(1);
+                                  }),
+                 std::runtime_error);
+    // Other chunks drained; the failing chunk abandons its remaining
+    // indices but nothing is left in flight. With 4 workers the chunk
+    // span is 25, so at least the other three chunks completed.
+    EXPECT_GE(completed.load(), 75);
+    EXPECT_LT(completed.load(), 100);
+    // The pool is reusable after a failure.
+    std::atomic<int> after{0};
+    pool.parallelFor(10, [&](size_t) { after.fetch_add(1); });
+    EXPECT_EQ(after.load(), 10);
+}
+
+/** The determinism contract: per-item derived streams make results
+ *  identical for any worker count. */
+TEST(ThreadPool, DerivedStreamResultsIndependentOfWorkerCount)
+{
+    const size_t n = 256;
+    auto run = [n](size_t workers) {
+        ThreadPool pool(workers);
+        std::vector<double> out(n, 0.0);
+        pool.parallelFor(n, [&](size_t i) {
+            Rng rng(hashCombine(0xFEED, i));
+            out[i] = rng.normal();
+        });
+        return out;
+    };
+    const auto serial = run(1);
+    for (const size_t workers : {2u, 4u, 8u}) {
+        const auto parallel = run(workers);
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (size_t i = 0; i < n; ++i) {
+            EXPECT_EQ(parallel[i], serial[i]) << "index " << i << " with "
+                                              << workers << " workers";
+        }
+    }
+}
+
+/** End-to-end determinism: the full Pruner policy produces the same
+ *  best-latency trajectory for the same seed regardless of how many
+ *  measurement workers verify the drafts. */
+TEST(ThreadPool, TuneTrajectoryIdenticalAcrossWorkerCounts)
+{
+    const auto dev = DeviceSpec::a100();
+    Workload w = workloads::bertTiny();
+    w.tasks.resize(2);
+
+    auto run = [&](int workers) {
+        PrunerConfig config;
+        config.lse.population = 32;
+        config.lse.n_steps = 2;
+        config.lse.spec_size = 32;
+        config.random_init = 8;
+        PrunerPolicy policy(dev, config);
+        TuneOptions opts;
+        opts.rounds = 6;
+        opts.seed = 77;
+        opts.measure_workers = workers;
+        return policy.tune(w, opts);
+    };
+
+    const TuneResult serial = run(1);
+    const TuneResult parallel = run(4);
+    EXPECT_EQ(parallel.final_latency, serial.final_latency);
+    ASSERT_EQ(parallel.best_per_task.size(), serial.best_per_task.size());
+    for (size_t i = 0; i < serial.best_per_task.size(); ++i) {
+        EXPECT_EQ(parallel.best_per_task[i], serial.best_per_task[i]);
+    }
+    ASSERT_EQ(parallel.curve.size(), serial.curve.size());
+    for (size_t i = 0; i < serial.curve.size(); ++i) {
+        EXPECT_EQ(parallel.curve[i].latency_s, serial.curve[i].latency_s);
+    }
+    EXPECT_EQ(parallel.trials, serial.trials);
+    EXPECT_EQ(parallel.failed_trials, serial.failed_trials);
+    // Parallel verification may only shrink simulated compile time.
+    EXPECT_LE(parallel.compile_s, serial.compile_s);
+    EXPECT_EQ(parallel.measurement_s, serial.measurement_s);
+}
+
+} // namespace
+} // namespace pruner

@@ -1,0 +1,870 @@
+#pragma once
+
+/**
+ * @file gtest.h  (minigtest)
+ *
+ * A vendored, self-contained, single-header shim that implements the subset
+ * of the GoogleTest API this repository's tests use, so `#include
+ * <gtest/gtest.h>` compiles with no network access and no system
+ * dependency. The real GoogleTest is preferred when CMake finds it
+ * (`find_package(GTest)`); this shim is the offline fallback and is kept
+ * behaviour-compatible for:
+ *
+ *   - TEST / TEST_F / TEST_P + INSTANTIATE_TEST_SUITE_P (with
+ *     ::testing::Values / ::testing::ValuesIn and optional name generators)
+ *   - the EXPECT_* / ASSERT_* comparison, boolean, floating-point, string
+ *     and exception assertions, all supporting `<< "message"` streaming
+ *   - fixtures with SetUp / TearDown
+ *   - --gtest_filter=POS[:POS...][-NEG[:NEG...]] and --gtest_list_tests
+ *
+ * Unsupported (not needed here): death tests, matchers/gmock, typed tests,
+ * SCOPED_TRACE, sharding, XML output.
+ */
+
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace testing {
+
+/** Streamed user message appended to an assertion failure. */
+class Message
+{
+  public:
+    Message() = default;
+
+    template <typename T>
+    Message&
+    operator<<(const T& value)
+    {
+        ss_ << value;
+        return *this;
+    }
+
+    std::string str() const { return ss_.str(); }
+
+  private:
+    std::ostringstream ss_;
+};
+
+namespace internal {
+
+/** Result of evaluating one assertion: converts to bool, carries the
+ *  failure text when false. */
+struct CheckResult
+{
+    bool ok = true;
+    std::string message;
+    explicit operator bool() const { return ok; }
+};
+
+/** Per-run mutable state (single-threaded runner). */
+struct TestState
+{
+    bool current_failed = false;
+    bool current_fatal = false;
+
+    static TestState&
+    instance()
+    {
+        static TestState state;
+        return state;
+    }
+};
+
+/** Records one failure; assignment from Message appends the streamed
+ *  user text (mirrors gtest's AssertHelper trick so `ASSERT_X(...) <<
+ *  "why"` parses as a single statement). */
+class AssertHelper
+{
+  public:
+    AssertHelper(const char* file, int line, std::string summary, bool fatal)
+        : file_(file), line_(line), summary_(std::move(summary)),
+          fatal_(fatal)
+    {
+    }
+
+    void
+    operator=(const Message& message) const
+    {
+        TestState::instance().current_failed = true;
+        if (fatal_) {
+            TestState::instance().current_fatal = true;
+        }
+        std::string text = summary_;
+        const std::string user = message.str();
+        if (!user.empty()) {
+            text += "\n";
+            text += user;
+        }
+        std::printf("%s:%d: Failure\n%s\n", file_, line_, text.c_str());
+        std::fflush(stdout);
+    }
+
+  private:
+    const char* file_;
+    int line_;
+    std::string summary_;
+    bool fatal_;
+};
+
+// ---------------------------------------------------------------- printing
+
+template <typename T, typename = void>
+struct IsStreamable : std::false_type
+{
+};
+
+template <typename T>
+struct IsStreamable<T, std::void_t<decltype(std::declval<std::ostream&>()
+                                            << std::declval<const T&>())>>
+    : std::true_type
+{
+};
+
+inline std::string
+printValue(std::nullptr_t)
+{
+    return "nullptr";
+}
+
+inline std::string
+printValue(bool v)
+{
+    return v ? "true" : "false";
+}
+
+inline std::string
+printValue(const char* v)
+{
+    if (v == nullptr) {
+        return "nullptr";
+    }
+    std::string out = "\"";
+    out += v;
+    out += '"';
+    return out;
+}
+
+inline std::string
+printValue(const std::string& v)
+{
+    std::string out = "\"";
+    out += v;
+    out += '"';
+    return out;
+}
+
+template <typename T>
+std::string
+printValue(const T& v)
+{
+    if constexpr (std::is_floating_point_v<T>) {
+        std::ostringstream ss;
+        ss.precision(17);
+        ss << v;
+        return ss.str();
+    } else if constexpr (std::is_pointer_v<T>) {
+        if (v == nullptr) {
+            return "nullptr";
+        }
+        std::ostringstream ss;
+        ss << static_cast<const void*>(v);
+        return ss.str();
+    } else if constexpr (IsStreamable<T>::value) {
+        std::ostringstream ss;
+        ss << v;
+        return ss.str();
+    } else {
+        return "<unprintable " + std::to_string(sizeof(T)) + "-byte object>";
+    }
+}
+
+template <typename A, typename B>
+std::string
+formatCmpFailure(const char* op, const char* sa, const char* sb, const A& a,
+                 const B& b)
+{
+    std::ostringstream ss;
+    ss << "Expected: (" << sa << ") " << op << " (" << sb
+       << "), actual: " << printValue(a) << " vs " << printValue(b);
+    return ss.str();
+}
+
+// Comparisons are deliberately performed with the raw operator so that
+// mixed-type expressions behave exactly as in the test author's code.
+#define MINIGTEST_DEFINE_CMP(NAME, OP)                                       \
+    template <typename A, typename B>                                        \
+    CheckResult cmp##NAME(const char* sa, const char* sb, const A& a,        \
+                          const B& b)                                        \
+    {                                                                        \
+        if (a OP b) {                                                        \
+            return {};                                                       \
+        }                                                                    \
+        return {false, formatCmpFailure(#OP, sa, sb, a, b)};                 \
+    }
+
+MINIGTEST_DEFINE_CMP(EQ, ==)
+MINIGTEST_DEFINE_CMP(NE, !=)
+MINIGTEST_DEFINE_CMP(LT, <)
+MINIGTEST_DEFINE_CMP(LE, <=)
+MINIGTEST_DEFINE_CMP(GT, >)
+MINIGTEST_DEFINE_CMP(GE, >=)
+#undef MINIGTEST_DEFINE_CMP
+
+inline CheckResult
+checkBool(const char* expr, bool value, bool expected)
+{
+    if (value == expected) {
+        return {};
+    }
+    std::ostringstream ss;
+    ss << "Value of: " << expr << "\n  Actual: " << (value ? "true" : "false")
+       << "\nExpected: " << (expected ? "true" : "false");
+    return {false, ss.str()};
+}
+
+/** gtest's 4-ULP almost-equal for doubles. */
+inline bool
+almostEqualUlps(double a, double b)
+{
+    if (std::isnan(a) || std::isnan(b)) {
+        return false;
+    }
+    if (a == b) {
+        return true;
+    }
+    int64_t ia, ib;
+    std::memcpy(&ia, &a, sizeof(a));
+    std::memcpy(&ib, &b, sizeof(b));
+    // Map the sign-magnitude representation onto a monotone integer line.
+    const int64_t bias_a = ia < 0 ? std::numeric_limits<int64_t>::min() - ia
+                                  : ia;
+    const int64_t bias_b = ib < 0 ? std::numeric_limits<int64_t>::min() - ib
+                                  : ib;
+    const uint64_t dist = bias_a >= bias_b
+                              ? static_cast<uint64_t>(bias_a) -
+                                    static_cast<uint64_t>(bias_b)
+                              : static_cast<uint64_t>(bias_b) -
+                                    static_cast<uint64_t>(bias_a);
+    return dist <= 4;
+}
+
+inline CheckResult
+cmpDoubleEq(const char* sa, const char* sb, double a, double b)
+{
+    if (almostEqualUlps(a, b)) {
+        return {};
+    }
+    return {false, formatCmpFailure("~=", sa, sb, a, b)};
+}
+
+inline CheckResult
+cmpNear(const char* sa, const char* sb, const char* stol, double a, double b,
+        double tol)
+{
+    if (std::fabs(a - b) <= tol) {
+        return {};
+    }
+    std::ostringstream ss;
+    ss << "The difference between " << sa << " and " << sb << " is "
+       << printValue(std::fabs(a - b)) << ", which exceeds " << stol
+       << ", where\n"
+       << sa << " evaluates to " << printValue(a) << ",\n"
+       << sb << " evaluates to " << printValue(b) << ".";
+    return {false, ss.str()};
+}
+
+inline CheckResult
+cmpStrEq(const char* sa, const char* sb, const char* a, const char* b)
+{
+    const bool equal = (a == nullptr && b == nullptr) ||
+                       (a != nullptr && b != nullptr &&
+                        std::strcmp(a, b) == 0);
+    if (equal) {
+        return {};
+    }
+    return {false, formatCmpFailure("==", sa, sb, a, b)};
+}
+
+inline std::string
+throwFailureText(const char* stmt, const char* ex_name, const char* actual)
+{
+    std::ostringstream ss;
+    ss << "Expected: " << stmt;
+    if (ex_name != nullptr) {
+        ss << " throws " << ex_name;
+    } else {
+        ss << " doesn't throw";
+    }
+    ss << ".\n  Actual: " << actual;
+    return ss.str();
+}
+
+template <typename Ex, typename Fn>
+CheckResult
+checkThrow(Fn&& fn, const char* stmt, const char* ex_name)
+{
+    try {
+        fn();
+    } catch (const Ex&) {
+        return {};
+    } catch (...) {
+        return {false, throwFailureText(stmt, ex_name,
+                                        "it throws a different type.")};
+    }
+    return {false, throwFailureText(stmt, ex_name, "it throws nothing.")};
+}
+
+template <typename Fn>
+CheckResult
+checkNoThrow(Fn&& fn, const char* stmt)
+{
+    try {
+        fn();
+    } catch (...) {
+        return {false, throwFailureText(stmt, nullptr, "it throws.")};
+    }
+    return {};
+}
+
+} // namespace internal
+
+// ------------------------------------------------------------ test classes
+
+/** Base class of all tests. */
+class Test
+{
+  public:
+    virtual ~Test() = default;
+
+    /** Runs SetUp / TestBody / TearDown (runner entry point). */
+    void
+    run()
+    {
+        SetUp();
+        if (!internal::TestState::instance().current_fatal) {
+            TestBody();
+        }
+        TearDown();
+    }
+
+  protected:
+    virtual void SetUp() {}
+    virtual void TearDown() {}
+
+  private:
+    virtual void TestBody() = 0;
+    friend class Runner;
+};
+
+/** Name/index handed to INSTANTIATE_TEST_SUITE_P name generators. */
+template <typename T>
+struct TestParamInfo
+{
+    T param;
+    size_t index = 0;
+};
+
+/** Base class of value-parameterized tests. */
+template <typename T>
+class TestWithParam : public Test
+{
+  public:
+    using ParamType = T;
+
+    const T&
+    GetParam() const
+    {
+        return *currentParamSlot();
+    }
+
+    /** Runner hook: points the suite at the active parameter. */
+    static void
+    setCurrentParam(const T* p)
+    {
+        currentParamSlot() = p;
+    }
+
+  private:
+    static const T*&
+    currentParamSlot()
+    {
+        static const T* current = nullptr;
+        return current;
+    }
+};
+
+namespace internal {
+
+struct RegisteredTest
+{
+    std::string suite;
+    std::string name;
+    std::function<Test*()> factory;
+};
+
+/** Global registry filled by static initializers in each test TU. */
+struct Registry
+{
+    std::vector<RegisteredTest> tests;
+    /** Deferred TEST_P expansions, run once before the test loop so the
+     *  TEST_P / INSTANTIATE declaration order does not matter. */
+    std::vector<std::function<void()>> expanders;
+
+    static Registry&
+    instance()
+    {
+        static Registry registry;
+        return registry;
+    }
+};
+
+struct Registrar
+{
+    Registrar(const char* suite, const char* name,
+              std::function<Test*()> factory)
+    {
+        Registry::instance().tests.push_back({suite, name,
+                                              std::move(factory)});
+    }
+};
+
+/** Per-suite TEST_P pattern list (typed via the suite class). */
+template <typename Suite>
+struct ParamPatterns
+{
+    struct Pattern
+    {
+        std::string name;
+        std::function<Test*()> factory;
+    };
+
+    static std::vector<Pattern>&
+    get()
+    {
+        static std::vector<Pattern> patterns;
+        return patterns;
+    }
+
+    static int
+    add(const char* /*suite*/, const char* name,
+        std::function<Test*()> factory)
+    {
+        get().push_back({name, std::move(factory)});
+        return 0;
+    }
+};
+
+template <typename T>
+std::string
+defaultParamName(const TestParamInfo<T>& info)
+{
+    return std::to_string(info.index);
+}
+
+template <typename Suite, typename T, typename NameGen>
+int
+registerInstantiation(const char* prefix, const char* suite,
+                      std::vector<T> values, NameGen name_gen)
+{
+    // Convert to the suite's declared parameter type (e.g. make_tuple
+    // yields tuple<const char*, ...> while the suite declares
+    // tuple<std::string, ...>), exactly as gtest's generators do.
+    using P = typename Suite::ParamType;
+    auto holder = std::make_shared<std::vector<P>>(values.begin(),
+                                                   values.end());
+    Registry::instance().expanders.push_back([prefix, suite, holder,
+                                              name_gen]() {
+        for (size_t i = 0; i < holder->size(); ++i) {
+            TestParamInfo<P> info{(*holder)[i], i};
+            const std::string param_name = name_gen(info);
+            for (const auto& pattern : ParamPatterns<Suite>::get()) {
+                const P* param = &(*holder)[i];
+                auto factory = pattern.factory;
+                // `holder` is captured per test so the parameter storage
+                // outlives the expander list.
+                Registry::instance().tests.push_back(
+                    {std::string(prefix) + "/" + suite,
+                     pattern.name + "/" + param_name,
+                     [holder, param, factory]() {
+                         Suite::setCurrentParam(param);
+                         return factory();
+                     }});
+            }
+        }
+    });
+    return 0;
+}
+
+template <typename Suite, typename T>
+int
+registerInstantiation(const char* prefix, const char* suite,
+                      std::vector<T> values)
+{
+    return registerInstantiation<Suite>(
+        prefix, suite, std::move(values),
+        &defaultParamName<typename Suite::ParamType>);
+}
+
+// ----------------------------------------------------------------- runner
+
+/** Glob match supporting '*' and '?' (gtest filter semantics). */
+inline bool
+globMatch(const char* pattern, const char* text)
+{
+    if (*pattern == '\0') {
+        return *text == '\0';
+    }
+    if (*pattern == '*') {
+        return globMatch(pattern + 1, text) ||
+               (*text != '\0' && globMatch(pattern, text + 1));
+    }
+    if (*text != '\0' && (*pattern == '?' || *pattern == *text)) {
+        return globMatch(pattern + 1, text + 1);
+    }
+    return false;
+}
+
+/** gtest filter: positive patterns, then optional '-' negative section,
+ *  each section ':'-separated. */
+inline bool
+filterAccepts(const std::string& filter, const std::string& full_name)
+{
+    if (filter.empty()) {
+        return true;
+    }
+    std::string positive = filter;
+    std::string negative;
+    const size_t dash = filter.find('-');
+    if (dash != std::string::npos) {
+        positive = filter.substr(0, dash);
+        negative = filter.substr(dash + 1);
+    }
+    if (positive.empty()) {
+        positive = "*";
+    }
+    auto any_match = [&full_name](const std::string& patterns) {
+        size_t start = 0;
+        while (start <= patterns.size()) {
+            size_t end = patterns.find(':', start);
+            if (end == std::string::npos) {
+                end = patterns.size();
+            }
+            const std::string pattern = patterns.substr(start, end - start);
+            if (!pattern.empty() &&
+                globMatch(pattern.c_str(), full_name.c_str())) {
+                return true;
+            }
+            if (end == patterns.size()) {
+                break;
+            }
+            start = end + 1;
+        }
+        return false;
+    };
+    if (!any_match(positive)) {
+        return false;
+    }
+    return negative.empty() || !any_match(negative);
+}
+
+struct RunnerOptions
+{
+    std::string filter;
+    bool list_only = false;
+
+    static RunnerOptions&
+    instance()
+    {
+        static RunnerOptions options;
+        return options;
+    }
+};
+
+inline int
+runAllTests()
+{
+    Registry& registry = Registry::instance();
+    for (const auto& expand : registry.expanders) {
+        expand();
+    }
+    registry.expanders.clear();
+
+    const RunnerOptions& options = RunnerOptions::instance();
+    std::vector<const RegisteredTest*> selected;
+    for (const auto& test : registry.tests) {
+        if (filterAccepts(options.filter, test.suite + "." + test.name)) {
+            selected.push_back(&test);
+        }
+    }
+
+    if (options.list_only) {
+        std::string last_suite;
+        for (const auto* test : selected) {
+            if (test->suite != last_suite) {
+                std::printf("%s.\n", test->suite.c_str());
+                last_suite = test->suite;
+            }
+            std::printf("  %s\n", test->name.c_str());
+        }
+        return 0;
+    }
+
+    std::printf("[==========] Running %zu tests (minigtest).\n",
+                selected.size());
+    std::vector<std::string> failures;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto* test : selected) {
+        const std::string full_name = test->suite + "." + test->name;
+        std::printf("[ RUN      ] %s\n", full_name.c_str());
+        std::fflush(stdout);
+        TestState::instance().current_failed = false;
+        TestState::instance().current_fatal = false;
+        const auto start = std::chrono::steady_clock::now();
+        try {
+            std::unique_ptr<Test> instance(test->factory());
+            instance->run();
+        } catch (const std::exception& e) {
+            TestState::instance().current_failed = true;
+            std::printf("unexpected exception: %s\n", e.what());
+        } catch (...) {
+            TestState::instance().current_failed = true;
+            std::printf("unexpected non-std exception\n");
+        }
+        const auto ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        if (TestState::instance().current_failed) {
+            failures.push_back(full_name);
+            std::printf("[  FAILED  ] %s (%lld ms)\n", full_name.c_str(),
+                        static_cast<long long>(ms));
+        } else {
+            std::printf("[       OK ] %s (%lld ms)\n", full_name.c_str(),
+                        static_cast<long long>(ms));
+        }
+        std::fflush(stdout);
+    }
+    const auto total_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    std::printf("[==========] %zu tests ran. (%lld ms total)\n",
+                selected.size(), static_cast<long long>(total_ms));
+    std::printf("[  PASSED  ] %zu tests.\n",
+                selected.size() - failures.size());
+    if (!failures.empty()) {
+        std::printf("[  FAILED  ] %zu tests, listed below:\n",
+                    failures.size());
+        for (const auto& name : failures) {
+            std::printf("[  FAILED  ] %s\n", name.c_str());
+        }
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace internal
+
+// --------------------------------------------------------------- generators
+
+template <typename... Ts>
+auto
+Values(Ts... values)
+{
+    using T = std::common_type_t<Ts...>;
+    return std::vector<T>{static_cast<T>(std::move(values))...};
+}
+
+template <typename Container>
+auto
+ValuesIn(const Container& container)
+{
+    using T = typename Container::value_type;
+    return std::vector<T>(std::begin(container), std::end(container));
+}
+
+inline void
+InitGoogleTest(int* argc, char** argv)
+{
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--gtest_filter=", 0) == 0) {
+            internal::RunnerOptions::instance().filter =
+                arg.substr(std::strlen("--gtest_filter="));
+        } else if (arg == "--gtest_list_tests") {
+            internal::RunnerOptions::instance().list_only = true;
+        } else if (arg.rfind("--gtest_", 0) == 0) {
+            // Recognized family, unsupported option: ignore.
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    *argc = out;
+}
+
+inline void
+InitGoogleTest()
+{
+    int argc = 1;
+    static char name[] = "minigtest";
+    char* argv[] = {name, nullptr};
+    int* pargc = &argc;
+    InitGoogleTest(pargc, argv);
+}
+
+} // namespace testing
+
+inline int
+RUN_ALL_TESTS()
+{
+    return ::testing::internal::runAllTests();
+}
+
+// ------------------------------------------------------------------ macros
+
+#define MINIGTEST_CLASS_NAME_(suite, name) suite##_##name##_Test
+
+#define MINIGTEST_AMBIGUOUS_ELSE_BLOCKER_                                    \
+    switch (0)                                                               \
+    case 0:                                                                  \
+    default:
+
+// NOLINTBEGIN(bugprone-macro-parentheses)
+
+#define MINIGTEST_TEST_(suite, name, parent)                                 \
+    class MINIGTEST_CLASS_NAME_(suite, name) : public parent                 \
+    {                                                                        \
+        void TestBody() override;                                            \
+    };                                                                       \
+    [[maybe_unused]] static const ::testing::internal::Registrar             \
+        minigtest_registrar_##suite##_##name(#suite, #name, []() {           \
+            return static_cast<::testing::Test*>(                            \
+                new MINIGTEST_CLASS_NAME_(suite, name));                     \
+        });                                                                  \
+    void MINIGTEST_CLASS_NAME_(suite, name)::TestBody()
+
+#define TEST(suite, name) MINIGTEST_TEST_(suite, name, ::testing::Test)
+#define TEST_F(fixture, name) MINIGTEST_TEST_(fixture, name, fixture)
+
+#define TEST_P(suite, name)                                                  \
+    class MINIGTEST_CLASS_NAME_(suite, name) : public suite                  \
+    {                                                                        \
+        void TestBody() override;                                            \
+    };                                                                       \
+    [[maybe_unused]] static const int minigtest_param_registrar_##suite##_##name = \
+        ::testing::internal::ParamPatterns<suite>::add(#suite, #name, []() { \
+            return static_cast<::testing::Test*>(                            \
+                new MINIGTEST_CLASS_NAME_(suite, name));                     \
+        });                                                                  \
+    void MINIGTEST_CLASS_NAME_(suite, name)::TestBody()
+
+#define INSTANTIATE_TEST_SUITE_P(prefix, suite, ...)                         \
+    [[maybe_unused]] static const int minigtest_instantiation_##prefix##_##suite = \
+        ::testing::internal::registerInstantiation<suite>(#prefix, #suite,   \
+                                                          __VA_ARGS__)
+
+#define MINIGTEST_ASSERT_(result_expr, on_fail)                              \
+    MINIGTEST_AMBIGUOUS_ELSE_BLOCKER_                                        \
+    if (::testing::internal::CheckResult minigtest_cr_ = (result_expr))      \
+        ;                                                                    \
+    else                                                                     \
+        on_fail ::testing::internal::AssertHelper(                           \
+            __FILE__, __LINE__, minigtest_cr_.message,                       \
+            #on_fail[0] == 'r') = ::testing::Message()
+
+#define MINIGTEST_NONFATAL_(result_expr) MINIGTEST_ASSERT_(result_expr, )
+#define MINIGTEST_FATAL_(result_expr) MINIGTEST_ASSERT_(result_expr, return)
+
+#define EXPECT_TRUE(cond)                                                    \
+    MINIGTEST_NONFATAL_(                                                     \
+        ::testing::internal::checkBool(#cond, static_cast<bool>(cond), true))
+#define EXPECT_FALSE(cond)                                                   \
+    MINIGTEST_NONFATAL_(::testing::internal::checkBool(                      \
+        #cond, static_cast<bool>(cond), false))
+#define ASSERT_TRUE(cond)                                                    \
+    MINIGTEST_FATAL_(                                                        \
+        ::testing::internal::checkBool(#cond, static_cast<bool>(cond), true))
+#define ASSERT_FALSE(cond)                                                   \
+    MINIGTEST_FATAL_(::testing::internal::checkBool(                         \
+        #cond, static_cast<bool>(cond), false))
+
+#define EXPECT_EQ(a, b)                                                      \
+    MINIGTEST_NONFATAL_(::testing::internal::cmpEQ(#a, #b, (a), (b)))
+#define EXPECT_NE(a, b)                                                      \
+    MINIGTEST_NONFATAL_(::testing::internal::cmpNE(#a, #b, (a), (b)))
+#define EXPECT_LT(a, b)                                                      \
+    MINIGTEST_NONFATAL_(::testing::internal::cmpLT(#a, #b, (a), (b)))
+#define EXPECT_LE(a, b)                                                      \
+    MINIGTEST_NONFATAL_(::testing::internal::cmpLE(#a, #b, (a), (b)))
+#define EXPECT_GT(a, b)                                                      \
+    MINIGTEST_NONFATAL_(::testing::internal::cmpGT(#a, #b, (a), (b)))
+#define EXPECT_GE(a, b)                                                      \
+    MINIGTEST_NONFATAL_(::testing::internal::cmpGE(#a, #b, (a), (b)))
+#define ASSERT_EQ(a, b)                                                      \
+    MINIGTEST_FATAL_(::testing::internal::cmpEQ(#a, #b, (a), (b)))
+#define ASSERT_NE(a, b)                                                      \
+    MINIGTEST_FATAL_(::testing::internal::cmpNE(#a, #b, (a), (b)))
+#define ASSERT_LT(a, b)                                                      \
+    MINIGTEST_FATAL_(::testing::internal::cmpLT(#a, #b, (a), (b)))
+#define ASSERT_LE(a, b)                                                      \
+    MINIGTEST_FATAL_(::testing::internal::cmpLE(#a, #b, (a), (b)))
+#define ASSERT_GT(a, b)                                                      \
+    MINIGTEST_FATAL_(::testing::internal::cmpGT(#a, #b, (a), (b)))
+#define ASSERT_GE(a, b)                                                      \
+    MINIGTEST_FATAL_(::testing::internal::cmpGE(#a, #b, (a), (b)))
+
+#define EXPECT_DOUBLE_EQ(a, b)                                               \
+    MINIGTEST_NONFATAL_(::testing::internal::cmpDoubleEq(#a, #b, (a), (b)))
+#define ASSERT_DOUBLE_EQ(a, b)                                               \
+    MINIGTEST_FATAL_(::testing::internal::cmpDoubleEq(#a, #b, (a), (b)))
+#define EXPECT_FLOAT_EQ(a, b) EXPECT_DOUBLE_EQ(a, b)
+#define EXPECT_NEAR(a, b, tol)                                               \
+    MINIGTEST_NONFATAL_(                                                     \
+        ::testing::internal::cmpNear(#a, #b, #tol, (a), (b), (tol)))
+#define ASSERT_NEAR(a, b, tol)                                               \
+    MINIGTEST_FATAL_(                                                        \
+        ::testing::internal::cmpNear(#a, #b, #tol, (a), (b), (tol)))
+
+#define EXPECT_STREQ(a, b)                                                   \
+    MINIGTEST_NONFATAL_(::testing::internal::cmpStrEq(#a, #b, (a), (b)))
+#define ASSERT_STREQ(a, b)                                                   \
+    MINIGTEST_FATAL_(::testing::internal::cmpStrEq(#a, #b, (a), (b)))
+
+#define EXPECT_THROW(stmt, ex)                                               \
+    MINIGTEST_NONFATAL_(::testing::internal::checkThrow<ex>(                 \
+        [&]() { stmt; }, #stmt, #ex))
+#define ASSERT_THROW(stmt, ex)                                               \
+    MINIGTEST_FATAL_(::testing::internal::checkThrow<ex>(                    \
+        [&]() { stmt; }, #stmt, #ex))
+#define EXPECT_NO_THROW(stmt)                                                \
+    MINIGTEST_NONFATAL_(::testing::internal::checkNoThrow(                   \
+        [&]() { stmt; }, #stmt))
+#define ASSERT_NO_THROW(stmt)                                                \
+    MINIGTEST_FATAL_(::testing::internal::checkNoThrow(                      \
+        [&]() { stmt; }, #stmt))
+
+#define ADD_FAILURE()                                                        \
+    MINIGTEST_NONFATAL_(                                                     \
+        (::testing::internal::CheckResult{false, "Failed"}))
+#define FAIL()                                                               \
+    MINIGTEST_FATAL_((::testing::internal::CheckResult{false, "Failed"}))
+#define SUCCEED()                                                            \
+    MINIGTEST_NONFATAL_((::testing::internal::CheckResult{true, ""}))
+
+// NOLINTEND(bugprone-macro-parentheses)

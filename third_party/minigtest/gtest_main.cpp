@@ -1,0 +1,10 @@
+/** minigtest's stand-in for GTest::gtest_main. */
+
+#include <gtest/gtest.h>
+
+int
+main(int argc, char** argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <functional>
 #include <future>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,9 +24,11 @@
 #include "cost/pacm_model.hpp"
 #include "cost/tlp_cost_model.hpp"
 #include "dataset/dataset.hpp"
+#include "db/artifact_db.hpp"
 #include "ir/workload_registry.hpp"
 #include "search/search_policy.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 
 namespace pruner {
 namespace bench {
@@ -58,22 +61,49 @@ capTasks(Workload w, size_t max_tasks)
     return w;
 }
 
-/** Run independent jobs two at a time (the bench hosts have few cores). */
+/** One worker pool shared by a bench binary's tuning runs (the bench
+ *  hosts have few cores, so two jobs run at a time). */
+inline ThreadPool&
+benchPool()
+{
+    static ThreadPool pool(2);
+    return pool;
+}
+
+/** Run independent jobs on the shared bench pool. */
 inline void
 runParallel(std::vector<std::function<void()>> jobs)
 {
-    const size_t workers = 2;
+    ThreadPool& pool = benchPool();
     std::vector<std::future<void>> inflight;
+    inflight.reserve(jobs.size());
     for (auto& job : jobs) {
-        if (inflight.size() >= workers) {
-            inflight.front().get();
-            inflight.erase(inflight.begin());
-        }
-        inflight.push_back(std::async(std::launch::async, job));
+        inflight.push_back(pool.submit(std::move(job)));
     }
     for (auto& f : inflight) {
         f.get();
     }
+}
+
+/**
+ * Bench-wide shared artifact store, opt-in via PRUNER_ARTIFACT_DB=<dir>.
+ * Every tuning run of the binary reads/writes the same store, so a second
+ * run of a fig/table reproduction replays all previously simulated
+ * (task, schedule) pairs from the persisted measure cache instead of
+ * paying for them again. Returns nullptr when the variable is unset.
+ */
+inline ArtifactDb*
+benchArtifactDb()
+{
+    static const std::shared_ptr<ArtifactDb> db =
+        []() -> std::shared_ptr<ArtifactDb> {
+        const char* env = std::getenv("PRUNER_ARTIFACT_DB");
+        if (env == nullptr || *env == '\0') {
+            return nullptr;
+        }
+        return std::make_shared<ArtifactDb>(env);
+    }();
+    return db.get();
 }
 
 /** Standard tuning options for benches. */
@@ -84,6 +114,7 @@ benchOptions(const DeviceSpec& device, int rounds, uint64_t seed)
     opts.rounds = scaledRounds(rounds);
     opts.seed = seed;
     opts.constants = CostConstants::forDevice(device.name);
+    opts.artifact_db = benchArtifactDb();
     return opts;
 }
 

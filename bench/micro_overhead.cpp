@@ -14,14 +14,18 @@
  * so the bench builds offline everywhere the library does.
  */
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "core/symbol_analyzer.hpp"
+#include "db/artifact_db.hpp"
 #include "cost/mlp_cost_model.hpp"
 #include "cost/pacm_model.hpp"
 #include "cost/tlp_cost_model.hpp"
@@ -246,6 +250,45 @@ measureBatchBenchmark()
     const double replay_s = runBatch(cached, candidates, nullptr);
     std::printf("  %-28s %10.2f ms   (%zu/%zu cache hits)\n",
                 "cached replay", replay_s * 1e3, cached.cacheHits(), batch);
+
+    // Cross-run replay: persist the cache through an ArtifactDb snapshot,
+    // reload it into a fresh cache (standing in for a new process), and
+    // replay the batch — the second "run" pays zero simulated trials.
+    // Per-process root: concurrent invocations must not share state.
+    const std::string db_root =
+        (std::filesystem::temp_directory_path() /
+         ("pruner_micro_overhead_db_" +
+          std::to_string(static_cast<long long>(getpid()))))
+            .string();
+    std::error_code cleanup_ec;
+    std::filesystem::remove_all(db_root, cleanup_ec);
+    {
+        ArtifactDb writer(db_root);
+        writer.saveMeasureCache(cache);
+    }
+    {
+        ArtifactDb reader(db_root);
+        MeasureCache warm_cache;
+        const size_t restored = reader.loadMeasureCache(&warm_cache);
+        Measurer fresh(benchDevice(), nullptr, 7);
+        fresh.setTrialLatency(device_us);
+        fresh.setCache(&warm_cache);
+        std::vector<double> warm_lats;
+        const double warm_s = runBatch(fresh, candidates, &warm_lats);
+        const bool identical =
+            warm_lats.size() == serial_lats.size() &&
+            std::memcmp(warm_lats.data(), serial_lats.data(),
+                        serial_lats.size() * sizeof(double)) == 0;
+        std::printf("  %-28s %10.2f ms   %.2fx speedup   (%zu entries "
+                    "restored, %zu simulated)   values %s\n",
+                    "cross-run replay (db)", warm_s * 1e3,
+                    serial_s / warm_s, restored, fresh.simulatedTrials(),
+                    identical ? "identical" : "DIVERGED");
+        if (!identical || fresh.simulatedTrials() != 0) {
+            status = 1;
+        }
+    }
+    std::filesystem::remove_all(db_root, cleanup_ec);
     return status;
 }
 

@@ -4,20 +4,25 @@
  *
  * Build & run:
  *   cmake -B build -G Ninja && cmake --build build
- *   ./build/examples/quickstart
+ *   ./build/quickstart
+ *
+ * Pass a directory as the first argument to persist tuning artifacts
+ * there (an ArtifactDb): a second run against the same directory replays
+ * every measurement from the stored cache — zero simulated trials.
  */
 
 #include <cstdio>
 
 #include "core/latent_explorer.hpp"
 #include "core/pruner_tuner.hpp"
+#include "db/artifact_db.hpp"
 #include "ir/task.hpp"
 #include "sched/sampler.hpp"
 #include "sim/gpu_simulator.hpp"
 
 using namespace pruner;
 
-int main()
+int main(int argc, char** argv)
 {
     // 1. Describe the operator: C = relu(A @ B), 1024^3 GEMM in FP32.
     const SubgraphTask task = makeGemm("quickstart", 1, 1024, 1024, 1024);
@@ -57,6 +62,9 @@ int main()
     TuneOptions options;
     options.rounds = 12;
     options.seed = 7;
+    if (argc > 1) {
+        options.artifact_db_path = argv[1];
+    }
     const TuneResult result = pruner.tune(workload, options);
     std::printf("after tuning (%zu trials): %8.1f us  "
                 "(simulated search time %.0f s)\n",
@@ -66,5 +74,18 @@ int main()
                 "measurement %.0fs\n",
                 result.exploration_s, result.training_s,
                 result.measurement_s);
+    if (!options.artifact_db_path.empty()) {
+        std::printf("artifact db: %zu cache hits, %zu simulated trials\n",
+                    result.cache_hits, result.simulated_trials);
+
+        // 5. Serve the best-known schedule straight from the store — no
+        //    re-tuning needed once a task has history.
+        ArtifactDb store(options.artifact_db_path);
+        if (const auto best = store.bestSchedule(task)) {
+            std::printf("served best schedule: %s (%.1f us, %zu records)\n",
+                        best->sch.toString().c_str(), best->latency * 1e6,
+                        store.recordCount());
+        }
+    }
     return 0;
 }

@@ -18,4 +18,20 @@ cmake -B "$BUILD_DIR" -S . "$@"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
+# Warm-start smoke: two quickstart runs against one ArtifactDb — the second
+# must answer every measurement from the persisted cache (zero simulated
+# trials proves cross-run replay works end to end).
+DB_DIR="$BUILD_DIR/quickstart-artifacts"
+rm -rf "$DB_DIR"
+"./$BUILD_DIR/quickstart" "$DB_DIR" > /dev/null
+SECOND_RUN="$("./$BUILD_DIR/quickstart" "$DB_DIR")"
+rm -rf "$DB_DIR"
+if ! printf '%s\n' "$SECOND_RUN" | grep -q ", 0 simulated trials"; then
+  echo "check_build: FAIL — second quickstart run did not replay from the"
+  echo "artifact db cache:"
+  printf '%s\n' "$SECOND_RUN" | grep "artifact db" || true
+  exit 1
+fi
+echo "check_build: warm-start smoke OK (second run replayed from cache)"
+
 echo "check_build: OK ($BUILD_DIR)"

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/symbol_analyzer.hpp"
+#include "db/artifact_session.hpp"
 #include "support/logging.hpp"
 
 namespace pruner {
@@ -91,6 +92,19 @@ class RollerPolicy : public SearchPolicy
         MeasureEnv env(measurer, opts.measure_workers, opts.measure_cache);
         TuningRecordDb db;
 
+        // Roller has no learned model; only records and the measure cache
+        // flow through the artifact store.
+        ArtifactSession artifacts(opts.artifact_db, opts.artifact_db_path);
+        if (artifacts.enabled()) {
+            const WarmStartStats warm = artifacts.warmStart(
+                workload, opts.warm_start_records ? &db : nullptr,
+                opts.measure_cache && opts.reuse_measure_cache
+                    ? env.cacheMut()
+                    : nullptr,
+                nullptr);
+            result.warm_records = warm.records_replayed;
+        }
+
         for (const auto& inst : workload.tasks) {
             const SubgraphTask& task = inst.task;
             auto candidates = enumerateRTiles(task, device_);
@@ -118,6 +132,7 @@ class RollerPolicy : public SearchPolicy
                     db.add({task, to_measure[i], latencies[i]});
                 }
             }
+            artifacts.onMeasured(task, to_measure, latencies);
             const double e2e = workloadBest(workload, db);
             if (std::isfinite(e2e)) {
                 result.curve.push_back({clock.now(), e2e});
@@ -135,6 +150,10 @@ class RollerPolicy : public SearchPolicy
         result.compile_s = clock.total(CostCategory::Compile);
         result.trials = measurer.totalTrials();
         result.failed_trials = measurer.failedTrials();
+        result.cache_hits = measurer.cacheHits();
+        result.simulated_trials = measurer.simulatedTrials();
+        artifacts.finish(opts.measure_cache ? &env.cache() : nullptr,
+                         nullptr);
         return result;
     }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "db/artifact_session.hpp"
 #include "support/logging.hpp"
 
 namespace pruner {
@@ -47,6 +48,21 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
                                            config_.moa_momentum);
         if (!config_.pretrained.empty()) {
             moa->initializeFromPretrained(config_.pretrained);
+        }
+    }
+
+    ArtifactSession artifacts(opts.artifact_db, opts.artifact_db_path);
+    const std::string model_key =
+        artifactModelKey(name(), model_->name(), device_.name);
+    if (artifacts.enabled()) {
+        const WarmStartStats warm = artifacts.warmStart(
+            workload, opts.warm_start_records ? &db : nullptr,
+            opts.measure_cache && opts.reuse_measure_cache ? env.cacheMut()
+                                                           : nullptr,
+            opts.reuse_model_checkpoint ? model_.get() : nullptr, model_key);
+        result.warm_records = warm.records_replayed;
+        if (warm.records_replayed > 0) {
+            scheduler.warmStart(db);
         }
     }
 
@@ -143,6 +159,7 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
                 db.add({task, to_measure[i], latencies[i]});
             }
         }
+        artifacts.onMeasured(task, to_measure, latencies);
         scheduler.observe(idx, db.bestLatency(task));
 
         // --- Online model update -----------------------------------------
@@ -186,6 +203,11 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
     result.compile_s = clock.total(CostCategory::Compile);
     result.trials = measurer.totalTrials();
     result.failed_trials = measurer.failedTrials();
+    result.cache_hits = measurer.cacheHits();
+    result.simulated_trials = measurer.simulatedTrials();
+    artifacts.finish(opts.measure_cache ? &env.cache() : nullptr,
+                     opts.reuse_model_checkpoint ? model_.get() : nullptr,
+                     model_key);
     return result;
 }
 

@@ -1,0 +1,485 @@
+#include "db/artifact_db.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "search/record_log.hpp"
+#include "nn/serialize.hpp"
+#include "support/logging.hpp"
+
+namespace pruner {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr uint32_t kCacheMagic = 0x434D5250; // "PRMC" little-endian
+constexpr uint32_t kCacheVersion = 1;
+constexpr size_t kCacheHeaderBytes = 16;
+constexpr size_t kCacheEntryBytes = 24;
+
+void
+putU32(std::string& out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i) {
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+}
+
+void
+putU64(std::string& out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+}
+
+uint32_t
+getU32(const char* p)
+{
+    uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) {
+        v = (v << 8) | static_cast<uint8_t>(p[i]);
+    }
+    return v;
+}
+
+uint64_t
+getU64(const char* p)
+{
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) {
+        v = (v << 8) | static_cast<uint8_t>(p[i]);
+    }
+    return v;
+}
+
+/** (task hash, schedule hash) -> latency, the snapshot's logical content. */
+using SnapshotMap =
+    std::unordered_map<uint64_t, std::unordered_map<uint64_t, double>>;
+
+/** Parse a snapshot file into @p out; tolerates missing files, foreign
+ *  magic/version, and truncated tails. Returns entries read. */
+size_t
+readSnapshotFile(const std::string& path, SnapshotMap* out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        return 0;
+    }
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    if (bytes.size() < kCacheHeaderBytes ||
+        getU32(bytes.data()) != kCacheMagic ||
+        getU32(bytes.data() + 4) != kCacheVersion) {
+        return 0;
+    }
+    const uint64_t claimed = getU64(bytes.data() + 8);
+    const size_t available =
+        (bytes.size() - kCacheHeaderBytes) / kCacheEntryBytes;
+    const size_t count =
+        std::min<size_t>(static_cast<size_t>(claimed), available);
+    size_t read = 0;
+    for (size_t i = 0; i < count; ++i) {
+        const char* p = bytes.data() + kCacheHeaderBytes +
+                        i * kCacheEntryBytes;
+        const uint64_t task = getU64(p);
+        const uint64_t sched = getU64(p + 8);
+        const double latency = std::bit_cast<double>(getU64(p + 16));
+        (*out)[task][sched] = latency;
+        ++read;
+    }
+    return read;
+}
+
+/** Canonical snapshot order: flatten @p map sorted by (task hash,
+ *  schedule hash). Both serialization and restore use this, so identical
+ *  logical content always yields identical bytes and a deterministic
+ *  restored cache state. */
+std::vector<MeasureCacheEntry>
+flattenSorted(const SnapshotMap& map)
+{
+    std::vector<MeasureCacheEntry> entries;
+    for (const auto& [task, scheds] : map) {
+        for (const auto& [sched, latency] : scheds) {
+            entries.push_back({task, sched, latency});
+        }
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const MeasureCacheEntry& a, const MeasureCacheEntry& b) {
+                  return a.task_hash != b.task_hash
+                             ? a.task_hash < b.task_hash
+                             : a.sched_hash < b.sched_hash;
+              });
+    return entries;
+}
+
+/** Serialize @p map in canonical order. */
+std::string
+encodeSnapshot(const SnapshotMap& map)
+{
+    const std::vector<MeasureCacheEntry> entries = flattenSorted(map);
+    std::string bytes;
+    bytes.reserve(kCacheHeaderBytes + entries.size() * kCacheEntryBytes);
+    putU32(bytes, kCacheMagic);
+    putU32(bytes, kCacheVersion);
+    putU64(bytes, entries.size());
+    for (const auto& e : entries) {
+        putU64(bytes, e.task_hash);
+        putU64(bytes, e.sched_hash);
+        putU64(bytes, std::bit_cast<uint64_t>(e.latency));
+    }
+    return bytes;
+}
+
+/** Write @p bytes to @p path through a temp file + rename, so readers never
+ *  observe a half-written snapshot. */
+void
+writeFileAtomic(const std::string& path, const std::string& bytes)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            PRUNER_FATAL("cannot open " << tmp << " for writing");
+        }
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        if (!out) {
+            PRUNER_FATAL("write failure on " << tmp);
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        PRUNER_FATAL("cannot rename " << tmp << " to " << path << ": "
+                                      << ec.message());
+    }
+}
+
+/** File-name-safe form of a model key ("Pruner/PaCM/a100" ->
+ *  "Pruner_PaCM_a100"). */
+std::string
+sanitizeKey(const std::string& key)
+{
+    std::string out;
+    out.reserve(key.size());
+    for (char c : key) {
+        const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9') || c == '.' || c == '-';
+        out.push_back(safe ? c : '_');
+    }
+    return out.empty() ? std::string("default") : out;
+}
+
+} // namespace
+
+ArtifactDb::ArtifactDb(std::string root, size_t num_shards)
+    : root_(std::move(root))
+{
+    PRUNER_CHECK_MSG(!root_.empty(), "ArtifactDb root must be non-empty");
+    num_shards = std::max<size_t>(num_shards, 1);
+    for (const char* sub : {"records", "models"}) {
+        std::error_code ec;
+        fs::create_directories(fs::path(root_) / sub, ec);
+        if (ec) {
+            PRUNER_FATAL("cannot create ArtifactDb directory "
+                         << (fs::path(root_) / sub).string() << ": "
+                         << ec.message());
+        }
+    }
+    shards_.reserve(num_shards);
+    for (size_t i = 0; i < num_shards; ++i) {
+        auto shard = std::make_unique<Shard>();
+        std::ostringstream oss;
+        oss << "shard_" << std::setw(4) << std::setfill('0') << i << ".log";
+        shard->path = (fs::path(root_) / "records" / oss.str()).string();
+        shards_.push_back(std::move(shard));
+    }
+    // Load every shard log present, dispatching each line to its in-memory
+    // shard by task hash — which *file* a record sits in is a layout
+    // detail, so stores written with a different shard count (or whose
+    // shard files were concatenated) still load fully.
+    std::vector<std::string> existing;
+    std::error_code iter_ec;
+    for (const auto& entry :
+         fs::directory_iterator(fs::path(root_) / "records", iter_ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("shard_", 0) == 0 &&
+            entry.path().extension() == ".log") {
+            existing.push_back(entry.path().string());
+        }
+    }
+    if (iter_ec) {
+        PRUNER_FATAL("cannot scan ArtifactDb records under " << root_
+                                                             << ": "
+                                                             << iter_ec.message());
+    }
+    std::sort(existing.begin(), existing.end());
+    for (const auto& path : existing) {
+        loadShardFile(path);
+    }
+}
+
+ArtifactDb::Shard&
+ArtifactDb::shardFor(uint64_t task_hash) const
+{
+    return *shards_[task_hash % shards_.size()];
+}
+
+void
+ArtifactDb::loadShardFile(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        return; // fresh shard, no log yet
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty()) {
+            continue;
+        }
+        RawRecordLine raw;
+        if (!lineToRawRecord(line, &raw)) {
+            continue; // malformed / truncated tail: crash-tolerant skip
+        }
+        Shard& shard = shardFor(raw.task_hash);
+        ++shard.lines;
+        auto& per_task = shard.by_task[raw.task_hash];
+        const uint64_t sched_hash = raw.sch.hash();
+        auto it = per_task.find(sched_hash);
+        if (it == per_task.end() || raw.latency < it->second.latency) {
+            per_task[sched_hash] = {std::move(raw.sch), raw.latency};
+        }
+    }
+}
+
+size_t
+ArtifactDb::appendRecords(const std::vector<MeasuredRecord>& records)
+{
+    // Group by shard first so each shard is locked (and its log opened)
+    // at most once per batch.
+    std::vector<std::vector<const MeasuredRecord*>> per_shard(
+        shards_.size());
+    for (const auto& record : records) {
+        if (!std::isfinite(record.latency) || record.latency <= 0.0) {
+            continue;
+        }
+        per_shard[record.task.hash() % shards_.size()].push_back(&record);
+    }
+    size_t written = 0;
+    for (size_t s = 0; s < per_shard.size(); ++s) {
+        if (per_shard[s].empty()) {
+            continue;
+        }
+        Shard& shard = *shards_[s];
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        std::ofstream out;
+        for (const MeasuredRecord* record : per_shard[s]) {
+            auto& per_task = shard.by_task[record->task.hash()];
+            const uint64_t sched_hash = record->sch.hash();
+            const auto it = per_task.find(sched_hash);
+            if (it != per_task.end() &&
+                it->second.latency <= record->latency) {
+                continue; // already stored at least as good: no log growth
+            }
+            if (!out.is_open()) {
+                out.open(shard.path, std::ios::app);
+                if (!out) {
+                    PRUNER_FATAL("cannot open record shard " << shard.path
+                                                             << " for append");
+                }
+            }
+            // Flush before indexing: the in-memory dedup map must only
+            // claim records that actually reached the log (a later
+            // improvement would otherwise be deduped against a line that
+            // was never written).
+            out << recordToLine(*record) << "\n";
+            out.flush();
+            if (!out) {
+                PRUNER_FATAL("write failure on record shard "
+                             << shard.path);
+            }
+            per_task[sched_hash] = {record->sch, record->latency};
+            ++shard.lines;
+            ++written;
+        }
+    }
+    return written;
+}
+
+size_t
+ArtifactDb::recordCount() const
+{
+    size_t total = 0;
+    for (const auto& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        total += shard->lines;
+    }
+    return total;
+}
+
+std::vector<ServedSchedule>
+ArtifactDb::topK(const SubgraphTask& task, size_t k) const
+{
+    Shard& shard = shardFor(task.hash());
+    std::vector<ServedSchedule> out;
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        const auto it = shard.by_task.find(task.hash());
+        if (it == shard.by_task.end()) {
+            return out;
+        }
+        out.reserve(it->second.size());
+        for (const auto& [sched_hash, stored] : it->second) {
+            out.push_back({stored.sch, stored.latency, sched_hash});
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const ServedSchedule& a, const ServedSchedule& b) {
+                  return a.latency != b.latency
+                             ? a.latency < b.latency
+                             : a.sched_hash < b.sched_hash;
+              });
+    if (out.size() > k) {
+        out.resize(k);
+    }
+    return out;
+}
+
+std::optional<ServedSchedule>
+ArtifactDb::bestSchedule(const SubgraphTask& task) const
+{
+    auto top = topK(task, 1);
+    if (top.empty()) {
+        return std::nullopt;
+    }
+    return std::move(top.front());
+}
+
+void
+ArtifactDb::saveMeasureCache(const MeasureCache& cache)
+{
+    const std::string path =
+        (fs::path(root_) / "measure_cache.bin").string();
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    // Merge with whatever is already persisted so concurrent sessions
+    // accumulate instead of clobbering each other; the live cache wins on
+    // conflicting pairs (its value is fresher).
+    SnapshotMap merged;
+    readSnapshotFile(path, &merged);
+    for (const auto& e : cache.exportEntries()) {
+        merged[e.task_hash][e.sched_hash] = e.latency;
+    }
+    writeFileAtomic(path, encodeSnapshot(merged));
+}
+
+size_t
+ArtifactDb::loadMeasureCache(MeasureCache* cache) const
+{
+    PRUNER_CHECK(cache != nullptr);
+    if (cache->capacity() == 0) {
+        return 0; // caching disabled: don't pay the snapshot read
+    }
+    const std::string path =
+        (fs::path(root_) / "measure_cache.bin").string();
+    SnapshotMap map;
+    {
+        std::lock_guard<std::mutex> lock(snapshot_mutex_);
+        readSnapshotFile(path, &map);
+    }
+    // Insert in canonical sorted order so the restored LRU state is
+    // deterministic. A snapshot larger than the cache keeps its canonical
+    // tail (the earlier inserts get evicted) — report only what the cache
+    // can actually hold.
+    const std::vector<MeasureCacheEntry> entries = flattenSorted(map);
+    if (entries.size() > cache->capacity()) {
+        PRUNER_INFO("measure-cache snapshot ("
+                    << entries.size() << " entries) exceeds cache capacity ("
+                    << cache->capacity()
+                    << "); oldest canonical entries will be evicted");
+    }
+    for (const auto& e : entries) {
+        cache->insert(e.task_hash, e.sched_hash, e.latency);
+    }
+    return std::min(entries.size(), cache->capacity());
+}
+
+std::string
+ArtifactDb::modelPath(const std::string& key) const
+{
+    return (fs::path(root_) / "models" / (sanitizeKey(key) + ".params"))
+        .string();
+}
+
+void
+ArtifactDb::saveModelParams(const std::string& key,
+                            const std::vector<double>& params)
+{
+    // saveParams writes text; route it through the same tmp+rename dance
+    // by writing to a sibling and renaming.
+    const std::string path = modelPath(key);
+    const std::string tmp = path + ".tmp";
+    saveParams(tmp, params);
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        PRUNER_FATAL("cannot rename " << tmp << " to " << path << ": "
+                                      << ec.message());
+    }
+}
+
+std::optional<std::vector<double>>
+ArtifactDb::tryLoadModelParams(const std::string& key) const
+{
+    // std::exception, not just FatalError: a corrupt header can make
+    // loadParams throw length_error/bad_alloc from the size allocation.
+    try {
+        return loadParams(modelPath(key));
+    } catch (const std::exception&) {
+        return std::nullopt;
+    }
+}
+
+WarmStartStats
+ArtifactDb::warmStart(const std::vector<SubgraphTask>& known_tasks,
+                      TuningRecordDb* records, MeasureCache* cache,
+                      CostModel* model, const std::string& model_key) const
+{
+    WarmStartStats stats;
+    if (records != nullptr) {
+        for (const auto& task : known_tasks) {
+            // Worst-first replay: the incumbent ends up most recent, so
+            // recentWindow-based online training sees the best history.
+            auto stored = topK(task, static_cast<size_t>(-1));
+            for (auto it = stored.rbegin(); it != stored.rend(); ++it) {
+                records->add({task, it->sch, it->latency});
+                ++stats.records_replayed;
+            }
+        }
+    }
+    if (cache != nullptr) {
+        stats.cache_entries = loadMeasureCache(cache);
+    }
+    if (model != nullptr) {
+        if (auto params = tryLoadModelParams(model_key)) {
+            const bool all_finite =
+                std::all_of(params->begin(), params->end(),
+                            [](double v) { return std::isfinite(v); });
+            if (all_finite &&
+                params->size() == model->getParams().size()) {
+                model->setParams(*params);
+                stats.model_restored = true;
+            }
+        }
+    }
+    return stats;
+}
+
+} // namespace pruner

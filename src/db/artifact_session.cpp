@@ -1,0 +1,79 @@
+#include "db/artifact_session.hpp"
+
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace pruner {
+
+std::string
+artifactModelKey(const std::string& policy, const std::string& model,
+                 const std::string& device)
+{
+    return policy + "/" + model + "/" + device;
+}
+
+ArtifactSession::ArtifactSession(ArtifactDb* borrowed,
+                                 const std::string& path)
+{
+    if (borrowed != nullptr) {
+        db_ = borrowed;
+    } else if (!path.empty()) {
+        owned_ = std::make_unique<ArtifactDb>(path);
+        db_ = owned_.get();
+    }
+}
+
+WarmStartStats
+ArtifactSession::warmStart(const Workload& workload, TuningRecordDb* records,
+                           MeasureCache* cache, CostModel* model,
+                           const std::string& model_key) const
+{
+    if (db_ == nullptr) {
+        return {};
+    }
+    std::vector<SubgraphTask> tasks;
+    tasks.reserve(workload.tasks.size());
+    for (const auto& inst : workload.tasks) {
+        tasks.push_back(inst.task);
+    }
+    return db_->warmStart(tasks, records, cache, model, model_key);
+}
+
+void
+ArtifactSession::onMeasured(const SubgraphTask& task,
+                            const std::vector<Schedule>& candidates,
+                            const std::vector<double>& latencies) const
+{
+    if (db_ == nullptr) {
+        return;
+    }
+    PRUNER_CHECK(candidates.size() == latencies.size());
+    std::vector<MeasuredRecord> finite;
+    finite.reserve(candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+        if (std::isfinite(latencies[i]) && latencies[i] > 0.0) {
+            finite.push_back({task, candidates[i], latencies[i]});
+        }
+    }
+    if (!finite.empty()) {
+        db_->appendRecords(finite);
+    }
+}
+
+void
+ArtifactSession::finish(const MeasureCache* cache, CostModel* model,
+                        const std::string& model_key) const
+{
+    if (db_ == nullptr) {
+        return;
+    }
+    if (cache != nullptr) {
+        db_->saveMeasureCache(*cache);
+    }
+    if (model != nullptr) {
+        db_->saveModelParams(model_key, model->getParams());
+    }
+}
+
+} // namespace pruner

@@ -1,0 +1,69 @@
+#pragma once
+
+/**
+ * @file artifact_session.hpp
+ * Per-tune() persistence wiring over an ArtifactDb.
+ *
+ * Every search policy's tune() loop does the same three things with the
+ * artifact store: warm-start its run state from it, stream each round's
+ * new measurements into it, and snapshot the measure cache / cost model at
+ * the end. ArtifactSession keeps that wiring in one place and resolves the
+ * TuneOptions handle convention — a borrowed shared ArtifactDb (one per
+ * bench binary) takes precedence over an owned store opened from a path,
+ * and both empty means persistence is off and every call is a no-op.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/artifact_db.hpp"
+#include "ir/workload_registry.hpp"
+
+namespace pruner {
+
+/** Checkpoint key for a (policy, model, device) combination, e.g.
+ *  "MoA-Pruner/PaCM/a100". */
+std::string artifactModelKey(const std::string& policy,
+                             const std::string& model,
+                             const std::string& device);
+
+/** One tuning run's view of the persistent artifact store. */
+class ArtifactSession
+{
+  public:
+    /** @param borrowed  shared store (wins when non-null, not owned)
+     *  @param path      directory to open when @p borrowed is null;
+     *                   "" = persistence disabled */
+    ArtifactSession(ArtifactDb* borrowed, const std::string& path);
+
+    /** False when persistence is disabled for this run. */
+    bool enabled() const { return db_ != nullptr; }
+    ArtifactDb* db() const { return db_; }
+
+    /** Warm-start the run state from the store (see ArtifactDb::warmStart);
+     *  any sink may be nullptr to skip that artifact. No-op when
+     *  disabled. */
+    WarmStartStats warmStart(const Workload& workload,
+                             TuningRecordDb* records, MeasureCache* cache,
+                             CostModel* model,
+                             const std::string& model_key = "") const;
+
+    /** Durably append one measured batch (non-finite latencies and pairs
+     *  already stored at least as good are skipped). No-op when
+     *  disabled. */
+    void onMeasured(const SubgraphTask& task,
+                    const std::vector<Schedule>& candidates,
+                    const std::vector<double>& latencies) const;
+
+    /** End-of-run snapshots: persist the measure cache and/or a model
+     *  checkpoint. Either pointer may be nullptr. No-op when disabled. */
+    void finish(const MeasureCache* cache, CostModel* model,
+                const std::string& model_key = "") const;
+
+  private:
+    ArtifactDb* db_ = nullptr;
+    std::unique_ptr<ArtifactDb> owned_;
+};
+
+} // namespace pruner

@@ -1,10 +1,15 @@
 #include "nn/serialize.hpp"
 
 #include <fstream>
+#include <locale>
 
 #include "support/logging.hpp"
 
 namespace pruner {
+
+// Both directions imbue the classic locale: parameter files written on one
+// machine must load on any other regardless of the global locale (a
+// comma-decimal locale would otherwise corrupt the doubles).
 
 void
 saveParams(const std::string& path, const std::vector<double>& flat)
@@ -13,6 +18,7 @@ saveParams(const std::string& path, const std::vector<double>& flat)
     if (!out) {
         PRUNER_FATAL("cannot open " << path << " for writing");
     }
+    out.imbue(std::locale::classic());
     out.precision(17);
     out << flat.size() << "\n";
     for (double v : flat) {
@@ -30,9 +36,16 @@ loadParams(const std::string& path)
     if (!in) {
         PRUNER_FATAL("cannot open " << path << " for reading");
     }
+    in.imbue(std::locale::classic());
     size_t n = 0;
     if (!(in >> n)) {
         PRUNER_FATAL("malformed parameter file " << path);
+    }
+    // A corrupt header must not drive a huge allocation before the
+    // truncation check below can reject the file.
+    constexpr size_t kMaxParams = size_t{1} << 28;
+    if (n > kMaxParams) {
+        PRUNER_FATAL("implausible parameter count " << n << " in " << path);
     }
     std::vector<double> flat(n);
     for (size_t i = 0; i < n; ++i) {

@@ -27,6 +27,8 @@
 #include "core/pruner_tuner.hpp"
 #include "dataset/dataset.hpp"
 #include "dataset/metrics.hpp"
+#include "db/artifact_db.hpp"
+#include "db/artifact_session.hpp"
 #include "ir/workload_registry.hpp"
 #include "search/record_log.hpp"
 #include "sim/vendor_library.hpp"

@@ -52,8 +52,20 @@ MeasureCache::insert(uint64_t task_hash, uint64_t sched_hash, double latency)
         lru_.pop_back();
         ++evictions_;
     }
-    lru_.push_front({key, latency});
+    lru_.push_front({key, task_hash, sched_hash, latency});
     index_[key] = lru_.begin();
+}
+
+std::vector<MeasureCacheEntry>
+MeasureCache::exportEntries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<MeasureCacheEntry> out;
+    out.reserve(lru_.size());
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+        out.push_back({it->task_hash, it->sched_hash, it->latency});
+    }
+    return out;
 }
 
 size_t

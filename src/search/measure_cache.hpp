@@ -18,8 +18,18 @@
 #include <list>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 namespace pruner {
+
+/** One cache entry as exported for persistence (db/artifact_db snapshots
+ *  serialize these, keyed by the original hash pair). */
+struct MeasureCacheEntry
+{
+    uint64_t task_hash = 0;
+    uint64_t sched_hash = 0;
+    double latency = 0.0; ///< +inf entries are cached failed launches
+};
 
 /** Thread-safe LRU map from (task hash, schedule hash) to latency. */
 class MeasureCache
@@ -43,12 +53,20 @@ class MeasureCache
     size_t evictions() const;
     void clear();
 
+    /** All live entries, least recently used first. Does not count as a
+     *  lookup (hit/miss counters unchanged). Persisted snapshots restore
+     *  in canonical (task, schedule)-hash order instead — see
+     *  ArtifactDb::loadMeasureCache. */
+    std::vector<MeasureCacheEntry> exportEntries() const;
+
     static constexpr size_t kDefaultCapacity = 1 << 16;
 
   private:
     struct Entry
     {
         uint64_t key = 0;
+        uint64_t task_hash = 0;
+        uint64_t sched_hash = 0;
         double latency = 0.0;
     };
 

@@ -129,6 +129,9 @@ class MeasureEnv
     /** Worker pool for chunked scoring; nullptr when serial. */
     ThreadPool* pool() const { return pool_.get(); }
     const MeasureCache& cache() const { return cache_; }
+    /** Mutable cache handle, for warm-starting it from a persisted
+     *  snapshot (db/artifact_db) before the first measured batch. */
+    MeasureCache* cacheMut() { return &cache_; }
 
   private:
     Measurer* measurer_;

@@ -2,17 +2,50 @@
 
 #include <cmath>
 #include <fstream>
+#include <locale>
 #include <sstream>
-#include <unordered_map>
 
 #include "support/logging.hpp"
 
 namespace pruner {
 
+namespace {
+
+/** Parse a double in the classic locale (std::stod honours the global C
+ *  locale, which would make logs non-portable across machines). */
+bool
+parseClassicDouble(const std::string& text, double* out)
+{
+    std::istringstream iss(text);
+    iss.imbue(std::locale::classic());
+    double value = 0.0;
+    if (!(iss >> value)) {
+        return false;
+    }
+    *out = value;
+    return true;
+}
+
+bool
+parseU64(const std::string& text, uint64_t* out)
+{
+    std::istringstream iss(text);
+    iss.imbue(std::locale::classic());
+    uint64_t value = 0;
+    if (!(iss >> value)) {
+        return false;
+    }
+    *out = value;
+    return true;
+}
+
+} // namespace
+
 std::string
 recordToLine(const MeasuredRecord& record)
 {
     std::ostringstream oss;
+    oss.imbue(std::locale::classic());
     oss.precision(17);
     oss << record.task.key << "\t" << record.task.hash() << "\t"
         << record.sch.serialize() << "\t" << record.latency;
@@ -20,9 +53,7 @@ recordToLine(const MeasuredRecord& record)
 }
 
 bool
-lineToRecord(const std::string& line,
-             const std::vector<SubgraphTask>& known_tasks,
-             MeasuredRecord* out)
+lineToRawRecord(const std::string& line, RawRecordLine* out)
 {
     PRUNER_CHECK(out != nullptr);
     std::istringstream iss(line);
@@ -35,23 +66,11 @@ lineToRecord(const std::string& line,
     }
     uint64_t task_hash = 0;
     double latency = 0.0;
-    try {
-        task_hash = std::stoull(hash_str);
-        latency = std::stod(latency_str);
-    } catch (const std::exception&) {
+    if (!parseU64(hash_str, &task_hash) ||
+        !parseClassicDouble(latency_str, &latency)) {
         return false;
     }
     if (!std::isfinite(latency) || latency <= 0.0) {
-        return false;
-    }
-    const SubgraphTask* task = nullptr;
-    for (const auto& t : known_tasks) {
-        if (t.hash() == task_hash) {
-            task = &t;
-            break;
-        }
-    }
-    if (task == nullptr) {
         return false;
     }
     try {
@@ -59,9 +78,31 @@ lineToRecord(const std::string& line,
     } catch (const std::exception&) {
         return false;
     }
-    out->task = *task;
+    out->task_key = std::move(key);
+    out->task_hash = task_hash;
     out->latency = latency;
     return true;
+}
+
+bool
+lineToRecord(const std::string& line,
+             const std::vector<SubgraphTask>& known_tasks,
+             MeasuredRecord* out)
+{
+    PRUNER_CHECK(out != nullptr);
+    RawRecordLine raw;
+    if (!lineToRawRecord(line, &raw)) {
+        return false;
+    }
+    for (const auto& t : known_tasks) {
+        if (t.hash() == raw.task_hash) {
+            out->task = t;
+            out->sch = std::move(raw.sch);
+            out->latency = raw.latency;
+            return true;
+        }
+    }
+    return false;
 }
 
 void
@@ -84,9 +125,20 @@ std::vector<MeasuredRecord>
 loadRecordLog(const std::string& path,
               const std::vector<SubgraphTask>& known_tasks)
 {
+    auto records = tryLoadRecordLog(path, known_tasks);
+    if (!records.has_value()) {
+        PRUNER_FATAL("cannot open record log " << path);
+    }
+    return std::move(*records);
+}
+
+std::optional<std::vector<MeasuredRecord>>
+tryLoadRecordLog(const std::string& path,
+                 const std::vector<SubgraphTask>& known_tasks)
+{
     std::ifstream in(path);
     if (!in) {
-        PRUNER_FATAL("cannot open record log " << path);
+        return std::nullopt;
     }
     std::vector<MeasuredRecord> records;
     std::string line;

@@ -10,8 +10,14 @@
  * datasets incrementally. The format is line-oriented text:
  *
  *   <task-key>\t<task-hash>\t<schedule-record>\t<latency-seconds>
+ *
+ * Numbers are always formatted and parsed in the classic ("C") locale so
+ * logs written on one machine load on any other regardless of the global
+ * locale. This module is the line codec; the persistent ArtifactDb
+ * (src/db/artifact_db.hpp) builds its sharded on-disk store on top of it.
  */
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -22,6 +28,23 @@ namespace pruner {
 
 /** Serialize one record to a single log line. */
 std::string recordToLine(const MeasuredRecord& record);
+
+/**
+ * One log line parsed without resolving the task: the schedule and latency
+ * are reconstructed, the task is only identified by key and hash. Used by
+ * stores that index records across tasks (ArtifactDb).
+ */
+struct RawRecordLine
+{
+    std::string task_key;
+    uint64_t task_hash = 0;
+    Schedule sch;
+    double latency = 0.0;
+};
+
+/** Parse one log line task-independently. Returns true and fills @p out on
+ *  success; malformed, truncated, or non-finite lines return false. */
+bool lineToRawRecord(const std::string& line, RawRecordLine* out);
 
 /**
  * Parse one log line against a set of known tasks (records referencing
@@ -44,6 +67,15 @@ void appendRecordLog(const std::string& path,
 std::vector<MeasuredRecord>
 loadRecordLog(const std::string& path,
               const std::vector<SubgraphTask>& known_tasks);
+
+/**
+ * Like loadRecordLog but a missing/unreadable file yields std::nullopt
+ * instead of throwing, so warm-start-optional flows need no pre-existence
+ * check. A present-but-partially-corrupt file still loads its good lines.
+ */
+std::optional<std::vector<MeasuredRecord>>
+tryLoadRecordLog(const std::string& path,
+                 const std::vector<SubgraphTask>& known_tasks);
 
 /** Replay records into a TuningRecordDb (e.g. to warm-start tuning). */
 void replayIntoDb(const std::vector<MeasuredRecord>& records,

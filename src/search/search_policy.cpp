@@ -4,6 +4,7 @@
 #include <limits>
 #include <unordered_set>
 
+#include "db/artifact_session.hpp"
 #include "support/logging.hpp"
 
 namespace pruner {
@@ -123,6 +124,21 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
     TuningRecordDb db;
     TaskScheduler scheduler(workload);
 
+    ArtifactSession artifacts(opts.artifact_db, opts.artifact_db_path);
+    const std::string model_key =
+        artifactModelKey(name_, model_->name(), device_.name);
+    if (artifacts.enabled()) {
+        const WarmStartStats warm = artifacts.warmStart(
+            workload, opts.warm_start_records ? &db : nullptr,
+            opts.measure_cache && opts.reuse_measure_cache ? env.cacheMut()
+                                                           : nullptr,
+            opts.reuse_model_checkpoint ? model_.get() : nullptr, model_key);
+        result.warm_records = warm.records_replayed;
+        if (warm.records_replayed > 0) {
+            scheduler.warmStart(db);
+        }
+    }
+
     for (int round = 0; round < opts.rounds; ++round) {
         const size_t idx = scheduler.nextTask(db, rng);
         const SubgraphTask& task = workload.tasks[idx].task;
@@ -159,6 +175,7 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
                 db.add({task, to_measure[i], latencies[i]});
             }
         }
+        artifacts.onMeasured(task, to_measure, latencies);
         scheduler.observe(idx, db.bestLatency(task));
 
         if (opts.online_training && config_.online_training &&
@@ -186,6 +203,8 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
     result.compile_s = clock.total(CostCategory::Compile);
     result.trials = measurer.totalTrials();
     result.failed_trials = measurer.failedTrials();
+    result.cache_hits = measurer.cacheHits();
+    result.simulated_trials = measurer.simulatedTrials();
 
     // A learned model that diverged (non-finite scores) means the policy
     // lost its search signal — the paper observes this for TLP fine-tuned
@@ -198,6 +217,13 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
         result.failed = true;
         result.failure_reason = "cost model diverged";
     }
+    // Checkpoint only after the divergence probe: a poisoned model must
+    // not be persisted where the next warm-started run would restore it.
+    artifacts.finish(opts.measure_cache ? &env.cache() : nullptr,
+                     opts.reuse_model_checkpoint && !result.failed
+                         ? model_.get()
+                         : nullptr,
+                     model_key);
     return result;
 }
 

@@ -25,6 +25,8 @@
 
 namespace pruner {
 
+class ArtifactDb; // persistent artifact store (src/db/artifact_db.hpp)
+
 /** Options shared by every tuner. */
 struct TuneOptions
 {
@@ -43,6 +45,23 @@ struct TuneOptions
     /** LRU (task, schedule) measurement cache: re-visited candidates are
      *  free. Deterministic for a fixed seed. */
     bool measure_cache = true;
+    /** Persistent artifact store (src/db): directory opened for this run.
+     *  Empty = no persistence. */
+    std::string artifact_db_path;
+    /** Borrowed shared store (e.g. one per bench binary); takes precedence
+     *  over artifact_db_path when non-null. Not owned. */
+    ArtifactDb* artifact_db = nullptr;
+    /** Replay persisted records into the run's TuningRecordDb before
+     *  tuning — the paper's offline warm-start. Starts the search from the
+     *  stored incumbents (changes the trajectory). */
+    bool warm_start_records = false;
+    /** Restore the persisted MeasureCache snapshot so previously simulated
+     *  (task, schedule) pairs replay for free. Never changes measured
+     *  values, only skips paid simulation. */
+    bool reuse_measure_cache = true;
+    /** Restore/persist cost-model weight checkpoints keyed by
+     *  (policy, model, device). */
+    bool reuse_model_checkpoint = false;
 };
 
 /** One point of a tuning curve: simulated time vs best end-to-end
@@ -68,6 +87,9 @@ struct TuneResult
     double compile_s = 0.0;
     size_t trials = 0;
     size_t failed_trials = 0;
+    size_t cache_hits = 0;       ///< trials answered by the MeasureCache
+    size_t simulated_trials = 0; ///< trials actually simulated
+    size_t warm_records = 0;     ///< records replayed from the ArtifactDb
     bool failed = false; ///< the policy could not tune this workload
     std::string failure_reason;
 

@@ -57,6 +57,26 @@ TaskScheduler::nextTask(const TuningRecordDb& records, Rng& rng)
 }
 
 void
+TaskScheduler::warmStart(const TuningRecordDb& records)
+{
+    const size_t n = workload_->tasks.size();
+    bool all_measured = true;
+    for (size_t i = 0; i < n; ++i) {
+        const double best = records.bestLatency(workload_->tasks[i].task);
+        if (std::isfinite(best)) {
+            history_[i].push_back(best);
+        } else {
+            all_measured = false;
+        }
+    }
+    // The round-robin pass exists to make the end-to-end latency defined;
+    // with every task warm-started it would only repeat known work.
+    if (all_measured) {
+        round_robin_cursor_ = n;
+    }
+}
+
+void
 TaskScheduler::observe(size_t index, double best_latency)
 {
     PRUNER_CHECK(index < history_.size());

@@ -30,6 +30,12 @@ class TaskScheduler
      *  latency (feeds the improvement-rate estimate). */
     void observe(size_t index, double best_latency);
 
+    /** Seed the scheduler from warm-started records: tasks with a stored
+     *  incumbent skip the initial round-robin pass (when every task has
+     *  one) and start their improvement-rate history at that incumbent
+     *  instead of being treated as untouched. */
+    void warmStart(const TuningRecordDb& records);
+
     size_t numTasks() const { return workload_->tasks.size(); }
 
   private:

@@ -1,0 +1,369 @@
+/** Tests for src/db: the persistent tuning-artifact database. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+
+#include "core/pruner_tuner.hpp"
+#include "db/artifact_db.hpp"
+#include "db/artifact_session.hpp"
+#include "sched/sampler.hpp"
+#include "support/thread_pool.hpp"
+
+namespace pruner {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+readFileBytes(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+class ArtifactDbTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        root_ = "/tmp/pruner_test_artifact_db";
+        fs::remove_all(root_);
+    }
+    void
+    TearDown() override
+    {
+        fs::remove_all(root_);
+    }
+
+    std::vector<MeasuredRecord>
+    sampleRecords(const SubgraphTask& task, int n, uint64_t seed,
+                  double base_latency = 1e-4)
+    {
+        ScheduleSampler sampler(task, dev_);
+        Rng rng(seed);
+        std::vector<MeasuredRecord> records;
+        for (int i = 0; i < n; ++i) {
+            records.push_back(
+                {task, sampler.sample(rng), base_latency + i * 1e-6});
+        }
+        return records;
+    }
+
+    std::string root_;
+    SubgraphTask task_ = makeGemm("adb", 1, 128, 128, 128);
+    DeviceSpec dev_ = DeviceSpec::a100();
+};
+
+TEST_F(ArtifactDbTest, TopKServesBestDistinctSchedules)
+{
+    ArtifactDb db(root_);
+    auto records = sampleRecords(task_, 10, 3);
+    // Duplicate the best schedule with a worse latency: topK must dedupe
+    // and keep the better measurement.
+    records.push_back({task_, records[0].sch, records[0].latency * 10});
+    db.appendRecords(records);
+
+    const auto top = db.topK(task_, 3);
+    ASSERT_EQ(top.size(), 3u);
+    EXPECT_LE(top[0].latency, top[1].latency);
+    EXPECT_LE(top[1].latency, top[2].latency);
+    EXPECT_DOUBLE_EQ(top[0].latency, records[0].latency);
+    EXPECT_EQ(top[0].sch, records[0].sch);
+
+    const auto best = db.bestSchedule(task_);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_EQ(best->sch, top[0].sch);
+
+    const SubgraphTask other = makeGemm("adb_other", 1, 64, 64, 64);
+    EXPECT_TRUE(db.topK(other, 5).empty());
+    EXPECT_FALSE(db.bestSchedule(other).has_value());
+}
+
+TEST_F(ArtifactDbTest, RecordsPersistAcrossReopen)
+{
+    const auto records = sampleRecords(task_, 8, 5);
+    {
+        ArtifactDb db(root_);
+        EXPECT_EQ(db.appendRecords(records), 8u);
+    }
+    ArtifactDb reopened(root_);
+    EXPECT_EQ(reopened.recordCount(), 8u);
+    const auto top = reopened.topK(task_, 1);
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_EQ(top[0].sch, records[0].sch);
+    EXPECT_DOUBLE_EQ(top[0].latency, records[0].latency);
+}
+
+TEST_F(ArtifactDbTest, ReplayedAppendsDoNotGrowTheLog)
+{
+    ArtifactDb db(root_);
+    const auto records = sampleRecords(task_, 6, 7);
+    EXPECT_EQ(db.appendRecords(records), 6u);
+    // Same batch again (a replayed run): every pair is already stored at
+    // least as good, so nothing is written.
+    EXPECT_EQ(db.appendRecords(records), 0u);
+    EXPECT_EQ(db.recordCount(), 6u);
+    // An improvement for a stored schedule is written.
+    std::vector<MeasuredRecord> better{
+        {task_, records[0].sch, records[0].latency / 2}};
+    EXPECT_EQ(db.appendRecords(better), 1u);
+    const auto best = db.bestSchedule(task_);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_DOUBLE_EQ(best->latency, records[0].latency / 2);
+}
+
+TEST_F(ArtifactDbTest, NonFiniteLatenciesAreNotLogged)
+{
+    ArtifactDb db(root_);
+    ScheduleSampler sampler(task_, dev_);
+    Rng rng(11);
+    std::vector<MeasuredRecord> records{
+        {task_, sampler.sample(rng),
+         std::numeric_limits<double>::infinity()},
+        {task_, sampler.sample(rng), -1.0},
+    };
+    EXPECT_EQ(db.appendRecords(records), 0u);
+    EXPECT_EQ(db.recordCount(), 0u);
+}
+
+TEST_F(ArtifactDbTest, ShardingSpreadsTasksAcrossFiles)
+{
+    ArtifactDb db(root_);
+    for (int i = 0; i < 8; ++i) {
+        const auto task =
+            makeGemm("shard_" + std::to_string(i), 1, 64 + i, 64, 64);
+        db.appendRecords(sampleRecords(task, 2, 13 + i));
+    }
+    size_t shard_files = 0;
+    for (const auto& entry :
+         fs::directory_iterator(fs::path(root_) / "records")) {
+        (void)entry;
+        ++shard_files;
+    }
+    EXPECT_GE(shard_files, 2u);
+    EXPECT_EQ(db.recordCount(), 16u);
+}
+
+TEST_F(ArtifactDbTest, TruncatedLogTailIsSkippedOnLoad)
+{
+    std::string shard_path;
+    {
+        ArtifactDb db(root_);
+        db.appendRecords(sampleRecords(task_, 4, 17));
+        for (const auto& entry :
+             fs::directory_iterator(fs::path(root_) / "records")) {
+            shard_path = entry.path().string();
+        }
+    }
+    // Emulate a crash mid-append: a half-written line at the end.
+    {
+        std::ofstream out(shard_path, std::ios::app);
+        out << "gemm_half\t123456\t2;1;4,"; // no newline, cut mid-schedule
+    }
+    ArtifactDb reopened(root_);
+    EXPECT_EQ(reopened.recordCount(), 4u);
+    EXPECT_EQ(reopened.topK(task_, 10).size(), 4u);
+}
+
+TEST_F(ArtifactDbTest, MeasureCacheSnapshotIsByteDeterministic)
+{
+    const std::string snapshot =
+        (fs::path(root_) / "measure_cache.bin").string();
+    MeasureCache cache;
+    Rng rng(19);
+    for (int i = 0; i < 50; ++i) {
+        cache.insert(rng(), rng(), 1e-4 + i * 1e-7);
+    }
+    // A cached failed launch must survive the round trip too.
+    cache.insert(42, 43, std::numeric_limits<double>::infinity());
+
+    ArtifactDb db(root_);
+    db.saveMeasureCache(cache);
+    const std::string first = readFileBytes(snapshot);
+    ASSERT_FALSE(first.empty());
+    // Saving the same state again produces identical bytes (the merge with
+    // the existing file is idempotent).
+    db.saveMeasureCache(cache);
+    EXPECT_TRUE(readFileBytes(snapshot) == first);
+
+    // save -> load -> save round-trips to identical bytes.
+    MeasureCache restored;
+    EXPECT_EQ(db.loadMeasureCache(&restored), 51u);
+    const std::string root2 = root_ + "_roundtrip";
+    fs::remove_all(root2);
+    {
+        ArtifactDb db2(root2);
+        db2.saveMeasureCache(restored);
+        EXPECT_TRUE(
+            readFileBytes(
+                (fs::path(root2) / "measure_cache.bin").string()) == first);
+    }
+    fs::remove_all(root2);
+
+    // Values survive: a hit returns the stored latency, including +inf.
+    double latency = 0.0;
+    EXPECT_TRUE(restored.lookup(42, 43, &latency));
+    EXPECT_TRUE(std::isinf(latency));
+}
+
+TEST_F(ArtifactDbTest, CorruptSnapshotLoadsNothing)
+{
+    ArtifactDb db(root_);
+    const std::string snapshot =
+        (fs::path(root_) / "measure_cache.bin").string();
+    {
+        std::ofstream out(snapshot, std::ios::binary);
+        out << "not a snapshot";
+    }
+    MeasureCache cache;
+    EXPECT_EQ(db.loadMeasureCache(&cache), 0u);
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(ArtifactDbTest, ModelParamsRoundTrip)
+{
+    ArtifactDb db(root_);
+    const std::vector<double> params{1.5, -2.25, 0.0, 1e-17};
+    const std::string key = artifactModelKey("Pruner", "PaCM", "a100");
+    db.saveModelParams(key, params);
+    const auto loaded = db.tryLoadModelParams(key);
+    ASSERT_TRUE(loaded.has_value());
+    ASSERT_EQ(loaded->size(), params.size());
+    for (size_t i = 0; i < params.size(); ++i) {
+        EXPECT_DOUBLE_EQ((*loaded)[i], params[i]);
+    }
+    EXPECT_FALSE(db.tryLoadModelParams("missing/key").has_value());
+}
+
+TEST_F(ArtifactDbTest, ConcurrentAppendsFromPoolWorkers)
+{
+    ArtifactDb db(root_);
+    ThreadPool pool(4);
+    const int jobs = 8, per_job = 25;
+    std::vector<std::future<void>> futures;
+    for (int j = 0; j < jobs; ++j) {
+        futures.push_back(pool.submit([&, j]() {
+            const auto task =
+                makeGemm("conc_" + std::to_string(j), 1, 96, 96, 96);
+            ScheduleSampler sampler(task, dev_);
+            Rng rng(100 + j);
+            for (int i = 0; i < per_job; ++i) {
+                db.appendRecords(
+                    {{task, sampler.sample(rng), 1e-4 + i * 1e-6}});
+            }
+        }));
+    }
+    for (auto& f : futures) {
+        f.get();
+    }
+    // Distinct schedules per task are random; the log retains every line
+    // that improved or introduced a pair, and the count matches a reopen.
+    const size_t count = db.recordCount();
+    EXPECT_GT(count, 0u);
+    ArtifactDb reopened(root_);
+    EXPECT_EQ(reopened.recordCount(), count);
+    for (int j = 0; j < jobs; ++j) {
+        const auto task =
+            makeGemm("conc_" + std::to_string(j), 1, 96, 96, 96);
+        EXPECT_TRUE(reopened.bestSchedule(task).has_value());
+    }
+}
+
+TEST_F(ArtifactDbTest, WarmStartReplaysIntoRunState)
+{
+    ArtifactDb db(root_);
+    const auto records = sampleRecords(task_, 5, 23, /*base=*/5e-4);
+    db.appendRecords(records);
+    MeasureCache cache;
+    cache.insert(task_.hash(), records[0].sch.hash(), records[0].latency);
+    db.saveMeasureCache(cache);
+
+    TuningRecordDb run_db;
+    MeasureCache run_cache;
+    const auto stats =
+        db.warmStart({task_}, &run_db, &run_cache, nullptr, "");
+    EXPECT_EQ(stats.records_replayed, 5u);
+    EXPECT_EQ(stats.cache_entries, 1u);
+    EXPECT_FALSE(stats.model_restored);
+    EXPECT_EQ(run_db.size(), 5u);
+    EXPECT_DOUBLE_EQ(run_db.bestLatency(task_), records[0].latency);
+    // Worst-first replay: the incumbent is the most recent record.
+    EXPECT_DOUBLE_EQ(run_db.recentWindow(1)[0].latency,
+                     records[0].latency);
+}
+
+/** End-to-end: a second tuning run against a populated store performs
+ *  zero simulated measurements for previously-seen pairs and reproduces
+ *  the first run's result exactly. */
+TEST_F(ArtifactDbTest, SecondTuneRunReplaysFromCache)
+{
+    Workload workload;
+    workload.name = "adb_e2e";
+    workload.tasks.push_back({task_, 1.0});
+
+    TuneOptions options;
+    options.rounds = 6;
+    options.seed = 9;
+    options.artifact_db_path = root_;
+
+    PrunerPolicy first(dev_, {});
+    const TuneResult run1 = first.tune(workload, options);
+    EXPECT_GT(run1.simulated_trials, 0u);
+
+    PrunerPolicy second(dev_, {});
+    const TuneResult run2 = second.tune(workload, options);
+    EXPECT_EQ(run2.simulated_trials, 0u);
+    EXPECT_EQ(run2.cache_hits, run2.trials);
+    EXPECT_DOUBLE_EQ(run2.final_latency, run1.final_latency);
+    // Cache hits charge neither compilation nor measurement.
+    EXPECT_DOUBLE_EQ(run2.measurement_s, 0.0);
+    EXPECT_DOUBLE_EQ(run2.compile_s, 0.0);
+    EXPECT_LT(run2.total_time_s, run1.total_time_s);
+}
+
+/** The offline warm-start: replaying stored records changes the search
+ *  trajectory but never loses the stored incumbent. */
+TEST_F(ArtifactDbTest, WarmStartRecordsKeepsIncumbent)
+{
+    Workload workload;
+    workload.name = "adb_warm";
+    workload.tasks.push_back({task_, 1.0});
+
+    TuneOptions options;
+    options.rounds = 6;
+    options.seed = 9;
+    options.artifact_db_path = root_;
+
+    PrunerPolicy first(dev_, {});
+    const TuneResult run1 = first.tune(workload, options);
+
+    options.warm_start_records = true;
+    PrunerPolicy second(dev_, {});
+    const TuneResult run2 = second.tune(workload, options);
+    EXPECT_GT(run2.warm_records, 0u);
+    EXPECT_LE(run2.final_latency, run1.final_latency);
+}
+
+TEST(ArtifactSessionTest, DisabledSessionIsNoOp)
+{
+    ArtifactSession session(nullptr, "");
+    EXPECT_FALSE(session.enabled());
+    Workload workload;
+    workload.name = "noop";
+    workload.tasks.push_back({makeGemm("noop", 1, 64, 64, 64), 1.0});
+    TuningRecordDb db;
+    const auto stats =
+        session.warmStart(workload, &db, nullptr, nullptr, "");
+    EXPECT_EQ(stats.records_replayed, 0u);
+    session.finish(nullptr, nullptr);
+    EXPECT_EQ(db.size(), 0u);
+}
+
+} // namespace
+} // namespace pruner

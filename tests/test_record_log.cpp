@@ -5,6 +5,7 @@
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <locale>
 
 #include "pruner.hpp"
 #include "sched/sampler.hpp"
@@ -86,6 +87,134 @@ TEST_F(RecordLogTest, MissingFileThrows)
 {
     EXPECT_THROW(loadRecordLog("/tmp/definitely_missing.log", {task_}),
                  FatalError);
+}
+
+TEST_F(RecordLogTest, TryLoadMissingFileReturnsNullopt)
+{
+    const auto missing =
+        tryLoadRecordLog("/tmp/definitely_missing.log", {task_});
+    EXPECT_FALSE(missing.has_value());
+}
+
+TEST_F(RecordLogTest, TryLoadPresentFileLoadsRecords)
+{
+    ScheduleSampler sampler(task_, dev_);
+    Rng rng(13);
+    appendRecordLog(path_, {{task_, sampler.sample(rng), 1e-4}});
+    const auto loaded = tryLoadRecordLog(path_, {task_});
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->size(), 1u);
+}
+
+/** Round-trip fuzz: every truncation of a valid line must parse cleanly
+ *  or be rejected — never crash — and mutated garbage must not corrupt
+ *  the records around it. */
+TEST_F(RecordLogTest, FuzzTruncatedAndMutatedLines)
+{
+    ScheduleSampler sampler(task_, dev_);
+    Rng rng(15);
+    std::vector<MeasuredRecord> records;
+    for (int i = 0; i < 8; ++i) {
+        records.push_back({task_, sampler.sample(rng), 1e-4 + i * 1e-6});
+    }
+    const std::string valid_line = recordToLine(records[0]);
+
+    // Every prefix of a valid line either parses or is skipped.
+    for (size_t cut = 0; cut <= valid_line.size(); ++cut) {
+        MeasuredRecord out;
+        EXPECT_NO_THROW(
+            lineToRecord(valid_line.substr(0, cut), {task_}, &out));
+    }
+
+    // Interleave valid records with mutated garbage; only the valid ones
+    // survive loading.
+    appendRecordLog(path_, records);
+    {
+        std::ofstream app(path_, std::ios::app);
+        for (size_t cut = 1; cut + 1 < valid_line.size(); cut += 5) {
+            app << valid_line.substr(0, cut) << "\n";
+        }
+        std::string flipped = valid_line;
+        for (size_t pos = 0; pos < flipped.size(); pos += 7) {
+            std::string corrupted = flipped;
+            corrupted[pos] = static_cast<char>(corrupted[pos] ^ 0x15);
+            app << corrupted << "\n";
+        }
+        app << "\t\t\t\n" << std::string(512, 'x') << "\n";
+    }
+    std::vector<MeasuredRecord> loaded;
+    EXPECT_NO_THROW(loaded = loadRecordLog(path_, {task_}));
+    // All original records are among the survivors (some corrupted lines
+    // may still parse as valid records, e.g. a flipped latency digit).
+    ASSERT_GE(loaded.size(), records.size());
+    for (size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(loaded[i].sch, records[i].sch);
+        EXPECT_DOUBLE_EQ(loaded[i].latency, records[i].latency);
+    }
+}
+
+/** The codec must produce and parse classic-locale numbers regardless of
+ *  the global locale (a comma-decimal locale must not corrupt logs). */
+TEST_F(RecordLogTest, LocaleIndependentDoubleFormatting)
+{
+    ScheduleSampler sampler(task_, dev_);
+    Rng rng(17);
+    const std::vector<double> latencies{1e-30, 1.2345678901234567e-4,
+                                        9.87e+12, 3.0000000000000004e-7};
+    std::vector<MeasuredRecord> records;
+    for (double latency : latencies) {
+        records.push_back({task_, sampler.sample(rng), latency});
+    }
+
+    // Try a comma-decimal locale; environments without it still exercise
+    // the classic-locale round trip below.
+    const std::locale old_locale = std::locale();
+    bool switched = false;
+    for (const char* name : {"de_DE.UTF-8", "de_DE", "fr_FR.UTF-8"}) {
+        try {
+            std::locale::global(std::locale(name));
+            switched = true;
+            break;
+        } catch (const std::exception&) {
+        }
+    }
+
+    appendRecordLog(path_, records);
+    const auto loaded = loadRecordLog(path_, {task_});
+    std::locale::global(old_locale);
+    (void)switched;
+
+    ASSERT_EQ(loaded.size(), records.size());
+    for (size_t i = 0; i < records.size(); ++i) {
+        EXPECT_DOUBLE_EQ(loaded[i].latency, records[i].latency);
+    }
+    // The latency field must use '.'-decimals, never locale separators
+    // (the schedule field uses commas as factor separators by design).
+    const std::string line = recordToLine(records[0]);
+    const std::string latency_field = line.substr(line.rfind('\t') + 1);
+    EXPECT_EQ(latency_field.find(','), std::string::npos);
+    EXPECT_NE(latency_field.find('.'), std::string::npos);
+}
+
+/** Large random round trip: serialize/parse many sampled schedules with
+ *  17-digit latencies and verify bit-exact recovery. */
+TEST_F(RecordLogTest, RoundTripFuzzManySchedules)
+{
+    ScheduleSampler sampler(task_, dev_);
+    Rng rng(19);
+    std::vector<MeasuredRecord> records;
+    for (int i = 0; i < 200; ++i) {
+        records.push_back(
+            {task_, sampler.sample(rng),
+             std::exp(rng.uniformReal(-20.0, 5.0))});
+    }
+    appendRecordLog(path_, records);
+    const auto loaded = loadRecordLog(path_, {task_});
+    ASSERT_EQ(loaded.size(), records.size());
+    for (size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(loaded[i].sch, records[i].sch);
+        EXPECT_DOUBLE_EQ(loaded[i].latency, records[i].latency);
+    }
 }
 
 TEST_F(RecordLogTest, ReplayWarmStartsDb)

@@ -61,12 +61,22 @@ capTasks(Workload w, size_t max_tasks)
     return w;
 }
 
-/** One worker pool shared by a bench binary's tuning runs (the bench
- *  hosts have few cores, so two jobs run at a time). */
+/** One worker pool shared by a bench binary's tuning runs. Defaults to 2
+ *  workers (the reference bench hosts have few cores); hosts with more
+ *  cores can raise it with PRUNER_BENCH_WORKERS=<n>. Values change only
+ *  wall-clock, never results. */
 inline ThreadPool&
 benchPool()
 {
-    static ThreadPool pool(2);
+    static ThreadPool pool([]() -> size_t {
+        if (const char* env = std::getenv("PRUNER_BENCH_WORKERS")) {
+            const int workers = std::atoi(env);
+            if (workers > 0) {
+                return static_cast<size_t>(workers);
+            }
+        }
+        return 2;
+    }());
     return pool;
 }
 

@@ -25,7 +25,11 @@ struct LseConfig
     size_t spec_size = 512;   ///< |S_spec| (paper's default)
     /** Optional pool: SA fitness evaluation is sliced across workers
      *  (values identical to serial; see EvolutionConfig::score_pool).
-     *  Borrowed, not owned; set per tuning run. */
+     *  Borrowed, not owned; set per tuning run. In a sharded multi-task
+     *  round this is the same pool the verify stage measures through and
+     *  the async trainer updates on — explore() only submits short
+     *  scoring slices, so draft fan-out, measurement, and a concurrent
+     *  model update interleave on it instead of draining it per stage. */
     ThreadPool* score_pool = nullptr;
 };
 
@@ -41,6 +45,11 @@ class LatentScheduleExplorer
     /**
      * Draft S_spec for @p task: run the SA-guided GA and return the
      * highest-fitness schedules, best first.
+     *
+     * Const and reentrant: the explorer holds no mutable state, so one
+     * instance drafts every task of a sharded round back to back (and
+     * never touches the learned cost model — which is what lets an async
+     * model update overlap the whole draft stage).
      *
      * @param seeds   incumbent schedules injected into the population
      * @param n_evaluated  out: number of SA evaluations (for SimClock)

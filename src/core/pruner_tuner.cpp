@@ -1,7 +1,9 @@
 #include "core/pruner_tuner.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "cost/async_trainer.hpp"
 #include "db/artifact_session.hpp"
 #include "support/logging.hpp"
 
@@ -66,101 +68,169 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
         }
     }
 
+    // Async online training: the update of round r runs on the verify
+    // pool while round r+1 drafts (LSE never touches PaCM), and its
+    // weights swap in before the next verify pass. MoA's Siamese update
+    // is inherently sequential and stays synchronous.
+    std::unique_ptr<AsyncModelTrainer> async_trainer;
+    if (opts.async_training && env.pool() != nullptr && !config_.use_moa) {
+        async_trainer =
+            std::make_unique<AsyncModelTrainer>(*model_, *env.pool());
+    }
+
     const auto& constants = opts.constants;
     for (int round = 0; round < opts.rounds; ++round) {
-        const size_t idx = scheduler.nextTask(db, rng);
-        const SubgraphTask& task = workload.tasks[idx].task;
-        ScheduleSampler sampler(task, device_);
-
-        std::vector<Schedule> seeds;
-        if (const Schedule* best = db.bestSchedule(task)) {
-            seeds.push_back(*best);
+        const auto picked = scheduler.nextTasks(
+            static_cast<size_t>(std::max(opts.tasks_per_round, 1)), db,
+            rng);
+        if (picked.size() > 1) {
+            // The serial loop never charges task_switch_overhead (its
+            // calibrated per-round constants absorb it, and K=1 stays
+            // byte-identical to it). A sharded round pays one explicit
+            // switch charge for hopping across K tasks — flat per round
+            // regardless of K, and far below the compile slots the
+            // round-wide overlap saves.
+            clock.charge(CostCategory::Other,
+                         constants.task_switch_overhead);
         }
 
+        struct RoundSlot
+        {
+            size_t task_index;
+            const SubgraphTask* task;
+            ScheduleSampler sampler;
+            std::vector<Schedule> draft;
+            std::vector<Schedule> to_measure;
+        };
+        std::vector<RoundSlot> slots;
+        slots.reserve(picked.size());
+
         // --- Draft ------------------------------------------------------
-        std::vector<Schedule> draft;
-        if (config_.use_lse) {
-            size_t sa_evals = 0;
-            const auto spec = explorer_.explore(task, lse_config, seeds,
-                                                rng, &sa_evals);
-            clock.charge(CostCategory::Exploration,
-                         static_cast<double>(sa_evals) *
-                             constants.sa_eval_per_candidate);
-            draft.reserve(spec.size() + config_.random_init);
-            for (const auto& scored : spec) {
-                draft.push_back(scored.sch);
+        // All of the round's tasks draft back to back on the main thread
+        // (the SA fitness fan-out inside explore() uses the shared pool);
+        // in async mode the previous round's model update trains
+        // concurrently on that same pool.
+        for (const size_t idx : picked) {
+            const SubgraphTask& task = workload.tasks[idx].task;
+            RoundSlot slot{idx, &task, ScheduleSampler(task, device_),
+                           {}, {}};
+
+            std::vector<Schedule> seeds;
+            if (const Schedule* best = db.bestSchedule(task)) {
+                seeds.push_back(*best);
             }
-            // Algorithm 1, line 10: union with random-init schedules to
-            // keep exploration randomness.
-            const auto random_part =
-                sampler.sampleMany(rng, config_.random_init);
-            draft.insert(draft.end(), random_part.begin(),
-                         random_part.end());
-            // Mutation neighbourhood of the incumbent: judged by PaCM, so
-            // hill-climbing is not capped by the draft model's biases.
-            if (!seeds.empty() && config_.incumbent_mutants > 0) {
-                ScheduleMutator mutator(task, device_);
-                for (size_t m = 0; m < config_.incumbent_mutants; ++m) {
-                    draft.push_back(mutator.mutate(seeds.front(), rng));
+
+            std::vector<Schedule>& draft = slot.draft;
+            if (config_.use_lse) {
+                size_t sa_evals = 0;
+                const auto spec = explorer_.explore(task, lse_config,
+                                                    seeds, rng, &sa_evals);
+                clock.charge(CostCategory::Exploration,
+                             static_cast<double>(sa_evals) *
+                                 constants.sa_eval_per_candidate);
+                draft.reserve(spec.size() + config_.random_init);
+                for (const auto& scored : spec) {
+                    draft.push_back(scored.sch);
+                }
+                // Algorithm 1, line 10: union with random-init schedules
+                // to keep exploration randomness.
+                const auto random_part =
+                    slot.sampler.sampleMany(rng, config_.random_init);
+                draft.insert(draft.end(), random_part.begin(),
+                             random_part.end());
+                // Mutation neighbourhood of the incumbent: judged by
+                // PaCM, so hill-climbing is not capped by the draft
+                // model's biases.
+                if (!seeds.empty() && config_.incumbent_mutants > 0) {
+                    ScheduleMutator mutator(task, device_);
+                    for (size_t m = 0; m < config_.incumbent_mutants;
+                         ++m) {
+                        draft.push_back(
+                            mutator.mutate(seeds.front(), rng));
+                    }
+                }
+            } else {
+                // Ablation "w/o LSE": the learned model must score the
+                // entire evolutionary population, exactly like the
+                // Ansor-style loop. The model is stable during the run:
+                // async updates install before this point.
+                if (async_trainer != nullptr) {
+                    async_trainer->install();
+                }
+                EvolutionarySearch evo(task, device_);
+                EvolutionConfig evo_config;
+                evo_config.out_size = config_.lse.spec_size;
+                evo_config.score_pool = env.pool();
+                size_t evals = 0;
+                const auto ranked = evo.run(
+                    evo_config,
+                    [&](const std::vector<Schedule>& cands) {
+                        return model_->predict(task, cands);
+                    },
+                    seeds, rng, &evals);
+                clock.charge(CostCategory::Exploration,
+                             static_cast<double>(evals) *
+                                 model_->evalCostPerCandidate());
+                draft.reserve(ranked.size());
+                for (const auto& scored : ranked) {
+                    draft.push_back(scored.sch);
                 }
             }
-        } else {
-            // Ablation "w/o LSE": the learned model must score the entire
-            // evolutionary population, exactly like the Ansor-style loop.
-            EvolutionarySearch evo(task, device_);
-            EvolutionConfig evo_config;
-            evo_config.out_size = config_.lse.spec_size;
-            evo_config.score_pool = env.pool();
-            size_t evals = 0;
-            const auto ranked = evo.run(
-                evo_config,
-                [&](const std::vector<Schedule>& cands) {
-                    return model_->predict(task, cands);
-                },
-                seeds, rng, &evals);
-            clock.charge(CostCategory::Exploration,
-                         static_cast<double>(evals) *
-                             model_->evalCostPerCandidate());
-            draft.reserve(ranked.size());
-            for (const auto& scored : ranked) {
-                draft.push_back(scored.sch);
-            }
+            slots.push_back(std::move(slot));
         }
 
         // --- Verify -----------------------------------------------------
+        // Swap in the weights trained during the draft stage: PaCM must
+        // be stable for the whole verify pass (never torn mid-round).
+        if (async_trainer != nullptr) {
+            async_trainer->install();
+        }
         // PaCM scores only the drafted candidates; slices fan out across
         // the pool (identical values to one serial predict call).
-        const std::vector<double> scores = scoreChunked(
-            [&](const std::vector<Schedule>& cands) {
-                return model_->predict(task, cands);
-            },
-            draft, env.pool());
-        clock.charge(CostCategory::Exploration,
-                     static_cast<double>(draft.size()) *
-                         model_->evalCostPerCandidate());
-        std::vector<ScoredSchedule> ranked;
-        ranked.reserve(draft.size());
-        for (size_t i = 0; i < draft.size(); ++i) {
-            ranked.push_back({draft[i], scores[i]});
-        }
-        std::sort(ranked.begin(), ranked.end(),
-                  [](const auto& a, const auto& b) {
-                      return a.score > b.score;
-                  });
-
-        // --- Measure ------------------------------------------------------
-        const auto to_measure = selectForMeasurement(
-            ranked, task, db, sampler,
-            static_cast<size_t>(opts.measures_per_round), opts.eps_greedy,
-            rng);
-        const auto latencies = measurer.measureBatch(task, to_measure);
-        for (size_t i = 0; i < to_measure.size(); ++i) {
-            if (std::isfinite(latencies[i])) {
-                db.add({task, to_measure[i], latencies[i]});
+        for (RoundSlot& slot : slots) {
+            const std::vector<double> scores = scoreChunked(
+                [&](const std::vector<Schedule>& cands) {
+                    return model_->predict(*slot.task, cands);
+                },
+                slot.draft, env.pool());
+            clock.charge(CostCategory::Exploration,
+                         static_cast<double>(slot.draft.size()) *
+                             model_->evalCostPerCandidate());
+            std::vector<ScoredSchedule> ranked;
+            ranked.reserve(slot.draft.size());
+            for (size_t i = 0; i < slot.draft.size(); ++i) {
+                ranked.push_back({slot.draft[i], scores[i]});
             }
+            std::sort(ranked.begin(), ranked.end(),
+                      [](const auto& a, const auto& b) {
+                          return a.score > b.score;
+                      });
+            slot.to_measure = selectForMeasurement(
+                ranked, *slot.task, db, slot.sampler,
+                static_cast<size_t>(opts.measures_per_round),
+                opts.eps_greedy, rng);
         }
-        artifacts.onMeasured(task, to_measure, latencies);
-        scheduler.observe(idx, db.bestLatency(task));
+
+        // --- Measure ----------------------------------------------------
+        // One pooled pass over every task's batch: the pool never drains
+        // at task boundaries and compilation overlaps round-wide.
+        std::vector<RoundBatch> batches;
+        batches.reserve(slots.size());
+        for (const RoundSlot& slot : slots) {
+            batches.push_back({slot.task, &slot.to_measure});
+        }
+        const auto round_latencies = measurer.measureRound(batches);
+        for (size_t s = 0; s < slots.size(); ++s) {
+            const RoundSlot& slot = slots[s];
+            const auto& latencies = round_latencies[s];
+            for (size_t i = 0; i < slot.to_measure.size(); ++i) {
+                if (std::isfinite(latencies[i])) {
+                    db.add({*slot.task, slot.to_measure[i], latencies[i]});
+                }
+            }
+            artifacts.onMeasured(*slot.task, slot.to_measure, latencies);
+            scheduler.observe(slot.task_index, db.bestLatency(*slot.task));
+        }
 
         // --- Online model update -----------------------------------------
         if (opts.online_training && config_.online_finetune &&
@@ -179,7 +249,14 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
                                  model_->trainCostPerRound());
                 }
             } else {
-                model_->train(db.recentWindow(768), opts.train_epochs);
+                if (async_trainer != nullptr) {
+                    async_trainer->beginUpdate(db.recentWindow(768),
+                                               opts.train_epochs);
+                } else {
+                    model_->train(db.recentWindow(768), opts.train_epochs);
+                }
+                // Simulated cost is charged where synchronous training
+                // would pay it, so async mode never changes the clock.
                 clock.charge(CostCategory::Training,
                              model_->trainCostPerRound());
             }
@@ -189,6 +266,11 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
         if (std::isfinite(e2e)) {
             result.curve.push_back({clock.now(), e2e});
         }
+    }
+    // Drain the last in-flight update so the persisted checkpoint (and
+    // any post-run prediction) sees the final weights.
+    if (async_trainer != nullptr) {
+        async_trainer->install();
     }
 
     result.best_per_task.reserve(workload.tasks.size());

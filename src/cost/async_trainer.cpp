@@ -1,0 +1,49 @@
+#include "cost/async_trainer.hpp"
+
+#include "support/logging.hpp"
+
+namespace pruner {
+
+AsyncModelTrainer::AsyncModelTrainer(CostModel& front, ThreadPool& pool)
+    : front_(&front), pool_(&pool), back_(front.clone())
+{
+}
+
+AsyncModelTrainer::~AsyncModelTrainer()
+{
+    if (inflight_.valid()) {
+        inflight_.wait();
+    }
+}
+
+void
+AsyncModelTrainer::beginUpdate(std::vector<MeasuredRecord> window,
+                               int epochs)
+{
+    PRUNER_CHECK(!inflight_.valid());
+    // The window snapshot is owned by the job: the caller's record db can
+    // keep growing while the update trains.
+    auto snapshot = std::make_shared<std::vector<MeasuredRecord>>(
+        std::move(window));
+    ++launched_;
+    inflight_ = pool_->submit([this, snapshot, epochs]() {
+        const double loss = back_->train(*snapshot, epochs);
+        staged_.publish(back_->getParams());
+        return loss;
+    });
+}
+
+bool
+AsyncModelTrainer::install()
+{
+    if (!inflight_.valid()) {
+        return false;
+    }
+    last_loss_ = inflight_.get(); // waits; rethrows training exceptions
+    if (staged_.consume(&scratch_)) {
+        front_->setParams(scratch_);
+    }
+    return true;
+}
+
+} // namespace pruner

@@ -1,0 +1,34 @@
+#include "nn/param_buffer.hpp"
+
+namespace pruner {
+
+void
+DoubleBufferedParams::publish(std::vector<double> params)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const size_t back = 1 - front_;
+    buffers_[back] = std::move(params);
+    front_ = back;
+    ++version_;
+}
+
+bool
+DoubleBufferedParams::consume(std::vector<double>* out)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (version_ == consumed_) {
+        return false;
+    }
+    consumed_ = version_;
+    *out = buffers_[front_];
+    return true;
+}
+
+uint64_t
+DoubleBufferedParams::version() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return version_;
+}
+
+} // namespace pruner

@@ -1,0 +1,48 @@
+#pragma once
+
+/**
+ * @file param_buffer.hpp
+ * Double-buffered flat-parameter hand-off between an asynchronous trainer
+ * job and the search loop.
+ *
+ * The trainer publishes complete weight snapshots (the flat vectors of
+ * CostModel::getParams / nn/serialize); the search loop consumes the
+ * newest one at a round boundary. publish() fills the back buffer and
+ * flips it to the front in one critical section, so a consumer can never
+ * observe a torn (partially written) snapshot — it sees either the
+ * previous complete version or the new one, never a mix.
+ */
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace pruner {
+
+/** Two-slot atomic weight snapshot exchange (single writer, any readers). */
+class DoubleBufferedParams
+{
+  public:
+    /** Writer side: stage @p params as the back buffer and flip it to the
+     *  front. The expensive part (producing the vector) happens on the
+     *  caller's thread outside the lock; the critical section is one
+     *  vector move plus an index flip. */
+    void publish(std::vector<double> params);
+
+    /** Reader side: copy the front snapshot into @p out if a version newer
+     *  than the last successful consume() exists; returns false (leaving
+     *  @p out untouched) otherwise. */
+    bool consume(std::vector<double>* out);
+
+    /** Number of snapshots published so far. */
+    uint64_t version() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<double> buffers_[2];
+    size_t front_ = 0;
+    uint64_t version_ = 0;
+    uint64_t consumed_ = 0;
+};
+
+} // namespace pruner

@@ -45,52 +45,76 @@ std::vector<double>
 Measurer::measureBatch(const SubgraphTask& task,
                        const std::vector<Schedule>& candidates)
 {
-    const uint64_t batch_seed = hashCombine(batch_seed_base_, batch_index_++);
-    const uint64_t task_hash = task.hash();
-    const size_t n = candidates.size();
-    std::vector<double> out(n, 0.0);
+    // A single-task round: one code path guarantees the serial loop and
+    // the sharded pipeline stay value-identical.
+    return std::move(measureRound({RoundBatch{&task, &candidates}}).front());
+}
 
-    // Hash every candidate once up front; measureBatch is the per-round
-    // hot path and the pre-pass, noise seeding, and cache insert all key
-    // off the same hash.
-    std::vector<uint64_t> sched_hashes(n);
-    for (size_t i = 0; i < n; ++i) {
-        sched_hashes[i] = candidates[i].hash();
-    }
+std::vector<std::vector<double>>
+Measurer::measureRound(const std::vector<RoundBatch>& round)
+{
+    const size_t n_batches = round.size();
+    std::vector<std::vector<double>> out(n_batches);
+    std::vector<uint64_t> batch_seeds(n_batches);
+    std::vector<uint64_t> task_hashes(n_batches);
+    std::vector<std::vector<uint64_t>> sched_hashes(n_batches);
+    std::vector<std::vector<size_t>> alias(n_batches);
 
-    // Sequential pre-pass: resolve cache hits and in-batch duplicates so
-    // the worker phase only sees distinct unmeasured candidates. Done on
-    // the calling thread, so hit/miss accounting is deterministic.
-    std::vector<size_t> jobs;
-    jobs.reserve(n);
-    std::vector<size_t> alias(n, kNotAliased);
-    std::unordered_map<uint64_t, size_t> first_seen;
+    // Sequential pre-pass, one sub-batch at a time: draw the per-batch
+    // seed, hash every candidate once (the noise seeding and cache insert
+    // key off the same hash), resolve cache hits and in-batch duplicates.
+    // Done on the calling thread, so seed consumption and hit/miss
+    // accounting are deterministic and identical to sequential
+    // measureBatch calls.
+    struct Job
+    {
+        size_t batch;
+        size_t index;
+    };
+    std::vector<Job> jobs;
+    size_t n_total = 0;
     size_t hits = 0;
-    for (size_t i = 0; i < n; ++i) {
-        double cached = 0.0;
-        if (cache_ != nullptr &&
-            cache_->lookup(task_hash, sched_hashes[i], &cached)) {
-            out[i] = cached;
-            ++hits;
-            continue;
+    for (size_t b = 0; b < n_batches; ++b) {
+        const auto& candidates = *round[b].candidates;
+        const size_t n = candidates.size();
+        batch_seeds[b] = hashCombine(batch_seed_base_, batch_index_++);
+        task_hashes[b] = round[b].task->hash();
+        out[b].assign(n, 0.0);
+        sched_hashes[b].resize(n);
+        alias[b].assign(n, kNotAliased);
+        n_total += n;
+        std::unordered_map<uint64_t, size_t> first_seen;
+        for (size_t i = 0; i < n; ++i) {
+            sched_hashes[b][i] = candidates[i].hash();
+            double cached = 0.0;
+            if (cache_ != nullptr &&
+                cache_->lookup(task_hashes[b], sched_hashes[b][i],
+                               &cached)) {
+                out[b][i] = cached;
+                ++hits;
+                continue;
+            }
+            const auto [it, inserted] = first_seen.emplace(
+                hashCombine(task_hashes[b], sched_hashes[b][i]), i);
+            if (!inserted) {
+                alias[b][i] = it->second;
+                continue;
+            }
+            jobs.push_back({b, i});
         }
-        const auto [it, inserted] =
-            first_seen.emplace(hashCombine(task_hash, sched_hashes[i]), i);
-        if (!inserted) {
-            alias[i] = it->second;
-            continue;
-        }
-        jobs.push_back(i);
     }
 
-    // Worker phase. Each candidate's noise stream is derived from the
-    // batch seed, its index, and its content hash — never from the shared
-    // rng_ — so values are identical for any worker count.
+    // Worker phase: every task's misses fan out through one pool pass, so
+    // the pool never drains at task boundaries. Each candidate's noise
+    // stream is derived from its sub-batch seed, its index, and its
+    // content hash — never from the shared rng_ — so values are identical
+    // for any worker count.
     const auto run_one = [&](size_t job) {
-        const size_t i = jobs[job];
-        Rng trial_rng(hashCombine(hashCombine(batch_seed, i),
-                                  sched_hashes[i]));
-        out[i] = simulator_.measure(task, candidates[i], trial_rng);
+        const auto [b, i] = jobs[job];
+        Rng trial_rng(hashCombine(hashCombine(batch_seeds[b], i),
+                                  sched_hashes[b][i]));
+        out[b][i] = simulator_.measure(*round[b].task,
+                                       (*round[b].candidates)[i], trial_rng);
         if (trial_latency_.count() > 0) {
             std::this_thread::sleep_for(trial_latency_);
         }
@@ -103,26 +127,31 @@ Measurer::measureBatch(const SubgraphTask& task,
         }
     }
 
-    for (const size_t i : jobs) {
+    for (const auto& [b, i] : jobs) {
         if (cache_ != nullptr) {
-            cache_->insert(task_hash, sched_hashes[i], out[i]);
+            cache_->insert(task_hashes[b], sched_hashes[b][i], out[b][i]);
         }
     }
-    for (size_t i = 0; i < n; ++i) {
-        if (alias[i] != kNotAliased) {
-            out[i] = out[alias[i]];
-        }
-        if (!std::isfinite(out[i])) {
-            ++failed_trials_;
+    for (size_t b = 0; b < n_batches; ++b) {
+        for (size_t i = 0; i < out[b].size(); ++i) {
+            if (alias[b][i] != kNotAliased) {
+                out[b][i] = out[b][alias[b][i]];
+            }
+            if (!std::isfinite(out[b][i])) {
+                ++failed_trials_;
+            }
         }
     }
-    total_trials_ += n;
+    total_trials_ += n_total;
     cache_hits_ += hits;
     simulated_trials_ += jobs.size();
 
     if (clock_ != nullptr && !jobs.empty()) {
-        // Compilation is host work and overlaps across workers; the device
-        // itself runs one measurement at a time. Cache hits charge nothing.
+        // Compilation is host work and overlaps across workers — across
+        // *all* the round's tasks at once, which is where a sharded round
+        // beats per-task batches (one ceil instead of one per task). The
+        // device itself runs one measurement at a time. Cache hits charge
+        // nothing.
         const auto misses = static_cast<double>(jobs.size());
         const auto lanes = static_cast<double>(workers());
         clock_->charge(CostCategory::Compile,

@@ -23,6 +23,14 @@
 
 namespace pruner {
 
+/** One task's slice of a sharded multi-task measurement round (borrowed
+ *  views; both pointers must outlive the measureRound call). */
+struct RoundBatch
+{
+    const SubgraphTask* task = nullptr;
+    const std::vector<Schedule>* candidates = nullptr;
+};
+
 /** Measurement executor for one device. */
 class Measurer
 {
@@ -70,6 +78,26 @@ class Measurer
      */
     std::vector<double> measureBatch(const SubgraphTask& task,
                                      const std::vector<Schedule>& candidates);
+
+    /**
+     * Sharded multi-task round: measure every task's batch through one
+     * worker-pool pass, so the pool never drains at task boundaries.
+     *
+     * Values are bit-identical to calling measureBatch() once per entry in
+     * the same order (each sub-batch consumes one per-batch seed and keeps
+     * its own in-batch dedup), and — like measureBatch — independent of
+     * pool presence and worker count. What changes is the accounting and
+     * the wall-clock: host-side compilation overlaps across *all* the
+     * round's cache misses (ceil(total_misses / workers) x
+     * compile_per_trial, instead of one ceil per task), which is the
+     * amortization a single-task round loop cannot get.
+     *
+     * Tasks in one round are expected to be distinct (TaskScheduler::
+     * nextTasks guarantees it); duplicates across sub-batches are not
+     * deduplicated within the round, only through the cache.
+     */
+    std::vector<std::vector<double>>
+    measureRound(const std::vector<RoundBatch>& round);
 
     /** Adaptive variant (the Adatune baseline): early-terminated
      *  measurements cost @p time_scale of a full trial but carry

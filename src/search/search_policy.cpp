@@ -1,9 +1,11 @@
 #include "search/search_policy.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <unordered_set>
 
+#include "cost/async_trainer.hpp"
 #include "db/artifact_session.hpp"
 #include "support/logging.hpp"
 
@@ -139,48 +141,117 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
         }
     }
 
+    // Async online training: the update runs on the verify pool between
+    // rounds and installs before the next round's first prediction. The
+    // evolution loop predicts throughout its draft, so the overlap window
+    // is smaller than Pruner's model-free LSE draft, but the update still
+    // shares the pool instead of blocking the loop.
+    std::unique_ptr<AsyncModelTrainer> async_trainer;
+    if (opts.async_training && env.pool() != nullptr) {
+        async_trainer =
+            std::make_unique<AsyncModelTrainer>(*model_, *env.pool());
+    }
+
     for (int round = 0; round < opts.rounds; ++round) {
-        const size_t idx = scheduler.nextTask(db, rng);
-        const SubgraphTask& task = workload.tasks[idx].task;
-        ScheduleSampler sampler(task, device_);
-        EvolutionarySearch evo(task, device_);
-
-        std::vector<Schedule> seeds;
-        if (const Schedule* best = db.bestSchedule(task)) {
-            seeds.push_back(*best);
-        }
-        size_t evals = 0;
-        const auto ranked = evo.run(
-            run_config.evolution,
-            [&](const std::vector<Schedule>& cands) {
-                return scoreCandidates(task, cands);
-            },
-            seeds, rng, &evals);
-        clock.charge(CostCategory::Exploration,
-                     static_cast<double>(evals) *
-                         model_->evalCostPerCandidate());
-
-        const auto to_measure = selectForMeasurement(
-            ranked, task, db, sampler,
-            static_cast<size_t>(opts.measures_per_round), opts.eps_greedy,
+        const auto picked = scheduler.nextTasks(
+            static_cast<size_t>(std::max(opts.tasks_per_round, 1)), db,
             rng);
-        const auto latencies =
-            config_.adaptive_measurement
-                ? measurer.measureAdaptive(task, to_measure,
-                                           config_.adaptive_time_scale,
-                                           config_.adaptive_extra_noise)
-                : measurer.measureBatch(task, to_measure);
-        for (size_t i = 0; i < to_measure.size(); ++i) {
-            if (std::isfinite(latencies[i])) {
-                db.add({task, to_measure[i], latencies[i]});
-            }
+        if (picked.size() > 1) {
+            // The serial loop never charges task_switch_overhead (its
+            // calibrated per-round constants absorb it, and K=1 stays
+            // byte-identical to it). A sharded round pays one explicit
+            // switch charge for hopping across K tasks — flat per round
+            // regardless of K, and far below the compile slots the
+            // round-wide overlap saves.
+            clock.charge(CostCategory::Other,
+                         opts.constants.task_switch_overhead);
         }
-        artifacts.onMeasured(task, to_measure, latencies);
-        scheduler.observe(idx, db.bestLatency(task));
+        // Round-boundary weight swap, before the round's first predict.
+        if (async_trainer != nullptr) {
+            async_trainer->install();
+        }
+
+        struct RoundSlot
+        {
+            size_t task_index;
+            const SubgraphTask* task;
+            std::vector<Schedule> to_measure;
+        };
+        std::vector<RoundSlot> slots;
+        slots.reserve(picked.size());
+
+        // Draft + verify every picked task (the evolution's fitness
+        // slices fan out across the shared pool), collecting each task's
+        // measurement batch.
+        for (const size_t idx : picked) {
+            const SubgraphTask& task = workload.tasks[idx].task;
+            ScheduleSampler sampler(task, device_);
+            EvolutionarySearch evo(task, device_);
+
+            std::vector<Schedule> seeds;
+            if (const Schedule* best = db.bestSchedule(task)) {
+                seeds.push_back(*best);
+            }
+            size_t evals = 0;
+            const auto ranked = evo.run(
+                run_config.evolution,
+                [&](const std::vector<Schedule>& cands) {
+                    return scoreCandidates(task, cands);
+                },
+                seeds, rng, &evals);
+            clock.charge(CostCategory::Exploration,
+                         static_cast<double>(evals) *
+                             model_->evalCostPerCandidate());
+
+            slots.push_back(
+                {idx, &task,
+                 selectForMeasurement(
+                     ranked, task, db, sampler,
+                     static_cast<size_t>(opts.measures_per_round),
+                     opts.eps_greedy, rng)});
+        }
+
+        // Measure the whole round through one pooled pass (adaptive
+        // measurement keeps its serial on-device loop by design).
+        std::vector<std::vector<double>> round_latencies;
+        if (config_.adaptive_measurement) {
+            round_latencies.reserve(slots.size());
+            for (const RoundSlot& slot : slots) {
+                round_latencies.push_back(measurer.measureAdaptive(
+                    *slot.task, slot.to_measure,
+                    config_.adaptive_time_scale,
+                    config_.adaptive_extra_noise));
+            }
+        } else {
+            std::vector<RoundBatch> batches;
+            batches.reserve(slots.size());
+            for (const RoundSlot& slot : slots) {
+                batches.push_back({slot.task, &slot.to_measure});
+            }
+            round_latencies = measurer.measureRound(batches);
+        }
+        for (size_t s = 0; s < slots.size(); ++s) {
+            const RoundSlot& slot = slots[s];
+            const auto& latencies = round_latencies[s];
+            for (size_t i = 0; i < slot.to_measure.size(); ++i) {
+                if (std::isfinite(latencies[i])) {
+                    db.add({*slot.task, slot.to_measure[i], latencies[i]});
+                }
+            }
+            artifacts.onMeasured(*slot.task, slot.to_measure, latencies);
+            scheduler.observe(slot.task_index, db.bestLatency(*slot.task));
+        }
 
         if (opts.online_training && config_.online_training &&
             db.size() >= 16) {
-            model_->train(db.recentWindow(768), opts.train_epochs);
+            if (async_trainer != nullptr) {
+                async_trainer->beginUpdate(db.recentWindow(768),
+                                           opts.train_epochs);
+            } else {
+                model_->train(db.recentWindow(768), opts.train_epochs);
+            }
+            // Charged where synchronous training would pay it, so async
+            // mode never changes the simulated clock.
             clock.charge(CostCategory::Training,
                          model_->trainCostPerRound());
         }
@@ -189,6 +260,11 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
         if (std::isfinite(e2e)) {
             result.curve.push_back({clock.now(), e2e});
         }
+    }
+    // Drain the last in-flight update before the divergence probe and the
+    // checkpoint: both must see the final weights.
+    if (async_trainer != nullptr) {
+        async_trainer->install();
     }
 
     result.best_per_task.reserve(workload.tasks.size());

@@ -45,6 +45,24 @@ struct TuneOptions
     /** LRU (task, schedule) measurement cache: re-visited candidates are
      *  free. Deterministic for a fixed seed. */
     bool measure_cache = true;
+    /** Tasks per sharded round (clamped to [1, numTasks]). Each round the
+     *  gradient scheduler picks the top-K tasks; their drafts verify and
+     *  measure through one shared pool pass, so host compilation overlaps
+     *  across task boundaries and the pool never drains between tasks. A
+     *  multi-task round charges a single SimClock task_switch_overhead
+     *  for hopping across its K tasks; single-task rounds stay on one
+     *  task and charge none. 1 (the default) reproduces the serial
+     *  single-task loop byte-identically. */
+    int tasks_per_round = 1;
+    /** Overlap online cost-model updates with the next round's draft
+     *  stage: the update trains a back-buffer clone of the model as a job
+     *  on the verify pool, and its weights swap in atomically before the
+     *  next verify pass (double-buffered, never torn). Results are
+     *  identical to synchronous training — the clone carries the model's
+     *  RNG lineage — so only wall-clock behaviour changes. Needs
+     *  measure_workers > 1 (silently synchronous otherwise); MoA's
+     *  Siamese update always stays synchronous. */
+    bool async_training = false;
     /** Persistent artifact store (src/db): directory opened for this run.
      *  Empty = no persistence. */
     std::string artifact_db_path;

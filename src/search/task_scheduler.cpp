@@ -1,7 +1,9 @@
 #include "search/task_scheduler.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numeric>
 
 #include "support/logging.hpp"
 
@@ -18,42 +20,86 @@ TaskScheduler::TaskScheduler(const Workload& workload)
 size_t
 TaskScheduler::nextTask(const TuningRecordDb& records, Rng& rng)
 {
+    return nextTasks(1, records, rng).front();
+}
+
+std::vector<size_t>
+TaskScheduler::nextTasks(size_t k, const TuningRecordDb& records, Rng& rng)
+{
     const size_t n = workload_->tasks.size();
+    k = std::clamp<size_t>(k, 1, n);
+    std::vector<size_t> out;
+    out.reserve(k);
     // First pass: round-robin until every task has been visited once, so
-    // the end-to-end latency is defined.
-    if (round_robin_cursor_ < n) {
-        return round_robin_cursor_++;
+    // the end-to-end latency is defined. A round takes the next k
+    // unvisited tasks; the gradient phase never mixes into the same round
+    // (keeps the pass deterministic and rng-free).
+    while (round_robin_cursor_ < n && out.size() < k) {
+        out.push_back(round_robin_cursor_++);
     }
-    // Epsilon-greedy over the estimated objective gradient.
+    if (!out.empty()) {
+        return out;
+    }
+    // Epsilon-greedy over the estimated objective gradient: at most one
+    // slot per round is random, the rest go to the top gradients.
+    std::vector<char> taken(n, 0);
     if (rng.bernoulli(0.05)) {
-        return rng.index(n);
+        const size_t pick = rng.index(n);
+        taken[pick] = 1;
+        out.push_back(pick);
     }
-    size_t best_idx = 0;
-    double best_gain = -1.0;
+    if (out.size() == k) {
+        return out;
+    }
+    std::vector<double> gains(n, 0.0);
     for (size_t i = 0; i < n; ++i) {
         const auto& inst = workload_->tasks[i];
         const double best = records.bestLatency(inst.task);
         if (!std::isfinite(best)) {
-            return i; // still unmeasured (all its trials failed): retry
-        }
-        // Recent improvement rate from this task's round history.
-        double rate = 0.15; // optimistic prior for barely-tuned tasks
-        const auto& h = history_[i];
-        if (h.size() >= 2) {
-            const double prev = h[h.size() - 2];
-            const double curr = h.back();
-            rate = std::max((prev - curr) / prev, 0.0);
+            // Still unmeasured (all its trials failed): retry first.
+            gains[i] = std::numeric_limits<double>::infinity();
+            continue;
         }
         // Exploration bonus decays with rounds spent on the task.
         const double explore =
             0.05 / std::sqrt(static_cast<double>(rounds_[i] + 1));
-        const double gain = inst.weight * best * (rate + explore);
-        if (gain > best_gain) {
-            best_gain = gain;
-            best_idx = i;
+        gains[i] = inst.weight * best * (improvementRate(i) + explore);
+    }
+    std::vector<size_t> order;
+    order.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        if (!taken[i]) {
+            order.push_back(i);
         }
     }
-    return best_idx;
+    // Ties break toward the lower index (stable sort over an index-sorted
+    // range), matching the serial scheduler's strict-greater scan.
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) { return gains[a] > gains[b]; });
+    for (size_t j = 0; j < order.size() && out.size() < k; ++j) {
+        out.push_back(order[j]);
+    }
+    return out;
+}
+
+double
+TaskScheduler::improvementRate(size_t index) const
+{
+    PRUNER_CHECK(index < history_.size());
+    const auto& h = history_[index];
+    if (h.size() < 2) {
+        return 0.15; // optimistic prior for barely-tuned tasks
+    }
+    const double prev = h[h.size() - 2];
+    const double curr = h.back();
+    const double rate = (prev - curr) / prev;
+    // Guard the division: prev == 0 or a +inf entry (an all-failed round
+    // observed bestLatency() == +inf) yields NaN/Inf, and NaN > best_gain
+    // is always false — the task would silently never win the ranking.
+    if (!std::isfinite(rate)) {
+        return 0.0;
+    }
+    return std::max(rate, 0.0);
 }
 
 void
@@ -64,7 +110,12 @@ TaskScheduler::warmStart(const TuningRecordDb& records)
     for (size_t i = 0; i < n; ++i) {
         const double best = records.bestLatency(workload_->tasks[i].task);
         if (std::isfinite(best)) {
-            history_[i].push_back(best);
+            // Seed the rate history settled at the warm incumbent (two
+            // equal entries => rate 0): a restored task resumes from a
+            // converged state instead of sitting on the optimistic prior
+            // until its second observe, which would overrate every warm
+            // task identically.
+            history_[i].assign(2, best);
         } else {
             all_measured = false;
         }

@@ -9,6 +9,12 @@
  * whose estimated latency-reduction gradient (weight x incumbent latency x
  * recent improvement rate, plus an exploration bonus for under-tuned
  * tasks) is largest.
+ *
+ * Two front-ends share one ranking: nextTask() picks the single best task
+ * (the classic serial loop) and nextTasks(k) picks the top-k distinct
+ * tasks for a sharded multi-task round whose drafts verify through one
+ * shared worker pool. nextTasks(1) draws exactly the same random numbers
+ * and returns exactly the same task as nextTask().
  */
 
 #include "ir/workload_registry.hpp"
@@ -26,15 +32,37 @@ class TaskScheduler
     /** Choose the task index to tune next. */
     size_t nextTask(const TuningRecordDb& records, Rng& rng);
 
+    /**
+     * Batch round API: choose up to @p k distinct task indices for one
+     * sharded round, highest estimated gradient first. @p k is clamped to
+     * [1, numTasks()]. During the initial round-robin pass a round takes
+     * the next (up to) k unvisited tasks; afterwards one epsilon draw
+     * decides whether the first slot is random, and the remaining slots go
+     * to the top gradients. k == 1 is byte-identical to nextTask().
+     */
+    std::vector<size_t> nextTasks(size_t k, const TuningRecordDb& records,
+                                  Rng& rng);
+
     /** Record that a round for task @p index finished with the given best
      *  latency (feeds the improvement-rate estimate). */
     void observe(size_t index, double best_latency);
 
     /** Seed the scheduler from warm-started records: tasks with a stored
      *  incumbent skip the initial round-robin pass (when every task has
-     *  one) and start their improvement-rate history at that incumbent
-     *  instead of being treated as untouched. */
+     *  one) and start their improvement-rate history settled at that
+     *  incumbent instead of being treated as untouched. */
     void warmStart(const TuningRecordDb& records);
+
+    /**
+     * Recent improvement-rate estimate for task @p index: the optimistic
+     * prior until two rounds of history exist, then the last round's
+     * relative incumbent improvement clamped to finite non-negative
+     * values. The clamp matters: a zero or +inf history entry (an
+     * all-failed round observes bestLatency() == +inf) would otherwise
+     * yield a NaN rate, and since NaN compares false against every gain
+     * the task would silently never be scheduled again.
+     */
+    double improvementRate(size_t index) const;
 
     size_t numTasks() const { return workload_->tasks.size(); }
 

@@ -12,9 +12,11 @@
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <functional>
 #include <future>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -32,6 +34,30 @@
 
 namespace pruner {
 namespace bench {
+
+/** Monotonic wall-clock in seconds (shared bench timer). */
+inline double
+nowSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Best-of-@p reps wall-clock of @p fn, in seconds (single-shot timing is
+ *  too noisy on shared hosts). */
+template <typename Fn>
+inline double
+bestOfSeconds(const Fn& fn, int reps = 5)
+{
+    double best = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < reps; ++r) {
+        const double start = nowSeconds();
+        fn();
+        best = std::min(best, nowSeconds() - start);
+    }
+    return best;
+}
 
 /** Rounds for one tuning run, honouring PRUNER_BENCH_SCALE. */
 inline int

@@ -29,9 +29,11 @@
 #include <cstring>
 #include <filesystem>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/pruner_tuner.hpp"
 #include "core/symbol_analyzer.hpp"
 #include "db/artifact_db.hpp"
@@ -43,6 +45,7 @@
 #include "ir/workload_registry.hpp"
 #include "sched/mutator.hpp"
 #include "sched/sampler.hpp"
+#include "search/evolution.hpp"
 #include "search/measurer.hpp"
 #include "sim/gpu_simulator.hpp"
 #include "support/thread_pool.hpp"
@@ -59,13 +62,7 @@ doNotOptimize(const T& value)
     asm volatile("" : : "g"(&value) : "memory");
 }
 
-double
-nowSeconds()
-{
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now().time_since_epoch())
-        .count();
-}
+using bench::nowSeconds;
 
 /** Run fn repeatedly for >= min_time_s (and >= 10 iterations); returns
  *  nanoseconds per call. */
@@ -155,22 +152,25 @@ componentBenchmarks()
     {
         const MlpCostModel model(dev, 1);
         reportRow("MLP predict (1 cand)", timePerCall([&]() {
-                      doNotOptimize(
-                          model.predict(task, {schedules[i++ % 8]}));
+                      doNotOptimize(model.predict(
+                          task, std::span<const Schedule>(
+                                    &schedules[i++ % 8], 1)));
                   }));
     }
     {
         const PaCMModel model(dev, 1);
         reportRow("PaCM predict (1 cand)", timePerCall([&]() {
-                      doNotOptimize(
-                          model.predict(task, {schedules[i++ % 8]}));
+                      doNotOptimize(model.predict(
+                          task, std::span<const Schedule>(
+                                    &schedules[i++ % 8], 1)));
                   }));
     }
     {
         const TlpCostModel model(dev, 1);
         reportRow("TLP predict (1 cand)", timePerCall([&]() {
-                      doNotOptimize(
-                          model.predict(task, {schedules[i++ % 8]}));
+                      doNotOptimize(model.predict(
+                          task, std::span<const Schedule>(
+                                    &schedules[i++ % 8], 1)));
                   }));
     }
     {
@@ -191,6 +191,64 @@ componentBenchmarks()
                   }));
     }
     std::printf("\n");
+}
+
+int
+batchedInferenceBenchmark()
+{
+    // The verify-stage engine: a 512-candidate population scored through
+    // one packed GEMM per layer (predict) vs the per-candidate reference
+    // loop (predictReference). Values must be byte-identical — batching
+    // never changes a single bit, at any batch size or worker count — so
+    // only the wall-clock is allowed to move.
+    const size_t n = 512;
+    const auto& task = benchTask();
+    const auto& dev = benchDevice();
+    const auto candidates = benchSchedules(n);
+
+    std::printf("batched cost-model inference: %zu-candidate predict, "
+                "per-candidate loop vs one-GEMM-per-population engine\n",
+                n);
+
+    int status = 0;
+    ThreadPool pool(4);
+    auto section = [&](const char* name, const auto& model) {
+        std::vector<double> ref, batched;
+        const double ref_s =
+            bench::bestOfSeconds(
+            [&]() { ref = model.predictReference(task, candidates); });
+        const double batched_s =
+            bench::bestOfSeconds(
+            [&]() { batched = model.predict(task, candidates); });
+        // 4 workers, 64-candidate sub-batches (the policy-loop default).
+        std::vector<double> chunked;
+        const double chunked_s = bench::bestOfSeconds([&]() {
+            chunked = scoreChunked(
+                [&](std::span<const Schedule> cands) {
+                    return model.predict(task, cands);
+                },
+                candidates, &pool, 64);
+        });
+        const bool identical = batched == ref && chunked == ref;
+        char label[64];
+        std::snprintf(label, sizeof(label), "%s reference loop", name);
+        std::printf("  %-28s %10.2f ms\n", label, ref_s * 1e3);
+        std::snprintf(label, sizeof(label), "%s batched (1 thread)", name);
+        std::printf("  %-28s %10.2f ms   %.2fx speedup\n", label,
+                    batched_s * 1e3, ref_s / batched_s);
+        std::snprintf(label, sizeof(label), "%s batched (4 workers)", name);
+        std::printf("  %-28s %10.2f ms   %.2fx speedup   values %s\n",
+                    label, chunked_s * 1e3, ref_s / chunked_s,
+                    identical ? "identical" : "DIVERGED");
+        if (!identical) {
+            status = 1;
+        }
+    };
+    section("PaCM", PaCMModel(dev, 1));
+    section("MLP", MlpCostModel(dev, 1));
+    section("TLP", TlpCostModel(dev, 1));
+    std::printf("\n");
+    return status;
 }
 
 /** Wall-clock of one measureBatch call over @p candidates. */
@@ -430,10 +488,11 @@ asyncTrainingBenchmark()
 int
 main()
 {
-    std::printf("micro_overhead: component costs + batched measurement "
-                "overlap\n\n");
+    std::printf("micro_overhead: component costs + batched inference + "
+                "batched measurement overlap\n\n");
     componentBenchmarks();
-    int status = measureBatchBenchmark();
+    int status = batchedInferenceBenchmark();
+    status |= measureBatchBenchmark();
     std::printf("\n");
     status |= shardedRoundBenchmark();
     status |= asyncTrainingBenchmark();

@@ -24,7 +24,7 @@ LatentScheduleExplorer::explore(const SubgraphTask& task,
     evo_config.score_pool = config.score_pool;
     // Fitness = hardware-fitness score from the draft model (CSA in
     // Algorithm 2): no learned model anywhere in this loop.
-    const ScoreFn fitness = [&](const std::vector<Schedule>& cands) {
+    const ScoreFn fitness = [&](std::span<const Schedule> cands) {
         std::vector<double> scores;
         scores.reserve(cands.size());
         for (const auto& sch : cands) {

@@ -161,10 +161,12 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
                 EvolutionConfig evo_config;
                 evo_config.out_size = config_.lse.spec_size;
                 evo_config.score_pool = env.pool();
+                evo_config.score_chunk =
+                    static_cast<size_t>(std::max(opts.predict_batch, 1));
                 size_t evals = 0;
                 const auto ranked = evo.run(
                     evo_config,
-                    [&](const std::vector<Schedule>& cands) {
+                    [&](std::span<const Schedule> cands) {
                         return model_->predict(task, cands);
                     },
                     seeds, rng, &evals);
@@ -185,14 +187,16 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
         if (async_trainer != nullptr) {
             async_trainer->install();
         }
-        // PaCM scores only the drafted candidates; slices fan out across
-        // the pool (identical values to one serial predict call).
+        // PaCM scores only the drafted candidates; predict_batch-sized
+        // sub-spans fan out across the pool, each one batched GEMM pass
+        // (identical values to one serial predict call).
         for (RoundSlot& slot : slots) {
             const std::vector<double> scores = scoreChunked(
-                [&](const std::vector<Schedule>& cands) {
+                [&](std::span<const Schedule> cands) {
                     return model_->predict(*slot.task, cands);
                 },
-                slot.draft, env.pool());
+                slot.draft, env.pool(),
+                static_cast<size_t>(std::max(opts.predict_batch, 1)));
             clock.charge(CostCategory::Exploration,
                          static_cast<double>(slot.draft.size()) *
                              model_->evalCostPerCandidate());

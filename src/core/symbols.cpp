@@ -39,10 +39,27 @@ tcAlign(int64_t tile)
     return static_cast<double>(tile) / static_cast<double>(rounded);
 }
 
+/** Per-thread axis buffers: extraction is called once per candidate in the
+ *  batched scoring hot path, so the temporaries must not churn the heap. */
+struct AxisScratch
+{
+    std::vector<double> padded_sp, block_tile, reg_tile, block_count;
+    std::vector<double> padded_rd, inner_rd;
+};
+
 } // namespace
 
 SymbolSet
 extractSymbols(const SubgraphTask& task, const Schedule& sch)
+{
+    SymbolSet sym;
+    extractSymbolsInto(task, sch, sym);
+    return sym;
+}
+
+void
+extractSymbolsInto(const SubgraphTask& task, const Schedule& sch,
+                   SymbolSet& out)
 {
     PRUNER_CHECK(sch.spatial().size() == task.spatial.size());
     PRUNER_CHECK(sch.reduction().size() == task.reduction.size());
@@ -50,9 +67,31 @@ extractSymbols(const SubgraphTask& task, const Schedule& sch)
     const size_t n_sp = task.spatial.size();
     const size_t n_rd = task.reduction.size();
 
+    // Reset the output in place: scalars re-initialized, statement storage
+    // capacity kept.
+    SymbolSet& sym = out;
+    sym.s1_l0_alloc = 0.0;
+    sym.s2_l0_comp = 0.0;
+    sym.s3_l1_alloc = 0.0;
+    sym.s4_threads = 0.0;
+    sym.s6_blocks = 0.0;
+    sym.tc_alignment = 1.0;
+    sym.statements.clear();
+
     // Per-axis padded extents, block tiles, thread register tiles.
-    std::vector<double> padded_sp(n_sp), block_tile(n_sp), reg_tile(n_sp),
-        block_count(n_sp);
+    static thread_local AxisScratch scratch;
+    std::vector<double>& padded_sp = scratch.padded_sp;
+    std::vector<double>& block_tile = scratch.block_tile;
+    std::vector<double>& reg_tile = scratch.reg_tile;
+    std::vector<double>& block_count = scratch.block_count;
+    std::vector<double>& padded_rd = scratch.padded_rd;
+    std::vector<double>& inner_rd = scratch.inner_rd;
+    padded_sp.resize(n_sp);
+    block_tile.resize(n_sp);
+    reg_tile.resize(n_sp);
+    block_count.resize(n_sp);
+    padded_rd.resize(n_rd);
+    inner_rd.resize(n_rd);
     for (size_t a = 0; a < n_sp; ++a) {
         const auto& s = sch.spatial()[a];
         padded_sp[a] = static_cast<double>(s.product());
@@ -61,14 +100,12 @@ extractSymbols(const SubgraphTask& task, const Schedule& sch)
         reg_tile[a] = static_cast<double>(s.regTile());
         block_count[a] = static_cast<double>(s.f[kBlock]);
     }
-    std::vector<double> padded_rd(n_rd), inner_rd(n_rd);
     for (size_t r = 0; r < n_rd; ++r) {
         const auto& k = sch.reduction()[r];
         padded_rd[r] = static_cast<double>(k.product());
         inner_rd[r] = static_cast<double>(k.innerProduct());
     }
 
-    SymbolSet sym;
     sym.s4_threads = static_cast<double>(sch.threadsPerBlock());
     sym.s6_blocks = static_cast<double>(sch.numBlocks());
 
@@ -190,8 +227,6 @@ extractSymbols(const SubgraphTask& task, const Schedule& sch)
         }
         sym.tc_alignment = align;
     }
-
-    return sym;
 }
 
 } // namespace pruner

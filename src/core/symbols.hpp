@@ -66,4 +66,13 @@ struct SymbolSet
  *  be structurally valid for the task. */
 SymbolSet extractSymbols(const SubgraphTask& task, const Schedule& sch);
 
+/**
+ * extractSymbols() into a caller-owned set: @p out is fully overwritten,
+ * but its statements capacity (and a per-thread axis scratch) is reused, so
+ * batch extraction loops perform no steady-state heap allocation. Values
+ * are identical to extractSymbols().
+ */
+void extractSymbolsInto(const SubgraphTask& task, const Schedule& sch,
+                        SymbolSet& out);
+
 } // namespace pruner

@@ -15,6 +15,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -43,10 +44,15 @@ class CostModel
     virtual std::string name() const = 0;
 
     /** Scores for candidate schedules of one task; higher = faster. Must
-     *  be const and reentrant (used inside search loops). */
-    virtual std::vector<double> predict(
-        const SubgraphTask& task,
-        const std::vector<Schedule>& candidates) const = 0;
+     *  be const and reentrant (used concurrently by pool workers inside
+     *  search loops). Every model scores the whole span through its
+     *  batched inference engine — one packed GEMM per layer — and the
+     *  result is byte-identical to scoring candidates one at a time, at
+     *  any batch size (the per-candidate reference path each model keeps
+     *  as predictReference()). */
+    virtual std::vector<double>
+    predict(const SubgraphTask& task,
+            std::span<const Schedule> candidates) const = 0;
 
     /** Train on measured records (grouped by task internally). Returns
      *  the final average ranking loss. */

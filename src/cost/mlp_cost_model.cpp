@@ -21,14 +21,51 @@ double
 MlpCostModel::scoreOne(const SubgraphTask& task, const Schedule& sch) const
 {
     const Matrix feats = extractStatementFeatures(task, sch, device_);
-    const Matrix embedded = embed_.infer(feats);
+    const Matrix embedded = embed_.inferReference(feats);
     const Matrix pooled = embedded.colSum();
-    return head_.infer(pooled).at(0, 0);
+    return head_.inferReference(pooled).at(0, 0);
+}
+
+void
+MlpCostModel::forwardBatch(const Matrix& feats, const SegmentTable& segs,
+                           Workspace& ws, double* out) const
+{
+    const Matrix& embedded = embed_.inferBatch(feats, ws);
+    Matrix& pooled = ws.alloc(segs.count(), kHidden);
+    segmentColSum(embedded, segs, pooled);
+    const Matrix& scores = head_.inferBatch(pooled, ws);
+    for (size_t i = 0; i < segs.count(); ++i) {
+        out[i] = scores.at(i, 0);
+    }
+}
+
+void
+MlpCostModel::predictInto(const SubgraphTask& task,
+                          std::span<const Schedule> candidates,
+                          Workspace& ws, double* out) const
+{
+    if (candidates.empty()) {
+        return;
+    }
+    ws.reset();
+    Matrix& feats = ws.alloc(0, kStatementFeatureDim);
+    SegmentTable& segs = ws.allocSegments();
+    extractStatementFeaturesBatch(task, candidates, device_, feats, segs);
+    forwardBatch(feats, segs, ws, out);
 }
 
 std::vector<double>
 MlpCostModel::predict(const SubgraphTask& task,
-                      const std::vector<Schedule>& candidates) const
+                      std::span<const Schedule> candidates) const
+{
+    std::vector<double> scores(candidates.size());
+    predictInto(task, candidates, threadLocalWorkspace(), scores.data());
+    return scores;
+}
+
+std::vector<double>
+MlpCostModel::predictReference(const SubgraphTask& task,
+                               std::span<const Schedule> candidates) const
 {
     std::vector<double> scores;
     scores.reserve(candidates.size());
@@ -48,17 +85,40 @@ MlpCostModel::train(const std::vector<MeasuredRecord>& records, int epochs)
     Adam adam(params, 1e-3);
     adam.zeroGrad();
 
-    auto infer_scores = [&](const std::vector<size_t>& subset) {
-        std::vector<double> scores;
-        scores.reserve(subset.size());
-        for (size_t idx : subset) {
-            scores.push_back(scoreOne(records[idx].task, records[idx].sch));
+    // Per-record feature memo: extract once, gather per epoch. The scores
+    // (and so the whole training trajectory) are byte-identical to
+    // re-extracting and scoring one record at a time.
+    Matrix memo(0, kStatementFeatureDim);
+    SegmentTable memo_segs;
+    {
+        SymbolSet sym;
+        for (const auto& rec : records) {
+            extractSymbolsInto(rec.task, rec.sch, sym);
+            const size_t row0 = memo.rows();
+            memo.resize(row0 + sym.statements.size(), kStatementFeatureDim);
+            writeStatementFeatureRows(sym, rec.task, rec.sch, device_, memo,
+                                      row0);
+            memo_segs.append(sym.statements.size());
         }
+    }
+    Workspace ws;
+
+    auto infer_scores = [&](const std::vector<size_t>& subset) {
+        ws.reset();
+        Matrix& feats = ws.alloc(0, kStatementFeatureDim);
+        SegmentTable& segs = ws.allocSegments();
+        for (size_t idx : subset) {
+            feats.appendRows(memo, memo_segs.begin(idx),
+                             memo_segs.rows(idx));
+            segs.append(memo_segs.rows(idx));
+        }
+        std::vector<double> scores(subset.size());
+        forwardBatch(feats, segs, ws, scores.data());
         return scores;
     };
     auto fit_one = [&](size_t idx, double dscore) {
-        const Matrix feats = extractStatementFeatures(
-            records[idx].task, records[idx].sch, device_);
+        const Matrix feats =
+            memo.sliceRows(memo_segs.begin(idx), memo_segs.rows(idx));
         const Matrix embedded = embed_.forward(feats);
         const Matrix pooled = embedded.colSum();
         head_.forward(pooled);

@@ -10,6 +10,7 @@
 #include "cost/cost_model.hpp"
 #include "feature/statement_features.hpp"
 #include "nn/layers.hpp"
+#include "nn/workspace.hpp"
 
 namespace pruner {
 
@@ -24,7 +25,7 @@ class MlpCostModel : public CostModel
     std::string name() const override { return "TenSetMLP"; }
     std::vector<double>
     predict(const SubgraphTask& task,
-            const std::vector<Schedule>& candidates) const override;
+            std::span<const Schedule> candidates) const override;
     double train(const std::vector<MeasuredRecord>& records,
                  int epochs) override;
     double evalCostPerCandidate() const override;
@@ -33,8 +34,25 @@ class MlpCostModel : public CostModel
     void setParams(const std::vector<double>& flat) override;
     std::unique_ptr<CostModel> clone() const override;
 
+    /** Batched scoring into a caller-owned buffer: features pack into one
+     *  matrix, every layer runs as one GEMM, all intermediates come from
+     *  @p ws. Zero heap allocations once @p ws is warm; byte-identical to
+     *  predictReference(). @p out must hold candidates.size() doubles. */
+    void predictInto(const SubgraphTask& task,
+                     std::span<const Schedule> candidates, Workspace& ws,
+                     double* out) const;
+
+    /** Per-candidate reference path (the pre-batching implementation),
+     *  kept for the identity tests and benches. */
+    std::vector<double>
+    predictReference(const SubgraphTask& task,
+                     std::span<const Schedule> candidates) const;
+
   private:
     double scoreOne(const SubgraphTask& task, const Schedule& sch) const;
+    /** Pooled batched forward over packed features -> n scores. */
+    void forwardBatch(const Matrix& feats, const SegmentTable& segs,
+                      Workspace& ws, double* out) const;
     std::vector<ParamRef> paramRefs();
 
     DeviceSpec device_;

@@ -31,7 +31,8 @@ PaCMModel::scoreOne(const SubgraphTask& task, const Schedule& sch) const
     if (cfg_.use_statement_features) {
         const Matrix stmt_feats =
             extractStatementFeatures(task, sch, device_);
-        const Matrix pooled = stmt_embed_.infer(stmt_feats).colSum();
+        const Matrix pooled =
+            stmt_embed_.inferReference(stmt_feats).colSum();
         for (size_t c = 0; c < kHidden; ++c) {
             fused.at(0, c) = pooled.at(0, c);
         }
@@ -39,23 +40,123 @@ PaCMModel::scoreOne(const SubgraphTask& task, const Schedule& sch) const
     if (cfg_.use_dataflow_features) {
         const Matrix flow_feats =
             extractDataflowFeatures(task, sch, device_);
-        const Matrix ctx = attn_.infer(flow_embed_.infer(flow_feats));
+        const Matrix ctx =
+            attn_.inferReference(flow_embed_.inferReference(flow_feats));
         const Matrix pooled = ctx.colMean();
         for (size_t c = 0; c < kHidden; ++c) {
             fused.at(0, kHidden + c) = pooled.at(0, c);
         }
     }
-    return head_.infer(fused).at(0, 0);
+    return head_.inferReference(fused).at(0, 0);
 }
 
 void
-PaCMModel::fitOne(const MeasuredRecord& rec, double dscore)
+PaCMModel::forwardBatch(const Matrix& stmt_pack,
+                        const SegmentTable& stmt_segs,
+                        const Matrix& flow_pack,
+                        const SegmentTable& flow_segs, size_t n,
+                        Workspace& ws, double* out) const
+{
+    Matrix& fused = ws.allocZero(n, 2 * kHidden);
+    if (cfg_.use_statement_features) {
+        PRUNER_CHECK(stmt_segs.count() == n);
+        const Matrix& embedded = stmt_embed_.inferBatch(stmt_pack, ws);
+        Matrix& pooled = ws.alloc(n, kHidden);
+        segmentColSum(embedded, stmt_segs, pooled);
+        for (size_t i = 0; i < n; ++i) {
+            const double* p = pooled.row(i);
+            double* f = fused.row(i);
+            for (size_t c = 0; c < kHidden; ++c) {
+                f[c] = p[c];
+            }
+        }
+    }
+    if (cfg_.use_dataflow_features) {
+        PRUNER_CHECK(flow_segs.count() == n);
+        const Matrix& embedded = flow_embed_.inferBatch(flow_pack, ws);
+        const Matrix& ctx = attn_.inferBatch(embedded, flow_segs, ws);
+        Matrix& pooled = ws.alloc(n, kHidden);
+        segmentColMean(ctx, flow_segs, pooled);
+        for (size_t i = 0; i < n; ++i) {
+            const double* p = pooled.row(i);
+            double* f = fused.row(i);
+            for (size_t c = 0; c < kHidden; ++c) {
+                f[kHidden + c] = p[c];
+            }
+        }
+    }
+    const Matrix& scores = head_.inferBatch(fused, ws);
+    for (size_t i = 0; i < n; ++i) {
+        out[i] = scores.at(i, 0);
+    }
+}
+
+void
+PaCMModel::predictInto(const SubgraphTask& task,
+                       std::span<const Schedule> candidates, Workspace& ws,
+                       double* out) const
+{
+    if (candidates.empty()) {
+        return;
+    }
+    ws.reset();
+    Matrix& stmt_pack = ws.alloc(0, kStatementFeatureDim);
+    SegmentTable& stmt_segs = ws.allocSegments();
+    Matrix& flow_pack = ws.alloc(0, kDataflowFeatureDim);
+    SegmentTable& flow_segs = ws.allocSegments();
+
+    // One symbol extraction feeds both branches (scoreOne pays it twice).
+    static thread_local SymbolSet sym;
+    for (const Schedule& sch : candidates) {
+        extractSymbolsInto(task, sch, sym);
+        if (cfg_.use_statement_features) {
+            const size_t row0 = stmt_pack.rows();
+            stmt_pack.resize(row0 + sym.statements.size(),
+                             kStatementFeatureDim);
+            writeStatementFeatureRows(sym, task, sch, device_, stmt_pack,
+                                      row0);
+            stmt_segs.append(sym.statements.size());
+        }
+        if (cfg_.use_dataflow_features) {
+            const size_t row0 = flow_pack.rows();
+            flow_pack.resize(row0 + kDataflowSteps, kDataflowFeatureDim);
+            writeDataflowFeatureRows(sym, task, sch, device_, flow_pack,
+                                     row0);
+            flow_segs.append(kDataflowSteps);
+        }
+    }
+    forwardBatch(stmt_pack, stmt_segs, flow_pack, flow_segs,
+                 candidates.size(), ws, out);
+}
+
+std::vector<double>
+PaCMModel::predict(const SubgraphTask& task,
+                   std::span<const Schedule> candidates) const
+{
+    std::vector<double> scores(candidates.size());
+    predictInto(task, candidates, threadLocalWorkspace(), scores.data());
+    return scores;
+}
+
+std::vector<double>
+PaCMModel::predictReference(const SubgraphTask& task,
+                            std::span<const Schedule> candidates) const
+{
+    std::vector<double> scores;
+    scores.reserve(candidates.size());
+    for (const auto& sch : candidates) {
+        scores.push_back(scoreOne(task, sch));
+    }
+    return scores;
+}
+
+void
+PaCMModel::fitOne(const Matrix& stmt_feats, const Matrix& flow_feats,
+                  double dscore)
 {
     Matrix fused(1, 2 * kHidden);
     Matrix stmt_embedded;
     if (cfg_.use_statement_features) {
-        const Matrix stmt_feats =
-            extractStatementFeatures(rec.task, rec.sch, device_);
         stmt_embedded = stmt_embed_.forward(stmt_feats);
         const Matrix pooled = stmt_embedded.colSum();
         for (size_t c = 0; c < kHidden; ++c) {
@@ -64,8 +165,6 @@ PaCMModel::fitOne(const MeasuredRecord& rec, double dscore)
     }
     Matrix flow_ctx;
     if (cfg_.use_dataflow_features) {
-        const Matrix flow_feats =
-            extractDataflowFeatures(rec.task, rec.sch, device_);
         flow_ctx = attn_.forward(flow_embed_.forward(flow_feats));
         const Matrix pooled = flow_ctx.colMean();
         for (size_t c = 0; c < kHidden; ++c) {
@@ -100,18 +199,6 @@ PaCMModel::fitOne(const MeasuredRecord& rec, double dscore)
     }
 }
 
-std::vector<double>
-PaCMModel::predict(const SubgraphTask& task,
-                   const std::vector<Schedule>& candidates) const
-{
-    std::vector<double> scores;
-    scores.reserve(candidates.size());
-    for (const auto& sch : candidates) {
-        scores.push_back(scoreOne(task, sch));
-    }
-    return scores;
-}
-
 double
 PaCMModel::train(const std::vector<MeasuredRecord>& records, int epochs)
 {
@@ -121,16 +208,72 @@ PaCMModel::train(const std::vector<MeasuredRecord>& records, int epochs)
     std::vector<ParamRef> params = paramRefs();
     Adam adam(params, 1e-3);
     adam.zeroGrad();
-    auto infer_scores = [&](const std::vector<size_t>& subset) {
-        std::vector<double> scores;
-        scores.reserve(subset.size());
-        for (size_t idx : subset) {
-            scores.push_back(scoreOne(records[idx].task, records[idx].sch));
+
+    // Per-record feature memo shared by every epoch's scoring and fitting:
+    // one symbol extraction per record for both branches, instead of two
+    // extractions per record per epoch.
+    Matrix stmt_memo(0, kStatementFeatureDim);
+    SegmentTable stmt_segs;
+    Matrix flow_memo(0, kDataflowFeatureDim);
+    {
+        SymbolSet sym;
+        for (const auto& rec : records) {
+            extractSymbolsInto(rec.task, rec.sch, sym);
+            if (cfg_.use_statement_features) {
+                const size_t row0 = stmt_memo.rows();
+                stmt_memo.resize(row0 + sym.statements.size(),
+                                 kStatementFeatureDim);
+                writeStatementFeatureRows(sym, rec.task, rec.sch, device_,
+                                          stmt_memo, row0);
+            }
+            stmt_segs.append(cfg_.use_statement_features
+                                 ? sym.statements.size()
+                                 : 0);
+            if (cfg_.use_dataflow_features) {
+                const size_t row0 = flow_memo.rows();
+                flow_memo.resize(row0 + kDataflowSteps,
+                                 kDataflowFeatureDim);
+                writeDataflowFeatureRows(sym, rec.task, rec.sch, device_,
+                                         flow_memo, row0);
+            }
         }
+    }
+    Workspace ws;
+
+    auto infer_scores = [&](const std::vector<size_t>& subset) {
+        ws.reset();
+        Matrix& stmt_pack = ws.alloc(0, kStatementFeatureDim);
+        SegmentTable& spack_segs = ws.allocSegments();
+        Matrix& flow_pack = ws.alloc(0, kDataflowFeatureDim);
+        SegmentTable& fpack_segs = ws.allocSegments();
+        for (size_t idx : subset) {
+            if (cfg_.use_statement_features) {
+                stmt_pack.appendRows(stmt_memo, stmt_segs.begin(idx),
+                                     stmt_segs.rows(idx));
+                spack_segs.append(stmt_segs.rows(idx));
+            }
+            if (cfg_.use_dataflow_features) {
+                flow_pack.appendRows(flow_memo, idx * kDataflowSteps,
+                                     kDataflowSteps);
+                fpack_segs.append(kDataflowSteps);
+            }
+        }
+        std::vector<double> scores(subset.size());
+        forwardBatch(stmt_pack, spack_segs, flow_pack, fpack_segs,
+                     subset.size(), ws, scores.data());
         return scores;
     };
     auto fit_one = [&](size_t idx, double dscore) {
-        fitOne(records[idx], dscore);
+        const Matrix stmt_feats =
+            cfg_.use_statement_features
+                ? stmt_memo.sliceRows(stmt_segs.begin(idx),
+                                      stmt_segs.rows(idx))
+                : Matrix();
+        const Matrix flow_feats =
+            cfg_.use_dataflow_features
+                ? flow_memo.sliceRows(idx * kDataflowSteps, kDataflowSteps)
+                : Matrix();
+        fitOne(stmt_feats, flow_feats, dscore);
     };
     auto on_batch_end = [&]() {
         adam.clipGradNorm(5.0);

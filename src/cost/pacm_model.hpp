@@ -12,6 +12,11 @@
  * Trained with LambdaRank on normalized latency, exactly as the paper
  * describes. Either branch can be disabled for the Table 12 ablations
  * (w/o S.F. and w/o T.D.F.).
+ *
+ * Scoring runs through the batched inference engine: both branches pack
+ * every candidate's rows into one matrix (sharing a single symbol
+ * extraction per candidate), each layer is one GEMM over the population,
+ * and pooling is segment-aware — byte-identical to per-candidate scoring.
  */
 
 #include "cost/cost_model.hpp"
@@ -19,6 +24,7 @@
 #include "feature/statement_features.hpp"
 #include "nn/attention.hpp"
 #include "nn/layers.hpp"
+#include "nn/workspace.hpp"
 
 namespace pruner {
 
@@ -38,7 +44,7 @@ class PaCMModel : public CostModel
     std::string name() const override { return "PaCM"; }
     std::vector<double>
     predict(const SubgraphTask& task,
-            const std::vector<Schedule>& candidates) const override;
+            std::span<const Schedule> candidates) const override;
     double train(const std::vector<MeasuredRecord>& records,
                  int epochs) override;
     double evalCostPerCandidate() const override;
@@ -47,11 +53,31 @@ class PaCMModel : public CostModel
     void setParams(const std::vector<double>& flat) override;
     std::unique_ptr<CostModel> clone() const override;
 
+    /** Batched scoring into a caller-owned buffer (see CostModel::predict
+     *  for the identity contract). Symbols are extracted once per
+     *  candidate and shared by both branches; zero heap allocations once
+     *  @p ws is warm. @p out must hold candidates.size() doubles. */
+    void predictInto(const SubgraphTask& task,
+                     std::span<const Schedule> candidates, Workspace& ws,
+                     double* out) const;
+
+    /** Per-candidate reference path (the pre-batching implementation),
+     *  kept for the identity tests and benches. */
+    std::vector<double>
+    predictReference(const SubgraphTask& task,
+                     std::span<const Schedule> candidates) const;
+
     const PaCMConfig& config() const { return cfg_; }
 
   private:
     double scoreOne(const SubgraphTask& task, const Schedule& sch) const;
-    void fitOne(const MeasuredRecord& rec, double dscore);
+    /** Forward+backward from memoised per-record features. */
+    void fitOne(const Matrix& stmt_feats, const Matrix& flow_feats,
+                double dscore);
+    /** Pooled batched forward over both branches' packed features. */
+    void forwardBatch(const Matrix& stmt_pack, const SegmentTable& stmt_segs,
+                      const Matrix& flow_pack, const SegmentTable& flow_segs,
+                      size_t n, Workspace& ws, double* out) const;
     std::vector<ParamRef> paramRefs();
 
     DeviceSpec device_;

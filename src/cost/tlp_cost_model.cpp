@@ -22,14 +22,63 @@ double
 TlpCostModel::scoreOne(const SubgraphTask& task, const Schedule& sch) const
 {
     const Matrix feats = extractPrimitiveFeatures(task, sch);
-    const Matrix h = attn_.infer(embed_.infer(feats));
-    return head_.infer(h.colMean()).at(0, 0);
+    const Matrix h = attn_.inferReference(embed_.inferReference(feats));
+    return head_.inferReference(h.colMean()).at(0, 0);
 }
 
 void
-TlpCostModel::fitOne(const MeasuredRecord& rec, double dscore)
+TlpCostModel::forwardBatch(const Matrix& feats, const SegmentTable& segs,
+                           Workspace& ws, double* out) const
 {
-    const Matrix feats = extractPrimitiveFeatures(rec.task, rec.sch);
+    const Matrix& embedded = embed_.inferBatch(feats, ws);
+    const Matrix& ctx = attn_.inferBatch(embedded, segs, ws);
+    Matrix& pooled = ws.alloc(segs.count(), kHidden);
+    segmentColMean(ctx, segs, pooled);
+    const Matrix& scores = head_.inferBatch(pooled, ws);
+    for (size_t i = 0; i < segs.count(); ++i) {
+        out[i] = scores.at(i, 0);
+    }
+}
+
+void
+TlpCostModel::predictInto(const SubgraphTask& task,
+                          std::span<const Schedule> candidates,
+                          Workspace& ws, double* out) const
+{
+    if (candidates.empty()) {
+        return;
+    }
+    ws.reset();
+    Matrix& feats = ws.alloc(0, kPrimitiveFeatureDim);
+    SegmentTable& segs = ws.allocSegments();
+    extractPrimitiveFeaturesBatch(task, candidates, feats, segs);
+    forwardBatch(feats, segs, ws, out);
+}
+
+std::vector<double>
+TlpCostModel::predict(const SubgraphTask& task,
+                      std::span<const Schedule> candidates) const
+{
+    std::vector<double> scores(candidates.size());
+    predictInto(task, candidates, threadLocalWorkspace(), scores.data());
+    return scores;
+}
+
+std::vector<double>
+TlpCostModel::predictReference(const SubgraphTask& task,
+                               std::span<const Schedule> candidates) const
+{
+    std::vector<double> scores;
+    scores.reserve(candidates.size());
+    for (const auto& sch : candidates) {
+        scores.push_back(scoreOne(task, sch));
+    }
+    return scores;
+}
+
+void
+TlpCostModel::fitOne(const Matrix& feats, double dscore)
+{
     const Matrix h = attn_.forward(embed_.forward(feats));
     const Matrix pooled = h.colMean();
     head_.forward(pooled);
@@ -47,18 +96,6 @@ TlpCostModel::fitOne(const MeasuredRecord& rec, double dscore)
     embed_.backward(attn_.backward(dh));
 }
 
-std::vector<double>
-TlpCostModel::predict(const SubgraphTask& task,
-                      const std::vector<Schedule>& candidates) const
-{
-    std::vector<double> scores;
-    scores.reserve(candidates.size());
-    for (const auto& sch : candidates) {
-        scores.push_back(scoreOne(task, sch));
-    }
-    return scores;
-}
-
 double
 TlpCostModel::train(const std::vector<MeasuredRecord>& records, int epochs)
 {
@@ -68,16 +105,36 @@ TlpCostModel::train(const std::vector<MeasuredRecord>& records, int epochs)
     std::vector<ParamRef> params = paramRefs();
     Adam adam(params, 1e-3);
     adam.zeroGrad();
-    auto infer_scores = [&](const std::vector<size_t>& subset) {
-        std::vector<double> scores;
-        scores.reserve(subset.size());
-        for (size_t idx : subset) {
-            scores.push_back(scoreOne(records[idx].task, records[idx].sch));
+
+    // Per-record feature memo: one primitive-sequence encoding per record
+    // for the whole training run.
+    Matrix memo(0, kPrimitiveFeatureDim);
+    {
+        std::vector<SchedulePrimitive> scratch;
+        for (const auto& rec : records) {
+            const size_t row0 = memo.rows();
+            memo.resize(row0 + kPrimitiveSteps, kPrimitiveFeatureDim);
+            writePrimitiveFeatureRows(rec.task, rec.sch, memo, row0,
+                                      scratch);
         }
+    }
+    Workspace ws;
+
+    auto infer_scores = [&](const std::vector<size_t>& subset) {
+        ws.reset();
+        Matrix& feats = ws.alloc(0, kPrimitiveFeatureDim);
+        SegmentTable& segs = ws.allocSegments();
+        for (size_t idx : subset) {
+            feats.appendRows(memo, idx * kPrimitiveSteps, kPrimitiveSteps);
+            segs.append(kPrimitiveSteps);
+        }
+        std::vector<double> scores(subset.size());
+        forwardBatch(feats, segs, ws, scores.data());
         return scores;
     };
     auto fit_one = [&](size_t idx, double dscore) {
-        fitOne(records[idx], dscore);
+        fitOne(memo.sliceRows(idx * kPrimitiveSteps, kPrimitiveSteps),
+               dscore);
     };
     auto on_batch_end = [&]() {
         adam.clipGradNorm(5.0);

@@ -10,13 +10,16 @@
  * diversity is tiny (only split factors vary between schedules of one
  * task), which makes the model data-hungry and brittle when fine-tuned on
  * small online datasets — behaviour this reproduction inherits naturally
- * from the same encoding.
+ * from the same encoding. What TLP *is* good at — batching a whole
+ * population of candidates into one tensor per forward pass — is exactly
+ * what the batched inference engine reproduces here.
  */
 
 #include "cost/cost_model.hpp"
 #include "feature/primitive_features.hpp"
 #include "nn/attention.hpp"
 #include "nn/layers.hpp"
+#include "nn/workspace.hpp"
 
 namespace pruner {
 
@@ -29,7 +32,7 @@ class TlpCostModel : public CostModel
     std::string name() const override { return "TLP"; }
     std::vector<double>
     predict(const SubgraphTask& task,
-            const std::vector<Schedule>& candidates) const override;
+            std::span<const Schedule> candidates) const override;
     double train(const std::vector<MeasuredRecord>& records,
                  int epochs) override;
     double evalCostPerCandidate() const override;
@@ -38,9 +41,25 @@ class TlpCostModel : public CostModel
     void setParams(const std::vector<double>& flat) override;
     std::unique_ptr<CostModel> clone() const override;
 
+    /** Batched scoring into a caller-owned buffer (see CostModel::predict
+     *  for the identity contract). Zero heap allocations once @p ws is
+     *  warm. @p out must hold candidates.size() doubles. */
+    void predictInto(const SubgraphTask& task,
+                     std::span<const Schedule> candidates, Workspace& ws,
+                     double* out) const;
+
+    /** Per-candidate reference path (the pre-batching implementation),
+     *  kept for the identity tests and benches. */
+    std::vector<double>
+    predictReference(const SubgraphTask& task,
+                     std::span<const Schedule> candidates) const;
+
   private:
     double scoreOne(const SubgraphTask& task, const Schedule& sch) const;
-    void fitOne(const MeasuredRecord& rec, double dscore);
+    void fitOne(const Matrix& feats, double dscore);
+    /** Pooled batched forward over packed primitive rows -> n scores. */
+    void forwardBatch(const Matrix& feats, const SegmentTable& segs,
+                      Workspace& ws, double* out) const;
     std::vector<ParamRef> paramRefs();
 
     DeviceSpec device_;

@@ -32,6 +32,7 @@ enum Access : size_t { kRead = 0, kWrite = 1, kReadWrite = 2 };
 struct StepWriter
 {
     Matrix* m;
+    size_t row0 = 0; ///< this candidate's first row in the packed matrix
     size_t step = 0;
 
     /** Emit one 23-dim row. */
@@ -41,10 +42,10 @@ struct StepWriter
          double stride, Access access, double l0_alloc, double l1_alloc,
          double l2_foot, double threads, double blocks, double alloc_size)
     {
-        if (step >= m->rows()) {
+        if (step >= kDataflowSteps) {
             return; // truncate overly deep movement chains
         }
-        double* f = m->row(step++);
+        double* f = m->row(row0 + step++);
         size_t k = 0;
         f[k++] = compute_density;              // [0] compute
         f[k + static_cast<size_t>(flow)] = 1.0; // [1..6] flow one-hot
@@ -76,7 +77,18 @@ extractDataflowFeatures(const SubgraphTask& task, const Schedule& sch,
 {
     Matrix feat(kDataflowSteps, kDataflowFeatureDim);
     const SymbolSet sym = extractSymbols(task, sch);
-    StepWriter w{&feat};
+    writeDataflowFeatureRows(sym, task, sch, device, feat, 0);
+    return feat;
+}
+
+void
+writeDataflowFeatureRows(const SymbolSet& sym, const SubgraphTask& task,
+                         const Schedule& sch, const DeviceSpec& device,
+                         Matrix& out, size_t row0)
+{
+    PRUNER_CHECK(out.cols() == kDataflowFeatureDim);
+    PRUNER_CHECK(row0 + kDataflowSteps <= out.rows());
+    StepWriter w{&out, row0};
 
     const double bytes_per_elem = dtypeBytes(task.dtype);
     const double threads = sym.s4_threads;
@@ -149,7 +161,24 @@ extractDataflowFeatures(const SubgraphTask& task, const Schedule& sch,
 
     // Remaining rows stay zero (the paper's zero-padding for element-wise
     // operators and short movement chains).
-    return feat;
+}
+
+void
+extractDataflowFeaturesBatch(const SubgraphTask& task,
+                             std::span<const Schedule> candidates,
+                             const DeviceSpec& device, Matrix& out,
+                             SegmentTable& segs)
+{
+    static thread_local SymbolSet sym;
+    out.resize(0, kDataflowFeatureDim);
+    segs.reset();
+    for (const Schedule& sch : candidates) {
+        extractSymbolsInto(task, sch, sym);
+        const size_t row0 = out.rows();
+        out.resize(row0 + kDataflowSteps, kDataflowFeatureDim);
+        writeDataflowFeatureRows(sym, task, sch, device, out, row0);
+        segs.append(kDataflowSteps);
+    }
 }
 
 } // namespace pruner

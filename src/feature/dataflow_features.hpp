@@ -14,9 +14,13 @@
  * paper does.
  */
 
+#include <span>
+
+#include "core/symbols.hpp"
 #include "device/device_spec.hpp"
 #include "ir/task.hpp"
 #include "nn/matrix.hpp"
+#include "nn/workspace.hpp"
 #include "sched/schedule.hpp"
 
 namespace pruner {
@@ -30,5 +34,20 @@ constexpr size_t kDataflowSteps = 10;
 /** Extract the temporal dataflow feature matrix: [kDataflowSteps, 23]. */
 Matrix extractDataflowFeatures(const SubgraphTask& task, const Schedule& sch,
                                const DeviceSpec& device);
+
+/** Write one candidate's kDataflowSteps rows (from its already-extracted
+ *  symbols) into @p out at rows [row0, row0 + kDataflowSteps), which must
+ *  exist and be zero-filled (the padding rows stay zero). */
+void writeDataflowFeatureRows(const SymbolSet& sym, const SubgraphTask& task,
+                              const Schedule& sch, const DeviceSpec& device,
+                              Matrix& out, size_t row0);
+
+/** Pack every candidate's dataflow rows into @p out
+ *  ([n * kDataflowSteps, 23], reshaped in place) with fixed-stride
+ *  segments recorded in @p segs. */
+void extractDataflowFeaturesBatch(const SubgraphTask& task,
+                                  std::span<const Schedule> candidates,
+                                  const DeviceSpec& device, Matrix& out,
+                                  SegmentTable& segs);
 
 } // namespace pruner

@@ -6,15 +6,18 @@
 
 namespace pruner {
 
-Matrix
-extractPrimitiveFeatures(const SubgraphTask& task, const Schedule& sch)
+void
+writePrimitiveFeatureRows(const SubgraphTask& task, const Schedule& sch,
+                          Matrix& out, size_t row0,
+                          std::vector<SchedulePrimitive>& scratch)
 {
-    Matrix feat(kPrimitiveSteps, kPrimitiveFeatureDim);
-    const auto seq = sch.primitiveSequence(task);
-    const size_t n = std::min(seq.size(), kPrimitiveSteps);
+    PRUNER_CHECK(out.cols() == kPrimitiveFeatureDim);
+    PRUNER_CHECK(row0 + kPrimitiveSteps <= out.rows());
+    sch.primitiveSequenceInto(task, scratch);
+    const size_t n = std::min(scratch.size(), kPrimitiveSteps);
     for (size_t i = 0; i < n; ++i) {
-        const auto& prim = seq[i];
-        double* f = feat.row(i);
+        const auto& prim = scratch[i];
+        double* f = out.row(row0 + i);
         size_t k = 0;
         // Primitive kind one-hot (5).
         f[k + static_cast<size_t>(prim.kind)] = 1.0;
@@ -32,7 +35,31 @@ extractPrimitiveFeatures(const SubgraphTask& task, const Schedule& sch)
         f[k++] = i % 2 == 0 ? 1.0 : 0.0;
         PRUNER_CHECK(k == kPrimitiveFeatureDim);
     }
+}
+
+Matrix
+extractPrimitiveFeatures(const SubgraphTask& task, const Schedule& sch)
+{
+    Matrix feat(kPrimitiveSteps, kPrimitiveFeatureDim);
+    std::vector<SchedulePrimitive> seq;
+    writePrimitiveFeatureRows(task, sch, feat, 0, seq);
     return feat;
+}
+
+void
+extractPrimitiveFeaturesBatch(const SubgraphTask& task,
+                              std::span<const Schedule> candidates,
+                              Matrix& out, SegmentTable& segs)
+{
+    static thread_local std::vector<SchedulePrimitive> scratch;
+    out.resize(0, kPrimitiveFeatureDim);
+    segs.reset();
+    for (const Schedule& sch : candidates) {
+        const size_t row0 = out.rows();
+        out.resize(row0 + kPrimitiveSteps, kPrimitiveFeatureDim);
+        writePrimitiveFeatureRows(task, sch, out, row0, scratch);
+        segs.append(kPrimitiveSteps);
+    }
 }
 
 } // namespace pruner

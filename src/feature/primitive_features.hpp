@@ -11,8 +11,12 @@
  * data-hungry. We reproduce that property deliberately.
  */
 
+#include <span>
+#include <vector>
+
 #include "ir/task.hpp"
 #include "nn/matrix.hpp"
+#include "nn/workspace.hpp"
 #include "sched/schedule.hpp"
 
 namespace pruner {
@@ -26,5 +30,19 @@ constexpr size_t kPrimitiveSteps = 28;
 /** Extract the primitive-sequence features: [kPrimitiveSteps, 16]. */
 Matrix extractPrimitiveFeatures(const SubgraphTask& task,
                                 const Schedule& sch);
+
+/** Write one candidate's kPrimitiveSteps rows into @p out at
+ *  [row0, row0 + kPrimitiveSteps) (must exist, zero-filled); @p scratch
+ *  holds the primitive sequence between candidates (capacity reused). */
+void writePrimitiveFeatureRows(const SubgraphTask& task, const Schedule& sch,
+                               Matrix& out, size_t row0,
+                               std::vector<SchedulePrimitive>& scratch);
+
+/** Pack every candidate's primitive rows into @p out
+ *  ([n * kPrimitiveSteps, 16], reshaped in place) with fixed-stride
+ *  segments recorded in @p segs. */
+void extractPrimitiveFeaturesBatch(const SubgraphTask& task,
+                                   std::span<const Schedule> candidates,
+                                   Matrix& out, SegmentTable& segs);
 
 } // namespace pruner

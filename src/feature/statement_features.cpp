@@ -3,7 +3,6 @@
 #include <cmath>
 
 #include "core/penalty.hpp"
-#include "core/symbols.hpp"
 #include "support/logging.hpp"
 
 namespace pruner {
@@ -18,13 +17,14 @@ log1pSafe(double v)
 
 } // namespace
 
-Matrix
-extractStatementFeatures(const SubgraphTask& task, const Schedule& sch,
-                         const DeviceSpec& device)
+void
+writeStatementFeatureRows(const SymbolSet& sym, const SubgraphTask& task,
+                          const Schedule& sch, const DeviceSpec& device,
+                          Matrix& out, size_t row0)
 {
-    const SymbolSet sym = extractSymbols(task, sch);
+    PRUNER_CHECK(out.cols() == kStatementFeatureDim);
+    PRUNER_CHECK(row0 + sym.statements.size() <= out.rows());
     const PenaltySet pen = computePenalties(sym, device);
-    Matrix feat(sym.statements.size(), kStatementFeatureDim);
 
     // Whole-program context shared by every row.
     const double threads = sym.s4_threads;
@@ -38,7 +38,7 @@ extractStatementFeatures(const SubgraphTask& task, const Schedule& sch,
 
     for (size_t i = 0; i < sym.statements.size(); ++i) {
         const auto& stmt = sym.statements[i];
-        double* f = feat.row(i);
+        double* f = out.row(row0 + i);
         size_t k = 0;
         // Statement kind one-hot.
         f[k + static_cast<size_t>(stmt.kind)] = 1.0;
@@ -86,7 +86,36 @@ extractStatementFeatures(const SubgraphTask& task, const Schedule& sch,
         f[k++] = log1pSafe(static_cast<double>(task.outputPoints()));
         PRUNER_CHECK(k <= kStatementFeatureDim);
     }
+}
+
+Matrix
+extractStatementFeatures(const SubgraphTask& task, const Schedule& sch,
+                         const DeviceSpec& device)
+{
+    const SymbolSet sym = extractSymbols(task, sch);
+    Matrix feat(sym.statements.size(), kStatementFeatureDim);
+    writeStatementFeatureRows(sym, task, sch, device, feat, 0);
     return feat;
+}
+
+void
+extractStatementFeaturesBatch(const SubgraphTask& task,
+                              std::span<const Schedule> candidates,
+                              const DeviceSpec& device, Matrix& out,
+                              SegmentTable& segs)
+{
+    static thread_local SymbolSet sym;
+    out.resize(0, kStatementFeatureDim);
+    segs.reset();
+    for (const Schedule& sch : candidates) {
+        extractSymbolsInto(task, sch, sym);
+        const size_t row0 = out.rows();
+        // Appended rows are value-initialized to zero (vector semantics),
+        // which the one-hot writers rely on.
+        out.resize(row0 + sym.statements.size(), kStatementFeatureDim);
+        writeStatementFeatureRows(sym, task, sch, device, out, row0);
+        segs.append(sym.statements.size());
+    }
 }
 
 } // namespace pruner

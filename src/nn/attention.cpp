@@ -42,6 +42,68 @@ SelfAttention::infer(const Matrix& x) const
 }
 
 Matrix
+SelfAttention::inferReference(const Matrix& x) const
+{
+    const Matrix q = wq_.inferReference(x);
+    const Matrix k = wk_.inferReference(x);
+    const Matrix v = wv_.inferReference(x);
+    Matrix attn = Matrix::matmulNT(q, k);
+    attn.scale(1.0 / std::sqrt(static_cast<double>(dim_)));
+    attn.softmaxRows();
+    Matrix ctx(attn.rows(), v.cols());
+    nnkernel::matmulNaive(attn.row(0), attn.rows(), attn.cols(),
+                          attn.cols(), v.row(0), v.cols(), v.cols(),
+                          ctx.row(0), ctx.cols());
+    return wo_.inferReference(ctx);
+}
+
+const Matrix&
+SelfAttention::inferBatch(const Matrix& x, const SegmentTable& segs,
+                          Workspace& ws) const
+{
+    PRUNER_CHECK(x.cols() == dim_);
+    PRUNER_CHECK(segs.totalRows() == x.rows());
+    Matrix& q = ws.alloc(x.rows(), dim_);
+    Matrix& k = ws.alloc(x.rows(), dim_);
+    Matrix& v = ws.alloc(x.rows(), dim_);
+    wq_.inferInto(x, q);
+    wk_.inferInto(x, k);
+    wv_.inferInto(x, v);
+
+    Matrix& ctx = ws.alloc(x.rows(), dim_);
+    Matrix& attn = ws.alloc(0, 0);
+    Matrix& kt = ws.alloc(0, 0);
+    const double inv_sqrt_d = 1.0 / std::sqrt(static_cast<double>(dim_));
+    for (size_t s = 0; s < segs.count(); ++s) {
+        const size_t b = segs.begin(s);
+        const size_t t = segs.rows(s);
+        if (t == 0) {
+            continue;
+        }
+        // Q K^T through the fast GEMM kernel on an explicit K transpose:
+        // C[i][j] still accumulates Q[i][kk] * K[j][kk] over ascending kk,
+        // so the bytes match matmulNT exactly (the reference path's core).
+        kt.resize(dim_, t);
+        for (size_t r = 0; r < t; ++r) {
+            const double* krow = k.row(b + r);
+            for (size_t d = 0; d < dim_; ++d) {
+                kt.at(d, r) = krow[d];
+            }
+        }
+        attn.resize(t, t);
+        nnkernel::matmul(q.row(b), t, dim_, dim_, kt.row(0), t, t,
+                         attn.row(0), t);
+        attn.scale(inv_sqrt_d);
+        attn.softmaxRows();
+        nnkernel::matmul(attn.row(0), t, t, t, v.row(b), dim_, dim_,
+                         ctx.row(b), dim_);
+    }
+    Matrix& out = ws.alloc(x.rows(), dim_);
+    wo_.inferInto(ctx, out);
+    return out;
+}
+
+Matrix
 SelfAttention::backward(const Matrix& dy)
 {
     PRUNER_CHECK(!attn_.empty());

@@ -27,6 +27,22 @@ class SelfAttention
     /** Cache-free forward (inference only). */
     Matrix infer(const Matrix& x) const;
 
+    /**
+     * Batched inference over @p segs.count() sequences packed row-wise in
+     * @p x: the Q/K/V/output projections each run as one GEMM over the
+     * whole pack, and only the [T, T] attention core runs per segment
+     * (attention must not leak across candidates, so the scores matrix is
+     * block-diagonal by construction). Intermediates come from @p ws; each
+     * segment's output rows are byte-identical to infer() on that segment
+     * alone. Returns a workspace-owned [x.rows, dim] matrix.
+     */
+    const Matrix& inferBatch(const Matrix& x, const SegmentTable& segs,
+                             Workspace& ws) const;
+
+    /** Frozen pre-batching forward on the naive golden kernels (see
+     *  Linear::inferReference). */
+    Matrix inferReference(const Matrix& x) const;
+
     /** Backward: dy is [T, dim]; returns dL/dx. */
     Matrix backward(const Matrix& dy);
 

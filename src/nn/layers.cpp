@@ -31,6 +31,35 @@ Linear::infer(const Matrix& x) const
     return y;
 }
 
+void
+Linear::inferInto(const Matrix& x, Matrix& y, bool relu_after) const
+{
+    PRUNER_CHECK_MSG(x.cols() == w_.rows(),
+                     "inferInto shape mismatch: [" << x.rows() << "x"
+                                                   << x.cols() << "] * ["
+                                                   << w_.rows() << "x"
+                                                   << w_.cols() << "]");
+    PRUNER_CHECK_MSG(&y != &x, "inferInto output must not alias the input");
+    y.resize(x.rows(), w_.cols());
+    nnkernel::matmul(x.row(0), x.rows(), x.cols(), x.cols(), w_.row(0),
+                     w_.cols(), w_.cols(), y.row(0), y.cols(), b_.row(0),
+                     relu_after);
+}
+
+Matrix
+Linear::inferReference(const Matrix& x) const
+{
+    PRUNER_CHECK_MSG(x.cols() == w_.rows(),
+                     "inferReference shape mismatch: ["
+                         << x.rows() << "x" << x.cols() << "] * ["
+                         << w_.rows() << "x" << w_.cols() << "]");
+    Matrix y(x.rows(), w_.cols());
+    nnkernel::matmulNaive(x.row(0), x.rows(), x.cols(), x.cols(), w_.row(0),
+                          w_.cols(), w_.cols(), y.row(0), y.cols());
+    y.addRowVector(b_);
+    return y;
+}
+
 Matrix
 Linear::backward(const Matrix& dy)
 {
@@ -114,6 +143,32 @@ Mlp::infer(const Matrix& x) const
         }
     }
     return h;
+}
+
+Matrix
+Mlp::inferReference(const Matrix& x) const
+{
+    Matrix h = x;
+    for (size_t i = 0; i < linears_.size(); ++i) {
+        h = linears_[i].inferReference(h);
+        if (i < relus_.size()) {
+            h = relus_[i].infer(h);
+        }
+    }
+    return h;
+}
+
+const Matrix&
+Mlp::inferBatch(const Matrix& x, Workspace& ws) const
+{
+    PRUNER_CHECK(!linears_.empty());
+    const Matrix* h = &x;
+    for (size_t i = 0; i < linears_.size(); ++i) {
+        Matrix& y = ws.alloc(h->rows(), linears_[i].outDim());
+        linears_[i].inferInto(*h, y, /*relu_after=*/i < relus_.size());
+        h = &y;
+    }
+    return *h;
 }
 
 Matrix

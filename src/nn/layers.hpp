@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "nn/matrix.hpp"
+#include "nn/workspace.hpp"
 
 namespace pruner {
 
@@ -37,6 +38,18 @@ class Linear
 
     /** Forward without caching (inference-only, reentrant-safe). */
     Matrix infer(const Matrix& x) const;
+
+    /** infer() into a caller-owned buffer: y = x W + b, no allocation when
+     *  y's capacity suffices. The bias (and, when @p relu_after, the
+     *  rectifier) is fused into the kernel's store epilogue — byte-equal
+     *  to the standalone passes without re-touching y. @p y must not
+     *  alias @p x. */
+    void inferInto(const Matrix& x, Matrix& y, bool relu_after = false) const;
+
+    /** The pre-batching infer(), frozen on the naive golden kernel
+     *  (nnkernel::matmulNaive): the byte-identity reference the batched
+     *  engine is differentially tested against. */
+    Matrix inferReference(const Matrix& x) const;
 
     /** Backward pass: accumulates dW/db, returns dL/dx. */
     Matrix backward(const Matrix& dy);
@@ -77,6 +90,21 @@ class Mlp
 
     Matrix forward(const Matrix& x);
     Matrix infer(const Matrix& x) const;
+
+    /**
+     * Batched inference over a packed row matrix: every layer is one GEMM
+     * over all rows, with intermediates drawn from @p ws (zero heap
+     * allocations once the workspace is warm). Each output row is
+     * byte-identical to infer() on that row alone — every row-level op is
+     * row-independent with an unchanged accumulation order. Returns a
+     * workspace-owned matrix, valid until the next ws.reset().
+     */
+    const Matrix& inferBatch(const Matrix& x, Workspace& ws) const;
+
+    /** Frozen pre-batching forward on the naive golden kernel (see
+     *  Linear::inferReference). */
+    Matrix inferReference(const Matrix& x) const;
+
     Matrix backward(const Matrix& dy);
     void collectParams(std::vector<ParamRef>& out);
 

@@ -2,20 +2,520 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define PRUNER_NNKERNEL_X86 1
+#include <immintrin.h>
+#endif
 
 #include "support/logging.hpp"
 
 namespace pruner {
 
-Matrix::Matrix(size_t rows, size_t cols, double fill)
-    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+namespace nnkernel {
+
+namespace {
+
+/**
+ * Register-block shape of the scalar fallback kernel. 4x16 doubles of C
+ * live in accumulators across the whole k loop (16 doubles = two cache
+ * lines per C row), and a 64-wide hidden layer is exactly four j tiles, so
+ * the B panel touched by one (i0, j0) tile — at most
+ * 128 k x 16 doubles = 16 KiB — stays L1-resident while the four A rows
+ * are streamed once.
+ */
+constexpr size_t kBlockI = 4;
+constexpr size_t kBlockJ = 16;
+
+/** Scalar store epilogue shared by the kernel tiers (see matmul()). */
+inline void
+storeRow(const double* acc, double* crow, const double* bias, size_t nr,
+         bool relu)
 {
+    for (size_t jj = 0; jj < nr; ++jj) {
+        double v = acc[jj];
+        if (bias != nullptr) {
+            v += bias[jj];
+        }
+        if (relu) {
+            v = v > 0.0 ? v : 0.0;
+        }
+        crow[jj] = v;
+    }
+}
+
+void
+matmulScalarTile(const double* a, size_t m, size_t k, size_t lda,
+                 const double* b, size_t n, size_t ldb, double* c,
+                 size_t ldc, const double* bias, bool relu)
+{
+    size_t i0 = 0;
+    for (; i0 + kBlockI <= m; i0 += kBlockI) {
+        const double* a0 = a + i0 * lda;
+        for (size_t j0 = 0; j0 < n; j0 += kBlockJ) {
+            const size_t nr = std::min(kBlockJ, n - j0);
+            double acc[kBlockI][kBlockJ] = {};
+            for (size_t kk = 0; kk < k; ++kk) {
+                const double* brow = b + kk * ldb + j0;
+                for (size_t ii = 0; ii < kBlockI; ++ii) {
+                    const double aik = a0[ii * lda + kk];
+                    for (size_t jj = 0; jj < nr; ++jj) {
+                        acc[ii][jj] += aik * brow[jj];
+                    }
+                }
+            }
+            const double* bj = bias != nullptr ? bias + j0 : nullptr;
+            for (size_t ii = 0; ii < kBlockI; ++ii) {
+                storeRow(acc[ii], c + (i0 + ii) * ldc + j0, bj, nr, relu);
+            }
+        }
+    }
+    // Remainder rows: one C row of accumulators at a time.
+    for (; i0 < m; ++i0) {
+        const double* arow = a + i0 * lda;
+        for (size_t j0 = 0; j0 < n; j0 += kBlockJ) {
+            const size_t nr = std::min(kBlockJ, n - j0);
+            double acc[kBlockJ] = {};
+            for (size_t kk = 0; kk < k; ++kk) {
+                const double aik = arow[kk];
+                const double* brow = b + kk * ldb + j0;
+                for (size_t jj = 0; jj < nr; ++jj) {
+                    acc[jj] += aik * brow[jj];
+                }
+            }
+            storeRow(acc, c + i0 * ldc + j0,
+                     bias != nullptr ? bias + j0 : nullptr, nr, relu);
+        }
+    }
+}
+
+#ifdef PRUNER_NNKERNEL_X86
+
+/**
+ * AVX2 4x8 micro-kernel. Deliberately built from separate _mm256_mul_pd /
+ * _mm256_add_pd (the "avx2" target carries no FMA, so the compiler cannot
+ * contract them): every C element sees exactly the scalar kernel's
+ * mul-round-add-round sequence over ascending k, hence identical bytes at
+ * ~3x the scalar tile's throughput. 8 YMM accumulators + 2 B panels + 1
+ * broadcast stay within the 16 architectural YMM registers.
+ */
+__attribute__((target("avx2"))) void
+matmulAvx2(const double* a, size_t m, size_t k, size_t lda, const double* b,
+           size_t n, size_t ldb, double* c, size_t ldc, const double* bias,
+           bool relu)
+{
+    size_t i0 = 0;
+    for (; i0 + 4 <= m; i0 += 4) {
+        const double* a0 = a + i0 * lda;
+        size_t j0 = 0;
+        for (; j0 + 8 <= n; j0 += 8) {
+            __m256d acc00 = _mm256_setzero_pd();
+            __m256d acc01 = _mm256_setzero_pd();
+            __m256d acc10 = _mm256_setzero_pd();
+            __m256d acc11 = _mm256_setzero_pd();
+            __m256d acc20 = _mm256_setzero_pd();
+            __m256d acc21 = _mm256_setzero_pd();
+            __m256d acc30 = _mm256_setzero_pd();
+            __m256d acc31 = _mm256_setzero_pd();
+            for (size_t kk = 0; kk < k; ++kk) {
+                const double* brow = b + kk * ldb + j0;
+                const __m256d b0 = _mm256_loadu_pd(brow);
+                const __m256d b1 = _mm256_loadu_pd(brow + 4);
+                __m256d av = _mm256_set1_pd(a0[0 * lda + kk]);
+                acc00 = _mm256_add_pd(acc00, _mm256_mul_pd(av, b0));
+                acc01 = _mm256_add_pd(acc01, _mm256_mul_pd(av, b1));
+                av = _mm256_set1_pd(a0[1 * lda + kk]);
+                acc10 = _mm256_add_pd(acc10, _mm256_mul_pd(av, b0));
+                acc11 = _mm256_add_pd(acc11, _mm256_mul_pd(av, b1));
+                av = _mm256_set1_pd(a0[2 * lda + kk]);
+                acc20 = _mm256_add_pd(acc20, _mm256_mul_pd(av, b0));
+                acc21 = _mm256_add_pd(acc21, _mm256_mul_pd(av, b1));
+                av = _mm256_set1_pd(a0[3 * lda + kk]);
+                acc30 = _mm256_add_pd(acc30, _mm256_mul_pd(av, b0));
+                acc31 = _mm256_add_pd(acc31, _mm256_mul_pd(av, b1));
+            }
+            if (bias != nullptr) {
+                const __m256d bias0 = _mm256_loadu_pd(bias + j0);
+                const __m256d bias1 = _mm256_loadu_pd(bias + j0 + 4);
+                acc00 = _mm256_add_pd(acc00, bias0);
+                acc01 = _mm256_add_pd(acc01, bias1);
+                acc10 = _mm256_add_pd(acc10, bias0);
+                acc11 = _mm256_add_pd(acc11, bias1);
+                acc20 = _mm256_add_pd(acc20, bias0);
+                acc21 = _mm256_add_pd(acc21, bias1);
+                acc30 = _mm256_add_pd(acc30, bias0);
+                acc31 = _mm256_add_pd(acc31, bias1);
+            }
+            if (relu) {
+                // vmaxpd(v, +0.0) returns +0.0 for v <= 0 and for NaN:
+                // bitwise-equal to the scalar (v > 0 ? v : 0.0).
+                const __m256d zero = _mm256_setzero_pd();
+                acc00 = _mm256_max_pd(acc00, zero);
+                acc01 = _mm256_max_pd(acc01, zero);
+                acc10 = _mm256_max_pd(acc10, zero);
+                acc11 = _mm256_max_pd(acc11, zero);
+                acc20 = _mm256_max_pd(acc20, zero);
+                acc21 = _mm256_max_pd(acc21, zero);
+                acc30 = _mm256_max_pd(acc30, zero);
+                acc31 = _mm256_max_pd(acc31, zero);
+            }
+            _mm256_storeu_pd(c + (i0 + 0) * ldc + j0, acc00);
+            _mm256_storeu_pd(c + (i0 + 0) * ldc + j0 + 4, acc01);
+            _mm256_storeu_pd(c + (i0 + 1) * ldc + j0, acc10);
+            _mm256_storeu_pd(c + (i0 + 1) * ldc + j0 + 4, acc11);
+            _mm256_storeu_pd(c + (i0 + 2) * ldc + j0, acc20);
+            _mm256_storeu_pd(c + (i0 + 2) * ldc + j0 + 4, acc21);
+            _mm256_storeu_pd(c + (i0 + 3) * ldc + j0, acc30);
+            _mm256_storeu_pd(c + (i0 + 3) * ldc + j0 + 4, acc31);
+        }
+        for (; j0 < n; ++j0) {
+            for (size_t ii = 0; ii < 4; ++ii) {
+                double acc = 0.0;
+                for (size_t kk = 0; kk < k; ++kk) {
+                    acc += a0[ii * lda + kk] * b[kk * ldb + j0];
+                }
+                storeRow(&acc, c + (i0 + ii) * ldc + j0,
+                         bias != nullptr ? bias + j0 : nullptr, 1, relu);
+            }
+        }
+    }
+    for (; i0 < m; ++i0) {
+        const double* arow = a + i0 * lda;
+        size_t j0 = 0;
+        for (; j0 + 8 <= n; j0 += 8) {
+            __m256d acc0 = _mm256_setzero_pd();
+            __m256d acc1 = _mm256_setzero_pd();
+            for (size_t kk = 0; kk < k; ++kk) {
+                const double* brow = b + kk * ldb + j0;
+                const __m256d av = _mm256_set1_pd(arow[kk]);
+                acc0 = _mm256_add_pd(
+                    acc0, _mm256_mul_pd(av, _mm256_loadu_pd(brow)));
+                acc1 = _mm256_add_pd(
+                    acc1, _mm256_mul_pd(av, _mm256_loadu_pd(brow + 4)));
+            }
+            if (bias != nullptr) {
+                acc0 = _mm256_add_pd(acc0, _mm256_loadu_pd(bias + j0));
+                acc1 = _mm256_add_pd(acc1, _mm256_loadu_pd(bias + j0 + 4));
+            }
+            if (relu) {
+                const __m256d zero = _mm256_setzero_pd();
+                acc0 = _mm256_max_pd(acc0, zero);
+                acc1 = _mm256_max_pd(acc1, zero);
+            }
+            _mm256_storeu_pd(c + i0 * ldc + j0, acc0);
+            _mm256_storeu_pd(c + i0 * ldc + j0 + 4, acc1);
+        }
+        for (; j0 < n; ++j0) {
+            double acc = 0.0;
+            for (size_t kk = 0; kk < k; ++kk) {
+                acc += arow[kk] * b[kk * ldb + j0];
+            }
+            storeRow(&acc, c + i0 * ldc + j0,
+                     bias != nullptr ? bias + j0 : nullptr, 1, relu);
+        }
+    }
+}
+
+/**
+ * AVX-512 4x16 micro-kernel: the widest tier, same separate-mul-then-add
+ * contract as the AVX2 kernel ("avx512f" carries FMA in hardware, but the
+ * explicit _mm512_mul_pd / _mm512_add_pd intrinsics pin the two roundings).
+ */
+// GCC implements _mm512_max_pd through a masked builtin whose unused
+// pass-through source is _mm512_undefined_pd(), tripping a false-positive
+// -Wmaybe-uninitialized at -O2.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+__attribute__((target("avx512f"))) void
+matmulAvx512(const double* a, size_t m, size_t k, size_t lda,
+             const double* b, size_t n, size_t ldb, double* c, size_t ldc,
+             const double* bias, bool relu)
+{
+    size_t i0 = 0;
+    for (; i0 + 4 <= m; i0 += 4) {
+        const double* a0 = a + i0 * lda;
+        size_t j0 = 0;
+        for (; j0 + 16 <= n; j0 += 16) {
+            __m512d acc00 = _mm512_setzero_pd();
+            __m512d acc01 = _mm512_setzero_pd();
+            __m512d acc10 = _mm512_setzero_pd();
+            __m512d acc11 = _mm512_setzero_pd();
+            __m512d acc20 = _mm512_setzero_pd();
+            __m512d acc21 = _mm512_setzero_pd();
+            __m512d acc30 = _mm512_setzero_pd();
+            __m512d acc31 = _mm512_setzero_pd();
+            for (size_t kk = 0; kk < k; ++kk) {
+                const double* brow = b + kk * ldb + j0;
+                const __m512d b0 = _mm512_loadu_pd(brow);
+                const __m512d b1 = _mm512_loadu_pd(brow + 8);
+                __m512d av = _mm512_set1_pd(a0[0 * lda + kk]);
+                acc00 = _mm512_add_pd(acc00, _mm512_mul_pd(av, b0));
+                acc01 = _mm512_add_pd(acc01, _mm512_mul_pd(av, b1));
+                av = _mm512_set1_pd(a0[1 * lda + kk]);
+                acc10 = _mm512_add_pd(acc10, _mm512_mul_pd(av, b0));
+                acc11 = _mm512_add_pd(acc11, _mm512_mul_pd(av, b1));
+                av = _mm512_set1_pd(a0[2 * lda + kk]);
+                acc20 = _mm512_add_pd(acc20, _mm512_mul_pd(av, b0));
+                acc21 = _mm512_add_pd(acc21, _mm512_mul_pd(av, b1));
+                av = _mm512_set1_pd(a0[3 * lda + kk]);
+                acc30 = _mm512_add_pd(acc30, _mm512_mul_pd(av, b0));
+                acc31 = _mm512_add_pd(acc31, _mm512_mul_pd(av, b1));
+            }
+            if (bias != nullptr) {
+                const __m512d bias0 = _mm512_loadu_pd(bias + j0);
+                const __m512d bias1 = _mm512_loadu_pd(bias + j0 + 8);
+                acc00 = _mm512_add_pd(acc00, bias0);
+                acc01 = _mm512_add_pd(acc01, bias1);
+                acc10 = _mm512_add_pd(acc10, bias0);
+                acc11 = _mm512_add_pd(acc11, bias1);
+                acc20 = _mm512_add_pd(acc20, bias0);
+                acc21 = _mm512_add_pd(acc21, bias1);
+                acc30 = _mm512_add_pd(acc30, bias0);
+                acc31 = _mm512_add_pd(acc31, bias1);
+            }
+            if (relu) {
+                const __m512d zero = _mm512_setzero_pd();
+                acc00 = _mm512_max_pd(acc00, zero);
+                acc01 = _mm512_max_pd(acc01, zero);
+                acc10 = _mm512_max_pd(acc10, zero);
+                acc11 = _mm512_max_pd(acc11, zero);
+                acc20 = _mm512_max_pd(acc20, zero);
+                acc21 = _mm512_max_pd(acc21, zero);
+                acc30 = _mm512_max_pd(acc30, zero);
+                acc31 = _mm512_max_pd(acc31, zero);
+            }
+            _mm512_storeu_pd(c + (i0 + 0) * ldc + j0, acc00);
+            _mm512_storeu_pd(c + (i0 + 0) * ldc + j0 + 8, acc01);
+            _mm512_storeu_pd(c + (i0 + 1) * ldc + j0, acc10);
+            _mm512_storeu_pd(c + (i0 + 1) * ldc + j0 + 8, acc11);
+            _mm512_storeu_pd(c + (i0 + 2) * ldc + j0, acc20);
+            _mm512_storeu_pd(c + (i0 + 2) * ldc + j0 + 8, acc21);
+            _mm512_storeu_pd(c + (i0 + 3) * ldc + j0, acc30);
+            _mm512_storeu_pd(c + (i0 + 3) * ldc + j0 + 8, acc31);
+        }
+        if (j0 < n) {
+            // Column remainder: defer to the AVX2 path on the same rows.
+            matmulAvx2(a + i0 * lda, 4, k, lda, b + j0, n - j0, ldb,
+                       c + i0 * ldc + j0, ldc,
+                       bias != nullptr ? bias + j0 : nullptr, relu);
+        }
+    }
+    if (i0 < m) {
+        matmulAvx2(a + i0 * lda, m - i0, k, lda, b, n, ldb, c + i0 * ldc,
+                   ldc, bias, relu);
+    }
+}
+#pragma GCC diagnostic pop
+
+#endif // PRUNER_NNKERNEL_X86
+
+using MatmulFn = void (*)(const double*, size_t, size_t, size_t,
+                          const double*, size_t, size_t, double*, size_t,
+                          const double*, bool);
+
+/**
+ * One-time dispatch self-check: a kernel tier is only used if it
+ * reproduces the naive golden kernel bit for bit on a case that covers
+ * the main tile and every remainder path. This demotes a tier that a
+ * compiler silently broke (e.g. contracting the explicit mul+add
+ * intrinsics into FMAs under -ffp-contract=fast) instead of letting it
+ * violate the engine's byte-identity guarantee.
+ */
+bool
+matchesNaiveKernel(MatmulFn fn)
+{
+    // m = 9, n = 27 reaches every path of every tier: full 4-row blocks
+    // plus a row remainder, a full vector j-panel plus a sub-panel and a
+    // scalar column remainder (for the AVX-512 tier that includes its
+    // delegations into the AVX2 kernel's main 4x8 block).
+    constexpr size_t m = 9, k = 9, n = 27;
+    double a[m * k], b[k * n], fast[m * n], naive[m * n];
+    uint64_t state = 0x9E3779B97F4A7C15ull;
+    auto next = [&state]() {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        // Doubles in ~[-1, 1] with full mantissas: any contraction of the
+        // mul/add roundings shows up immediately.
+        return static_cast<double>(static_cast<int64_t>(state >> 11)) /
+               static_cast<double>(1ll << 52);
+    };
+    for (double& v : a) {
+        v = next();
+    }
+    for (double& v : b) {
+        v = next();
+    }
+    fn(a, m, k, k, b, n, n, fast, n, nullptr, false);
+    matmulNaive(a, m, k, k, b, n, n, naive, n);
+    if (std::memcmp(fast, naive, sizeof(fast)) != 0) {
+        return false;
+    }
+    // Fused bias+relu epilogue vs the standalone passes.
+    double bias[n];
+    for (double& v : bias) {
+        v = next();
+    }
+    fn(a, m, k, k, b, n, n, fast, n, bias, true);
+    for (size_t i = 0; i < m; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+            double v = naive[i * n + j] + bias[j];
+            naive[i * n + j] = v > 0.0 ? v : 0.0;
+        }
+    }
+    return std::memcmp(fast, naive, sizeof(fast)) == 0;
+}
+
+#ifdef PRUNER_NNKERNEL_X86
+
+MatmulFn
+pickKernel()
+{
+    // The AVX-512 tier delegates its remainders to the AVX2 kernel, so
+    // both must pass before it is accepted.
+    if (__builtin_cpu_supports("avx512f") &&
+        matchesNaiveKernel(matmulAvx512) &&
+        matchesNaiveKernel(matmulAvx2)) {
+        return matmulAvx512;
+    }
+    if (__builtin_cpu_supports("avx2") && matchesNaiveKernel(matmulAvx2)) {
+        return matmulAvx2;
+    }
+    return matmulScalarTile;
+}
+
+#else
+
+MatmulFn
+pickKernel()
+{
+    return matmulScalarTile;
+}
+
+#endif
+
+} // namespace
+
+void
+matmul(const double* a, size_t m, size_t k, size_t lda, const double* b,
+       size_t n, size_t ldb, double* c, size_t ldc, const double* bias,
+       bool relu)
+{
+    static const MatmulFn kernel = pickKernel();
+    kernel(a, m, k, lda, b, n, ldb, c, ldc, bias, relu);
+}
+
+void
+matmulNaive(const double* a, size_t m, size_t k, size_t lda, const double* b,
+            size_t n, size_t ldb, double* c, size_t ldc)
+{
+    for (size_t i = 0; i < m; ++i) {
+        double* crow = c + i * ldc;
+        std::fill(crow, crow + n, 0.0);
+        const double* arow = a + i * lda;
+        for (size_t kk = 0; kk < k; ++kk) {
+            const double aik = arow[kk];
+            if (aik == 0.0) {
+                continue;
+            }
+            const double* brow = b + kk * ldb;
+            for (size_t j = 0; j < n; ++j) {
+                crow[j] += aik * brow[j];
+            }
+        }
+    }
+}
+
+void
+matmulNT(const double* a, size_t m, size_t k, size_t lda, const double* b,
+         size_t n, size_t ldb, double* c, size_t ldc)
+{
+    for (size_t i = 0; i < m; ++i) {
+        const double* arow = a + i * lda;
+        double* crow = c + i * ldc;
+        for (size_t j = 0; j < n; ++j) {
+            const double* brow = b + j * ldb;
+            double acc = 0.0;
+            for (size_t kk = 0; kk < k; ++kk) {
+                acc += arow[kk] * brow[kk];
+            }
+            crow[j] = acc;
+        }
+    }
+}
+
+} // namespace nnkernel
+
+namespace {
+
+/** Satellite guard: rows * cols must not wrap size_t. */
+void
+checkShapeFits(size_t rows, size_t cols)
+{
+    PRUNER_CHECK_MSG(cols == 0 ||
+                         rows <= std::numeric_limits<size_t>::max() / cols,
+                     "Matrix shape " << rows << "x" << cols
+                                     << " overflows size_t");
+}
+
+} // namespace
+
+Matrix::Matrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols)
+{
+    checkShapeFits(rows, cols);
+    data_.assign(rows * cols, fill);
 }
 
 void
 Matrix::zero()
 {
     std::fill(data_.begin(), data_.end(), 0.0);
+}
+
+void
+Matrix::resize(size_t rows, size_t cols)
+{
+    checkShapeFits(rows, cols);
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+}
+
+void
+Matrix::appendRows(const Matrix& src, size_t src_row, size_t n_rows)
+{
+    PRUNER_CHECK_MSG(&src != this,
+                     "appendRows source must not alias the destination "
+                     "(growth may reallocate the shared buffer)");
+    PRUNER_CHECK_MSG(src.cols_ == cols_,
+                     "appendRows column mismatch: dst has "
+                         << cols_ << " cols, src has " << src.cols_);
+    PRUNER_CHECK_MSG(src_row + n_rows <= src.rows_,
+                     "appendRows rows [" << src_row << ", "
+                                         << src_row + n_rows
+                                         << ") out of src range "
+                                         << src.rows_);
+    const size_t r0 = rows_;
+    resize(rows_ + n_rows, cols_);
+    if (n_rows > 0 && cols_ > 0) {
+        std::memcpy(row(r0), src.row(src_row),
+                    n_rows * cols_ * sizeof(double));
+    }
+}
+
+Matrix
+Matrix::sliceRows(size_t row0, size_t n_rows) const
+{
+    PRUNER_CHECK_MSG(row0 + n_rows <= rows_,
+                     "sliceRows [" << row0 << ", " << row0 + n_rows
+                                   << ") out of range " << rows_);
+    Matrix out(n_rows, cols_);
+    if (n_rows > 0 && cols_ > 0) {
+        std::memcpy(out.row(0), row(row0), n_rows * cols_ * sizeof(double));
+    }
+    return out;
 }
 
 Matrix
@@ -31,48 +531,49 @@ Matrix::randn(size_t rows, size_t cols, Rng& rng, double scale)
 Matrix
 Matrix::matmul(const Matrix& a, const Matrix& b)
 {
-    PRUNER_CHECK(a.cols_ == b.rows_);
-    Matrix c(a.rows_, b.cols_);
-    for (size_t i = 0; i < a.rows_; ++i) {
-        const double* arow = a.row(i);
-        double* crow = c.row(i);
-        for (size_t k = 0; k < a.cols_; ++k) {
-            const double aik = arow[k];
-            if (aik == 0.0) {
-                continue;
-            }
-            const double* brow = b.row(k);
-            for (size_t j = 0; j < b.cols_; ++j) {
-                crow[j] += aik * brow[j];
-            }
-        }
-    }
+    Matrix c;
+    matmulInto(a, b, c);
     return c;
+}
+
+void
+Matrix::matmulInto(const Matrix& a, const Matrix& b, Matrix& c)
+{
+    PRUNER_CHECK_MSG(a.cols_ == b.rows_,
+                     "matmul shape mismatch: [" << a.rows_ << "x" << a.cols_
+                                                << "] * [" << b.rows_ << "x"
+                                                << b.cols_ << "]");
+    PRUNER_CHECK_MSG(&c != &a && &c != &b,
+                     "matmulInto output must not alias an input");
+    c.resize(a.rows_, b.cols_);
+    nnkernel::matmul(a.data_.data(), a.rows_, a.cols_, a.cols_,
+                     b.data_.data(), b.cols_, b.cols_, c.data_.data(),
+                     c.cols_);
 }
 
 Matrix
 Matrix::matmulNT(const Matrix& a, const Matrix& b)
 {
-    PRUNER_CHECK(a.cols_ == b.cols_);
+    PRUNER_CHECK_MSG(a.cols_ == b.cols_,
+                     "matmulNT shape mismatch: [" << a.rows_ << "x"
+                                                  << a.cols_ << "] * ["
+                                                  << b.rows_ << "x"
+                                                  << b.cols_ << "]^T");
     Matrix c(a.rows_, b.rows_);
-    for (size_t i = 0; i < a.rows_; ++i) {
-        const double* arow = a.row(i);
-        for (size_t j = 0; j < b.rows_; ++j) {
-            const double* brow = b.row(j);
-            double acc = 0.0;
-            for (size_t k = 0; k < a.cols_; ++k) {
-                acc += arow[k] * brow[k];
-            }
-            c.at(i, j) = acc;
-        }
-    }
+    nnkernel::matmulNT(a.data_.data(), a.rows_, a.cols_, a.cols_,
+                       b.data_.data(), b.rows_, b.cols_, c.data_.data(),
+                       c.cols_);
     return c;
 }
 
 Matrix
 Matrix::matmulTN(const Matrix& a, const Matrix& b)
 {
-    PRUNER_CHECK(a.rows_ == b.rows_);
+    PRUNER_CHECK_MSG(a.rows_ == b.rows_,
+                     "matmulTN shape mismatch: [" << a.rows_ << "x"
+                                                  << a.cols_ << "]^T * ["
+                                                  << b.rows_ << "x"
+                                                  << b.cols_ << "]");
     Matrix c(a.cols_, b.cols_);
     for (size_t k = 0; k < a.rows_; ++k) {
         const double* arow = a.row(k);
@@ -94,7 +595,10 @@ Matrix::matmulTN(const Matrix& a, const Matrix& b)
 void
 Matrix::add(const Matrix& other)
 {
-    PRUNER_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+    PRUNER_CHECK_MSG(rows_ == other.rows_ && cols_ == other.cols_,
+                     "add shape mismatch: [" << rows_ << "x" << cols_
+                                             << "] += [" << other.rows_
+                                             << "x" << other.cols_ << "]");
     for (size_t i = 0; i < data_.size(); ++i) {
         data_[i] += other.data_[i];
     }
@@ -103,7 +607,10 @@ Matrix::add(const Matrix& other)
 void
 Matrix::addScaled(const Matrix& other, double scale)
 {
-    PRUNER_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+    PRUNER_CHECK_MSG(rows_ == other.rows_ && cols_ == other.cols_,
+                     "addScaled shape mismatch: ["
+                         << rows_ << "x" << cols_ << "] += s * ["
+                         << other.rows_ << "x" << other.cols_ << "]");
     for (size_t i = 0; i < data_.size(); ++i) {
         data_[i] += scale * other.data_[i];
     }
@@ -112,7 +619,10 @@ Matrix::addScaled(const Matrix& other, double scale)
 void
 Matrix::addRowVector(const Matrix& bias)
 {
-    PRUNER_CHECK(bias.rows_ == 1 && bias.cols_ == cols_);
+    PRUNER_CHECK_MSG(bias.rows_ == 1 && bias.cols_ == cols_,
+                     "addRowVector expects a [1x" << cols_ << "] bias, got ["
+                                                  << bias.rows_ << "x"
+                                                  << bias.cols_ << "]");
     for (size_t i = 0; i < rows_; ++i) {
         double* r = row(i);
         for (size_t j = 0; j < cols_; ++j) {
@@ -124,7 +634,11 @@ Matrix::addRowVector(const Matrix& bias)
 void
 Matrix::hadamard(const Matrix& other)
 {
-    PRUNER_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+    PRUNER_CHECK_MSG(rows_ == other.rows_ && cols_ == other.cols_,
+                     "hadamard shape mismatch: [" << rows_ << "x" << cols_
+                                                  << "] .* ["
+                                                  << other.rows_ << "x"
+                                                  << other.cols_ << "]");
     for (size_t i = 0; i < data_.size(); ++i) {
         data_[i] *= other.data_[i];
     }
@@ -164,6 +678,9 @@ Matrix::colMean() const
 void
 Matrix::softmaxRows()
 {
+    if (cols_ == 0) {
+        return; // nothing to normalize; avoids reading r[0] of empty rows
+    }
     for (size_t i = 0; i < rows_; ++i) {
         double* r = row(i);
         double mx = r[0];

@@ -5,8 +5,12 @@
  * Dense row-major matrix used by the tiny neural-network library.
  *
  * The learned cost models in this reproduction are small (hidden width 64,
- * a handful of layers), so a straightforward cache-friendly implementation
- * is plenty: the whole training loop for a cost model runs in seconds.
+ * a handful of layers), so a cache-friendly implementation is plenty: the
+ * whole training loop for a cost model runs in seconds. The inference hot
+ * path (batched candidate scoring) additionally goes through the tiled
+ * kernels in pruner::nnkernel, which accumulate every output element over k
+ * in strictly ascending order — exactly like the naive triple loop — so
+ * batched and per-candidate results are byte-identical.
  */
 
 #include <cstddef>
@@ -15,6 +19,47 @@
 #include "support/rng.hpp"
 
 namespace pruner {
+
+namespace nnkernel {
+
+/**
+ * Raw register-blocked GEMM: C[m,n] = A[m,k] * B[k,n], row-major with the
+ * given row strides. C is overwritten (no need to pre-zero) and must not
+ * alias A or B. Each C element is a single accumulator over k in ascending
+ * order with separate multiply and add roundings (no FMA contraction), so
+ * the result is bitwise identical to the naive triple loop for any m — the
+ * property the batched inference engine's byte-identity guarantee rests
+ * on. Dispatches at runtime to an AVX-512 / AVX2 micro-kernel (explicit
+ * mul-then-add intrinsics) where available, falling back to a 4x16 scalar
+ * register tile; tile sizes are tuned for the 64-wide hidden layers of the
+ * cost models (see matrix.cpp).
+ *
+ * Optional fused epilogue, applied in the store step instead of as extra
+ * memory passes: when @p bias is non-null, bias[j] is added to each
+ * element; when @p relu, elements rectify as (v > 0 ? v : 0). Both match
+ * the standalone passes (addRowVector, ReLU::infer) byte for byte — the
+ * same per-element operations, just without re-touching C.
+ */
+void matmul(const double* a, size_t m, size_t k, size_t lda, const double* b,
+            size_t n, size_t ldb, double* c, size_t ldc,
+            const double* bias = nullptr, bool relu = false);
+
+/** Raw C[m,n] = A[m,k] * B[n,k]^T (same aliasing/ordering contract). */
+void matmulNT(const double* a, size_t m, size_t k, size_t lda,
+              const double* b, size_t n, size_t ldb, double* c, size_t ldc);
+
+/**
+ * The pre-batching GEMM, preserved verbatim (ikj loop, zero-skip,
+ * accumulation in C): the frozen golden kernel behind every model's
+ * predictReference() path. Produces the same bytes as matmul() for finite
+ * inputs — the differential tests pit the two implementations against
+ * each other on every batch. C is overwritten.
+ */
+void matmulNaive(const double* a, size_t m, size_t k, size_t lda,
+                 const double* b, size_t n, size_t ldb, double* c,
+                 size_t ldc);
+
+} // namespace nnkernel
 
 /** Row-major dense matrix of doubles. */
 class Matrix
@@ -40,11 +85,31 @@ class Matrix
     /** Fill with zeros. */
     void zero();
 
+    /**
+     * Reshape to [rows, cols] with std::vector semantics: existing scalars
+     * (in flat row-major order) are preserved, appended scalars are
+     * value-initialized to 0.0, and capacity is never released — repeated
+     * resize cycles below the high-water mark perform no heap allocation
+     * (the property the inference Workspace relies on).
+     */
+    void resize(size_t rows, size_t cols);
+
+    /** Append @p n_rows rows copied from @p src starting at @p src_row
+     *  (column counts must match; @p src must not be this matrix). */
+    void appendRows(const Matrix& src, size_t src_row, size_t n_rows);
+
+    /** Copy of rows [row0, row0 + n_rows). */
+    Matrix sliceRows(size_t row0, size_t n_rows) const;
+
     /** Kaiming-style init: N(0, sqrt(2/fan_in)). */
     static Matrix randn(size_t rows, size_t cols, Rng& rng, double scale);
 
     /** C = A * B. */
     static Matrix matmul(const Matrix& a, const Matrix& b);
+
+    /** C = A * B into a caller-owned matrix (resized; no allocation when
+     *  its capacity suffices). @p c must not alias @p a or @p b. */
+    static void matmulInto(const Matrix& a, const Matrix& b, Matrix& c);
 
     /** C = A * B^T. */
     static Matrix matmulNT(const Matrix& a, const Matrix& b);
@@ -73,7 +138,8 @@ class Matrix
     /** Mean over rows -> [1, cols]. */
     Matrix colMean() const;
 
-    /** Row-wise softmax (in place), numerically stable. */
+    /** Row-wise softmax (in place), numerically stable. A zero-column
+     *  matrix is a no-op (every row is an empty distribution). */
     void softmaxRows();
 
     /** Frobenius norm. */

@@ -1,0 +1,100 @@
+#include "nn/workspace.hpp"
+
+#include "support/logging.hpp"
+
+namespace pruner {
+
+void
+Workspace::reset()
+{
+    next_mat_ = 0;
+    next_seg_ = 0;
+}
+
+Matrix&
+Workspace::alloc(size_t rows, size_t cols)
+{
+    if (next_mat_ == mats_.size()) {
+        mats_.push_back(std::make_unique<Matrix>());
+    }
+    Matrix& m = *mats_[next_mat_++];
+    m.resize(rows, cols);
+    return m;
+}
+
+Matrix&
+Workspace::allocZero(size_t rows, size_t cols)
+{
+    Matrix& m = alloc(rows, cols);
+    m.zero();
+    return m;
+}
+
+SegmentTable&
+Workspace::allocSegments()
+{
+    if (next_seg_ == segs_.size()) {
+        segs_.push_back(std::make_unique<SegmentTable>());
+    }
+    SegmentTable& s = *segs_[next_seg_++];
+    s.reset();
+    return s;
+}
+
+size_t
+Workspace::doublesReserved() const
+{
+    size_t total = 0;
+    for (const auto& m : mats_) {
+        total += m->data().capacity();
+    }
+    return total;
+}
+
+Workspace&
+threadLocalWorkspace()
+{
+    static thread_local Workspace ws;
+    return ws;
+}
+
+void
+segmentColSum(const Matrix& x, const SegmentTable& segs, Matrix& out)
+{
+    PRUNER_CHECK_MSG(segs.totalRows() == x.rows(),
+                     "segment table covers " << segs.totalRows()
+                                             << " rows, pack has "
+                                             << x.rows());
+    out.resize(segs.count(), x.cols());
+    out.zero();
+    for (size_t s = 0; s < segs.count(); ++s) {
+        double* o = out.row(s);
+        const size_t b = segs.begin(s);
+        const size_t n = segs.rows(s);
+        for (size_t r = 0; r < n; ++r) {
+            const double* xr = x.row(b + r);
+            for (size_t c = 0; c < x.cols(); ++c) {
+                o[c] += xr[c];
+            }
+        }
+    }
+}
+
+void
+segmentColMean(const Matrix& x, const SegmentTable& segs, Matrix& out)
+{
+    segmentColSum(x, segs, out);
+    for (size_t s = 0; s < segs.count(); ++s) {
+        const size_t n = segs.rows(s);
+        if (n == 0) {
+            continue;
+        }
+        const double inv = 1.0 / static_cast<double>(n);
+        double* o = out.row(s);
+        for (size_t c = 0; c < out.cols(); ++c) {
+            o[c] *= inv;
+        }
+    }
+}
+
+} // namespace pruner

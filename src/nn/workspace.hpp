@@ -1,0 +1,98 @@
+#pragma once
+
+/**
+ * @file workspace.hpp
+ * Reusable scratch memory for batched cost-model inference.
+ *
+ * The batched forward pass packs every candidate's feature rows into one
+ * matrix per stage (one GEMM per population instead of a GEMV per
+ * candidate). All intermediates live in a Workspace: an arena of Matrix /
+ * SegmentTable buffers handed out in call order and recycled by reset().
+ * Buffer capacity is never released, so once a workspace has seen its
+ * high-water batch shape, steady-state inference performs zero heap
+ * allocations (asserted by a counting-allocator hook in
+ * tests/test_batched_inference.cpp).
+ *
+ * A Workspace is single-threaded scratch: share one per thread (see
+ * threadLocalWorkspace()), never across threads.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace pruner {
+
+/**
+ * Row ranges of a packed batch matrix: segment i covers rows
+ * [begin(i), begin(i) + rows(i)) of the pack, one segment per candidate.
+ * Variable-length segments (per-statement features) and fixed-stride ones
+ * (dataflow / primitive sequences) use the same table.
+ */
+class SegmentTable
+{
+  public:
+    void reset() { offsets_.resize(1); }
+    void append(size_t rows) { offsets_.push_back(offsets_.back() + rows); }
+
+    size_t count() const { return offsets_.size() - 1; }
+    size_t begin(size_t i) const { return offsets_[i]; }
+    size_t rows(size_t i) const { return offsets_[i + 1] - offsets_[i]; }
+    size_t totalRows() const { return offsets_.back(); }
+
+  private:
+    std::vector<size_t> offsets_{0};
+};
+
+/** Arena of reusable inference buffers (see file comment). */
+class Workspace
+{
+  public:
+    /** Start a fresh pass: all buffers become available again. Contents
+     *  are preserved until re-acquired; capacity is never released. */
+    void reset();
+
+    /** Next matrix buffer, shaped [rows, cols]. Contents are unspecified
+     *  (stale scalars from earlier passes) — callers must overwrite every
+     *  entry or use allocZero. The reference stays valid until the
+     *  workspace is destroyed (buffers are pointer-stable). */
+    Matrix& alloc(size_t rows, size_t cols);
+
+    /** Next matrix buffer, zero-filled. */
+    Matrix& allocZero(size_t rows, size_t cols);
+
+    /** Next segment table, reset to zero segments. */
+    SegmentTable& allocSegments();
+
+    /** Buffers ever created (growth events; a steady-state pass leaves
+     *  this unchanged — the workspace-reuse regression tests key on it). */
+    size_t matrixBuffers() const { return mats_.size(); }
+    size_t segmentBuffers() const { return segs_.size(); }
+
+    /** Total scalars currently reserved across matrix buffers. */
+    size_t doublesReserved() const;
+
+  private:
+    std::vector<std::unique_ptr<Matrix>> mats_;
+    std::vector<std::unique_ptr<SegmentTable>> segs_;
+    size_t next_mat_ = 0;
+    size_t next_seg_ = 0;
+};
+
+/** Per-thread workspace for the model predict() hot path: reentrant across
+ *  pool workers (each thread owns one) and warm after the first batch. */
+Workspace& threadLocalWorkspace();
+
+/**
+ * Per-segment column sums: out[i] = colSum of x rows
+ * [segs.begin(i), +rows(i)), accumulated in ascending row order — the
+ * same order (and therefore the same bytes) as per-candidate colSum().
+ */
+void segmentColSum(const Matrix& x, const SegmentTable& segs, Matrix& out);
+
+/** Per-segment column means (empty segments yield zero rows), byte-equal
+ *  to per-candidate colMean(). */
+void segmentColMean(const Matrix& x, const SegmentTable& segs, Matrix& out);
+
+} // namespace pruner

@@ -151,6 +151,15 @@ std::vector<SchedulePrimitive>
 Schedule::primitiveSequence(const SubgraphTask& task) const
 {
     std::vector<SchedulePrimitive> seq;
+    primitiveSequenceInto(task, seq);
+    return seq;
+}
+
+void
+Schedule::primitiveSequenceInto(const SubgraphTask& task,
+                                std::vector<SchedulePrimitive>& seq) const
+{
+    seq.clear();
     for (size_t i = 0; i < spatial_.size(); ++i) {
         for (int pos = 1; pos < 5; ++pos) {
             seq.push_back({SchedulePrimitive::Split, static_cast<int>(i),
@@ -176,7 +185,6 @@ Schedule::primitiveSequence(const SubgraphTask& task) const
     }
     seq.push_back({SchedulePrimitive::Annotate, 0, unroll_});
     seq.push_back({SchedulePrimitive::Annotate, 1, vector_len_});
-    return seq;
 }
 
 uint64_t

@@ -110,6 +110,11 @@ class Schedule
     std::vector<SchedulePrimitive>
     primitiveSequence(const SubgraphTask& task) const;
 
+    /** primitiveSequence() into a caller-owned vector (cleared, capacity
+     *  reused — the batched feature extractor's zero-allocation path). */
+    void primitiveSequenceInto(const SubgraphTask& task,
+                               std::vector<SchedulePrimitive>& out) const;
+
     /** Stable content hash. */
     uint64_t hash() const;
 

@@ -10,21 +10,33 @@
 namespace pruner {
 
 std::vector<double>
-scoreChunked(const ScoreFn& score, const std::vector<Schedule>& candidates,
+scoreChunked(const ScoreFn& score, std::span<const Schedule> candidates,
              ThreadPool* pool, size_t chunk)
 {
-    if (pool == nullptr || chunk == 0 || candidates.size() <= chunk) {
+    if (chunk == 0 || candidates.size() <= chunk) {
         return score(candidates);
     }
     const size_t n_chunks = (candidates.size() + chunk - 1) / chunk;
+    if (pool == nullptr) {
+        // Serial, but still chunk-capped: the cap bounds the memory of a
+        // batched cost-model pass, which matters most in serial runs.
+        // Slices concatenate in order, so values are identical.
+        std::vector<double> out;
+        out.reserve(candidates.size());
+        for (size_t c = 0; c < n_chunks; ++c) {
+            const size_t begin = c * chunk;
+            const size_t len = std::min(chunk, candidates.size() - begin);
+            const auto slice = score(candidates.subspan(begin, len));
+            out.insert(out.end(), slice.begin(), slice.end());
+        }
+        return out;
+    }
     std::vector<std::vector<double>> slices(n_chunks);
     pool->parallelFor(n_chunks, [&](size_t c) {
-        const auto begin = candidates.begin() +
-                           static_cast<std::ptrdiff_t>(c * chunk);
-        const auto end = candidates.begin() +
-                         static_cast<std::ptrdiff_t>(
-                             std::min((c + 1) * chunk, candidates.size()));
-        slices[c] = score(std::vector<Schedule>(begin, end));
+        const size_t begin = c * chunk;
+        const size_t len =
+            std::min(chunk, candidates.size() - begin);
+        slices[c] = score(candidates.subspan(begin, len));
     });
     std::vector<double> out;
     out.reserve(candidates.size());

@@ -12,6 +12,7 @@
  */
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "sched/mutator.hpp"
@@ -34,7 +35,11 @@ struct EvolutionConfig
      *  CostModel::predict), so chunked results equal serial results
      *  exactly; the ScoreFn must be reentrant. Borrowed, may be null. */
     ThreadPool* score_pool = nullptr;
-    size_t score_chunk = 64;     ///< candidates per scoring slice
+    /** Candidates per scoring slice: each worker receives one contiguous
+     *  sub-batch, which a learned-model ScoreFn turns into one batched
+     *  GEMM pass (TuneOptions::predict_batch feeds this in the policy
+     *  loops). */
+    size_t score_chunk = 64;
 };
 
 /** A schedule with its fitness score (higher = better). */
@@ -44,19 +49,24 @@ struct ScoredSchedule
     double score = 0.0;
 };
 
-/** Fitness: batch-scores candidates (higher = predicted faster). */
+/** Fitness: batch-scores a contiguous span of candidates (higher =
+ *  predicted faster). Spans avoid per-candidate Schedule copies when the
+ *  population is sliced across workers. */
 using ScoreFn =
-    std::function<std::vector<double>(const std::vector<Schedule>&)>;
+    std::function<std::vector<double>(std::span<const Schedule>)>;
 
 /**
  * Evaluate @p score on @p candidates, slicing the batch into @p chunk
- * pieces across @p pool when one is given. Slices are concatenated in
- * order, so for any per-candidate-independent score function the result is
- * identical to score(candidates). Falls back to one serial call when
- * @p pool is null or the batch is a single chunk.
+ * pieces across @p pool when one is given. Each worker gets a zero-copy
+ * sub-span (chunk -> one batched GEMM for learned-model score functions);
+ * slices are concatenated in order, so for any per-candidate-independent
+ * score function the result is identical to score(candidates). With a
+ * null @p pool the slices run serially but the chunk cap still applies —
+ * it bounds the memory of one batched pass, not just the fan-out. A
+ * single-chunk batch is one direct call.
  */
 std::vector<double> scoreChunked(const ScoreFn& score,
-                                 const std::vector<Schedule>& candidates,
+                                 std::span<const Schedule> candidates,
                                  ThreadPool* pool, size_t chunk = 64);
 
 /** Score-guided GA returning the all-time best candidates. */

@@ -93,7 +93,7 @@ EvoCostModelPolicy::supportsTask(const SubgraphTask&) const
 
 std::vector<double>
 EvoCostModelPolicy::scoreCandidates(
-    const SubgraphTask& task, const std::vector<Schedule>& candidates) const
+    const SubgraphTask& task, std::span<const Schedule> candidates) const
 {
     return model_->predict(task, candidates);
 }
@@ -123,6 +123,8 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
     MeasureEnv env(measurer, opts.measure_workers, opts.measure_cache);
     EvoPolicyConfig run_config = config_;
     run_config.evolution.score_pool = env.pool();
+    run_config.evolution.score_chunk =
+        static_cast<size_t>(std::max(opts.predict_batch, 1));
     TuningRecordDb db;
     TaskScheduler scheduler(workload);
 
@@ -195,7 +197,7 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
             size_t evals = 0;
             const auto ranked = evo.run(
                 run_config.evolution,
-                [&](const std::vector<Schedule>& cands) {
+                [&](std::span<const Schedule> cands) {
                     return scoreCandidates(task, cands);
                 },
                 seeds, rng, &evals);
@@ -285,10 +287,10 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
     // A learned model that diverged (non-finite scores) means the policy
     // lost its search signal — the paper observes this for TLP fine-tuned
     // on small data ("the tuning curve disappears").
-    const auto probe = model_->predict(workload.tasks[0].task,
-                                       {ScheduleSampler(
-                                            workload.tasks[0].task, device_)
-                                            .sample(rng)});
+    const Schedule probe_sch =
+        ScheduleSampler(workload.tasks[0].task, device_).sample(rng);
+    const auto probe = model_->predict(
+        workload.tasks[0].task, std::span<const Schedule>(&probe_sch, 1));
     if (!probe.empty() && !std::isfinite(probe[0])) {
         result.failed = true;
         result.failure_reason = "cost model diverged";

@@ -45,6 +45,14 @@ struct TuneOptions
     /** LRU (task, schedule) measurement cache: re-visited candidates are
      *  free. Deterministic for a fixed seed. */
     bool measure_cache = true;
+    /** Cap on candidates per batched cost-model inference pass. The draft
+     *  population and the verify stage are scored in predict_batch-sized
+     *  slices: one slice = one worker's sub-batch = one packed GEMM
+     *  through the model (src/nn's batched engine). Scores are
+     *  byte-identical for any cap and worker count — rows flow through
+     *  the same kernels with the same per-element accumulation order —
+     *  so this knob only moves wall-clock and memory. */
+    int predict_batch = 64;
     /** Tasks per sharded round (clamped to [1, numTasks]). Each round the
      *  gradient scheduler picks the top-K tasks; their drafts verify and
      *  measure through one shared pool pass, so host compilation overlaps
@@ -170,7 +178,7 @@ class EvoCostModelPolicy : public SearchPolicy
     /** Hook: scores candidates; default defers to the cost model. */
     virtual std::vector<double>
     scoreCandidates(const SubgraphTask& task,
-                    const std::vector<Schedule>& candidates) const;
+                    std::span<const Schedule> candidates) const;
 
     std::string name_;
     DeviceSpec device_;

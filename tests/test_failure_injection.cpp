@@ -88,7 +88,7 @@ TEST(FailureInjection, EvolutionHandlesConstantFitness)
     Rng rng(5);
     const auto ranked = evo.run(
         config,
-        [](const std::vector<Schedule>& cands) {
+        [](std::span<const Schedule> cands) {
             return std::vector<double>(cands.size(), 42.0);
         },
         {}, rng, nullptr);

@@ -3,9 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <limits>
+#include <string>
 
 #include "nn/attention.hpp"
 #include "nn/layers.hpp"
@@ -13,6 +17,7 @@
 #include "nn/matrix.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/serialize.hpp"
+#include "nn/workspace.hpp"
 #include "support/logging.hpp"
 
 namespace pruner {
@@ -86,6 +91,176 @@ TEST(Matrix, SoftmaxStableForLargeValues)
     m.softmaxRows();
     EXPECT_TRUE(std::isfinite(m.at(0, 0)));
     EXPECT_GT(m.at(0, 1), m.at(0, 0));
+}
+
+TEST(Matrix, SoftmaxZeroColumnsIsNoOp)
+{
+    // Regression: a [n, 0] matrix used to read r[0] of empty rows.
+    Matrix m(3, 0);
+    EXPECT_NO_THROW(m.softmaxRows());
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 0u);
+    Matrix empty;
+    EXPECT_NO_THROW(empty.softmaxRows());
+}
+
+TEST(Matrix, ConstructorRejectsOverflowingShape)
+{
+    const size_t huge = std::numeric_limits<size_t>::max() / 2;
+    EXPECT_THROW(Matrix(huge, 3), InternalError);
+    Matrix m(2, 2);
+    EXPECT_THROW(m.resize(huge, huge), InternalError);
+    // Degenerate-but-valid shapes are fine.
+    EXPECT_NO_THROW(Matrix(huge, 0));
+    EXPECT_NO_THROW(Matrix(0, 17));
+}
+
+TEST(Matrix, ShapeMismatchReportsDimensions)
+{
+    const Matrix a(2, 3);
+    const Matrix b(4, 2);
+    try {
+        Matrix::matmul(a, b);
+        FAIL() << "matmul accepted mismatched shapes";
+    } catch (const InternalError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("2x3"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("4x2"), std::string::npos) << msg;
+    }
+    Matrix c(2, 3);
+    try {
+        c.addRowVector(Matrix(2, 3));
+        FAIL() << "addRowVector accepted a non-row bias";
+    } catch (const InternalError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("2x3"), std::string::npos) << msg;
+    }
+}
+
+TEST(Matrix, TiledMatmulMatchesNaiveKernelBitwise)
+{
+    // The dispatched fast kernel (AVX-512 / AVX2 / scalar tile, whatever
+    // this host selected) must reproduce the frozen naive kernel bit for
+    // bit across shapes that exercise the main tile and every remainder
+    // path — this is the foundation of the engine's byte-identity claim.
+    Rng rng(101);
+    for (const auto [m, k, n] :
+         {std::array<size_t, 3>{1, 1, 1}, {1, 128, 64}, {3, 7, 5},
+          {4, 40, 64}, {5, 23, 17}, {9, 64, 64}, {33, 64, 23},
+          {130, 31, 64}}) {
+        const Matrix a = Matrix::randn(m, k, rng, 1.0);
+        const Matrix b = Matrix::randn(k, n, rng, 1.0);
+        const Matrix fast = Matrix::matmul(a, b);
+        Matrix naive(m, n);
+        nnkernel::matmulNaive(a.row(0), m, k, k, b.row(0), n, n,
+                              naive.row(0), n);
+        ASSERT_EQ(fast.rows(), m);
+        ASSERT_EQ(fast.cols(), n);
+        EXPECT_EQ(std::memcmp(fast.data().data(), naive.data().data(),
+                              m * n * sizeof(double)),
+                  0)
+            << "kernel diverged at [" << m << "x" << k << "x" << n << "]";
+    }
+}
+
+TEST(Matrix, ResizePreservesPrefixAndZeroFillsGrowth)
+{
+    Matrix m(2, 3, 1.5);
+    m.resize(4, 3);
+    for (size_t c = 0; c < 3; ++c) {
+        EXPECT_DOUBLE_EQ(m.at(0, c), 1.5);
+        EXPECT_DOUBLE_EQ(m.at(3, c), 0.0);
+    }
+    // Shrink-then-grow re-zeroes the tail (vector resize semantics).
+    m.resize(0, 3);
+    m.resize(2, 3);
+    for (size_t c = 0; c < 3; ++c) {
+        EXPECT_DOUBLE_EQ(m.at(1, c), 0.0);
+    }
+}
+
+TEST(Matrix, AppendRowsAndSliceRowsRoundTrip)
+{
+    Rng rng(103);
+    const Matrix src = Matrix::randn(6, 4, rng, 1.0);
+    Matrix pack(0, 4);
+    pack.appendRows(src, 1, 3);
+    pack.appendRows(src, 4, 2);
+    ASSERT_EQ(pack.rows(), 5u);
+    const Matrix back = pack.sliceRows(0, 3);
+    for (size_t r = 0; r < 3; ++r) {
+        for (size_t c = 0; c < 4; ++c) {
+            EXPECT_DOUBLE_EQ(back.at(r, c), src.at(r + 1, c));
+        }
+    }
+    EXPECT_THROW(pack.sliceRows(4, 2), InternalError);
+    Matrix wrong(0, 3);
+    EXPECT_THROW(wrong.appendRows(src, 0, 1), InternalError);
+}
+
+TEST(BatchedLayers, MlpInferBatchMatchesPerRowInfer)
+{
+    Rng rng(107);
+    Mlp mlp({5, 8, 3}, rng);
+    const Matrix x = Matrix::randn(11, 5, rng, 1.0);
+    Workspace ws;
+    const Matrix& batched = mlp.inferBatch(x, ws);
+    const Matrix whole = mlp.infer(x);
+    ASSERT_EQ(batched.rows(), 11u);
+    ASSERT_EQ(batched.cols(), 3u);
+    for (size_t r = 0; r < x.rows(); ++r) {
+        const Matrix row_out = mlp.infer(x.sliceRows(r, 1));
+        for (size_t c = 0; c < 3; ++c) {
+            EXPECT_DOUBLE_EQ(batched.at(r, c), row_out.at(0, c));
+            EXPECT_DOUBLE_EQ(batched.at(r, c), whole.at(r, c));
+        }
+    }
+}
+
+TEST(BatchedLayers, AttentionInferBatchMatchesPerSegmentInfer)
+{
+    Rng rng(109);
+    SelfAttention attn(6, rng);
+    const Matrix x = Matrix::randn(10, 6, rng, 0.7);
+    SegmentTable segs;
+    segs.append(4);
+    segs.append(0);
+    segs.append(2);
+    segs.append(4);
+    Workspace ws;
+    const Matrix& batched = attn.inferBatch(x, segs, ws);
+    ASSERT_EQ(batched.rows(), x.rows());
+    for (size_t s = 0; s < segs.count(); ++s) {
+        if (segs.rows(s) == 0) {
+            continue;
+        }
+        const Matrix seg_out =
+            attn.infer(x.sliceRows(segs.begin(s), segs.rows(s)));
+        for (size_t r = 0; r < segs.rows(s); ++r) {
+            for (size_t c = 0; c < 6; ++c) {
+                EXPECT_DOUBLE_EQ(batched.at(segs.begin(s) + r, c),
+                                 seg_out.at(r, c));
+            }
+        }
+    }
+}
+
+TEST(BatchedLayers, InferReferenceMatchesInfer)
+{
+    Rng rng(113);
+    Mlp mlp({4, 8, 2}, rng);
+    SelfAttention attn(4, rng);
+    const Matrix x = Matrix::randn(6, 4, rng, 0.9);
+    const Matrix a = mlp.infer(x);
+    const Matrix b = mlp.inferReference(x);
+    EXPECT_EQ(std::memcmp(a.data().data(), b.data().data(),
+                          a.size() * sizeof(double)),
+              0);
+    const Matrix c = attn.infer(x);
+    const Matrix d = attn.inferReference(x);
+    EXPECT_EQ(std::memcmp(c.data().data(), d.data().data(),
+                          c.size() * sizeof(double)),
+              0);
 }
 
 /** Scalar loss used by the gradient checks: sum of outputs. */

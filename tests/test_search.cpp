@@ -179,7 +179,7 @@ TEST(Evolution, ChunkedScoringMatchesSerial)
     ScheduleSampler sampler(task, dev);
     Rng rng(47);
     const auto candidates = sampler.sampleMany(rng, 150);
-    const ScoreFn score = [&](const std::vector<Schedule>& cands) {
+    const ScoreFn score = [&](std::span<const Schedule> cands) {
         std::vector<double> s;
         s.reserve(cands.size());
         for (const auto& c : cands) {
@@ -209,7 +209,7 @@ TEST(Evolution, SaGuidedSearchImprovesOverRandom)
     size_t evals = 0;
     const auto ranked = evo.run(
         config,
-        [&](const std::vector<Schedule>& cands) {
+        [&](std::span<const Schedule> cands) {
             std::vector<double> s;
             for (const auto& c : cands) {
                 s.push_back(sa.score(task, c));
@@ -245,7 +245,7 @@ TEST(Evolution, RespectsOutSizeAndDedup)
     Rng rng(7);
     const auto ranked = evo.run(
         config,
-        [](const std::vector<Schedule>& cands) {
+        [](std::span<const Schedule> cands) {
             return std::vector<double>(cands.size(), 1.0);
         },
         {}, rng, nullptr);

@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <functional>
 #include <future>
@@ -28,7 +29,9 @@
 #include "dataset/dataset.hpp"
 #include "db/artifact_db.hpp"
 #include "ir/workload_registry.hpp"
+#include "sched/sampler.hpp"
 #include "search/search_policy.hpp"
+#include "sim/gpu_simulator.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
 
@@ -192,6 +195,37 @@ pretrainTlp(const DeviceSpec& device, const std::vector<Workload>& workloads,
     const auto data = generateDataset(workloads, device, config);
     TlpCostModel model(device, seed);
     return baselines::pretrainCostModel(model, data, epochs);
+}
+
+/**
+ * Measured records spread round-robin over @p n_tasks GEMM tasks (one
+ * LambdaRank group per task) — the shared training window of the
+ * batched-training benches (micro_overhead, table1). Keeping one recipe
+ * means every training-identity gate exercises the same data shape.
+ */
+inline std::vector<MeasuredRecord>
+makeTrainingRecords(const DeviceSpec& device, size_t n_records,
+                    size_t n_tasks, uint64_t seed)
+{
+    const GpuSimulator sim(device);
+    std::vector<SubgraphTask> tasks;
+    for (size_t t = 0; t < n_tasks; ++t) {
+        tasks.push_back(makeGemm("train_t" + std::to_string(t), 1,
+                                 128 << (t % 3), 128, 128));
+    }
+    Rng rng(seed);
+    std::vector<MeasuredRecord> records;
+    size_t t = 0;
+    while (records.size() < n_records) {
+        const SubgraphTask& task = tasks[t++ % tasks.size()];
+        ScheduleSampler sampler(task, device);
+        const Schedule sch = sampler.sample(rng);
+        const double lat = sim.measure(task, sch, rng);
+        if (std::isfinite(lat)) {
+            records.push_back({task, sch, lat});
+        }
+    }
+    return records;
 }
 
 /** Print the standard scaling disclaimer. */

@@ -25,6 +25,7 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -247,6 +248,54 @@ batchedInferenceBenchmark()
     section("PaCM", PaCMModel(dev, 1));
     section("MLP", MlpCostModel(dev, 1));
     section("TLP", TlpCostModel(dev, 1));
+    std::printf("\n");
+    return status;
+}
+
+int
+batchedTrainingBenchmark()
+{
+    // The training counterpart of the inference section: one PaCM / TLP
+    // online-update epoch over a 512-record window spread across 8 tasks
+    // (one LambdaRank group per task), per-record reference loop
+    // (trainReference: fitReference per record) vs the segment-batched
+    // backward (train: one GEMM per layer forward AND backward per
+    // group). Both models see the same number of train calls with the
+    // same RNG lineage, so the final weights must be byte-identical —
+    // asserted below; only wall-clock is allowed to move.
+    constexpr size_t kRecords = 512;
+    const auto& dev = benchDevice();
+    const auto records =
+        bench::makeTrainingRecords(dev, kRecords, /*n_tasks=*/8, 47);
+
+    std::printf("batched cost-model training: %zu-record window, "
+                "per-record backward vs segment-batched backward\n",
+                kRecords);
+    int status = 0;
+    auto section = [&](const char* name, auto batched, auto reference) {
+        // bestOfSeconds runs both variants the same number of times, so
+        // the two models end on identical weights iff the trainers agree.
+        const double ref_s = bench::bestOfSeconds(
+            [&]() { reference.trainReference(records, 1); });
+        const double bat_s =
+            bench::bestOfSeconds([&]() { batched.train(records, 1); });
+        const bool identical = batched.getParams() == reference.getParams();
+        char label[64];
+        std::snprintf(label, sizeof(label), "%s reference epoch", name);
+        std::printf("  %-28s %10.2f ms   %8.0f records/s\n", label,
+                    ref_s * 1e3, static_cast<double>(kRecords) / ref_s);
+        std::snprintf(label, sizeof(label), "%s batched epoch", name);
+        std::printf("  %-28s %10.2f ms   %8.0f records/s   %.2fx speedup"
+                    "   weights %s\n",
+                    label, bat_s * 1e3,
+                    static_cast<double>(kRecords) / bat_s, ref_s / bat_s,
+                    identical ? "identical" : "DIVERGED");
+        if (!identical) {
+            status = 1;
+        }
+    };
+    section("PaCM", PaCMModel(dev, 1), PaCMModel(dev, 1));
+    section("TLP", TlpCostModel(dev, 1), TlpCostModel(dev, 1));
     std::printf("\n");
     return status;
 }
@@ -492,6 +541,7 @@ main()
                 "batched measurement overlap\n\n");
     componentBenchmarks();
     int status = batchedInferenceBenchmark();
+    status |= batchedTrainingBenchmark();
     status |= measureBatchBenchmark();
     std::printf("\n");
     status |= shardedRoundBenchmark();

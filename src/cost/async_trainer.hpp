@@ -15,6 +15,12 @@
  * the front model through a DoubleBufferedParams snapshot — the draft and
  * verify stages can never observe torn weights.
  *
+ * The update job simply calls the model's train(), so it rides the
+ * batched segment-aware training engine (one GEMM per LambdaRank group,
+ * forward and backward) — and because batched weights are byte-identical
+ * to the per-record trainReference() path, the async==sync equality
+ * proofs below are unaffected by the batched trainer.
+ *
  * Determinism: the back clone inherits the front model's full state
  * (weights and RNG lineage) and is the only model that ever trains, while
  * the front model is a read-only prediction mirror refreshed at install().

@@ -32,6 +32,52 @@ double
 trainRankingLoop(
     const std::vector<MeasuredRecord>& records, int epochs, size_t group_cap,
     Rng& rng,
+    const std::function<void(const std::vector<size_t>&,
+                             std::vector<double>&)>& infer_scores,
+    const std::function<void(const std::vector<size_t>&,
+                             const std::vector<double>&)>& fit_batch,
+    const std::function<void()>& on_batch_end)
+{
+    auto groups = detail::groupByTask(records);
+    double last_epoch_loss = 0.0;
+    // Loop-level buffers, reused across groups and epochs.
+    std::vector<size_t> subset;
+    std::vector<double> scores, latencies;
+    LossResult loss;
+    LossScratch scratch;
+    for (int epoch = 0; epoch < epochs; ++epoch) {
+        rng.shuffle(groups);
+        double epoch_loss = 0.0;
+        size_t batches = 0;
+        for (auto& group : groups) {
+            if (group.size() < 2) {
+                continue;
+            }
+            rng.shuffle(group);
+            subset.assign(group.begin(),
+                          group.begin() +
+                              std::min(group.size(), group_cap));
+            infer_scores(subset, scores);
+            latencies.clear();
+            for (size_t idx : subset) {
+                latencies.push_back(records[idx].latency);
+            }
+            lambdaRankLossInto(scores, latencies, /*sigma=*/1.0, loss,
+                               scratch);
+            fit_batch(subset, loss.grad);
+            on_batch_end();
+            epoch_loss += loss.loss;
+            ++batches;
+        }
+        last_epoch_loss = batches > 0 ? epoch_loss / batches : 0.0;
+    }
+    return last_epoch_loss;
+}
+
+double
+trainRankingLoopReference(
+    const std::vector<MeasuredRecord>& records, int epochs, size_t group_cap,
+    Rng& rng,
     const std::function<std::vector<double>(const std::vector<size_t>&)>&
         infer_scores,
     const std::function<void(size_t, double)>& fit_one,

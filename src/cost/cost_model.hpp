@@ -55,9 +55,23 @@ class CostModel
             std::span<const Schedule> candidates) const = 0;
 
     /** Train on measured records (grouped by task internally). Returns
-     *  the final average ranking loss. */
+     *  the final average ranking loss. The learned models route this
+     *  through the batched segment-aware trainer (one GEMM per layer per
+     *  LambdaRank group, forward and backward); weights after every
+     *  epoch are byte-identical to trainReference(). */
     virtual double train(const std::vector<MeasuredRecord>& records,
                          int epochs) = 0;
+
+    /** The frozen pre-batching training path (per-record forward +
+     *  backward), kept as the golden reference the batched trainer is
+     *  differentially tested against. Consumes the model's RNG exactly
+     *  like train(), so compare fresh clones — not chained calls.
+     *  Models without a separate reference path train normally. */
+    virtual double trainReference(const std::vector<MeasuredRecord>& records,
+                                  int epochs)
+    {
+        return train(records, epochs);
+    }
 
     /** Simulated seconds of exploration cost per scored candidate. */
     virtual double evalCostPerCandidate() const = 0;
@@ -84,19 +98,48 @@ groupByTask(const std::vector<MeasuredRecord>& records);
 } // namespace detail
 
 /**
- * Shared LambdaRank training loop.
+ * Shared LambdaRank training loop — batched backward.
+ *
+ * Identical group/shuffle/loss structure (and RNG consumption) to
+ * trainRankingLoopReference, but each group's fit runs as ONE
+ * segment-packed batch: @p fit_batch receives the sampled subset (in pack
+ * order) and the per-record dL/dscore, and must make zero-gradient
+ * records byte-level no-ops — either by skipping them like the reference
+ * loop skips its fit_one calls, or by carrying them with a zero dy row
+ * (all their partials are exactly +0.0; the models do the latter so the
+ * backward can reuse the scoring pass's activations). infer_scores and
+ * fit_batch are always called as a pair per group, so scoring state may
+ * carry into the fit. All loop-level buffers (subset, scores, latencies,
+ * loss scratch) are reused across groups and epochs, so steady-state
+ * epochs allocate nothing at the loop level.
  *
  * @param records  measured data
  * @param epochs   passes over the grouped data
  * @param group_cap  max candidates per group per epoch (LambdaRank is
  *                   quadratic in group size)
  * @param rng      sampling source
- * @param infer_scores  cache-free scoring of a subset of one group
- * @param fit_one  forward+backward for record @p idx with dL/dscore
+ * @param infer_scores  cache-free scoring of a subset of one group into a
+ *                      reused output buffer (resized to subset.size())
+ * @param fit_batch  one batched forward+backward over the subset
  * @param on_batch_end  apply the optimizer step
  * Returns the last epoch's mean loss.
  */
 double trainRankingLoop(
+    const std::vector<MeasuredRecord>& records, int epochs, size_t group_cap,
+    Rng& rng,
+    const std::function<void(const std::vector<size_t>&,
+                             std::vector<double>&)>& infer_scores,
+    const std::function<void(const std::vector<size_t>&,
+                             const std::vector<double>&)>& fit_batch,
+    const std::function<void()>& on_batch_end);
+
+/**
+ * The frozen pre-batching loop: per-record @p fit_one calls (skipping
+ * zero gradients), one record's full forward+backward at a time. Kept
+ * verbatim as the golden reference behind every model's trainReference();
+ * byte-for-byte the behaviour train() had before the batched backward.
+ */
+double trainRankingLoopReference(
     const std::vector<MeasuredRecord>& records, int epochs, size_t group_cap,
     Rng& rng,
     const std::function<std::vector<double>(const std::vector<size_t>&)>&

@@ -75,6 +75,71 @@ MlpCostModel::predictReference(const SubgraphTask& task,
     return scores;
 }
 
+void
+MlpCostModel::fitReference(const Matrix& feats, double dscore)
+{
+    const Matrix embedded = embed_.forward(feats);
+    const Matrix pooled = embedded.colSum();
+    head_.forward(pooled);
+    Matrix dy(1, 1);
+    dy.at(0, 0) = dscore;
+    const Matrix dpooled = head_.backward(dy);
+    // Sum-pooling backward: broadcast to every statement row.
+    Matrix dembedded(embedded.rows(), embedded.cols());
+    for (size_t r = 0; r < dembedded.rows(); ++r) {
+        for (size_t c = 0; c < dembedded.cols(); ++c) {
+            dembedded.at(r, c) = dpooled.at(0, c);
+        }
+    }
+    embed_.backward(dembedded);
+}
+
+void
+MlpCostModel::scoreBatch(const Matrix& feats, const SegmentTable& segs,
+                         Workspace& ws, TrainCaches& caches, double* out)
+{
+    const size_t n = segs.count();
+    const Matrix& embedded = embed_.forwardBatch(feats, ws,
+                                                 caches.embed_acts);
+    Matrix& pooled = ws.alloc(n, kHidden);
+    segmentColSum(embedded, segs, pooled);
+    SegmentTable& unit = ws.allocSegments();
+    for (size_t i = 0; i < n; ++i) {
+        unit.append(1); // the head sees one pooled row per record
+    }
+    const Matrix& scores = head_.forwardBatch(pooled, ws, caches.head_acts);
+    for (size_t i = 0; i < n; ++i) {
+        out[i] = scores.at(i, 0);
+    }
+    caches.segs = &segs;
+    caches.unit = &unit;
+}
+
+void
+MlpCostModel::fitBatch(const std::vector<double>& dscores, Workspace& ws,
+                       TrainCaches& caches)
+{
+    const size_t n = dscores.size();
+    if (n == 0) {
+        return;
+    }
+    const SegmentTable& segs = *caches.segs;
+    PRUNER_CHECK(segs.count() == n);
+    // Backward from the scoring pass's activations: one segment-aware
+    // pass per module, in the per-record module order (head, then embed).
+    Matrix& dy = ws.alloc(n, 1);
+    for (size_t i = 0; i < n; ++i) {
+        dy.at(i, 0) = dscores[i];
+    }
+    Matrix* dpooled = head_.backwardBatch(dy, caches.head_acts,
+                                          *caches.unit, ws,
+                                          /*need_dx=*/true);
+    Matrix& dembedded = ws.alloc(segs.totalRows(), kHidden);
+    segmentBroadcast(*dpooled, 0, kHidden, segs, dembedded, /*mean=*/false);
+    embed_.backwardBatch(dembedded, caches.embed_acts, segs, ws,
+                         /*need_dx=*/false);
+}
+
 double
 MlpCostModel::train(const std::vector<MeasuredRecord>& records, int epochs)
 {
@@ -88,6 +153,64 @@ MlpCostModel::train(const std::vector<MeasuredRecord>& records, int epochs)
     // Per-record feature memo: extract once, gather per epoch. The scores
     // (and so the whole training trajectory) are byte-identical to
     // re-extracting and scoring one record at a time.
+    Matrix memo(0, kStatementFeatureDim);
+    SegmentTable memo_segs;
+    {
+        SymbolSet sym;
+        for (const auto& rec : records) {
+            extractSymbolsInto(rec.task, rec.sch, sym);
+            const size_t row0 = memo.rows();
+            memo.resize(row0 + sym.statements.size(), kStatementFeatureDim);
+            writeStatementFeatureRows(sym, rec.task, rec.sch, device_, memo,
+                                      row0);
+            memo_segs.append(sym.statements.size());
+        }
+    }
+    Workspace ws;
+    TrainCaches caches;
+
+    // The loop calls infer_scores/fit_batch in pairs per group: scoring
+    // runs the caching forward, the fit reuses its activations — the
+    // workspace resets only at the next group's scoring pass.
+    auto infer_scores = [&](const std::vector<size_t>& subset,
+                            std::vector<double>& out) {
+        ws.reset();
+        Matrix& feats = ws.alloc(0, kStatementFeatureDim);
+        SegmentTable& segs = ws.allocSegments();
+        for (size_t idx : subset) {
+            feats.appendRows(memo, memo_segs.begin(idx),
+                             memo_segs.rows(idx));
+            segs.append(memo_segs.rows(idx));
+        }
+        out.resize(subset.size());
+        scoreBatch(feats, segs, ws, caches, out.data());
+    };
+    auto fit_batch = [&](const std::vector<size_t>&,
+                         const std::vector<double>& grads) {
+        fitBatch(grads, ws, caches);
+    };
+    auto on_batch_end = [&]() {
+        adam.clipGradNorm(5.0);
+        adam.step();
+        adam.zeroGrad();
+    };
+    return trainRankingLoop(records, epochs, /*group_cap=*/48, rng_,
+                            infer_scores, fit_batch, on_batch_end);
+}
+
+double
+MlpCostModel::trainReference(const std::vector<MeasuredRecord>& records,
+                             int epochs)
+{
+    if (records.size() < 2) {
+        return 0.0;
+    }
+    std::vector<ParamRef> params = paramRefs();
+    Adam adam(params, 1e-3);
+    adam.zeroGrad();
+
+    // Frozen pre-batching path: same memo + batched scoring, per-record
+    // fits (exactly the train() of the batched-inference engine era).
     Matrix memo(0, kStatementFeatureDim);
     SegmentTable memo_segs;
     {
@@ -117,30 +240,18 @@ MlpCostModel::train(const std::vector<MeasuredRecord>& records, int epochs)
         return scores;
     };
     auto fit_one = [&](size_t idx, double dscore) {
-        const Matrix feats =
-            memo.sliceRows(memo_segs.begin(idx), memo_segs.rows(idx));
-        const Matrix embedded = embed_.forward(feats);
-        const Matrix pooled = embedded.colSum();
-        head_.forward(pooled);
-        Matrix dy(1, 1);
-        dy.at(0, 0) = dscore;
-        const Matrix dpooled = head_.backward(dy);
-        // Sum-pooling backward: broadcast to every statement row.
-        Matrix dembedded(embedded.rows(), embedded.cols());
-        for (size_t r = 0; r < dembedded.rows(); ++r) {
-            for (size_t c = 0; c < dembedded.cols(); ++c) {
-                dembedded.at(r, c) = dpooled.at(0, c);
-            }
-        }
-        embed_.backward(dembedded);
+        fitReference(
+            memo.sliceRows(memo_segs.begin(idx), memo_segs.rows(idx)),
+            dscore);
     };
     auto on_batch_end = [&]() {
         adam.clipGradNorm(5.0);
         adam.step();
         adam.zeroGrad();
     };
-    return trainRankingLoop(records, epochs, /*group_cap=*/48, rng_,
-                            infer_scores, fit_one, on_batch_end);
+    return trainRankingLoopReference(records, epochs, /*group_cap=*/48,
+                                     rng_, infer_scores, fit_one,
+                                     on_batch_end);
 }
 
 double

@@ -28,6 +28,8 @@ class MlpCostModel : public CostModel
             std::span<const Schedule> candidates) const override;
     double train(const std::vector<MeasuredRecord>& records,
                  int epochs) override;
+    double trainReference(const std::vector<MeasuredRecord>& records,
+                          int epochs) override;
     double evalCostPerCandidate() const override;
     double trainCostPerRound() const override;
     std::vector<double> getParams() override;
@@ -49,10 +51,35 @@ class MlpCostModel : public CostModel
                      std::span<const Schedule> candidates) const;
 
   private:
+    /** Batched-trainer state carried from scoreBatch to fitBatch: the
+     *  activation caches plus (workspace-owned, pointer-stable) segment
+     *  tables of the pack the scores came from. */
+    struct TrainCaches
+    {
+        BatchActs embed_acts, head_acts;
+        const SegmentTable* segs = nullptr;
+        const SegmentTable* unit = nullptr;
+    };
+
     double scoreOne(const SubgraphTask& task, const Schedule& sch) const;
     /** Pooled batched forward over packed features -> n scores. */
     void forwardBatch(const Matrix& feats, const SegmentTable& segs,
                       Workspace& ws, double* out) const;
+    /** Frozen per-record forward+backward (the pre-batching fit). */
+    void fitReference(const Matrix& feats, double dscore);
+    /** The trainer's scoring forward: same bytes as forwardBatch, but
+     *  every layer boundary lands in @p caches so fitBatch can run the
+     *  backward without a second forward over the pack. */
+    void scoreBatch(const Matrix& feats, const SegmentTable& segs,
+                    Workspace& ws, TrainCaches& caches, double* out);
+    /** One segment-aware batched backward from scoreBatch's caches:
+     *  byte-identical gradient accumulation to calling fitReference per
+     *  record in pack order. Zero-gradient records stay in the pack with
+     *  a zero dy row: every partial they touch is exactly +0.0, so the
+     *  adds are byte-level no-ops — the same bytes as the reference
+     *  loop's skip. */
+    void fitBatch(const std::vector<double>& dscores, Workspace& ws,
+                  TrainCaches& caches);
     std::vector<ParamRef> paramRefs();
 
     DeviceSpec device_;

@@ -106,7 +106,14 @@ PaCMModel::predictInto(const SubgraphTask& task,
     SegmentTable& flow_segs = ws.allocSegments();
 
     // One symbol extraction feeds both branches (scoreOne pays it twice).
+    // Bitwise-identical dataflow blocks (duplicate candidates in a
+    // population, low-diversity tasks) are packed once and aliased by
+    // every later copy: the embedding GEMM shrinks and the attention core
+    // runs once per distinct block, with — identical input rows producing
+    // identical output rows — not a single output byte moving.
     static thread_local SymbolSet sym;
+    static thread_local DataflowBlockIndex seen_blocks;
+    seen_blocks.clear();
     for (const Schedule& sch : candidates) {
         extractSymbolsInto(task, sch, sym);
         if (cfg_.use_statement_features) {
@@ -122,7 +129,8 @@ PaCMModel::predictInto(const SubgraphTask& task,
             flow_pack.resize(row0 + kDataflowSteps, kDataflowFeatureDim);
             writeDataflowFeatureRows(sym, task, sch, device_, flow_pack,
                                      row0);
-            flow_segs.append(kDataflowSteps);
+            appendOrAliasDataflowBlock(flow_pack, flow_segs, row0,
+                                       seen_blocks);
         }
     }
     forwardBatch(stmt_pack, stmt_segs, flow_pack, flow_segs,
@@ -151,8 +159,8 @@ PaCMModel::predictReference(const SubgraphTask& task,
 }
 
 void
-PaCMModel::fitOne(const Matrix& stmt_feats, const Matrix& flow_feats,
-                  double dscore)
+PaCMModel::fitReference(const Matrix& stmt_feats, const Matrix& flow_feats,
+                        double dscore)
 {
     Matrix fused(1, 2 * kHidden);
     Matrix stmt_embedded;
@@ -199,6 +207,98 @@ PaCMModel::fitOne(const Matrix& stmt_feats, const Matrix& flow_feats,
     }
 }
 
+void
+PaCMModel::scoreBatch(const Matrix& stmt_pack,
+                      const SegmentTable& stmt_segs, const Matrix& flow_pack,
+                      const SegmentTable& flow_segs, size_t n,
+                      Workspace& ws, TrainCaches& caches, double* out)
+{
+    // Same computation (and bytes) as forwardBatch, with every
+    // intermediate cached for fitBatch.
+    Matrix& fused = ws.allocZero(n, 2 * kHidden);
+    if (cfg_.use_statement_features) {
+        PRUNER_CHECK(stmt_segs.count() == n);
+        const Matrix& embedded =
+            stmt_embed_.forwardBatch(stmt_pack, ws, caches.stmt_acts);
+        Matrix& pooled = ws.alloc(n, kHidden);
+        segmentColSum(embedded, stmt_segs, pooled);
+        for (size_t i = 0; i < n; ++i) {
+            const double* p = pooled.row(i);
+            double* f = fused.row(i);
+            for (size_t c = 0; c < kHidden; ++c) {
+                f[c] = p[c];
+            }
+        }
+    }
+    if (cfg_.use_dataflow_features) {
+        PRUNER_CHECK(flow_segs.count() == n);
+        const Matrix& embedded =
+            flow_embed_.forwardBatch(flow_pack, ws, caches.flow_acts);
+        const Matrix& ctx =
+            attn_.forwardBatch(embedded, flow_segs, ws, caches.attn);
+        Matrix& pooled = ws.alloc(n, kHidden);
+        segmentColMean(ctx, flow_segs, pooled);
+        for (size_t i = 0; i < n; ++i) {
+            const double* p = pooled.row(i);
+            double* f = fused.row(i);
+            for (size_t c = 0; c < kHidden; ++c) {
+                f[kHidden + c] = p[c];
+            }
+        }
+    }
+    SegmentTable& unit = ws.allocSegments();
+    for (size_t i = 0; i < n; ++i) {
+        unit.append(1); // the head sees one fused row per record
+    }
+    const Matrix& scores = head_.forwardBatch(fused, ws, caches.head_acts);
+    for (size_t i = 0; i < n; ++i) {
+        out[i] = scores.at(i, 0);
+    }
+    caches.stmt_segs = &stmt_segs;
+    caches.flow_segs = &flow_segs;
+    caches.unit = &unit;
+}
+
+void
+PaCMModel::fitBatch(const std::vector<double>& dscores, Workspace& ws,
+                    TrainCaches& caches)
+{
+    const size_t n = dscores.size();
+    if (n == 0) {
+        return;
+    }
+    // Backward from the scoring pass's activations, in the per-record
+    // module order (head, statement branch, dataflow branch).
+    Matrix& dy = ws.alloc(n, 1);
+    for (size_t i = 0; i < n; ++i) {
+        dy.at(i, 0) = dscores[i];
+    }
+    Matrix* dfused = head_.backwardBatch(dy, caches.head_acts,
+                                         *caches.unit, ws,
+                                         /*need_dx=*/true);
+    if (cfg_.use_statement_features) {
+        const SegmentTable& stmt_segs = *caches.stmt_segs;
+        PRUNER_CHECK(stmt_segs.count() == n);
+        Matrix& dembedded = ws.alloc(stmt_segs.totalRows(), kHidden);
+        segmentBroadcast(*dfused, 0, kHidden, stmt_segs, dembedded,
+                         /*mean=*/false);
+        stmt_embed_.backwardBatch(dembedded, caches.stmt_acts, stmt_segs,
+                                  ws, /*need_dx=*/false);
+    }
+    if (cfg_.use_dataflow_features) {
+        // Mean-pool backward: distribute 1/T to every step row.
+        const SegmentTable& flow_segs = *caches.flow_segs;
+        PRUNER_CHECK(flow_segs.count() == n);
+        Matrix& dctx = ws.alloc(flow_segs.totalRows(), kHidden);
+        segmentBroadcast(*dfused, kHidden, kHidden, flow_segs, dctx,
+                         /*mean=*/true);
+        Matrix* dflow = attn_.backwardBatch(dctx, caches.attn, flow_segs,
+                                            ws, /*need_dx=*/true);
+        flow_embed_.backwardBatch(*dflow, caches.flow_acts, flow_segs, ws,
+                                  /*need_dx=*/false);
+    }
+}
+
 double
 PaCMModel::train(const std::vector<MeasuredRecord>& records, int epochs)
 {
@@ -212,6 +312,86 @@ PaCMModel::train(const std::vector<MeasuredRecord>& records, int epochs)
     // Per-record feature memo shared by every epoch's scoring and fitting:
     // one symbol extraction per record for both branches, instead of two
     // extractions per record per epoch.
+    Matrix stmt_memo(0, kStatementFeatureDim);
+    SegmentTable stmt_segs;
+    Matrix flow_memo(0, kDataflowFeatureDim);
+    {
+        SymbolSet sym;
+        for (const auto& rec : records) {
+            extractSymbolsInto(rec.task, rec.sch, sym);
+            if (cfg_.use_statement_features) {
+                const size_t row0 = stmt_memo.rows();
+                stmt_memo.resize(row0 + sym.statements.size(),
+                                 kStatementFeatureDim);
+                writeStatementFeatureRows(sym, rec.task, rec.sch, device_,
+                                          stmt_memo, row0);
+            }
+            stmt_segs.append(cfg_.use_statement_features
+                                 ? sym.statements.size()
+                                 : 0);
+            if (cfg_.use_dataflow_features) {
+                const size_t row0 = flow_memo.rows();
+                flow_memo.resize(row0 + kDataflowSteps,
+                                 kDataflowFeatureDim);
+                writeDataflowFeatureRows(sym, rec.task, rec.sch, device_,
+                                         flow_memo, row0);
+            }
+        }
+    }
+    Workspace ws;
+    TrainCaches caches;
+
+    // Scoring runs the caching forward; the fit reuses its activations
+    // (the workspace resets only at the next group's scoring pass).
+    auto infer_scores = [&](const std::vector<size_t>& subset,
+                            std::vector<double>& out) {
+        ws.reset();
+        Matrix& stmt_pack = ws.alloc(0, kStatementFeatureDim);
+        SegmentTable& spack_segs = ws.allocSegments();
+        Matrix& flow_pack = ws.alloc(0, kDataflowFeatureDim);
+        SegmentTable& fpack_segs = ws.allocSegments();
+        for (size_t idx : subset) {
+            if (cfg_.use_statement_features) {
+                stmt_pack.appendRows(stmt_memo, stmt_segs.begin(idx),
+                                     stmt_segs.rows(idx));
+                spack_segs.append(stmt_segs.rows(idx));
+            }
+            if (cfg_.use_dataflow_features) {
+                flow_pack.appendRows(flow_memo, idx * kDataflowSteps,
+                                     kDataflowSteps);
+                fpack_segs.append(kDataflowSteps);
+            }
+        }
+        out.resize(subset.size());
+        scoreBatch(stmt_pack, spack_segs, flow_pack, fpack_segs,
+                   subset.size(), ws, caches, out.data());
+    };
+    auto fit_batch = [&](const std::vector<size_t>&,
+                         const std::vector<double>& grads) {
+        fitBatch(grads, ws, caches);
+    };
+    auto on_batch_end = [&]() {
+        adam.clipGradNorm(5.0);
+        adam.step();
+        adam.zeroGrad();
+    };
+    return trainRankingLoop(records, epochs, /*group_cap=*/48, rng_,
+                            infer_scores, fit_batch, on_batch_end);
+}
+
+double
+PaCMModel::trainReference(const std::vector<MeasuredRecord>& records,
+                          int epochs)
+{
+    if (records.size() < 2) {
+        return 0.0;
+    }
+    std::vector<ParamRef> params = paramRefs();
+    Adam adam(params, 1e-3);
+    adam.zeroGrad();
+
+    // Frozen pre-batching path: same memo + batched scoring, per-record
+    // fits (exactly the train() of the batched-inference engine era).
     Matrix stmt_memo(0, kStatementFeatureDim);
     SegmentTable stmt_segs;
     Matrix flow_memo(0, kDataflowFeatureDim);
@@ -273,15 +453,16 @@ PaCMModel::train(const std::vector<MeasuredRecord>& records, int epochs)
             cfg_.use_dataflow_features
                 ? flow_memo.sliceRows(idx * kDataflowSteps, kDataflowSteps)
                 : Matrix();
-        fitOne(stmt_feats, flow_feats, dscore);
+        fitReference(stmt_feats, flow_feats, dscore);
     };
     auto on_batch_end = [&]() {
         adam.clipGradNorm(5.0);
         adam.step();
         adam.zeroGrad();
     };
-    return trainRankingLoop(records, epochs, /*group_cap=*/48, rng_,
-                            infer_scores, fit_one, on_batch_end);
+    return trainRankingLoopReference(records, epochs, /*group_cap=*/48,
+                                     rng_, infer_scores, fit_one,
+                                     on_batch_end);
 }
 
 double

@@ -47,6 +47,8 @@ class PaCMModel : public CostModel
             std::span<const Schedule> candidates) const override;
     double train(const std::vector<MeasuredRecord>& records,
                  int epochs) override;
+    double trainReference(const std::vector<MeasuredRecord>& records,
+                          int epochs) override;
     double evalCostPerCandidate() const override;
     double trainCostPerRound() const override;
     std::vector<double> getParams() override;
@@ -70,10 +72,35 @@ class PaCMModel : public CostModel
     const PaCMConfig& config() const { return cfg_; }
 
   private:
+    /** Batched-trainer state carried from scoreBatch to fitBatch (see
+     *  MlpCostModel::TrainCaches). */
+    struct TrainCaches
+    {
+        BatchActs stmt_acts, flow_acts, head_acts;
+        AttentionBatchCache attn;
+        const SegmentTable* stmt_segs = nullptr;
+        const SegmentTable* flow_segs = nullptr;
+        const SegmentTable* unit = nullptr;
+    };
+
     double scoreOne(const SubgraphTask& task, const Schedule& sch) const;
-    /** Forward+backward from memoised per-record features. */
-    void fitOne(const Matrix& stmt_feats, const Matrix& flow_feats,
-                double dscore);
+    /** Frozen per-record forward+backward from memoised features (the
+     *  pre-batching fit). */
+    void fitReference(const Matrix& stmt_feats, const Matrix& flow_feats,
+                      double dscore);
+    /** The trainer's scoring forward: same bytes as forwardBatch, with
+     *  both branches' intermediates cached for fitBatch. */
+    void scoreBatch(const Matrix& stmt_pack, const SegmentTable& stmt_segs,
+                    const Matrix& flow_pack, const SegmentTable& flow_segs,
+                    size_t n, Workspace& ws, TrainCaches& caches,
+                    double* out);
+    /** Segment-aware batched backward from scoreBatch's caches:
+     *  byte-identical gradient accumulation to calling fitReference per
+     *  record in pack order (zero-gradient records' zero dy rows make
+     *  exactly-+0 partials — byte-level no-ops, same as the reference
+     *  loop's skip). */
+    void fitBatch(const std::vector<double>& dscores, Workspace& ws,
+                  TrainCaches& caches);
     /** Pooled batched forward over both branches' packed features. */
     void forwardBatch(const Matrix& stmt_pack, const SegmentTable& stmt_segs,
                       const Matrix& flow_pack, const SegmentTable& flow_segs,

@@ -77,7 +77,7 @@ TlpCostModel::predictReference(const SubgraphTask& task,
 }
 
 void
-TlpCostModel::fitOne(const Matrix& feats, double dscore)
+TlpCostModel::fitReference(const Matrix& feats, double dscore)
 {
     const Matrix h = attn_.forward(embed_.forward(feats));
     const Matrix pooled = h.colMean();
@@ -94,6 +94,55 @@ TlpCostModel::fitOne(const Matrix& feats, double dscore)
         }
     }
     embed_.backward(attn_.backward(dh));
+}
+
+void
+TlpCostModel::scoreBatch(const Matrix& feats, const SegmentTable& segs,
+                         Workspace& ws, TrainCaches& caches, double* out)
+{
+    const size_t n = segs.count();
+    const Matrix& embedded = embed_.forwardBatch(feats, ws,
+                                                 caches.embed_acts);
+    const Matrix& ctx = attn_.forwardBatch(embedded, segs, ws, caches.attn);
+    Matrix& pooled = ws.alloc(n, kHidden);
+    segmentColMean(ctx, segs, pooled);
+    SegmentTable& unit = ws.allocSegments();
+    for (size_t i = 0; i < n; ++i) {
+        unit.append(1); // the head sees one pooled row per record
+    }
+    const Matrix& scores = head_.forwardBatch(pooled, ws, caches.head_acts);
+    for (size_t i = 0; i < n; ++i) {
+        out[i] = scores.at(i, 0);
+    }
+    caches.segs = &segs;
+    caches.unit = &unit;
+}
+
+void
+TlpCostModel::fitBatch(const std::vector<double>& dscores, Workspace& ws,
+                       TrainCaches& caches)
+{
+    const size_t n = dscores.size();
+    if (n == 0) {
+        return;
+    }
+    const SegmentTable& segs = *caches.segs;
+    PRUNER_CHECK(segs.count() == n);
+    // Backward from the scoring pass's activations, in the per-record
+    // module order (head, attention, embed).
+    Matrix& dy = ws.alloc(n, 1);
+    for (size_t i = 0; i < n; ++i) {
+        dy.at(i, 0) = dscores[i];
+    }
+    Matrix* dpooled = head_.backwardBatch(dy, caches.head_acts,
+                                          *caches.unit, ws,
+                                          /*need_dx=*/true);
+    Matrix& dh = ws.alloc(segs.totalRows(), kHidden);
+    segmentBroadcast(*dpooled, 0, kHidden, segs, dh, /*mean=*/true);
+    Matrix* dembedded = attn_.backwardBatch(dh, caches.attn, segs, ws,
+                                            /*need_dx=*/true);
+    embed_.backwardBatch(*dembedded, caches.embed_acts, segs, ws,
+                         /*need_dx=*/false);
 }
 
 double
@@ -119,6 +168,59 @@ TlpCostModel::train(const std::vector<MeasuredRecord>& records, int epochs)
         }
     }
     Workspace ws;
+    TrainCaches caches;
+
+    // Scoring runs the caching forward; the fit reuses its activations
+    // (the workspace resets only at the next group's scoring pass).
+    auto infer_scores = [&](const std::vector<size_t>& subset,
+                            std::vector<double>& out) {
+        ws.reset();
+        Matrix& feats = ws.alloc(0, kPrimitiveFeatureDim);
+        SegmentTable& segs = ws.allocSegments();
+        for (size_t idx : subset) {
+            feats.appendRows(memo, idx * kPrimitiveSteps, kPrimitiveSteps);
+            segs.append(kPrimitiveSteps);
+        }
+        out.resize(subset.size());
+        scoreBatch(feats, segs, ws, caches, out.data());
+    };
+    auto fit_batch = [&](const std::vector<size_t>&,
+                         const std::vector<double>& grads) {
+        fitBatch(grads, ws, caches);
+    };
+    auto on_batch_end = [&]() {
+        adam.clipGradNorm(5.0);
+        adam.step();
+        adam.zeroGrad();
+    };
+    return trainRankingLoop(records, epochs, /*group_cap=*/48, rng_,
+                            infer_scores, fit_batch, on_batch_end);
+}
+
+double
+TlpCostModel::trainReference(const std::vector<MeasuredRecord>& records,
+                             int epochs)
+{
+    if (records.size() < 2) {
+        return 0.0;
+    }
+    std::vector<ParamRef> params = paramRefs();
+    Adam adam(params, 1e-3);
+    adam.zeroGrad();
+
+    // Frozen pre-batching path: same memo + batched scoring, per-record
+    // fits (exactly the train() of the batched-inference engine era).
+    Matrix memo(0, kPrimitiveFeatureDim);
+    {
+        std::vector<SchedulePrimitive> scratch;
+        for (const auto& rec : records) {
+            const size_t row0 = memo.rows();
+            memo.resize(row0 + kPrimitiveSteps, kPrimitiveFeatureDim);
+            writePrimitiveFeatureRows(rec.task, rec.sch, memo, row0,
+                                      scratch);
+        }
+    }
+    Workspace ws;
 
     auto infer_scores = [&](const std::vector<size_t>& subset) {
         ws.reset();
@@ -133,16 +235,17 @@ TlpCostModel::train(const std::vector<MeasuredRecord>& records, int epochs)
         return scores;
     };
     auto fit_one = [&](size_t idx, double dscore) {
-        fitOne(memo.sliceRows(idx * kPrimitiveSteps, kPrimitiveSteps),
-               dscore);
+        fitReference(
+            memo.sliceRows(idx * kPrimitiveSteps, kPrimitiveSteps), dscore);
     };
     auto on_batch_end = [&]() {
         adam.clipGradNorm(5.0);
         adam.step();
         adam.zeroGrad();
     };
-    return trainRankingLoop(records, epochs, /*group_cap=*/48, rng_,
-                            infer_scores, fit_one, on_batch_end);
+    return trainRankingLoopReference(records, epochs, /*group_cap=*/48,
+                                     rng_, infer_scores, fit_one,
+                                     on_batch_end);
 }
 
 double

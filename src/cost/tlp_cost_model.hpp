@@ -35,6 +35,8 @@ class TlpCostModel : public CostModel
             std::span<const Schedule> candidates) const override;
     double train(const std::vector<MeasuredRecord>& records,
                  int epochs) override;
+    double trainReference(const std::vector<MeasuredRecord>& records,
+                          int epochs) override;
     double evalCostPerCandidate() const override;
     double trainCostPerRound() const override;
     std::vector<double> getParams() override;
@@ -55,8 +57,30 @@ class TlpCostModel : public CostModel
                      std::span<const Schedule> candidates) const;
 
   private:
+    /** Batched-trainer state carried from scoreBatch to fitBatch (see
+     *  MlpCostModel::TrainCaches). */
+    struct TrainCaches
+    {
+        BatchActs embed_acts, head_acts;
+        AttentionBatchCache attn;
+        const SegmentTable* segs = nullptr;
+        const SegmentTable* unit = nullptr;
+    };
+
     double scoreOne(const SubgraphTask& task, const Schedule& sch) const;
-    void fitOne(const Matrix& feats, double dscore);
+    /** Frozen per-record forward+backward (the pre-batching fit). */
+    void fitReference(const Matrix& feats, double dscore);
+    /** The trainer's scoring forward: same bytes as forwardBatch, with
+     *  every intermediate cached for fitBatch. */
+    void scoreBatch(const Matrix& feats, const SegmentTable& segs,
+                    Workspace& ws, TrainCaches& caches, double* out);
+    /** Segment-aware batched backward from scoreBatch's caches:
+     *  byte-identical gradient accumulation to calling fitReference per
+     *  record in pack order (zero-gradient records' zero dy rows make
+     *  exactly-+0 partials — byte-level no-ops, same as the reference
+     *  loop's skip). */
+    void fitBatch(const std::vector<double>& dscores, Workspace& ws,
+                  TrainCaches& caches);
     /** Pooled batched forward over packed primitive rows -> n scores. */
     void forwardBatch(const Matrix& feats, const SegmentTable& segs,
                       Workspace& ws, double* out) const;

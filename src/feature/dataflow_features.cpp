@@ -1,10 +1,13 @@
 #include "feature/dataflow_features.hpp"
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 
 #include "core/penalty.hpp"
 #include "core/symbols.hpp"
 #include "support/logging.hpp"
+#include "support/rng.hpp"
 
 namespace pruner {
 
@@ -164,20 +167,49 @@ writeDataflowFeatureRows(const SymbolSet& sym, const SubgraphTask& task,
 }
 
 void
+appendOrAliasDataflowBlock(Matrix& out, SegmentTable& segs, size_t row0,
+                           DataflowBlockIndex& seen)
+{
+    constexpr size_t kBlockDoubles = kDataflowSteps * kDataflowFeatureDim;
+    const double* block = out.row(row0);
+    // Bit-pattern hash (memcmp semantics: -0.0 != +0.0, NaNs compare by
+    // payload — exactly the equality aliasing is sound under).
+    uint64_t h = 0x9E3779B97F4A7C15ull;
+    for (size_t e = 0; e < kBlockDoubles; ++e) {
+        uint64_t bits;
+        std::memcpy(&bits, &block[e], sizeof(bits));
+        h = hashCombine(h, bits);
+    }
+    for (const auto& [hash, begin] : seen) {
+        if (hash == h &&
+            std::memcmp(out.row(begin), block,
+                        kBlockDoubles * sizeof(double)) == 0) {
+            out.resize(row0, kDataflowFeatureDim);
+            segs.appendAlias(begin, kDataflowSteps);
+            return;
+        }
+    }
+    seen.emplace_back(h, row0);
+    segs.append(kDataflowSteps);
+}
+
+void
 extractDataflowFeaturesBatch(const SubgraphTask& task,
                              std::span<const Schedule> candidates,
                              const DeviceSpec& device, Matrix& out,
                              SegmentTable& segs)
 {
     static thread_local SymbolSet sym;
+    static thread_local DataflowBlockIndex seen;
     out.resize(0, kDataflowFeatureDim);
     segs.reset();
+    seen.clear();
     for (const Schedule& sch : candidates) {
         extractSymbolsInto(task, sch, sym);
         const size_t row0 = out.rows();
         out.resize(row0 + kDataflowSteps, kDataflowFeatureDim);
         writeDataflowFeatureRows(sym, task, sch, device, out, row0);
-        segs.append(kDataflowSteps);
+        appendOrAliasDataflowBlock(out, segs, row0, seen);
     }
 }
 

@@ -14,7 +14,10 @@
  * paper does.
  */
 
+#include <cstdint>
 #include <span>
+#include <utility>
+#include <vector>
 
 #include "core/symbols.hpp"
 #include "device/device_spec.hpp"
@@ -42,12 +45,30 @@ void writeDataflowFeatureRows(const SymbolSet& sym, const SubgraphTask& task,
                               const Schedule& sch, const DeviceSpec& device,
                               Matrix& out, size_t row0);
 
-/** Pack every candidate's dataflow rows into @p out
- *  ([n * kDataflowSteps, 23], reshaped in place) with fixed-stride
- *  segments recorded in @p segs. */
+/** Pack every candidate's dataflow rows into @p out (reshaped in place)
+ *  with fixed-stride segments recorded in @p segs. Bitwise-identical
+ *  blocks — duplicate candidates in a population, or low-diversity tasks
+ *  whose dataflow rows depend on few schedule knobs — are packed once and
+ *  aliased (SegmentTable::appendAlias), so downstream GEMMs and attention
+ *  cores shrink with no output-byte change. */
 void extractDataflowFeaturesBatch(const SubgraphTask& task,
                                   std::span<const Schedule> candidates,
                                   const DeviceSpec& device, Matrix& out,
                                   SegmentTable& segs);
+
+/** Reused (block hash, first pack row) scratch for the dataflow block
+ *  dedup; clear() it at the start of each batch. */
+using DataflowBlockIndex = std::vector<std::pair<uint64_t, size_t>>;
+
+/**
+ * Dedup step shared by the dataflow packers: after a candidate's
+ * kDataflowSteps rows were written at @p row0 (the current pack end),
+ * either keep them (appending a normal segment) or — when a previously
+ * packed block is bitwise identical — roll the pack back and alias the
+ * earlier block's rows. Aliasing bitwise-equal rows cannot change any
+ * output byte (identical input rows produce identical output rows).
+ */
+void appendOrAliasDataflowBlock(Matrix& out, SegmentTable& segs,
+                                size_t row0, DataflowBlockIndex& seen);
 
 } // namespace pruner

@@ -1,10 +1,41 @@
 #include "nn/attention.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "support/logging.hpp"
 
 namespace pruner {
+
+namespace {
+
+/** Row-wise softmax on a raw [rows, cols] block — the exact loop of
+ *  Matrix::softmaxRows (same ops, same order, same bytes), for the flat
+ *  per-segment score blocks of the batched training forward. */
+void
+softmaxRowsRaw(double* data, size_t rows, size_t cols)
+{
+    if (cols == 0) {
+        return;
+    }
+    for (size_t i = 0; i < rows; ++i) {
+        double* r = data + i * cols;
+        double mx = r[0];
+        for (size_t j = 1; j < cols; ++j) {
+            mx = std::max(mx, r[j]);
+        }
+        double sum = 0.0;
+        for (size_t j = 0; j < cols; ++j) {
+            r[j] = std::exp(r[j] - mx);
+            sum += r[j];
+        }
+        for (size_t j = 0; j < cols; ++j) {
+            r[j] /= sum;
+        }
+    }
+}
+
+} // namespace
 
 SelfAttention::SelfAttention(size_t dim, Rng& rng)
     : dim_(dim),
@@ -47,7 +78,12 @@ SelfAttention::inferReference(const Matrix& x) const
     const Matrix q = wq_.inferReference(x);
     const Matrix k = wk_.inferReference(x);
     const Matrix v = wv_.inferReference(x);
-    Matrix attn = Matrix::matmulNT(q, k);
+    // Frozen on the naive NT kernel (the dispatched nnkernel::matmulNT is
+    // self-checked bitwise against it, but the reference must not move).
+    Matrix attn(q.rows(), k.rows());
+    nnkernel::matmulNTNaive(q.row(0), q.rows(), q.cols(), q.cols(),
+                            k.row(0), k.rows(), k.cols(), attn.row(0),
+                            attn.cols());
     attn.scale(1.0 / std::sqrt(static_cast<double>(dim_)));
     attn.softmaxRows();
     Matrix ctx(attn.rows(), v.cols());
@@ -72,7 +108,59 @@ SelfAttention::inferBatch(const Matrix& x, const SegmentTable& segs,
 
     Matrix& ctx = ws.alloc(x.rows(), dim_);
     Matrix& attn = ws.alloc(0, 0);
-    Matrix& kt = ws.alloc(0, 0);
+    const double inv_sqrt_d = 1.0 / std::sqrt(static_cast<double>(dim_));
+    size_t done = 0; // pack rows already attended (aliased blocks skip)
+    for (size_t s = 0; s < segs.count(); ++s) {
+        const size_t b = segs.begin(s);
+        const size_t t = segs.rows(s);
+        if (t == 0) {
+            continue;
+        }
+        if (b + t <= done) {
+            // Aliased segment: its rows are an earlier segment's block,
+            // whose ctx rows this loop already wrote (identical inputs,
+            // identical outputs — recomputing would be a byte-level
+            // no-op).
+            continue;
+        }
+        // Q K^T straight off the row-major K pack (nnkernel::matmulNT):
+        // C[i][j] accumulates Q[i][kk] * K[j][kk] over ascending kk, the
+        // reference path's exact core — no K-transpose copy needed.
+        attn.resize(t, t);
+        nnkernel::matmulNT(q.row(b), t, dim_, dim_, k.row(b), t, dim_,
+                           attn.row(0), t);
+        attn.scale(inv_sqrt_d);
+        attn.softmaxRows();
+        nnkernel::matmul(attn.row(0), t, t, t, v.row(b), dim_, dim_,
+                         ctx.row(b), dim_);
+        done = b + t;
+    }
+    Matrix& out = ws.alloc(x.rows(), dim_);
+    wo_.inferInto(ctx, out);
+    return out;
+}
+
+const Matrix&
+SelfAttention::forwardBatch(const Matrix& x, const SegmentTable& segs,
+                            Workspace& ws, AttentionBatchCache& cache) const
+{
+    PRUNER_CHECK(x.cols() == dim_);
+    PRUNER_CHECK(segs.totalRows() == x.rows());
+    Matrix& q = ws.alloc(x.rows(), dim_);
+    Matrix& k = ws.alloc(x.rows(), dim_);
+    Matrix& v = ws.alloc(x.rows(), dim_);
+    wq_.inferInto(x, q);
+    wk_.inferInto(x, k);
+    wv_.inferInto(x, v);
+
+    cache.attn_off.resize(segs.count());
+    size_t total = 0;
+    for (size_t s = 0; s < segs.count(); ++s) {
+        cache.attn_off[s] = total;
+        total += segs.rows(s) * segs.rows(s);
+    }
+    Matrix& attn_flat = ws.alloc(1, total);
+    Matrix& ctx = ws.alloc(x.rows(), dim_);
     const double inv_sqrt_d = 1.0 / std::sqrt(static_cast<double>(dim_));
     for (size_t s = 0; s < segs.count(); ++s) {
         const size_t b = segs.begin(s);
@@ -80,27 +168,92 @@ SelfAttention::inferBatch(const Matrix& x, const SegmentTable& segs,
         if (t == 0) {
             continue;
         }
-        // Q K^T through the fast GEMM kernel on an explicit K transpose:
-        // C[i][j] still accumulates Q[i][kk] * K[j][kk] over ascending kk,
-        // so the bytes match matmulNT exactly (the reference path's core).
-        kt.resize(dim_, t);
-        for (size_t r = 0; r < t; ++r) {
-            const double* krow = k.row(b + r);
-            for (size_t d = 0; d < dim_; ++d) {
-                kt.at(d, r) = krow[d];
-            }
+        double* ablock = attn_flat.row(0) + cache.attn_off[s];
+        nnkernel::matmulNT(q.row(b), t, dim_, dim_, k.row(b), t, dim_,
+                           ablock, t);
+        for (size_t e = 0; e < t * t; ++e) {
+            ablock[e] *= inv_sqrt_d;
         }
-        attn.resize(t, t);
-        nnkernel::matmul(q.row(b), t, dim_, dim_, kt.row(0), t, t,
-                         attn.row(0), t);
-        attn.scale(inv_sqrt_d);
-        attn.softmaxRows();
-        nnkernel::matmul(attn.row(0), t, t, t, v.row(b), dim_, dim_,
-                         ctx.row(b), dim_);
+        softmaxRowsRaw(ablock, t, t);
+        nnkernel::matmul(ablock, t, t, t, v.row(b), dim_, dim_, ctx.row(b),
+                         dim_);
     }
     Matrix& out = ws.alloc(x.rows(), dim_);
     wo_.inferInto(ctx, out);
+    cache.x = &x;
+    cache.q = &q;
+    cache.k = &k;
+    cache.v = &v;
+    cache.ctx = &ctx;
+    cache.attn = &attn_flat;
     return out;
+}
+
+Matrix*
+SelfAttention::backwardBatch(const Matrix& dy,
+                             const AttentionBatchCache& cache,
+                             const SegmentTable& segs, Workspace& ws,
+                             bool need_dx)
+{
+    PRUNER_CHECK(cache.x != nullptr && cache.attn != nullptr);
+    PRUNER_CHECK(dy.rows() == cache.x->rows() && dy.cols() == dim_);
+    // dWo/dbo per segment, dctx = dY Wo^T over the whole pack.
+    Matrix* dctx = wo_.backwardBatch(*cache.ctx, dy, segs, ws,
+                                     /*need_dx=*/true);
+    Matrix& dq = ws.alloc(dy.rows(), dim_);
+    Matrix& dk = ws.alloc(dy.rows(), dim_);
+    Matrix& dv = ws.alloc(dy.rows(), dim_);
+    Matrix& dattn = ws.alloc(0, 0);
+    const double inv_sqrt_d = 1.0 / std::sqrt(static_cast<double>(dim_));
+    for (size_t s = 0; s < segs.count(); ++s) {
+        const size_t b = segs.begin(s);
+        const size_t t = segs.rows(s);
+        if (t == 0) {
+            continue;
+        }
+        const double* ablock = cache.attn->row(0) + cache.attn_off[s];
+        // dA = dctx V^T (reference: Matrix::matmulNT).
+        dattn.resize(t, t);
+        nnkernel::matmulNT(dctx->row(b), t, dim_, dim_, cache.v->row(b), t,
+                           dim_, dattn.row(0), t);
+        // dV = A^T dctx (reference: Matrix::matmulTN from a zero matrix).
+        std::fill(dv.row(b), dv.row(b) + t * dim_, 0.0);
+        nnkernel::matmulTNAcc(ablock, t, t, t, dctx->row(b), dim_, dim_,
+                              dv.row(b), dim_);
+        // Softmax backward per row: dS = A .* (dA - rowsum(dA .* A)).
+        for (size_t i = 0; i < t; ++i) {
+            const double* arow = ablock + i * t;
+            double* drow = dattn.row(i);
+            double dot = 0.0;
+            for (size_t j = 0; j < t; ++j) {
+                dot += drow[j] * arow[j];
+            }
+            for (size_t j = 0; j < t; ++j) {
+                drow[j] = arow[j] * (drow[j] - dot);
+            }
+        }
+        for (size_t e = 0; e < t * t; ++e) {
+            dattn.data()[e] *= inv_sqrt_d;
+        }
+        // dQ = dS K (reference: Matrix::matmul through the fast kernel).
+        nnkernel::matmul(dattn.row(0), t, t, t, cache.k->row(b), dim_, dim_,
+                         dq.row(b), dim_);
+        // dK = dS^T Q (reference: Matrix::matmulTN from a zero matrix).
+        std::fill(dk.row(b), dk.row(b) + t * dim_, 0.0);
+        nnkernel::matmulTNAcc(dattn.row(0), t, t, t, cache.q->row(b), dim_,
+                              dim_, dk.row(b), dim_);
+    }
+    // Projection backward in the per-record order (wq, wk, wv), with the
+    // same elementwise dx add sequence.
+    Matrix* dx = wq_.backwardBatch(*cache.x, dq, segs, ws, need_dx);
+    Matrix* dxk = wk_.backwardBatch(*cache.x, dk, segs, ws, need_dx);
+    Matrix* dxv = wv_.backwardBatch(*cache.x, dv, segs, ws, need_dx);
+    if (!need_dx) {
+        return nullptr;
+    }
+    dx->add(*dxk);
+    dx->add(*dxv);
+    return dx;
 }
 
 Matrix

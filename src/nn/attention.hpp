@@ -14,6 +14,25 @@
 
 namespace pruner {
 
+/**
+ * Workspace-owned intermediates of one batched attention training forward
+ * (see SelfAttention::forwardBatch). The matrix pointers are
+ * pointer-stable workspace buffers valid until the next ws.reset(); attn
+ * stores every segment's post-softmax [T, T] score block back to back in
+ * one flat buffer at offsets attn_off[s]. Keep one instance alive across
+ * batches — the offset vector's capacity is reused.
+ */
+struct AttentionBatchCache
+{
+    const Matrix* x = nullptr;   ///< input pack
+    const Matrix* q = nullptr;   ///< Q projection pack
+    const Matrix* k = nullptr;   ///< K projection pack
+    const Matrix* v = nullptr;   ///< V projection pack
+    const Matrix* ctx = nullptr; ///< pre-output-projection context pack
+    const Matrix* attn = nullptr; ///< flat [1, sum T_s^2] softmax blocks
+    std::vector<size_t> attn_off; ///< per-segment offset into attn
+};
+
 /** y = softmax(Q K^T / sqrt(d)) V, followed by an output projection. */
 class SelfAttention
 {
@@ -42,6 +61,30 @@ class SelfAttention
     /** Frozen pre-batching forward on the naive golden kernels (see
      *  Linear::inferReference). */
     Matrix inferReference(const Matrix& x) const;
+
+    /**
+     * Batched training forward: identical computation (and bytes) to
+     * inferBatch, additionally caching the projection packs and the
+     * per-segment softmax blocks in @p cache for backwardBatch. Returns
+     * the ws-owned output pack.
+     */
+    const Matrix& forwardBatch(const Matrix& x, const SegmentTable& segs,
+                               Workspace& ws,
+                               AttentionBatchCache& cache) const;
+
+    /**
+     * Segment-aware batched backward: the four projections' dW/db
+     * accumulate per-segment partials in segment order (see
+     * Linear::backwardBatch) and their inter-layer gradients run as one
+     * GEMM over the pack; only the [T, T] attention-core backward runs
+     * per segment, exactly like the forward. Byte-identical parameter
+     * gradients to per-record forward()+backward() over the segments in
+     * pack order. Returns ws-owned dL/dx, or nullptr when @p need_dx is
+     * false.
+     */
+    Matrix* backwardBatch(const Matrix& dy, const AttentionBatchCache& cache,
+                          const SegmentTable& segs, Workspace& ws,
+                          bool need_dx = true);
 
     /** Backward: dy is [T, dim]; returns dL/dx. */
     Matrix backward(const Matrix& dy);

@@ -69,6 +69,99 @@ Linear::backward(const Matrix& dy)
     return Matrix::matmulNT(dy, w_);
 }
 
+Matrix*
+Linear::backwardBatch(const Matrix& x, const Matrix& dy,
+                      const SegmentTable& segs, Workspace& ws, bool need_dx)
+{
+    PRUNER_CHECK_MSG(x.cols() == w_.rows() && dy.cols() == w_.cols() &&
+                         x.rows() == dy.rows(),
+                     "backwardBatch shape mismatch: x ["
+                         << x.rows() << "x" << x.cols() << "], dy ["
+                         << dy.rows() << "x" << dy.cols() << "], W ["
+                         << w_.rows() << "x" << w_.cols() << "]");
+    PRUNER_CHECK(segs.totalRows() == x.rows());
+    // One partial per segment, added in segment order: the exact rounding
+    // sequence of the per-record loop (`dw += matmulTN(x_r, dy_r)` builds
+    // each record's full partial before the single add, so a flat
+    // whole-pack accumulation would round differently). The fused kernel
+    // builds each partial element in a local accumulator and lands it in
+    // the gradient with the same single add — no partial matrix, one
+    // gradient pass per segment. A run of contiguous one-row segments
+    // (the pooled-head case — every record is one row) collapses further:
+    // each element's partial is a single product, so the whole run is one
+    // direct accumulation with the identical per-record rounding chain.
+    size_t s = 0;
+    size_t expect_begin = 0;
+    while (s < segs.count()) {
+        const size_t b0 = segs.begin(s);
+        // Gradient accumulation assumes each record owns its rows: an
+        // aliased (deduplicated) segment table would double-count the
+        // shared block. Aliased tables are inference-only; fail fast.
+        PRUNER_CHECK_MSG(b0 == expect_begin,
+                         "backwardBatch requires contiguous segments "
+                         "(segment " << s << " begins at " << b0
+                                     << ", expected " << expect_begin
+                                     << " — aliased tables are "
+                                        "inference-only)");
+        expect_begin = b0 + segs.rows(s);
+        if (segs.rows(s) == 1) {
+            size_t e = s + 1;
+            while (e < segs.count() && segs.rows(e) == 1 &&
+                   segs.begin(e) == b0 + (e - s)) {
+                ++e;
+            }
+            const size_t t = e - s;
+            expect_begin = b0 + t;
+            nnkernel::matmulTNAcc(x.row(b0), t, x.cols(), x.cols(),
+                                  dy.row(b0), dy.cols(), dy.cols(),
+                                  dw_.row(0), dw_.cols());
+            double* g = db_.row(0);
+            for (size_t r = 0; r < t; ++r) {
+                const double* dr = dy.row(b0 + r);
+                for (size_t j = 0; j < dy.cols(); ++j) {
+                    g[j] += dr[j];
+                }
+            }
+            s = e;
+            continue;
+        }
+        const size_t t = segs.rows(s);
+        nnkernel::matmulTNAddPartial(x.row(b0), t, x.cols(), x.cols(),
+                                     dy.row(b0), dy.cols(), dy.cols(),
+                                     dw_.row(0), dw_.cols());
+        // db partial: the colSum chain from zero, one add per element.
+        double* g = db_.row(0);
+        for (size_t j = 0; j < dy.cols(); ++j) {
+            double acc = 0.0;
+            for (size_t r = 0; r < t; ++r) {
+                acc += dy.at(b0 + r, j);
+            }
+            g[j] += acc;
+        }
+        ++s;
+    }
+    if (!need_dx) {
+        return nullptr;
+    }
+    // dX = dY W^T through the top GEMM tier on an explicit W transpose
+    // (W is layer-sized, so the transpose is trivial next to the
+    // pack-sized GEMM): each dX element still accumulates
+    // dY[i][kk] * W[j][kk] over ascending kk, so the bytes equal
+    // nnkernel::matmulNT — the same equivalence PR 4's attention core
+    // used on the inference side.
+    Matrix& wt = ws.alloc(w_.cols(), w_.rows());
+    for (size_t r = 0; r < w_.rows(); ++r) {
+        const double* wr = w_.row(r);
+        for (size_t col = 0; col < w_.cols(); ++col) {
+            wt.at(col, r) = wr[col];
+        }
+    }
+    Matrix& dx = ws.alloc(dy.rows(), w_.rows());
+    nnkernel::matmul(dy.row(0), dy.rows(), dy.cols(), dy.cols(), wt.row(0),
+                     wt.cols(), wt.cols(), dx.row(0), dx.cols());
+    return &dx;
+}
+
 void
 Linear::collectParams(std::vector<ParamRef>& out)
 {
@@ -169,6 +262,53 @@ Mlp::inferBatch(const Matrix& x, Workspace& ws) const
         h = &y;
     }
     return *h;
+}
+
+const Matrix&
+Mlp::forwardBatch(const Matrix& x, Workspace& ws, BatchActs& acts) const
+{
+    PRUNER_CHECK(!linears_.empty());
+    acts.clear();
+    acts.push_back(&x);
+    const Matrix* h = &x;
+    for (size_t i = 0; i < linears_.size(); ++i) {
+        Matrix& y = ws.alloc(h->rows(), linears_[i].outDim());
+        linears_[i].inferInto(*h, y, /*relu_after=*/i < relus_.size());
+        acts.push_back(&y);
+        h = &y;
+    }
+    return *h;
+}
+
+Matrix*
+Mlp::backwardBatch(const Matrix& dy, const BatchActs& acts,
+                   const SegmentTable& segs, Workspace& ws, bool need_dx)
+{
+    PRUNER_CHECK(acts.size() == linears_.size() + 1);
+    const Matrix* d = &dy;
+    Matrix* dx = nullptr;
+    for (size_t i = linears_.size(); i-- > 0;) {
+        if (i < relus_.size()) {
+            // ReLU backward off the cached post-activation: post > 0 iff
+            // pre > 0, and the explicit multiply by the 1.0/0.0 mask is
+            // the per-record ReLU::backward op (preserving d * 0.0 sign
+            // semantics), so the bytes match exactly.
+            const Matrix& act = *acts[i + 1];
+            Matrix& masked = ws.alloc(d->rows(), d->cols());
+            const auto& av = act.data();
+            const auto& dv = d->data();
+            auto& mv = masked.data();
+            PRUNER_CHECK(av.size() == dv.size());
+            for (size_t e = 0; e < dv.size(); ++e) {
+                mv[e] = dv[e] * (av[e] > 0.0 ? 1.0 : 0.0);
+            }
+            d = &masked;
+        }
+        const bool want_dx = i > 0 || need_dx;
+        dx = linears_[i].backwardBatch(*acts[i], *d, segs, ws, want_dx);
+        d = dx;
+    }
+    return need_dx ? dx : nullptr;
 }
 
 Matrix

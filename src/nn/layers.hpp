@@ -24,6 +24,15 @@ struct ParamRef
     Matrix* grad = nullptr;
 };
 
+/**
+ * Per-layer activations of one batched training forward: acts[0] is the
+ * input pack, acts[i + 1] layer i's output (post-ReLU for hidden layers).
+ * The pointers refer to workspace-owned (pointer-stable) buffers and stay
+ * valid until the workspace's next reset(). Callers keep one instance
+ * alive across batches so steady-state passes allocate nothing.
+ */
+using BatchActs = std::vector<const Matrix*>;
+
 /** Fully connected layer: y = x W + b. */
 class Linear
 {
@@ -53,6 +62,23 @@ class Linear
 
     /** Backward pass: accumulates dW/db, returns dL/dx. */
     Matrix backward(const Matrix& dy);
+
+    /**
+     * Segment-aware batched backward over a packed batch. dW and db
+     * accumulate one per-segment partial at a time, added in ascending
+     * segment order — byte-identical to running the per-record
+     * `backward()` (matmulTN + colSum, then add) for each segment in
+     * turn, because the partial reuses the exact accumulation order of
+     * those ops (nnkernel::matmulTNAcc). dL/dX comes back as a single NT
+     * GEMM over the whole pack (row-independent, so also byte-identical
+     * per row). @p x must be the forward input pack; pass
+     * `need_dx = false` for the first layer to skip the dX GEMM (returns
+     * nullptr). Intermediates live in @p ws; zero heap allocations once
+     * the workspace is warm.
+     */
+    Matrix* backwardBatch(const Matrix& x, const Matrix& dy,
+                          const SegmentTable& segs, Workspace& ws,
+                          bool need_dx = true);
 
     /** Register parameters with an optimizer. */
     void collectParams(std::vector<ParamRef>& out);
@@ -104,6 +130,28 @@ class Mlp
     /** Frozen pre-batching forward on the naive golden kernel (see
      *  Linear::inferReference). */
     Matrix inferReference(const Matrix& x) const;
+
+    /**
+     * Batched training forward: identical computation (and bytes) to
+     * inferBatch, but records every layer boundary in @p acts for
+     * backwardBatch. No module-level caching — reentrant across
+     * workspaces; keep @p acts and @p ws alive until the backward runs.
+     */
+    const Matrix& forwardBatch(const Matrix& x, Workspace& ws,
+                               BatchActs& acts) const;
+
+    /**
+     * Segment-aware batched backward through the stack: per-layer dW/db
+     * partials per segment (ascending order, see Linear::backwardBatch),
+     * ReLU masking from the cached post-activations, and one NT GEMM per
+     * layer for the inter-layer gradients. Byte-identical parameter
+     * gradients to running the per-record forward()+backward() for each
+     * segment in pack order. Returns ws-owned dL/dx, or nullptr when
+     * @p need_dx is false.
+     */
+    Matrix* backwardBatch(const Matrix& dy, const BatchActs& acts,
+                          const SegmentTable& segs, Workspace& ws,
+                          bool need_dx = false);
 
     Matrix backward(const Matrix& dy);
     void collectParams(std::vector<ParamRef>& out);

@@ -8,8 +8,9 @@
 
 namespace pruner {
 
-std::vector<double>
-latencyToRelevance(const std::vector<double>& latencies)
+void
+latencyToRelevanceInto(std::span<const double> latencies,
+                       std::vector<double>& out)
 {
     PRUNER_CHECK(!latencies.empty());
     double best = latencies[0];
@@ -17,10 +18,17 @@ latencyToRelevance(const std::vector<double>& latencies)
         PRUNER_CHECK_MSG(l > 0.0, "latency must be positive");
         best = std::min(best, l);
     }
-    std::vector<double> rel(latencies.size());
+    out.resize(latencies.size());
     for (size_t i = 0; i < latencies.size(); ++i) {
-        rel[i] = best / latencies[i];
+        out[i] = best / latencies[i];
     }
+}
+
+std::vector<double>
+latencyToRelevance(const std::vector<double>& latencies)
+{
+    std::vector<double> rel;
+    latencyToRelevanceInto(latencies, rel);
     return rel;
 }
 
@@ -28,29 +36,44 @@ LossResult
 lambdaRankLoss(const std::vector<double>& scores,
                const std::vector<double>& latencies, double sigma)
 {
+    LossResult out;
+    LossScratch scratch;
+    lambdaRankLossInto(scores, latencies, sigma, out, scratch);
+    return out;
+}
+
+void
+lambdaRankLossInto(std::span<const double> scores,
+                   std::span<const double> latencies, double sigma,
+                   LossResult& out, LossScratch& scratch)
+{
     PRUNER_CHECK(scores.size() == latencies.size());
     const size_t n = scores.size();
-    LossResult out;
+    out.loss = 0.0;
     out.grad.assign(n, 0.0);
     if (n < 2) {
-        return out;
+        return;
     }
-    const std::vector<double> rel = latencyToRelevance(latencies);
+    std::vector<double>& rel = scratch.rel;
+    latencyToRelevanceInto(latencies, rel);
 
     // Rank positions by current score (descending) for the NDCG discount.
-    std::vector<size_t> order(n);
+    std::vector<size_t>& order = scratch.order;
+    order.resize(n);
     std::iota(order.begin(), order.end(), 0);
     std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
         return scores[a] > scores[b];
     });
-    std::vector<double> rank(n);
+    std::vector<double>& rank = scratch.rank;
+    rank.resize(n);
     for (size_t pos = 0; pos < n; ++pos) {
         rank[order[pos]] = static_cast<double>(pos);
     }
     auto discount = [](double pos) { return 1.0 / std::log2(pos + 2.0); };
 
     // Ideal DCG for normalization (sorted by relevance).
-    std::vector<double> by_rel = rel;
+    std::vector<double>& by_rel = scratch.by_rel;
+    by_rel.assign(rel.begin(), rel.end());
     std::sort(by_rel.rbegin(), by_rel.rend());
     double idcg = 0.0;
     for (size_t pos = 0; pos < n; ++pos) {
@@ -85,7 +108,6 @@ lambdaRankLoss(const std::vector<double>& scores,
     for (double& g : out.grad) {
         g /= pairs;
     }
-    return out;
 }
 
 LossResult

@@ -10,6 +10,8 @@
  * by the pair's |delta NDCG| is pushed through the scores.
  */
 
+#include <cstddef>
+#include <span>
 #include <vector>
 
 namespace pruner {
@@ -20,6 +22,14 @@ struct LossResult
     double loss = 0.0;
     /** dL/dscore per candidate (same order as the inputs). */
     std::vector<double> grad;
+};
+
+/** Reusable workspace for lambdaRankLossInto: once warm (capacities at
+ *  the high-water group size), a loss evaluation allocates nothing. */
+struct LossScratch
+{
+    std::vector<double> rel, rank, by_rel;
+    std::vector<size_t> order;
 };
 
 /**
@@ -33,6 +43,13 @@ LossResult lambdaRankLoss(const std::vector<double>& scores,
                           const std::vector<double>& latencies,
                           double sigma = 1.0);
 
+/** lambdaRankLoss into a reused result + scratch: byte-identical values
+ *  (lambdaRankLoss delegates here), zero heap allocations once warm —
+ *  the batched training loop's per-group loss path. */
+void lambdaRankLossInto(std::span<const double> scores,
+                        std::span<const double> latencies, double sigma,
+                        LossResult& out, LossScratch& scratch);
+
 /** Plain MSE against throughput labels (max over group = 1), used by the
  *  regression-style ablations. */
 LossResult mseThroughputLoss(const std::vector<double>& scores,
@@ -41,5 +58,10 @@ LossResult mseThroughputLoss(const std::vector<double>& scores,
 /** Relevance labels used by lambdaRankLoss: best latency -> 1, others
  *  proportional to best/latency. Exposed for tests. */
 std::vector<double> latencyToRelevance(const std::vector<double>& latencies);
+
+/** latencyToRelevance into a reused buffer (the single source of the
+ *  relevance mapping; both loss entry points go through it). */
+void latencyToRelevanceInto(std::span<const double> latencies,
+                            std::vector<double>& out);
 
 } // namespace pruner

@@ -310,11 +310,325 @@ matmulAvx512(const double* a, size_t m, size_t k, size_t lda,
 }
 #pragma GCC diagnostic pop
 
+/**
+ * AVX2 NT micro-kernel: a 4x4 block of C = A B^T where each output element
+ * owns one vector lane accumulating a[i][kk] * b[j][kk] over ascending kk
+ * with separate _mm256_mul_pd / _mm256_add_pd roundings — the exact
+ * per-element sequence of the naive NT loop, so the bytes match. The four
+ * B rows of a j panel are gathered with set_pd (B has no contiguous
+ * k-major layout to stream); the win over scalar is four independent
+ * accumulator chains per vector instead of one latency-bound chain.
+ */
+__attribute__((target("avx2"))) void
+matmulNTAvx2(const double* a, size_t m, size_t k, size_t lda,
+             const double* b, size_t n, size_t ldb, double* c, size_t ldc)
+{
+    size_t i0 = 0;
+    for (; i0 + 4 <= m; i0 += 4) {
+        const double* a0 = a + i0 * lda;
+        size_t j0 = 0;
+        for (; j0 + 4 <= n; j0 += 4) {
+            const double* b0 = b + (j0 + 0) * ldb;
+            const double* b1 = b + (j0 + 1) * ldb;
+            const double* b2 = b + (j0 + 2) * ldb;
+            const double* b3 = b + (j0 + 3) * ldb;
+            __m256d acc0 = _mm256_setzero_pd();
+            __m256d acc1 = _mm256_setzero_pd();
+            __m256d acc2 = _mm256_setzero_pd();
+            __m256d acc3 = _mm256_setzero_pd();
+            size_t kk = 0;
+            // Four k steps per iteration: load the four B rows'
+            // contiguous k panels and transpose them in registers, so
+            // every B scalar arrives via a vector load instead of a
+            // gather. The k steps still apply in ascending order — the
+            // per-element rounding sequence is untouched.
+            for (; kk + 4 <= k; kk += 4) {
+                const __m256d r0 = _mm256_loadu_pd(b0 + kk);
+                const __m256d r1 = _mm256_loadu_pd(b1 + kk);
+                const __m256d r2 = _mm256_loadu_pd(b2 + kk);
+                const __m256d r3 = _mm256_loadu_pd(b3 + kk);
+                const __m256d t0 = _mm256_unpacklo_pd(r0, r1);
+                const __m256d t1 = _mm256_unpackhi_pd(r0, r1);
+                const __m256d t2 = _mm256_unpacklo_pd(r2, r3);
+                const __m256d t3 = _mm256_unpackhi_pd(r2, r3);
+                const __m256d bv[4] = {
+                    _mm256_permute2f128_pd(t0, t2, 0x20),
+                    _mm256_permute2f128_pd(t1, t3, 0x20),
+                    _mm256_permute2f128_pd(t0, t2, 0x31),
+                    _mm256_permute2f128_pd(t1, t3, 0x31),
+                };
+                for (size_t q = 0; q < 4; ++q) {
+                    __m256d av = _mm256_set1_pd(a0[0 * lda + kk + q]);
+                    acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(av, bv[q]));
+                    av = _mm256_set1_pd(a0[1 * lda + kk + q]);
+                    acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(av, bv[q]));
+                    av = _mm256_set1_pd(a0[2 * lda + kk + q]);
+                    acc2 = _mm256_add_pd(acc2, _mm256_mul_pd(av, bv[q]));
+                    av = _mm256_set1_pd(a0[3 * lda + kk + q]);
+                    acc3 = _mm256_add_pd(acc3, _mm256_mul_pd(av, bv[q]));
+                }
+            }
+            for (; kk < k; ++kk) {
+                const __m256d bv =
+                    _mm256_set_pd(b3[kk], b2[kk], b1[kk], b0[kk]);
+                __m256d av = _mm256_set1_pd(a0[0 * lda + kk]);
+                acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(av, bv));
+                av = _mm256_set1_pd(a0[1 * lda + kk]);
+                acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(av, bv));
+                av = _mm256_set1_pd(a0[2 * lda + kk]);
+                acc2 = _mm256_add_pd(acc2, _mm256_mul_pd(av, bv));
+                av = _mm256_set1_pd(a0[3 * lda + kk]);
+                acc3 = _mm256_add_pd(acc3, _mm256_mul_pd(av, bv));
+            }
+            _mm256_storeu_pd(c + (i0 + 0) * ldc + j0, acc0);
+            _mm256_storeu_pd(c + (i0 + 1) * ldc + j0, acc1);
+            _mm256_storeu_pd(c + (i0 + 2) * ldc + j0, acc2);
+            _mm256_storeu_pd(c + (i0 + 3) * ldc + j0, acc3);
+        }
+        for (; j0 < n; ++j0) {
+            const double* brow = b + j0 * ldb;
+            for (size_t ii = 0; ii < 4; ++ii) {
+                const double* arow = a0 + ii * lda;
+                double acc = 0.0;
+                for (size_t kk = 0; kk < k; ++kk) {
+                    acc += arow[kk] * brow[kk];
+                }
+                c[(i0 + ii) * ldc + j0] = acc;
+            }
+        }
+    }
+    if (i0 < m) {
+        matmulNTNaive(a + i0 * lda, m - i0, k, lda, b, n, ldb, c + i0 * ldc,
+                      ldc);
+    }
+}
+
+/**
+ * AVX2 accumulating TNAcc micro-kernel, blocked 4 rows at a time: each C
+ * element loads once, receives its (up to) four terms in ascending row
+ * order with separate mul/add roundings, and stores once — a quarter of
+ * the naive loop's C traffic, which dominates the per-segment dW
+ * partials. Skipped-by-the-naive-loop ±0 terms are added here instead;
+ * that is a byte-level no-op because a gradient accumulator chain can
+ * never hold -0.0 (see the matmulTNAcc contract).
+ */
+__attribute__((target("avx2"))) void
+matmulTNAccAvx2(const double* a, size_t rows, size_t acols, size_t lda,
+                const double* b, size_t bcols, size_t ldb, double* c,
+                size_t ldc)
+{
+    size_t r0 = 0;
+    for (; r0 + 4 <= rows; r0 += 4) {
+        const double* a0 = a + (r0 + 0) * lda;
+        const double* a1 = a + (r0 + 1) * lda;
+        const double* a2 = a + (r0 + 2) * lda;
+        const double* a3 = a + (r0 + 3) * lda;
+        const double* b0 = b + (r0 + 0) * ldb;
+        const double* b1 = b + (r0 + 1) * ldb;
+        const double* b2 = b + (r0 + 2) * ldb;
+        const double* b3 = b + (r0 + 3) * ldb;
+        for (size_t i = 0; i < acols; ++i) {
+            const double a0i = a0[i];
+            const double a1i = a1[i];
+            const double a2i = a2[i];
+            const double a3i = a3[i];
+            if (a0i == 0.0 && a1i == 0.0 && a2i == 0.0 && a3i == 0.0) {
+                continue; // whole-block skip (zero-padding rows)
+            }
+            double* crow = c + i * ldc;
+            const __m256d va0 = _mm256_set1_pd(a0i);
+            const __m256d va1 = _mm256_set1_pd(a1i);
+            const __m256d va2 = _mm256_set1_pd(a2i);
+            const __m256d va3 = _mm256_set1_pd(a3i);
+            size_t j = 0;
+            for (; j + 4 <= bcols; j += 4) {
+                __m256d acc = _mm256_loadu_pd(crow + j);
+                acc = _mm256_add_pd(
+                    acc, _mm256_mul_pd(va0, _mm256_loadu_pd(b0 + j)));
+                acc = _mm256_add_pd(
+                    acc, _mm256_mul_pd(va1, _mm256_loadu_pd(b1 + j)));
+                acc = _mm256_add_pd(
+                    acc, _mm256_mul_pd(va2, _mm256_loadu_pd(b2 + j)));
+                acc = _mm256_add_pd(
+                    acc, _mm256_mul_pd(va3, _mm256_loadu_pd(b3 + j)));
+                _mm256_storeu_pd(crow + j, acc);
+            }
+            for (; j < bcols; ++j) {
+                double acc = crow[j];
+                acc += a0i * b0[j];
+                acc += a1i * b1[j];
+                acc += a2i * b2[j];
+                acc += a3i * b3[j];
+                crow[j] = acc;
+            }
+        }
+    }
+    // Row remainder: one vectorized row at a time (same per-element
+    // ascending-r term order as the naive loop).
+    for (; r0 < rows; ++r0) {
+        const double* arow = a + r0 * lda;
+        const double* brow = b + r0 * ldb;
+        for (size_t i = 0; i < acols; ++i) {
+            const double ari = arow[i];
+            if (ari == 0.0) {
+                continue;
+            }
+            double* crow = c + i * ldc;
+            const __m256d va = _mm256_set1_pd(ari);
+            size_t j = 0;
+            for (; j + 4 <= bcols; j += 4) {
+                const __m256d acc = _mm256_add_pd(
+                    _mm256_loadu_pd(crow + j),
+                    _mm256_mul_pd(va, _mm256_loadu_pd(brow + j)));
+                _mm256_storeu_pd(crow + j, acc);
+            }
+            for (; j < bcols; ++j) {
+                crow[j] += ari * brow[j];
+            }
+        }
+    }
+}
+
+/**
+ * AVX2 fused partial kernel (see matmulTNAddPartial): for each C panel a
+ * local accumulator runs over all segment rows in ascending order, then
+ * lands in C with a single add — one C pass per call. The B panel
+ * (segment rows x j panel) stays L1-resident across the i loop.
+ */
+__attribute__((target("avx2"))) void
+matmulTNAddPartialAvx2(const double* a, size_t rows, size_t acols,
+                       size_t lda, const double* b, size_t bcols,
+                       size_t ldb, double* c, size_t ldc)
+{
+    for (size_t i = 0; i < acols; ++i) {
+        double* crow = c + i * ldc;
+        size_t j = 0;
+        for (; j + 4 <= bcols; j += 4) {
+            __m256d acc = _mm256_setzero_pd();
+            for (size_t r = 0; r < rows; ++r) {
+                const __m256d va = _mm256_set1_pd(a[r * lda + i]);
+                acc = _mm256_add_pd(
+                    acc, _mm256_mul_pd(va, _mm256_loadu_pd(b + r * ldb + j)));
+            }
+            _mm256_storeu_pd(crow + j,
+                             _mm256_add_pd(_mm256_loadu_pd(crow + j), acc));
+        }
+        for (; j < bcols; ++j) {
+            double acc = 0.0;
+            for (size_t r = 0; r < rows; ++r) {
+                acc += a[r * lda + i] * b[r * ldb + j];
+            }
+            crow[j] += acc;
+        }
+    }
+}
+
+/** AVX-512 tier of the fused partial kernel: 8-wide j panels, remainder
+ *  through the AVX2 panel then scalar — same per-element term order. */
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+__attribute__((target("avx512f"))) void
+matmulTNAddPartialAvx512(const double* a, size_t rows, size_t acols,
+                         size_t lda, const double* b, size_t bcols,
+                         size_t ldb, double* c, size_t ldc)
+{
+    if (bcols == 64) {
+        // The models' layer width: the whole C row is eight zmm panels,
+        // giving eight independent accumulator chains per A column (the
+        // per-panel chain is rounding-ordered, so it cannot be split —
+        // but panels are independent, which hides the add latency) and
+        // one broadcast per term shared across the row.
+        for (size_t i = 0; i < acols; ++i) {
+            __m512d p0 = _mm512_setzero_pd();
+            __m512d p1 = _mm512_setzero_pd();
+            __m512d p2 = _mm512_setzero_pd();
+            __m512d p3 = _mm512_setzero_pd();
+            __m512d p4 = _mm512_setzero_pd();
+            __m512d p5 = _mm512_setzero_pd();
+            __m512d p6 = _mm512_setzero_pd();
+            __m512d p7 = _mm512_setzero_pd();
+            for (size_t r = 0; r < rows; ++r) {
+                const __m512d va = _mm512_set1_pd(a[r * lda + i]);
+                const double* brow = b + r * ldb;
+                p0 = _mm512_add_pd(
+                    p0, _mm512_mul_pd(va, _mm512_loadu_pd(brow)));
+                p1 = _mm512_add_pd(
+                    p1, _mm512_mul_pd(va, _mm512_loadu_pd(brow + 8)));
+                p2 = _mm512_add_pd(
+                    p2, _mm512_mul_pd(va, _mm512_loadu_pd(brow + 16)));
+                p3 = _mm512_add_pd(
+                    p3, _mm512_mul_pd(va, _mm512_loadu_pd(brow + 24)));
+                p4 = _mm512_add_pd(
+                    p4, _mm512_mul_pd(va, _mm512_loadu_pd(brow + 32)));
+                p5 = _mm512_add_pd(
+                    p5, _mm512_mul_pd(va, _mm512_loadu_pd(brow + 40)));
+                p6 = _mm512_add_pd(
+                    p6, _mm512_mul_pd(va, _mm512_loadu_pd(brow + 48)));
+                p7 = _mm512_add_pd(
+                    p7, _mm512_mul_pd(va, _mm512_loadu_pd(brow + 56)));
+            }
+            double* crow = c + i * ldc;
+            _mm512_storeu_pd(
+                crow, _mm512_add_pd(_mm512_loadu_pd(crow), p0));
+            _mm512_storeu_pd(
+                crow + 8, _mm512_add_pd(_mm512_loadu_pd(crow + 8), p1));
+            _mm512_storeu_pd(
+                crow + 16, _mm512_add_pd(_mm512_loadu_pd(crow + 16), p2));
+            _mm512_storeu_pd(
+                crow + 24, _mm512_add_pd(_mm512_loadu_pd(crow + 24), p3));
+            _mm512_storeu_pd(
+                crow + 32, _mm512_add_pd(_mm512_loadu_pd(crow + 32), p4));
+            _mm512_storeu_pd(
+                crow + 40, _mm512_add_pd(_mm512_loadu_pd(crow + 40), p5));
+            _mm512_storeu_pd(
+                crow + 48, _mm512_add_pd(_mm512_loadu_pd(crow + 48), p6));
+            _mm512_storeu_pd(
+                crow + 56, _mm512_add_pd(_mm512_loadu_pd(crow + 56), p7));
+        }
+        return;
+    }
+    for (size_t i = 0; i < acols; ++i) {
+        double* crow = c + i * ldc;
+        size_t j = 0;
+        for (; j + 8 <= bcols; j += 8) {
+            __m512d acc = _mm512_setzero_pd();
+            for (size_t r = 0; r < rows; ++r) {
+                const __m512d va = _mm512_set1_pd(a[r * lda + i]);
+                acc = _mm512_add_pd(
+                    acc, _mm512_mul_pd(va, _mm512_loadu_pd(b + r * ldb + j)));
+            }
+            _mm512_storeu_pd(crow + j,
+                             _mm512_add_pd(_mm512_loadu_pd(crow + j), acc));
+        }
+        for (; j + 4 <= bcols; j += 4) {
+            __m256d acc = _mm256_setzero_pd();
+            for (size_t r = 0; r < rows; ++r) {
+                const __m256d va = _mm256_set1_pd(a[r * lda + i]);
+                acc = _mm256_add_pd(
+                    acc, _mm256_mul_pd(va, _mm256_loadu_pd(b + r * ldb + j)));
+            }
+            _mm256_storeu_pd(crow + j,
+                             _mm256_add_pd(_mm256_loadu_pd(crow + j), acc));
+        }
+        for (; j < bcols; ++j) {
+            double acc = 0.0;
+            for (size_t r = 0; r < rows; ++r) {
+                acc += a[r * lda + i] * b[r * ldb + j];
+            }
+            crow[j] += acc;
+        }
+    }
+}
+#pragma GCC diagnostic pop
+
 #endif // PRUNER_NNKERNEL_X86
 
 using MatmulFn = void (*)(const double*, size_t, size_t, size_t,
                           const double*, size_t, size_t, double*, size_t,
                           const double*, bool);
+
+using MatmulNTFn = void (*)(const double*, size_t, size_t, size_t,
+                            const double*, size_t, size_t, double*, size_t);
 
 /**
  * One-time dispatch self-check: a kernel tier is only used if it
@@ -367,6 +681,107 @@ matchesNaiveKernel(MatmulFn fn)
     return std::memcmp(fast, naive, sizeof(fast)) == 0;
 }
 
+/**
+ * Same demote-on-mismatch self-check for the NT kernel: m = 9, n = 11
+ * covers the 4x4 main block, the scalar column remainder, and the naive
+ * row remainder delegation.
+ */
+bool
+matchesNaiveKernelNT(MatmulNTFn fn)
+{
+    constexpr size_t m = 9, k = 9, n = 11;
+    double a[m * k], b[n * k], fast[m * n], naive[m * n];
+    uint64_t state = 0xA5A5A5A55A5A5A5Aull;
+    auto next = [&state]() {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        return static_cast<double>(static_cast<int64_t>(state >> 11)) /
+               static_cast<double>(1ll << 52);
+    };
+    for (double& v : a) {
+        v = next();
+    }
+    for (double& v : b) {
+        v = next();
+    }
+    fn(a, m, k, k, b, n, k, fast, n);
+    matmulNTNaive(a, m, k, k, b, n, k, naive, n);
+    return std::memcmp(fast, naive, sizeof(fast)) == 0;
+}
+
+/** Frozen composed-ops fallback for matmulTNAddPartial: per element, the
+ *  exact matmulTN chain (ascending r, zero-skip) then one add into C. */
+void
+matmulTNAddPartialNaive(const double* a, size_t rows, size_t acols,
+                        size_t lda, const double* b, size_t bcols,
+                        size_t ldb, double* c, size_t ldc)
+{
+    for (size_t i = 0; i < acols; ++i) {
+        double* crow = c + i * ldc;
+        for (size_t j = 0; j < bcols; ++j) {
+            double acc = 0.0;
+            for (size_t r = 0; r < rows; ++r) {
+                const double ari = a[r * lda + i];
+                if (ari == 0.0) {
+                    continue;
+                }
+                acc += ari * b[r * ldb + j];
+            }
+            crow[j] += acc;
+        }
+    }
+}
+
+/**
+ * Self-check for the accumulating gradient kernels: random data with
+ * zeros planted in A (the naive loops' skip path), accumulated twice so
+ * the second pass starts from a non-zero C — both passes must match the
+ * frozen reference kernel bit for bit. rows = 9 covers the 4-row block
+ * and the row remainder; bcols = 15 covers the 8- and 4-wide vector
+ * panels and the scalar column remainder.
+ */
+bool
+matchesAccumulatingReference(MatmulNTFn fn, MatmulNTFn ref)
+{
+    constexpr size_t rows = 9, acols = 7, bcols = 15;
+    double a[rows * acols], b[rows * bcols];
+    double fast[acols * bcols] = {}, naive[acols * bcols] = {};
+    uint64_t state = 0xC3C3C3C33C3C3C3Cull;
+    auto next = [&state]() {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        return static_cast<double>(static_cast<int64_t>(state >> 11)) /
+               static_cast<double>(1ll << 52);
+    };
+    for (size_t e = 0; e < rows * acols; ++e) {
+        a[e] = e % 5 == 0 ? 0.0 : next(); // exercise the zero-skip
+    }
+    for (double& v : b) {
+        v = next();
+    }
+    for (int pass = 0; pass < 2; ++pass) {
+        fn(a, rows, acols, acols, b, bcols, bcols, fast, bcols);
+        ref(a, rows, acols, acols, b, bcols, bcols, naive, bcols);
+        if (std::memcmp(fast, naive, sizeof(fast)) != 0) {
+            return false;
+        }
+    }
+    // Second round at the models' layer width (64 columns), the shape
+    // the specialized whole-row panel path handles.
+    constexpr size_t wide = 64;
+    double bw[rows * wide], fastw[acols * wide] = {},
+        naivew[acols * wide] = {};
+    for (double& v : bw) {
+        v = next();
+    }
+    for (int pass = 0; pass < 2; ++pass) {
+        fn(a, rows, acols, acols, bw, wide, wide, fastw, wide);
+        ref(a, rows, acols, acols, bw, wide, wide, naivew, wide);
+        if (std::memcmp(fastw, naivew, sizeof(fastw)) != 0) {
+            return false;
+        }
+    }
+    return true;
+}
+
 #ifdef PRUNER_NNKERNEL_X86
 
 MatmulFn
@@ -385,12 +800,66 @@ pickKernel()
     return matmulScalarTile;
 }
 
+MatmulNTFn
+pickKernelNT()
+{
+    if (__builtin_cpu_supports("avx2") &&
+        matchesNaiveKernelNT(matmulNTAvx2)) {
+        return matmulNTAvx2;
+    }
+    return matmulNTNaive;
+}
+
+MatmulNTFn
+pickKernelTNAcc()
+{
+    if (__builtin_cpu_supports("avx2") &&
+        matchesAccumulatingReference(matmulTNAccAvx2, matmulTNAccNaive)) {
+        return matmulTNAccAvx2;
+    }
+    return matmulTNAccNaive;
+}
+
+MatmulNTFn
+pickKernelTNAddPartial()
+{
+    if (__builtin_cpu_supports("avx512f") &&
+        matchesAccumulatingReference(matmulTNAddPartialAvx512,
+                                     matmulTNAddPartialNaive)) {
+        return matmulTNAddPartialAvx512;
+    }
+    if (__builtin_cpu_supports("avx2") &&
+        matchesAccumulatingReference(matmulTNAddPartialAvx2,
+                                     matmulTNAddPartialNaive)) {
+        return matmulTNAddPartialAvx2;
+    }
+    return matmulTNAddPartialNaive;
+}
+
 #else
 
 MatmulFn
 pickKernel()
 {
     return matmulScalarTile;
+}
+
+MatmulNTFn
+pickKernelNT()
+{
+    return matmulNTNaive;
+}
+
+MatmulNTFn
+pickKernelTNAcc()
+{
+    return matmulTNAccNaive;
+}
+
+MatmulNTFn
+pickKernelTNAddPartial()
+{
+    return matmulTNAddPartialNaive;
 }
 
 #endif
@@ -431,6 +900,14 @@ void
 matmulNT(const double* a, size_t m, size_t k, size_t lda, const double* b,
          size_t n, size_t ldb, double* c, size_t ldc)
 {
+    static const MatmulNTFn kernel = pickKernelNT();
+    kernel(a, m, k, lda, b, n, ldb, c, ldc);
+}
+
+void
+matmulNTNaive(const double* a, size_t m, size_t k, size_t lda,
+              const double* b, size_t n, size_t ldb, double* c, size_t ldc)
+{
     for (size_t i = 0; i < m; ++i) {
         const double* arow = a + i * lda;
         double* crow = c + i * ldc;
@@ -441,6 +918,44 @@ matmulNT(const double* a, size_t m, size_t k, size_t lda, const double* b,
                 acc += arow[kk] * brow[kk];
             }
             crow[j] = acc;
+        }
+    }
+}
+
+void
+matmulTNAcc(const double* a, size_t rows, size_t acols, size_t lda,
+            const double* b, size_t bcols, size_t ldb, double* c, size_t ldc)
+{
+    static const MatmulNTFn kernel = pickKernelTNAcc();
+    kernel(a, rows, acols, lda, b, bcols, ldb, c, ldc);
+}
+
+void
+matmulTNAddPartial(const double* a, size_t rows, size_t acols, size_t lda,
+                   const double* b, size_t bcols, size_t ldb, double* c,
+                   size_t ldc)
+{
+    static const MatmulNTFn kernel = pickKernelTNAddPartial();
+    kernel(a, rows, acols, lda, b, bcols, ldb, c, ldc);
+}
+
+void
+matmulTNAccNaive(const double* a, size_t rows, size_t acols, size_t lda,
+                 const double* b, size_t bcols, size_t ldb, double* c,
+                 size_t ldc)
+{
+    for (size_t r = 0; r < rows; ++r) {
+        const double* arow = a + r * lda;
+        const double* brow = b + r * ldb;
+        for (size_t i = 0; i < acols; ++i) {
+            const double ari = arow[i];
+            if (ari == 0.0) {
+                continue;
+            }
+            double* crow = c + i * ldc;
+            for (size_t j = 0; j < bcols; ++j) {
+                crow[j] += ari * brow[j];
+            }
         }
     }
 }

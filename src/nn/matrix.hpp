@@ -44,9 +44,67 @@ void matmul(const double* a, size_t m, size_t k, size_t lda, const double* b,
             size_t n, size_t ldb, double* c, size_t ldc,
             const double* bias = nullptr, bool relu = false);
 
-/** Raw C[m,n] = A[m,k] * B[n,k]^T (same aliasing/ordering contract). */
+/**
+ * Raw C[m,n] = A[m,k] * B[n,k]^T with B accessed row-major as B^T — no
+ * transposed copy is ever materialized. Same ordering contract as
+ * matmul(): every C element is a single accumulator over k in ascending
+ * order with separate multiply and add roundings, so the bytes equal
+ * matmulNTNaive() for any m. Dispatches at runtime to an AVX2 4x4
+ * lane-per-element micro-kernel (self-checked at startup against the
+ * naive kernel and demoted on mismatch), falling back to the naive loop.
+ * Used by the attention cores (Q K^T without the explicit K transpose)
+ * and the batched backward's dX = dY W^T GEMMs. C must not alias A or B.
+ */
 void matmulNT(const double* a, size_t m, size_t k, size_t lda,
               const double* b, size_t n, size_t ldb, double* c, size_t ldc);
+
+/** The pre-dispatch NT product, preserved verbatim (scalar accumulator
+ *  per element over ascending k): the frozen golden kernel matmulNT() is
+ *  differentially checked against. */
+void matmulNTNaive(const double* a, size_t m, size_t k, size_t lda,
+                   const double* b, size_t n, size_t ldb, double* c,
+                   size_t ldc);
+
+/**
+ * Accumulating transposed-A product: C[i,j] += sum_r A[r,i] * B[r,j] over
+ * @p rows rows, every element's terms added in ascending r with separate
+ * multiply/add roundings — the exact per-element chain of
+ * Matrix::matmulTN followed by Matrix::add. C is accumulated into, NOT
+ * overwritten: running it on a zeroed partial and adding the partial to a
+ * gradient reproduces `grad.add(Matrix::matmulTN(x, dy))` byte for byte,
+ * and (because one-row partials are single products) accumulating
+ * straight into the gradient over consecutive one-row segments
+ * reproduces the per-record add sequence too — the dW reductions of the
+ * batched backward pass rest on both. Dispatches to an AVX2 4-row-blocked
+ * kernel (self-checked against the frozen naive loop, demoted on
+ * mismatch). Inputs must be finite; C must hold no -0.0 entries (both
+ * hold for every gradient buffer: they start zeroed and accumulate sums,
+ * which cannot produce -0.0 under round-to-nearest).
+ */
+void matmulTNAcc(const double* a, size_t rows, size_t acols, size_t lda,
+                 const double* b, size_t bcols, size_t ldb, double* c,
+                 size_t ldc);
+
+/** The frozen naive TNAcc loop (r outer, zero-skip on A[r,i] exactly like
+ *  Matrix::matmulTN), the golden kernel matmulTNAcc() is checked
+ *  against. */
+void matmulTNAccNaive(const double* a, size_t rows, size_t acols,
+                      size_t lda, const double* b, size_t bcols, size_t ldb,
+                      double* c, size_t ldc);
+
+/**
+ * Fused per-segment gradient partial: C[i,j] += P[i,j] where
+ * P[i,j] = sum_r A[r,i] * B[r,j] is built in a local accumulator from
+ * zero (terms in ascending r, separate mul/add roundings) and added to C
+ * in ONE rounding — exactly `grad.add(Matrix::matmulTN(x_seg, dy_seg))`
+ * without materializing the partial matrix (one pass over C instead of
+ * zero + accumulate + add). Same finite-input / no -0.0-in-C contract as
+ * matmulTNAcc; dispatched with a startup self-check against the composed
+ * naive ops.
+ */
+void matmulTNAddPartial(const double* a, size_t rows, size_t acols,
+                        size_t lda, const double* b, size_t bcols,
+                        size_t ldb, double* c, size_t ldc);
 
 /**
  * The pre-batching GEMM, preserved verbatim (ikj loop, zero-skip,

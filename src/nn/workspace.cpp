@@ -81,6 +81,74 @@ segmentColSum(const Matrix& x, const SegmentTable& segs, Matrix& out)
 }
 
 void
+SegmentTable::appendAlias(size_t begin, size_t rows)
+{
+    PRUNER_CHECK_MSG(begin + rows <= pack_rows_,
+                     "appendAlias [" << begin << ", " << begin + rows
+                                     << ") outside the packed "
+                                     << pack_rows_ << " rows");
+    // An alias must duplicate an earlier segment exactly: consumers
+    // (e.g. the attention watermark skip) assume an aliased block was
+    // already processed under the SAME segment grouping — a partial
+    // alias would silently reuse outputs computed over different
+    // boundaries.
+    bool matches = false;
+    for (size_t i = 0; i < nrows_.size() && !matches; ++i) {
+        matches = begins_[i] == begin && nrows_[i] == rows;
+    }
+    PRUNER_CHECK_MSG(matches, "appendAlias ["
+                                  << begin << ", " << begin + rows
+                                  << ") does not match any earlier "
+                                     "segment exactly");
+    begins_.push_back(begin);
+    nrows_.push_back(rows);
+}
+
+void
+segmentBroadcast(const Matrix& src, size_t src_col0, size_t ncols,
+                 const SegmentTable& segs, Matrix& out, bool mean)
+{
+    PRUNER_CHECK_MSG(segs.count() == src.rows(),
+                     "segmentBroadcast: " << segs.count()
+                                          << " segments from a src of "
+                                          << src.rows() << " rows");
+    PRUNER_CHECK(src_col0 + ncols <= src.cols());
+    out.resize(segs.totalRows(), ncols);
+    size_t expect_begin = 0;
+    for (size_t s = 0; s < segs.count(); ++s) {
+        const size_t b = segs.begin(s);
+        const size_t n = segs.rows(s);
+        // Training packs must tile the pack: an aliased (deduplicated)
+        // table here would silently overwrite shared rows instead of
+        // giving each record its own gradient rows.
+        PRUNER_CHECK_MSG(b == expect_begin,
+                         "segmentBroadcast requires contiguous segments "
+                         "(segment " << s << " begins at " << b
+                                     << ", expected " << expect_begin
+                                     << " — aliased tables are "
+                                        "inference-only)");
+        expect_begin = b + n;
+        if (n == 0) {
+            continue;
+        }
+        const double* sr = src.row(s) + src_col0;
+        const double inv = mean ? 1.0 / static_cast<double>(n) : 1.0;
+        for (size_t r = 0; r < n; ++r) {
+            double* o = out.row(b + r);
+            if (mean) {
+                for (size_t c = 0; c < ncols; ++c) {
+                    o[c] = sr[c] * inv;
+                }
+            } else {
+                for (size_t c = 0; c < ncols; ++c) {
+                    o[c] = sr[c];
+                }
+            }
+        }
+    }
+}
+
+void
 segmentColMean(const Matrix& x, const SegmentTable& segs, Matrix& out)
 {
     segmentColSum(x, segs, out);

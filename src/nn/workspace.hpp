@@ -29,20 +29,49 @@ namespace pruner {
  * [begin(i), begin(i) + rows(i)) of the pack, one segment per candidate.
  * Variable-length segments (per-statement features) and fixed-stride ones
  * (dataflow / primitive sequences) use the same table.
+ *
+ * Segments normally tile the pack contiguously (append()), but a segment
+ * may also alias an earlier segment's rows (appendAlias()): identical
+ * blocks — e.g. the all-zero padding rows of ablated/empty-dataflow
+ * candidates — are packed once and referenced many times, shrinking every
+ * GEMM over the pack without changing a single output byte (identical
+ * input rows produce identical output rows).
  */
 class SegmentTable
 {
   public:
-    void reset() { offsets_.resize(1); }
-    void append(size_t rows) { offsets_.push_back(offsets_.back() + rows); }
+    void reset()
+    {
+        begins_.clear();
+        nrows_.clear();
+        pack_rows_ = 0;
+    }
 
-    size_t count() const { return offsets_.size() - 1; }
-    size_t begin(size_t i) const { return offsets_[i]; }
-    size_t rows(size_t i) const { return offsets_[i + 1] - offsets_[i]; }
-    size_t totalRows() const { return offsets_.back(); }
+    /** Append a segment covering the next @p rows rows of the pack. */
+    void append(size_t rows)
+    {
+        begins_.push_back(pack_rows_);
+        nrows_.push_back(rows);
+        pack_rows_ += rows;
+    }
+
+    /** Append a segment aliasing existing pack rows [begin, begin + rows)
+     *  — which must duplicate an earlier segment's (begin, rows) exactly
+     *  (partial aliases are rejected: consumers assume an aliased block
+     *  was processed under the same segment grouping). The pack does not
+     *  grow. */
+    void appendAlias(size_t begin, size_t rows);
+
+    size_t count() const { return nrows_.size(); }
+    size_t begin(size_t i) const { return begins_[i]; }
+    size_t rows(size_t i) const { return nrows_[i]; }
+
+    /** Rows of the underlying pack (aliased segments add none). */
+    size_t totalRows() const { return pack_rows_; }
 
   private:
-    std::vector<size_t> offsets_{0};
+    std::vector<size_t> begins_, nrows_;
+    size_t pack_rows_ = 0;
 };
 
 /** Arena of reusable inference buffers (see file comment). */
@@ -94,5 +123,16 @@ void segmentColSum(const Matrix& x, const SegmentTable& segs, Matrix& out);
 /** Per-segment column means (empty segments yield zero rows), byte-equal
  *  to per-candidate colMean(). */
 void segmentColMean(const Matrix& x, const SegmentTable& segs, Matrix& out);
+
+/**
+ * Pooling backward for the batched trainer: every row of segment i in
+ * @p out (resized to [segs.totalRows(), ncols]) receives columns
+ * [src_col0, src_col0 + ncols) of src row i — the sum-pool broadcast the
+ * per-record loop uses. With @p mean, each copied value is multiplied by
+ * 1 / rows(i) (one multiply per element, the exact op of the per-record
+ * mean-pool backward). Segments must tile the pack (no aliases).
+ */
+void segmentBroadcast(const Matrix& src, size_t src_col0, size_t ncols,
+                      const SegmentTable& segs, Matrix& out, bool mean);
 
 } // namespace pruner

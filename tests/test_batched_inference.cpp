@@ -400,5 +400,51 @@ TEST(Workspace, EmptyBatchPredictIsEmpty)
     EXPECT_TRUE(model.predict(testTask(), none).empty());
 }
 
+// ---------------------------------------------------------------------------
+// Dataflow-block dedup: bitwise-identical blocks pack once and alias.
+
+TEST(DataflowDedup, DuplicateCandidatesPackOneBlock)
+{
+    const auto& task = testTask();
+    const auto base = sampleSchedules(4);
+    // Duplicates interleaved with distinct candidates.
+    std::vector<Schedule> cands{base[0], base[1], base[0], base[2],
+                                base[1], base[3], base[0]};
+    Matrix pack;
+    SegmentTable segs;
+    extractDataflowFeaturesBatch(task, cands, DeviceSpec::a100(), pack,
+                                 segs);
+    ASSERT_EQ(segs.count(), cands.size());
+    // Only the 4 distinct blocks occupy pack rows; duplicates alias.
+    EXPECT_EQ(pack.rows(), 4 * kDataflowSteps);
+    EXPECT_EQ(segs.totalRows(), pack.rows());
+    EXPECT_EQ(segs.begin(2), segs.begin(0)); // base[0] again
+    EXPECT_EQ(segs.begin(4), segs.begin(1)); // base[1] again
+    EXPECT_EQ(segs.begin(6), segs.begin(0)); // base[0] a third time
+    // Aliased segments read the same bytes the full extraction produces.
+    for (size_t i = 0; i < cands.size(); ++i) {
+        const Matrix one =
+            extractDataflowFeatures(task, cands[i], DeviceSpec::a100());
+        for (size_t r = 0; r < kDataflowSteps; ++r) {
+            for (size_t c = 0; c < kDataflowFeatureDim; ++c) {
+                EXPECT_EQ(pack.at(segs.begin(i) + r, c), one.at(r, c));
+            }
+        }
+    }
+}
+
+TEST(DataflowDedup, PredictionsWithDuplicatesMatchReference)
+{
+    const auto& task = testTask();
+    const auto base = sampleSchedules(8, 67);
+    std::vector<Schedule> cands;
+    for (int rep = 0; rep < 3; ++rep) {
+        cands.insert(cands.end(), base.begin(), base.end());
+    }
+    const PaCMModel model(DeviceSpec::a100(), 71);
+    EXPECT_TRUE(bitwiseEqual(model.predict(task, cands),
+                             model.predictReference(task, cands)));
+}
+
 } // namespace
 } // namespace pruner

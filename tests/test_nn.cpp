@@ -163,6 +163,151 @@ TEST(Matrix, TiledMatmulMatchesNaiveKernelBitwise)
     }
 }
 
+TEST(Matrix, MatmulNTMatchesNaiveKernelBitwise)
+{
+    // The dispatched NT kernel (AVX2 4x4 lane-per-element or the naive
+    // fallback) must reproduce the frozen naive NT loop bit for bit
+    // across the main block and both remainder paths.
+    Rng rng(211);
+    for (const auto [m, k, n] :
+         {std::array<size_t, 3>{1, 1, 1}, {1, 64, 10}, {3, 7, 5},
+          {4, 64, 4}, {9, 9, 11}, {10, 64, 10}, {28, 64, 28},
+          {33, 23, 17}}) {
+        const Matrix a = Matrix::randn(m, k, rng, 1.0);
+        const Matrix b = Matrix::randn(n, k, rng, 1.0);
+        const Matrix fast = Matrix::matmulNT(a, b);
+        Matrix naive(m, n);
+        nnkernel::matmulNTNaive(a.row(0), m, k, k, b.row(0), n, k,
+                                naive.row(0), n);
+        ASSERT_EQ(fast.rows(), m);
+        ASSERT_EQ(fast.cols(), n);
+        EXPECT_EQ(std::memcmp(fast.data().data(), naive.data().data(),
+                              m * n * sizeof(double)),
+                  0)
+            << "NT kernel diverged at [" << m << "x" << k << "] * [" << n
+            << "x" << k << "]^T";
+    }
+}
+
+TEST(Matrix, MatmulTNAccMatchesMatmulTNBitwise)
+{
+    // The accumulating raw kernel behind the per-segment dW partials must
+    // replicate Matrix::matmulTN's loop order (including the zero-skip)
+    // exactly: zeroed partial + accumulate == fresh matmulTN.
+    Rng rng(213);
+    for (const auto [rows, acols, bcols] :
+         {std::array<size_t, 3>{1, 1, 1}, {4, 5, 3}, {10, 64, 64},
+          {7, 16, 1}}) {
+        Matrix a = Matrix::randn(rows, acols, rng, 1.0);
+        a.at(rows / 2, acols / 2) = 0.0; // exercise the zero-skip
+        const Matrix b = Matrix::randn(rows, bcols, rng, 1.0);
+        const Matrix ref = Matrix::matmulTN(a, b);
+        Matrix acc(acols, bcols);
+        nnkernel::matmulTNAcc(a.row(0), rows, acols, acols, b.row(0),
+                              bcols, bcols, acc.row(0), bcols);
+        // The production contract: a zeroed partial + one accumulation
+        // pass == a fresh Matrix::matmulTN, bit for bit. (Accumulating a
+        // second pass on top is NOT equivalent to ref+ref — each term
+        // rounds against the running sum — which is exactly why the
+        // batched backward builds one zeroed partial per segment.)
+        EXPECT_EQ(std::memcmp(ref.data().data(), acc.data().data(),
+                              acols * bcols * sizeof(double)),
+                  0);
+    }
+}
+
+TEST(SegmentTableAlias, AliasedSegmentsShareRows)
+{
+    SegmentTable segs;
+    segs.append(4);
+    segs.append(2);
+    segs.appendAlias(0, 4); // third candidate reuses the first block
+    EXPECT_EQ(segs.count(), 3u);
+    EXPECT_EQ(segs.totalRows(), 6u); // the pack did not grow
+    EXPECT_EQ(segs.begin(2), 0u);
+    EXPECT_EQ(segs.rows(2), 4u);
+    segs.append(3);
+    EXPECT_EQ(segs.begin(3), 6u); // appends continue at the pack end
+    EXPECT_EQ(segs.totalRows(), 9u);
+    EXPECT_THROW(segs.appendAlias(7, 3), InternalError); // out of range
+    EXPECT_THROW(segs.appendAlias(0, 2), InternalError); // partial alias
+    EXPECT_THROW(segs.appendAlias(1, 4), InternalError); // misaligned
+    segs.reset();
+    EXPECT_EQ(segs.count(), 0u);
+    EXPECT_EQ(segs.totalRows(), 0u);
+}
+
+TEST(SegmentTableAlias, AttentionAndPoolingMatchDuplicatedBlocks)
+{
+    // A deduplicated pack (identical block stored once, aliased twice)
+    // must produce byte-identical per-candidate outputs to the full pack
+    // that stores the duplicate block explicitly.
+    Rng rng(217);
+    SelfAttention attn(6, rng);
+    const Matrix block_a = Matrix::randn(4, 6, rng, 0.8);
+    const Matrix block_b = Matrix::randn(3, 6, rng, 0.8);
+
+    Matrix full(0, 6);
+    full.appendRows(block_a, 0, 4);
+    full.appendRows(block_b, 0, 3);
+    full.appendRows(block_a, 0, 4); // duplicate stored explicitly
+    SegmentTable full_segs;
+    full_segs.append(4);
+    full_segs.append(3);
+    full_segs.append(4);
+
+    Matrix deduped(0, 6);
+    deduped.appendRows(block_a, 0, 4);
+    deduped.appendRows(block_b, 0, 3);
+    SegmentTable alias_segs;
+    alias_segs.append(4);
+    alias_segs.append(3);
+    alias_segs.appendAlias(0, 4); // duplicate aliased
+
+    Workspace ws_full, ws_alias;
+    const Matrix& ctx_full = attn.inferBatch(full, full_segs, ws_full);
+    const Matrix& ctx_alias =
+        attn.inferBatch(deduped, alias_segs, ws_alias);
+    Matrix pooled_full, pooled_alias;
+    segmentColMean(ctx_full, full_segs, pooled_full);
+    segmentColMean(ctx_alias, alias_segs, pooled_alias);
+    ASSERT_EQ(pooled_full.rows(), 3u);
+    ASSERT_EQ(pooled_alias.rows(), 3u);
+    EXPECT_EQ(std::memcmp(pooled_full.data().data(),
+                          pooled_alias.data().data(),
+                          pooled_full.size() * sizeof(double)),
+              0);
+}
+
+TEST(SegmentBroadcast, SumAndMeanMatchPerRecordBackward)
+{
+    Rng rng(219);
+    const Matrix src = Matrix::randn(3, 8, rng, 1.0);
+    SegmentTable segs;
+    segs.append(2);
+    segs.append(0);
+    segs.append(5);
+    Matrix sum_out, mean_out;
+    segmentBroadcast(src, 2, 4, segs, sum_out, /*mean=*/false);
+    segmentBroadcast(src, 2, 4, segs, mean_out, /*mean=*/true);
+    ASSERT_EQ(sum_out.rows(), 7u);
+    ASSERT_EQ(sum_out.cols(), 4u);
+    for (size_t s = 0; s < segs.count(); ++s) {
+        const double inv =
+            segs.rows(s) > 0
+                ? 1.0 / static_cast<double>(segs.rows(s))
+                : 0.0;
+        for (size_t r = 0; r < segs.rows(s); ++r) {
+            for (size_t c = 0; c < 4; ++c) {
+                EXPECT_EQ(sum_out.at(segs.begin(s) + r, c),
+                          src.at(s, 2 + c));
+                EXPECT_EQ(mean_out.at(segs.begin(s) + r, c),
+                          src.at(s, 2 + c) * inv);
+            }
+        }
+    }
+}
+
 TEST(Matrix, ResizePreservesPrefixAndZeroFillsGrowth)
 {
     Matrix m(2, 3, 1.5);

@@ -34,4 +34,14 @@ if ! printf '%s\n' "$SECOND_RUN" | grep -q ", 0 simulated trials"; then
 fi
 echo "check_build: warm-start smoke OK (second run replayed from cache)"
 
+# Record-then-replay identity: record faulted sessions and replay them
+# concurrently at other worker counts — any byte divergence fails the
+# build. (Skipped when the bench binaries were not built.)
+if [ -x "./$BUILD_DIR/chaos_replay" ]; then
+  "./$BUILD_DIR/chaos_replay" 2 1
+  echo "check_build: record-then-replay identity OK"
+else
+  echo "check_build: chaos_replay not built, skipping replay identity check"
+fi
+
 echo "check_build: OK ($BUILD_DIR)"

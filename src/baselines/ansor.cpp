@@ -1,6 +1,7 @@
 #include "baselines/ansor.hpp"
 
 #include "cost/mlp_cost_model.hpp"
+#include "replay/session_log.hpp"
 
 namespace pruner {
 namespace baselines {
@@ -16,9 +17,11 @@ makeAnsor(const DeviceSpec& device, uint64_t seed)
     // exploration in the paper's Table 1.
     config.evolution.population = 512;
     config.evolution.iterations = 4;
-    return std::make_unique<EvoCostModelPolicy>(
+    auto policy = std::make_unique<EvoCostModelPolicy>(
         "Ansor", device, std::make_unique<MlpCostModel>(device, seed),
         config);
+    policy->setReplaySpec("Ansor", "model_seed=" + hexU64(seed));
+    return policy;
 }
 
 } // namespace baselines

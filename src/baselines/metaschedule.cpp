@@ -1,6 +1,7 @@
 #include "baselines/metaschedule.hpp"
 
 #include "cost/mlp_cost_model.hpp"
+#include "replay/session_log.hpp"
 
 namespace pruner {
 namespace baselines {
@@ -12,9 +13,11 @@ makeMetaSchedule(const DeviceSpec& device, uint64_t seed)
     config.online_training = true;
     config.evolution.population = 384; // larger per-round exploration
     config.evolution.iterations = 4;
-    return std::make_unique<EvoCostModelPolicy>(
+    auto policy = std::make_unique<EvoCostModelPolicy>(
         "MetaSchedule", device, std::make_unique<MlpCostModel>(device, seed),
         config);
+    policy->setReplaySpec("MetaSchedule", "model_seed=" + hexU64(seed));
+    return policy;
 }
 
 } // namespace baselines

@@ -1,6 +1,7 @@
 #include "baselines/tenset_mlp.hpp"
 
 #include "cost/mlp_cost_model.hpp"
+#include "replay/session_log.hpp"
 #include "support/logging.hpp"
 
 namespace pruner {
@@ -16,8 +17,14 @@ makeTenSetMlp(const DeviceSpec& device, uint64_t seed,
     }
     EvoPolicyConfig config;
     config.online_training = online_training;
-    return std::make_unique<EvoCostModelPolicy>(
+    auto policy = std::make_unique<EvoCostModelPolicy>(
         "TenSetMLP", device, std::move(model), config);
+    policy->setReplaySpec("TenSetMLP",
+                          "model_seed=" + hexU64(seed) +
+                              "\tonline=" + (online_training ? "1" : "0") +
+                              "\tpretrained=" +
+                              (pretrained.empty() ? "0" : "1"));
+    return policy;
 }
 
 std::vector<double>

@@ -1,6 +1,7 @@
 #include "baselines/tlp.hpp"
 
 #include "cost/tlp_cost_model.hpp"
+#include "replay/session_log.hpp"
 
 namespace pruner {
 namespace baselines {
@@ -19,8 +20,14 @@ makeTlp(const DeviceSpec& device, uint64_t seed,
     // the MLP models, so its practical evolution budget is smaller.
     config.evolution.population = 256;
     config.evolution.iterations = 3;
-    return std::make_unique<EvoCostModelPolicy>("TLP", device,
-                                                std::move(model), config);
+    auto policy = std::make_unique<EvoCostModelPolicy>(
+        "TLP", device, std::move(model), config);
+    policy->setReplaySpec("TLP",
+                          "model_seed=" + hexU64(seed) +
+                              "\tonline=" + (online_training ? "1" : "0") +
+                              "\tpretrained=" +
+                              (pretrained.empty() ? "0" : "1"));
+    return policy;
 }
 
 } // namespace baselines

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include <sstream>
+
 #include "cost/async_trainer.hpp"
 #include "db/artifact_session.hpp"
+#include "replay/session_recorder.hpp"
 #include "support/logging.hpp"
 
 namespace pruner {
@@ -13,6 +16,7 @@ PrunerPolicy::PrunerPolicy(const DeviceSpec& device, PrunerConfig config,
                            uint64_t model_seed)
     : device_(device),
       config_(std::move(config)),
+      model_seed_(model_seed),
       model_(std::make_unique<PaCMModel>(device, model_seed, config_.pacm)),
       explorer_(device, config_.sa)
 {
@@ -27,6 +31,29 @@ PrunerPolicy::name() const
     return config_.use_moa ? "MoA-Pruner" : "Pruner";
 }
 
+std::string
+PrunerPolicy::replayConfig() const
+{
+    std::ostringstream out;
+    out << "model_seed=" << hexU64(model_seed_)
+        << "\tlse=" << (config_.use_lse ? 1 : 0)
+        << "\tmoa=" << (config_.use_moa ? 1 : 0)
+        << "\tfinetune=" << (config_.online_finetune ? 1 : 0)
+        << "\trinit=" << config_.random_init
+        << "\tmutants=" << config_.incumbent_mutants
+        << "\tmoa_every=" << config_.moa_train_every
+        << "\tmoa_m=" << doubleBits(config_.moa_momentum)
+        << "\tpop=" << config_.lse.population
+        << "\tsteps=" << config_.lse.n_steps
+        << "\tspec=" << config_.lse.spec_size
+        << "\tsa_c=" << (config_.sa.use_compute_penalties ? 1 : 0)
+        << "\tsa_m=" << (config_.sa.use_memory_penalties ? 1 : 0)
+        << "\tpacm_s=" << (config_.pacm.use_statement_features ? 1 : 0)
+        << "\tpacm_d=" << (config_.pacm.use_dataflow_features ? 1 : 0)
+        << "\tpretrained=" << (config_.pretrained.empty() ? 0 : 1);
+    return out.str();
+}
+
 TuneResult
 PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
 {
@@ -39,6 +66,17 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
                       opts.constants);
     // Parallel verify machinery shared by draft scoring and measurement.
     MeasureEnv env(measurer, opts.measure_workers, opts.measure_cache);
+    measurer.setFaultPlan(opts.fault_plan);
+    measurer.setRecorder(opts.recorder);
+    // Pin the compile-overlap divisor so a recorded session replays with
+    // the same simulated clock at any real worker count.
+    measurer.setClockLanes(static_cast<size_t>(
+        opts.clock_lanes > 0 ? opts.clock_lanes
+                             : std::max(opts.measure_workers, 1)));
+    if (opts.recorder != nullptr) {
+        opts.recorder->beginSession(replayFactory(), replayConfig(),
+                                    device_.name, workload, opts);
+    }
     LseConfig lse_config = config_.lse;
     lse_config.score_pool = env.pool();
     TuningRecordDb db;
@@ -92,6 +130,9 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
             // round-wide overlap saves.
             clock.charge(CostCategory::Other,
                          constants.task_switch_overhead);
+        }
+        if (opts.recorder != nullptr) {
+            opts.recorder->onRound(round, picked);
         }
 
         struct RoundSlot
@@ -186,6 +227,12 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
         // be stable for the whole verify pass (never torn mid-round).
         if (async_trainer != nullptr) {
             async_trainer->install();
+        }
+        if (opts.recorder != nullptr) {
+            // Hash at the install point, where async and synchronous
+            // training provably hold identical weights.
+            opts.recorder->onModelState(round,
+                                        paramsHash(model_->getParams()));
         }
         // PaCM scores only the drafted candidates; predict_batch-sized
         // sub-spans fan out across the pool, each one batched GEMM pass
@@ -291,9 +338,13 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
     result.failed_trials = measurer.failedTrials();
     result.cache_hits = measurer.cacheHits();
     result.simulated_trials = measurer.simulatedTrials();
+    result.injected_faults = measurer.injectedFaults();
     artifacts.finish(opts.measure_cache ? &env.cache() : nullptr,
                      opts.reuse_model_checkpoint ? model_.get() : nullptr,
                      model_key);
+    if (opts.recorder != nullptr) {
+        opts.recorder->onEnd(result, paramsHash(model_->getParams()));
+    }
     return result;
 }
 

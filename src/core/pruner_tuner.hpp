@@ -56,12 +56,20 @@ class PrunerPolicy : public SearchPolicy
     TuneResult tune(const Workload& workload,
                     const TuneOptions& options) override;
 
+    /** Replay identity: the scalar PrunerConfig fields plus the model
+     *  seed, enough for a SessionReplayer to rebuild an identical fresh
+     *  policy. Sessions with pretrained weights record pretrained=1 and
+     *  are refused at replay time (the weights are not in the log). */
+    std::string replayFactory() const override { return name(); }
+    std::string replayConfig() const override;
+
     PaCMModel& model() { return *model_; }
     const PrunerConfig& config() const { return config_; }
 
   private:
     DeviceSpec device_;
     PrunerConfig config_;
+    uint64_t model_seed_;
     std::unique_ptr<PaCMModel> model_;
     LatentScheduleExplorer explorer_;
 };

@@ -1,0 +1,83 @@
+#pragma once
+
+/**
+ * @file session_recorder.hpp
+ * Records one tune() session into a SessionLog.
+ *
+ * Attach a recorder through TuneOptions::recorder; the search policy and
+ * its Measurer then emit every replay-relevant event: the session header
+ * (policy factory + config, device, workload, options, cost constants,
+ * fault plan), each round's task picks, each candidate's measurement
+ * outcome (including cache hits and injected faults, in deterministic
+ * batch order), the cost-model parameter hash observed at each round's
+ * install point, and the final TuneResult summary.
+ *
+ * All hooks run on the session's main thread (the Measurer emits its
+ * events after the worker phase, on the calling thread), so one recorder
+ * serves exactly one session and needs no locking. Hooks are no-ops after
+ * onEnd(), and beginSession() may be called once.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "replay/session_log.hpp"
+#include "search/fault_plan.hpp"
+#include "search/search_policy.hpp"
+
+namespace pruner {
+
+/** Event sink for one tuning session (see TuneOptions::recorder). */
+class SessionRecorder
+{
+  public:
+    SessionRecorder() = default;
+
+    SessionRecorder(const SessionRecorder&) = delete;
+    SessionRecorder& operator=(const SessionRecorder&) = delete;
+
+    /** Emit the session header. Called by the policy at tune() entry.
+     *  @param factory  replayFactory() key the replayer rebuilds with
+     *  @param policy_config  replayConfig() construction parameters
+     *  @param device_name    DeviceSpec::name of the target
+     *  @param workload  tuned workload (name + task count recorded)
+     *  @param opts      the run's TuneOptions */
+    void beginSession(const std::string& factory,
+                      const std::string& policy_config,
+                      const std::string& device_name,
+                      const Workload& workload, const TuneOptions& opts);
+
+    /** Emit one round's task picks (TaskScheduler::nextTasks output). */
+    void onRound(int round, const std::vector<size_t>& task_indices);
+
+    /** Emit the cost-model parameter hash observed at a round's install
+     *  point (where async and synchronous training provably agree). */
+    void onModelState(int round, uint64_t params_hash);
+
+    /** Emit one candidate's measurement outcome. Called by the Measurer
+     *  for every candidate — cache hits, in-batch duplicates, and injected
+     *  faults included — in deterministic (batch, index) order. */
+    void onMeasurement(uint64_t task_hash, uint64_t sched_hash,
+                       double latency, FaultKind fault);
+
+    /** Emit the terminal summary event. After this the log is complete
+     *  and further hooks are ignored. */
+    void onEnd(const TuneResult& result, uint64_t final_params_hash);
+
+    bool started() const { return started_; }
+    bool finished() const { return finished_; }
+
+    /** The recorded log (complete once onEnd ran). */
+    const SessionLog& log() const { return log_; }
+
+    /** Convenience: save the recorded log (see SessionLog::save). */
+    void writeTo(const std::string& path) const { log_.save(path); }
+
+  private:
+    SessionLog log_;
+    bool started_ = false;
+    bool finished_ = false;
+};
+
+} // namespace pruner

@@ -1,14 +1,18 @@
 #include "search/measurer.hpp"
 
 #include <cmath>
+#include <limits>
 #include <thread>
 #include <unordered_map>
+
+#include "replay/session_recorder.hpp"
 
 namespace pruner {
 
 namespace {
 /** alias[] marker: candidate is unique in its batch (not a duplicate). */
 constexpr size_t kNotAliased = static_cast<size_t>(-1);
+constexpr double kInf = std::numeric_limits<double>::infinity();
 } // namespace
 
 Measurer::Measurer(const DeviceSpec& device, SimClock* clock, uint64_t seed,
@@ -18,24 +22,67 @@ Measurer::Measurer(const DeviceSpec& device, SimClock* clock, uint64_t seed,
 {
 }
 
+uint32_t
+Measurer::nextAttempt(uint64_t task_hash, uint64_t sched_hash)
+{
+    if (!fault_plan_.enabled()) {
+        return 0;
+    }
+    return fault_attempts_[hashCombine(task_hash, sched_hash)]++;
+}
+
 std::vector<double>
 Measurer::measure(const SubgraphTask& task,
                   const std::vector<Schedule>& candidates)
 {
     std::vector<double> out;
     out.reserve(candidates.size());
+    const uint64_t task_hash = task.hash();
     for (const auto& sch : candidates) {
-        const double latency = simulator_.measure(task, sch, rng_);
+        const uint64_t sched_hash = sch.hash();
+        const uint32_t attempt = nextAttempt(task_hash, sched_hash);
+        double scale = 1.0;
+        FaultKind kind =
+            fault_plan_.enabled()
+                ? fault_plan_.draw(task_hash, sched_hash, attempt, &scale)
+                : FaultKind::None;
+        double latency;
+        if (kind == FaultKind::LaunchFailure || kind == FaultKind::Timeout) {
+            // The injected failure preempts the device: nothing to run.
+            latency = kInf;
+        } else {
+            latency = simulator_.measure(task, sch, rng_);
+            if (kind == FaultKind::FlakyLatency) {
+                if (std::isfinite(latency)) {
+                    latency *= scale;
+                } else {
+                    kind = FaultKind::None; // natural failure, no perturbation
+                }
+            }
+        }
         out.push_back(latency);
         ++total_trials_;
         if (!std::isfinite(latency)) {
             ++failed_trials_;
         }
+        switch (kind) {
+        case FaultKind::LaunchFailure: ++injected_launch_; break;
+        case FaultKind::Timeout: ++injected_timeouts_; break;
+        case FaultKind::FlakyLatency: ++injected_flaky_; break;
+        case FaultKind::None: break;
+        }
         if (clock_ != nullptr) {
             clock_->charge(CostCategory::Compile,
                            constants_.compile_per_trial);
-            clock_->charge(CostCategory::Measurement,
-                           constants_.measure_per_trial);
+            double measure_s = constants_.measure_per_trial;
+            if (kind == FaultKind::Timeout) {
+                // A timed-out trial blocks the device for its full window.
+                measure_s += fault_plan_.timeout_extra_s;
+            }
+            clock_->charge(CostCategory::Measurement, measure_s);
+        }
+        if (recorder_ != nullptr) {
+            recorder_->onMeasurement(task_hash, sched_hash, latency, kind);
         }
     }
     return out;
@@ -59,17 +106,20 @@ Measurer::measureRound(const std::vector<RoundBatch>& round)
     std::vector<uint64_t> task_hashes(n_batches);
     std::vector<std::vector<uint64_t>> sched_hashes(n_batches);
     std::vector<std::vector<size_t>> alias(n_batches);
+    std::vector<std::vector<FaultKind>> kinds(n_batches);
 
     // Sequential pre-pass, one sub-batch at a time: draw the per-batch
     // seed, hash every candidate once (the noise seeding and cache insert
-    // key off the same hash), resolve cache hits and in-batch duplicates.
-    // Done on the calling thread, so seed consumption and hit/miss
+    // key off the same hash), resolve cache hits and in-batch duplicates,
+    // and assign each simulated attempt its fault-stream ordinal. Done on
+    // the calling thread, so seed/attempt consumption and hit/miss
     // accounting are deterministic and identical to sequential
     // measureBatch calls.
     struct Job
     {
         size_t batch;
         size_t index;
+        uint32_t attempt;
     };
     std::vector<Job> jobs;
     size_t n_total = 0;
@@ -82,6 +132,7 @@ Measurer::measureRound(const std::vector<RoundBatch>& round)
         out[b].assign(n, 0.0);
         sched_hashes[b].resize(n);
         alias[b].assign(n, kNotAliased);
+        kinds[b].assign(n, FaultKind::None);
         n_total += n;
         std::unordered_map<uint64_t, size_t> first_seen;
         for (size_t i = 0; i < n; ++i) {
@@ -100,24 +151,45 @@ Measurer::measureRound(const std::vector<RoundBatch>& round)
                 alias[b][i] = it->second;
                 continue;
             }
-            jobs.push_back({b, i});
+            jobs.push_back(
+                {b, i, nextAttempt(task_hashes[b], sched_hashes[b][i])});
         }
     }
 
     // Worker phase: every task's misses fan out through one pool pass, so
     // the pool never drains at task boundaries. Each candidate's noise
     // stream is derived from its sub-batch seed, its index, and its
-    // content hash — never from the shared rng_ — so values are identical
-    // for any worker count.
+    // content hash — never from the shared rng_ — and its fault draw from
+    // (plan seed, content hashes, attempt) — so values and injected
+    // faults are identical for any worker count.
     const auto run_one = [&](size_t job) {
-        const auto [b, i] = jobs[job];
-        Rng trial_rng(hashCombine(hashCombine(batch_seeds[b], i),
-                                  sched_hashes[b][i]));
-        out[b][i] = simulator_.measure(*round[b].task,
-                                       (*round[b].candidates)[i], trial_rng);
-        if (trial_latency_.count() > 0) {
-            std::this_thread::sleep_for(trial_latency_);
+        const auto [b, i, attempt] = jobs[job];
+        double scale = 1.0;
+        FaultKind kind = fault_plan_.enabled()
+                             ? fault_plan_.draw(task_hashes[b],
+                                                sched_hashes[b][i], attempt,
+                                                &scale)
+                             : FaultKind::None;
+        if (kind == FaultKind::LaunchFailure || kind == FaultKind::Timeout) {
+            out[b][i] = kInf;
+        } else {
+            Rng trial_rng(hashCombine(hashCombine(batch_seeds[b], i),
+                                      sched_hashes[b][i]));
+            out[b][i] = simulator_.measure(*round[b].task,
+                                           (*round[b].candidates)[i],
+                                           trial_rng);
+            if (kind == FaultKind::FlakyLatency) {
+                if (std::isfinite(out[b][i])) {
+                    out[b][i] *= scale;
+                } else {
+                    kind = FaultKind::None; // natural failure, no perturbation
+                }
+            }
+            if (trial_latency_.count() > 0) {
+                std::this_thread::sleep_for(trial_latency_);
+            }
         }
+        kinds[b][i] = kind;
     };
     if (pool_ != nullptr && jobs.size() > 1) {
         pool_->parallelFor(jobs.size(), run_one);
@@ -127,8 +199,25 @@ Measurer::measureRound(const std::vector<RoundBatch>& round)
         }
     }
 
-    for (const auto& [b, i] : jobs) {
-        if (cache_ != nullptr) {
+    size_t timeouts_this_round = 0;
+    for (const auto& [b, i, attempt] : jobs) {
+        (void)attempt;
+        switch (kinds[b][i]) {
+        case FaultKind::LaunchFailure: ++injected_launch_; break;
+        case FaultKind::Timeout:
+            ++injected_timeouts_;
+            ++timeouts_this_round;
+            break;
+        case FaultKind::FlakyLatency: ++injected_flaky_; break;
+        case FaultKind::None: break;
+        }
+        // Injected transients never enter the cache: a timeout or a flaky
+        // latency is a property of the attempt, not of the (task,
+        // schedule) pair, so a revisit must re-measure. Launch failures
+        // (natural or injected) are permanent, and their +inf entries make
+        // re-visits of unlaunchable schedules free.
+        if (cache_ != nullptr && kinds[b][i] != FaultKind::Timeout &&
+            kinds[b][i] != FaultKind::FlakyLatency) {
             cache_->insert(task_hashes[b], sched_hashes[b][i], out[b][i]);
         }
     }
@@ -136,6 +225,7 @@ Measurer::measureRound(const std::vector<RoundBatch>& round)
         for (size_t i = 0; i < out[b].size(); ++i) {
             if (alias[b][i] != kNotAliased) {
                 out[b][i] = out[b][alias[b][i]];
+                kinds[b][i] = kinds[b][alias[b][i]];
             }
             if (!std::isfinite(out[b][i])) {
                 ++failed_trials_;
@@ -150,15 +240,33 @@ Measurer::measureRound(const std::vector<RoundBatch>& round)
         // Compilation is host work and overlaps across workers — across
         // *all* the round's tasks at once, which is where a sharded round
         // beats per-task batches (one ceil instead of one per task). The
-        // device itself runs one measurement at a time. Cache hits charge
-        // nothing.
+        // device itself runs one measurement at a time, and a timed-out
+        // trial holds it for its full timeout window on top of the normal
+        // per-trial cost. Cache hits charge nothing. The overlap divisor
+        // is clockLanes(), not the live pool size, so a replayed session
+        // can pin the recorded worker count and reproduce the clock with
+        // any real thread count.
         const auto misses = static_cast<double>(jobs.size());
-        const auto lanes = static_cast<double>(workers());
+        const auto lanes = static_cast<double>(clockLanes());
         clock_->charge(CostCategory::Compile,
                        std::ceil(misses / lanes) *
                            constants_.compile_per_trial);
         clock_->charge(CostCategory::Measurement,
-                       misses * constants_.measure_per_trial);
+                       misses * constants_.measure_per_trial +
+                           static_cast<double>(timeouts_this_round) *
+                               fault_plan_.timeout_extra_s);
+    }
+
+    // Session events go out after all accounting, on the calling thread,
+    // in (batch, candidate) order — cache hits and aliases included — so
+    // the log is identical for any worker count.
+    if (recorder_ != nullptr) {
+        for (size_t b = 0; b < n_batches; ++b) {
+            for (size_t i = 0; i < out[b].size(); ++i) {
+                recorder_->onMeasurement(task_hashes[b], sched_hashes[b][i],
+                                         out[b][i], kinds[b][i]);
+            }
+        }
     }
     return out;
 }
@@ -170,20 +278,52 @@ Measurer::measureAdaptive(const SubgraphTask& task,
 {
     std::vector<double> out;
     out.reserve(candidates.size());
+    const uint64_t task_hash = task.hash();
     for (const auto& sch : candidates) {
-        double latency = simulator_.measure(task, sch, rng_);
-        if (std::isfinite(latency)) {
-            latency *= std::exp(rng_.normal(0.0, extra_noise));
-        } else {
+        const uint64_t sched_hash = sch.hash();
+        const uint32_t attempt = nextAttempt(task_hash, sched_hash);
+        double scale = 1.0;
+        FaultKind kind =
+            fault_plan_.enabled()
+                ? fault_plan_.draw(task_hash, sched_hash, attempt, &scale)
+                : FaultKind::None;
+        double latency;
+        if (kind == FaultKind::LaunchFailure || kind == FaultKind::Timeout) {
+            latency = kInf;
             ++failed_trials_;
+        } else {
+            latency = simulator_.measure(task, sch, rng_);
+            if (std::isfinite(latency)) {
+                latency *= std::exp(rng_.normal(0.0, extra_noise));
+                if (kind == FaultKind::FlakyLatency) {
+                    latency *= scale;
+                }
+            } else {
+                if (kind == FaultKind::FlakyLatency) {
+                    kind = FaultKind::None;
+                }
+                ++failed_trials_;
+            }
+        }
+        switch (kind) {
+        case FaultKind::LaunchFailure: ++injected_launch_; break;
+        case FaultKind::Timeout: ++injected_timeouts_; break;
+        case FaultKind::FlakyLatency: ++injected_flaky_; break;
+        case FaultKind::None: break;
         }
         out.push_back(latency);
         ++total_trials_;
         if (clock_ != nullptr) {
             clock_->charge(CostCategory::Compile,
                            constants_.compile_per_trial);
-            clock_->charge(CostCategory::Measurement,
-                           constants_.measure_per_trial * time_scale);
+            double measure_s = constants_.measure_per_trial * time_scale;
+            if (kind == FaultKind::Timeout) {
+                measure_s += fault_plan_.timeout_extra_s;
+            }
+            clock_->charge(CostCategory::Measurement, measure_s);
+        }
+        if (recorder_ != nullptr) {
+            recorder_->onMeasurement(task_hash, sched_hash, latency, kind);
         }
     }
     return out;

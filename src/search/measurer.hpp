@@ -14,14 +14,18 @@
 
 #include <chrono>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
+#include "search/fault_plan.hpp"
 #include "search/measure_cache.hpp"
 #include "sim/gpu_simulator.hpp"
 #include "support/sim_clock.hpp"
 #include "support/thread_pool.hpp"
 
 namespace pruner {
+
+class SessionRecorder; // session event sink (src/replay/session_recorder.hpp)
 
 /** One task's slice of a sharded multi-task measurement round (borrowed
  *  views; both pointers must outlive the measureRound call). */
@@ -48,6 +52,25 @@ class Measurer
 
     /** Attach a measurement cache (borrowed, may be nullptr = uncached). */
     void setCache(MeasureCache* cache) { cache_ = cache; }
+
+    /** Install a deterministic fault-injection plan (copied). The fault
+     *  stream is a pure function of (plan seed, task hash, schedule hash,
+     *  attempt) — identical at any worker count — and every injected
+     *  outcome is recorded through the attached SessionRecorder. Injected
+     *  transients (timeouts, flaky latencies) never enter the cache. */
+    void setFaultPlan(const FaultPlan& plan) { fault_plan_ = plan; }
+    const FaultPlan& faultPlan() const { return fault_plan_; }
+
+    /** Attach a session recorder (borrowed, may be nullptr): every
+     *  candidate outcome is emitted in deterministic order, after the
+     *  worker phase, on the calling thread. */
+    void setRecorder(SessionRecorder* recorder) { recorder_ = recorder; }
+
+    /** Pin the worker count the simulated compile-overlap divisor uses
+     *  (0, the default, follows the attached pool's size). Session replay
+     *  pins this to the recorded worker count so the simulated clock is
+     *  identical no matter how many real threads re-execute the log. */
+    void setClockLanes(size_t lanes) { clock_lanes_ = lanes; }
 
     /** Emulate the device round-trip a real measurement blocks on: each
      *  simulated trial additionally sleeps this long on its worker thread.
@@ -108,29 +131,60 @@ class Measurer
 
     const GpuSimulator& simulator() const { return simulator_; }
     size_t totalTrials() const { return total_trials_; }
+    /** Trials that returned +inf — natural launch failures plus injected
+     *  launch failures and timeouts. */
     size_t failedTrials() const { return failed_trials_; }
     /** Trials measureBatch answered from the cache. */
     size_t cacheHits() const { return cache_hits_; }
     /** Trials measureBatch actually simulated (cache misses). */
     size_t simulatedTrials() const { return simulated_trials_; }
+    /** Simulated attempts the fault plan turned into launch failures. */
+    size_t injectedLaunchFailures() const { return injected_launch_; }
+    /** Simulated attempts the fault plan timed out. */
+    size_t injectedTimeouts() const { return injected_timeouts_; }
+    /** Simulated attempts the fault plan perturbed (flaky latency). */
+    size_t injectedFlaky() const { return injected_flaky_; }
+    /** All injected faults (launch + timeout + flaky). */
+    size_t injectedFaults() const
+    {
+        return injected_launch_ + injected_timeouts_ + injected_flaky_;
+    }
     size_t workers() const { return pool_ != nullptr ? pool_->size() : 1; }
+    /** Divisor of the simulated compile overlap (see setClockLanes). */
+    size_t clockLanes() const
+    {
+        return clock_lanes_ != 0 ? clock_lanes_ : workers();
+    }
 
   private:
+    /** Fault draw for one simulated attempt of a pair: advances the
+     *  per-pair attempt counter (sequential pre-pass only). */
+    uint32_t nextAttempt(uint64_t task_hash, uint64_t sched_hash);
+
     GpuSimulator simulator_;
     SimClock* clock_;
     Rng rng_;
     CostConstants constants_;
     ThreadPool* pool_ = nullptr;
     MeasureCache* cache_ = nullptr;
+    SessionRecorder* recorder_ = nullptr;
+    FaultPlan fault_plan_;
+    /** Per-(task, schedule) simulated-attempt counts feeding the
+     *  transient fault stream; only maintained while a plan is enabled. */
+    std::unordered_map<uint64_t, uint32_t> fault_attempts_;
     std::chrono::microseconds trial_latency_{0};
     /** Base of the per-batch seed derivation, fixed at construction so
      *  measureBatch values never depend on interleaved measure() calls. */
     uint64_t batch_seed_base_;
     uint64_t batch_index_ = 0;
+    size_t clock_lanes_ = 0;
     size_t total_trials_ = 0;
     size_t failed_trials_ = 0;
     size_t cache_hits_ = 0;
     size_t simulated_trials_ = 0;
+    size_t injected_launch_ = 0;
+    size_t injected_timeouts_ = 0;
+    size_t injected_flaky_ = 0;
 };
 
 /**

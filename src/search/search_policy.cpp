@@ -7,6 +7,7 @@
 
 #include "cost/async_trainer.hpp"
 #include "db/artifact_session.hpp"
+#include "replay/session_recorder.hpp"
 #include "support/logging.hpp"
 
 namespace pruner {
@@ -121,6 +122,17 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
     Measurer measurer(device_, &clock, hashCombine(opts.seed, 0x3EA5),
                       opts.constants);
     MeasureEnv env(measurer, opts.measure_workers, opts.measure_cache);
+    measurer.setFaultPlan(opts.fault_plan);
+    measurer.setRecorder(opts.recorder);
+    // Pin the compile-overlap divisor so a recorded session replays with
+    // the same simulated clock at any real worker count.
+    measurer.setClockLanes(static_cast<size_t>(
+        opts.clock_lanes > 0 ? opts.clock_lanes
+                             : std::max(opts.measure_workers, 1)));
+    if (opts.recorder != nullptr) {
+        opts.recorder->beginSession(replayFactory(), replayConfig(),
+                                    device_.name, workload, opts);
+    }
     EvoPolicyConfig run_config = config_;
     run_config.evolution.score_pool = env.pool();
     run_config.evolution.score_chunk =
@@ -171,6 +183,13 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
         // Round-boundary weight swap, before the round's first predict.
         if (async_trainer != nullptr) {
             async_trainer->install();
+        }
+        if (opts.recorder != nullptr) {
+            opts.recorder->onRound(round, picked);
+            // Hash at the install point, where async and synchronous
+            // training provably hold identical weights.
+            opts.recorder->onModelState(round,
+                                        paramsHash(model_->getParams()));
         }
 
         struct RoundSlot
@@ -283,6 +302,7 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
     result.failed_trials = measurer.failedTrials();
     result.cache_hits = measurer.cacheHits();
     result.simulated_trials = measurer.simulatedTrials();
+    result.injected_faults = measurer.injectedFaults();
 
     // A learned model that diverged (non-finite scores) means the policy
     // lost its search signal — the paper observes this for TLP fine-tuned
@@ -302,6 +322,9 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
                          ? model_.get()
                          : nullptr,
                      model_key);
+    if (opts.recorder != nullptr) {
+        opts.recorder->onEnd(result, paramsHash(model_->getParams()));
+    }
     return result;
 }
 

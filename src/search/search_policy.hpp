@@ -26,6 +26,7 @@
 namespace pruner {
 
 class ArtifactDb; // persistent artifact store (src/db/artifact_db.hpp)
+class SessionRecorder; // session event sink (src/replay/session_recorder.hpp)
 
 /** Options shared by every tuner. */
 struct TuneOptions
@@ -88,6 +89,19 @@ struct TuneOptions
     /** Restore/persist cost-model weight checkpoints keyed by
      *  (policy, model, device). */
     bool reuse_model_checkpoint = false;
+    /** Session event sink (borrowed, may be nullptr): records the run as a
+     *  versioned event log a SessionReplayer can re-execute bit-exactly.
+     *  See src/replay/. */
+    SessionRecorder* recorder = nullptr;
+    /** Deterministic fault-injection plan applied by the Measurer (default:
+     *  disabled). The injected fault stream is a pure function of the plan
+     *  and the candidate, so it is identical at any worker count and is
+     *  captured in the session log. */
+    FaultPlan fault_plan;
+    /** Worker count the simulated compile-overlap divisor assumes (0 = use
+     *  measure_workers). Session replay pins this to the recorded value so
+     *  the simulated clock reproduces at any real measure_workers. */
+    int clock_lanes = 0;
 };
 
 /** One point of a tuning curve: simulated time vs best end-to-end
@@ -116,6 +130,7 @@ struct TuneResult
     size_t cache_hits = 0;       ///< trials answered by the MeasureCache
     size_t simulated_trials = 0; ///< trials actually simulated
     size_t warm_records = 0;     ///< records replayed from the ArtifactDb
+    size_t injected_faults = 0;  ///< faults the FaultPlan injected
     bool failed = false; ///< the policy could not tune this workload
     std::string failure_reason;
 
@@ -136,6 +151,14 @@ class SearchPolicy
     virtual std::string name() const = 0;
     virtual TuneResult tune(const Workload& workload,
                             const TuneOptions& options) = 0;
+
+    /** Factory key a SessionReplayer rebuilds this policy under (the
+     *  registry key, not necessarily the display name). */
+    virtual std::string replayFactory() const { return name(); }
+    /** Construction parameters the factory needs to rebuild an identical
+     *  fresh policy (tab-separated key=value pairs; "" when the factory
+     *  key alone suffices). */
+    virtual std::string replayConfig() const { return ""; }
 };
 
 /** Configuration of the shared evolution-based tuning loop. */
@@ -167,6 +190,20 @@ class EvoCostModelPolicy : public SearchPolicy
     TuneResult tune(const Workload& workload,
                     const TuneOptions& options) override;
 
+    std::string replayFactory() const override
+    {
+        return replay_factory_.empty() ? name_ : replay_factory_;
+    }
+    std::string replayConfig() const override { return replay_config_; }
+    /** Install the replay identity of this policy instance. Called by the
+     *  baseline factories (makeAnsor etc.) so a recorded session names the
+     *  factory and the arguments that rebuild an identical fresh policy. */
+    void setReplaySpec(std::string factory, std::string config)
+    {
+        replay_factory_ = std::move(factory);
+        replay_config_ = std::move(config);
+    }
+
     CostModel& model() { return *model_; }
     const DeviceSpec& device() const { return device_; }
 
@@ -184,6 +221,8 @@ class EvoCostModelPolicy : public SearchPolicy
     DeviceSpec device_;
     std::unique_ptr<CostModel> model_;
     EvoPolicyConfig config_;
+    std::string replay_factory_; ///< see setReplaySpec (empty = name_)
+    std::string replay_config_;
 };
 
 /** Select up to @p n distinct unmeasured candidates: mostly best-first,

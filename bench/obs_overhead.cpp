@@ -1,0 +1,246 @@
+/**
+ * Observability overhead + identity harness.
+ *
+ * Hard asserts (exit 1 on violation):
+ *  - a tuning run with metrics + tracing + round stats attached is
+ *    byte-identical to the same run with observability off (results are
+ *    never perturbed by instrumentation), at 1 and 4 workers;
+ *  - the deterministic metrics exposition and the deterministic Chrome
+ *    trace are byte-identical across worker counts;
+ *  - a SessionReplayer re-execution regenerates the live run's
+ *    deterministic trace and metrics from the session log alone.
+ *
+ * Reported (and optionally gated): the wall-clock overhead of running
+ * with observability on. The default gate of 25% only catches gross
+ * regressions — wall time on shared CI machines is too noisy for a tight
+ * bound (the repo convention; see micro_overhead). Set
+ * PRUNER_OBS_GATE_PCT to tighten it locally (the design target is <3%).
+ *
+ *   ./obs_overhead [repeats]
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/pruner_tuner.hpp"
+#include "ir/workload_registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/tune_report.hpp"
+#include "replay/session_replayer.hpp"
+#include "support/logging.hpp"
+
+using namespace pruner;
+
+namespace {
+
+size_t g_failures = 0;
+
+void
+check(bool ok, const std::string& what)
+{
+    if (!ok) {
+        ++g_failures;
+        std::printf("FAIL: %s\n", what.c_str());
+    }
+}
+
+TuneOptions
+benchOptions(int workers)
+{
+    TuneOptions opts;
+    opts.rounds = 6;
+    opts.seed = 21;
+    opts.tasks_per_round = 2;
+    opts.measure_workers = workers;
+    opts.clock_lanes = 2; // pin the simulated overlap across worker counts
+    opts.async_training = workers > 1;
+    opts.fault_plan.seed = 77;
+    opts.fault_plan.launch_failure_rate = 0.04;
+    opts.fault_plan.flaky_rate = 0.1;
+    return opts;
+}
+
+Workload
+benchWorkload()
+{
+    Workload w = workloads::resnet50();
+    w.tasks.resize(2);
+    return w;
+}
+
+/** Byte-exact fingerprint of everything a TuneResult determines. */
+std::string
+fingerprint(const TuneResult& r)
+{
+    std::ostringstream out;
+    out << doubleBits(r.final_latency) << '|' << doubleBits(r.total_time_s)
+        << '|' << doubleBits(r.exploration_s) << '|'
+        << doubleBits(r.training_s) << '|' << doubleBits(r.measurement_s)
+        << '|' << doubleBits(r.compile_s) << '|' << r.trials << '|'
+        << r.failed_trials << '|' << r.cache_hits << '|'
+        << r.simulated_trials << '|' << r.injected_faults;
+    for (const auto& point : r.curve) {
+        out << '|' << doubleBits(point.time_s) << ':'
+            << doubleBits(point.latency_s);
+    }
+    for (const double best : r.best_per_task) {
+        out << '|' << doubleBits(best);
+    }
+    return out.str();
+}
+
+struct RunOutput
+{
+    TuneResult result;
+    double wall_s = 0.0;
+    std::string det_metrics; ///< deterministic exposition ("" if obs off)
+    std::string det_trace;   ///< deterministic Chrome trace ("" if obs off)
+};
+
+RunOutput
+runOnce(int workers, bool with_obs, SessionRecorder* recorder = nullptr)
+{
+    const auto dev = DeviceSpec::a100();
+    const Workload w = benchWorkload();
+    PrunerConfig config;
+    config.lse.spec_size = 64;
+    PrunerPolicy policy(dev, config);
+
+    obs::MetricsRegistry metrics;
+    obs::Tracer tracer;
+    TuneOptions opts = benchOptions(workers);
+    if (with_obs) {
+        opts.metrics = &metrics;
+        opts.tracer = &tracer;
+        opts.collect_round_stats = true;
+    }
+    opts.recorder = recorder;
+
+    RunOutput out;
+    const auto start = std::chrono::steady_clock::now();
+    out.result = policy.tune(w, opts);
+    out.wall_s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+    if (with_obs) {
+        out.det_metrics = metrics.renderText(/*deterministic_only=*/true);
+        out.det_trace = tracer.chromeTrace(/*include_execution=*/false);
+    }
+    return out;
+}
+
+double
+medianWall(int workers, bool with_obs, size_t repeats)
+{
+    std::vector<double> walls;
+    walls.reserve(repeats);
+    for (size_t i = 0; i < repeats; ++i) {
+        walls.push_back(runOnce(workers, with_obs).wall_s);
+    }
+    std::sort(walls.begin(), walls.end());
+    return walls[walls.size() / 2];
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    size_t repeats = 3;
+    if (argc > 1) {
+        repeats = static_cast<size_t>(std::atoi(argv[1]));
+        if (repeats == 0) {
+            std::printf("usage: %s [repeats]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    // --- Identity: observability never changes tuning results -----------
+    for (const int workers : {1, 4}) {
+        const RunOutput off = runOnce(workers, false);
+        const RunOutput on = runOnce(workers, true);
+        check(fingerprint(off.result) == fingerprint(on.result),
+              "obs-on result differs from obs-off at " +
+                  std::to_string(workers) + " workers");
+        std::printf("identity @ %d workers: obs on == obs off\n", workers);
+    }
+
+    // --- Identity: deterministic views across worker counts -------------
+    const RunOutput w1 = runOnce(1, true);
+    const RunOutput w4 = runOnce(4, true);
+    check(fingerprint(w1.result) == fingerprint(w4.result),
+          "results differ across worker counts");
+    check(w1.det_metrics == w4.det_metrics,
+          "deterministic metrics exposition differs across worker counts");
+    check(w1.det_trace == w4.det_trace,
+          "deterministic trace differs across worker counts");
+    std::printf(
+        "identity across workers: %zu trace bytes, %zu metrics bytes\n",
+        w1.det_trace.size(), w1.det_metrics.size());
+
+    // --- Identity: replay regenerates the live trace --------------------
+    {
+        SessionRecorder recorder;
+        const RunOutput live = runOnce(2, true, &recorder);
+        check(recorder.finished(), "recording did not finish");
+
+        obs::MetricsRegistry replay_metrics;
+        obs::Tracer replay_tracer;
+        SessionReplayer replayer;
+        ReplayEnv env;
+        env.workers = 1;
+        env.metrics = &replay_metrics;
+        env.tracer = &replay_tracer;
+        const ReplayResult replayed = replayer.replay(recorder.log(), env);
+        check(replayed.diff.identical,
+              "replay diverged: " + replayed.diff.describe());
+        check(replay_tracer.chromeTrace(false) == live.det_trace,
+              "replayed deterministic trace differs from the live trace");
+        check(replay_metrics.renderText(true) == live.det_metrics,
+              "replayed deterministic metrics differ from the live run");
+        std::printf("replay: regenerated the live deterministic trace "
+                    "(%zu events)\n",
+                    replay_tracer.eventCount());
+    }
+
+    // --- Wall-clock overhead ---------------------------------------------
+    const double off_wall = medianWall(2, false, repeats);
+    const double on_wall = medianWall(2, true, repeats);
+    const double overhead_pct =
+        off_wall > 0.0 ? (on_wall / off_wall - 1.0) * 100.0 : 0.0;
+    std::printf("wall: obs off %.3f s, obs on %.3f s, overhead %+.2f%% "
+                "(median of %zu)\n",
+                off_wall, on_wall, overhead_pct, repeats);
+
+    double gate_pct = 25.0; // gross-regression catch; wall time is noisy
+    if (const char* env_gate = std::getenv("PRUNER_OBS_GATE_PCT")) {
+        gate_pct = std::atof(env_gate);
+    }
+    check(overhead_pct <= gate_pct,
+          "observability overhead above gate (" +
+              std::to_string(overhead_pct) + "% > " +
+              std::to_string(gate_pct) + "%)");
+
+    // A sample report, so the bench doubles as a demo of tune_report.
+    TuneOptions report_opts = benchOptions(1);
+    report_opts.collect_round_stats = true;
+    PrunerConfig config;
+    config.lse.spec_size = 64;
+    PrunerPolicy policy(DeviceSpec::a100(), config);
+    std::printf("\n%s",
+                obs::tuneReport(policy.tune(benchWorkload(), report_opts))
+                    .c_str());
+
+    if (g_failures != 0) {
+        std::printf("\nobs_overhead: %zu FAILURES\n", g_failures);
+        return 1;
+    }
+    std::printf("\nobs_overhead: all identity checks passed\n");
+    return 0;
+}

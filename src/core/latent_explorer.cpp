@@ -1,5 +1,6 @@
 #include "core/latent_explorer.hpp"
 
+#include "obs/metrics.hpp"
 #include "support/logging.hpp"
 
 namespace pruner {
@@ -22,6 +23,7 @@ LatentScheduleExplorer::explore(const SubgraphTask& task,
     evo_config.iterations = config.n_steps;
     evo_config.out_size = config.spec_size;
     evo_config.score_pool = config.score_pool;
+    evo_config.metrics = config.metrics;
     // Fitness = hardware-fitness score from the draft model (CSA in
     // Algorithm 2): no learned model anywhere in this loop.
     const ScoreFn fitness = [&](std::span<const Schedule> cands) {
@@ -32,7 +34,18 @@ LatentScheduleExplorer::explore(const SubgraphTask& task,
         }
         return scores;
     };
-    return evo.run(evo_config, fitness, seeds, rng, n_evaluated);
+    size_t evals = 0;
+    auto out = evo.run(evo_config, fitness, seeds, rng, &evals);
+    if (n_evaluated != nullptr) {
+        *n_evaluated = evals;
+    }
+    if (config.metrics != nullptr) {
+        config.metrics->counter("lse_drafts_total")->add();
+        config.metrics->counter("lse_sa_evaluations_total")->add(evals);
+        config.metrics->counter("lse_spec_candidates_total")
+            ->add(out.size());
+    }
+    return out;
 }
 
 } // namespace pruner

@@ -31,6 +31,9 @@ struct LseConfig
      *  scoring slices, so draft fan-out, measurement, and a concurrent
      *  model update interleave on it instead of draining it per stage. */
     ThreadPool* score_pool = nullptr;
+    /** Metrics sink, forwarded to the underlying GA plus lse_*_total
+     *  counters (borrowed, may be null). Pure accounting. */
+    obs::MetricsRegistry* metrics = nullptr;
 };
 
 /** The draft-stage explorer. */

@@ -7,10 +7,24 @@
 
 #include "cost/async_trainer.hpp"
 #include "db/artifact_session.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "replay/session_recorder.hpp"
 #include "support/logging.hpp"
 
 namespace pruner {
+
+namespace {
+
+/** Unbinds the model's metric handles when the per-run registry dies (the
+ *  policy's PaCM outlives tune(), the registry does not). */
+struct ModelObsGuard
+{
+    CostModel* model;
+    ~ModelObsGuard() { model->bindMetrics(nullptr); }
+};
+
+} // namespace
 
 PrunerPolicy::PrunerPolicy(const DeviceSpec& device, PrunerConfig config,
                            uint64_t model_seed)
@@ -62,10 +76,19 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
 
     SimClock clock;
     Rng rng(opts.seed);
+    // Per-run observability (see TuneOptions::metrics): accumulate into a
+    // private registry, merge into the caller's at the end.
+    obs::MetricsRegistry run_metrics;
+    obs::Tracer* tracer = opts.tracer;
+    obs::ScopedSpan tune_span(tracer, obs::TraceTrack::Main, &clock, "tune",
+                              "session");
+    tune_span.argStr("policy", name());
     Measurer measurer(device_, &clock, hashCombine(opts.seed, 0x9EA5),
                       opts.constants);
     // Parallel verify machinery shared by draft scoring and measurement.
     MeasureEnv env(measurer, opts.measure_workers, opts.measure_cache);
+    measurer.setMetrics(&run_metrics);
+    measurer.setTracer(tracer);
     measurer.setFaultPlan(opts.fault_plan);
     measurer.setRecorder(opts.recorder);
     // Pin the compile-overlap divisor so a recorded session replays with
@@ -79,8 +102,15 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
     }
     LseConfig lse_config = config_.lse;
     lse_config.score_pool = env.pool();
+    lse_config.metrics = &run_metrics;
     TuningRecordDb db;
     TaskScheduler scheduler(workload);
+    scheduler.bindObs(&run_metrics);
+    model_->bindMetrics(&run_metrics);
+    ModelObsGuard model_obs_guard{model_.get()};
+    obs_detail::exportKernelTiers(run_metrics);
+    obs::RoundStatsCollector round_stats(opts.collect_round_stats, &clock,
+                                         &measurer);
 
     std::unique_ptr<MoAAdapter> moa;
     if (config_.use_moa) {
@@ -92,15 +122,19 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
     }
 
     ArtifactSession artifacts(opts.artifact_db, opts.artifact_db_path);
+    artifacts.bindMetrics(&run_metrics);
     const std::string model_key =
         artifactModelKey(name(), model_->name(), device_.name);
     if (artifacts.enabled()) {
+        obs::ScopedSpan io_span(tracer, obs::TraceTrack::Io, &clock,
+                                "warm_start", "io");
         const WarmStartStats warm = artifacts.warmStart(
             workload, opts.warm_start_records ? &db : nullptr,
             opts.measure_cache && opts.reuse_measure_cache ? env.cacheMut()
                                                            : nullptr,
             opts.reuse_model_checkpoint ? model_.get() : nullptr, model_key);
-        result.warm_records = warm.records_replayed;
+        io_span.argU64("records", warm.records_replayed);
+        io_span.argU64("cache_entries", warm.cache_entries);
         if (warm.records_replayed > 0) {
             scheduler.warmStart(db);
         }
@@ -114,13 +148,19 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
     if (opts.async_training && env.pool() != nullptr && !config_.use_moa) {
         async_trainer =
             std::make_unique<AsyncModelTrainer>(*model_, *env.pool());
+        async_trainer->bindObs(tracer, &clock, &run_metrics);
     }
 
     const auto& constants = opts.constants;
     for (int round = 0; round < opts.rounds; ++round) {
+        obs::ScopedSpan round_span(tracer, obs::TraceTrack::Main, &clock,
+                                   "round", "sched");
+        round_span.argU64("round", static_cast<uint64_t>(round));
         const auto picked = scheduler.nextTasks(
             static_cast<size_t>(std::max(opts.tasks_per_round, 1)), db,
             rng);
+        round_span.argU64("tasks", picked.size());
+        round_stats.beginRound(round, picked);
         if (picked.size() > 1) {
             // The serial loop never charges task_switch_overhead (its
             // calibrated per-round constants absorb it, and K=1 stays
@@ -161,6 +201,9 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
                 seeds.push_back(*best);
             }
 
+            obs::ScopedSpan draft_span(tracer, obs::TraceTrack::Main,
+                                       &clock, "draft", "explore");
+            draft_span.argU64("task", idx);
             std::vector<Schedule>& draft = slot.draft;
             if (config_.use_lse) {
                 size_t sa_evals = 0;
@@ -219,6 +262,9 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
                     draft.push_back(scored.sch);
                 }
             }
+            draft_span.argU64("drafted", draft.size());
+            draft_span.close();
+            round_stats.addDrafted(draft.size());
             slots.push_back(std::move(slot));
         }
 
@@ -237,6 +283,8 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
         // PaCM scores only the drafted candidates; predict_batch-sized
         // sub-spans fan out across the pool, each one batched GEMM pass
         // (identical values to one serial predict call).
+        obs::ScopedSpan verify_span(tracer, obs::TraceTrack::Main, &clock,
+                                    "verify", "explore");
         for (RoundSlot& slot : slots) {
             const std::vector<double> scores = scoreChunked(
                 [&](std::span<const Schedule> cands) {
@@ -260,7 +308,9 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
                 ranked, *slot.task, db, slot.sampler,
                 static_cast<size_t>(opts.measures_per_round),
                 opts.eps_greedy, rng);
+            round_stats.addMeasured(slot.to_measure.size());
         }
+        verify_span.close();
 
         // --- Measure ----------------------------------------------------
         // One pooled pass over every task's batch: the pool never drains
@@ -293,6 +343,9 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
                     // epochs from the Siamese init, so the total gradient
                     // work matches the per-round baseline while the
                     // simulated training time is charged less often.
+                    obs::ScopedSpan train_span(tracer,
+                                               obs::TraceTrack::Main,
+                                               &clock, "train", "train");
                     moa->roundUpdate(db.recentWindow(768),
                                      opts.train_epochs *
                                          config_.moa_train_every);
@@ -300,6 +353,12 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
                                  model_->trainCostPerRound());
                 }
             } else {
+                // Spans the Training charge point, which sync and async
+                // share — deterministic timestamps are identical either
+                // way (the overlap window is the Execution-channel
+                // "async_update" span).
+                obs::ScopedSpan train_span(tracer, obs::TraceTrack::Main,
+                                           &clock, "train", "train");
                 if (async_trainer != nullptr) {
                     async_trainer->beginUpdate(db.recentWindow(768),
                                                opts.train_epochs);
@@ -316,7 +375,14 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
         const double e2e = workloadBest(workload, db);
         if (std::isfinite(e2e)) {
             result.curve.push_back({clock.now(), e2e});
+            if (tracer != nullptr) {
+                const auto h = tracer->instant(obs::TraceTrack::Main,
+                                               "curve_point", "curve",
+                                               clock.now());
+                tracer->argDouble(h, "latency_s", e2e);
+            }
         }
+        round_stats.endRound(e2e);
     }
     // Drain the last in-flight update so the persisted checkpoint (and
     // any post-run prediction) sees the final weights.
@@ -334,16 +400,23 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
     result.training_s = clock.total(CostCategory::Training);
     result.measurement_s = clock.total(CostCategory::Measurement);
     result.compile_s = clock.total(CostCategory::Compile);
-    result.trials = measurer.totalTrials();
-    result.failed_trials = measurer.failedTrials();
-    result.cache_hits = measurer.cacheHits();
-    result.simulated_trials = measurer.simulatedTrials();
-    result.injected_faults = measurer.injectedFaults();
-    artifacts.finish(opts.measure_cache ? &env.cache() : nullptr,
-                     opts.reuse_model_checkpoint ? model_.get() : nullptr,
-                     model_key);
+    obs_detail::fillResultCounters(result, run_metrics);
+    result.round_stats = round_stats.take();
+    if (artifacts.enabled()) {
+        obs::ScopedSpan io_span(tracer, obs::TraceTrack::Io, &clock,
+                                "db_finish", "io");
+        artifacts.finish(opts.measure_cache ? &env.cache() : nullptr,
+                         opts.reuse_model_checkpoint ? model_.get()
+                                                     : nullptr,
+                         model_key);
+    }
     if (opts.recorder != nullptr) {
         opts.recorder->onEnd(result, paramsHash(model_->getParams()));
+    }
+    tune_span.close();
+    obs_detail::exportPoolStats(run_metrics, env.pool());
+    if (opts.metrics != nullptr) {
+        run_metrics.mergeInto(*opts.metrics);
     }
     return result;
 }

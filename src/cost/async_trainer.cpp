@@ -14,6 +14,22 @@ AsyncModelTrainer::~AsyncModelTrainer()
     if (inflight_.valid()) {
         inflight_.wait();
     }
+    if (tracer_ != nullptr && overlap_span_ != 0 && clock_ != nullptr) {
+        tracer_->end(overlap_span_, clock_->now());
+    }
+}
+
+void
+AsyncModelTrainer::bindObs(obs::Tracer* tracer, const SimClock* clock,
+                           obs::MetricsRegistry* metrics)
+{
+    tracer_ = tracer;
+    clock_ = clock;
+    updates_counter_ =
+        metrics != nullptr
+            ? metrics->counter("async_updates_total",
+                               obs::MetricChannel::Execution)
+            : nullptr;
 }
 
 void
@@ -26,6 +42,16 @@ AsyncModelTrainer::beginUpdate(std::vector<MeasuredRecord> window,
     auto snapshot = std::make_shared<std::vector<MeasuredRecord>>(
         std::move(window));
     ++launched_;
+    obs::counterAdd(updates_counter_);
+    if (tracer_ != nullptr && clock_ != nullptr) {
+        overlap_span_ =
+            tracer_->begin(obs::TraceTrack::Trainer, "async_update",
+                           "train", clock_->now(),
+                           obs::TraceChannel::Execution);
+        tracer_->argU64(overlap_span_, "records", snapshot->size());
+        tracer_->argU64(overlap_span_, "epochs",
+                        static_cast<uint64_t>(epochs));
+    }
     inflight_ = pool_->submit([this, snapshot, epochs]() {
         const double loss = back_->train(*snapshot, epochs);
         staged_.publish(back_->getParams());
@@ -42,6 +68,10 @@ AsyncModelTrainer::install()
     last_loss_ = inflight_.get(); // waits; rethrows training exceptions
     if (staged_.consume(&scratch_)) {
         front_->setParams(scratch_);
+    }
+    if (tracer_ != nullptr && overlap_span_ != 0 && clock_ != nullptr) {
+        tracer_->end(overlap_span_, clock_->now());
+        overlap_span_ = 0;
     }
     return true;
 }

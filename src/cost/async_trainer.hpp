@@ -37,6 +37,8 @@
 
 #include "cost/cost_model.hpp"
 #include "nn/param_buffer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/thread_pool.hpp"
 
 namespace pruner {
@@ -71,6 +73,15 @@ class AsyncModelTrainer
     /** Ranking loss of the most recently installed update. */
     double lastLoss() const { return last_loss_; }
 
+    /** Attach observability sinks (all borrowed, any may be nullptr).
+     *  Everything here is Execution channel: the trainer only exists when
+     *  the run has a pool, so its spans/counters are worker-count
+     *  dependent by construction and never enter the deterministic
+     *  exposition. The "async_update" span on the trainer track covers
+     *  beginUpdate() -> install() — the overlap window — in sim time. */
+    void bindObs(obs::Tracer* tracer, const SimClock* clock,
+                 obs::MetricsRegistry* metrics);
+
   private:
     CostModel* front_;
     ThreadPool* pool_;
@@ -80,6 +91,10 @@ class AsyncModelTrainer
     std::vector<double> scratch_;
     size_t launched_ = 0;
     double last_loss_ = 0.0;
+    obs::Tracer* tracer_ = nullptr;
+    const SimClock* clock_ = nullptr;
+    obs::Counter* updates_counter_ = nullptr;
+    obs::Tracer::SpanHandle overlap_span_ = 0;
 };
 
 } // namespace pruner

@@ -4,9 +4,32 @@
 #include <unordered_map>
 
 #include "nn/loss.hpp"
+#include "obs/metrics.hpp"
 #include "support/logging.hpp"
 
 namespace pruner {
+
+void
+CostModel::bindMetrics(obs::MetricsRegistry* metrics)
+{
+    if (metrics == nullptr) {
+        obs_counters_ = {};
+        return;
+    }
+    obs_counters_.infer_batches = metrics->counter("model_infer_batches_total");
+    obs_counters_.infer_candidates =
+        metrics->counter("model_infer_candidates_total");
+    obs_counters_.infer_pack_rows =
+        metrics->counter("model_infer_pack_rows_total");
+    obs_counters_.infer_segments =
+        metrics->counter("model_infer_segments_total");
+    obs_counters_.infer_alias_segments =
+        metrics->counter("model_infer_alias_segments_total");
+    obs_counters_.train_groups = metrics->counter("model_train_groups_total");
+    obs_counters_.train_records =
+        metrics->counter("model_train_records_total");
+    obs_counters_.train_epochs = metrics->counter("model_train_epochs_total");
+}
 
 namespace detail {
 
@@ -36,7 +59,8 @@ trainRankingLoop(
                              std::vector<double>&)>& infer_scores,
     const std::function<void(const std::vector<size_t>&,
                              const std::vector<double>&)>& fit_batch,
-    const std::function<void()>& on_batch_end)
+    const std::function<void()>& on_batch_end,
+    const CostModel::ModelObsCounters& counters)
 {
     auto groups = detail::groupByTask(records);
     double last_epoch_loss = 0.0;
@@ -68,8 +92,11 @@ trainRankingLoop(
             on_batch_end();
             epoch_loss += loss.loss;
             ++batches;
+            obs::counterAdd(counters.train_groups);
+            obs::counterAdd(counters.train_records, subset.size());
         }
         last_epoch_loss = batches > 0 ? epoch_loss / batches : 0.0;
+        obs::counterAdd(counters.train_epochs);
     }
     return last_epoch_loss;
 }

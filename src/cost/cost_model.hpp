@@ -26,6 +26,11 @@
 
 namespace pruner {
 
+namespace obs {
+class Counter;
+class MetricsRegistry;
+} // namespace obs
+
 /** One measured data point (the unit of both online and offline data). */
 struct MeasuredRecord
 {
@@ -87,6 +92,31 @@ class CostModel
 
     /** Deep copy. */
     virtual std::unique_ptr<CostModel> clone() const = 0;
+
+    /** Handles into a bound MetricsRegistry (all null when unbound; writes
+     *  go through null-safe helpers). Deterministic channel: inference and
+     *  training traffic is a pure function of the tuning trajectory. */
+    struct ModelObsCounters
+    {
+        obs::Counter* infer_batches = nullptr;    ///< predict calls
+        obs::Counter* infer_candidates = nullptr; ///< rows scored
+        obs::Counter* infer_pack_rows = nullptr;  ///< packed GEMM rows
+        obs::Counter* infer_segments = nullptr;   ///< segments packed
+        obs::Counter* infer_alias_segments = nullptr; ///< aliased (deduped)
+        obs::Counter* train_groups = nullptr;     ///< LambdaRank groups fit
+        obs::Counter* train_records = nullptr;    ///< records fit
+        obs::Counter* train_epochs = nullptr;     ///< training epochs run
+    };
+
+    /** Bind the model_* counters to @p metrics (nullptr unbinds). Pure
+     *  accounting, never changes predictions or weights. A clone() carries
+     *  the binding — deliberately: the async trainer trains a clone, and
+     *  carrying the handles keeps the deterministic training counters
+     *  identical between sync and async runs. */
+    void bindMetrics(obs::MetricsRegistry* metrics);
+
+  protected:
+    ModelObsCounters obs_counters_;
 };
 
 namespace detail {
@@ -122,6 +152,7 @@ groupByTask(const std::vector<MeasuredRecord>& records);
  *                      reused output buffer (resized to subset.size())
  * @param fit_batch  one batched forward+backward over the subset
  * @param on_batch_end  apply the optimizer step
+ * @param counters  optional training counters (null members are no-ops)
  * Returns the last epoch's mean loss.
  */
 double trainRankingLoop(
@@ -131,7 +162,8 @@ double trainRankingLoop(
                              std::vector<double>&)>& infer_scores,
     const std::function<void(const std::vector<size_t>&,
                              const std::vector<double>&)>& fit_batch,
-    const std::function<void()>& on_batch_end);
+    const std::function<void()>& on_batch_end,
+    const CostModel::ModelObsCounters& counters = {});
 
 /**
  * The frozen pre-batching loop: per-record @p fit_one calls (skipping

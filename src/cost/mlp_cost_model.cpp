@@ -1,6 +1,7 @@
 #include "cost/mlp_cost_model.hpp"
 
 #include "nn/optimizer.hpp"
+#include "obs/metrics.hpp"
 #include "support/logging.hpp"
 #include "support/sim_clock.hpp"
 
@@ -52,6 +53,11 @@ MlpCostModel::predictInto(const SubgraphTask& task,
     SegmentTable& segs = ws.allocSegments();
     extractStatementFeaturesBatch(task, candidates, device_, feats, segs);
     forwardBatch(feats, segs, ws, out);
+    obs::counterAdd(obs_counters_.infer_batches);
+    obs::counterAdd(obs_counters_.infer_candidates, candidates.size());
+    obs::counterAdd(obs_counters_.infer_pack_rows, feats.rows());
+    obs::counterAdd(obs_counters_.infer_segments, segs.count());
+    obs::counterAdd(obs_counters_.infer_alias_segments, segs.aliasCount());
 }
 
 std::vector<double>
@@ -195,7 +201,8 @@ MlpCostModel::train(const std::vector<MeasuredRecord>& records, int epochs)
         adam.zeroGrad();
     };
     return trainRankingLoop(records, epochs, /*group_cap=*/48, rng_,
-                            infer_scores, fit_batch, on_batch_end);
+                            infer_scores, fit_batch, on_batch_end,
+                            obs_counters_);
 }
 
 double

@@ -1,6 +1,7 @@
 #include "cost/pacm_model.hpp"
 
 #include "nn/optimizer.hpp"
+#include "obs/metrics.hpp"
 #include "support/logging.hpp"
 #include "support/sim_clock.hpp"
 
@@ -135,6 +136,14 @@ PaCMModel::predictInto(const SubgraphTask& task,
     }
     forwardBatch(stmt_pack, stmt_segs, flow_pack, flow_segs,
                  candidates.size(), ws, out);
+    obs::counterAdd(obs_counters_.infer_batches);
+    obs::counterAdd(obs_counters_.infer_candidates, candidates.size());
+    obs::counterAdd(obs_counters_.infer_pack_rows,
+                    stmt_pack.rows() + flow_pack.rows());
+    obs::counterAdd(obs_counters_.infer_segments,
+                    stmt_segs.count() + flow_segs.count());
+    obs::counterAdd(obs_counters_.infer_alias_segments,
+                    flow_segs.aliasCount());
 }
 
 std::vector<double>
@@ -376,7 +385,8 @@ PaCMModel::train(const std::vector<MeasuredRecord>& records, int epochs)
         adam.zeroGrad();
     };
     return trainRankingLoop(records, epochs, /*group_cap=*/48, rng_,
-                            infer_scores, fit_batch, on_batch_end);
+                            infer_scores, fit_batch, on_batch_end,
+                            obs_counters_);
 }
 
 double

@@ -1,6 +1,7 @@
 #include "cost/tlp_cost_model.hpp"
 
 #include "nn/optimizer.hpp"
+#include "obs/metrics.hpp"
 #include "support/logging.hpp"
 #include "support/sim_clock.hpp"
 
@@ -53,6 +54,11 @@ TlpCostModel::predictInto(const SubgraphTask& task,
     SegmentTable& segs = ws.allocSegments();
     extractPrimitiveFeaturesBatch(task, candidates, feats, segs);
     forwardBatch(feats, segs, ws, out);
+    obs::counterAdd(obs_counters_.infer_batches);
+    obs::counterAdd(obs_counters_.infer_candidates, candidates.size());
+    obs::counterAdd(obs_counters_.infer_pack_rows, feats.rows());
+    obs::counterAdd(obs_counters_.infer_segments, segs.count());
+    obs::counterAdd(obs_counters_.infer_alias_segments, segs.aliasCount());
 }
 
 std::vector<double>
@@ -194,7 +200,8 @@ TlpCostModel::train(const std::vector<MeasuredRecord>& records, int epochs)
         adam.zeroGrad();
     };
     return trainRankingLoop(records, epochs, /*group_cap=*/48, rng_,
-                            infer_scores, fit_batch, on_batch_end);
+                            infer_scores, fit_batch, on_batch_end,
+                            obs_counters_);
 }
 
 double

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "support/logging.hpp"
 
 namespace pruner {
@@ -24,6 +25,20 @@ ArtifactSession::ArtifactSession(ArtifactDb* borrowed,
     }
 }
 
+void
+ArtifactSession::bindMetrics(obs::MetricsRegistry* metrics)
+{
+    if (metrics == nullptr) {
+        counters_ = {};
+        return;
+    }
+    counters_.warm_records = metrics->counter("db_warm_records_total");
+    counters_.warm_cache_entries =
+        metrics->counter("db_warm_cache_entries_total");
+    counters_.records_appended =
+        metrics->counter("db_records_appended_total");
+}
+
 WarmStartStats
 ArtifactSession::warmStart(const Workload& workload, TuningRecordDb* records,
                            MeasureCache* cache, CostModel* model,
@@ -37,7 +52,11 @@ ArtifactSession::warmStart(const Workload& workload, TuningRecordDb* records,
     for (const auto& inst : workload.tasks) {
         tasks.push_back(inst.task);
     }
-    return db_->warmStart(tasks, records, cache, model, model_key);
+    const WarmStartStats stats =
+        db_->warmStart(tasks, records, cache, model, model_key);
+    obs::counterAdd(counters_.warm_records, stats.records_replayed);
+    obs::counterAdd(counters_.warm_cache_entries, stats.cache_entries);
+    return stats;
 }
 
 void
@@ -58,6 +77,7 @@ ArtifactSession::onMeasured(const SubgraphTask& task,
     }
     if (!finite.empty()) {
         db_->appendRecords(finite);
+        obs::counterAdd(counters_.records_appended, finite.size());
     }
 }
 

@@ -22,6 +22,11 @@
 
 namespace pruner {
 
+namespace obs {
+class Counter;
+class MetricsRegistry;
+} // namespace obs
+
 /** Checkpoint key for a (policy, model, device) combination, e.g.
  *  "MoA-Pruner/PaCM/a100". */
 std::string artifactModelKey(const std::string& policy,
@@ -40,6 +45,10 @@ class ArtifactSession
     /** False when persistence is disabled for this run. */
     bool enabled() const { return db_ != nullptr; }
     ArtifactDb* db() const { return db_; }
+
+    /** Bind db_* counters (warm records/cache entries replayed, records
+     *  appended) to @p metrics. nullptr unbinds. Pure accounting. */
+    void bindMetrics(obs::MetricsRegistry* metrics);
 
     /** Warm-start the run state from the store (see ArtifactDb::warmStart);
      *  any sink may be nullptr to skip that artifact. No-op when
@@ -62,8 +71,19 @@ class ArtifactSession
                 const std::string& model_key = "") const;
 
   private:
+    /** Counter handles (null until bindMetrics; writes are null-safe).
+     *  Mutable: the session's methods are const — they mutate the store,
+     *  not the session — and accounting follows the same convention. */
+    struct IoCounters
+    {
+        obs::Counter* warm_records = nullptr;
+        obs::Counter* warm_cache_entries = nullptr;
+        obs::Counter* records_appended = nullptr;
+    };
+
     ArtifactDb* db_ = nullptr;
     std::unique_ptr<ArtifactDb> owned_;
+    mutable IoCounters counters_;
 };
 
 } // namespace pruner

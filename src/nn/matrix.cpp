@@ -782,9 +782,21 @@ matchesAccumulatingReference(MatmulNTFn fn, MatmulNTFn ref)
     return true;
 }
 
+/** A dispatched kernel plus its tier name (see nnkernel::kernelTiers). */
+struct PickedMatmul
+{
+    MatmulFn fn;
+    const char* tier;
+};
+struct PickedMatmulNT
+{
+    MatmulNTFn fn;
+    const char* tier;
+};
+
 #ifdef PRUNER_NNKERNEL_X86
 
-MatmulFn
+PickedMatmul
 pickKernel()
 {
     // The AVX-512 tier delegates its remainders to the AVX2 kernel, so
@@ -792,87 +804,122 @@ pickKernel()
     if (__builtin_cpu_supports("avx512f") &&
         matchesNaiveKernel(matmulAvx512) &&
         matchesNaiveKernel(matmulAvx2)) {
-        return matmulAvx512;
+        return {matmulAvx512, "avx512"};
     }
     if (__builtin_cpu_supports("avx2") && matchesNaiveKernel(matmulAvx2)) {
-        return matmulAvx2;
+        return {matmulAvx2, "avx2"};
     }
-    return matmulScalarTile;
+    return {matmulScalarTile, "scalar"};
 }
 
-MatmulNTFn
+PickedMatmulNT
 pickKernelNT()
 {
     if (__builtin_cpu_supports("avx2") &&
         matchesNaiveKernelNT(matmulNTAvx2)) {
-        return matmulNTAvx2;
+        return {matmulNTAvx2, "avx2"};
     }
-    return matmulNTNaive;
+    return {matmulNTNaive, "naive"};
 }
 
-MatmulNTFn
+PickedMatmulNT
 pickKernelTNAcc()
 {
     if (__builtin_cpu_supports("avx2") &&
         matchesAccumulatingReference(matmulTNAccAvx2, matmulTNAccNaive)) {
-        return matmulTNAccAvx2;
+        return {matmulTNAccAvx2, "avx2"};
     }
-    return matmulTNAccNaive;
+    return {matmulTNAccNaive, "naive"};
 }
 
-MatmulNTFn
+PickedMatmulNT
 pickKernelTNAddPartial()
 {
     if (__builtin_cpu_supports("avx512f") &&
         matchesAccumulatingReference(matmulTNAddPartialAvx512,
                                      matmulTNAddPartialNaive)) {
-        return matmulTNAddPartialAvx512;
+        return {matmulTNAddPartialAvx512, "avx512"};
     }
     if (__builtin_cpu_supports("avx2") &&
         matchesAccumulatingReference(matmulTNAddPartialAvx2,
                                      matmulTNAddPartialNaive)) {
-        return matmulTNAddPartialAvx2;
+        return {matmulTNAddPartialAvx2, "avx2"};
     }
-    return matmulTNAddPartialNaive;
+    return {matmulTNAddPartialNaive, "naive"};
 }
 
 #else
 
-MatmulFn
+PickedMatmul
 pickKernel()
 {
-    return matmulScalarTile;
+    return {matmulScalarTile, "scalar"};
 }
 
-MatmulNTFn
+PickedMatmulNT
 pickKernelNT()
 {
-    return matmulNTNaive;
+    return {matmulNTNaive, "naive"};
 }
 
-MatmulNTFn
+PickedMatmulNT
 pickKernelTNAcc()
 {
-    return matmulTNAccNaive;
+    return {matmulTNAccNaive, "naive"};
 }
 
-MatmulNTFn
+PickedMatmulNT
 pickKernelTNAddPartial()
 {
-    return matmulTNAddPartialNaive;
+    return {matmulTNAddPartialNaive, "naive"};
 }
 
 #endif
 
+/** Once-per-process dispatch caches (the self-check runs on first use). */
+const PickedMatmul&
+pickedKernel()
+{
+    static const PickedMatmul kernel = pickKernel();
+    return kernel;
+}
+
+const PickedMatmulNT&
+pickedKernelNT()
+{
+    static const PickedMatmulNT kernel = pickKernelNT();
+    return kernel;
+}
+
+const PickedMatmulNT&
+pickedKernelTNAcc()
+{
+    static const PickedMatmulNT kernel = pickKernelTNAcc();
+    return kernel;
+}
+
+const PickedMatmulNT&
+pickedKernelTNAddPartial()
+{
+    static const PickedMatmulNT kernel = pickKernelTNAddPartial();
+    return kernel;
+}
+
 } // namespace
+
+KernelTiers
+kernelTiers()
+{
+    return {pickedKernel().tier, pickedKernelNT().tier,
+            pickedKernelTNAcc().tier, pickedKernelTNAddPartial().tier};
+}
 
 void
 matmul(const double* a, size_t m, size_t k, size_t lda, const double* b,
        size_t n, size_t ldb, double* c, size_t ldc, const double* bias,
        bool relu)
 {
-    static const MatmulFn kernel = pickKernel();
-    kernel(a, m, k, lda, b, n, ldb, c, ldc, bias, relu);
+    pickedKernel().fn(a, m, k, lda, b, n, ldb, c, ldc, bias, relu);
 }
 
 void
@@ -900,8 +947,7 @@ void
 matmulNT(const double* a, size_t m, size_t k, size_t lda, const double* b,
          size_t n, size_t ldb, double* c, size_t ldc)
 {
-    static const MatmulNTFn kernel = pickKernelNT();
-    kernel(a, m, k, lda, b, n, ldb, c, ldc);
+    pickedKernelNT().fn(a, m, k, lda, b, n, ldb, c, ldc);
 }
 
 void
@@ -926,8 +972,7 @@ void
 matmulTNAcc(const double* a, size_t rows, size_t acols, size_t lda,
             const double* b, size_t bcols, size_t ldb, double* c, size_t ldc)
 {
-    static const MatmulNTFn kernel = pickKernelTNAcc();
-    kernel(a, rows, acols, lda, b, bcols, ldb, c, ldc);
+    pickedKernelTNAcc().fn(a, rows, acols, lda, b, bcols, ldb, c, ldc);
 }
 
 void
@@ -935,8 +980,8 @@ matmulTNAddPartial(const double* a, size_t rows, size_t acols, size_t lda,
                    const double* b, size_t bcols, size_t ldb, double* c,
                    size_t ldc)
 {
-    static const MatmulNTFn kernel = pickKernelTNAddPartial();
-    kernel(a, rows, acols, lda, b, bcols, ldb, c, ldc);
+    pickedKernelTNAddPartial().fn(a, rows, acols, lda, b, bcols, ldb, c,
+                                  ldc);
 }
 
 void

@@ -117,6 +117,19 @@ void matmulNaive(const double* a, size_t m, size_t k, size_t lda,
                  const double* b, size_t n, size_t ldb, double* c,
                  size_t ldc);
 
+/** Tier names of the four dispatched GEMM kernels on this host (e.g.
+ *  "avx512", "avx2", "scalar", "naive") — the result of the startup
+ *  self-check dispatch, for observability (/metrics labels, tune
+ *  reports). Forces the dispatch on first call. */
+struct KernelTiers
+{
+    const char* matmul;
+    const char* matmul_nt;
+    const char* matmul_tn_acc;
+    const char* matmul_tn_add_partial;
+};
+KernelTiers kernelTiers();
+
 } // namespace nnkernel
 
 /** Row-major dense matrix of doubles. */

@@ -102,6 +102,7 @@ SegmentTable::appendAlias(size_t begin, size_t rows)
                                      "segment exactly");
     begins_.push_back(begin);
     nrows_.push_back(rows);
+    ++aliases_;
 }
 
 void

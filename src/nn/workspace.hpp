@@ -45,6 +45,7 @@ class SegmentTable
         begins_.clear();
         nrows_.clear();
         pack_rows_ = 0;
+        aliases_ = 0;
     }
 
     /** Append a segment covering the next @p rows rows of the pack. */
@@ -69,9 +70,14 @@ class SegmentTable
     /** Rows of the underlying pack (aliased segments add none). */
     size_t totalRows() const { return pack_rows_; }
 
+    /** Segments that alias earlier rows (the dedup the batched engine
+     *  got for free; feeds the model_*_alias_segments metrics). */
+    size_t aliasCount() const { return aliases_; }
+
   private:
     std::vector<size_t> begins_, nrows_;
     size_t pack_rows_ = 0;
+    size_t aliases_ = 0;
 };
 
 /** Arena of reusable inference buffers (see file comment). */

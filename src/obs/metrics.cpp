@@ -1,0 +1,396 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/logging.hpp"
+
+namespace pruner::obs {
+
+namespace detail {
+
+size_t
+shardIndex()
+{
+    static std::atomic<size_t> next{0};
+    static thread_local size_t mine =
+        next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+    return mine;
+}
+
+} // namespace detail
+
+Histogram::Histogram(std::vector<uint64_t> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_((bounds_.size() + 1) * detail::kMetricShards)
+{
+    PRUNER_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                     "histogram bounds must be sorted ascending");
+}
+
+void
+Histogram::observe(uint64_t v)
+{
+    // First bucket whose inclusive upper bound holds v; past-the-end is
+    // the +Inf bucket.
+    const size_t bucket =
+        static_cast<size_t>(std::lower_bound(bounds_.begin(), bounds_.end(),
+                                             v) -
+                            bounds_.begin());
+    const size_t shard = detail::shardIndex();
+    buckets_[bucket * detail::kMetricShards + shard].value.fetch_add(
+        1, std::memory_order_relaxed);
+    sum_[shard].value.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t>
+Histogram::bucketCounts() const
+{
+    std::vector<uint64_t> out(bounds_.size() + 1, 0);
+    for (size_t b = 0; b < out.size(); ++b) {
+        for (size_t s = 0; s < detail::kMetricShards; ++s) {
+            out[b] += buckets_[b * detail::kMetricShards + s].value.load(
+                std::memory_order_relaxed);
+        }
+    }
+    return out;
+}
+
+uint64_t
+Histogram::count() const
+{
+    uint64_t total = 0;
+    for (const uint64_t c : bucketCounts()) {
+        total += c;
+    }
+    return total;
+}
+
+uint64_t
+Histogram::sum() const
+{
+    uint64_t total = 0;
+    for (const auto& shard : sum_) {
+        total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+}
+
+void
+Histogram::absorb(const std::vector<uint64_t>& bucket_counts, uint64_t sum)
+{
+    PRUNER_CHECK(bucket_counts.size() == bounds_.size() + 1);
+    for (size_t b = 0; b < bucket_counts.size(); ++b) {
+        buckets_[b * detail::kMetricShards].value.fetch_add(
+            bucket_counts[b], std::memory_order_relaxed);
+    }
+    sum_[0].value.fetch_add(sum, std::memory_order_relaxed);
+}
+
+uint64_t
+MetricsSnapshot::counterValue(const std::string& name) const
+{
+    for (const auto& c : counters) {
+        if (c.name == name) {
+            return c.value;
+        }
+    }
+    return 0;
+}
+
+int64_t
+MetricsSnapshot::gaugeValue(const std::string& name) const
+{
+    for (const auto& g : gauges) {
+        if (g.name == name) {
+            return g.value;
+        }
+    }
+    return 0;
+}
+
+bool
+MetricsSnapshot::hasCounter(const std::string& name) const
+{
+    for (const auto& c : counters) {
+        if (c.name == name) {
+            return true;
+        }
+    }
+    return false;
+}
+
+namespace {
+
+bool
+keep(MetricChannel channel, bool deterministic_only)
+{
+    return !deterministic_only || channel == MetricChannel::Deterministic;
+}
+
+/** Minimal JSON string escaping (metric names/labels are plain ASCII,
+ *  but never emit malformed bytes). */
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            out += ' ';
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+MetricsSnapshot::renderText(bool deterministic_only) const
+{
+    // Snapshot vectors are name-sorted; interleave the four metric kinds
+    // back into one global name order so the exposition is a single
+    // sorted document regardless of metric type.
+    struct Line
+    {
+        const std::string* name;
+        std::string body;
+    };
+    std::vector<Line> lines;
+    std::ostringstream body;
+    for (const auto& c : counters) {
+        if (!keep(c.channel, deterministic_only)) {
+            continue;
+        }
+        body.str("");
+        body << "# TYPE " << c.name << " counter\n"
+             << c.name << " " << c.value << "\n";
+        lines.push_back({&c.name, body.str()});
+    }
+    for (const auto& g : gauges) {
+        if (!keep(g.channel, deterministic_only)) {
+            continue;
+        }
+        body.str("");
+        body << "# TYPE " << g.name << " gauge\n"
+             << g.name << " " << g.value << "\n";
+        lines.push_back({&g.name, body.str()});
+    }
+    for (const auto& h : histograms) {
+        if (!keep(h.channel, deterministic_only)) {
+            continue;
+        }
+        body.str("");
+        body << "# TYPE " << h.name << " histogram\n";
+        uint64_t cumulative = 0;
+        for (size_t b = 0; b < h.bounds.size(); ++b) {
+            cumulative += h.bucket_counts[b];
+            body << h.name << "_bucket{le=\"" << h.bounds[b] << "\"} "
+                 << cumulative << "\n";
+        }
+        cumulative += h.bucket_counts.back();
+        body << h.name << "_bucket{le=\"+Inf\"} " << cumulative << "\n"
+             << h.name << "_sum " << h.sum << "\n"
+             << h.name << "_count " << h.count << "\n";
+        lines.push_back({&h.name, body.str()});
+    }
+    for (const auto& l : labels) {
+        if (!keep(l.channel, deterministic_only)) {
+            continue;
+        }
+        body.str("");
+        body << "# TYPE " << l.name << " gauge\n"
+             << l.name << "{value=\"" << l.value << "\"} 1\n";
+        lines.push_back({&l.name, body.str()});
+    }
+    std::sort(lines.begin(), lines.end(),
+              [](const Line& a, const Line& b) { return *a.name < *b.name; });
+    std::string out;
+    for (const Line& line : lines) {
+        out += line.body;
+    }
+    return out;
+}
+
+std::string
+MetricsSnapshot::renderJson(bool deterministic_only) const
+{
+    std::ostringstream out;
+    out << "{\"counters\":{";
+    bool first = true;
+    for (const auto& c : counters) {
+        if (!keep(c.channel, deterministic_only)) {
+            continue;
+        }
+        out << (first ? "" : ",") << "\"" << jsonEscape(c.name)
+            << "\":" << c.value;
+        first = false;
+    }
+    out << "},\"gauges\":{";
+    first = true;
+    for (const auto& g : gauges) {
+        if (!keep(g.channel, deterministic_only)) {
+            continue;
+        }
+        out << (first ? "" : ",") << "\"" << jsonEscape(g.name)
+            << "\":" << g.value;
+        first = false;
+    }
+    out << "},\"histograms\":{";
+    first = true;
+    for (const auto& h : histograms) {
+        if (!keep(h.channel, deterministic_only)) {
+            continue;
+        }
+        out << (first ? "" : ",") << "\"" << jsonEscape(h.name)
+            << "\":{\"bounds\":[";
+        for (size_t b = 0; b < h.bounds.size(); ++b) {
+            out << (b != 0 ? "," : "") << h.bounds[b];
+        }
+        out << "],\"buckets\":[";
+        for (size_t b = 0; b < h.bucket_counts.size(); ++b) {
+            out << (b != 0 ? "," : "") << h.bucket_counts[b];
+        }
+        out << "],\"sum\":" << h.sum << ",\"count\":" << h.count << "}";
+        first = false;
+    }
+    out << "},\"labels\":{";
+    first = true;
+    for (const auto& l : labels) {
+        if (!keep(l.channel, deterministic_only)) {
+            continue;
+        }
+        out << (first ? "" : ",") << "\"" << jsonEscape(l.name) << "\":\""
+            << jsonEscape(l.value) << "\"";
+        first = false;
+    }
+    out << "}}";
+    return out.str();
+}
+
+Counter*
+MetricsRegistry::counter(const std::string& name, MetricChannel channel)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry& entry = entries_[name];
+    if (entry.counter == nullptr) {
+        PRUNER_CHECK_MSG(entry.gauge == nullptr &&
+                             entry.histogram == nullptr && !entry.is_label,
+                         "metric '" << name
+                                    << "' already registered as another "
+                                       "type");
+        entry.channel = channel;
+        entry.counter = std::make_unique<Counter>();
+    }
+    return entry.counter.get();
+}
+
+Gauge*
+MetricsRegistry::gauge(const std::string& name, MetricChannel channel)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry& entry = entries_[name];
+    if (entry.gauge == nullptr) {
+        PRUNER_CHECK_MSG(entry.counter == nullptr &&
+                             entry.histogram == nullptr && !entry.is_label,
+                         "metric '" << name
+                                    << "' already registered as another "
+                                       "type");
+        entry.channel = channel;
+        entry.gauge = std::make_unique<Gauge>();
+    }
+    return entry.gauge.get();
+}
+
+Histogram*
+MetricsRegistry::histogram(const std::string& name,
+                           std::vector<uint64_t> bounds,
+                           MetricChannel channel)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry& entry = entries_[name];
+    if (entry.histogram == nullptr) {
+        PRUNER_CHECK_MSG(entry.counter == nullptr &&
+                             entry.gauge == nullptr && !entry.is_label,
+                         "metric '" << name
+                                    << "' already registered as another "
+                                       "type");
+        entry.channel = channel;
+        entry.histogram = std::make_unique<Histogram>(std::move(bounds));
+    }
+    return entry.histogram.get();
+}
+
+void
+MetricsRegistry::setLabel(const std::string& name, std::string value,
+                          MetricChannel channel)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry& entry = entries_[name];
+    PRUNER_CHECK_MSG(entry.counter == nullptr && entry.gauge == nullptr &&
+                         entry.histogram == nullptr,
+                     "metric '" << name
+                                << "' already registered as another type");
+    if (!entry.is_label) {
+        entry.channel = channel;
+        entry.is_label = true;
+    }
+    entry.label = std::move(value);
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot snap;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, entry] : entries_) { // map: name-sorted
+        if (entry.counter != nullptr) {
+            snap.counters.push_back(
+                {name, entry.channel, entry.counter->value()});
+        } else if (entry.gauge != nullptr) {
+            snap.gauges.push_back(
+                {name, entry.channel, entry.gauge->value()});
+        } else if (entry.histogram != nullptr) {
+            snap.histograms.push_back({name, entry.channel,
+                                       entry.histogram->bounds(),
+                                       entry.histogram->bucketCounts(),
+                                       entry.histogram->count(),
+                                       entry.histogram->sum()});
+        } else if (entry.is_label) {
+            snap.labels.push_back({name, entry.channel, entry.label});
+        }
+    }
+    return snap;
+}
+
+void
+MetricsRegistry::mergeInto(MetricsRegistry& target) const
+{
+    const MetricsSnapshot snap = snapshot();
+    for (const auto& c : snap.counters) {
+        target.counter(c.name, c.channel)->add(c.value);
+    }
+    for (const auto& g : snap.gauges) {
+        target.gauge(g.name, g.channel)->set(g.value);
+    }
+    for (const auto& h : snap.histograms) {
+        target.histogram(h.name, h.bounds, h.channel)
+            ->absorb(h.bucket_counts, h.sum);
+    }
+    for (const auto& l : snap.labels) {
+        target.setLabel(l.name, l.value, l.channel);
+    }
+}
+
+std::string
+MetricsRegistry::renderText(bool deterministic_only) const
+{
+    return snapshot().renderText(deterministic_only);
+}
+
+} // namespace pruner::obs

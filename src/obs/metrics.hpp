@@ -1,0 +1,254 @@
+#pragma once
+
+/**
+ * @file metrics.hpp
+ * MetricsRegistry: counters, gauges, and histograms for the tuning
+ * pipeline, with a deterministic exposition format.
+ *
+ * Hot-path writes go to per-thread-sharded relaxed atomics (a counter add
+ * from a pool worker never contends with the main loop), merged by
+ * summation on snapshot. Because every merge is an integer sum, a
+ * snapshot is independent of which worker incremented what — the same
+ * tuning run produces byte-identical exposition text at any worker count,
+ * matching the repo-wide determinism contract.
+ *
+ * Every metric carries a channel:
+ *  - MetricChannel::Deterministic — the value is a pure function of the
+ *    tuning trajectory (trials, cache hits, GA evaluations, GEMM rows).
+ *    Included in the deterministic exposition that identity asserts
+ *    compare across worker counts and against replays.
+ *  - MetricChannel::Execution — the value depends on how the run executed
+ *    (wall time, pool utilization, async-update overlap). Excluded from
+ *    the deterministic exposition, present in the full one.
+ *
+ * The exposition (renderText/renderJson) iterates a sorted name map, so
+ * the same snapshot always renders the same bytes — suitable for a serve
+ * daemon's /metrics endpoint and for golden-file diffs.
+ */
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pruner::obs {
+
+/** Worker-invariant (Deterministic) vs execution-dependent metric. */
+enum class MetricChannel : uint8_t { Deterministic = 0, Execution = 1 };
+
+namespace detail {
+
+/** Shards per metric: enough that a handful of pool workers rarely share
+ *  a cache line, small enough that a registry full of counters stays a
+ *  few KB. */
+constexpr size_t kMetricShards = 8;
+
+/** One cache-line-padded atomic cell. */
+struct alignas(64) ShardCell
+{
+    std::atomic<uint64_t> value{0};
+};
+
+/** Round-robin shard of the calling thread (stable per thread). */
+size_t shardIndex();
+
+} // namespace detail
+
+/** Monotonically increasing counter (sharded; merged on read). */
+class Counter
+{
+  public:
+    void
+    add(uint64_t n = 1)
+    {
+        shards_[detail::shardIndex()].value.fetch_add(
+            n, std::memory_order_relaxed);
+    }
+
+    /** Sum across shards. Safe concurrently with add(); the result is
+     *  exact once writers are quiescent. */
+    uint64_t
+    value() const
+    {
+        uint64_t total = 0;
+        for (const auto& shard : shards_) {
+            total += shard.value.load(std::memory_order_relaxed);
+        }
+        return total;
+    }
+
+  private:
+    detail::ShardCell shards_[detail::kMetricShards];
+};
+
+/** Last-write-wins signed gauge (single atomic; set/add from any
+ *  thread). */
+class Gauge
+{
+  public:
+    void set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+    void
+    add(int64_t d)
+    {
+        value_.fetch_add(d, std::memory_order_relaxed);
+    }
+    int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<int64_t> value_{0};
+};
+
+/** Histogram over uint64 observations with explicit inclusive upper
+ *  bounds (Prometheus-style "le" buckets plus +Inf), sharded like
+ *  Counter. */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<uint64_t> bounds);
+
+    void observe(uint64_t v);
+
+    const std::vector<uint64_t>& bounds() const { return bounds_; }
+    /** Merged per-bucket counts (bounds().size() + 1 entries; the last is
+     *  the +Inf bucket). */
+    std::vector<uint64_t> bucketCounts() const;
+    uint64_t count() const;
+    uint64_t sum() const;
+
+    /** Fold externally merged state in (registry merge; single-threaded
+     *  with respect to other writers of this histogram). */
+    void absorb(const std::vector<uint64_t>& bucket_counts, uint64_t sum);
+
+  private:
+    std::vector<uint64_t> bounds_;
+    /** buckets_[bucket * kMetricShards + shard]. */
+    std::vector<detail::ShardCell> buckets_;
+    detail::ShardCell sum_[detail::kMetricShards];
+};
+
+/** Point-in-time view of a registry, already merged and name-sorted. */
+struct MetricsSnapshot
+{
+    struct CounterValue
+    {
+        std::string name;
+        MetricChannel channel;
+        uint64_t value;
+    };
+    struct GaugeValue
+    {
+        std::string name;
+        MetricChannel channel;
+        int64_t value;
+    };
+    struct HistogramValue
+    {
+        std::string name;
+        MetricChannel channel;
+        std::vector<uint64_t> bounds;
+        std::vector<uint64_t> bucket_counts; ///< bounds.size() + 1
+        uint64_t count;
+        uint64_t sum;
+    };
+    struct LabelValue
+    {
+        std::string name;
+        MetricChannel channel;
+        std::string value;
+    };
+
+    std::vector<CounterValue> counters;   ///< sorted by name
+    std::vector<GaugeValue> gauges;       ///< sorted by name
+    std::vector<HistogramValue> histograms; ///< sorted by name
+    std::vector<LabelValue> labels;       ///< sorted by name
+
+    /** Counter value by name; 0 when absent. */
+    uint64_t counterValue(const std::string& name) const;
+    /** Gauge value by name; 0 when absent. */
+    int64_t gaugeValue(const std::string& name) const;
+    /** True when a counter of that name exists. */
+    bool hasCounter(const std::string& name) const;
+
+    /** Prometheus-style text exposition. @p deterministic_only drops
+     *  Execution-channel metrics (the identity-assert view). */
+    std::string renderText(bool deterministic_only = false) const;
+    /** JSON exposition (sorted keys, deterministic bytes). */
+    std::string renderJson(bool deterministic_only = false) const;
+};
+
+/**
+ * Owner of named metrics. Creation (counter()/gauge()/histogram()) takes
+ * a mutex and returns a stable handle — resolve handles once per run or
+ * per call site, then write lock-free through them. Requesting an
+ * existing name returns the existing metric (the channel of the first
+ * registration wins); registering the same name as a different metric
+ * type throws.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    Counter* counter(const std::string& name,
+                     MetricChannel channel = MetricChannel::Deterministic);
+    Gauge* gauge(const std::string& name,
+                 MetricChannel channel = MetricChannel::Deterministic);
+    Histogram*
+    histogram(const std::string& name, std::vector<uint64_t> bounds,
+              MetricChannel channel = MetricChannel::Deterministic);
+    /** String-valued info metric (e.g. the dispatched GEMM kernel tier).
+     *  Rendered as name{value="..."} 1. Last set wins. */
+    void setLabel(const std::string& name, std::string value,
+                  MetricChannel channel = MetricChannel::Deterministic);
+
+    /** Merged, sorted view of everything registered so far. */
+    MetricsSnapshot snapshot() const;
+
+    /** Fold this registry's current values into @p target (counters and
+     *  histograms add, gauges and labels overwrite). Lets a per-run
+     *  registry accumulate into a long-lived one (serve daemon). */
+    void mergeInto(MetricsRegistry& target) const;
+
+    /** Convenience: snapshot().renderText(...). */
+    std::string renderText(bool deterministic_only = false) const;
+
+  private:
+    struct Entry
+    {
+        MetricChannel channel = MetricChannel::Deterministic;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+        std::string label; ///< valid when is_label
+        bool is_label = false;
+    };
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Entry> entries_;
+};
+
+/** Null-safe add: the no-op when a component runs without a registry. */
+inline void
+counterAdd(Counter* c, uint64_t n = 1)
+{
+    if (c != nullptr) {
+        c->add(n);
+    }
+}
+
+/** Null-safe observe. */
+inline void
+histogramObserve(Histogram* h, uint64_t v)
+{
+    if (h != nullptr) {
+        h->observe(v);
+    }
+}
+
+} // namespace pruner::obs

@@ -1,0 +1,98 @@
+#include "obs/round_stats.hpp"
+
+#include "search/measurer.hpp"
+#include "support/logging.hpp"
+
+namespace pruner::obs {
+
+RoundStatsCollector::RoundStatsCollector(bool enabled, const SimClock* clock,
+                                         const Measurer* measurer)
+    : enabled_(enabled && clock != nullptr && measurer != nullptr),
+      clock_(clock),
+      measurer_(measurer)
+{
+}
+
+RoundStatsCollector::Baseline
+RoundStatsCollector::sample() const
+{
+    Baseline b;
+    for (int c = 0; c < kNumCostCategories; ++c) {
+        b.per_category[c] = clock_->total(static_cast<CostCategory>(c));
+    }
+    b.trials = measurer_->totalTrials();
+    b.cache_hits = measurer_->cacheHits();
+    b.simulated_trials = measurer_->simulatedTrials();
+    b.failed_trials = measurer_->failedTrials();
+    b.injected_faults = measurer_->injectedFaults();
+    return b;
+}
+
+void
+RoundStatsCollector::beginRound(int round, const std::vector<size_t>& tasks)
+{
+    if (!enabled_) {
+        return;
+    }
+    PRUNER_CHECK_MSG(!open_, "beginRound without endRound");
+    current_ = RoundStats{};
+    current_.round = round;
+    current_.tasks = tasks;
+    current_.begin_time_s = clock_->now();
+    baseline_ = sample();
+    open_ = true;
+}
+
+void
+RoundStatsCollector::addDrafted(size_t n)
+{
+    if (enabled_ && open_) {
+        current_.drafted += n;
+    }
+}
+
+void
+RoundStatsCollector::addMeasured(size_t n)
+{
+    if (enabled_ && open_) {
+        current_.measured += n;
+    }
+}
+
+void
+RoundStatsCollector::endRound(double best_latency)
+{
+    if (!enabled_) {
+        return;
+    }
+    PRUNER_CHECK_MSG(open_, "endRound without beginRound");
+    const Baseline now = sample();
+    current_.end_time_s = clock_->now();
+    current_.exploration_s =
+        now.per_category[static_cast<int>(CostCategory::Exploration)] -
+        baseline_.per_category[static_cast<int>(CostCategory::Exploration)];
+    current_.training_s =
+        now.per_category[static_cast<int>(CostCategory::Training)] -
+        baseline_.per_category[static_cast<int>(CostCategory::Training)];
+    current_.measurement_s =
+        now.per_category[static_cast<int>(CostCategory::Measurement)] -
+        baseline_.per_category[static_cast<int>(CostCategory::Measurement)];
+    current_.compile_s =
+        now.per_category[static_cast<int>(CostCategory::Compile)] -
+        baseline_.per_category[static_cast<int>(CostCategory::Compile)];
+    current_.other_s =
+        now.per_category[static_cast<int>(CostCategory::Other)] -
+        baseline_.per_category[static_cast<int>(CostCategory::Other)];
+    current_.trials = now.trials - baseline_.trials;
+    current_.cache_hits = now.cache_hits - baseline_.cache_hits;
+    current_.simulated_trials =
+        now.simulated_trials - baseline_.simulated_trials;
+    current_.failed_trials = now.failed_trials - baseline_.failed_trials;
+    current_.injected_faults =
+        now.injected_faults - baseline_.injected_faults;
+    current_.best_latency = best_latency;
+    rounds_.push_back(std::move(current_));
+    open_ = false;
+}
+
+} // namespace pruner::obs

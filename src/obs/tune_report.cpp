@@ -1,0 +1,104 @@
+#include "obs/tune_report.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace pruner::obs {
+
+namespace {
+
+std::string
+seconds(double s)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.2f", s);
+    return buf;
+}
+
+std::string
+latency(double s)
+{
+    if (!std::isfinite(s)) {
+        return "inf";
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.4g", s * 1e3);
+    return std::string(buf) + " ms";
+}
+
+std::string
+pct(double part, double total)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%5.1f%%",
+                  total > 0.0 ? 100.0 * part / total : 0.0);
+    return buf;
+}
+
+std::string
+taskList(const std::vector<size_t>& tasks)
+{
+    std::string out;
+    for (size_t i = 0; i < tasks.size(); ++i) {
+        if (i != 0) {
+            out += ',';
+        }
+        out += std::to_string(tasks[i]);
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+tuneReport(const TuneResult& result)
+{
+    std::ostringstream out;
+    out << "== tune report: " << result.policy << " ==\n";
+    if (result.failed) {
+        out << "FAILED: " << result.failure_reason << "\n";
+    }
+    out << "final latency     " << latency(result.final_latency) << "\n";
+    out << "simulated time    " << seconds(result.total_time_s) << " s\n";
+    const double total = result.total_time_s;
+    out << "  exploration     " << seconds(result.exploration_s) << " s  "
+        << pct(result.exploration_s, total) << "\n";
+    out << "  training        " << seconds(result.training_s) << " s  "
+        << pct(result.training_s, total) << "\n";
+    out << "  measurement     " << seconds(result.measurement_s) << " s  "
+        << pct(result.measurement_s, total) << "\n";
+    out << "  compile         " << seconds(result.compile_s) << " s  "
+        << pct(result.compile_s, total) << "\n";
+    out << "trials            " << result.trials << " ("
+        << result.failed_trials << " failed, " << result.cache_hits
+        << " cache hits, " << result.simulated_trials << " simulated, "
+        << result.injected_faults << " injected faults)\n";
+    if (result.warm_records > 0) {
+        out << "warm-start        " << result.warm_records
+            << " records replayed from the artifact db\n";
+    }
+    if (!result.round_stats.empty()) {
+        out << "per-round pipeline (" << result.round_stats.size()
+            << " rounds):\n";
+        out << "  round tasks    draft meas trials hits  sim "
+               "expl_s train_s meas_s comp_s best\n";
+        for (const RoundStats& r : result.round_stats) {
+            char line[200];
+            std::snprintf(line, sizeof(line),
+                          "  %5d %-8s %5" PRIu64 " %4" PRIu64 " %6" PRIu64
+                          " %4" PRIu64 " %4" PRIu64
+                          " %6.1f %7.1f %6.1f %6.1f %s",
+                          r.round, taskList(r.tasks).c_str(), r.drafted,
+                          r.measured, r.trials, r.cache_hits,
+                          r.simulated_trials, r.exploration_s, r.training_s,
+                          r.measurement_s, r.compile_s,
+                          latency(r.best_latency).c_str());
+            out << line << "\n";
+        }
+    }
+    return out.str();
+}
+
+} // namespace pruner::obs

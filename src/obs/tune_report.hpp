@@ -1,0 +1,23 @@
+#pragma once
+
+/**
+ * @file tune_report.hpp
+ * Human-readable pretty-printer for a TuneResult: the end-of-run cost
+ * split (the paper's Table-1 view), the consolidated trial counters, and
+ * — when TuneOptions::collect_round_stats was on — a per-round pipeline
+ * table.
+ *
+ * The output is deterministic for a deterministic result (fixed column
+ * formatting, no wall times), so reports diff cleanly across runs.
+ */
+
+#include <string>
+
+#include "search/search_policy.hpp"
+
+namespace pruner::obs {
+
+/** Render @p result as a multi-line report (trailing newline included). */
+std::string tuneReport(const TuneResult& result);
+
+} // namespace pruner::obs

@@ -30,6 +30,9 @@
 #include "db/artifact_db.hpp"
 #include "db/artifact_session.hpp"
 #include "ir/workload_registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/tune_report.hpp"
 #include "search/record_log.hpp"
 #include "sim/vendor_library.hpp"
 

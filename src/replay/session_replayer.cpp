@@ -204,6 +204,12 @@ SessionReplayer::replay(const SessionLog& recorded,
     plan.flaky_sigma = faults.getDoubleBits("sigma");
     plan.timeout_extra_s = faults.getDoubleBits("extra");
 
+    // Observability pass-through: pure outputs, never part of the
+    // recorded log or the replay diff.
+    opts.metrics = env.metrics;
+    opts.tracer = env.tracer;
+    opts.collect_round_stats = env.collect_round_stats;
+
     // --- Re-execute and diff --------------------------------------------
     SessionRecorder recorder;
     opts.recorder = &recorder;

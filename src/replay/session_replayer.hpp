@@ -45,6 +45,15 @@ struct ReplayEnv
     const Workload* workload = nullptr;
     /** Device override for sessions on custom DeviceSpecs. Borrowed. */
     const DeviceSpec* device = nullptr;
+    /** Observability sinks forwarded to the re-executed tune() (borrowed,
+     *  may be nullptr). Because the replayed trajectory is byte-identical
+     *  to the recorded one, the regenerated deterministic trace and
+     *  metrics are byte-identical to the live run's — a session log is
+     *  enough to reconstruct the full pipeline trace post mortem. */
+    obs::MetricsRegistry* metrics = nullptr;
+    obs::Tracer* tracer = nullptr;
+    /** Forwarded to TuneOptions::collect_round_stats. */
+    bool collect_round_stats = false;
 };
 
 /** Outcome of one replay. */

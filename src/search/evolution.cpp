@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
 #include "support/logging.hpp"
 
 namespace pruner {
@@ -61,6 +62,8 @@ EvolutionarySearch::run(const EvolutionConfig& config, const ScoreFn& score,
                         size_t* n_evaluated) const
 {
     size_t evals = 0;
+    size_t mutations = 0;
+    size_t crossovers = 0;
 
     // Initial generation: seeds + random samples.
     std::vector<Schedule> population;
@@ -129,10 +132,12 @@ EvolutionarySearch::run(const EvolutionConfig& config, const ScoreFn& score,
             const size_t a = rng.weightedIndex(weights);
             if (rng.bernoulli(config.mutation_prob)) {
                 next.push_back(mutator_.mutate(population[a], rng));
+                ++mutations;
             } else {
                 const size_t b = rng.weightedIndex(weights);
                 next.push_back(
                     mutator_.crossover(population[a], population[b], rng));
+                ++crossovers;
             }
         }
         population = std::move(next);
@@ -151,6 +156,14 @@ EvolutionarySearch::run(const EvolutionConfig& config, const ScoreFn& score,
     }
     if (n_evaluated != nullptr) {
         *n_evaluated = evals;
+    }
+    if (config.metrics != nullptr) {
+        config.metrics->counter("evo_runs_total")->add();
+        config.metrics->counter("evo_generations_total")
+            ->add(static_cast<uint64_t>(config.iterations) + 1);
+        config.metrics->counter("evo_evaluations_total")->add(evals);
+        config.metrics->counter("evo_mutations_total")->add(mutations);
+        config.metrics->counter("evo_crossovers_total")->add(crossovers);
     }
     return out;
 }

@@ -21,6 +21,10 @@
 
 namespace pruner {
 
+namespace obs {
+class MetricsRegistry;
+} // namespace obs
+
 /** Configuration of the evolutionary search. */
 struct EvolutionConfig
 {
@@ -40,6 +44,9 @@ struct EvolutionConfig
      *  GEMM pass (TuneOptions::predict_batch feeds this in the policy
      *  loops). */
     size_t score_chunk = 64;
+    /** Metrics sink for evo_*_total counters (borrowed, may be null).
+     *  Pure accounting — never changes the GA trajectory. */
+    obs::MetricsRegistry* metrics = nullptr;
 };
 
 /** A schedule with its fitness score (higher = better). */

@@ -20,6 +20,31 @@ Measurer::Measurer(const DeviceSpec& device, SimClock* clock, uint64_t seed,
     : simulator_(device), clock_(clock), rng_(seed), constants_(constants),
       batch_seed_base_(splitmix64(seed ^ 0xBA7C4ED5EEDull))
 {
+    setMetrics(nullptr);
+}
+
+void
+Measurer::setMetrics(obs::MetricsRegistry* metrics)
+{
+    obs::MetricsRegistry& r = metrics != nullptr ? *metrics : own_metrics_;
+    counters_.trials = r.counter("measure_trials_total");
+    counters_.failed = r.counter("measure_failed_trials_total");
+    counters_.cache_hits = r.counter("measure_cache_hits_total");
+    counters_.simulated = r.counter("measure_simulated_trials_total");
+    counters_.injected_launch = r.counter("fault_injected_launch_total");
+    counters_.injected_timeout = r.counter("fault_injected_timeout_total");
+    counters_.injected_flaky = r.counter("fault_injected_flaky_total");
+}
+
+void
+Measurer::countFault(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::LaunchFailure: counters_.injected_launch->add(); break;
+    case FaultKind::Timeout: counters_.injected_timeout->add(); break;
+    case FaultKind::FlakyLatency: counters_.injected_flaky->add(); break;
+    case FaultKind::None: break;
+    }
 }
 
 uint32_t
@@ -61,16 +86,11 @@ Measurer::measure(const SubgraphTask& task,
             }
         }
         out.push_back(latency);
-        ++total_trials_;
+        counters_.trials->add();
         if (!std::isfinite(latency)) {
-            ++failed_trials_;
+            counters_.failed->add();
         }
-        switch (kind) {
-        case FaultKind::LaunchFailure: ++injected_launch_; break;
-        case FaultKind::Timeout: ++injected_timeouts_; break;
-        case FaultKind::FlakyLatency: ++injected_flaky_; break;
-        case FaultKind::None: break;
-        }
+        countFault(kind);
         if (clock_ != nullptr) {
             clock_->charge(CostCategory::Compile,
                            constants_.compile_per_trial);
@@ -100,6 +120,10 @@ Measurer::measureBatch(const SubgraphTask& task,
 std::vector<std::vector<double>>
 Measurer::measureRound(const std::vector<RoundBatch>& round)
 {
+    // One deterministic span per round: begin/end stamps bracket the
+    // round's clock charges (inert without a tracer and a clock).
+    obs::ScopedSpan span(tracer_, obs::TraceTrack::Main, clock_,
+                         "measure_round", "measure");
     const size_t n_batches = round.size();
     std::vector<std::vector<double>> out(n_batches);
     std::vector<uint64_t> batch_seeds(n_batches);
@@ -202,14 +226,9 @@ Measurer::measureRound(const std::vector<RoundBatch>& round)
     size_t timeouts_this_round = 0;
     for (const auto& [b, i, attempt] : jobs) {
         (void)attempt;
-        switch (kinds[b][i]) {
-        case FaultKind::LaunchFailure: ++injected_launch_; break;
-        case FaultKind::Timeout:
-            ++injected_timeouts_;
+        countFault(kinds[b][i]);
+        if (kinds[b][i] == FaultKind::Timeout) {
             ++timeouts_this_round;
-            break;
-        case FaultKind::FlakyLatency: ++injected_flaky_; break;
-        case FaultKind::None: break;
         }
         // Injected transients never enter the cache: a timeout or a flaky
         // latency is a property of the attempt, not of the (task,
@@ -221,6 +240,7 @@ Measurer::measureRound(const std::vector<RoundBatch>& round)
             cache_->insert(task_hashes[b], sched_hashes[b][i], out[b][i]);
         }
     }
+    size_t failed_this_round = 0;
     for (size_t b = 0; b < n_batches; ++b) {
         for (size_t i = 0; i < out[b].size(); ++i) {
             if (alias[b][i] != kNotAliased) {
@@ -228,13 +248,19 @@ Measurer::measureRound(const std::vector<RoundBatch>& round)
                 kinds[b][i] = kinds[b][alias[b][i]];
             }
             if (!std::isfinite(out[b][i])) {
-                ++failed_trials_;
+                ++failed_this_round;
             }
         }
     }
-    total_trials_ += n_total;
-    cache_hits_ += hits;
-    simulated_trials_ += jobs.size();
+    counters_.failed->add(failed_this_round);
+    counters_.trials->add(n_total);
+    counters_.cache_hits->add(hits);
+    counters_.simulated->add(jobs.size());
+    span.argU64("batches", n_batches);
+    span.argU64("candidates", n_total);
+    span.argU64("hits", hits);
+    span.argU64("misses", jobs.size());
+    span.argU64("timeouts", timeouts_this_round);
 
     if (clock_ != nullptr && !jobs.empty()) {
         // Compilation is host work and overlaps across workers — across
@@ -290,7 +316,7 @@ Measurer::measureAdaptive(const SubgraphTask& task,
         double latency;
         if (kind == FaultKind::LaunchFailure || kind == FaultKind::Timeout) {
             latency = kInf;
-            ++failed_trials_;
+            counters_.failed->add();
         } else {
             latency = simulator_.measure(task, sch, rng_);
             if (std::isfinite(latency)) {
@@ -302,17 +328,12 @@ Measurer::measureAdaptive(const SubgraphTask& task,
                 if (kind == FaultKind::FlakyLatency) {
                     kind = FaultKind::None;
                 }
-                ++failed_trials_;
+                counters_.failed->add();
             }
         }
-        switch (kind) {
-        case FaultKind::LaunchFailure: ++injected_launch_; break;
-        case FaultKind::Timeout: ++injected_timeouts_; break;
-        case FaultKind::FlakyLatency: ++injected_flaky_; break;
-        case FaultKind::None: break;
-        }
+        countFault(kind);
         out.push_back(latency);
-        ++total_trials_;
+        counters_.trials->add();
         if (clock_ != nullptr) {
             clock_->charge(CostCategory::Compile,
                            constants_.compile_per_trial);

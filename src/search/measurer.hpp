@@ -17,6 +17,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "search/fault_plan.hpp"
 #include "search/measure_cache.hpp"
 #include "sim/gpu_simulator.hpp"
@@ -78,6 +80,18 @@ class Measurer
      *  default) everywhere else. */
     void setTrialLatency(std::chrono::microseconds us) { trial_latency_ = us; }
 
+    /** Rebind the trial counters (measure_*_total, fault_injected_*_total)
+     *  to @p metrics — the canonical registration the tuning loops use so
+     *  TuneResult and /metrics read the same numbers. nullptr rebinds to
+     *  the measurer's private fallback registry (standalone use). Counts
+     *  accrued before the rebind stay in the previous registry; bind
+     *  before the first measurement. */
+    void setMetrics(obs::MetricsRegistry* metrics);
+
+    /** Attach a tracer (borrowed, may be nullptr): measureRound emits one
+     *  "measure_round" span per call, stamped with simulated time. */
+    void setTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
     /** Measure candidates; +inf entries are failed launches. Charges
      *  compile+measurement cost per trial. (Legacy serial path: draws
      *  noise from one sequential stream.) */
@@ -130,24 +144,34 @@ class Measurer
         double time_scale, double extra_noise);
 
     const GpuSimulator& simulator() const { return simulator_; }
-    size_t totalTrials() const { return total_trials_; }
+    // The trial counters live in the bound MetricsRegistry (see
+    // setMetrics); these getters read the current counter values, so they
+    // keep working no matter which registry is bound.
+    size_t totalTrials() const { return counters_.trials->value(); }
     /** Trials that returned +inf — natural launch failures plus injected
      *  launch failures and timeouts. */
-    size_t failedTrials() const { return failed_trials_; }
+    size_t failedTrials() const { return counters_.failed->value(); }
     /** Trials measureBatch answered from the cache. */
-    size_t cacheHits() const { return cache_hits_; }
+    size_t cacheHits() const { return counters_.cache_hits->value(); }
     /** Trials measureBatch actually simulated (cache misses). */
-    size_t simulatedTrials() const { return simulated_trials_; }
+    size_t simulatedTrials() const { return counters_.simulated->value(); }
     /** Simulated attempts the fault plan turned into launch failures. */
-    size_t injectedLaunchFailures() const { return injected_launch_; }
+    size_t injectedLaunchFailures() const
+    {
+        return counters_.injected_launch->value();
+    }
     /** Simulated attempts the fault plan timed out. */
-    size_t injectedTimeouts() const { return injected_timeouts_; }
+    size_t injectedTimeouts() const
+    {
+        return counters_.injected_timeout->value();
+    }
     /** Simulated attempts the fault plan perturbed (flaky latency). */
-    size_t injectedFlaky() const { return injected_flaky_; }
+    size_t injectedFlaky() const { return counters_.injected_flaky->value(); }
     /** All injected faults (launch + timeout + flaky). */
     size_t injectedFaults() const
     {
-        return injected_launch_ + injected_timeouts_ + injected_flaky_;
+        return injectedLaunchFailures() + injectedTimeouts() +
+               injectedFlaky();
     }
     size_t workers() const { return pool_ != nullptr ? pool_->size() : 1; }
     /** Divisor of the simulated compile overlap (see setClockLanes). */
@@ -157,9 +181,24 @@ class Measurer
     }
 
   private:
+    /** Handles into the bound registry (never null once bound). */
+    struct MeasureCounters
+    {
+        obs::Counter* trials = nullptr;
+        obs::Counter* failed = nullptr;
+        obs::Counter* cache_hits = nullptr;
+        obs::Counter* simulated = nullptr;
+        obs::Counter* injected_launch = nullptr;
+        obs::Counter* injected_timeout = nullptr;
+        obs::Counter* injected_flaky = nullptr;
+    };
+
     /** Fault draw for one simulated attempt of a pair: advances the
      *  per-pair attempt counter (sequential pre-pass only). */
     uint32_t nextAttempt(uint64_t task_hash, uint64_t sched_hash);
+
+    /** Record one injected-fault outcome on the bound counters. */
+    void countFault(FaultKind kind);
 
     GpuSimulator simulator_;
     SimClock* clock_;
@@ -168,6 +207,7 @@ class Measurer
     ThreadPool* pool_ = nullptr;
     MeasureCache* cache_ = nullptr;
     SessionRecorder* recorder_ = nullptr;
+    obs::Tracer* tracer_ = nullptr;
     FaultPlan fault_plan_;
     /** Per-(task, schedule) simulated-attempt counts feeding the
      *  transient fault stream; only maintained while a plan is enabled. */
@@ -178,13 +218,10 @@ class Measurer
     uint64_t batch_seed_base_;
     uint64_t batch_index_ = 0;
     size_t clock_lanes_ = 0;
-    size_t total_trials_ = 0;
-    size_t failed_trials_ = 0;
-    size_t cache_hits_ = 0;
-    size_t simulated_trials_ = 0;
-    size_t injected_launch_ = 0;
-    size_t injected_timeouts_ = 0;
-    size_t injected_flaky_ = 0;
+    /** Fallback registry the counters live in until setMetrics rebinds
+     *  them (standalone measurers in tests and benches). */
+    obs::MetricsRegistry own_metrics_;
+    MeasureCounters counters_;
 };
 
 /**

@@ -7,6 +7,9 @@
 
 #include "cost/async_trainer.hpp"
 #include "db/artifact_session.hpp"
+#include "nn/matrix.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "replay/session_recorder.hpp"
 #include "support/logging.hpp"
 
@@ -14,7 +17,70 @@ namespace pruner {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** Unbinds a model's metric handles when the per-run registry dies (the
+ *  policy's model outlives tune(), the registry does not). */
+struct ModelObsGuard
+{
+    CostModel* model;
+    ~ModelObsGuard() { model->bindMetrics(nullptr); }
+};
+
 } // namespace
+
+namespace obs_detail {
+
+void
+exportPoolStats(obs::MetricsRegistry& metrics, const ThreadPool* pool)
+{
+    if (pool == nullptr) {
+        return;
+    }
+    const auto ch = obs::MetricChannel::Execution;
+    metrics.gauge("pool_workers", ch)
+        ->set(static_cast<int64_t>(pool->size()));
+    metrics.gauge("pool_jobs_submitted", ch)
+        ->set(static_cast<int64_t>(pool->jobsSubmitted()));
+    metrics.gauge("pool_jobs_completed", ch)
+        ->set(static_cast<int64_t>(pool->jobsCompleted()));
+    metrics.gauge("pool_peak_queue_depth", ch)
+        ->set(static_cast<int64_t>(pool->peakQueueDepth()));
+}
+
+void
+exportKernelTiers(obs::MetricsRegistry& metrics)
+{
+    // Host property, not a trajectory property: Execution channel, so a
+    // trace replayed on another machine still identity-matches.
+    const auto ch = obs::MetricChannel::Execution;
+    const nnkernel::KernelTiers tiers = nnkernel::kernelTiers();
+    metrics.setLabel("nn_kernel_matmul", tiers.matmul, ch);
+    metrics.setLabel("nn_kernel_matmul_nt", tiers.matmul_nt, ch);
+    metrics.setLabel("nn_kernel_matmul_tn_acc", tiers.matmul_tn_acc, ch);
+    metrics.setLabel("nn_kernel_matmul_tn_add_partial",
+                     tiers.matmul_tn_add_partial, ch);
+}
+
+void
+fillResultCounters(TuneResult& result, const obs::MetricsRegistry& metrics)
+{
+    // Satellite consolidation: TuneResult's ad-hoc counters are now read
+    // back from the per-run registry snapshot — one source of truth for
+    // the result struct, the /metrics exposition, and the round stats.
+    const obs::MetricsSnapshot snap = metrics.snapshot();
+    result.trials = snap.counterValue("measure_trials_total");
+    result.failed_trials = snap.counterValue("measure_failed_trials_total");
+    result.cache_hits = snap.counterValue("measure_cache_hits_total");
+    result.simulated_trials =
+        snap.counterValue("measure_simulated_trials_total");
+    result.injected_faults =
+        snap.counterValue("fault_injected_launch_total") +
+        snap.counterValue("fault_injected_timeout_total") +
+        snap.counterValue("fault_injected_flaky_total");
+    result.warm_records = snap.counterValue("db_warm_records_total");
+}
+
+} // namespace obs_detail
 
 double
 TuneResult::timeToReach(double latency) const
@@ -119,9 +185,19 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
 
     SimClock clock;
     Rng rng(opts.seed);
+    // Per-run observability. Every component accumulates into this private
+    // registry (so concurrent tune() calls never share counters); the
+    // caller's registry, if any, receives one merge at the end.
+    obs::MetricsRegistry run_metrics;
+    obs::Tracer* tracer = opts.tracer;
+    obs::ScopedSpan tune_span(tracer, obs::TraceTrack::Main, &clock, "tune",
+                              "session");
+    tune_span.argStr("policy", name_);
     Measurer measurer(device_, &clock, hashCombine(opts.seed, 0x3EA5),
                       opts.constants);
     MeasureEnv env(measurer, opts.measure_workers, opts.measure_cache);
+    measurer.setMetrics(&run_metrics);
+    measurer.setTracer(tracer);
     measurer.setFaultPlan(opts.fault_plan);
     measurer.setRecorder(opts.recorder);
     // Pin the compile-overlap divisor so a recorded session replays with
@@ -137,19 +213,30 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
     run_config.evolution.score_pool = env.pool();
     run_config.evolution.score_chunk =
         static_cast<size_t>(std::max(opts.predict_batch, 1));
+    run_config.evolution.metrics = &run_metrics;
     TuningRecordDb db;
     TaskScheduler scheduler(workload);
+    scheduler.bindObs(&run_metrics);
+    model_->bindMetrics(&run_metrics);
+    ModelObsGuard model_obs_guard{model_.get()};
+    obs_detail::exportKernelTiers(run_metrics);
+    obs::RoundStatsCollector round_stats(opts.collect_round_stats, &clock,
+                                         &measurer);
 
     ArtifactSession artifacts(opts.artifact_db, opts.artifact_db_path);
+    artifacts.bindMetrics(&run_metrics);
     const std::string model_key =
         artifactModelKey(name_, model_->name(), device_.name);
     if (artifacts.enabled()) {
+        obs::ScopedSpan io_span(tracer, obs::TraceTrack::Io, &clock,
+                                "warm_start", "io");
         const WarmStartStats warm = artifacts.warmStart(
             workload, opts.warm_start_records ? &db : nullptr,
             opts.measure_cache && opts.reuse_measure_cache ? env.cacheMut()
                                                            : nullptr,
             opts.reuse_model_checkpoint ? model_.get() : nullptr, model_key);
-        result.warm_records = warm.records_replayed;
+        io_span.argU64("records", warm.records_replayed);
+        io_span.argU64("cache_entries", warm.cache_entries);
         if (warm.records_replayed > 0) {
             scheduler.warmStart(db);
         }
@@ -164,12 +251,18 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
     if (opts.async_training && env.pool() != nullptr) {
         async_trainer =
             std::make_unique<AsyncModelTrainer>(*model_, *env.pool());
+        async_trainer->bindObs(tracer, &clock, &run_metrics);
     }
 
     for (int round = 0; round < opts.rounds; ++round) {
+        obs::ScopedSpan round_span(tracer, obs::TraceTrack::Main, &clock,
+                                   "round", "sched");
+        round_span.argU64("round", static_cast<uint64_t>(round));
         const auto picked = scheduler.nextTasks(
             static_cast<size_t>(std::max(opts.tasks_per_round, 1)), db,
             rng);
+        round_span.argU64("tasks", picked.size());
+        round_stats.beginRound(round, picked);
         if (picked.size() > 1) {
             // The serial loop never charges task_switch_overhead (its
             // calibrated per-round constants absorb it, and K=1 stays
@@ -214,6 +307,9 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
                 seeds.push_back(*best);
             }
             size_t evals = 0;
+            obs::ScopedSpan draft_span(tracer, obs::TraceTrack::Main,
+                                       &clock, "draft", "explore");
+            draft_span.argU64("task", idx);
             const auto ranked = evo.run(
                 run_config.evolution,
                 [&](std::span<const Schedule> cands) {
@@ -223,6 +319,10 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
             clock.charge(CostCategory::Exploration,
                          static_cast<double>(evals) *
                              model_->evalCostPerCandidate());
+            draft_span.argU64("evals", evals);
+            draft_span.argU64("ranked", ranked.size());
+            draft_span.close();
+            round_stats.addDrafted(ranked.size());
 
             slots.push_back(
                 {idx, &task,
@@ -230,6 +330,7 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
                      ranked, task, db, sampler,
                      static_cast<size_t>(opts.measures_per_round),
                      opts.eps_greedy, rng)});
+            round_stats.addMeasured(slots.back().to_measure.size());
         }
 
         // Measure the whole round through one pooled pass (adaptive
@@ -265,6 +366,12 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
 
         if (opts.online_training && config_.online_training &&
             db.size() >= 16) {
+            // The "train" span brackets the Training charge point, which
+            // sync and async modes share — its deterministic timestamps
+            // are identical either way (the async overlap window itself
+            // is the Execution-channel "async_update" span).
+            obs::ScopedSpan train_span(tracer, obs::TraceTrack::Main,
+                                       &clock, "train", "train");
             if (async_trainer != nullptr) {
                 async_trainer->beginUpdate(db.recentWindow(768),
                                            opts.train_epochs);
@@ -280,7 +387,14 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
         const double e2e = workloadBest(workload, db);
         if (std::isfinite(e2e)) {
             result.curve.push_back({clock.now(), e2e});
+            if (tracer != nullptr) {
+                const auto h = tracer->instant(obs::TraceTrack::Main,
+                                               "curve_point", "curve",
+                                               clock.now());
+                tracer->argDouble(h, "latency_s", e2e);
+            }
         }
+        round_stats.endRound(e2e);
     }
     // Drain the last in-flight update before the divergence probe and the
     // checkpoint: both must see the final weights.
@@ -298,11 +412,8 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
     result.training_s = clock.total(CostCategory::Training);
     result.measurement_s = clock.total(CostCategory::Measurement);
     result.compile_s = clock.total(CostCategory::Compile);
-    result.trials = measurer.totalTrials();
-    result.failed_trials = measurer.failedTrials();
-    result.cache_hits = measurer.cacheHits();
-    result.simulated_trials = measurer.simulatedTrials();
-    result.injected_faults = measurer.injectedFaults();
+    obs_detail::fillResultCounters(result, run_metrics);
+    result.round_stats = round_stats.take();
 
     // A learned model that diverged (non-finite scores) means the policy
     // lost its search signal — the paper observes this for TLP fine-tuned
@@ -317,13 +428,22 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
     }
     // Checkpoint only after the divergence probe: a poisoned model must
     // not be persisted where the next warm-started run would restore it.
-    artifacts.finish(opts.measure_cache ? &env.cache() : nullptr,
-                     opts.reuse_model_checkpoint && !result.failed
-                         ? model_.get()
-                         : nullptr,
-                     model_key);
+    if (artifacts.enabled()) {
+        obs::ScopedSpan io_span(tracer, obs::TraceTrack::Io, &clock,
+                                "db_finish", "io");
+        artifacts.finish(opts.measure_cache ? &env.cache() : nullptr,
+                         opts.reuse_model_checkpoint && !result.failed
+                             ? model_.get()
+                             : nullptr,
+                         model_key);
+    }
     if (opts.recorder != nullptr) {
         opts.recorder->onEnd(result, paramsHash(model_->getParams()));
+    }
+    tune_span.close();
+    obs_detail::exportPoolStats(run_metrics, env.pool());
+    if (opts.metrics != nullptr) {
+        run_metrics.mergeInto(*opts.metrics);
     }
     return result;
 }

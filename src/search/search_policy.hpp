@@ -17,6 +17,7 @@
 
 #include "cost/cost_model.hpp"
 #include "ir/workload_registry.hpp"
+#include "obs/round_stats.hpp"
 #include "search/evolution.hpp"
 #include "search/measurer.hpp"
 #include "search/task_scheduler.hpp"
@@ -27,6 +28,11 @@ namespace pruner {
 
 class ArtifactDb; // persistent artifact store (src/db/artifact_db.hpp)
 class SessionRecorder; // session event sink (src/replay/session_recorder.hpp)
+
+namespace obs {
+class MetricsRegistry; // src/obs/metrics.hpp
+class Tracer;          // src/obs/trace.hpp
+} // namespace obs
 
 /** Options shared by every tuner. */
 struct TuneOptions
@@ -102,6 +108,18 @@ struct TuneOptions
      *  measure_workers). Session replay pins this to the recorded value so
      *  the simulated clock reproduces at any real measure_workers. */
     int clock_lanes = 0;
+    /** Observability sinks (borrowed, may be nullptr). Pure outputs: they
+     *  never change tuning results and are not written to the session log.
+     *  tune() accumulates its per-run metrics into a private registry and
+     *  merges the snapshot into @p metrics at the end, so one registry can
+     *  aggregate many runs (a serve daemon's /metrics). The tracer receives
+     *  the run's span/instant stream stamped with simulated time; its
+     *  deterministic channel is byte-identical at any worker count. */
+    obs::MetricsRegistry* metrics = nullptr;
+    obs::Tracer* tracer = nullptr;
+    /** Collect per-round pipeline stats into TuneResult::round_stats.
+     *  Deterministic; off by default to keep TuneResult small. */
+    bool collect_round_stats = false;
 };
 
 /** One point of a tuning curve: simulated time vs best end-to-end
@@ -131,6 +149,9 @@ struct TuneResult
     size_t simulated_trials = 0; ///< trials actually simulated
     size_t warm_records = 0;     ///< records replayed from the ArtifactDb
     size_t injected_faults = 0;  ///< faults the FaultPlan injected
+    /** Per-round pipeline stats (empty unless
+     *  TuneOptions::collect_round_stats). */
+    std::vector<obs::RoundStats> round_stats;
     bool failed = false; ///< the policy could not tune this workload
     std::string failure_reason;
 
@@ -142,6 +163,25 @@ struct TuneResult
 /** Weighted end-to-end latency from the per-task incumbents; +inf if any
  *  task has no measurement. */
 double workloadBest(const Workload& workload, const TuningRecordDb& db);
+
+class ThreadPool;
+
+/** Observability plumbing shared by every policy's tune() loop. */
+namespace obs_detail {
+
+/** Publish pool Execution-channel gauges (worker count, jobs, peak queue
+ *  depth). No-op when @p pool is null. */
+void exportPoolStats(obs::MetricsRegistry& metrics, const ThreadPool* pool);
+
+/** Publish the dispatched nn kernel tiers as Execution-channel labels. */
+void exportKernelTiers(obs::MetricsRegistry& metrics);
+
+/** Fill TuneResult's counter fields (trials, cache_hits, warm_records,
+ *  injected_faults, ...) from the per-run registry snapshot. */
+void fillResultCounters(TuneResult& result,
+                        const obs::MetricsRegistry& metrics);
+
+} // namespace obs_detail
 
 /** Abstract workload tuner. */
 class SearchPolicy

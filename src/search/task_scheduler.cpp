@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "obs/metrics.hpp"
 #include "support/logging.hpp"
 
 namespace pruner {
@@ -15,6 +16,18 @@ TaskScheduler::TaskScheduler(const Workload& workload)
       rounds_(workload.tasks.size(), 0)
 {
     PRUNER_CHECK(!workload.tasks.empty());
+}
+
+void
+TaskScheduler::bindObs(obs::MetricsRegistry* metrics)
+{
+    if (metrics == nullptr) {
+        picks_roundrobin_ = picks_eps_ = picks_gradient_ = nullptr;
+        return;
+    }
+    picks_roundrobin_ = metrics->counter("sched_pick_roundrobin_total");
+    picks_eps_ = metrics->counter("sched_pick_eps_total");
+    picks_gradient_ = metrics->counter("sched_pick_gradient_total");
 }
 
 size_t
@@ -38,6 +51,7 @@ TaskScheduler::nextTasks(size_t k, const TuningRecordDb& records, Rng& rng)
         out.push_back(round_robin_cursor_++);
     }
     if (!out.empty()) {
+        obs::counterAdd(picks_roundrobin_, out.size());
         return out;
     }
     // Epsilon-greedy over the estimated objective gradient: at most one
@@ -47,6 +61,7 @@ TaskScheduler::nextTasks(size_t k, const TuningRecordDb& records, Rng& rng)
         const size_t pick = rng.index(n);
         taken[pick] = 1;
         out.push_back(pick);
+        obs::counterAdd(picks_eps_);
     }
     if (out.size() == k) {
         return out;
@@ -76,9 +91,12 @@ TaskScheduler::nextTasks(size_t k, const TuningRecordDb& records, Rng& rng)
     // range), matching the serial scheduler's strict-greater scan.
     std::stable_sort(order.begin(), order.end(),
                      [&](size_t a, size_t b) { return gains[a] > gains[b]; });
+    size_t gradient_picks = 0;
     for (size_t j = 0; j < order.size() && out.size() < k; ++j) {
         out.push_back(order[j]);
+        ++gradient_picks;
     }
+    obs::counterAdd(picks_gradient_, gradient_picks);
     return out;
 }
 

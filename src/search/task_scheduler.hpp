@@ -23,11 +23,21 @@
 
 namespace pruner {
 
+namespace obs {
+class Counter;
+class MetricsRegistry;
+} // namespace obs
+
 /** Gradient-based multi-task tuning scheduler. */
 class TaskScheduler
 {
   public:
     explicit TaskScheduler(const Workload& workload);
+
+    /** Bind pick counters (sched_pick_*_total) to @p metrics. Pure
+     *  accounting: binding never changes which tasks are picked or how
+     *  many random numbers are drawn. nullptr unbinds. */
+    void bindObs(obs::MetricsRegistry* metrics);
 
     /** Choose the task index to tune next. */
     size_t nextTask(const TuningRecordDb& records, Rng& rng);
@@ -72,6 +82,10 @@ class TaskScheduler
     std::vector<std::vector<double>> history_;
     std::vector<size_t> rounds_;
     size_t round_robin_cursor_ = 0;
+    /** Pick counters (null until bindObs; writes are null-safe). */
+    obs::Counter* picks_roundrobin_ = nullptr;
+    obs::Counter* picks_eps_ = nullptr;
+    obs::Counter* picks_gradient_ = nullptr;
 };
 
 } // namespace pruner

@@ -1,24 +1,65 @@
 #include "support/logging.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 namespace pruner {
 
 namespace {
-std::atomic<int> g_log_level{0};
+
+int
+envLogLevel()
+{
+    return parseLogLevel(std::getenv("PRUNER_LOG_LEVEL"));
+}
+
+std::atomic<int>&
+logLevelCell()
+{
+    // Function-local so the environment is read exactly once, lazily — a
+    // test can setLogLevel() before or after and still win.
+    static std::atomic<int> level{envLogLevel()};
+    return level;
+}
+
 } // namespace
+
+int
+parseLogLevel(const char* text, int fallback)
+{
+    if (text == nullptr || *text == '\0') {
+        return fallback;
+    }
+    if (std::isdigit(static_cast<unsigned char>(text[0])) != 0 ||
+        (text[0] == '-' &&
+         std::isdigit(static_cast<unsigned char>(text[1])) != 0)) {
+        return std::atoi(text);
+    }
+    if (std::strcmp(text, "silent") == 0 || std::strcmp(text, "off") == 0) {
+        return 0;
+    }
+    if (std::strcmp(text, "info") == 0) {
+        return 1;
+    }
+    if (std::strcmp(text, "debug") == 0) {
+        return 2;
+    }
+    return fallback;
+}
 
 int
 logLevel()
 {
-    return g_log_level.load(std::memory_order_relaxed);
+    return logLevelCell().load(std::memory_order_relaxed);
 }
 
 int
 setLogLevel(int level)
 {
-    return g_log_level.exchange(level, std::memory_order_relaxed);
+    return logLevelCell().exchange(level, std::memory_order_relaxed);
 }
 
 namespace detail {

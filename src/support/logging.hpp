@@ -31,11 +31,18 @@ class InternalError : public std::logic_error
     explicit InternalError(const std::string& msg) : std::logic_error(msg) {}
 };
 
-/** Global log verbosity. 0 = silent, 1 = info, 2 = debug. */
+/** Global log verbosity. 0 = silent, 1 = info, 2 = debug. The initial
+ *  level comes from the PRUNER_LOG_LEVEL environment variable (read once,
+ *  at the first query): a number, or one of silent/info/debug. Unset or
+ *  unparsable means 0. setLogLevel() overrides it at any time. */
 int logLevel();
 
 /** Set global log verbosity (returns the previous level). */
 int setLogLevel(int level);
+
+/** Parse a PRUNER_LOG_LEVEL value ("2", "info", "debug", ...). Returns
+ *  @p fallback when @p text is null or unrecognised. Exposed for tests. */
+int parseLogLevel(const char* text, int fallback = 0);
 
 namespace detail {
 

@@ -54,6 +54,11 @@ percentile(std::vector<double> v, double p)
     const size_t lo = static_cast<size_t>(std::floor(pos));
     const size_t hi = static_cast<size_t>(std::ceil(pos));
     const double frac = pos - static_cast<double>(lo);
+    if (lo == hi) {
+        // Exact index: return it directly rather than interpolating —
+        // v[hi] * 0.0 would turn an infinite sample into NaN.
+        return v[lo];
+    }
     return v[lo] * (1.0 - frac) + v[hi] * frac;
 }
 

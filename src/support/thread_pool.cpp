@@ -36,6 +36,11 @@ ThreadPool::enqueue(std::function<void()> job)
         std::lock_guard<std::mutex> lock(mutex_);
         PRUNER_CHECK(!stopping_);
         queue_.push(std::move(job));
+        jobs_submitted_.fetch_add(1, std::memory_order_relaxed);
+        const auto depth = static_cast<uint64_t>(queue_.size());
+        if (depth > peak_queue_.load(std::memory_order_relaxed)) {
+            peak_queue_.store(depth, std::memory_order_relaxed);
+        }
     }
     cv_.notify_one();
 }
@@ -55,6 +60,7 @@ ThreadPool::workerLoop()
             queue_.pop();
         }
         job(); // packaged_task captures any exception into its future
+        jobs_completed_.fetch_add(1, std::memory_order_relaxed);
     }
 }
 

@@ -12,8 +12,10 @@
  * time, never values.
  */
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
@@ -64,6 +66,23 @@ class ThreadPool
      */
     void parallelFor(size_t n, const std::function<void(size_t)>& body);
 
+    // Execution-channel observability (how the run executed, not what it
+    // computed): lifetime job counts and the deepest queue seen. Exported
+    // as pool_* gauges; values depend on scheduling and worker count, so
+    // they never enter the deterministic exposition.
+    uint64_t jobsSubmitted() const
+    {
+        return jobs_submitted_.load(std::memory_order_relaxed);
+    }
+    uint64_t jobsCompleted() const
+    {
+        return jobs_completed_.load(std::memory_order_relaxed);
+    }
+    uint64_t peakQueueDepth() const
+    {
+        return peak_queue_.load(std::memory_order_relaxed);
+    }
+
   private:
     void enqueue(std::function<void()> job);
     void workerLoop();
@@ -73,6 +92,9 @@ class ThreadPool
     std::mutex mutex_;
     std::condition_variable cv_;
     bool stopping_ = false;
+    std::atomic<uint64_t> jobs_submitted_{0};
+    std::atomic<uint64_t> jobs_completed_{0};
+    std::atomic<uint64_t> peak_queue_{0};
 };
 
 } // namespace pruner

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "support/logging.hpp"
@@ -182,6 +183,94 @@ TEST(Stats, RankWithTiesAveragesGroups)
     EXPECT_DOUBLE_EQ(r[1], 2.5);
     EXPECT_DOUBLE_EQ(r[2], 2.5);
     EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Stats, EmptySeriesEdgeCases)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(stdev({}), 0.0);
+    EXPECT_THROW(geomean({}), InternalError);
+    EXPECT_THROW(percentile({}, 50.0), InternalError);
+    EXPECT_DOUBLE_EQ(pearson({}, {}), 0.0);
+    EXPECT_DOUBLE_EQ(spearman({}, {}), 0.0);
+    EXPECT_TRUE(rankWithTies({}).empty());
+}
+
+TEST(Stats, SingleSampleEdgeCases)
+{
+    EXPECT_DOUBLE_EQ(mean({7.0}), 7.0);
+    EXPECT_DOUBLE_EQ(stdev({7.0}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({7.0}), 7.0);
+    // Every percentile of one sample is that sample.
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 0.0), 7.0);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 50.0), 7.0);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 100.0), 7.0);
+    EXPECT_DOUBLE_EQ(pearson({7.0}, {3.0}), 0.0);
+    const auto r = rankWithTies({7.0});
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_DOUBLE_EQ(r[0], 1.0);
+}
+
+TEST(Stats, PercentileRejectsOutOfRange)
+{
+    EXPECT_THROW(percentile({1.0, 2.0}, -1.0), InternalError);
+    EXPECT_THROW(percentile({1.0, 2.0}, 100.5), InternalError);
+}
+
+TEST(Stats, PearsonRejectsLengthMismatch)
+{
+    EXPECT_THROW(pearson({1.0, 2.0}, {1.0}), InternalError);
+}
+
+TEST(Stats, ConstantSeriesCorrelationIsZero)
+{
+    std::vector<double> flat{2.0, 2.0, 2.0, 2.0};
+    std::vector<double> ramp{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(pearson(flat, ramp), 0.0);
+    EXPECT_DOUBLE_EQ(spearman(flat, ramp), 0.0);
+}
+
+TEST(Stats, NanPropagatesThroughMoments)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_TRUE(std::isnan(mean({1.0, nan})));
+    EXPECT_TRUE(std::isnan(stdev({1.0, nan, 3.0})));
+    EXPECT_TRUE(std::isnan(pearson({1.0, nan, 3.0}, {1.0, 2.0, 3.0})));
+}
+
+TEST(Stats, InfinityEdgeCases)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_DOUBLE_EQ(mean({1.0, inf}), inf);
+    // (inf - inf) inside the sum of squares is NaN, not inf.
+    EXPECT_TRUE(std::isnan(stdev({1.0, inf, 3.0})));
+    // Sorting keeps +inf at the top; the endpoints stay exact.
+    EXPECT_DOUBLE_EQ(percentile({inf, 1.0}, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile({inf, 1.0}, 100.0), inf);
+    // Ranks are finite even when values are not — spearman still orders.
+    EXPECT_NEAR(spearman({1.0, 2.0, inf}, {10.0, 20.0, 30.0}), 1.0,
+                1e-12);
+}
+
+TEST(Logging, ParseLogLevelAcceptsNumbersAndNames)
+{
+    EXPECT_EQ(parseLogLevel(nullptr), 0);
+    EXPECT_EQ(parseLogLevel(""), 0);
+    EXPECT_EQ(parseLogLevel("2"), 2);
+    EXPECT_EQ(parseLogLevel("0"), 0);
+    EXPECT_EQ(parseLogLevel("silent"), 0);
+    EXPECT_EQ(parseLogLevel("off"), 0);
+    EXPECT_EQ(parseLogLevel("info"), 1);
+    EXPECT_EQ(parseLogLevel("debug"), 2);
+    EXPECT_EQ(parseLogLevel("bogus", 1), 1);
+}
+
+TEST(Logging, SetLogLevelOverridesEnvironment)
+{
+    const int prev = setLogLevel(2);
+    EXPECT_EQ(logLevel(), 2);
+    setLogLevel(prev);
+    EXPECT_EQ(logLevel(), prev);
 }
 
 TEST(Stats, EmaConvergesTowardsInput)

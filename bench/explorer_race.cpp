@@ -1,0 +1,104 @@
+/**
+ * Explorer race: tune the bench task suite once per single draft-stage
+ * explorer (evolution, bayes, gbt) and once with the portfolio
+ * meta-explorer racing all three on the same trial budget, then assert
+ * the portfolio's end-to-end latency never loses to the WORST single
+ * explorer — the floor that race-then-commit is supposed to guarantee:
+ * after the race rounds the portfolio holds the per-task best arm, so it
+ * can only be dragged below the worst arm by its race-phase spend.
+ *
+ * Everything runs on the simulated clock with fixed seeds, so the table
+ * is byte-stable across hosts and worker counts.
+ */
+
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/pruner_tuner.hpp"
+#include "ir/workload_registry.hpp"
+
+using namespace pruner;
+using namespace pruner::bench;
+
+namespace {
+
+struct Contender
+{
+    const char* name;
+    const char* config;
+};
+
+/** Sum of final (best) latencies across the bench task suite, seconds. */
+double
+raceTotal(const Contender& contender,
+          const std::vector<Workload>& suite)
+{
+    const auto dev = DeviceSpec::a100();
+    double total = 0.0;
+    for (const Workload& w : suite) {
+        PrunerConfig config;
+        config.lse.spec_size = 64;
+        PrunerPolicy policy(dev, config);
+        TuneOptions opts = benchOptions(dev, 6, 42);
+        opts.tasks_per_round = 2;
+        opts.explorer = contender.name;
+        opts.explorer_config = contender.config;
+        const TuneResult result = policy.tune(w, opts);
+        if (result.failed || !std::isfinite(result.final_latency)) {
+            return std::numeric_limits<double>::infinity();
+        }
+        total += result.final_latency;
+    }
+    return total;
+}
+
+} // namespace
+
+int
+main()
+{
+    printScalingNote(6, "200 rounds per task");
+
+    // The low gbt/portfolio min_records lets the surrogate start
+    // training inside the short bench budget.
+    const Contender singles[] = {
+        {"evolution", ""},
+        {"bayes", ""},
+        {"gbt", "min_records=20"},
+    };
+    const Contender portfolio = {
+        "portfolio",
+        "arms=evolution+bayes+gbt,race_rounds=1,min_records=20"};
+
+    std::vector<Workload> suite;
+    suite.push_back(capTasks(workloads::resnet50(), 2));
+    suite.push_back(capTasks(workloads::bertTiny(), 2));
+
+    std::printf("explorer        total best latency\n");
+    double worst_single = 0.0;
+    const char* worst_name = "";
+    for (const Contender& c : singles) {
+        const double total = raceTotal(c, suite);
+        std::printf("%-15s %.6g ms\n", c.name, total * 1e3);
+        if (total > worst_single) {
+            worst_single = total;
+            worst_name = c.name;
+        }
+    }
+    const double portfolio_total = raceTotal(portfolio, suite);
+    std::printf("%-15s %.6g ms\n", "portfolio", portfolio_total * 1e3);
+
+    if (!(portfolio_total <= worst_single)) {
+        std::printf("\nexplorer_race: FAIL — portfolio (%.6g ms) lost to "
+                    "the worst single explorer %s (%.6g ms)\n",
+                    portfolio_total * 1e3, worst_name, worst_single * 1e3);
+        return 1;
+    }
+    std::printf("\nexplorer_race: portfolio holds the race floor "
+                "(%.6g ms <= worst single '%s' %.6g ms)\n",
+                portfolio_total * 1e3, worst_name, worst_single * 1e3);
+    return 0;
+}

@@ -227,14 +227,20 @@ main(int argc, char** argv)
               std::to_string(overhead_pct) + "% > " +
               std::to_string(gate_pct) + "%)");
 
-    // A sample report, so the bench doubles as a demo of tune_report.
+    // A sample report, so the bench doubles as a demo of tune_report —
+    // including the per-stage sim-time histograms from the metrics
+    // snapshot.
     TuneOptions report_opts = benchOptions(1);
     report_opts.collect_round_stats = true;
+    obs::MetricsRegistry report_metrics;
+    report_opts.metrics = &report_metrics;
     PrunerConfig config;
     config.lse.spec_size = 64;
     PrunerPolicy policy(DeviceSpec::a100(), config);
+    const TuneResult report_result =
+        policy.tune(benchWorkload(), report_opts);
     std::printf("\n%s",
-                obs::tuneReport(policy.tune(benchWorkload(), report_opts))
+                obs::tuneReport(report_result, report_metrics.snapshot())
                     .c_str());
 
     if (g_failures != 0) {

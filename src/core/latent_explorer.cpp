@@ -1,6 +1,7 @@
 #include "core/latent_explorer.hpp"
 
 #include "obs/metrics.hpp"
+#include "search/explorer.hpp"
 #include "support/logging.hpp"
 
 namespace pruner {
@@ -17,7 +18,6 @@ LatentScheduleExplorer::explore(const SubgraphTask& task,
                                 const std::vector<Schedule>& seeds, Rng& rng,
                                 size_t* n_evaluated) const
 {
-    EvolutionarySearch evo(task, device_);
     EvolutionConfig evo_config;
     evo_config.population = config.population;
     evo_config.iterations = config.n_steps;
@@ -35,7 +35,21 @@ LatentScheduleExplorer::explore(const SubgraphTask& task,
         return scores;
     };
     size_t evals = 0;
-    auto out = evo.run(evo_config, fitness, seeds, rng, &evals);
+    std::vector<ScoredSchedule> out;
+    if (config.explorer != nullptr) {
+        ExplorerContext ctx;
+        ctx.task = &task;
+        ctx.device = &device_;
+        ctx.seeds = &seeds;
+        ctx.score = fitness;
+        ctx.rng = &rng;
+        ctx.n_evaluated = &evals;
+        ctx.evo = evo_config;
+        out = config.explorer->proposeBatch(ctx);
+    } else {
+        EvolutionarySearch evo(task, device_);
+        out = evo.run(evo_config, fitness, seeds, rng, &evals);
+    }
     if (n_evaluated != nullptr) {
         *n_evaluated = evals;
     }

@@ -8,8 +8,10 @@
 #include "cost/async_trainer.hpp"
 #include "db/artifact_session.hpp"
 #include "obs/metrics.hpp"
+#include "obs/stage_histograms.hpp"
 #include "obs/trace.hpp"
 #include "replay/session_recorder.hpp"
+#include "search/explorer.hpp"
 #include "support/logging.hpp"
 
 namespace pruner {
@@ -103,6 +105,13 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
     LseConfig lse_config = config_.lse;
     lse_config.score_pool = env.pool();
     lse_config.metrics = &run_metrics;
+    // Draft-stage explorer ("" -> "evolution", the exact pre-interface
+    // loop). Owns no RNG: every draw flows through the loop's rng below.
+    std::unique_ptr<Explorer> draft_explorer =
+        ExplorerRegistry::instance().make(opts.explorer,
+                                          opts.explorer_config);
+    draft_explorer->bindMetrics(&run_metrics);
+    lse_config.explorer = draft_explorer.get();
     TuningRecordDb db;
     TaskScheduler scheduler(workload);
     scheduler.bindObs(&run_metrics);
@@ -111,6 +120,7 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
     obs_detail::exportKernelTiers(run_metrics);
     obs::RoundStatsCollector round_stats(opts.collect_round_stats, &clock,
                                          &measurer);
+    obs::StageTimeHistograms stage_hists(&run_metrics);
 
     std::unique_ptr<MoAAdapter> moa;
     if (config_.use_moa) {
@@ -137,6 +147,7 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
         io_span.argU64("cache_entries", warm.cache_entries);
         if (warm.records_replayed > 0) {
             scheduler.warmStart(db);
+            observeWarmRecords(*draft_explorer, device_, db.records());
         }
     }
 
@@ -191,6 +202,8 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
         // (the SA fitness fan-out inside explore() uses the shared pool);
         // in async mode the previous round's model update trains
         // concurrently on that same pool.
+        const double draft_begin_s =
+            clock.total(CostCategory::Exploration);
         for (const size_t idx : picked) {
             const SubgraphTask& task = workload.tasks[idx].task;
             RoundSlot slot{idx, &task, ScheduleSampler(task, device_),
@@ -204,6 +217,7 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
             obs::ScopedSpan draft_span(tracer, obs::TraceTrack::Main,
                                        &clock, "draft", "explore");
             draft_span.argU64("task", idx);
+            draft_span.argStr("explorer", draft_explorer->key());
             std::vector<Schedule>& draft = slot.draft;
             if (config_.use_lse) {
                 size_t sa_evals = 0;
@@ -241,19 +255,23 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
                 if (async_trainer != nullptr) {
                     async_trainer->install();
                 }
-                EvolutionarySearch evo(task, device_);
                 EvolutionConfig evo_config;
                 evo_config.out_size = config_.lse.spec_size;
                 evo_config.score_pool = env.pool();
                 evo_config.score_chunk =
                     static_cast<size_t>(std::max(opts.predict_batch, 1));
                 size_t evals = 0;
-                const auto ranked = evo.run(
-                    evo_config,
-                    [&](std::span<const Schedule> cands) {
-                        return model_->predict(task, cands);
-                    },
-                    seeds, rng, &evals);
+                ExplorerContext ectx;
+                ectx.task = &task;
+                ectx.device = &device_;
+                ectx.seeds = &seeds;
+                ectx.score = [&](std::span<const Schedule> cands) {
+                    return model_->predict(task, cands);
+                };
+                ectx.rng = &rng;
+                ectx.n_evaluated = &evals;
+                ectx.evo = evo_config;
+                const auto ranked = draft_explorer->proposeBatch(ectx);
                 clock.charge(CostCategory::Exploration,
                              static_cast<double>(evals) *
                                  model_->evalCostPerCandidate());
@@ -267,6 +285,9 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
             round_stats.addDrafted(draft.size());
             slots.push_back(std::move(slot));
         }
+
+        stage_hists.observeDraft(clock.total(CostCategory::Exploration) -
+                                 draft_begin_s);
 
         // --- Verify -----------------------------------------------------
         // Swap in the weights trained during the draft stage: PaCM must
@@ -285,6 +306,8 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
         // (identical values to one serial predict call).
         obs::ScopedSpan verify_span(tracer, obs::TraceTrack::Main, &clock,
                                     "verify", "explore");
+        const double verify_begin_s =
+            clock.total(CostCategory::Exploration);
         for (RoundSlot& slot : slots) {
             const std::vector<double> scores = scoreChunked(
                 [&](std::span<const Schedule> cands) {
@@ -311,6 +334,8 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
             round_stats.addMeasured(slot.to_measure.size());
         }
         verify_span.close();
+        stage_hists.observeVerify(clock.total(CostCategory::Exploration) -
+                                  verify_begin_s);
 
         // --- Measure ----------------------------------------------------
         // One pooled pass over every task's batch: the pool never drains
@@ -330,10 +355,13 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
                 }
             }
             artifacts.onMeasured(*slot.task, slot.to_measure, latencies);
+            draft_explorer->observe(*slot.task, device_, slot.to_measure,
+                                    latencies);
             scheduler.observe(slot.task_index, db.bestLatency(*slot.task));
         }
 
         // --- Online model update -----------------------------------------
+        const double train_begin_s = clock.total(CostCategory::Training);
         if (opts.online_training && config_.online_finetune &&
             db.size() >= 16) {
             if (config_.use_moa) {
@@ -370,6 +398,13 @@ PrunerPolicy::tune(const Workload& workload, const TuneOptions& opts)
                 clock.charge(CostCategory::Training,
                              model_->trainCostPerRound());
             }
+        }
+        // Observed only for rounds that actually trained, so the train
+        // histogram's count is the number of training rounds.
+        const double train_s =
+            clock.total(CostCategory::Training) - train_begin_s;
+        if (train_s > 0.0) {
+            stage_hists.observeTrain(train_s);
         }
 
         const double e2e = workloadBest(workload, db);

@@ -1,0 +1,227 @@
+#include "cost/gbt_model.hpp"
+
+#include <algorithm>
+
+#include "feature/dataflow_features.hpp"
+#include "feature/statement_features.hpp"
+#include "nn/workspace.hpp"
+#include "support/logging.hpp"
+
+namespace pruner {
+
+void
+extractGbtFeatures(const SubgraphTask& task,
+                   std::span<const Schedule> candidates,
+                   const DeviceSpec& device, Matrix& out)
+{
+    const size_t n = candidates.size();
+    out.resize(n, kGbtFeatureDim);
+    if (n == 0) {
+        return;
+    }
+    // The batched extractors pack rows + segments; per-segment column
+    // means pool them to one row per candidate, byte-equal to pooling
+    // each candidate alone (segmentColMean's contract).
+    Workspace& ws = threadLocalWorkspace();
+    ws.reset();
+    Matrix& stmt_pack = ws.alloc(0, kStatementFeatureDim);
+    SegmentTable& stmt_segs = ws.allocSegments();
+    extractStatementFeaturesBatch(task, candidates, device, stmt_pack,
+                                  stmt_segs);
+    Matrix& stmt_pooled = ws.alloc(n, kStatementFeatureDim);
+    segmentColMean(stmt_pack, stmt_segs, stmt_pooled);
+
+    Matrix& flow_pack = ws.alloc(0, kDataflowFeatureDim);
+    SegmentTable& flow_segs = ws.allocSegments();
+    extractDataflowFeaturesBatch(task, candidates, device, flow_pack,
+                                 flow_segs);
+    Matrix& flow_pooled = ws.alloc(n, kDataflowFeatureDim);
+    segmentColMean(flow_pack, flow_segs, flow_pooled);
+
+    for (size_t i = 0; i < n; ++i) {
+        double* row = out.row(i);
+        const double* s = stmt_pooled.row(i);
+        for (size_t j = 0; j < kStatementFeatureDim; ++j) {
+            row[j] = s[j];
+        }
+        const double* f = flow_pooled.row(i);
+        for (size_t j = 0; j < kDataflowFeatureDim; ++j) {
+            row[kStatementFeatureDim + j] = f[j];
+        }
+    }
+}
+
+double
+GbtModel::Tree::eval(const double* row) const
+{
+    int node = 0;
+    while (nodes[static_cast<size_t>(node)].feature >= 0) {
+        const Node& n = nodes[static_cast<size_t>(node)];
+        node = row[static_cast<size_t>(n.feature)] <= n.threshold ? n.left
+                                                                  : n.right;
+    }
+    return nodes[static_cast<size_t>(node)].value;
+}
+
+int
+GbtModel::buildNode(Tree& tree, const Matrix& x,
+                    const std::vector<double>& residual,
+                    std::vector<size_t>& indices, size_t begin, size_t end,
+                    int depth) const
+{
+    const size_t count = end - begin;
+    double sum = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+        sum += residual[indices[i]];
+    }
+    const double mean = sum / static_cast<double>(count);
+
+    const int node_index = static_cast<int>(tree.nodes.size());
+    tree.nodes.push_back({});
+    tree.nodes.back().value = mean;
+    if (depth >= config_.max_depth || count < 2 * config_.min_leaf) {
+        return node_index;
+    }
+
+    // Exact greedy split: for every feature (ascending index), sort the
+    // node's samples by value and scan every boundary between distinct
+    // values. The score is the variance-reduction surrogate
+    // sumL^2/nL + sumR^2/nR; a candidate wins only on a strictly greater
+    // score, so ties resolve to the first (lowest feature, lowest
+    // threshold) — fitting is deterministic with no randomness anywhere.
+    const size_t dim = x.cols();
+    double best_score = (sum * sum) / static_cast<double>(count);
+    int best_feature = -1;
+    double best_threshold = 0.0;
+    std::vector<std::pair<double, double>> samples; // (value, residual)
+    samples.reserve(count);
+    for (size_t f = 0; f < dim; ++f) {
+        samples.clear();
+        for (size_t i = begin; i < end; ++i) {
+            samples.emplace_back(x.at(indices[i], f),
+                                 residual[indices[i]]);
+        }
+        std::sort(samples.begin(), samples.end(),
+                  [](const auto& a, const auto& b) {
+                      return a.first < b.first;
+                  });
+        double left_sum = 0.0;
+        for (size_t i = 0; i + 1 < count; ++i) {
+            left_sum += samples[i].second;
+            if (samples[i].first == samples[i + 1].first) {
+                continue; // not a boundary between distinct values
+            }
+            const size_t n_left = i + 1;
+            const size_t n_right = count - n_left;
+            if (n_left < config_.min_leaf || n_right < config_.min_leaf) {
+                continue;
+            }
+            const double right_sum = sum - left_sum;
+            const double score =
+                (left_sum * left_sum) / static_cast<double>(n_left) +
+                (right_sum * right_sum) / static_cast<double>(n_right);
+            if (score > best_score) {
+                best_score = score;
+                best_feature = static_cast<int>(f);
+                // Midpoint keeps prediction stable for values between
+                // the two observed neighbours.
+                best_threshold =
+                    0.5 * (samples[i].first + samples[i + 1].first);
+            }
+        }
+    }
+    if (best_feature < 0) {
+        return node_index; // no admissible split improves the node
+    }
+
+    // Stable partition preserves relative sample order in both children,
+    // keeping the recursion input-order deterministic.
+    std::stable_partition(
+        indices.begin() + static_cast<ptrdiff_t>(begin),
+        indices.begin() + static_cast<ptrdiff_t>(end), [&](size_t idx) {
+            return x.at(idx, static_cast<size_t>(best_feature)) <=
+                   best_threshold;
+        });
+    size_t mid = begin;
+    while (mid < end &&
+           x.at(indices[mid], static_cast<size_t>(best_feature)) <=
+               best_threshold) {
+        ++mid;
+    }
+
+    tree.nodes[static_cast<size_t>(node_index)].feature = best_feature;
+    tree.nodes[static_cast<size_t>(node_index)].threshold = best_threshold;
+    const int left =
+        buildNode(tree, x, residual, indices, begin, mid, depth + 1);
+    const int right =
+        buildNode(tree, x, residual, indices, mid, end, depth + 1);
+    tree.nodes[static_cast<size_t>(node_index)].left = left;
+    tree.nodes[static_cast<size_t>(node_index)].right = right;
+    return node_index;
+}
+
+GbtModel::Tree
+GbtModel::fitTree(const Matrix& x, const std::vector<double>& residual,
+                  std::vector<size_t>& indices) const
+{
+    Tree tree;
+    buildNode(tree, x, residual, indices, 0, indices.size(), 0);
+    return tree;
+}
+
+void
+GbtModel::fit(const Matrix& x, const std::vector<double>& y)
+{
+    PRUNER_CHECK(x.rows() == y.size());
+    PRUNER_CHECK(!y.empty());
+    trees_.clear();
+    double sum = 0.0;
+    for (const double v : y) {
+        sum += v;
+    }
+    base_ = sum / static_cast<double>(y.size());
+    base_set_ = true;
+
+    std::vector<double> prediction(y.size(), base_);
+    std::vector<double> residual(y.size());
+    std::vector<size_t> indices(y.size());
+    for (int t = 0; t < config_.n_trees; ++t) {
+        double sq = 0.0;
+        for (size_t i = 0; i < y.size(); ++i) {
+            residual[i] = y[i] - prediction[i];
+            sq += residual[i] * residual[i];
+            indices[i] = i;
+        }
+        if (sq <= 1e-18) {
+            break; // residuals exhausted; further trees fit zeros
+        }
+        trees_.push_back(fitTree(x, residual, indices));
+        const Tree& tree = trees_.back();
+        for (size_t i = 0; i < y.size(); ++i) {
+            prediction[i] += config_.learning_rate * tree.eval(x.row(i));
+        }
+    }
+}
+
+double
+GbtModel::predict(const double* row) const
+{
+    PRUNER_CHECK(base_set_);
+    double out = base_;
+    for (const Tree& tree : trees_) {
+        out += config_.learning_rate * tree.eval(row);
+    }
+    return out;
+}
+
+void
+GbtModel::predictBatch(const Matrix& x, std::vector<double>& out) const
+{
+    out.clear();
+    out.reserve(x.rows());
+    for (size_t i = 0; i < x.rows(); ++i) {
+        out.push_back(predict(x.row(i)));
+    }
+}
+
+} // namespace pruner

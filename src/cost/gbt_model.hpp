@@ -1,0 +1,105 @@
+#pragma once
+
+/**
+ * @file gbt_model.hpp
+ * Gradient-boosted regression trees over schedule features — the "gbt"
+ * draft scorer, a PaCM alternative in the spirit of XGBoost-based tuners
+ * (AutoTVM, TLP's ablations, AutoSA's odyssey tuner).
+ *
+ * Pure C++, no dependencies: least-squares boosting with exact greedy
+ * splits. Determinism is structural — fitting scans features in ascending
+ * index and thresholds in ascending value, accepts a split only on a
+ * strictly better score, and never draws randomness — so the same
+ * records always grow byte-identical trees on the same host, and
+ * prediction is a pure function of the input row.
+ *
+ * Features come from the resident batched extractors: per-candidate
+ * mean-pooled statement features (40 dims) concatenated with mean-pooled
+ * dataflow steps (23 dims), 63 dims total. The regression target is
+ * -log(latency), so higher predictions mean faster schedules — the same
+ * orientation as every learned cost model in the repo.
+ */
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "device/device_spec.hpp"
+#include "ir/task.hpp"
+#include "nn/matrix.hpp"
+#include "sched/schedule.hpp"
+
+namespace pruner {
+
+/** Width of one GBT feature row (statement 40 + dataflow 23). */
+constexpr size_t kGbtFeatureDim = 63;
+
+/** Extract one kGbtFeatureDim-wide row per candidate into @p out
+ *  (resized to [candidates.size(), kGbtFeatureDim]). Values are built
+ *  from the batched extractors' packs via per-segment column means, so
+ *  they are identical at any batch split. */
+void extractGbtFeatures(const SubgraphTask& task,
+                        std::span<const Schedule> candidates,
+                        const DeviceSpec& device, Matrix& out);
+
+/** Boosting hyper-parameters. */
+struct GbtConfig
+{
+    int n_trees = 40;         ///< boosting rounds
+    int max_depth = 4;        ///< tree depth cap
+    double learning_rate = 0.15;
+    size_t min_leaf = 4;      ///< min samples per leaf
+};
+
+/** Least-squares gradient-boosted regression trees. */
+class GbtModel
+{
+  public:
+    explicit GbtModel(GbtConfig config = {}) : config_(config) {}
+
+    /** Fit from scratch on rows of @p x (one sample per row) against
+     *  @p y. Replaces any previous ensemble. */
+    void fit(const Matrix& x, const std::vector<double>& y);
+
+    /** Prediction for one feature row of dimension x.cols() used in
+     *  fit(). Requires trained(). */
+    double predict(const double* row) const;
+
+    /** Predictions for every row of @p x, appended to @p out (cleared
+     *  first). */
+    void predictBatch(const Matrix& x, std::vector<double>& out) const;
+
+    bool trained() const { return !trees_.empty() || base_set_; }
+    size_t numTrees() const { return trees_.size(); }
+    const GbtConfig& config() const { return config_; }
+
+  private:
+    /** One node of a regression tree (leaf when feature < 0). */
+    struct Node
+    {
+        int feature = -1;
+        double threshold = 0.0;
+        int left = -1;  ///< node index, rows with row[feature] <= threshold
+        int right = -1;
+        double value = 0.0; ///< leaf output
+    };
+    struct Tree
+    {
+        std::vector<Node> nodes;
+        double eval(const double* row) const;
+    };
+
+    Tree fitTree(const Matrix& x, const std::vector<double>& residual,
+                 std::vector<size_t>& indices) const;
+    int buildNode(Tree& tree, const Matrix& x,
+                  const std::vector<double>& residual,
+                  std::vector<size_t>& indices, size_t begin, size_t end,
+                  int depth) const;
+
+    GbtConfig config_;
+    double base_ = 0.0;     ///< F0: mean target
+    bool base_set_ = false;
+    std::vector<Tree> trees_;
+};
+
+} // namespace pruner

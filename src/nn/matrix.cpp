@@ -404,6 +404,117 @@ matmulNTAvx2(const double* a, size_t m, size_t k, size_t lda,
 }
 
 /**
+ * AVX-512 NT micro-kernel: a 4x8 block of C = A B^T where each output
+ * element owns one ZMM lane accumulating a[i][kk] * b[j][kk] over
+ * ascending kk with separate _mm512_mul_pd / _mm512_add_pd roundings —
+ * the exact per-element sequence of the naive NT loop, so the bytes
+ * match. k advances four steps at a time: the eight B rows' contiguous
+ * k panels are transposed four-at-a-time in YMM registers (the AVX2
+ * kernel's in-register transpose, twice) and the halves spliced into one
+ * ZMM with insertf64x4, so every B scalar arrives via a vector load; the
+ * k tail gathers with set_pd. Row and column remainders defer to the
+ * AVX2 NT kernel (which defers its own row remainder to the naive loop),
+ * so accepting this tier requires the AVX2 tier's self-check too.
+ */
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+__attribute__((target("avx512f"))) void
+matmulNTAvx512(const double* a, size_t m, size_t k, size_t lda,
+               const double* b, size_t n, size_t ldb, double* c, size_t ldc)
+{
+    size_t i0 = 0;
+    for (; i0 + 4 <= m; i0 += 4) {
+        const double* a0 = a + i0 * lda;
+        size_t j0 = 0;
+        for (; j0 + 8 <= n; j0 += 8) {
+            const double* b0 = b + (j0 + 0) * ldb;
+            const double* b1 = b + (j0 + 1) * ldb;
+            const double* b2 = b + (j0 + 2) * ldb;
+            const double* b3 = b + (j0 + 3) * ldb;
+            const double* b4 = b + (j0 + 4) * ldb;
+            const double* b5 = b + (j0 + 5) * ldb;
+            const double* b6 = b + (j0 + 6) * ldb;
+            const double* b7 = b + (j0 + 7) * ldb;
+            __m512d acc0 = _mm512_setzero_pd();
+            __m512d acc1 = _mm512_setzero_pd();
+            __m512d acc2 = _mm512_setzero_pd();
+            __m512d acc3 = _mm512_setzero_pd();
+            size_t kk = 0;
+            for (; kk + 4 <= k; kk += 4) {
+                const __m256d r0 = _mm256_loadu_pd(b0 + kk);
+                const __m256d r1 = _mm256_loadu_pd(b1 + kk);
+                const __m256d r2 = _mm256_loadu_pd(b2 + kk);
+                const __m256d r3 = _mm256_loadu_pd(b3 + kk);
+                const __m256d r4 = _mm256_loadu_pd(b4 + kk);
+                const __m256d r5 = _mm256_loadu_pd(b5 + kk);
+                const __m256d r6 = _mm256_loadu_pd(b6 + kk);
+                const __m256d r7 = _mm256_loadu_pd(b7 + kk);
+                const __m256d t0 = _mm256_unpacklo_pd(r0, r1);
+                const __m256d t1 = _mm256_unpackhi_pd(r0, r1);
+                const __m256d t2 = _mm256_unpacklo_pd(r2, r3);
+                const __m256d t3 = _mm256_unpackhi_pd(r2, r3);
+                const __m256d s0 = _mm256_unpacklo_pd(r4, r5);
+                const __m256d s1 = _mm256_unpackhi_pd(r4, r5);
+                const __m256d s2 = _mm256_unpacklo_pd(r6, r7);
+                const __m256d s3 = _mm256_unpackhi_pd(r6, r7);
+                const __m256d lo[4] = {
+                    _mm256_permute2f128_pd(t0, t2, 0x20),
+                    _mm256_permute2f128_pd(t1, t3, 0x20),
+                    _mm256_permute2f128_pd(t0, t2, 0x31),
+                    _mm256_permute2f128_pd(t1, t3, 0x31),
+                };
+                const __m256d hi[4] = {
+                    _mm256_permute2f128_pd(s0, s2, 0x20),
+                    _mm256_permute2f128_pd(s1, s3, 0x20),
+                    _mm256_permute2f128_pd(s0, s2, 0x31),
+                    _mm256_permute2f128_pd(s1, s3, 0x31),
+                };
+                for (size_t q = 0; q < 4; ++q) {
+                    const __m512d bv = _mm512_insertf64x4(
+                        _mm512_castpd256_pd512(lo[q]), hi[q], 1);
+                    __m512d av = _mm512_set1_pd(a0[0 * lda + kk + q]);
+                    acc0 = _mm512_add_pd(acc0, _mm512_mul_pd(av, bv));
+                    av = _mm512_set1_pd(a0[1 * lda + kk + q]);
+                    acc1 = _mm512_add_pd(acc1, _mm512_mul_pd(av, bv));
+                    av = _mm512_set1_pd(a0[2 * lda + kk + q]);
+                    acc2 = _mm512_add_pd(acc2, _mm512_mul_pd(av, bv));
+                    av = _mm512_set1_pd(a0[3 * lda + kk + q]);
+                    acc3 = _mm512_add_pd(acc3, _mm512_mul_pd(av, bv));
+                }
+            }
+            for (; kk < k; ++kk) {
+                const __m512d bv =
+                    _mm512_set_pd(b7[kk], b6[kk], b5[kk], b4[kk], b3[kk],
+                                  b2[kk], b1[kk], b0[kk]);
+                __m512d av = _mm512_set1_pd(a0[0 * lda + kk]);
+                acc0 = _mm512_add_pd(acc0, _mm512_mul_pd(av, bv));
+                av = _mm512_set1_pd(a0[1 * lda + kk]);
+                acc1 = _mm512_add_pd(acc1, _mm512_mul_pd(av, bv));
+                av = _mm512_set1_pd(a0[2 * lda + kk]);
+                acc2 = _mm512_add_pd(acc2, _mm512_mul_pd(av, bv));
+                av = _mm512_set1_pd(a0[3 * lda + kk]);
+                acc3 = _mm512_add_pd(acc3, _mm512_mul_pd(av, bv));
+            }
+            _mm512_storeu_pd(c + (i0 + 0) * ldc + j0, acc0);
+            _mm512_storeu_pd(c + (i0 + 1) * ldc + j0, acc1);
+            _mm512_storeu_pd(c + (i0 + 2) * ldc + j0, acc2);
+            _mm512_storeu_pd(c + (i0 + 3) * ldc + j0, acc3);
+        }
+        if (j0 < n) {
+            // Column remainder: the AVX2 kernel on the same four rows
+            // with the remaining B rows as its whole B.
+            matmulNTAvx2(a0, 4, k, lda, b + j0 * ldb, n - j0, ldb,
+                         c + i0 * ldc + j0, ldc);
+        }
+    }
+    if (i0 < m) {
+        matmulNTAvx2(a + i0 * lda, m - i0, k, lda, b, n, ldb, c + i0 * ldc,
+                     ldc);
+    }
+}
+#pragma GCC diagnostic pop
+
+/**
  * AVX2 accumulating TNAcc micro-kernel, blocked 4 rows at a time: each C
  * element loads once, receives its (up to) four terms in ascending row
  * order with separate mul/add roundings, and stores once — a quarter of
@@ -682,14 +793,16 @@ matchesNaiveKernel(MatmulFn fn)
 }
 
 /**
- * Same demote-on-mismatch self-check for the NT kernel: m = 9, n = 11
- * covers the 4x4 main block, the scalar column remainder, and the naive
- * row remainder delegation.
+ * Same demote-on-mismatch self-check for the NT kernel: m = 9, n = 15
+ * covers the AVX-512 tier's 4x8 main block plus its AVX2 column-remainder
+ * delegation (a full 4x4 block and a scalar tail), the AVX2 tier's own
+ * main block and remainders, and the naive row-remainder delegation;
+ * k = 9 covers the transposed four-step k panels and the gathered k tail.
  */
 bool
 matchesNaiveKernelNT(MatmulNTFn fn)
 {
-    constexpr size_t m = 9, k = 9, n = 11;
+    constexpr size_t m = 9, k = 9, n = 15;
     double a[m * k], b[n * k], fast[m * n], naive[m * n];
     uint64_t state = 0xA5A5A5A55A5A5A5Aull;
     auto next = [&state]() {
@@ -815,6 +928,13 @@ pickKernel()
 PickedMatmulNT
 pickKernelNT()
 {
+    // The AVX-512 NT tier delegates its remainders to the AVX2 NT
+    // kernel, so both must pass before it is accepted.
+    if (__builtin_cpu_supports("avx512f") &&
+        matchesNaiveKernelNT(matmulNTAvx512) &&
+        matchesNaiveKernelNT(matmulNTAvx2)) {
+        return {matmulNTAvx512, "avx512"};
+    }
     if (__builtin_cpu_supports("avx2") &&
         matchesNaiveKernelNT(matmulNTAvx2)) {
         return {matmulNTAvx2, "avx2"};

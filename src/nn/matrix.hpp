@@ -49,9 +49,10 @@ void matmul(const double* a, size_t m, size_t k, size_t lda, const double* b,
  * transposed copy is ever materialized. Same ordering contract as
  * matmul(): every C element is a single accumulator over k in ascending
  * order with separate multiply and add roundings, so the bytes equal
- * matmulNTNaive() for any m. Dispatches at runtime to an AVX2 4x4
- * lane-per-element micro-kernel (self-checked at startup against the
- * naive kernel and demoted on mismatch), falling back to the naive loop.
+ * matmulNTNaive() for any m. Dispatches at runtime to an AVX-512 4x8 or
+ * AVX2 4x4 lane-per-element micro-kernel (each self-checked at startup
+ * against the naive kernel and demoted on mismatch), falling back to the
+ * naive loop.
  * Used by the attention cores (Q K^T without the explicit K transpose)
  * and the batched backward's dX = dY W^T GEMMs. C must not alias A or B.
  */

@@ -1,0 +1,70 @@
+#pragma once
+
+/**
+ * @file stage_histograms.hpp
+ * Histogram-backed per-stage sim-time distributions: how long each
+ * tuning round's draft, verify, and train stages took on the simulated
+ * clock, as Deterministic-channel histograms (round_draft_time_us /
+ * round_verify_time_us / round_train_time_us).
+ *
+ * RoundStats gives the per-round time series; these give the shape — a
+ * draft stage whose p99 is 10x its median shows up here long before it
+ * moves an end-of-run aggregate. Sim-time observations are a pure
+ * function of the trajectory, so the distributions are byte-identical at
+ * any worker count and safe to identity-assert, like every other
+ * Deterministic-channel metric.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace pruner::obs {
+
+/** Bound handles for the three stage histograms. Inert when constructed
+ *  with a null registry (the observability-off fast path). */
+class StageTimeHistograms
+{
+  public:
+    StageTimeHistograms() = default;
+
+    explicit StageTimeHistograms(MetricsRegistry* metrics)
+    {
+        if (metrics == nullptr) {
+            return;
+        }
+        // 100us .. 1000s, one decade per bucket: wide enough that the
+        // smoke workloads land mid-range and a real 200-round run never
+        // saturates the +Inf bucket.
+        const std::vector<uint64_t> bounds{100,        1'000,
+                                           10'000,     100'000,
+                                           1'000'000,  10'000'000,
+                                           100'000'000, 1'000'000'000};
+        draft_ = metrics->histogram("round_draft_time_us", bounds);
+        verify_ = metrics->histogram("round_verify_time_us", bounds);
+        train_ = metrics->histogram("round_train_time_us", bounds);
+    }
+
+    void observeDraft(double seconds) { observe(draft_, seconds); }
+    void observeVerify(double seconds) { observe(verify_, seconds); }
+    void observeTrain(double seconds) { observe(train_, seconds); }
+
+  private:
+    static void
+    observe(Histogram* h, double seconds)
+    {
+        // llround of a deterministic sim-time delta: deterministic.
+        histogramObserve(
+            h, static_cast<uint64_t>(std::llround(
+                   std::max(seconds, 0.0) * 1e6)));
+    }
+
+    Histogram* draft_ = nullptr;
+    Histogram* verify_ = nullptr;
+    Histogram* train_ = nullptr;
+};
+
+} // namespace pruner::obs

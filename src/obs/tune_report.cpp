@@ -50,6 +50,47 @@ taskList(const std::vector<size_t>& tasks)
     return out;
 }
 
+/** Microsecond bucket bound as a compact human unit (100us, 1ms, 10s). */
+std::string
+boundLabel(uint64_t us)
+{
+    char buf[40];
+    if (us >= 1'000'000) {
+        std::snprintf(buf, sizeof(buf), "%" PRIu64 "s", us / 1'000'000);
+    } else if (us >= 1'000) {
+        std::snprintf(buf, sizeof(buf), "%" PRIu64 "ms", us / 1'000);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%" PRIu64 "us", us);
+    }
+    return buf;
+}
+
+void
+renderStageHistogram(std::ostringstream& out, const char* stage,
+                     const MetricsSnapshot::HistogramValue& h)
+{
+    char head[120];
+    std::snprintf(head, sizeof(head),
+                  "  %-6s rounds %-4" PRIu64 " mean %s/round:", stage,
+                  h.count,
+                  seconds(h.count > 0
+                              ? static_cast<double>(h.sum) / 1e6 /
+                                    static_cast<double>(h.count)
+                              : 0.0)
+                      .c_str());
+    out << head;
+    for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
+        if (h.bucket_counts[i] == 0) {
+            continue;
+        }
+        const std::string label = i < h.bounds.size()
+                                      ? "le " + boundLabel(h.bounds[i])
+                                      : std::string("le +Inf");
+        out << "  [" << label << "] " << h.bucket_counts[i];
+    }
+    out << "\n";
+}
+
 } // namespace
 
 std::string
@@ -96,6 +137,36 @@ tuneReport(const TuneResult& result)
                           r.measurement_s, r.compile_s,
                           latency(r.best_latency).c_str());
             out << line << "\n";
+        }
+    }
+    return out.str();
+}
+
+std::string
+tuneReport(const TuneResult& result, const MetricsSnapshot& metrics)
+{
+    std::ostringstream out;
+    out << tuneReport(result);
+    static const struct
+    {
+        const char* stage;
+        const char* name;
+    } kStages[] = {
+        {"draft", "round_draft_time_us"},
+        {"verify", "round_verify_time_us"},
+        {"train", "round_train_time_us"},
+    };
+    bool header = false;
+    for (const auto& s : kStages) {
+        for (const MetricsSnapshot::HistogramValue& h : metrics.histograms) {
+            if (h.name != s.name || h.count == 0) {
+                continue;
+            }
+            if (!header) {
+                out << "per-stage sim-time distributions:\n";
+                header = true;
+            }
+            renderStageHistogram(out, s.stage, h);
         }
     }
     return out.str();

@@ -13,11 +13,22 @@
 
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "search/search_policy.hpp"
 
 namespace pruner::obs {
 
 /** Render @p result as a multi-line report (trailing newline included). */
 std::string tuneReport(const TuneResult& result);
+
+/**
+ * Like tuneReport(result), plus the per-stage sim-time distributions
+ * (round_draft_time_us / round_verify_time_us / round_train_time_us)
+ * from @p metrics when present: count, mean, and the non-empty buckets
+ * of each histogram. Snapshot the run's MetricsRegistry after tune()
+ * returns and pass it here.
+ */
+std::string tuneReport(const TuneResult& result,
+                       const MetricsSnapshot& metrics);
 
 } // namespace pruner::obs

@@ -93,8 +93,22 @@ SessionRecorder::beginSession(const std::string& factory,
              << "\textra=" << doubleBits(f.timeout_extra_s);
         log_.append(line.str());
     }
-    log_.append(policy_config.empty() ? "policycfg"
-                                      : "policycfg\t" + policy_config);
+    {
+        // The draft-stage explorer is part of the trajectory (it decides
+        // how the RNG lineage is consumed), so the replayer must rebuild
+        // the same one. The config string is recorded verbatim ("-" when
+        // empty: EventFields requires a value after '=').
+        std::ostringstream line;
+        line << "policycfg";
+        if (!policy_config.empty()) {
+            line << '\t' << policy_config;
+        }
+        line << "\texplorer="
+             << (opts.explorer.empty() ? "evolution" : opts.explorer)
+             << "\texplorercfg="
+             << (opts.explorer_config.empty() ? "-" : opts.explorer_config);
+        log_.append(line.str());
+    }
 }
 
 void

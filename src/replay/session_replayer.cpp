@@ -204,6 +204,18 @@ SessionReplayer::replay(const SessionLog& recorded,
     plan.flaky_sigma = faults.getDoubleBits("sigma");
     plan.timeout_extra_s = faults.getDoubleBits("extra");
 
+    // Draft-stage explorer: part of the trajectory. Logs from before the
+    // explorer fields existed replay under the default (which is what
+    // they recorded).
+    const EventFields policy_fields(policycfg->line);
+    if (policy_fields.has("explorer")) {
+        opts.explorer = policy_fields.get("explorer");
+    }
+    if (policy_fields.has("explorercfg")) {
+        const std::string& cfg = policy_fields.get("explorercfg");
+        opts.explorer_config = cfg == "-" ? "" : cfg;
+    }
+
     // Observability pass-through: pure outputs, never part of the
     // recorded log or the replay diff.
     opts.metrics = env.metrics;

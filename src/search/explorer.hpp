@@ -1,0 +1,203 @@
+#pragma once
+
+/**
+ * @file explorer.hpp
+ * Pluggable draft-stage explorers.
+ *
+ * The draft-then-verify mechanism is agnostic to *how* draft candidates
+ * are proposed: the paper's evolutionary loop is one strategy, but a
+ * Bayesian-optimization walk over the tiling space or a boosted-trees
+ * surrogate explores the same space with a different cost/quality
+ * trade-off. An Explorer abstracts the draft stage behind one call:
+ *
+ *   proposeBatch(ctx) -> ranked candidate population
+ *   observe(measured records) -> online state update
+ *
+ * Determinism contract (repo-wide discipline):
+ *  - An explorer owns NO Rng. Every random draw flows through
+ *    ExplorerContext::rng — the tuning loop's main generator — so the
+ *    draft stage stays on the run's single RNG lineage and the async
+ *    model trainer (which clones the cost model, never the explorer) can
+ *    overlap training without perturbing exploration. clone() deep-copies
+ *    all learned state (trees, incumbents, racing standings), preserving
+ *    that lineage exactly.
+ *  - proposeBatch and observe run on the calling thread at deterministic
+ *    points of the tuning loop; any pool fan-out must go through
+ *    scoreChunked (values identical to serial by construction).
+ *  - No wall-clock, no global mutable state: the same call sequence
+ *    produces byte-identical proposals at any worker count.
+ *
+ * The default "evolution" explorer wraps EvolutionarySearch verbatim and
+ * is byte-identical to the pre-interface draft loops (asserted against
+ * frozen pre-refactor golden sessions in tests/test_explorer.cpp).
+ */
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "search/evolution.hpp"
+
+namespace pruner {
+
+namespace obs {
+class MetricsRegistry;
+} // namespace obs
+
+/**
+ * Everything a draft call needs, borrowed from the tuning loop:
+ * the task and device, the incumbent seeds, the resident draft fitness
+ * (Symbol-Analyzer score in Pruner's LSE, the learned cost model in the
+ * Ansor-style loop), the loop's Rng, and the evolution-equivalent search
+ * budget (population x (iterations + 1) fitness evaluations) every
+ * explorer honours so strategies stay comparable per round.
+ */
+struct ExplorerContext
+{
+    const SubgraphTask* task = nullptr;
+    const DeviceSpec* device = nullptr;
+    /** Measured incumbents injected into the search (may be empty). */
+    const std::vector<Schedule>* seeds = nullptr;
+    /** Resident draft fitness (higher = predicted faster). Must be
+     *  reentrant; explorers evaluate it through scoreChunked. */
+    ScoreFn score;
+    /** The tuning loop's generator (never owned by the explorer). */
+    Rng* rng = nullptr;
+    /** Out: fitness evaluations performed (feeds the SimClock charge). */
+    size_t* n_evaluated = nullptr;
+    /** Search budget, fan-out pool, chunking, and metrics sink — the
+     *  same knobs the evolutionary draft ran on. */
+    EvolutionConfig evo;
+};
+
+/** Parsed explorer options: "k1=v1,k2=v2" (no tabs — the string is
+ *  recorded as one field of the session log's policycfg line). Unknown
+ *  keys are ignored by explorers, so one config string can parameterize
+ *  a whole portfolio. */
+class ExplorerSpec
+{
+  public:
+    ExplorerSpec() = default;
+    /** @throws FatalError on a malformed pair (no '=') or a tab. */
+    ExplorerSpec(std::string key, const std::string& config);
+
+    const std::string& key() const { return key_; }
+    /** The verbatim config string ("" when none). */
+    const std::string& config() const { return config_; }
+
+    bool has(const std::string& name) const;
+    std::string get(const std::string& name,
+                    const std::string& fallback) const;
+    int64_t getInt(const std::string& name, int64_t fallback) const;
+    double getDouble(const std::string& name, double fallback) const;
+
+  private:
+    std::string key_;
+    std::string config_;
+    std::vector<std::pair<std::string, std::string>> pairs_;
+};
+
+/** Abstract draft-stage explorer. See the file comment for the
+ *  determinism contract. */
+class Explorer
+{
+  public:
+    explicit Explorer(ExplorerSpec spec) : spec_(std::move(spec)) {}
+    virtual ~Explorer() = default;
+
+    /** Registry key ("evolution", "bayes", "gbt", "portfolio"). */
+    const std::string& key() const { return spec_.key(); }
+    const ExplorerSpec& spec() const { return spec_; }
+
+    /**
+     * Draft one candidate population for ctx.task, best first (up to
+     * ctx.evo.out_size candidates). Consumes *ctx.rng; counts fitness
+     * evaluations into *ctx.n_evaluated and the per-explorer counters
+     * (explorer_<key>_*_total) of the bound registry.
+     */
+    std::vector<ScoredSchedule> proposeBatch(ExplorerContext& ctx);
+
+    /**
+     * Feed measured outcomes back (called after every measurement batch
+     * and for warm-started records; +inf latencies are failed trials).
+     * Updates online state — the GBT surrogate's training window, the
+     * Bayesian incumbent, the portfolio standings. No-op by default.
+     */
+    void observe(const SubgraphTask& task, const DeviceSpec& device,
+                 std::span<const Schedule> measured,
+                 std::span<const double> latencies);
+
+    /** Deep copy, carrying all learned state and the metrics binding
+     *  (the rng-lineage contract: a clone continues the exact
+     *  deterministic trajectory of the original). */
+    virtual std::unique_ptr<Explorer> clone() const = 0;
+
+    /** Bind the explorer_<key>_*_total counters to @p metrics (nullptr
+     *  unbinds). Pure accounting — never changes proposals. */
+    virtual void bindMetrics(obs::MetricsRegistry* metrics)
+    {
+        metrics_ = metrics;
+    }
+
+  protected:
+    /** Strategy hook behind proposeBatch's accounting wrapper. */
+    virtual std::vector<ScoredSchedule> propose(ExplorerContext& ctx) = 0;
+    /** Strategy hook behind observe's accounting wrapper. */
+    virtual void onObserve(const SubgraphTask& task,
+                           const DeviceSpec& device,
+                           std::span<const Schedule> measured,
+                           std::span<const double> latencies);
+
+    ExplorerSpec spec_;
+    obs::MetricsRegistry* metrics_ = nullptr;
+};
+
+struct MeasuredRecord;
+
+/** Replay warm-started records into @p explorer in insertion order,
+ *  batched by consecutive same-task runs (the order TuningRecordDb
+ *  preserves). Gives stateful explorers (gbt, bayes, portfolio) the same
+ *  offline knowledge a warm-started cost model gets. */
+void observeWarmRecords(Explorer& explorer, const DeviceSpec& device,
+                        const std::vector<MeasuredRecord>& records);
+
+/**
+ * String-keyed explorer factory. Built-ins ("evolution", "bayes", "gbt",
+ * "portfolio") are registered at construction; tests and downstream code
+ * can add their own. make() with an unknown key is a FatalError listing
+ * the registered keys. Thread-safe (a serve daemon's concurrent tune()
+ * calls each make their own explorer instance).
+ */
+class ExplorerRegistry
+{
+  public:
+    using Factory =
+        std::function<std::unique_ptr<Explorer>(const ExplorerSpec&)>;
+
+    /** The process-wide registry. */
+    static ExplorerRegistry& instance();
+
+    void registerFactory(const std::string& key, Factory factory);
+
+    /** Build an explorer. @p key "" defaults to "evolution"; @p config
+     *  is the comma-separated option string (see ExplorerSpec). */
+    std::unique_ptr<Explorer> make(const std::string& key,
+                                   const std::string& config = "") const;
+
+    bool contains(const std::string& key) const;
+    /** Registered keys, sorted. */
+    std::vector<std::string> keys() const;
+
+  private:
+    ExplorerRegistry();
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Factory> factories_;
+};
+
+} // namespace pruner

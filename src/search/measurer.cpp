@@ -302,6 +302,13 @@ Measurer::measureAdaptive(const SubgraphTask& task,
                           const std::vector<Schedule>& candidates,
                           double time_scale, double extra_noise)
 {
+    // Same obs surface as measureRound: a deterministic span bracketing
+    // the batch's clock charges plus the trial/fault counters. Adaptive
+    // measurement bypasses the cache and pool by design, so there are no
+    // hits and every trial is simulated.
+    obs::ScopedSpan span(tracer_, obs::TraceTrack::Main, clock_,
+                         "measure_adaptive", "measure");
+    size_t timeouts_this_batch = 0;
     std::vector<double> out;
     out.reserve(candidates.size());
     const uint64_t task_hash = task.hash();
@@ -332,8 +339,12 @@ Measurer::measureAdaptive(const SubgraphTask& task,
             }
         }
         countFault(kind);
+        if (kind == FaultKind::Timeout) {
+            ++timeouts_this_batch;
+        }
         out.push_back(latency);
         counters_.trials->add();
+        counters_.simulated->add();
         if (clock_ != nullptr) {
             clock_->charge(CostCategory::Compile,
                            constants_.compile_per_trial);
@@ -347,6 +358,8 @@ Measurer::measureAdaptive(const SubgraphTask& task,
             recorder_->onMeasurement(task_hash, sched_hash, latency, kind);
         }
     }
+    span.argU64("candidates", candidates.size());
+    span.argU64("timeouts", timeouts_this_batch);
     return out;
 }
 

@@ -9,8 +9,10 @@
 #include "db/artifact_session.hpp"
 #include "nn/matrix.hpp"
 #include "obs/metrics.hpp"
+#include "obs/stage_histograms.hpp"
 #include "obs/trace.hpp"
 #include "replay/session_recorder.hpp"
+#include "search/explorer.hpp"
 #include "support/logging.hpp"
 
 namespace pruner {
@@ -214,6 +216,11 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
     run_config.evolution.score_chunk =
         static_cast<size_t>(std::max(opts.predict_batch, 1));
     run_config.evolution.metrics = &run_metrics;
+    // Draft-stage explorer ("" -> "evolution", the exact pre-interface
+    // loop). Owns no RNG: every draw flows through the loop's rng below.
+    std::unique_ptr<Explorer> explorer = ExplorerRegistry::instance().make(
+        opts.explorer, opts.explorer_config);
+    explorer->bindMetrics(&run_metrics);
     TuningRecordDb db;
     TaskScheduler scheduler(workload);
     scheduler.bindObs(&run_metrics);
@@ -222,6 +229,10 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
     obs_detail::exportKernelTiers(run_metrics);
     obs::RoundStatsCollector round_stats(opts.collect_round_stats, &clock,
                                          &measurer);
+    // The evolutionary loop scores its population inline, so the whole
+    // exploration delta is the draft stage; there is no separate verify
+    // pass to observe (round_verify_time_us stays empty here).
+    obs::StageTimeHistograms stage_hists(&run_metrics);
 
     ArtifactSession artifacts(opts.artifact_db, opts.artifact_db_path);
     artifacts.bindMetrics(&run_metrics);
@@ -239,6 +250,7 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
         io_span.argU64("cache_entries", warm.cache_entries);
         if (warm.records_replayed > 0) {
             scheduler.warmStart(db);
+            observeWarmRecords(*explorer, device_, db.records());
         }
     }
 
@@ -297,10 +309,11 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
         // Draft + verify every picked task (the evolution's fitness
         // slices fan out across the shared pool), collecting each task's
         // measurement batch.
+        const double draft_begin_s =
+            clock.total(CostCategory::Exploration);
         for (const size_t idx : picked) {
             const SubgraphTask& task = workload.tasks[idx].task;
             ScheduleSampler sampler(task, device_);
-            EvolutionarySearch evo(task, device_);
 
             std::vector<Schedule> seeds;
             if (const Schedule* best = db.bestSchedule(task)) {
@@ -310,12 +323,18 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
             obs::ScopedSpan draft_span(tracer, obs::TraceTrack::Main,
                                        &clock, "draft", "explore");
             draft_span.argU64("task", idx);
-            const auto ranked = evo.run(
-                run_config.evolution,
-                [&](std::span<const Schedule> cands) {
-                    return scoreCandidates(task, cands);
-                },
-                seeds, rng, &evals);
+            draft_span.argStr("explorer", explorer->key());
+            ExplorerContext ectx;
+            ectx.task = &task;
+            ectx.device = &device_;
+            ectx.seeds = &seeds;
+            ectx.score = [&](std::span<const Schedule> cands) {
+                return scoreCandidates(task, cands);
+            };
+            ectx.rng = &rng;
+            ectx.n_evaluated = &evals;
+            ectx.evo = run_config.evolution;
+            const auto ranked = explorer->proposeBatch(ectx);
             clock.charge(CostCategory::Exploration,
                          static_cast<double>(evals) *
                              model_->evalCostPerCandidate());
@@ -332,6 +351,8 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
                      opts.eps_greedy, rng)});
             round_stats.addMeasured(slots.back().to_measure.size());
         }
+        stage_hists.observeDraft(clock.total(CostCategory::Exploration) -
+                                 draft_begin_s);
 
         // Measure the whole round through one pooled pass (adaptive
         // measurement keeps its serial on-device loop by design).
@@ -361,9 +382,12 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
                 }
             }
             artifacts.onMeasured(*slot.task, slot.to_measure, latencies);
+            explorer->observe(*slot.task, device_, slot.to_measure,
+                              latencies);
             scheduler.observe(slot.task_index, db.bestLatency(*slot.task));
         }
 
+        const double train_begin_s = clock.total(CostCategory::Training);
         if (opts.online_training && config_.online_training &&
             db.size() >= 16) {
             // The "train" span brackets the Training charge point, which
@@ -382,6 +406,13 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
             // mode never changes the simulated clock.
             clock.charge(CostCategory::Training,
                          model_->trainCostPerRound());
+        }
+        // Observed only for rounds that actually trained, so the train
+        // histogram's count is the number of training rounds.
+        const double train_s =
+            clock.total(CostCategory::Training) - train_begin_s;
+        if (train_s > 0.0) {
+            stage_hists.observeTrain(train_s);
         }
 
         const double e2e = workloadBest(workload, db);

@@ -120,6 +120,14 @@ struct TuneOptions
     /** Collect per-round pipeline stats into TuneResult::round_stats.
      *  Deterministic; off by default to keep TuneResult small. */
     bool collect_round_stats = false;
+    /** Draft-stage explorer registry key ("" = "evolution", the exact
+     *  pre-interface draft loop; also "bayes", "gbt", "portfolio" — see
+     *  src/search/explorer.hpp). Recorded on the session log's policycfg
+     *  line, so recorded sessions replay under the same explorer. */
+    std::string explorer;
+    /** Comma-separated explorer options ("k=v,k=v", ExplorerSpec syntax),
+     *  e.g. "arms=evolution+gbt,race_rounds=3" for the portfolio. */
+    std::string explorer_config;
 };
 
 /** One point of a tuning curve: simulated time vs best end-to-end

@@ -165,14 +165,18 @@ TEST(Matrix, TiledMatmulMatchesNaiveKernelBitwise)
 
 TEST(Matrix, MatmulNTMatchesNaiveKernelBitwise)
 {
-    // The dispatched NT kernel (AVX2 4x4 lane-per-element or the naive
-    // fallback) must reproduce the frozen naive NT loop bit for bit
-    // across the main block and both remainder paths.
+    // The dispatched NT kernel (AVX-512 4x8, AVX2 4x4 lane-per-element,
+    // or the naive fallback) must reproduce the frozen naive NT loop bit
+    // for bit across the main block and every remainder path: exact 8-
+    // and 4-wide j panels, the 4..7-wide column remainder the AVX-512
+    // tier hands to the AVX2 kernel, the scalar column tail, the k-panel
+    // tail, and the sub-4 row remainder.
     Rng rng(211);
     for (const auto [m, k, n] :
          {std::array<size_t, 3>{1, 1, 1}, {1, 64, 10}, {3, 7, 5},
-          {4, 64, 4}, {9, 9, 11}, {10, 64, 10}, {28, 64, 28},
-          {33, 23, 17}}) {
+          {4, 64, 4}, {4, 16, 8}, {4, 10, 13}, {5, 9, 9}, {8, 8, 16},
+          {9, 9, 11}, {9, 9, 15}, {10, 64, 10}, {12, 33, 23},
+          {28, 64, 28}, {33, 23, 17}}) {
         const Matrix a = Matrix::randn(m, k, rng, 1.0);
         const Matrix b = Matrix::randn(n, k, rng, 1.0);
         const Matrix fast = Matrix::matmulNT(a, b);

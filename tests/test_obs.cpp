@@ -471,6 +471,66 @@ TEST(ObsTune, TuneReportRendersRoundTable)
     EXPECT_EQ(rows, opts.rounds) << report;
 }
 
+TEST(ObsTune, StageHistogramsTrackRoundsAndRenderInReport)
+{
+    const auto dev = DeviceSpec::a100();
+    const Workload w = smallWorkload();
+    obs::MetricsRegistry metrics;
+    TuneOptions opts = obsTuneOptions(2);
+    opts.metrics = &metrics;
+    PrunerPolicy policy(dev, smallPrunerConfig());
+    const TuneResult result = policy.tune(w, opts);
+    EXPECT_FALSE(result.failed);
+
+    const auto snap = metrics.snapshot();
+    const obs::MetricsSnapshot::HistogramValue* draft = nullptr;
+    const obs::MetricsSnapshot::HistogramValue* verify = nullptr;
+    const obs::MetricsSnapshot::HistogramValue* train = nullptr;
+    for (const auto& h : snap.histograms) {
+        if (h.name == "round_draft_time_us") {
+            draft = &h;
+        } else if (h.name == "round_verify_time_us") {
+            verify = &h;
+        } else if (h.name == "round_train_time_us") {
+            train = &h;
+        }
+    }
+    ASSERT_NE(draft, nullptr);
+    ASSERT_NE(verify, nullptr);
+    ASSERT_NE(train, nullptr);
+    // The Pruner loop drafts and verifies every round; training only
+    // happens on rounds where the online update fires.
+    EXPECT_EQ(draft->count, static_cast<uint64_t>(opts.rounds));
+    EXPECT_EQ(verify->count, static_cast<uint64_t>(opts.rounds));
+    EXPECT_LE(train->count, static_cast<uint64_t>(opts.rounds));
+    EXPECT_GT(draft->sum, 0u);
+    EXPECT_EQ(draft->channel, obs::MetricChannel::Deterministic);
+
+    const std::string report = obs::tuneReport(result, snap);
+    EXPECT_NE(report.find("per-stage sim-time distributions"),
+              std::string::npos)
+        << report;
+    EXPECT_NE(report.find("draft"), std::string::npos);
+    EXPECT_NE(report.find("verify"), std::string::npos);
+
+    // Worker-count invariance: the histograms are sim-time functions of
+    // the trajectory, so a 1-worker run produces identical buckets.
+    obs::MetricsRegistry metrics1;
+    TuneOptions opts1 = obsTuneOptions(1);
+    opts1.metrics = &metrics1;
+    PrunerPolicy policy1(dev, smallPrunerConfig());
+    (void)policy1.tune(w, opts1);
+    const auto snap1 = metrics1.snapshot();
+    for (const auto& h1 : snap1.histograms) {
+        if (h1.name != "round_draft_time_us") {
+            continue;
+        }
+        EXPECT_EQ(h1.count, draft->count);
+        EXPECT_EQ(h1.sum, draft->sum);
+        EXPECT_EQ(h1.bucket_counts, draft->bucket_counts);
+    }
+}
+
 TEST(ObsTune, EvoPolicyEmitsEvolutionCounters)
 {
     const auto dev = DeviceSpec::a100();

@@ -15,10 +15,11 @@
  *   - the EXPECT_* / ASSERT_* comparison, boolean, floating-point, string
  *     and exception assertions, all supporting `<< "message"` streaming
  *   - fixtures with SetUp / TearDown
+ *   - SCOPED_TRACE (the trace stack is appended to failure output)
  *   - --gtest_filter=POS[:POS...][-NEG[:NEG...]] and --gtest_list_tests
  *
  * Unsupported (not needed here): death tests, matchers/gmock, typed tests,
- * SCOPED_TRACE, sharding, XML output.
+ * sharding, XML output.
  */
 
 #include <cctype>
@@ -76,6 +77,8 @@ struct TestState
 {
     bool current_failed = false;
     bool current_fatal = false;
+    /** Active SCOPED_TRACE frames, innermost last. */
+    std::vector<std::string> trace_stack;
 
     static TestState&
     instance()
@@ -83,6 +86,22 @@ struct TestState
         static TestState state;
         return state;
     }
+};
+
+/** RAII frame behind SCOPED_TRACE: pushes on construction, pops on scope
+ *  exit (single-threaded runner, so a plain stack suffices). */
+class ScopedTrace
+{
+  public:
+    ScopedTrace(const char* file, int line, std::string message)
+    {
+        std::ostringstream ss;
+        ss << file << ":" << line << ": " << message;
+        TestState::instance().trace_stack.push_back(ss.str());
+    }
+    ~ScopedTrace() { TestState::instance().trace_stack.pop_back(); }
+    ScopedTrace(const ScopedTrace&) = delete;
+    ScopedTrace& operator=(const ScopedTrace&) = delete;
 };
 
 /** Records one failure; assignment from Message appends the streamed
@@ -109,6 +128,14 @@ class AssertHelper
         if (!user.empty()) {
             text += "\n";
             text += user;
+        }
+        const auto& traces = TestState::instance().trace_stack;
+        if (!traces.empty()) {
+            text += "\nGoogle Test trace:";
+            for (auto it = traces.rbegin(); it != traces.rend(); ++it) {
+                text += "\n  ";
+                text += *it;
+            }
         }
         std::printf("%s:%d: Failure\n%s\n", file_, line_, text.c_str());
         std::fflush(stdout);
@@ -866,5 +893,13 @@ RUN_ALL_TESTS()
     MINIGTEST_FATAL_((::testing::internal::CheckResult{false, "Failed"}))
 #define SUCCEED()                                                            \
     MINIGTEST_NONFATAL_((::testing::internal::CheckResult{true, ""}))
+
+#define MINIGTEST_TRACE_NAME2_(line) minigtest_scoped_trace_##line
+#define MINIGTEST_TRACE_NAME_(line) MINIGTEST_TRACE_NAME2_(line)
+/** Accepts anything streamable (gtest semantics); the frame is appended
+ *  to every failure reported while it is in scope. */
+#define SCOPED_TRACE(message)                                                \
+    ::testing::internal::ScopedTrace MINIGTEST_TRACE_NAME_(__LINE__)(        \
+        __FILE__, __LINE__, (::testing::Message() << (message)).str())
 
 // NOLINTEND(bugprone-macro-parentheses)

@@ -44,4 +44,15 @@ else
   echo "check_build: chaos_replay not built, skipping replay identity check"
 fi
 
+# Kill-then-resume identity: crash a checkpointing tuning process at every
+# checkpoint boundary (injected post-write/post-rename exits plus timed
+# SIGKILLs), resume from whatever checkpoint survived, and fail the build
+# on any byte divergence from the uninterrupted golden runs.
+if [ -x "./$BUILD_DIR/crash_resume" ]; then
+  "./$BUILD_DIR/crash_resume" 2
+  echo "check_build: kill-then-resume identity OK"
+else
+  echo "check_build: crash_resume not built, skipping crash/resume check"
+fi
+
 echo "check_build: OK ($BUILD_DIR)"

@@ -43,6 +43,13 @@ class MoAAdapter
     double momentum() const { return momentum_; }
     const std::vector<double>& siameseParams() const { return siamese_; }
 
+    /** Restore the Siamese weights from a checkpoint (the target model's
+     *  weights are restored separately through setParams). */
+    void setSiameseParams(std::vector<double> params)
+    {
+        siamese_ = std::move(params);
+    }
+
   private:
     CostModel* target_;
     std::vector<double> siamese_;

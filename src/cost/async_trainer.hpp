@@ -73,6 +73,12 @@ class AsyncModelTrainer
     /** Ranking loss of the most recently installed update. */
     double lastLoss() const { return last_loss_; }
 
+    /** The back-buffer clone that actually trains. install() copies its
+     *  weights to the front model but not its RNG lineage — checkpointing
+     *  reads the training RNG from here (after an install() barrier, with
+     *  no job in flight). */
+    CostModel* backModel() { return back_.get(); }
+
     /** Attach observability sinks (all borrowed, any may be nullptr).
      *  Everything here is Execution channel: the trainer only exists when
      *  the run has a pool, so its spans/counters are worker-count

@@ -93,6 +93,13 @@ class CostModel
     /** Deep copy. */
     virtual std::unique_ptr<CostModel> clone() const = 0;
 
+    /** The RNG that train() draws from (group shuffling / subset
+     *  sampling), or nullptr for models without one. Checkpoint/resume
+     *  snapshots and restores it so a resumed run's training stream
+     *  continues exactly where the original left off — weights alone
+     *  don't capture that lineage. */
+    virtual Rng* trainingRng() { return nullptr; }
+
     /** Handles into a bound MetricsRegistry (all null when unbound; writes
      *  go through null-safe helpers). Deterministic channel: inference and
      *  training traffic is a pure function of the tuning trajectory. */

@@ -35,6 +35,7 @@ class MlpCostModel : public CostModel
     std::vector<double> getParams() override;
     void setParams(const std::vector<double>& flat) override;
     std::unique_ptr<CostModel> clone() const override;
+    Rng* trainingRng() override { return &rng_; }
 
     /** Batched scoring into a caller-owned buffer: features pack into one
      *  matrix, every layer runs as one GEMM, all intermediates come from

@@ -54,6 +54,7 @@ class PaCMModel : public CostModel
     std::vector<double> getParams() override;
     void setParams(const std::vector<double>& flat) override;
     std::unique_ptr<CostModel> clone() const override;
+    Rng* trainingRng() override { return &rng_; }
 
     /** Batched scoring into a caller-owned buffer (see CostModel::predict
      *  for the identity contract). Symbols are extracted once per

@@ -42,6 +42,7 @@ class TlpCostModel : public CostModel
     std::vector<double> getParams() override;
     void setParams(const std::vector<double>& flat) override;
     std::unique_ptr<CostModel> clone() const override;
+    Rng* trainingRng() override { return &rng_; }
 
     /** Batched scoring into a caller-owned buffer (see CostModel::predict
      *  for the identity contract). Zero heap allocations once @p ws is

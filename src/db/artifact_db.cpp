@@ -7,11 +7,15 @@
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
+#include <iterator>
+#include <limits>
 #include <sstream>
 
 #include "search/record_log.hpp"
 #include "nn/serialize.hpp"
+#include "support/io.hpp"
 #include "support/logging.hpp"
+#include "support/rng.hpp"
 
 namespace pruner {
 
@@ -20,8 +24,14 @@ namespace {
 namespace fs = std::filesystem;
 
 constexpr uint32_t kCacheMagic = 0x434D5250; // "PRMC" little-endian
-constexpr uint32_t kCacheVersion = 1;
-constexpr size_t kCacheHeaderBytes = 16;
+/** v1: 16-byte header (magic, version, count), no checksum — truncated
+ *  tails load their intact prefix. v2 appends a CRC-32 of the entry bytes
+ *  to the header; any size or CRC mismatch marks the file corrupt. v1
+ *  files are still accepted on load. */
+constexpr uint32_t kCacheVersionLegacy = 1;
+constexpr uint32_t kCacheVersion = 2;
+constexpr size_t kCacheHeaderBytesV1 = 16;
+constexpr size_t kCacheHeaderBytes = 20;
 constexpr size_t kCacheEntryBytes = 24;
 
 void
@@ -64,38 +74,64 @@ getU64(const char* p)
 using SnapshotMap =
     std::unordered_map<uint64_t, std::unordered_map<uint64_t, double>>;
 
-/** Parse a snapshot file into @p out; tolerates missing files, foreign
- *  magic/version, and truncated tails. Returns entries read. */
-size_t
+/** Outcome of readSnapshotFile(). */
+enum class SnapshotRead : uint8_t
+{
+    Missing, ///< no file (or unreadable): nothing loaded
+    Ok,      ///< entries loaded (possibly zero)
+    Corrupt, ///< foreign magic, bad size, or CRC mismatch — caller
+             ///< should quarantine; nothing loaded
+};
+
+/** Parse a snapshot file into @p out. Accepts both the CRC-framed v2
+ *  format and legacy v1 (where a truncated tail loads its intact
+ *  prefix). */
+SnapshotRead
 readSnapshotFile(const std::string& path, SnapshotMap* out)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in) {
-        return 0;
+        return SnapshotRead::Missing;
     }
     std::string bytes((std::istreambuf_iterator<char>(in)),
                       std::istreambuf_iterator<char>());
-    if (bytes.size() < kCacheHeaderBytes ||
-        getU32(bytes.data()) != kCacheMagic ||
-        getU32(bytes.data() + 4) != kCacheVersion) {
-        return 0;
+    if (bytes.size() < kCacheHeaderBytesV1 ||
+        getU32(bytes.data()) != kCacheMagic) {
+        return SnapshotRead::Corrupt;
     }
+    const uint32_t version = getU32(bytes.data() + 4);
     const uint64_t claimed = getU64(bytes.data() + 8);
-    const size_t available =
-        (bytes.size() - kCacheHeaderBytes) / kCacheEntryBytes;
-    const size_t count =
-        std::min<size_t>(static_cast<size_t>(claimed), available);
-    size_t read = 0;
+    size_t header = kCacheHeaderBytes;
+    size_t count = 0;
+    if (version == kCacheVersionLegacy) {
+        header = kCacheHeaderBytesV1;
+        const size_t available = (bytes.size() - header) / kCacheEntryBytes;
+        count = std::min<size_t>(static_cast<size_t>(claimed), available);
+    } else if (version == kCacheVersion) {
+        if (bytes.size() < kCacheHeaderBytes ||
+            bytes.size() - kCacheHeaderBytes !=
+                claimed * kCacheEntryBytes) {
+            return SnapshotRead::Corrupt;
+        }
+        const uint32_t stored_crc = getU32(bytes.data() + 16);
+        const uint32_t actual_crc =
+            io::crc32(bytes.data() + kCacheHeaderBytes,
+                      bytes.size() - kCacheHeaderBytes);
+        if (stored_crc != actual_crc) {
+            return SnapshotRead::Corrupt;
+        }
+        count = static_cast<size_t>(claimed);
+    } else {
+        return SnapshotRead::Corrupt;
+    }
     for (size_t i = 0; i < count; ++i) {
-        const char* p = bytes.data() + kCacheHeaderBytes +
-                        i * kCacheEntryBytes;
+        const char* p = bytes.data() + header + i * kCacheEntryBytes;
         const uint64_t task = getU64(p);
         const uint64_t sched = getU64(p + 8);
         const double latency = std::bit_cast<double>(getU64(p + 16));
         (*out)[task][sched] = latency;
-        ++read;
     }
-    return read;
+    return SnapshotRead::Ok;
 }
 
 /** Canonical snapshot order: flatten @p map sorted by (task hash,
@@ -120,47 +156,26 @@ flattenSorted(const SnapshotMap& map)
     return entries;
 }
 
-/** Serialize @p map in canonical order. */
+/** Serialize @p map in canonical order (v2: CRC-framed). */
 std::string
 encodeSnapshot(const SnapshotMap& map)
 {
     const std::vector<MeasureCacheEntry> entries = flattenSorted(map);
+    std::string body;
+    body.reserve(entries.size() * kCacheEntryBytes);
+    for (const auto& e : entries) {
+        putU64(body, e.task_hash);
+        putU64(body, e.sched_hash);
+        putU64(body, std::bit_cast<uint64_t>(e.latency));
+    }
     std::string bytes;
-    bytes.reserve(kCacheHeaderBytes + entries.size() * kCacheEntryBytes);
+    bytes.reserve(kCacheHeaderBytes + body.size());
     putU32(bytes, kCacheMagic);
     putU32(bytes, kCacheVersion);
     putU64(bytes, entries.size());
-    for (const auto& e : entries) {
-        putU64(bytes, e.task_hash);
-        putU64(bytes, e.sched_hash);
-        putU64(bytes, std::bit_cast<uint64_t>(e.latency));
-    }
+    putU32(bytes, io::crc32(body));
+    bytes += body;
     return bytes;
-}
-
-/** Write @p bytes to @p path through a temp file + rename, so readers never
- *  observe a half-written snapshot. */
-void
-writeFileAtomic(const std::string& path, const std::string& bytes)
-{
-    const std::string tmp = path + ".tmp";
-    {
-        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        if (!out) {
-            PRUNER_FATAL("cannot open " << tmp << " for writing");
-        }
-        out.write(bytes.data(),
-                  static_cast<std::streamsize>(bytes.size()));
-        if (!out) {
-            PRUNER_FATAL("write failure on " << tmp);
-        }
-    }
-    std::error_code ec;
-    fs::rename(tmp, path, ec);
-    if (ec) {
-        PRUNER_FATAL("cannot rename " << tmp << " to " << path << ": "
-                                      << ec.message());
-    }
 }
 
 /** File-name-safe form of a model key ("Pruner/PaCM/a100" ->
@@ -189,9 +204,13 @@ ArtifactDb::ArtifactDb(std::string root, size_t num_shards)
         std::error_code ec;
         fs::create_directories(fs::path(root_) / sub, ec);
         if (ec) {
-            PRUNER_FATAL("cannot create ArtifactDb directory "
-                         << (fs::path(root_) / sub).string() << ": "
-                         << ec.message());
+            PRUNER_WARN("cannot create ArtifactDb directory "
+                        << (fs::path(root_) / sub).string() << ": "
+                        << ec.message()
+                        << "; persistence disabled for this store");
+            writable_ = false;
+            ++io_failures_;
+            break;
         }
     }
     shards_.reserve(num_shards);
@@ -216,15 +235,27 @@ ArtifactDb::ArtifactDb(std::string root, size_t num_shards)
             existing.push_back(entry.path().string());
         }
     }
-    if (iter_ec) {
-        PRUNER_FATAL("cannot scan ArtifactDb records under " << root_
-                                                             << ": "
-                                                             << iter_ec.message());
+    if (iter_ec && writable_) {
+        PRUNER_WARN("cannot scan ArtifactDb records under "
+                    << root_ << ": " << iter_ec.message()
+                    << "; starting from an empty record index");
+        ++io_failures_;
     }
     std::sort(existing.begin(), existing.end());
     for (const auto& path : existing) {
         loadShardFile(path);
     }
+}
+
+StorageHealth
+ArtifactDb::storageHealth() const
+{
+    StorageHealth h;
+    h.quarantined_files = quarantined_files_.load(std::memory_order_relaxed);
+    h.torn_tails = torn_tails_.load(std::memory_order_relaxed);
+    h.corrupt_lines = corrupt_lines_.load(std::memory_order_relaxed);
+    h.io_failures = io_failures_.load(std::memory_order_relaxed);
+    return h;
 }
 
 ArtifactDb::Shard&
@@ -236,19 +267,58 @@ ArtifactDb::shardFor(uint64_t task_hash) const
 void
 ArtifactDb::loadShardFile(const std::string& path)
 {
-    std::ifstream in(path);
+    std::ifstream in(path, std::ios::binary);
     if (!in) {
         return; // fresh shard, no log yet
     }
-    std::string line;
-    while (std::getline(in, line)) {
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+
+    // A crash mid-append leaves a final line without its newline.
+    // Truncate the file itself, not just the in-memory view: the shard
+    // stays append-mode, and a later append must not concatenate a fresh
+    // record onto the torn fragment.
+    size_t usable = bytes.size();
+    if (usable > 0 && bytes[usable - 1] != '\n') {
+        const size_t last_nl = bytes.find_last_of('\n');
+        const size_t keep = last_nl == std::string::npos ? 0 : last_nl + 1;
+        PRUNER_WARN("record shard '"
+                    << path << "' has a torn final line ("
+                    << usable - keep
+                    << " bytes); truncating to the last complete line");
+        std::error_code ec;
+        fs::resize_file(path, keep, ec);
+        if (ec) {
+            PRUNER_WARN("cannot truncate '" << path << "': " << ec.message()
+                                            << "; ignoring the torn tail "
+                                               "in memory only");
+            ++io_failures_;
+        }
+        ++torn_tails_;
+        usable = keep;
+    }
+
+    size_t good = 0;
+    size_t bad = 0;
+    size_t pos = 0;
+    while (pos < usable) {
+        const size_t eol = bytes.find('\n', pos);
+        std::string line = bytes.substr(pos, eol - pos);
+        pos = eol + 1;
         if (line.empty()) {
+            continue;
+        }
+        if (io::checkLineCrc(line) == io::LineCrc::Mismatch) {
+            ++bad;
             continue;
         }
         RawRecordLine raw;
         if (!lineToRawRecord(line, &raw)) {
-            continue; // malformed / truncated tail: crash-tolerant skip
+            ++bad; // malformed line: crash-tolerant skip
+            continue;
         }
+        ++good;
         Shard& shard = shardFor(raw.task_hash);
         ++shard.lines;
         auto& per_task = shard.by_task[raw.task_hash];
@@ -258,11 +328,31 @@ ArtifactDb::loadShardFile(const std::string& path)
             per_task[sched_hash] = {std::move(raw.sch), raw.latency};
         }
     }
+    if (bad > 0) {
+        corrupt_lines_ += bad;
+        if (good == 0) {
+            // Nothing in the file is usable: move the whole shard aside so
+            // the next open does not re-scan the same poison.
+            const std::string moved = io::quarantineFile(path);
+            PRUNER_WARN("record shard '"
+                        << path << "' is wholly corrupt (" << bad
+                        << " line(s)); "
+                        << (moved.empty() ? "ignoring it"
+                                          : "quarantined to '" + moved + "'"));
+            ++quarantined_files_;
+        } else {
+            PRUNER_WARN("record shard '" << path << "': skipped " << bad
+                                         << " corrupt line(s)");
+        }
+    }
 }
 
 size_t
 ArtifactDb::appendRecords(const std::vector<MeasuredRecord>& records)
 {
+    if (!writable_) {
+        return 0; // the constructor already warned once
+    }
     // Group by shard first so each shard is locked (and its log opened)
     // at most once per batch.
     std::vector<std::vector<const MeasuredRecord*>> per_shard(
@@ -280,33 +370,52 @@ ArtifactDb::appendRecords(const std::vector<MeasuredRecord>& records)
         }
         Shard& shard = *shards_[s];
         std::lock_guard<std::mutex> lock(shard.mutex);
-        std::ofstream out;
+        // Stage the whole batch, append it in one durable write, and only
+        // then index: the in-memory dedup map must only claim records that
+        // actually reached the log (a later improvement would otherwise be
+        // deduped against a line that was never written).
+        std::string batch;
+        std::vector<std::pair<const MeasuredRecord*, uint64_t>> staged;
+        std::unordered_map<uint64_t, double> staged_best;
         for (const MeasuredRecord* record : per_shard[s]) {
-            auto& per_task = shard.by_task[record->task.hash()];
+            const uint64_t task_hash = record->task.hash();
             const uint64_t sched_hash = record->sch.hash();
-            const auto it = per_task.find(sched_hash);
-            if (it != per_task.end() &&
-                it->second.latency <= record->latency) {
+            double best = std::numeric_limits<double>::infinity();
+            auto& per_task = shard.by_task[task_hash];
+            if (const auto it = per_task.find(sched_hash);
+                it != per_task.end()) {
+                best = it->second.latency;
+            }
+            const uint64_t pair_key = hashCombine(task_hash, sched_hash);
+            if (const auto it = staged_best.find(pair_key);
+                it != staged_best.end()) {
+                best = std::min(best, it->second);
+            }
+            if (best <= record->latency) {
                 continue; // already stored at least as good: no log growth
             }
-            if (!out.is_open()) {
-                out.open(shard.path, std::ios::app);
-                if (!out) {
-                    PRUNER_FATAL("cannot open record shard " << shard.path
-                                                             << " for append");
-                }
-            }
-            // Flush before indexing: the in-memory dedup map must only
-            // claim records that actually reached the log (a later
-            // improvement would otherwise be deduped against a line that
-            // was never written).
-            out << recordToLine(*record) << "\n";
-            out.flush();
-            if (!out) {
-                PRUNER_FATAL("write failure on record shard "
-                             << shard.path);
-            }
-            per_task[sched_hash] = {record->sch, record->latency};
+            batch += io::withLineCrc(recordToLine(*record));
+            batch.push_back('\n');
+            staged_best[pair_key] = record->latency;
+            staged.emplace_back(record, sched_hash);
+        }
+        if (staged.empty()) {
+            continue;
+        }
+        if (!io::appendFile(shard.path, batch)) {
+            // A failed append (ENOSPC, torn write, …) drops this batch
+            // from persistence but never from the run: the records stay in
+            // the live TuningRecordDb and tuning continues. A torn tail
+            // left by a partial append is truncated by the next load.
+            PRUNER_WARN("record append to '"
+                        << shard.path << "' failed; " << staged.size()
+                        << " record(s) not persisted (tuning continues)");
+            ++io_failures_;
+            continue;
+        }
+        for (const auto& [record, sched_hash] : staged) {
+            shard.by_task[record->task.hash()][sched_hash] = {
+                record->sch, record->latency};
             ++shard.lines;
             ++written;
         }
@@ -366,18 +475,27 @@ ArtifactDb::bestSchedule(const SubgraphTask& task) const
 void
 ArtifactDb::saveMeasureCache(const MeasureCache& cache)
 {
+    if (!writable_) {
+        return;
+    }
     const std::string path =
         (fs::path(root_) / "measure_cache.bin").string();
     std::lock_guard<std::mutex> lock(snapshot_mutex_);
     // Merge with whatever is already persisted so concurrent sessions
     // accumulate instead of clobbering each other; the live cache wins on
-    // conflicting pairs (its value is fresher).
+    // conflicting pairs (its value is fresher). A corrupt on-disk
+    // snapshot contributes nothing to the merge and is overwritten by the
+    // fresh save (quarantining is the loader's job).
     SnapshotMap merged;
     readSnapshotFile(path, &merged);
     for (const auto& e : cache.exportEntries()) {
         merged[e.task_hash][e.sched_hash] = e.latency;
     }
-    writeFileAtomic(path, encodeSnapshot(merged));
+    if (!io::atomicWriteFile(path, encodeSnapshot(merged))) {
+        PRUNER_WARN("cannot persist measure-cache snapshot to '"
+                    << path << "'; tuning continues without it");
+        ++io_failures_;
+    }
 }
 
 size_t
@@ -392,7 +510,16 @@ ArtifactDb::loadMeasureCache(MeasureCache* cache) const
     SnapshotMap map;
     {
         std::lock_guard<std::mutex> lock(snapshot_mutex_);
-        readSnapshotFile(path, &map);
+        if (readSnapshotFile(path, &map) == SnapshotRead::Corrupt) {
+            const std::string moved = io::quarantineFile(path);
+            PRUNER_WARN("measure-cache snapshot '"
+                        << path << "' is corrupt; "
+                        << (moved.empty() ? "ignoring it"
+                                          : "quarantined to '" + moved + "'")
+                        << " — starting with an empty cache");
+            ++quarantined_files_;
+            return 0;
+        }
     }
     // Insert in canonical sorted order so the restored LRU state is
     // deterministic. A snapshot larger than the cache keeps its canonical
@@ -422,27 +549,57 @@ void
 ArtifactDb::saveModelParams(const std::string& key,
                             const std::vector<double>& params)
 {
+    if (!writable_) {
+        return;
+    }
     // saveParams writes text; route it through the same tmp+rename dance
-    // by writing to a sibling and renaming.
+    // by writing to a sibling and renaming. A checkpoint that cannot be
+    // written is a warning, not a crash — the next run simply trains from
+    // scratch.
     const std::string path = modelPath(key);
     const std::string tmp = path + ".tmp";
-    saveParams(tmp, params);
+    try {
+        saveParams(tmp, params);
+    } catch (const std::exception& e) {
+        PRUNER_WARN("cannot write model checkpoint '" << tmp
+                                                      << "': " << e.what());
+        ++io_failures_;
+        std::error_code ec;
+        fs::remove(tmp, ec);
+        return;
+    }
     std::error_code ec;
     fs::rename(tmp, path, ec);
     if (ec) {
-        PRUNER_FATAL("cannot rename " << tmp << " to " << path << ": "
-                                      << ec.message());
+        PRUNER_WARN("cannot rename " << tmp << " to " << path << ": "
+                                     << ec.message());
+        ++io_failures_;
+        fs::remove(tmp, ec);
     }
 }
 
 std::optional<std::vector<double>>
 ArtifactDb::tryLoadModelParams(const std::string& key) const
 {
+    const std::string path = modelPath(key);
     // std::exception, not just FatalError: a corrupt header can make
     // loadParams throw length_error/bad_alloc from the size allocation.
     try {
-        return loadParams(modelPath(key));
-    } catch (const std::exception&) {
+        return loadParams(path);
+    } catch (const std::exception& e) {
+        std::error_code ec;
+        if (fs::exists(path, ec)) {
+            // Present but unparseable: quarantine so the next load does
+            // not trip over the same poison.
+            const std::string moved = io::quarantineFile(path);
+            PRUNER_WARN("model checkpoint '"
+                        << path << "' is corrupt (" << e.what() << "); "
+                        << (moved.empty()
+                                ? "ignoring it"
+                                : "quarantined to '" + moved + "'")
+                        << " — the model trains from scratch");
+            ++quarantined_files_;
+        }
         return std::nullopt;
     }
 }
@@ -472,10 +629,24 @@ ArtifactDb::warmStart(const std::vector<SubgraphTask>& known_tasks,
             const bool all_finite =
                 std::all_of(params->begin(), params->end(),
                             [](double v) { return std::isfinite(v); });
-            if (all_finite &&
-                params->size() == model->getParams().size()) {
+            const size_t expected = model->getParams().size();
+            if (all_finite && params->size() == expected) {
                 model->setParams(*params);
                 stats.model_restored = true;
+            } else {
+                // Never install garbage weights (and never silently zero
+                // them either): the checkpoint parsed but its content is
+                // unusable, so say so and train from scratch.
+                PRUNER_WARN("model checkpoint '"
+                            << modelPath(model_key) << "' rejected ("
+                            << (all_finite
+                                    ? "parameter count " +
+                                          std::to_string(params->size()) +
+                                          " != expected " +
+                                          std::to_string(expected)
+                                    : std::string("non-finite parameters"))
+                            << "); the model trains from scratch");
+                ++corrupt_lines_;
             }
         }
     }

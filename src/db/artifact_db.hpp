@@ -21,14 +21,21 @@
  *   <root>/models/<key>.params      cost-model weight checkpoints through
  *                                   the nn/serialize flat-vector format
  *
- * The record logs are crash-tolerant: loading skips malformed or truncated
- * lines, so a log cut mid-write loses at most its unfinished tail. Snapshot
- * writes go to a temp file and are renamed into place. All queries and
- * writes are thread-safe; record state is sharded per task-hash so the
- * existing ThreadPool workers (and multiple tuning sessions sharing one
- * ArtifactDb) contend only when touching the same shard.
+ * Storage faults never terminate a tuning run. Record lines are CRC-framed
+ * (io::withLineCrc); loading skips lines whose CRC mismatches, physically
+ * truncates a torn final line (so later appends cannot concatenate onto
+ * it), and tolerates pre-CRC logs. Snapshot writes go through
+ * io::atomicWriteFile (tmp + rename, bounded retries); corrupt snapshots
+ * and model checkpoints are quarantined to "<path>.corrupt" and skipped.
+ * Every degradation warns once and bumps a StorageHealth counter; an
+ * unwritable root disables persistence for the instance instead of
+ * throwing. All queries and writes are thread-safe; record state is
+ * sharded per task-hash so the existing ThreadPool workers (and multiple
+ * tuning sessions sharing one ArtifactDb) contend only when touching the
+ * same shard.
  */
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -59,6 +66,16 @@ struct WarmStartStats
     bool model_restored = false;  ///< checkpoint applied to the cost model
 };
 
+/** Cumulative storage-fault accounting for one ArtifactDb instance (see
+ *  ArtifactDb::storageHealth). All zeros on a healthy store. */
+struct StorageHealth
+{
+    size_t quarantined_files = 0; ///< corrupt artifacts moved to *.corrupt
+    size_t torn_tails = 0;        ///< torn final lines truncated on load
+    size_t corrupt_lines = 0;     ///< CRC-mismatched / malformed lines skipped
+    size_t io_failures = 0;       ///< failed writes degraded to warnings
+};
+
 /**
  * The persistent tuning-artifact store. Open one per experiment directory;
  * the instance is safe to share across threads and tuning sessions.
@@ -69,7 +86,9 @@ class ArtifactDb
     /** Opens (and creates if missing) the store rooted at @p root, loading
      *  the record index from any existing shard logs. @p num_shards only
      *  applies to newly written records; logs from stores with a different
-     *  shard count still load (sharding is a layout detail, not a key). */
+     *  shard count still load (sharding is a layout detail, not a key).
+     *  An unwritable root degrades to a disabled store (warn + counter)
+     *  instead of throwing — the tuner then runs without persistence. */
     explicit ArtifactDb(std::string root, size_t num_shards = kDefaultShards);
 
     ArtifactDb(const ArtifactDb&) = delete;
@@ -77,6 +96,13 @@ class ArtifactDb
 
     const std::string& root() const { return root_; }
     size_t numShards() const { return shards_.size(); }
+
+    /** False when the root directories could not be created; every write
+     *  is then a warned no-op and every read serves the empty store. */
+    bool writable() const { return writable_; }
+
+    /** Storage-fault counters accumulated by this instance. */
+    StorageHealth storageHealth() const;
 
     // ------------------------------------------------------------ records
 
@@ -109,7 +135,9 @@ class ArtifactDb
 
     /** Load the snapshot (if any) into @p cache via insert(); returns the
      *  number of entries restored. Missing or unreadable snapshots load
-     *  nothing; a truncated snapshot loads its intact prefix. */
+     *  nothing; a legacy (v1, pre-CRC) truncated snapshot loads its intact
+     *  prefix; a CRC-framed snapshot that fails its checksum is
+     *  quarantined and loads nothing. */
     size_t loadMeasureCache(MeasureCache* cache) const;
 
     // ------------------------------------------------- model checkpoints
@@ -120,7 +148,8 @@ class ArtifactDb
                          const std::vector<double>& params);
 
     /** Load the checkpoint stored under @p key; nullopt if missing or
-     *  malformed. */
+     *  malformed. A present-but-malformed checkpoint is quarantined to
+     *  "<path>.corrupt" (warn + counter) so the next load starts cold. */
     std::optional<std::vector<double>>
     tryLoadModelParams(const std::string& key) const;
 
@@ -170,6 +199,13 @@ class ArtifactDb
     std::vector<std::unique_ptr<Shard>> shards_;
     /** Serializes snapshot read-merge-write cycles within this process. */
     mutable std::mutex snapshot_mutex_;
+    bool writable_ = true;
+    /** Mutable: loads are const but still account the faults they survive
+     *  (same convention as ArtifactSession's counters). */
+    mutable std::atomic<size_t> quarantined_files_{0};
+    mutable std::atomic<size_t> torn_tails_{0};
+    mutable std::atomic<size_t> corrupt_lines_{0};
+    mutable std::atomic<size_t> io_failures_{0};
 };
 
 } // namespace pruner

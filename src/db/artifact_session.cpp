@@ -37,6 +37,32 @@ ArtifactSession::bindMetrics(obs::MetricsRegistry* metrics)
         metrics->counter("db_warm_cache_entries_total");
     counters_.records_appended =
         metrics->counter("db_records_appended_total");
+    // Storage health is execution-dependent (it reflects how the disk
+    // behaved, not the tuning trajectory) and exported as absolute gauges
+    // so a shared store never double-counts across sessions.
+    using obs::MetricChannel;
+    counters_.quarantined_files = metrics->gauge(
+        "db_quarantined_files", MetricChannel::Execution);
+    counters_.torn_tails =
+        metrics->gauge("db_torn_tails", MetricChannel::Execution);
+    counters_.corrupt_lines =
+        metrics->gauge("db_corrupt_lines", MetricChannel::Execution);
+    counters_.io_failures =
+        metrics->gauge("db_io_failures", MetricChannel::Execution);
+    exportHealth();
+}
+
+void
+ArtifactSession::exportHealth() const
+{
+    if (db_ == nullptr || counters_.quarantined_files == nullptr) {
+        return;
+    }
+    const StorageHealth h = db_->storageHealth();
+    counters_.quarantined_files->set(static_cast<int64_t>(h.quarantined_files));
+    counters_.torn_tails->set(static_cast<int64_t>(h.torn_tails));
+    counters_.corrupt_lines->set(static_cast<int64_t>(h.corrupt_lines));
+    counters_.io_failures->set(static_cast<int64_t>(h.io_failures));
 }
 
 WarmStartStats
@@ -56,6 +82,7 @@ ArtifactSession::warmStart(const Workload& workload, TuningRecordDb* records,
         db_->warmStart(tasks, records, cache, model, model_key);
     obs::counterAdd(counters_.warm_records, stats.records_replayed);
     obs::counterAdd(counters_.warm_cache_entries, stats.cache_entries);
+    exportHealth();
     return stats;
 }
 
@@ -94,6 +121,7 @@ ArtifactSession::finish(const MeasureCache* cache, CostModel* model,
     if (model != nullptr) {
         db_->saveModelParams(model_key, model->getParams());
     }
+    exportHealth();
 }
 
 } // namespace pruner

@@ -24,6 +24,7 @@ namespace pruner {
 
 namespace obs {
 class Counter;
+class Gauge;
 class MetricsRegistry;
 } // namespace obs
 
@@ -47,7 +48,9 @@ class ArtifactSession
     ArtifactDb* db() const { return db_; }
 
     /** Bind db_* counters (warm records/cache entries replayed, records
-     *  appended) to @p metrics. nullptr unbinds. Pure accounting. */
+     *  appended) and the storage-health gauges (quarantined files, torn
+     *  tails, corrupt lines, IO failures — Execution channel) to
+     *  @p metrics. nullptr unbinds. Pure accounting. */
     void bindMetrics(obs::MetricsRegistry* metrics);
 
     /** Warm-start the run state from the store (see ArtifactDb::warmStart);
@@ -79,7 +82,16 @@ class ArtifactSession
         obs::Counter* warm_records = nullptr;
         obs::Counter* warm_cache_entries = nullptr;
         obs::Counter* records_appended = nullptr;
+        /** Absolute StorageHealth values (gauges, so re-exporting the
+         *  same shared store twice never double-counts). */
+        obs::Gauge* quarantined_files = nullptr;
+        obs::Gauge* torn_tails = nullptr;
+        obs::Gauge* corrupt_lines = nullptr;
+        obs::Gauge* io_failures = nullptr;
     };
+
+    /** Refresh the storage-health gauges from db_->storageHealth(). */
+    void exportHealth() const;
 
     ArtifactDb* db_ = nullptr;
     std::unique_ptr<ArtifactDb> owned_;

@@ -387,6 +387,24 @@ MetricsRegistry::mergeInto(MetricsRegistry& target) const
     }
 }
 
+void
+MetricsRegistry::restore(const MetricsSnapshot& snap)
+{
+    for (const auto& c : snap.counters) {
+        counter(c.name, c.channel)->add(c.value);
+    }
+    for (const auto& g : snap.gauges) {
+        gauge(g.name, g.channel)->set(g.value);
+    }
+    for (const auto& h : snap.histograms) {
+        histogram(h.name, h.bounds, h.channel)->absorb(h.bucket_counts,
+                                                       h.sum);
+    }
+    for (const auto& l : snap.labels) {
+        setLabel(l.name, l.value, l.channel);
+    }
+}
+
 std::string
 MetricsRegistry::renderText(bool deterministic_only) const
 {

@@ -215,6 +215,12 @@ class MetricsRegistry
      *  registry accumulate into a long-lived one (serve daemon). */
     void mergeInto(MetricsRegistry& target) const;
 
+    /** Fold a saved snapshot into this registry (checkpoint resume):
+     *  counters and histograms add onto whatever is already registered,
+     *  gauges and labels overwrite. Restoring into a fresh registry
+     *  reproduces the snapshot exactly. */
+    void restore(const MetricsSnapshot& snap);
+
     /** Convenience: snapshot().renderText(...). */
     std::string renderText(bool deterministic_only = false) const;
 

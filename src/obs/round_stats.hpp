@@ -81,6 +81,19 @@ class RoundStatsCollector
     /** Move the collected rounds out (call once, at the end of tune()). */
     std::vector<RoundStats> take() { return std::move(rounds_); }
 
+    /** Rounds collected so far (checkpoint snapshots copy these). */
+    const std::vector<RoundStats>& rounds() const { return rounds_; }
+
+    /** Reload rounds collected before a checkpoint (resume path; must
+     *  run before the first beginRound of the resumed run). */
+    void
+    restore(std::vector<RoundStats> rounds)
+    {
+        if (enabled_) {
+            rounds_ = std::move(rounds);
+        }
+    }
+
   private:
     struct Baseline
     {

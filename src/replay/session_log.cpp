@@ -4,8 +4,10 @@
 #include <bit>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 
+#include "support/io.hpp"
 #include "support/logging.hpp"
 #include "support/rng.hpp"
 
@@ -174,28 +176,64 @@ SessionLog::load(const std::string& path)
     if (!in) {
         PRUNER_FATAL("session log: cannot open '" << path << "'");
     }
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    return parse(buf.str());
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+
+    // Only complete lines are trustworthy: a crash mid-write leaves a
+    // final line without its newline. Drop it rather than parse garbage;
+    // parse() still rejects the log if the surviving prefix has no
+    // terminal end event.
+    size_t usable = bytes.size();
+    if (usable > 0 && bytes[usable - 1] != '\n') {
+        const size_t last_nl = bytes.find_last_of('\n');
+        const size_t keep = last_nl == std::string::npos ? 0 : last_nl + 1;
+        PRUNER_WARN("session log '" << path << "' has a torn final line ("
+                                    << usable - keep
+                                    << " bytes); ignoring it");
+        usable = keep;
+    }
+
+    // Verify and strip per-line CRC framing (lines without a suffix are
+    // pre-CRC artifacts, accepted unchanged). The first CRC mismatch
+    // truncates the log there: everything after a corrupt line is
+    // untrusted, and replay of a half-corrupt session would diverge
+    // anyway.
+    std::string text;
+    text.reserve(usable);
+    size_t pos = 0;
+    size_t line_no = 0;
+    while (pos < usable) {
+        const size_t eol = bytes.find('\n', pos);
+        std::string line = bytes.substr(pos, eol - pos);
+        pos = eol + 1;
+        ++line_no;
+        if (!line.empty() && line.back() == '\r') {
+            line.pop_back();
+        }
+        if (io::checkLineCrc(line) == io::LineCrc::Mismatch) {
+            PRUNER_WARN("session log '" << path << "': CRC mismatch on line "
+                                        << line_no
+                                        << "; truncating the log there");
+            break;
+        }
+        text += line;
+        text.push_back('\n');
+    }
+    return parse(text);
 }
 
 void
 SessionLog::save(const std::string& path) const
 {
-    const std::string tmp = path + ".tmp";
-    {
-        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        if (!out) {
-            PRUNER_FATAL("session log: cannot write '" << tmp << "'");
-        }
-        out << serialize();
-        if (!out.flush()) {
-            PRUNER_FATAL("session log: write to '" << tmp << "' failed");
-        }
+    std::string out = io::withLineCrc(versionLine());
+    out.push_back('\n');
+    for (const auto& event : events_) {
+        out += io::withLineCrc(event.line);
+        out.push_back('\n');
     }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        PRUNER_FATAL("session log: cannot rename '" << tmp << "' to '"
-                                                    << path << "'");
+    if (!io::atomicWriteFile(path, out)) {
+        PRUNER_FATAL("session log: cannot write '" << path << "'");
     }
 }
 

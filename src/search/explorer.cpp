@@ -1,8 +1,11 @@
 #include "search/explorer.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdio>
 #include <limits>
+#include <sstream>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -15,6 +18,103 @@ namespace pruner {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Checkpoint-blob helpers: space-separated printable tokens, doubles as
+// 16-hex IEEE-754 bit patterns (bit-exact round trip, the session-log
+// convention).
+
+std::string
+hexU64(uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::string
+hexDouble(double v)
+{
+    return hexU64(std::bit_cast<uint64_t>(v));
+}
+
+/** Cursor-based reader over a serializeState() blob. */
+class BlobReader
+{
+  public:
+    explicit BlobReader(const std::string& blob) : blob_(blob) {}
+
+    /** Next space-delimited token; FatalError at end of blob. */
+    std::string
+    token()
+    {
+        while (pos_ < blob_.size() && blob_[pos_] == ' ') {
+            ++pos_;
+        }
+        PRUNER_CHECK_MSG(pos_ < blob_.size(),
+                         "truncated explorer state blob");
+        const size_t start = pos_;
+        while (pos_ < blob_.size() && blob_[pos_] != ' ') {
+            ++pos_;
+        }
+        return blob_.substr(start, pos_ - start);
+    }
+
+    uint64_t
+    u64()
+    {
+        const std::string t = token();
+        PRUNER_CHECK_MSG(!t.empty() && t.size() <= 16,
+                         "bad u64 token in explorer state blob");
+        uint64_t v = 0;
+        for (const char c : t) {
+            int digit;
+            if (c >= '0' && c <= '9') {
+                digit = c - '0';
+            } else if (c >= 'a' && c <= 'f') {
+                digit = c - 'a' + 10;
+            } else {
+                PRUNER_FATAL("bad hex digit in explorer state blob");
+            }
+            v = (v << 4) | static_cast<uint64_t>(digit);
+        }
+        return v;
+    }
+
+    double
+    f64()
+    {
+        return std::bit_cast<double>(u64());
+    }
+
+    /** Exactly @p n raw bytes (after one separating space). */
+    std::string
+    bytes(size_t n)
+    {
+        PRUNER_CHECK_MSG(pos_ < blob_.size() && blob_[pos_] == ' ',
+                         "truncated explorer state blob");
+        ++pos_;
+        PRUNER_CHECK_MSG(pos_ + n <= blob_.size(),
+                         "truncated explorer state blob");
+        const size_t start = pos_;
+        pos_ += n;
+        return blob_.substr(start, n);
+    }
+
+    bool
+    atEnd()
+    {
+        while (pos_ < blob_.size() && blob_[pos_] == ' ') {
+            ++pos_;
+        }
+        return pos_ >= blob_.size();
+    }
+
+  private:
+    const std::string& blob_;
+    size_t pos_ = 0;
+};
+
 } // namespace
 
 // ---------------------------------------------------------------------------
@@ -235,6 +335,45 @@ class BayesExplorer final : public Explorer
     clone() const override
     {
         return std::make_unique<BayesExplorer>(*this);
+    }
+
+    std::string
+    serializeState() const override
+    {
+        std::vector<std::pair<uint64_t, const Incumbent*>> sorted;
+        sorted.reserve(incumbents_.size());
+        for (const auto& [hash, inc] : incumbents_) {
+            sorted.emplace_back(hash, &inc);
+        }
+        std::sort(sorted.begin(), sorted.end());
+        std::ostringstream out;
+        out << "bayes1 " << hexU64(sorted.size());
+        for (const auto& [hash, inc] : sorted) {
+            const std::string sch = inc->sch.serialize();
+            out << ' ' << hexU64(hash) << ' ' << hexDouble(inc->latency)
+                << ' ' << hexU64(sch.size()) << ' ' << sch;
+        }
+        return out.str();
+    }
+
+    void
+    restoreState(const std::string& blob) override
+    {
+        incumbents_.clear();
+        if (blob.empty()) {
+            return;
+        }
+        BlobReader in(blob);
+        PRUNER_CHECK_MSG(in.token() == "bayes1",
+                         "not a bayes explorer state blob");
+        const uint64_t n = in.u64();
+        for (uint64_t i = 0; i < n; ++i) {
+            const uint64_t hash = in.u64();
+            Incumbent inc;
+            inc.latency = in.f64();
+            inc.sch = Schedule::deserialize(in.bytes(in.u64()));
+            incumbents_.emplace(hash, std::move(inc));
+        }
     }
 
   protected:
@@ -518,6 +657,53 @@ class GbtExplorer final : public Explorer
         return std::make_unique<GbtExplorer>(*this);
     }
 
+    std::string
+    serializeState() const override
+    {
+        // The fitted trees are a deterministic pure function of the
+        // training window, so only the window persists; restore marks the
+        // model dirty and the next propose refits to identical trees.
+        std::ostringstream out;
+        out << "gbt1 " << hexU64(targets_.size());
+        for (const double t : targets_) {
+            out << ' ' << hexDouble(t);
+        }
+        for (size_t r = 0; r < features_.rows(); ++r) {
+            const double* row = features_.row(r);
+            for (size_t c = 0; c < features_.cols(); ++c) {
+                out << ' ' << hexDouble(row[c]);
+            }
+        }
+        return out.str();
+    }
+
+    void
+    restoreState(const std::string& blob) override
+    {
+        features_ = Matrix(0, kGbtFeatureDim);
+        targets_.clear();
+        dirty_ = false;
+        if (blob.empty()) {
+            return;
+        }
+        BlobReader in(blob);
+        PRUNER_CHECK_MSG(in.token() == "gbt1",
+                         "not a gbt explorer state blob");
+        const uint64_t n = in.u64();
+        targets_.reserve(n);
+        for (uint64_t i = 0; i < n; ++i) {
+            targets_.push_back(in.f64());
+        }
+        features_.resize(n, kGbtFeatureDim);
+        for (uint64_t r = 0; r < n; ++r) {
+            double* row = features_.row(r);
+            for (size_t c = 0; c < kGbtFeatureDim; ++c) {
+                row[c] = in.f64();
+            }
+        }
+        dirty_ = !targets_.empty();
+    }
+
   protected:
     std::vector<ScoredSchedule>
     propose(ExplorerContext& ctx) override
@@ -649,6 +835,64 @@ class PortfolioExplorer final : public Explorer
     clone() const override
     {
         return std::make_unique<PortfolioExplorer>(*this);
+    }
+
+    std::string
+    serializeState() const override
+    {
+        std::vector<std::pair<uint64_t, const TaskState*>> sorted;
+        sorted.reserve(state_.size());
+        for (const auto& [hash, st] : state_) {
+            sorted.emplace_back(hash, &st);
+        }
+        std::sort(sorted.begin(), sorted.end());
+        std::ostringstream out;
+        out << "portfolio1 " << hexU64(arms_.size()) << ' '
+            << hexU64(sorted.size());
+        for (const auto& [hash, st] : sorted) {
+            out << ' ' << hexU64(hash) << ' ' << hexU64(st->calls) << ' '
+                << hexU64(st->last_arm) << ' ' << hexU64(st->winner);
+            for (size_t a = 0; a < arms_.size(); ++a) {
+                out << ' '
+                    << hexDouble(a < st->best.size() ? st->best[a] : kInf);
+            }
+        }
+        // Nested arm blobs, length-prefixed (they contain spaces).
+        for (const auto& arm : arms_) {
+            const std::string nested = arm->serializeState();
+            out << ' ' << hexU64(nested.size()) << ' ' << nested;
+        }
+        return out.str();
+    }
+
+    void
+    restoreState(const std::string& blob) override
+    {
+        state_.clear();
+        if (blob.empty()) {
+            return;
+        }
+        BlobReader in(blob);
+        PRUNER_CHECK_MSG(in.token() == "portfolio1",
+                         "not a portfolio explorer state blob");
+        PRUNER_CHECK_MSG(in.u64() == arms_.size(),
+                         "portfolio state blob has a different arm count");
+        const uint64_t n = in.u64();
+        for (uint64_t i = 0; i < n; ++i) {
+            const uint64_t hash = in.u64();
+            TaskState st;
+            st.calls = static_cast<size_t>(in.u64());
+            st.last_arm = static_cast<size_t>(in.u64());
+            st.winner = static_cast<size_t>(in.u64());
+            st.best.reserve(arms_.size());
+            for (size_t a = 0; a < arms_.size(); ++a) {
+                st.best.push_back(in.f64());
+            }
+            state_.emplace(hash, std::move(st));
+        }
+        for (const auto& arm : arms_) {
+            arm->restoreState(in.bytes(in.u64()));
+        }
     }
 
     void

@@ -137,6 +137,23 @@ class Explorer
      *  deterministic trajectory of the original). */
     virtual std::unique_ptr<Explorer> clone() const = 0;
 
+    /** Serialize all learned state into an opaque printable blob (no
+     *  newlines; doubles as IEEE-754 bit patterns) for checkpointing.
+     *  Stateless explorers return "". The encoding is canonical: two
+     *  explorers with identical learned state serialize identically. */
+    virtual std::string serializeState() const { return ""; }
+
+    /** Restore a blob produced by serializeState() of an explorer built
+     *  from the same spec; subsequent proposals match the original's.
+     *  @throws FatalError on a malformed blob. */
+    virtual void restoreState(const std::string& blob)
+    {
+        if (!blob.empty()) {
+            PRUNER_FATAL("explorer '" << key()
+                                      << "' cannot restore state: " << blob);
+        }
+    }
+
     /** Bind the explorer_<key>_*_total counters to @p metrics (nullptr
      *  unbinds). Pure accounting — never changes proposals. */
     virtual void bindMetrics(obs::MetricsRegistry* metrics)

@@ -68,6 +68,27 @@ MeasureCache::exportEntries() const
     return out;
 }
 
+void
+MeasureCache::restoreEntries(const std::vector<MeasureCacheEntry>& entries)
+{
+    if (capacity_ == 0) {
+        return;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    lru_.clear();
+    index_.clear();
+    // Entries arrive LRU-first; push_front in order rebuilds the chain
+    // (front = MRU). When over capacity, keep the most recent ones.
+    const size_t skip =
+        entries.size() > capacity_ ? entries.size() - capacity_ : 0;
+    for (size_t i = skip; i < entries.size(); ++i) {
+        const MeasureCacheEntry& e = entries[i];
+        const uint64_t key = combinedKey(e.task_hash, e.sched_hash);
+        lru_.push_front({key, e.task_hash, e.sched_hash, e.latency});
+        index_[key] = lru_.begin();
+    }
+}
+
 size_t
 MeasureCache::size() const
 {

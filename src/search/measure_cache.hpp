@@ -59,6 +59,13 @@ class MeasureCache
      *  ArtifactDb::loadMeasureCache. */
     std::vector<MeasureCacheEntry> exportEntries() const;
 
+    /** Replace the cache contents with @p entries given least recently
+     *  used first (the exportEntries order), reproducing the exact
+     *  recency chain of the exporting cache. Entries beyond capacity are
+     *  dropped from the front (the LRU end), as insertion would. Hit and
+     *  miss counters are left unchanged. */
+    void restoreEntries(const std::vector<MeasureCacheEntry>& entries);
+
     static constexpr size_t kDefaultCapacity = 1 << 16;
 
   private:

@@ -1,5 +1,6 @@
 #include "search/measurer.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <thread>
@@ -54,6 +55,28 @@ Measurer::nextAttempt(uint64_t task_hash, uint64_t sched_hash)
         return 0;
     }
     return fault_attempts_[hashCombine(task_hash, sched_hash)]++;
+}
+
+MeasurerState
+Measurer::exportState() const
+{
+    MeasurerState state;
+    state.rng = rng_.state();
+    state.batch_index = batch_index_;
+    state.fault_attempts.assign(fault_attempts_.begin(),
+                                fault_attempts_.end());
+    std::sort(state.fault_attempts.begin(), state.fault_attempts.end());
+    return state;
+}
+
+void
+Measurer::restoreState(const MeasurerState& state)
+{
+    rng_.setState(state.rng);
+    batch_index_ = state.batch_index;
+    fault_attempts_.clear();
+    fault_attempts_.insert(state.fault_attempts.begin(),
+                           state.fault_attempts.end());
 }
 
 std::vector<double>

@@ -37,6 +37,18 @@ struct RoundBatch
     const std::vector<Schedule>* candidates = nullptr;
 };
 
+/** Serializable mutable Measurer state (for checkpoint/resume): the
+ *  serial-path noise stream, the per-batch seed cursor, and the fault
+ *  plan's per-pair attempt counts. Everything else the Measurer holds is
+ *  construction-fixed or borrowed wiring. */
+struct MeasurerState
+{
+    RngState rng;
+    uint64_t batch_index = 0;
+    /** (pair key, attempts), sorted by key for a canonical encoding. */
+    std::vector<std::pair<uint64_t, uint32_t>> fault_attempts;
+};
+
 /** Measurement executor for one device. */
 class Measurer
 {
@@ -173,6 +185,14 @@ class Measurer
         return injectedLaunchFailures() + injectedTimeouts() +
                injectedFlaky();
     }
+    /** Snapshot the mutable measurement state for a checkpoint. */
+    MeasurerState exportState() const;
+
+    /** Restore a state captured by a measurer constructed with the same
+     *  (device, seed, constants); subsequent batches draw the exact same
+     *  noise and fault streams as the original. */
+    void restoreState(const MeasurerState& state);
+
     size_t workers() const { return pool_ != nullptr ? pool_->size() : 1; }
     /** Divisor of the simulated compile overlap (see setClockLanes). */
     size_t clockLanes() const

@@ -11,6 +11,7 @@
 #include "obs/metrics.hpp"
 #include "obs/stage_histograms.hpp"
 #include "obs/trace.hpp"
+#include "replay/checkpoint.hpp"
 #include "replay/session_recorder.hpp"
 #include "search/explorer.hpp"
 #include "support/logging.hpp"
@@ -201,15 +202,35 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
     measurer.setMetrics(&run_metrics);
     measurer.setTracer(tracer);
     measurer.setFaultPlan(opts.fault_plan);
-    measurer.setRecorder(opts.recorder);
+    // Crash-safe checkpoint/resume (see replay/checkpoint.hpp): the
+    // fingerprint binds a checkpoint to this exact run identity, and a
+    // missing/corrupt/incompatible file degrades to a cold start.
+    const uint64_t ckpt_fp = checkpointFingerprint(
+        replayFactory(), replayConfig(), device_.name, workload, opts);
+    std::optional<TuningCheckpoint> ckpt;
+    if (!opts.resume_from.empty()) {
+        ckpt = loadCheckpoint(opts.resume_from, ckpt_fp, &run_metrics);
+    }
+    const bool resumed = ckpt.has_value();
+    SessionRecorder* recorder = opts.recorder;
+    if (resumed && recorder != nullptr) {
+        PRUNER_WARN("session recorder disabled for the resumed run: the "
+                    "log would only cover the rounds after the checkpoint");
+        recorder = nullptr;
+    }
+    measurer.setRecorder(recorder);
     // Pin the compile-overlap divisor so a recorded session replays with
-    // the same simulated clock at any real worker count.
-    measurer.setClockLanes(static_cast<size_t>(
-        opts.clock_lanes > 0 ? opts.clock_lanes
-                             : std::max(opts.measure_workers, 1)));
-    if (opts.recorder != nullptr) {
-        opts.recorder->beginSession(replayFactory(), replayConfig(),
-                                    device_.name, workload, opts);
+    // the same simulated clock at any real worker count; a resumed run
+    // pins the writing run's divisor the same way.
+    measurer.setClockLanes(
+        resumed ? static_cast<size_t>(ckpt->clock_lanes)
+                : static_cast<size_t>(opts.clock_lanes > 0
+                                          ? opts.clock_lanes
+                                          : std::max(opts.measure_workers,
+                                                     1)));
+    if (recorder != nullptr) {
+        recorder->beginSession(replayFactory(), replayConfig(),
+                               device_.name, workload, opts);
     }
     EvoPolicyConfig run_config = config_;
     run_config.evolution.score_pool = env.pool();
@@ -238,7 +259,9 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
     artifacts.bindMetrics(&run_metrics);
     const std::string model_key =
         artifactModelKey(name_, model_->name(), device_.name);
-    if (artifacts.enabled()) {
+    // A resumed run restores db/cache/model from the checkpoint instead:
+    // warm-starting on top would double-apply the stored records.
+    if (artifacts.enabled() && !resumed) {
         obs::ScopedSpan io_span(tracer, obs::TraceTrack::Io, &clock,
                                 "warm_start", "io");
         const WarmStartStats warm = artifacts.warmStart(
@@ -254,6 +277,27 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
         }
     }
 
+    // Resume before the async trainer exists: the back clone constructed
+    // below must inherit the restored weights and training-RNG lineage.
+    int start_round = 0;
+    if (resumed) {
+        CheckpointTargets targets;
+        targets.clock = &clock;
+        targets.rng = &rng;
+        targets.measurer = &measurer;
+        targets.scheduler = &scheduler;
+        targets.db = &db;
+        targets.cache = opts.measure_cache ? env.cacheMut() : nullptr;
+        targets.explorer = explorer.get();
+        targets.model = model_.get();
+        targets.metrics = &run_metrics;
+        targets.round_stats = &round_stats;
+        targets.curve = &result.curve;
+        start_round = applyCheckpoint(*ckpt, workload, targets);
+        PRUNER_INFO("resumed from '" << opts.resume_from << "' at round "
+                                     << start_round);
+    }
+
     // Async online training: the update runs on the verify pool between
     // rounds and installs before the next round's first prediction. The
     // evolution loop predicts throughout its draft, so the overlap window
@@ -266,7 +310,7 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
         async_trainer->bindObs(tracer, &clock, &run_metrics);
     }
 
-    for (int round = 0; round < opts.rounds; ++round) {
+    for (int round = start_round; round < opts.rounds; ++round) {
         obs::ScopedSpan round_span(tracer, obs::TraceTrack::Main, &clock,
                                    "round", "sched");
         round_span.argU64("round", static_cast<uint64_t>(round));
@@ -289,12 +333,11 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
         if (async_trainer != nullptr) {
             async_trainer->install();
         }
-        if (opts.recorder != nullptr) {
-            opts.recorder->onRound(round, picked);
+        if (recorder != nullptr) {
+            recorder->onRound(round, picked);
             // Hash at the install point, where async and synchronous
             // training provably hold identical weights.
-            opts.recorder->onModelState(round,
-                                        paramsHash(model_->getParams()));
+            recorder->onModelState(round, paramsHash(model_->getParams()));
         }
 
         struct RoundSlot
@@ -426,6 +469,44 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
             }
         }
         round_stats.endRound(e2e);
+
+        if (opts.checkpoint_interval > 0 &&
+            ((round + 1) % opts.checkpoint_interval == 0 ||
+             round + 1 == opts.rounds)) {
+            if (opts.checkpoint_path.empty()) {
+                PRUNER_WARN("checkpoint_interval set but checkpoint_path "
+                            "is empty; not checkpointing");
+            } else {
+                // Drain the in-flight update first so the snapshot holds
+                // this round's weights and the back model's training RNG
+                // is quiescent. Value-neutral: the next prediction would
+                // install before touching the model anyway.
+                if (async_trainer != nullptr) {
+                    async_trainer->install();
+                }
+                CheckpointSources src;
+                src.fingerprint = ckpt_fp;
+                src.next_round = round + 1;
+                src.clock_lanes = measurer.clockLanes();
+                src.clock = &clock;
+                src.rng = &rng;
+                src.measurer = &measurer;
+                src.scheduler = &scheduler;
+                src.db = &db;
+                src.cache = opts.measure_cache ? &env.cache() : nullptr;
+                src.explorer = explorer.get();
+                src.model = model_.get();
+                src.model_rng =
+                    async_trainer != nullptr
+                        ? async_trainer->backModel()->trainingRng()
+                        : model_->trainingRng();
+                src.curve = &result.curve;
+                src.round_stats = &round_stats.rounds();
+                src.metrics = &run_metrics;
+                saveCheckpoint(opts.checkpoint_path, buildCheckpoint(src),
+                               &run_metrics);
+            }
+        }
     }
     // Drain the last in-flight update before the divergence probe and the
     // checkpoint: both must see the final weights.
@@ -468,8 +549,8 @@ EvoCostModelPolicy::tune(const Workload& workload, const TuneOptions& opts)
                              : nullptr,
                          model_key);
     }
-    if (opts.recorder != nullptr) {
-        opts.recorder->onEnd(result, paramsHash(model_->getParams()));
+    if (recorder != nullptr) {
+        recorder->onEnd(result, paramsHash(model_->getParams()));
     }
     tune_span.close();
     obs_detail::exportPoolStats(run_metrics, env.pool());

@@ -128,6 +128,19 @@ struct TuneOptions
     /** Comma-separated explorer options ("k=v,k=v", ExplorerSpec syntax),
      *  e.g. "arms=evolution+gbt,race_rounds=3" for the portfolio. */
     std::string explorer_config;
+    /** Durably checkpoint the full resumable tuning state to
+     *  @p checkpoint_path every this many completed rounds (and after the
+     *  final round). 0 disables checkpointing. Pure IO: enabling it never
+     *  changes tuning results. See src/replay/checkpoint.hpp. */
+    int checkpoint_interval = 0;
+    /** File the periodic checkpoint is written to (tmp + rename, CRC32
+     *  framed). Required when checkpoint_interval > 0. */
+    std::string checkpoint_path;
+    /** Resume from a checkpoint file written by a compatible run (same
+     *  policy, workload, device, and trajectory-shaping options). The
+     *  resumed TuneResult is byte-identical to the uninterrupted run at
+     *  any worker count. Empty = start fresh. */
+    std::string resume_from;
 };
 
 /** One point of a tuning curve: simulated time vs best end-to-end

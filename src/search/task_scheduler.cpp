@@ -145,6 +145,27 @@ TaskScheduler::warmStart(const TuningRecordDb& records)
     }
 }
 
+TaskSchedulerState
+TaskScheduler::exportState() const
+{
+    TaskSchedulerState state;
+    state.history = history_;
+    state.rounds = rounds_;
+    state.round_robin_cursor = round_robin_cursor_;
+    return state;
+}
+
+void
+TaskScheduler::restoreState(const TaskSchedulerState& state)
+{
+    PRUNER_CHECK_MSG(state.history.size() == history_.size() &&
+                         state.rounds.size() == rounds_.size(),
+                     "scheduler state is for a different workload");
+    history_ = state.history;
+    rounds_ = state.rounds;
+    round_robin_cursor_ = state.round_robin_cursor;
+}
+
 void
 TaskScheduler::observe(size_t index, double best_latency)
 {

@@ -28,6 +28,14 @@ class Counter;
 class MetricsRegistry;
 } // namespace obs
 
+/** Complete serializable TaskScheduler state (for checkpoint/resume). */
+struct TaskSchedulerState
+{
+    std::vector<std::vector<double>> history;
+    std::vector<size_t> rounds;
+    size_t round_robin_cursor = 0;
+};
+
 /** Gradient-based multi-task tuning scheduler. */
 class TaskScheduler
 {
@@ -75,6 +83,14 @@ class TaskScheduler
     double improvementRate(size_t index) const;
 
     size_t numTasks() const { return workload_->tasks.size(); }
+
+    /** Snapshot the full picking state (history, per-task round counts,
+     *  round-robin cursor) for a checkpoint. */
+    TaskSchedulerState exportState() const;
+
+    /** Restore a state captured against the same workload; subsequent
+     *  picks match the original scheduler draw for draw. */
+    void restoreState(const TaskSchedulerState& state);
 
   private:
     const Workload* workload_;

@@ -94,3 +94,8 @@ void logMessage(int level, const std::string& msg);
 
 #define PRUNER_INFO(msg_expr) PRUNER_LOG(1, msg_expr)
 #define PRUNER_DEBUG(msg_expr) PRUNER_LOG(2, msg_expr)
+
+/** Recoverable trouble (torn tail truncated, shard quarantined, write
+ *  dropped): the library degrades gracefully instead of throwing, but the
+ *  operator should know. Level-1 so default (silent) runs stay quiet. */
+#define PRUNER_WARN(msg_expr) PRUNER_LOG(1, "warning: " << msg_expr)

@@ -152,4 +152,26 @@ Rng::split()
     return Rng((*this)());
 }
 
+RngState
+Rng::state() const
+{
+    RngState out;
+    for (size_t i = 0; i < 4; ++i) {
+        out.s[i] = s_[i];
+    }
+    out.has_cached_normal = has_cached_normal_;
+    out.cached_normal = cached_normal_;
+    return out;
+}
+
+void
+Rng::setState(const RngState& state)
+{
+    for (size_t i = 0; i < 4; ++i) {
+        s_[i] = state.s[i];
+    }
+    has_cached_normal_ = state.has_cached_normal;
+    cached_normal_ = state.cached_normal;
+}
+
 } // namespace pruner

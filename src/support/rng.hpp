@@ -23,6 +23,14 @@ uint64_t splitmix64(uint64_t x);
 /** Combine two hash values (boost-style). */
 uint64_t hashCombine(uint64_t seed, uint64_t value);
 
+/** Complete serializable Rng state (for checkpoint/resume). */
+struct RngState
+{
+    uint64_t s[4] = {0, 0, 0, 0};
+    bool has_cached_normal = false;
+    double cached_normal = 0.0;
+};
+
 /** Deterministic xoshiro256** generator with convenience distributions. */
 class Rng
 {
@@ -85,6 +93,13 @@ class Rng
 
     /** Spawn an independent child generator (for parallel determinism). */
     Rng split();
+
+    /** Snapshot the full generator state (bit-exact). */
+    RngState state() const;
+
+    /** Restore a state captured with state(); the stream continues
+     *  exactly where the snapshot left off. */
+    void setState(const RngState& state);
 
   private:
     uint64_t s_[4];

@@ -10,7 +10,9 @@
 #include "core/pruner_tuner.hpp"
 #include "db/artifact_db.hpp"
 #include "db/artifact_session.hpp"
+#include "obs/metrics.hpp"
 #include "sched/sampler.hpp"
+#include "support/io.hpp"
 #include "support/thread_pool.hpp"
 
 namespace pruner {
@@ -224,6 +226,184 @@ TEST_F(ArtifactDbTest, CorruptSnapshotLoadsNothing)
     MeasureCache cache;
     EXPECT_EQ(db.loadMeasureCache(&cache), 0u);
     EXPECT_EQ(cache.size(), 0u);
+    // The poison is quarantined, not left in place: the next load starts
+    // cold without re-reporting the same corruption.
+    EXPECT_FALSE(fs::exists(snapshot));
+    EXPECT_TRUE(fs::exists(snapshot + ".corrupt"));
+    EXPECT_EQ(db.storageHealth().quarantined_files, 1u);
+}
+
+TEST_F(ArtifactDbTest, CrcMismatchedSnapshotIsQuarantined)
+{
+    const std::string snapshot =
+        (fs::path(root_) / "measure_cache.bin").string();
+    MeasureCache cache;
+    cache.insert(1, 2, 1e-4);
+    {
+        ArtifactDb db(root_);
+        db.saveMeasureCache(cache);
+    }
+    // Flip one byte in the entry payload: the v2 header CRC must catch it.
+    {
+        std::string bytes = readFileBytes(snapshot);
+        ASSERT_FALSE(bytes.empty());
+        bytes.back() = static_cast<char>(bytes.back() ^ 0x1);
+        std::ofstream out(snapshot, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    ArtifactDb reopened(root_);
+    MeasureCache restored;
+    EXPECT_EQ(reopened.loadMeasureCache(&restored), 0u);
+    EXPECT_EQ(restored.size(), 0u);
+    EXPECT_TRUE(fs::exists(snapshot + ".corrupt"));
+    EXPECT_EQ(reopened.storageHealth().quarantined_files, 1u);
+}
+
+TEST_F(ArtifactDbTest, UnwritableRootDegradesToDisabledStore)
+{
+    // A plain file where the root directory should be: creating
+    // <root>/records fails even for root (ENOTDIR). The store must warn
+    // and disable persistence, never throw.
+    const std::string blocker = root_ + "_blocker_file";
+    fs::remove(blocker);
+    {
+        std::ofstream out(blocker);
+        out << "in the way";
+    }
+    ArtifactDb db(blocker + "/store");
+    EXPECT_FALSE(db.writable());
+    EXPECT_GE(db.storageHealth().io_failures, 1u);
+    EXPECT_EQ(db.appendRecords(sampleRecords(task_, 3, 5)), 0u);
+    EXPECT_EQ(db.recordCount(), 0u);
+    EXPECT_TRUE(db.topK(task_, 4).empty());
+    MeasureCache cache;
+    cache.insert(1, 2, 1e-4);
+    db.saveMeasureCache(cache);                // warned no-op
+    db.saveModelParams("k", {1.0, 2.0});       // warned no-op
+    MeasureCache restored;
+    EXPECT_EQ(db.loadMeasureCache(&restored), 0u);
+    fs::remove(blocker);
+}
+
+TEST_F(ArtifactDbTest, EnospcInjectedSnapshotSaveDegradesToWarning)
+{
+    ArtifactDb db(root_);
+    MeasureCache cache;
+    cache.insert(1, 2, 1e-4);
+    io::IoFaultPlan plan;
+    plan.fault_kind = io::IoFaultKind::NoSpace;
+    plan.fault_rate = 1.0;
+    io::setIoFaultPlan(plan);
+    db.saveMeasureCache(cache); // must not throw
+    io::clearIoFaultPlan();
+    EXPECT_FALSE(fs::exists(fs::path(root_) / "measure_cache.bin"));
+    EXPECT_GE(db.storageHealth().io_failures, 1u);
+    // Storage recovered: the next save succeeds.
+    db.saveMeasureCache(cache);
+    MeasureCache restored;
+    EXPECT_EQ(db.loadMeasureCache(&restored), 1u);
+}
+
+TEST_F(ArtifactDbTest, EnospcInjectedRecordAppendKeepsTuningAlive)
+{
+    ArtifactDb db(root_);
+    io::IoFaultPlan plan;
+    plan.fault_kind = io::IoFaultKind::NoSpace;
+    plan.fault_rate = 1.0;
+    io::setIoFaultPlan(plan);
+    EXPECT_EQ(db.appendRecords(sampleRecords(task_, 3, 29)), 0u);
+    io::clearIoFaultPlan();
+    EXPECT_GE(db.storageHealth().io_failures, 1u);
+    // The failed batch was not indexed (it never reached the log), so a
+    // recovered disk accepts it again in full.
+    EXPECT_EQ(db.appendRecords(sampleRecords(task_, 3, 29)), 3u);
+    EXPECT_EQ(db.recordCount(), 3u);
+}
+
+TEST_F(ArtifactDbTest, CorruptModelCheckpointIsQuarantinedNotInstalled)
+{
+    const std::vector<double> params = {1.0, 2.0, 3.0};
+    ArtifactDb db(root_);
+    db.saveModelParams("key", params);
+    ASSERT_TRUE(db.tryLoadModelParams("key").has_value());
+    // Stomp the checkpoint with garbage: load must quarantine and skip —
+    // never crash, never hand back zeroed weights.
+    const std::string path =
+        (fs::path(root_) / "models" / "key.params").string();
+    ASSERT_TRUE(fs::exists(path));
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << "\x7f garbage that is not a params file";
+    }
+    EXPECT_FALSE(db.tryLoadModelParams("key").has_value());
+    EXPECT_FALSE(fs::exists(path));
+    EXPECT_TRUE(fs::exists(path + ".corrupt"));
+    EXPECT_EQ(db.storageHealth().quarantined_files, 1u);
+    // A fresh save repopulates the slot.
+    db.saveModelParams("key", params);
+    const auto reloaded = db.tryLoadModelParams("key");
+    ASSERT_TRUE(reloaded.has_value());
+    EXPECT_EQ(*reloaded, params);
+}
+
+TEST_F(ArtifactDbTest, WhollyCorruptShardIsQuarantined)
+{
+    {
+        ArtifactDb db(root_);
+        db.appendRecords(sampleRecords(task_, 2, 31));
+    }
+    // Overwrite the shard with binary garbage (every line corrupt).
+    std::string shard_path;
+    for (const auto& entry :
+         fs::directory_iterator(fs::path(root_) / "records")) {
+        if (entry.path().extension() == ".log") {
+            shard_path = entry.path().string();
+        }
+    }
+    ASSERT_FALSE(shard_path.empty());
+    {
+        std::ofstream out(shard_path, std::ios::binary | std::ios::trunc);
+        out << "\x01\x02garbage\tmore\tgarbage\n\x03\x04\n";
+    }
+    ArtifactDb reopened(root_);
+    EXPECT_EQ(reopened.recordCount(), 0u);
+    EXPECT_FALSE(fs::exists(shard_path));
+    EXPECT_TRUE(fs::exists(shard_path + ".corrupt"));
+    EXPECT_EQ(reopened.storageHealth().quarantined_files, 1u);
+    EXPECT_GE(reopened.storageHealth().corrupt_lines, 1u);
+    // The quarantined shard name is free again: appends keep working.
+    EXPECT_EQ(reopened.appendRecords(sampleRecords(task_, 2, 31)), 2u);
+}
+
+TEST_F(ArtifactDbTest, StorageHealthGaugesReachMetricsExposition)
+{
+    ArtifactDb db(root_);
+    // Manufacture one quarantine: a corrupt model checkpoint.
+    const std::string path =
+        (fs::path(root_) / "models" / "bad.params").string();
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "junk";
+    }
+    EXPECT_FALSE(db.tryLoadModelParams("bad").has_value());
+
+    obs::MetricsRegistry metrics;
+    ArtifactSession session(&db, "");
+    session.bindMetrics(&metrics);
+    const auto snap = metrics.snapshot();
+    bool found = false;
+    for (const auto& g : snap.gauges) {
+        if (g.name == "db_quarantined_files") {
+            EXPECT_EQ(g.value, 1);
+            EXPECT_EQ(g.channel, obs::MetricChannel::Execution);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+    // And it renders in the full text exposition.
+    const std::string text = snap.renderText(/*deterministic_only=*/false);
+    EXPECT_NE(text.find("db_quarantined_files 1"), std::string::npos)
+        << text;
 }
 
 TEST_F(ArtifactDbTest, ModelParamsRoundTrip)

@@ -1,0 +1,357 @@
+/** Crash-safe checkpoint/resume (src/replay/checkpoint).
+ *
+ *  The load-bearing assertions are identity ones: checkpointing is pure
+ *  IO (enabling it never changes a result), and resuming from any
+ *  checkpoint — mid-run or final, at any worker count — reproduces the
+ *  uninterrupted run's TuneResult byte for byte. Every storage failure
+ *  mode (missing file, corrupt file, fingerprint mismatch, failed write)
+ *  degrades to a cold start or a warning, never a crash. Real kill-based
+ *  crash coverage lives in bench/crash_resume. */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "baselines/ansor.hpp"
+#include "core/pruner_tuner.hpp"
+#include "ir/workload_registry.hpp"
+#include "obs/metrics.hpp"
+#include "replay/checkpoint.hpp"
+#include "support/io.hpp"
+#include "support/logging.hpp"
+
+namespace pruner {
+namespace {
+
+namespace fs = std::filesystem;
+
+const std::string kCkptPath = "/tmp/pruner_test_checkpoint.ckpt";
+
+/** Chaos options: sharded rounds, parallel measurement, async training,
+ *  an active measurement fault plan, round stats and a measure cache —
+ *  every piece of state the checkpoint must carry. */
+TuneOptions
+baseOptions()
+{
+    TuneOptions opts;
+    opts.rounds = 4;
+    opts.seed = 11;
+    opts.tasks_per_round = 2;
+    opts.measure_workers = 2;
+    opts.async_training = true;
+    opts.collect_round_stats = true;
+    FaultPlan plan;
+    plan.seed = 42;
+    plan.launch_failure_rate = 0.05;
+    plan.flaky_rate = 0.1;
+    opts.fault_plan = plan;
+    return opts;
+}
+
+Workload
+smallWorkload()
+{
+    Workload w = workloads::resnet50();
+    w.tasks.resize(2);
+    return w;
+}
+
+PrunerConfig
+smallPrunerConfig()
+{
+    PrunerConfig config;
+    config.lse.spec_size = 64;
+    return config;
+}
+
+void
+removeCheckpointFiles()
+{
+    fs::remove(kCkptPath);
+    fs::remove(kCkptPath + ".corrupt");
+    fs::remove(kCkptPath + ".tmp");
+}
+
+std::string
+readFileBytes(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+class CheckpointTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        removeCheckpointFiles();
+    }
+    void
+    TearDown() override
+    {
+        io::clearIoFaultPlan();
+        removeCheckpointFiles();
+    }
+};
+
+TEST_F(CheckpointTest, CheckpointingIsPureIo)
+{
+    const auto dev = DeviceSpec::a100();
+    const Workload w = smallWorkload();
+
+    PrunerPolicy golden_policy(dev, smallPrunerConfig());
+    const TuneResult golden = golden_policy.tune(w, baseOptions());
+
+    TuneOptions opts = baseOptions();
+    opts.checkpoint_interval = 1;
+    opts.checkpoint_path = kCkptPath;
+    PrunerPolicy policy(dev, smallPrunerConfig());
+    const TuneResult checkpointed = policy.tune(w, opts);
+
+    EXPECT_EQ(resultSignature(checkpointed), resultSignature(golden));
+    EXPECT_TRUE(fs::exists(kCkptPath));
+}
+
+TEST_F(CheckpointTest, ResumeFromFinalCheckpointRebuildsResult)
+{
+    const auto dev = DeviceSpec::a100();
+    const Workload w = smallWorkload();
+
+    TuneOptions opts = baseOptions();
+    opts.checkpoint_interval = 2;
+    opts.checkpoint_path = kCkptPath;
+    PrunerPolicy policy(dev, smallPrunerConfig());
+    const TuneResult golden = policy.tune(w, opts);
+    ASSERT_TRUE(fs::exists(kCkptPath));
+
+    // The final checkpoint holds the completed run: resuming executes
+    // zero rounds, yet the result — counters, curve, round stats, best
+    // latencies, clock split — must be rebuilt bit-for-bit from the
+    // restored state alone.
+    TuneOptions resume = baseOptions();
+    resume.resume_from = kCkptPath;
+    PrunerPolicy resumed_policy(dev, smallPrunerConfig());
+    const TuneResult resumed = resumed_policy.tune(w, resume);
+    EXPECT_EQ(resultSignature(resumed), resultSignature(golden));
+}
+
+TEST_F(CheckpointTest, MidRunResumeIsByteIdenticalAtAnyWorkerCount)
+{
+    const auto dev = DeviceSpec::a100();
+    const Workload w = smallWorkload();
+
+    PrunerPolicy golden_policy(dev, smallPrunerConfig());
+    const TuneResult golden = golden_policy.tune(w, baseOptions());
+
+    // Interval 2 over 4 rounds saves after round 2 (write op 0) and after
+    // the final round (write op 1). Failing op 1 freezes the file at the
+    // round-2 state — exactly what a kill between the two saves leaves
+    // behind.
+    TuneOptions opts = baseOptions();
+    opts.checkpoint_interval = 2;
+    opts.checkpoint_path = kCkptPath;
+    io::IoFaultPlan plan;
+    plan.fault_kind = io::IoFaultKind::NoSpace;
+    plan.fail_ops[0] = 1;
+    io::setIoFaultPlan(plan);
+    PrunerPolicy policy(dev, smallPrunerConfig());
+    const TuneResult interrupted = policy.tune(w, opts);
+    io::clearIoFaultPlan();
+    // The failed final save is a warning, not a failure: the run itself
+    // still matches the golden run.
+    EXPECT_EQ(resultSignature(interrupted), resultSignature(golden));
+    ASSERT_TRUE(fs::exists(kCkptPath));
+
+    // Resume the round-2 checkpoint at 1, 2 and 4 workers: the pinned
+    // clock lanes make every resumed trajectory byte-identical.
+    for (const int workers : {1, 2, 4}) {
+        TuneOptions resume = baseOptions();
+        resume.resume_from = kCkptPath;
+        resume.measure_workers = workers;
+        resume.async_training = workers > 1;
+        PrunerPolicy resumed_policy(dev, smallPrunerConfig());
+        const TuneResult resumed = resumed_policy.tune(w, resume);
+        EXPECT_EQ(resultSignature(resumed), resultSignature(golden))
+            << "workers=" << workers;
+    }
+}
+
+TEST_F(CheckpointTest, EvoPolicyMidRunResumeIsByteIdentical)
+{
+    const auto dev = DeviceSpec::a100();
+    const Workload w = smallWorkload();
+
+    auto golden_policy = baselines::makeAnsor(dev, 9);
+    const TuneResult golden = golden_policy->tune(w, baseOptions());
+
+    TuneOptions opts = baseOptions();
+    opts.checkpoint_interval = 2;
+    opts.checkpoint_path = kCkptPath;
+    io::IoFaultPlan plan;
+    plan.fault_kind = io::IoFaultKind::NoSpace;
+    plan.fail_ops[0] = 1;
+    io::setIoFaultPlan(plan);
+    auto policy = baselines::makeAnsor(dev, 9);
+    (void)policy->tune(w, opts);
+    io::clearIoFaultPlan();
+    ASSERT_TRUE(fs::exists(kCkptPath));
+
+    TuneOptions resume = baseOptions();
+    resume.resume_from = kCkptPath;
+    resume.measure_workers = 4;
+    auto resumed_policy = baselines::makeAnsor(dev, 9);
+    const TuneResult resumed = resumed_policy->tune(w, resume);
+    EXPECT_EQ(resultSignature(resumed), resultSignature(golden));
+}
+
+TEST_F(CheckpointTest, EncodeDecodeRoundTripsExactly)
+{
+    const auto dev = DeviceSpec::a100();
+    const Workload w = smallWorkload();
+    TuneOptions opts = baseOptions();
+    opts.checkpoint_interval = 2;
+    opts.checkpoint_path = kCkptPath;
+    PrunerPolicy policy(dev, smallPrunerConfig());
+    (void)policy.tune(w, opts);
+    ASSERT_TRUE(fs::exists(kCkptPath));
+
+    const std::string bytes = readFileBytes(kCkptPath);
+    const TuningCheckpoint decoded = decodeCheckpoint(bytes);
+    EXPECT_EQ(encodeCheckpoint(decoded), bytes);
+}
+
+TEST_F(CheckpointTest, MissingResumeFileStartsCold)
+{
+    const auto dev = DeviceSpec::a100();
+    const Workload w = smallWorkload();
+
+    PrunerPolicy golden_policy(dev, smallPrunerConfig());
+    const TuneResult golden = golden_policy.tune(w, baseOptions());
+
+    TuneOptions resume = baseOptions();
+    resume.resume_from = "/tmp/definitely_missing_checkpoint.ckpt";
+    PrunerPolicy policy(dev, smallPrunerConfig());
+    const TuneResult result = policy.tune(w, resume);
+    EXPECT_EQ(resultSignature(result), resultSignature(golden));
+}
+
+TEST_F(CheckpointTest, CorruptCheckpointIsQuarantinedAndStartsCold)
+{
+    const auto dev = DeviceSpec::a100();
+    const Workload w = smallWorkload();
+
+    TuneOptions opts = baseOptions();
+    opts.checkpoint_interval = 2;
+    opts.checkpoint_path = kCkptPath;
+    PrunerPolicy policy(dev, smallPrunerConfig());
+    const TuneResult golden = policy.tune(w, opts);
+    ASSERT_TRUE(fs::exists(kCkptPath));
+
+    // Flip a payload byte: the header CRC catches it, the file is
+    // quarantined, the counter fires, and the tuner starts cold instead
+    // of crashing.
+    {
+        std::string bytes = readFileBytes(kCkptPath);
+        bytes[bytes.size() / 2] ^= 0x10;
+        std::ofstream out(kCkptPath, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    obs::MetricsRegistry metrics;
+    TuneOptions resume = baseOptions();
+    resume.resume_from = kCkptPath;
+    resume.metrics = &metrics;
+    PrunerPolicy cold_policy(dev, smallPrunerConfig());
+    const TuneResult cold = cold_policy.tune(w, resume);
+    EXPECT_EQ(resultSignature(cold), resultSignature(golden));
+    EXPECT_FALSE(fs::exists(kCkptPath));
+    EXPECT_TRUE(fs::exists(kCkptPath + ".corrupt"));
+
+    // The quarantine is observable in the metrics exposition.
+    const std::string text = metrics.renderText(/*deterministic_only=*/false);
+    EXPECT_NE(text.find("checkpoint_quarantined_total 1"),
+              std::string::npos)
+        << text;
+}
+
+TEST_F(CheckpointTest, FingerprintMismatchStartsColdWithoutQuarantine)
+{
+    const auto dev = DeviceSpec::a100();
+    const Workload w = smallWorkload();
+
+    TuneOptions opts = baseOptions();
+    opts.checkpoint_interval = 2;
+    opts.checkpoint_path = kCkptPath;
+    PrunerPolicy policy(dev, smallPrunerConfig());
+    (void)policy.tune(w, opts);
+    ASSERT_TRUE(fs::exists(kCkptPath));
+    const std::string bytes_before = readFileBytes(kCkptPath);
+
+    // A different seed is a different trajectory: the checkpoint is valid
+    // but belongs to another run, so it is declined (and left on disk —
+    // its own run may still want it) and this run starts cold.
+    TuneOptions other = baseOptions();
+    other.seed = 12;
+    PrunerPolicy golden_policy(dev, smallPrunerConfig());
+    const TuneResult golden = golden_policy.tune(w, other);
+
+    TuneOptions resume = other;
+    resume.resume_from = kCkptPath;
+    PrunerPolicy cold_policy(dev, smallPrunerConfig());
+    const TuneResult cold = cold_policy.tune(w, resume);
+    EXPECT_EQ(resultSignature(cold), resultSignature(golden));
+    EXPECT_EQ(readFileBytes(kCkptPath), bytes_before);
+}
+
+TEST_F(CheckpointTest, FailedCheckpointWriteNeverFailsTheRun)
+{
+    const auto dev = DeviceSpec::a100();
+    const Workload w = smallWorkload();
+
+    PrunerPolicy golden_policy(dev, smallPrunerConfig());
+    const TuneResult golden = golden_policy.tune(w, baseOptions());
+
+    // Every checkpoint write fails (permanent ENOSPC): the run warns,
+    // counts the failures, and finishes identically anyway.
+    io::IoFaultPlan plan;
+    plan.fault_kind = io::IoFaultKind::NoSpace;
+    plan.fault_rate = 1.0;
+    io::setIoFaultPlan(plan);
+    obs::MetricsRegistry metrics;
+    TuneOptions opts = baseOptions();
+    opts.checkpoint_interval = 1;
+    opts.checkpoint_path = kCkptPath;
+    opts.metrics = &metrics;
+    PrunerPolicy policy(dev, smallPrunerConfig());
+    const TuneResult result = policy.tune(w, opts);
+    io::clearIoFaultPlan();
+
+    EXPECT_EQ(resultSignature(result), resultSignature(golden));
+    EXPECT_FALSE(fs::exists(kCkptPath));
+    const std::string text = metrics.renderText(/*deterministic_only=*/false);
+    EXPECT_NE(text.find("checkpoint_write_failures_total 4"),
+              std::string::npos)
+        << text;
+}
+
+TEST_F(CheckpointTest, ResultSignatureDiscriminates)
+{
+    const auto dev = DeviceSpec::a100();
+    const Workload w = smallWorkload();
+    PrunerPolicy policy(dev, smallPrunerConfig());
+    const TuneResult a = policy.tune(w, baseOptions());
+    TuneOptions other = baseOptions();
+    other.seed = 12;
+    PrunerPolicy policy_b(dev, smallPrunerConfig());
+    const TuneResult b = policy_b.tune(w, other);
+    EXPECT_EQ(resultSignature(a), resultSignature(a));
+    EXPECT_NE(resultSignature(a), resultSignature(b));
+}
+
+} // namespace
+} // namespace pruner

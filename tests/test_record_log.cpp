@@ -9,6 +9,7 @@
 
 #include "pruner.hpp"
 #include "sched/sampler.hpp"
+#include "support/io.hpp"
 #include "support/logging.hpp"
 
 namespace pruner {
@@ -215,6 +216,72 @@ TEST_F(RecordLogTest, RoundTripFuzzManySchedules)
         EXPECT_EQ(loaded[i].sch, records[i].sch);
         EXPECT_DOUBLE_EQ(loaded[i].latency, records[i].latency);
     }
+}
+
+TEST_F(RecordLogTest, TornFinalLineIsDroppedWithoutLoss)
+{
+    ScheduleSampler sampler(task_, dev_);
+    Rng rng(21);
+    std::vector<MeasuredRecord> records;
+    for (int i = 0; i < 4; ++i) {
+        records.push_back({task_, sampler.sample(rng), 1e-4 + i * 1e-6});
+    }
+    appendRecordLog(path_, records);
+    // Emulate a crash mid-append: the start of a fifth record with no
+    // terminating newline.
+    {
+        std::ofstream out(path_, std::ios::app | std::ios::binary);
+        out << recordToLine({task_, sampler.sample(rng), 9e-4}).substr(0, 20);
+    }
+    const auto loaded = loadRecordLog(path_, {task_});
+    ASSERT_EQ(loaded.size(), records.size());
+    for (size_t i = 0; i < loaded.size(); ++i) {
+        EXPECT_EQ(loaded[i].sch, records[i].sch);
+        EXPECT_DOUBLE_EQ(loaded[i].latency, records[i].latency);
+    }
+}
+
+TEST_F(RecordLogTest, CrcMismatchLinesAreSkipped)
+{
+    ScheduleSampler sampler(task_, dev_);
+    Rng rng(23);
+    std::vector<MeasuredRecord> records;
+    for (int i = 0; i < 3; ++i) {
+        records.push_back({task_, sampler.sample(rng), 1e-4 + i * 1e-6});
+    }
+    appendRecordLog(path_, records);
+    // A flipped payload byte under a valid-looking CRC suffix must be
+    // rejected by the checksum even though the payload itself would still
+    // parse as a plausible record.
+    std::string framed =
+        io::withLineCrc(recordToLine({task_, sampler.sample(rng), 7e-4}));
+    framed[5] ^= 0x01; // corrupt the payload, keep the suffix intact
+    {
+        std::ofstream out(path_, std::ios::app | std::ios::binary);
+        out << framed << "\n";
+    }
+    const auto loaded = loadRecordLog(path_, {task_});
+    ASSERT_EQ(loaded.size(), records.size());
+    for (size_t i = 0; i < loaded.size(); ++i) {
+        EXPECT_DOUBLE_EQ(loaded[i].latency, records[i].latency);
+    }
+}
+
+TEST_F(RecordLogTest, PreCrcLinesStillLoad)
+{
+    // Logs written before CRC framing existed have bare payload lines;
+    // they must keep loading unchanged.
+    ScheduleSampler sampler(task_, dev_);
+    Rng rng(25);
+    const MeasuredRecord record{task_, sampler.sample(rng), 2e-4};
+    {
+        std::ofstream out(path_, std::ios::binary);
+        out << recordToLine(record) << "\n";
+    }
+    const auto loaded = loadRecordLog(path_, {task_});
+    ASSERT_EQ(loaded.size(), 1u);
+    EXPECT_EQ(loaded[0].sch, record.sch);
+    EXPECT_DOUBLE_EQ(loaded[0].latency, record.latency);
 }
 
 TEST_F(RecordLogTest, ReplayWarmStartsDb)

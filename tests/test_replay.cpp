@@ -8,6 +8,8 @@
 
 #include <cmath>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <limits>
 #include <string>
 #include <vector>
@@ -240,6 +242,63 @@ TEST(Replay, SaveLoadRoundTrip)
     recorded.save(path);
     const SessionLog loaded = SessionLog::load(path);
     EXPECT_TRUE(replayDiff(recorded, loaded).identical);
+    std::filesystem::remove(path);
+}
+
+TEST(Replay, TornFinalLineIsIgnoredOnLoad)
+{
+    const auto dev = DeviceSpec::a100();
+    Workload w = workloads::resnet50();
+    w.tasks.resize(1);
+    PrunerPolicy policy(dev, smallPrunerConfig());
+    TuneOptions opts = chaosOptions();
+    opts.rounds = 2;
+    opts.tasks_per_round = 1;
+    const SessionLog recorded = record(policy, w, opts);
+
+    const std::string path = "/tmp/pruner_test_torn_session.log";
+    std::filesystem::remove(path);
+    recorded.save(path);
+    // Emulate a crash while appending trailing bytes after the session
+    // completed: an unterminated fragment after the end event. Load must
+    // drop it and still yield the recorded session.
+    {
+        std::ofstream out(path, std::ios::app | std::ios::binary);
+        out << "measure\ttask=123\tsched=45"; // no newline
+    }
+    const SessionLog loaded = SessionLog::load(path);
+    EXPECT_TRUE(replayDiff(recorded, loaded).identical);
+    std::filesystem::remove(path);
+}
+
+TEST(Replay, CrcMismatchTruncatesLogAtCorruption)
+{
+    const auto dev = DeviceSpec::a100();
+    Workload w = workloads::resnet50();
+    w.tasks.resize(1);
+    PrunerPolicy policy(dev, smallPrunerConfig());
+    TuneOptions opts = chaosOptions();
+    opts.rounds = 2;
+    opts.tasks_per_round = 1;
+    const SessionLog recorded = record(policy, w, opts);
+
+    const std::string path = "/tmp/pruner_test_corrupt_session.log";
+    std::filesystem::remove(path);
+    recorded.save(path);
+    // Flip one payload byte in the final (end) line: its CRC no longer
+    // matches, the loader truncates there, and parse correctly rejects
+    // the now-incomplete session instead of replaying corrupt data.
+    {
+        std::fstream file(path,
+                          std::ios::in | std::ios::out | std::ios::binary);
+        std::string bytes((std::istreambuf_iterator<char>(file)),
+                          std::istreambuf_iterator<char>());
+        const size_t end_pos = bytes.rfind("\nend\t");
+        ASSERT_NE(end_pos, std::string::npos);
+        file.seekp(static_cast<std::streamoff>(end_pos + 2));
+        file.put('N'); // "end" -> "eNd"
+    }
+    EXPECT_THROW(SessionLog::load(path), FatalError);
     std::filesystem::remove(path);
 }
 

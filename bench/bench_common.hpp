@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <functional>
 #include <future>
@@ -61,6 +62,105 @@ bestOfSeconds(const Fn& fn, int reps = 5)
     }
     return best;
 }
+
+/** Median of a sample (sorts a copy; upper median, 0 when empty) — the
+ *  one estimator every bench's repeated-wall-clock sections share. */
+inline double
+median(std::vector<double> xs)
+{
+    if (xs.empty()) {
+        return 0.0;
+    }
+    std::sort(xs.begin(), xs.end());
+    return xs[xs.size() / 2];
+}
+
+/** Median-of-@p reps wall-clock of @p fn, in seconds. */
+template <typename Fn>
+inline double
+medianOfSeconds(const Fn& fn, int reps = 5)
+{
+    std::vector<double> walls;
+    walls.reserve(static_cast<size_t>(reps));
+    for (int r = 0; r < reps; ++r) {
+        const double start = nowSeconds();
+        fn();
+        walls.push_back(nowSeconds() - start);
+    }
+    return median(std::move(walls));
+}
+
+/** Run @p fn repeatedly for >= @p min_time_s (and >= 10 iterations);
+ *  returns nanoseconds per call. */
+inline double
+timePerCall(const std::function<void()>& fn, double min_time_s = 0.1)
+{
+    // Warm-up.
+    fn();
+    size_t iters = 0;
+    const double start = nowSeconds();
+    double elapsed = 0.0;
+    do {
+        for (int i = 0; i < 10; ++i) {
+            fn();
+        }
+        iters += 10;
+        elapsed = nowSeconds() - start;
+    } while (elapsed < min_time_s);
+    return elapsed / static_cast<double>(iters) * 1e9;
+}
+
+/**
+ * Machine-readable bench record (BENCH_PR*.json): an ordered map of
+ * sections, each an object of metric -> number. Written only when the
+ * binary is invoked with --json <path>; CI uploads the file as the
+ * perf-trajectory artifact later perf PRs diff against. Numbers render
+ * with %.17g, so reading the file back reproduces the doubles exactly.
+ */
+class BenchJson
+{
+  public:
+    void
+    set(const std::string& section, const std::string& key, double value)
+    {
+        for (auto& [name, metrics] : sections_) {
+            if (name == section) {
+                metrics.emplace_back(key, value);
+                return;
+            }
+        }
+        sections_.push_back({section, {{key, value}}});
+    }
+
+    bool
+    writeTo(const std::string& path) const
+    {
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        if (f == nullptr) {
+            return false;
+        }
+        std::fprintf(f, "{\n");
+        for (size_t s = 0; s < sections_.size(); ++s) {
+            std::fprintf(f, "  \"%s\": {\n", sections_[s].first.c_str());
+            const auto& metrics = sections_[s].second;
+            for (size_t m = 0; m < metrics.size(); ++m) {
+                std::fprintf(f, "    \"%s\": %.17g%s\n",
+                             metrics[m].first.c_str(), metrics[m].second,
+                             m + 1 < metrics.size() ? "," : "");
+            }
+            std::fprintf(f, "  }%s\n",
+                         s + 1 < sections_.size() ? "," : "");
+        }
+        std::fprintf(f, "}\n");
+        std::fclose(f);
+        return true;
+    }
+
+  private:
+    std::vector<
+        std::pair<std::string, std::vector<std::pair<std::string, double>>>>
+        sections_;
+};
 
 /** Rounds for one tuning run, honouring PRUNER_BENCH_SCALE. */
 inline int

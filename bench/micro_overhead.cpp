@@ -24,6 +24,7 @@
 
 #include <unistd.h>
 
+#include <cctype>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -38,6 +39,7 @@
 #include "core/pruner_tuner.hpp"
 #include "core/symbol_analyzer.hpp"
 #include "db/artifact_db.hpp"
+#include "cost/async_trainer.hpp"
 #include "cost/mlp_cost_model.hpp"
 #include "cost/pacm_model.hpp"
 #include "cost/tlp_cost_model.hpp"
@@ -64,26 +66,10 @@ doNotOptimize(const T& value)
 }
 
 using bench::nowSeconds;
+using bench::timePerCall;
 
-/** Run fn repeatedly for >= min_time_s (and >= 10 iterations); returns
- *  nanoseconds per call. */
-double
-timePerCall(const std::function<void()>& fn, double min_time_s = 0.1)
-{
-    // Warm-up.
-    fn();
-    size_t iters = 0;
-    const double start = nowSeconds();
-    double elapsed = 0.0;
-    do {
-        for (int i = 0; i < 10; ++i) {
-            fn();
-        }
-        iters += 10;
-        elapsed = nowSeconds() - start;
-    } while (elapsed < min_time_s);
-    return elapsed / static_cast<double>(iters) * 1e9;
-}
+/** Machine-readable record, populated only under --json <path>. */
+bench::BenchJson* g_json = nullptr;
 
 const SubgraphTask&
 benchTask()
@@ -244,6 +230,17 @@ batchedInferenceBenchmark()
         if (!identical) {
             status = 1;
         }
+        if (g_json != nullptr) {
+            std::string sec = std::string("inference_") + name;
+            std::transform(sec.begin(), sec.end(), sec.begin(),
+                           [](unsigned char ch) { return std::tolower(ch); });
+            g_json->set(sec, "reference_ms", ref_s * 1e3);
+            g_json->set(sec, "batched_ms", batched_s * 1e3);
+            g_json->set(sec, "batched_4_workers_ms", chunked_s * 1e3);
+            g_json->set(sec, "speedup_vs_reference", ref_s / batched_s);
+            g_json->set(sec, "candidates_per_s",
+                        static_cast<double>(n) / batched_s);
+        }
     };
     section("PaCM", PaCMModel(dev, 1));
     section("MLP", MlpCostModel(dev, 1));
@@ -257,45 +254,113 @@ batchedTrainingBenchmark()
 {
     // The training counterpart of the inference section: one PaCM / TLP
     // online-update epoch over a 512-record window spread across 8 tasks
-    // (one LambdaRank group per task), per-record reference loop
-    // (trainReference: fitReference per record) vs the segment-batched
-    // backward (train: one GEMM per layer forward AND backward per
-    // group). Both models see the same number of train calls with the
-    // same RNG lineage, so the final weights must be byte-identical —
-    // asserted below; only wall-clock is allowed to move.
+    // (one LambdaRank group per task), at three engine levels:
+    //   reference     per-record forward+backward (trainReference)
+    //   per-group     one GEMM per layer per group, one optimizer step
+    //                 per group (train at task_batch = 1 — the engine as
+    //                 the segment-batched-backward PR left it)
+    //   task-batched  the whole window pooled into ONE forward/backward
+    //                 and one optimizer step per epoch (train at
+    //                 task_batch = 8)
+    // Same-knob trainers see the same number of train calls with the
+    // same RNG lineage, so final weights must be byte-identical at every
+    // level — asserted below (including through the async double-buffer
+    // at 1 and 4 workers); only wall-clock is allowed to move.
     constexpr size_t kRecords = 512;
+    constexpr size_t kTasks = 8;
+    constexpr size_t kTaskBatch = kTasks;
     const auto& dev = benchDevice();
     const auto records =
-        bench::makeTrainingRecords(dev, kRecords, /*n_tasks=*/8, 47);
+        bench::makeTrainingRecords(dev, kRecords, kTasks, 47);
 
-    std::printf("batched cost-model training: %zu-record window, "
-                "per-record backward vs segment-batched backward\n",
-                kRecords);
+    std::printf("batched cost-model training: %zu-record window over %zu "
+                "tasks, per-record vs per-group vs task-batched backward\n",
+                kRecords, kTasks);
     int status = 0;
-    auto section = [&](const char* name, auto batched, auto reference) {
-        // bestOfSeconds runs both variants the same number of times, so
-        // the two models end on identical weights iff the trainers agree.
-        const double ref_s = bench::bestOfSeconds(
+    auto section = [&](const char* name, const char* json_name,
+                       const auto& make_model) {
+        auto reference = make_model();
+        auto per_group = make_model();
+        auto pooled = make_model();
+        auto pooled_ref = make_model();
+        pooled.setTrainTaskBatch(kTaskBatch);
+        pooled_ref.setTrainTaskBatch(kTaskBatch);
+        // medianOfSeconds runs every variant the same number of times, so
+        // same-knob models end on identical weights iff the trainers
+        // agree.
+        const double ref_s = bench::medianOfSeconds(
             [&]() { reference.trainReference(records, 1); });
-        const double bat_s =
-            bench::bestOfSeconds([&]() { batched.train(records, 1); });
-        const bool identical = batched.getParams() == reference.getParams();
+        const double grp_s =
+            bench::medianOfSeconds([&]() { per_group.train(records, 1); });
+        const double pool_s =
+            bench::medianOfSeconds([&]() { pooled.train(records, 1); });
+        const double pool_ref_s = bench::medianOfSeconds(
+            [&]() { pooled_ref.trainReference(records, 1); });
+        const bool grp_identical =
+            per_group.getParams() == reference.getParams();
+        const bool pool_identical =
+            pooled.getParams() == pooled_ref.getParams();
         char label[64];
         std::snprintf(label, sizeof(label), "%s reference epoch", name);
         std::printf("  %-28s %10.2f ms   %8.0f records/s\n", label,
                     ref_s * 1e3, static_cast<double>(kRecords) / ref_s);
-        std::snprintf(label, sizeof(label), "%s batched epoch", name);
+        std::snprintf(label, sizeof(label), "%s per-group epoch", name);
         std::printf("  %-28s %10.2f ms   %8.0f records/s   %.2fx speedup"
                     "   weights %s\n",
-                    label, bat_s * 1e3,
-                    static_cast<double>(kRecords) / bat_s, ref_s / bat_s,
-                    identical ? "identical" : "DIVERGED");
-        if (!identical) {
+                    label, grp_s * 1e3,
+                    static_cast<double>(kRecords) / grp_s, ref_s / grp_s,
+                    grp_identical ? "identical" : "DIVERGED");
+        std::snprintf(label, sizeof(label), "%s task-batched epoch", name);
+        std::printf("  %-28s %10.2f ms   %8.0f records/s   %.2fx vs "
+                    "per-group   weights %s\n",
+                    label, pool_s * 1e3,
+                    static_cast<double>(kRecords) / pool_s, grp_s / pool_s,
+                    pool_identical ? "identical" : "DIVERGED");
+        if (!grp_identical || !pool_identical) {
             status = 1;
         }
+        // The async double-buffer carries the task-batch knob into its
+        // back clone: one overlapped update at 1 and 4 workers must land
+        // the same bytes as the per-record reference at the same knob.
+        for (const size_t workers : {size_t{1}, size_t{4}}) {
+            auto front = make_model();
+            auto async_ref = make_model();
+            front.setTrainTaskBatch(kTaskBatch);
+            async_ref.setTrainTaskBatch(kTaskBatch);
+            ThreadPool pool(workers);
+            AsyncModelTrainer trainer(front, pool);
+            trainer.beginUpdate(records, 1);
+            trainer.install();
+            async_ref.trainReference(records, 1);
+            const bool async_identical =
+                front.getParams() == async_ref.getParams();
+            std::snprintf(label, sizeof(label), "%s async (%zu worker%s)",
+                          name, workers, workers == 1 ? "" : "s");
+            std::printf("  %-28s weights %s\n", label,
+                        async_identical ? "identical" : "DIVERGED");
+            if (!async_identical) {
+                status = 1;
+            }
+        }
+        if (g_json != nullptr) {
+            g_json->set(json_name, "reference_epoch_ms", ref_s * 1e3);
+            g_json->set(json_name, "per_group_epoch_ms", grp_s * 1e3);
+            g_json->set(json_name, "task_batched_epoch_ms", pool_s * 1e3);
+            g_json->set(json_name, "task_batched_reference_epoch_ms",
+                        pool_ref_s * 1e3);
+            g_json->set(json_name, "speedup_vs_reference", ref_s / pool_s);
+            g_json->set(json_name, "speedup_vs_per_group", grp_s / pool_s);
+            g_json->set(json_name, "reference_records_per_s",
+                        static_cast<double>(kRecords) / ref_s);
+            g_json->set(json_name, "per_group_records_per_s",
+                        static_cast<double>(kRecords) / grp_s);
+            g_json->set(json_name, "task_batched_records_per_s",
+                        static_cast<double>(kRecords) / pool_s);
+        }
     };
-    section("PaCM", PaCMModel(dev, 1), PaCMModel(dev, 1));
-    section("TLP", TlpCostModel(dev, 1), TlpCostModel(dev, 1));
+    section("PaCM", "training_pacm", [&]() { return PaCMModel(dev, 1); });
+    section("TLP", "training_tlp",
+            [&]() { return TlpCostModel(dev, 1); });
     std::printf("\n");
     return status;
 }
@@ -535,8 +600,19 @@ asyncTrainingBenchmark()
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::BenchJson json;
+    const char* json_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+            g_json = &json;
+        } else {
+            std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+            return 2;
+        }
+    }
     std::printf("micro_overhead: component costs + batched inference + "
                 "batched measurement overlap\n\n");
     componentBenchmarks();
@@ -546,5 +622,13 @@ main()
     std::printf("\n");
     status |= shardedRoundBenchmark();
     status |= asyncTrainingBenchmark();
+    if (json_path != nullptr) {
+        if (json.writeTo(json_path)) {
+            std::printf("wrote %s\n", json_path);
+        } else {
+            std::fprintf(stderr, "failed to write %s\n", json_path);
+            status = 1;
+        }
+    }
     return status;
 }

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/pruner_tuner.hpp"
 #include "ir/workload_registry.hpp"
 #include "obs/metrics.hpp"
@@ -143,8 +144,7 @@ medianWall(int workers, bool with_obs, size_t repeats)
     for (size_t i = 0; i < repeats; ++i) {
         walls.push_back(runOnce(workers, with_obs).wall_s);
     }
-    std::sort(walls.begin(), walls.end());
-    return walls[walls.size() / 2];
+    return bench::median(std::move(walls));
 }
 
 } // namespace

@@ -202,7 +202,7 @@ MlpCostModel::train(const std::vector<MeasuredRecord>& records, int epochs)
     };
     return trainRankingLoop(records, epochs, /*group_cap=*/48, rng_,
                             infer_scores, fit_batch, on_batch_end,
-                            obs_counters_);
+                            obs_counters_, train_task_batch_);
 }
 
 double
@@ -258,7 +258,7 @@ MlpCostModel::trainReference(const std::vector<MeasuredRecord>& records,
     };
     return trainRankingLoopReference(records, epochs, /*group_cap=*/48,
                                      rng_, infer_scores, fit_one,
-                                     on_batch_end);
+                                     on_batch_end, train_task_batch_);
 }
 
 double

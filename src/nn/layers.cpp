@@ -83,13 +83,14 @@ Linear::backwardBatch(const Matrix& x, const Matrix& dy,
     // One partial per segment, added in segment order: the exact rounding
     // sequence of the per-record loop (`dw += matmulTN(x_r, dy_r)` builds
     // each record's full partial before the single add, so a flat
-    // whole-pack accumulation would round differently). The fused kernel
-    // builds each partial element in a local accumulator and lands it in
-    // the gradient with the same single add — no partial matrix, one
-    // gradient pass per segment. A run of contiguous one-row segments
-    // (the pooled-head case — every record is one row) collapses further:
-    // each element's partial is a single product, so the whole run is one
-    // direct accumulation with the identical per-record rounding chain.
+    // whole-pack accumulation would round differently). The db walk below
+    // keeps that structure directly; the dW reduction hands the whole
+    // pack to the segment-blocked kernel, which builds each segment's
+    // partial element in a local register and folds it in with the same
+    // single add — each dW element is loaded and stored ONCE per pack
+    // instead of once per segment. One-row segments are single-product
+    // partials, so the per-record direct-accumulation rounding chain is
+    // preserved too (see matmulTNSegBlocked's contract).
     size_t s = 0;
     size_t expect_begin = 0;
     while (s < segs.count()) {
@@ -112,9 +113,6 @@ Linear::backwardBatch(const Matrix& x, const Matrix& dy,
             }
             const size_t t = e - s;
             expect_begin = b0 + t;
-            nnkernel::matmulTNAcc(x.row(b0), t, x.cols(), x.cols(),
-                                  dy.row(b0), dy.cols(), dy.cols(),
-                                  dw_.row(0), dw_.cols());
             double* g = db_.row(0);
             for (size_t r = 0; r < t; ++r) {
                 const double* dr = dy.row(b0 + r);
@@ -126,9 +124,6 @@ Linear::backwardBatch(const Matrix& x, const Matrix& dy,
             continue;
         }
         const size_t t = segs.rows(s);
-        nnkernel::matmulTNAddPartial(x.row(b0), t, x.cols(), x.cols(),
-                                     dy.row(b0), dy.cols(), dy.cols(),
-                                     dw_.row(0), dw_.cols());
         // db partial: the colSum chain from zero, one add per element.
         double* g = db_.row(0);
         for (size_t j = 0; j < dy.cols(); ++j) {
@@ -139,6 +134,12 @@ Linear::backwardBatch(const Matrix& x, const Matrix& dy,
             g[j] += acc;
         }
         ++s;
+    }
+    if (segs.count() > 0) {
+        nnkernel::matmulTNSegBlocked(x.row(0), x.cols(), dy.row(0),
+                                     dy.cols(), segs.rowsData(),
+                                     segs.count(), x.cols(), dy.cols(),
+                                     dw_.row(0), dw_.cols());
     }
     if (!need_dx) {
         return nullptr;

@@ -1,6 +1,7 @@
 #include "nn/matrix.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
@@ -507,9 +508,83 @@ matmulNTAvx512(const double* a, size_t m, size_t k, size_t lda,
                          c + i0 * ldc + j0, ldc);
         }
     }
+    // Row remainder (1-3 rows): keep the 8-wide ZMM panels instead of
+    // falling through the AVX2 kernel into the naive loop. The in-register
+    // B-panel transpose is shared by every remainder row, so its cost
+    // amortizes; each output element still owns one lane accumulating over
+    // ascending kk with separate mul/add roundings.
     if (i0 < m) {
-        matmulNTAvx2(a + i0 * lda, m - i0, k, lda, b, n, ldb, c + i0 * ldc,
-                     ldc);
+        const size_t mr = m - i0;
+        const double* a0 = a + i0 * lda;
+        size_t j0 = 0;
+        for (; j0 + 8 <= n; j0 += 8) {
+            const double* brows[8];
+            for (size_t q = 0; q < 8; ++q) {
+                brows[q] = b + (j0 + q) * ldb;
+            }
+            __m512d acc[3] = {_mm512_setzero_pd(), _mm512_setzero_pd(),
+                              _mm512_setzero_pd()};
+            size_t kk = 0;
+            for (; kk + 4 <= k; kk += 4) {
+                const __m256d r0 = _mm256_loadu_pd(brows[0] + kk);
+                const __m256d r1 = _mm256_loadu_pd(brows[1] + kk);
+                const __m256d r2 = _mm256_loadu_pd(brows[2] + kk);
+                const __m256d r3 = _mm256_loadu_pd(brows[3] + kk);
+                const __m256d r4 = _mm256_loadu_pd(brows[4] + kk);
+                const __m256d r5 = _mm256_loadu_pd(brows[5] + kk);
+                const __m256d r6 = _mm256_loadu_pd(brows[6] + kk);
+                const __m256d r7 = _mm256_loadu_pd(brows[7] + kk);
+                const __m256d t0 = _mm256_unpacklo_pd(r0, r1);
+                const __m256d t1 = _mm256_unpackhi_pd(r0, r1);
+                const __m256d t2 = _mm256_unpacklo_pd(r2, r3);
+                const __m256d t3 = _mm256_unpackhi_pd(r2, r3);
+                const __m256d s0 = _mm256_unpacklo_pd(r4, r5);
+                const __m256d s1 = _mm256_unpackhi_pd(r4, r5);
+                const __m256d s2 = _mm256_unpacklo_pd(r6, r7);
+                const __m256d s3 = _mm256_unpackhi_pd(r6, r7);
+                const __m256d lo[4] = {
+                    _mm256_permute2f128_pd(t0, t2, 0x20),
+                    _mm256_permute2f128_pd(t1, t3, 0x20),
+                    _mm256_permute2f128_pd(t0, t2, 0x31),
+                    _mm256_permute2f128_pd(t1, t3, 0x31),
+                };
+                const __m256d hi[4] = {
+                    _mm256_permute2f128_pd(s0, s2, 0x20),
+                    _mm256_permute2f128_pd(s1, s3, 0x20),
+                    _mm256_permute2f128_pd(s0, s2, 0x31),
+                    _mm256_permute2f128_pd(s1, s3, 0x31),
+                };
+                for (size_t q = 0; q < 4; ++q) {
+                    const __m512d bv = _mm512_insertf64x4(
+                        _mm512_castpd256_pd512(lo[q]), hi[q], 1);
+                    for (size_t ii = 0; ii < mr; ++ii) {
+                        const __m512d av =
+                            _mm512_set1_pd(a0[ii * lda + kk + q]);
+                        acc[ii] = _mm512_add_pd(acc[ii],
+                                                _mm512_mul_pd(av, bv));
+                    }
+                }
+            }
+            for (; kk < k; ++kk) {
+                const __m512d bv = _mm512_set_pd(
+                    brows[7][kk], brows[6][kk], brows[5][kk], brows[4][kk],
+                    brows[3][kk], brows[2][kk], brows[1][kk], brows[0][kk]);
+                for (size_t ii = 0; ii < mr; ++ii) {
+                    const __m512d av = _mm512_set1_pd(a0[ii * lda + kk]);
+                    acc[ii] =
+                        _mm512_add_pd(acc[ii], _mm512_mul_pd(av, bv));
+                }
+            }
+            for (size_t ii = 0; ii < mr; ++ii) {
+                _mm512_storeu_pd(c + (i0 + ii) * ldc + j0, acc[ii]);
+            }
+        }
+        if (j0 < n) {
+            // Column remainder on the remainder rows: the AVX2 kernel
+            // (whose own m<4 path is the naive loop on these small tails).
+            matmulNTAvx2(a0, mr, k, lda, b + j0 * ldb, n - j0, ldb,
+                         c + i0 * ldc + j0, ldc);
+        }
     }
 }
 #pragma GCC diagnostic pop
@@ -599,6 +674,114 @@ matmulTNAccAvx2(const double* a, size_t rows, size_t acols, size_t lda,
         }
     }
 }
+
+/**
+ * AVX-512 tier of the accumulating TNAcc kernel: the AVX2 kernel's 4-row
+ * blocking with 8-wide ZMM j panels (then a 4-wide YMM panel and a scalar
+ * tail), so TLP-sized packs keep the whole 64-wide C row in four panel
+ * round-trips instead of eight. Same per-element ascending-r term order
+ * and whole-block zero-skip as the AVX2 tier.
+ */
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+__attribute__((target("avx512f"))) void
+matmulTNAccAvx512(const double* a, size_t rows, size_t acols, size_t lda,
+                  const double* b, size_t bcols, size_t ldb, double* c,
+                  size_t ldc)
+{
+    size_t r0 = 0;
+    for (; r0 + 4 <= rows; r0 += 4) {
+        const double* a0 = a + (r0 + 0) * lda;
+        const double* a1 = a + (r0 + 1) * lda;
+        const double* a2 = a + (r0 + 2) * lda;
+        const double* a3 = a + (r0 + 3) * lda;
+        const double* b0 = b + (r0 + 0) * ldb;
+        const double* b1 = b + (r0 + 1) * ldb;
+        const double* b2 = b + (r0 + 2) * ldb;
+        const double* b3 = b + (r0 + 3) * ldb;
+        for (size_t i = 0; i < acols; ++i) {
+            const double a0i = a0[i];
+            const double a1i = a1[i];
+            const double a2i = a2[i];
+            const double a3i = a3[i];
+            if (a0i == 0.0 && a1i == 0.0 && a2i == 0.0 && a3i == 0.0) {
+                continue; // whole-block skip (zero-padding rows)
+            }
+            double* crow = c + i * ldc;
+            const __m512d wa0 = _mm512_set1_pd(a0i);
+            const __m512d wa1 = _mm512_set1_pd(a1i);
+            const __m512d wa2 = _mm512_set1_pd(a2i);
+            const __m512d wa3 = _mm512_set1_pd(a3i);
+            size_t j = 0;
+            for (; j + 8 <= bcols; j += 8) {
+                __m512d acc = _mm512_loadu_pd(crow + j);
+                acc = _mm512_add_pd(
+                    acc, _mm512_mul_pd(wa0, _mm512_loadu_pd(b0 + j)));
+                acc = _mm512_add_pd(
+                    acc, _mm512_mul_pd(wa1, _mm512_loadu_pd(b1 + j)));
+                acc = _mm512_add_pd(
+                    acc, _mm512_mul_pd(wa2, _mm512_loadu_pd(b2 + j)));
+                acc = _mm512_add_pd(
+                    acc, _mm512_mul_pd(wa3, _mm512_loadu_pd(b3 + j)));
+                _mm512_storeu_pd(crow + j, acc);
+            }
+            for (; j + 4 <= bcols; j += 4) {
+                __m256d acc = _mm256_loadu_pd(crow + j);
+                acc = _mm256_add_pd(
+                    acc, _mm256_mul_pd(_mm256_set1_pd(a0i),
+                                       _mm256_loadu_pd(b0 + j)));
+                acc = _mm256_add_pd(
+                    acc, _mm256_mul_pd(_mm256_set1_pd(a1i),
+                                       _mm256_loadu_pd(b1 + j)));
+                acc = _mm256_add_pd(
+                    acc, _mm256_mul_pd(_mm256_set1_pd(a2i),
+                                       _mm256_loadu_pd(b2 + j)));
+                acc = _mm256_add_pd(
+                    acc, _mm256_mul_pd(_mm256_set1_pd(a3i),
+                                       _mm256_loadu_pd(b3 + j)));
+                _mm256_storeu_pd(crow + j, acc);
+            }
+            for (; j < bcols; ++j) {
+                double acc = crow[j];
+                acc += a0i * b0[j];
+                acc += a1i * b1[j];
+                acc += a2i * b2[j];
+                acc += a3i * b3[j];
+                crow[j] = acc;
+            }
+        }
+    }
+    for (; r0 < rows; ++r0) {
+        const double* arow = a + r0 * lda;
+        const double* brow = b + r0 * ldb;
+        for (size_t i = 0; i < acols; ++i) {
+            const double ari = arow[i];
+            if (ari == 0.0) {
+                continue;
+            }
+            double* crow = c + i * ldc;
+            const __m512d wa = _mm512_set1_pd(ari);
+            size_t j = 0;
+            for (; j + 8 <= bcols; j += 8) {
+                const __m512d acc = _mm512_add_pd(
+                    _mm512_loadu_pd(crow + j),
+                    _mm512_mul_pd(wa, _mm512_loadu_pd(brow + j)));
+                _mm512_storeu_pd(crow + j, acc);
+            }
+            for (; j + 4 <= bcols; j += 4) {
+                const __m256d acc = _mm256_add_pd(
+                    _mm256_loadu_pd(crow + j),
+                    _mm256_mul_pd(_mm256_set1_pd(ari),
+                                  _mm256_loadu_pd(brow + j)));
+                _mm256_storeu_pd(crow + j, acc);
+            }
+            for (; j < bcols; ++j) {
+                crow[j] += ari * brow[j];
+            }
+        }
+    }
+}
+#pragma GCC diagnostic pop
 
 /**
  * AVX2 fused partial kernel (see matmulTNAddPartial): for each C panel a
@@ -732,6 +915,441 @@ matmulTNAddPartialAvx512(const double* a, size_t rows, size_t acols,
 }
 #pragma GCC diagnostic pop
 
+/**
+ * Segment-blocked dW kernels (see matmulTNSegBlocked): C panels live in
+ * registers across the whole segment run — per (i, j) panel the
+ * accumulator is loaded once, every segment folds in through a local
+ * partial register, and the panel is stored once, replacing one C
+ * load/add/store pass PER SEGMENT with one per pack. The per-element
+ * rounding chain (partial over ascending r, one add per segment, segments
+ * ascending) is exactly the composed per-segment naive reference
+ * (matmulTNSegBlockedNaive).
+ */
+__attribute__((target("avx2"))) void
+matmulTNSegBlockedAvx2(const double* a, size_t lda, const double* b,
+                       size_t ldb, const size_t* seg_rows, size_t nsegs,
+                       size_t acols, size_t bcols, double* c, size_t ldc)
+{
+    size_t i0 = 0;
+    for (; i0 + 4 <= acols; i0 += 4) {
+        double* c0 = c + (i0 + 0) * ldc;
+        double* c1 = c + (i0 + 1) * ldc;
+        double* c2 = c + (i0 + 2) * ldc;
+        double* c3 = c + (i0 + 3) * ldc;
+        size_t j = 0;
+        for (; j + 4 <= bcols; j += 4) {
+            __m256d acc0 = _mm256_loadu_pd(c0 + j);
+            __m256d acc1 = _mm256_loadu_pd(c1 + j);
+            __m256d acc2 = _mm256_loadu_pd(c2 + j);
+            __m256d acc3 = _mm256_loadu_pd(c3 + j);
+            const double* ap = a + i0;
+            const double* bp = b + j;
+            for (size_t s = 0; s < nsegs; ++s) {
+                __m256d p0 = _mm256_setzero_pd();
+                __m256d p1 = _mm256_setzero_pd();
+                __m256d p2 = _mm256_setzero_pd();
+                __m256d p3 = _mm256_setzero_pd();
+                for (size_t r = 0; r < seg_rows[s]; ++r) {
+                    const __m256d bv = _mm256_loadu_pd(bp);
+                    p0 = _mm256_add_pd(
+                        p0, _mm256_mul_pd(_mm256_set1_pd(ap[0]), bv));
+                    p1 = _mm256_add_pd(
+                        p1, _mm256_mul_pd(_mm256_set1_pd(ap[1]), bv));
+                    p2 = _mm256_add_pd(
+                        p2, _mm256_mul_pd(_mm256_set1_pd(ap[2]), bv));
+                    p3 = _mm256_add_pd(
+                        p3, _mm256_mul_pd(_mm256_set1_pd(ap[3]), bv));
+                    ap += lda;
+                    bp += ldb;
+                }
+                acc0 = _mm256_add_pd(acc0, p0);
+                acc1 = _mm256_add_pd(acc1, p1);
+                acc2 = _mm256_add_pd(acc2, p2);
+                acc3 = _mm256_add_pd(acc3, p3);
+            }
+            _mm256_storeu_pd(c0 + j, acc0);
+            _mm256_storeu_pd(c1 + j, acc1);
+            _mm256_storeu_pd(c2 + j, acc2);
+            _mm256_storeu_pd(c3 + j, acc3);
+        }
+        for (; j < bcols; ++j) {
+            double acc0 = c0[j];
+            double acc1 = c1[j];
+            double acc2 = c2[j];
+            double acc3 = c3[j];
+            const double* ap = a + i0;
+            const double* bp = b + j;
+            for (size_t s = 0; s < nsegs; ++s) {
+                double p0 = 0.0, p1 = 0.0, p2 = 0.0, p3 = 0.0;
+                for (size_t r = 0; r < seg_rows[s]; ++r) {
+                    const double bv = bp[0];
+                    p0 += ap[0] * bv;
+                    p1 += ap[1] * bv;
+                    p2 += ap[2] * bv;
+                    p3 += ap[3] * bv;
+                    ap += lda;
+                    bp += ldb;
+                }
+                acc0 += p0;
+                acc1 += p1;
+                acc2 += p2;
+                acc3 += p3;
+            }
+            c0[j] = acc0;
+            c1[j] = acc1;
+            c2[j] = acc2;
+            c3[j] = acc3;
+        }
+    }
+    for (; i0 < acols; ++i0) {
+        double* crow = c + i0 * ldc;
+        size_t j = 0;
+        for (; j + 4 <= bcols; j += 4) {
+            __m256d acc = _mm256_loadu_pd(crow + j);
+            const double* ap = a + i0;
+            const double* bp = b + j;
+            for (size_t s = 0; s < nsegs; ++s) {
+                __m256d p = _mm256_setzero_pd();
+                for (size_t r = 0; r < seg_rows[s]; ++r) {
+                    p = _mm256_add_pd(
+                        p, _mm256_mul_pd(_mm256_set1_pd(ap[0]),
+                                         _mm256_loadu_pd(bp)));
+                    ap += lda;
+                    bp += ldb;
+                }
+                acc = _mm256_add_pd(acc, p);
+            }
+            _mm256_storeu_pd(crow + j, acc);
+        }
+        for (; j < bcols; ++j) {
+            double acc = crow[j];
+            const double* ap = a + i0;
+            const double* bp = b + j;
+            for (size_t s = 0; s < nsegs; ++s) {
+                double p = 0.0;
+                for (size_t r = 0; r < seg_rows[s]; ++r) {
+                    p += ap[0] * bp[0];
+                    ap += lda;
+                    bp += ldb;
+                }
+                acc += p;
+            }
+            crow[j] = acc;
+        }
+    }
+}
+
+/** AVX-512 tier of the segment-blocked dW kernel: 8-row C blocks with
+ *  8-wide ZMM j panels, falling back to 4-row blocks, 4-wide YMM
+ *  sub-panels and a scalar column tail, then a 1-row i remainder. */
+__attribute__((target("avx512f"))) void
+matmulTNSegBlockedAvx512(const double* a, size_t lda, const double* b,
+                         size_t ldb, const size_t* seg_rows, size_t nsegs,
+                         size_t acols, size_t bcols, double* c, size_t ldc)
+{
+    size_t i0 = 0;
+    for (; i0 + 8 <= acols; i0 += 8) {
+        // 8-row x 8-wide ZMM tile: one shared B load feeds eight
+        // broadcast mul+add chains, halving B traffic per flop versus
+        // the 4-row tile and giving each add chain 2x latency slack.
+        size_t j = 0;
+        for (; j + 8 <= bcols; j += 8) {
+            __m512d acc0 = _mm512_loadu_pd(c + (i0 + 0) * ldc + j);
+            __m512d acc1 = _mm512_loadu_pd(c + (i0 + 1) * ldc + j);
+            __m512d acc2 = _mm512_loadu_pd(c + (i0 + 2) * ldc + j);
+            __m512d acc3 = _mm512_loadu_pd(c + (i0 + 3) * ldc + j);
+            __m512d acc4 = _mm512_loadu_pd(c + (i0 + 4) * ldc + j);
+            __m512d acc5 = _mm512_loadu_pd(c + (i0 + 5) * ldc + j);
+            __m512d acc6 = _mm512_loadu_pd(c + (i0 + 6) * ldc + j);
+            __m512d acc7 = _mm512_loadu_pd(c + (i0 + 7) * ldc + j);
+            const double* ap = a + i0;
+            const double* bp = b + j;
+            for (size_t s = 0; s < nsegs; ++s) {
+                __m512d p0 = _mm512_setzero_pd();
+                __m512d p1 = _mm512_setzero_pd();
+                __m512d p2 = _mm512_setzero_pd();
+                __m512d p3 = _mm512_setzero_pd();
+                __m512d p4 = _mm512_setzero_pd();
+                __m512d p5 = _mm512_setzero_pd();
+                __m512d p6 = _mm512_setzero_pd();
+                __m512d p7 = _mm512_setzero_pd();
+                for (size_t r = 0; r < seg_rows[s]; ++r) {
+                    const __m512d bv = _mm512_loadu_pd(bp);
+                    p0 = _mm512_add_pd(
+                        p0, _mm512_mul_pd(_mm512_set1_pd(ap[0]), bv));
+                    p1 = _mm512_add_pd(
+                        p1, _mm512_mul_pd(_mm512_set1_pd(ap[1]), bv));
+                    p2 = _mm512_add_pd(
+                        p2, _mm512_mul_pd(_mm512_set1_pd(ap[2]), bv));
+                    p3 = _mm512_add_pd(
+                        p3, _mm512_mul_pd(_mm512_set1_pd(ap[3]), bv));
+                    p4 = _mm512_add_pd(
+                        p4, _mm512_mul_pd(_mm512_set1_pd(ap[4]), bv));
+                    p5 = _mm512_add_pd(
+                        p5, _mm512_mul_pd(_mm512_set1_pd(ap[5]), bv));
+                    p6 = _mm512_add_pd(
+                        p6, _mm512_mul_pd(_mm512_set1_pd(ap[6]), bv));
+                    p7 = _mm512_add_pd(
+                        p7, _mm512_mul_pd(_mm512_set1_pd(ap[7]), bv));
+                    ap += lda;
+                    bp += ldb;
+                }
+                acc0 = _mm512_add_pd(acc0, p0);
+                acc1 = _mm512_add_pd(acc1, p1);
+                acc2 = _mm512_add_pd(acc2, p2);
+                acc3 = _mm512_add_pd(acc3, p3);
+                acc4 = _mm512_add_pd(acc4, p4);
+                acc5 = _mm512_add_pd(acc5, p5);
+                acc6 = _mm512_add_pd(acc6, p6);
+                acc7 = _mm512_add_pd(acc7, p7);
+            }
+            _mm512_storeu_pd(c + (i0 + 0) * ldc + j, acc0);
+            _mm512_storeu_pd(c + (i0 + 1) * ldc + j, acc1);
+            _mm512_storeu_pd(c + (i0 + 2) * ldc + j, acc2);
+            _mm512_storeu_pd(c + (i0 + 3) * ldc + j, acc3);
+            _mm512_storeu_pd(c + (i0 + 4) * ldc + j, acc4);
+            _mm512_storeu_pd(c + (i0 + 5) * ldc + j, acc5);
+            _mm512_storeu_pd(c + (i0 + 6) * ldc + j, acc6);
+            _mm512_storeu_pd(c + (i0 + 7) * ldc + j, acc7);
+        }
+        // Column tail (<8 remaining): two 4-row passes. Each C element's
+        // add chain is independent per (i, j), so splitting the row
+        // block here changes no byte.
+        for (size_t h = i0; h < i0 + 8; h += 4) {
+            double* c0 = c + (h + 0) * ldc;
+            double* c1 = c + (h + 1) * ldc;
+            double* c2 = c + (h + 2) * ldc;
+            double* c3 = c + (h + 3) * ldc;
+            size_t jj = j;
+            for (; jj + 4 <= bcols; jj += 4) {
+                __m256d acc0 = _mm256_loadu_pd(c0 + jj);
+                __m256d acc1 = _mm256_loadu_pd(c1 + jj);
+                __m256d acc2 = _mm256_loadu_pd(c2 + jj);
+                __m256d acc3 = _mm256_loadu_pd(c3 + jj);
+                const double* ap = a + h;
+                const double* bp = b + jj;
+                for (size_t s = 0; s < nsegs; ++s) {
+                    __m256d p0 = _mm256_setzero_pd();
+                    __m256d p1 = _mm256_setzero_pd();
+                    __m256d p2 = _mm256_setzero_pd();
+                    __m256d p3 = _mm256_setzero_pd();
+                    for (size_t r = 0; r < seg_rows[s]; ++r) {
+                        const __m256d bv = _mm256_loadu_pd(bp);
+                        p0 = _mm256_add_pd(
+                            p0, _mm256_mul_pd(_mm256_set1_pd(ap[0]), bv));
+                        p1 = _mm256_add_pd(
+                            p1, _mm256_mul_pd(_mm256_set1_pd(ap[1]), bv));
+                        p2 = _mm256_add_pd(
+                            p2, _mm256_mul_pd(_mm256_set1_pd(ap[2]), bv));
+                        p3 = _mm256_add_pd(
+                            p3, _mm256_mul_pd(_mm256_set1_pd(ap[3]), bv));
+                        ap += lda;
+                        bp += ldb;
+                    }
+                    acc0 = _mm256_add_pd(acc0, p0);
+                    acc1 = _mm256_add_pd(acc1, p1);
+                    acc2 = _mm256_add_pd(acc2, p2);
+                    acc3 = _mm256_add_pd(acc3, p3);
+                }
+                _mm256_storeu_pd(c0 + jj, acc0);
+                _mm256_storeu_pd(c1 + jj, acc1);
+                _mm256_storeu_pd(c2 + jj, acc2);
+                _mm256_storeu_pd(c3 + jj, acc3);
+            }
+            for (; jj < bcols; ++jj) {
+                double acc0 = c0[jj];
+                double acc1 = c1[jj];
+                double acc2 = c2[jj];
+                double acc3 = c3[jj];
+                const double* ap = a + h;
+                const double* bp = b + jj;
+                for (size_t s = 0; s < nsegs; ++s) {
+                    double p0 = 0.0, p1 = 0.0, p2 = 0.0, p3 = 0.0;
+                    for (size_t r = 0; r < seg_rows[s]; ++r) {
+                        const double bv = bp[0];
+                        p0 += ap[0] * bv;
+                        p1 += ap[1] * bv;
+                        p2 += ap[2] * bv;
+                        p3 += ap[3] * bv;
+                        ap += lda;
+                        bp += ldb;
+                    }
+                    acc0 += p0;
+                    acc1 += p1;
+                    acc2 += p2;
+                    acc3 += p3;
+                }
+                c0[jj] = acc0;
+                c1[jj] = acc1;
+                c2[jj] = acc2;
+                c3[jj] = acc3;
+            }
+        }
+    }
+    for (; i0 + 4 <= acols; i0 += 4) {
+        double* c0 = c + (i0 + 0) * ldc;
+        double* c1 = c + (i0 + 1) * ldc;
+        double* c2 = c + (i0 + 2) * ldc;
+        double* c3 = c + (i0 + 3) * ldc;
+        // 4-row x 8-wide-ZMM register tile. Wider tiles (two ZMM panels
+        // per row) measured slower on this host despite the extra
+        // add-latency slack — the 12 live accumulator/partial registers
+        // push GCC into reordering that loses the shared-broadcast win.
+        size_t j = 0;
+        for (; j + 8 <= bcols; j += 8) {
+            __m512d acc0 = _mm512_loadu_pd(c0 + j);
+            __m512d acc1 = _mm512_loadu_pd(c1 + j);
+            __m512d acc2 = _mm512_loadu_pd(c2 + j);
+            __m512d acc3 = _mm512_loadu_pd(c3 + j);
+            const double* ap = a + i0;
+            const double* bp = b + j;
+            for (size_t s = 0; s < nsegs; ++s) {
+                __m512d p0 = _mm512_setzero_pd();
+                __m512d p1 = _mm512_setzero_pd();
+                __m512d p2 = _mm512_setzero_pd();
+                __m512d p3 = _mm512_setzero_pd();
+                for (size_t r = 0; r < seg_rows[s]; ++r) {
+                    const __m512d bv = _mm512_loadu_pd(bp);
+                    p0 = _mm512_add_pd(
+                        p0, _mm512_mul_pd(_mm512_set1_pd(ap[0]), bv));
+                    p1 = _mm512_add_pd(
+                        p1, _mm512_mul_pd(_mm512_set1_pd(ap[1]), bv));
+                    p2 = _mm512_add_pd(
+                        p2, _mm512_mul_pd(_mm512_set1_pd(ap[2]), bv));
+                    p3 = _mm512_add_pd(
+                        p3, _mm512_mul_pd(_mm512_set1_pd(ap[3]), bv));
+                    ap += lda;
+                    bp += ldb;
+                }
+                acc0 = _mm512_add_pd(acc0, p0);
+                acc1 = _mm512_add_pd(acc1, p1);
+                acc2 = _mm512_add_pd(acc2, p2);
+                acc3 = _mm512_add_pd(acc3, p3);
+            }
+            _mm512_storeu_pd(c0 + j, acc0);
+            _mm512_storeu_pd(c1 + j, acc1);
+            _mm512_storeu_pd(c2 + j, acc2);
+            _mm512_storeu_pd(c3 + j, acc3);
+        }
+        for (; j + 4 <= bcols; j += 4) {
+            __m256d acc0 = _mm256_loadu_pd(c0 + j);
+            __m256d acc1 = _mm256_loadu_pd(c1 + j);
+            __m256d acc2 = _mm256_loadu_pd(c2 + j);
+            __m256d acc3 = _mm256_loadu_pd(c3 + j);
+            const double* ap = a + i0;
+            const double* bp = b + j;
+            for (size_t s = 0; s < nsegs; ++s) {
+                __m256d p0 = _mm256_setzero_pd();
+                __m256d p1 = _mm256_setzero_pd();
+                __m256d p2 = _mm256_setzero_pd();
+                __m256d p3 = _mm256_setzero_pd();
+                for (size_t r = 0; r < seg_rows[s]; ++r) {
+                    const __m256d bv = _mm256_loadu_pd(bp);
+                    p0 = _mm256_add_pd(
+                        p0, _mm256_mul_pd(_mm256_set1_pd(ap[0]), bv));
+                    p1 = _mm256_add_pd(
+                        p1, _mm256_mul_pd(_mm256_set1_pd(ap[1]), bv));
+                    p2 = _mm256_add_pd(
+                        p2, _mm256_mul_pd(_mm256_set1_pd(ap[2]), bv));
+                    p3 = _mm256_add_pd(
+                        p3, _mm256_mul_pd(_mm256_set1_pd(ap[3]), bv));
+                    ap += lda;
+                    bp += ldb;
+                }
+                acc0 = _mm256_add_pd(acc0, p0);
+                acc1 = _mm256_add_pd(acc1, p1);
+                acc2 = _mm256_add_pd(acc2, p2);
+                acc3 = _mm256_add_pd(acc3, p3);
+            }
+            _mm256_storeu_pd(c0 + j, acc0);
+            _mm256_storeu_pd(c1 + j, acc1);
+            _mm256_storeu_pd(c2 + j, acc2);
+            _mm256_storeu_pd(c3 + j, acc3);
+        }
+        for (; j < bcols; ++j) {
+            double acc0 = c0[j];
+            double acc1 = c1[j];
+            double acc2 = c2[j];
+            double acc3 = c3[j];
+            const double* ap = a + i0;
+            const double* bp = b + j;
+            for (size_t s = 0; s < nsegs; ++s) {
+                double p0 = 0.0, p1 = 0.0, p2 = 0.0, p3 = 0.0;
+                for (size_t r = 0; r < seg_rows[s]; ++r) {
+                    const double bv = bp[0];
+                    p0 += ap[0] * bv;
+                    p1 += ap[1] * bv;
+                    p2 += ap[2] * bv;
+                    p3 += ap[3] * bv;
+                    ap += lda;
+                    bp += ldb;
+                }
+                acc0 += p0;
+                acc1 += p1;
+                acc2 += p2;
+                acc3 += p3;
+            }
+            c0[j] = acc0;
+            c1[j] = acc1;
+            c2[j] = acc2;
+            c3[j] = acc3;
+        }
+    }
+    for (; i0 < acols; ++i0) {
+        double* crow = c + i0 * ldc;
+        size_t j = 0;
+        for (; j + 8 <= bcols; j += 8) {
+            __m512d acc = _mm512_loadu_pd(crow + j);
+            const double* ap = a + i0;
+            const double* bp = b + j;
+            for (size_t s = 0; s < nsegs; ++s) {
+                __m512d p = _mm512_setzero_pd();
+                for (size_t r = 0; r < seg_rows[s]; ++r) {
+                    p = _mm512_add_pd(
+                        p, _mm512_mul_pd(_mm512_set1_pd(ap[0]),
+                                         _mm512_loadu_pd(bp)));
+                    ap += lda;
+                    bp += ldb;
+                }
+                acc = _mm512_add_pd(acc, p);
+            }
+            _mm512_storeu_pd(crow + j, acc);
+        }
+        for (; j + 4 <= bcols; j += 4) {
+            __m256d acc = _mm256_loadu_pd(crow + j);
+            const double* ap = a + i0;
+            const double* bp = b + j;
+            for (size_t s = 0; s < nsegs; ++s) {
+                __m256d p = _mm256_setzero_pd();
+                for (size_t r = 0; r < seg_rows[s]; ++r) {
+                    p = _mm256_add_pd(
+                        p, _mm256_mul_pd(_mm256_set1_pd(ap[0]),
+                                         _mm256_loadu_pd(bp)));
+                    ap += lda;
+                    bp += ldb;
+                }
+                acc = _mm256_add_pd(acc, p);
+            }
+            _mm256_storeu_pd(crow + j, acc);
+        }
+        for (; j < bcols; ++j) {
+            double acc = crow[j];
+            const double* ap = a + i0;
+            const double* bp = b + j;
+            for (size_t s = 0; s < nsegs; ++s) {
+                double p = 0.0;
+                for (size_t r = 0; r < seg_rows[s]; ++r) {
+                    p += ap[0] * bp[0];
+                    ap += lda;
+                    bp += ldb;
+                }
+                acc += p;
+            }
+            crow[j] = acc;
+        }
+    }
+}
+
 #endif // PRUNER_NNKERNEL_X86
 
 using MatmulFn = void (*)(const double*, size_t, size_t, size_t,
@@ -793,16 +1411,17 @@ matchesNaiveKernel(MatmulFn fn)
 }
 
 /**
- * Same demote-on-mismatch self-check for the NT kernel: m = 9, n = 15
- * covers the AVX-512 tier's 4x8 main block plus its AVX2 column-remainder
- * delegation (a full 4x4 block and a scalar tail), the AVX2 tier's own
- * main block and remainders, and the naive row-remainder delegation;
- * k = 9 covers the transposed four-step k panels and the gathered k tail.
+ * Same demote-on-mismatch self-check for the NT kernel: m = 11, n = 15
+ * covers the AVX-512 tier's 4x8 main block, its 3-row ZMM row-remainder
+ * path, and its AVX2 column-remainder delegation (a full 4x4 block and a
+ * scalar tail), the AVX2 tier's own main block and remainders, and the
+ * naive row-remainder delegation; k = 9 covers the transposed four-step
+ * k panels and the gathered k tail.
  */
 bool
 matchesNaiveKernelNT(MatmulNTFn fn)
 {
-    constexpr size_t m = 9, k = 9, n = 15;
+    constexpr size_t m = 11, k = 9, n = 15;
     double a[m * k], b[n * k], fast[m * n], naive[m * n];
     uint64_t state = 0xA5A5A5A55A5A5A5Aull;
     auto next = [&state]() {
@@ -895,6 +1514,98 @@ matchesAccumulatingReference(MatmulNTFn fn, MatmulNTFn ref)
     return true;
 }
 
+using MatmulTNSegFn = void (*)(const double*, size_t, const double*,
+                               size_t, const size_t*, size_t, size_t,
+                               size_t, double*, size_t);
+
+/**
+ * Self-check for the segment-blocked dW kernel: a segment mix of one-row
+ * runs and 2/3/4-row segments, zeros planted in A (the composed naive
+ * reference's skip paths), accumulated twice so the second pass starts
+ * from a non-zero C. acols = 7 covers the 4-row C block and the 3-row
+ * remainder; bcols = 15 covers the 8- and 4-wide vector panels and the
+ * scalar column tail; a second round runs at the models' layer width
+ * (64 columns). Compared bit for bit against matmulTNSegBlockedNaive.
+ */
+bool
+matchesSegBlockedReference(MatmulTNSegFn fn)
+{
+    constexpr size_t segs[] = {1, 1, 3, 1, 2, 4, 2, 1};
+    constexpr size_t nsegs = sizeof(segs) / sizeof(segs[0]);
+    constexpr size_t rows = 15; // sum of segs
+    constexpr size_t acols = 7, bcols = 15;
+    double a[rows * acols], b[rows * bcols];
+    double fast[acols * bcols] = {}, naive[acols * bcols] = {};
+    uint64_t state = 0x5DEECE66D2B79F31ull;
+    auto next = [&state]() {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        return static_cast<double>(static_cast<int64_t>(state >> 11)) /
+               static_cast<double>(1ll << 52);
+    };
+    for (size_t e = 0; e < rows * acols; ++e) {
+        a[e] = e % 5 == 0 ? 0.0 : next(); // exercise the zero-skip paths
+    }
+    for (double& v : b) {
+        v = next();
+    }
+    for (int pass = 0; pass < 2; ++pass) {
+        fn(a, acols, b, bcols, segs, nsegs, acols, bcols, fast, bcols);
+        matmulTNSegBlockedNaive(a, acols, b, bcols, segs, nsegs, acols,
+                                bcols, naive, bcols);
+        if (std::memcmp(fast, naive, sizeof(fast)) != 0) {
+            return false;
+        }
+    }
+    // Second round at the models' layer width (64 columns), plus a
+    // one-row-only segment list: the collapsed-run shape whose reference
+    // path is the direct matmulTNAccNaive accumulation.
+    constexpr size_t ones[] = {1, 1, 1, 1, 1};
+    constexpr size_t wide = 64;
+    double bw[rows * wide], fastw[acols * wide] = {},
+                            naivew[acols * wide] = {};
+    for (double& v : bw) {
+        v = next();
+    }
+    for (int pass = 0; pass < 2; ++pass) {
+        fn(a, acols, bw, wide, segs, nsegs, acols, wide, fastw, wide);
+        matmulTNSegBlockedNaive(a, acols, bw, wide, segs, nsegs, acols,
+                                wide, naivew, wide);
+        if (std::memcmp(fastw, naivew, sizeof(fastw)) != 0) {
+            return false;
+        }
+        fn(a, acols, bw, wide, ones, 5, acols, wide, fastw, wide);
+        matmulTNSegBlockedNaive(a, acols, bw, wide, ones, 5, acols, wide,
+                                naivew, wide);
+        if (std::memcmp(fastw, naivew, sizeof(fastw)) != 0) {
+            return false;
+        }
+    }
+    // Third round with ten A columns: one 8-row i block plus a two-row
+    // remainder, against both the ragged and layer-width column counts.
+    constexpr size_t acols2 = 10;
+    double a2[rows * acols2];
+    for (size_t e = 0; e < rows * acols2; ++e) {
+        a2[e] = e % 5 == 0 ? 0.0 : next();
+    }
+    double fast2[acols2 * bcols] = {}, naive2[acols2 * bcols] = {};
+    double fast2w[acols2 * wide] = {}, naive2w[acols2 * wide] = {};
+    for (int pass = 0; pass < 2; ++pass) {
+        fn(a2, acols2, b, bcols, segs, nsegs, acols2, bcols, fast2, bcols);
+        matmulTNSegBlockedNaive(a2, acols2, b, bcols, segs, nsegs, acols2,
+                                bcols, naive2, bcols);
+        if (std::memcmp(fast2, naive2, sizeof(fast2)) != 0) {
+            return false;
+        }
+        fn(a2, acols2, bw, wide, segs, nsegs, acols2, wide, fast2w, wide);
+        matmulTNSegBlockedNaive(a2, acols2, bw, wide, segs, nsegs, acols2,
+                                wide, naive2w, wide);
+        if (std::memcmp(fast2w, naive2w, sizeof(fast2w)) != 0) {
+            return false;
+        }
+    }
+    return true;
+}
+
 /** A dispatched kernel plus its tier name (see nnkernel::kernelTiers). */
 struct PickedMatmul
 {
@@ -906,6 +1617,22 @@ struct PickedMatmulNT
     MatmulNTFn fn;
     const char* tier;
 };
+struct PickedMatmulTNSeg
+{
+    MatmulTNSegFn fn;
+    const char* tier;
+};
+
+/** CPU-supported tiers rejected by their startup self-check (see
+ *  kernelTierDemotions). Atomic: first-use dispatch can race across the
+ *  pool's worker threads. */
+std::atomic<size_t> g_tier_demotions{0};
+
+void
+noteTierDemotion()
+{
+    g_tier_demotions.fetch_add(1, std::memory_order_relaxed);
+}
 
 #ifdef PRUNER_NNKERNEL_X86
 
@@ -914,13 +1641,18 @@ pickKernel()
 {
     // The AVX-512 tier delegates its remainders to the AVX2 kernel, so
     // both must pass before it is accepted.
-    if (__builtin_cpu_supports("avx512f") &&
-        matchesNaiveKernel(matmulAvx512) &&
-        matchesNaiveKernel(matmulAvx2)) {
-        return {matmulAvx512, "avx512"};
+    if (__builtin_cpu_supports("avx512f")) {
+        if (matchesNaiveKernel(matmulAvx512) &&
+            matchesNaiveKernel(matmulAvx2)) {
+            return {matmulAvx512, "avx512"};
+        }
+        noteTierDemotion();
     }
-    if (__builtin_cpu_supports("avx2") && matchesNaiveKernel(matmulAvx2)) {
-        return {matmulAvx2, "avx2"};
+    if (__builtin_cpu_supports("avx2")) {
+        if (matchesNaiveKernel(matmulAvx2)) {
+            return {matmulAvx2, "avx2"};
+        }
+        noteTierDemotion();
     }
     return {matmulScalarTile, "scalar"};
 }
@@ -930,14 +1662,18 @@ pickKernelNT()
 {
     // The AVX-512 NT tier delegates its remainders to the AVX2 NT
     // kernel, so both must pass before it is accepted.
-    if (__builtin_cpu_supports("avx512f") &&
-        matchesNaiveKernelNT(matmulNTAvx512) &&
-        matchesNaiveKernelNT(matmulNTAvx2)) {
-        return {matmulNTAvx512, "avx512"};
+    if (__builtin_cpu_supports("avx512f")) {
+        if (matchesNaiveKernelNT(matmulNTAvx512) &&
+            matchesNaiveKernelNT(matmulNTAvx2)) {
+            return {matmulNTAvx512, "avx512"};
+        }
+        noteTierDemotion();
     }
-    if (__builtin_cpu_supports("avx2") &&
-        matchesNaiveKernelNT(matmulNTAvx2)) {
-        return {matmulNTAvx2, "avx2"};
+    if (__builtin_cpu_supports("avx2")) {
+        if (matchesNaiveKernelNT(matmulNTAvx2)) {
+            return {matmulNTAvx2, "avx2"};
+        }
+        noteTierDemotion();
     }
     return {matmulNTNaive, "naive"};
 }
@@ -945,9 +1681,19 @@ pickKernelNT()
 PickedMatmulNT
 pickKernelTNAcc()
 {
-    if (__builtin_cpu_supports("avx2") &&
-        matchesAccumulatingReference(matmulTNAccAvx2, matmulTNAccNaive)) {
-        return {matmulTNAccAvx2, "avx2"};
+    if (__builtin_cpu_supports("avx512f")) {
+        if (matchesAccumulatingReference(matmulTNAccAvx512,
+                                         matmulTNAccNaive)) {
+            return {matmulTNAccAvx512, "avx512"};
+        }
+        noteTierDemotion();
+    }
+    if (__builtin_cpu_supports("avx2")) {
+        if (matchesAccumulatingReference(matmulTNAccAvx2,
+                                         matmulTNAccNaive)) {
+            return {matmulTNAccAvx2, "avx2"};
+        }
+        noteTierDemotion();
     }
     return {matmulTNAccNaive, "naive"};
 }
@@ -955,17 +1701,39 @@ pickKernelTNAcc()
 PickedMatmulNT
 pickKernelTNAddPartial()
 {
-    if (__builtin_cpu_supports("avx512f") &&
-        matchesAccumulatingReference(matmulTNAddPartialAvx512,
-                                     matmulTNAddPartialNaive)) {
-        return {matmulTNAddPartialAvx512, "avx512"};
+    if (__builtin_cpu_supports("avx512f")) {
+        if (matchesAccumulatingReference(matmulTNAddPartialAvx512,
+                                         matmulTNAddPartialNaive)) {
+            return {matmulTNAddPartialAvx512, "avx512"};
+        }
+        noteTierDemotion();
     }
-    if (__builtin_cpu_supports("avx2") &&
-        matchesAccumulatingReference(matmulTNAddPartialAvx2,
-                                     matmulTNAddPartialNaive)) {
-        return {matmulTNAddPartialAvx2, "avx2"};
+    if (__builtin_cpu_supports("avx2")) {
+        if (matchesAccumulatingReference(matmulTNAddPartialAvx2,
+                                         matmulTNAddPartialNaive)) {
+            return {matmulTNAddPartialAvx2, "avx2"};
+        }
+        noteTierDemotion();
     }
     return {matmulTNAddPartialNaive, "naive"};
+}
+
+PickedMatmulTNSeg
+pickKernelTNSeg()
+{
+    if (__builtin_cpu_supports("avx512f")) {
+        if (matchesSegBlockedReference(matmulTNSegBlockedAvx512)) {
+            return {matmulTNSegBlockedAvx512, "avx512"};
+        }
+        noteTierDemotion();
+    }
+    if (__builtin_cpu_supports("avx2")) {
+        if (matchesSegBlockedReference(matmulTNSegBlockedAvx2)) {
+            return {matmulTNSegBlockedAvx2, "avx2"};
+        }
+        noteTierDemotion();
+    }
+    return {matmulTNSegBlockedNaive, "naive"};
 }
 
 #else
@@ -992,6 +1760,12 @@ PickedMatmulNT
 pickKernelTNAddPartial()
 {
     return {matmulTNAddPartialNaive, "naive"};
+}
+
+PickedMatmulTNSeg
+pickKernelTNSeg()
+{
+    return {matmulTNSegBlockedNaive, "naive"};
 }
 
 #endif
@@ -1025,13 +1799,28 @@ pickedKernelTNAddPartial()
     return kernel;
 }
 
+const PickedMatmulTNSeg&
+pickedKernelTNSeg()
+{
+    static const PickedMatmulTNSeg kernel = pickKernelTNSeg();
+    return kernel;
+}
+
 } // namespace
 
 KernelTiers
 kernelTiers()
 {
     return {pickedKernel().tier, pickedKernelNT().tier,
-            pickedKernelTNAcc().tier, pickedKernelTNAddPartial().tier};
+            pickedKernelTNAcc().tier, pickedKernelTNAddPartial().tier,
+            pickedKernelTNSeg().tier};
+}
+
+size_t
+kernelTierDemotions()
+{
+    kernelTiers(); // force every kernel's dispatch self-check
+    return g_tier_demotions.load(std::memory_order_relaxed);
 }
 
 void
@@ -1122,6 +1911,58 @@ matmulTNAccNaive(const double* a, size_t rows, size_t acols, size_t lda,
                 crow[j] += ari * brow[j];
             }
         }
+    }
+}
+
+void
+matmulTNSegBlocked(const double* a, size_t lda, const double* b, size_t ldb,
+                   const size_t* seg_rows, size_t nsegs, size_t acols,
+                   size_t bcols, double* c, size_t ldc)
+{
+    const MatmulTNSegFn fn = pickedKernelTNSeg().fn;
+    // Cache-block the segment list: the tier kernels walk every segment
+    // once per C tile, so a pack larger than L2 would stream DRAM once
+    // per tile. Splitting the run at whole-segment boundaries keeps each
+    // chunk's A/B slices cache-resident; byte-identity is unaffected
+    // because C passes through memory exactly (each chunk call resumes
+    // the same per-element add chain the unchunked walk performs).
+    const size_t bytes_per_row = (lda + ldb) * sizeof(double);
+    const size_t kChunkBudget = size_t{384} * 1024;
+    const size_t target_rows =
+        std::max<size_t>(kChunkBudget / std::max<size_t>(bytes_per_row, 1),
+                         64);
+    size_t s = 0;
+    while (s < nsegs) {
+        size_t rows = 0;
+        size_t count = 0;
+        while (s + count < nsegs && (count == 0 || rows < target_rows)) {
+            rows += seg_rows[s + count];
+            ++count;
+        }
+        fn(a, lda, b, ldb, seg_rows + s, count, acols, bcols, c, ldc);
+        a += rows * lda;
+        b += rows * ldb;
+        s += count;
+    }
+}
+
+void
+matmulTNSegBlockedNaive(const double* a, size_t lda, const double* b,
+                        size_t ldb, const size_t* seg_rows, size_t nsegs,
+                        size_t acols, size_t bcols, double* c, size_t ldc)
+{
+    for (size_t s = 0; s < nsegs; ++s) {
+        const size_t rows = seg_rows[s];
+        if (rows == 1) {
+            // One-row segment: the batched backward's pre-seg-blocked
+            // dispatch accumulated these straight into C (matmulTNAcc).
+            matmulTNAccNaive(a, 1, acols, lda, b, bcols, ldb, c, ldc);
+        } else {
+            matmulTNAddPartialNaive(a, rows, acols, lda, b, bcols, ldb, c,
+                                    ldc);
+        }
+        a += rows * lda;
+        b += rows * ldb;
     }
 }
 

@@ -108,6 +108,36 @@ void matmulTNAddPartial(const double* a, size_t rows, size_t acols,
                         size_t ldb, double* c, size_t ldc);
 
 /**
+ * Segment-blocked dW reduction: one call covers a whole contiguous
+ * segment run. A and B are the packed [sum(seg_rows), acols/bcols]
+ * operands; segment s spans the next seg_rows[s] rows of both. For every
+ * C element the kernel loads the accumulator ONCE, then for each segment
+ * (ascending) builds the segment's partial sum_r A[r,i] * B[r,j] in a
+ * local register (terms in ascending r, separate mul/add roundings) and
+ * folds it in with a single add, and finally stores ONCE — the exact
+ * per-element rounding chain of calling matmulTNAddPartial per segment
+ * (and, for one-row segments, of matmulTNAcc: a one-row partial is a
+ * single product, so 0 + p == p and C + (+0) == C + (-0) == C under the
+ * no--0.0-in-C contract). Replaces the per-segment load/add/store C
+ * traffic of the batched backward with one C pass per pack. Same
+ * finite-input / no -0.0-in-C contract as matmulTNAcc; dispatched with a
+ * startup self-check against the composed per-segment naive kernels and
+ * demoted on mismatch.
+ */
+void matmulTNSegBlocked(const double* a, size_t lda, const double* b,
+                        size_t ldb, const size_t* seg_rows, size_t nsegs,
+                        size_t acols, size_t bcols, double* c, size_t ldc);
+
+/** The frozen composed reference for matmulTNSegBlocked: per segment, the
+ *  matmulTNAddPartialNaive chain (multi-row) or the matmulTNAccNaive
+ *  direct accumulation (one-row) — mirroring the batched backward's
+ *  pre-seg-blocked per-segment dispatch. */
+void matmulTNSegBlockedNaive(const double* a, size_t lda, const double* b,
+                             size_t ldb, const size_t* seg_rows,
+                             size_t nsegs, size_t acols, size_t bcols,
+                             double* c, size_t ldc);
+
+/**
  * The pre-batching GEMM, preserved verbatim (ikj loop, zero-skip,
  * accumulation in C): the frozen golden kernel behind every model's
  * predictReference() path. Produces the same bytes as matmul() for finite
@@ -118,7 +148,7 @@ void matmulNaive(const double* a, size_t m, size_t k, size_t lda,
                  const double* b, size_t n, size_t ldb, double* c,
                  size_t ldc);
 
-/** Tier names of the four dispatched GEMM kernels on this host (e.g.
+/** Tier names of the five dispatched GEMM kernels on this host (e.g.
  *  "avx512", "avx2", "scalar", "naive") — the result of the startup
  *  self-check dispatch, for observability (/metrics labels, tune
  *  reports). Forces the dispatch on first call. */
@@ -128,8 +158,17 @@ struct KernelTiers
     const char* matmul_nt;
     const char* matmul_tn_acc;
     const char* matmul_tn_add_partial;
+    const char* matmul_tn_seg;
 };
 KernelTiers kernelTiers();
+
+/** Number of kernel tiers the CPU supports but the startup self-check
+ *  rejected (demoted to a lower tier). Zero on a healthy host: a nonzero
+ *  value means a toolchain/codegen change broke a vector kernel's
+ *  byte-identity contract and the engine silently fell back. Forces the
+ *  dispatch of every kernel on first call; feeds the
+ *  kernel_tier_demotions_total metric and the tuneReport warning row. */
+size_t kernelTierDemotions();
 
 } // namespace nnkernel
 

@@ -67,6 +67,11 @@ class SegmentTable
     size_t begin(size_t i) const { return begins_[i]; }
     size_t rows(size_t i) const { return nrows_[i]; }
 
+    /** The per-segment row counts as a flat array — the seg_rows operand
+     *  of nnkernel::matmulTNSegBlocked (valid for contiguous,
+     *  alias-free tables; see Linear::backwardBatch's validation walk). */
+    const size_t* rowsData() const { return nrows_.data(); }
+
     /** Rows of the underlying pack (aliased segments add none). */
     size_t totalRows() const { return pack_rows_; }
 

@@ -62,6 +62,18 @@ exportKernelTiers(obs::MetricsRegistry& metrics)
     metrics.setLabel("nn_kernel_matmul_tn_acc", tiers.matmul_tn_acc, ch);
     metrics.setLabel("nn_kernel_matmul_tn_add_partial",
                      tiers.matmul_tn_add_partial, ch);
+    metrics.setLabel("nn_kernel_matmul_tn_seg", tiers.matmul_tn_seg, ch);
+    // CPU-supported tiers the startup self-check rejected. Zero on a
+    // healthy host; nonzero means a vector kernel broke its byte-identity
+    // contract and silently fell back (surfaced as a tuneReport warning).
+    // Counters are monotonic, so set-once-per-export stays idempotent:
+    // the demotion total is fixed after the first dispatch.
+    obs::Counter* demotions =
+        metrics.counter("kernel_tier_demotions_total", ch);
+    const size_t total = nnkernel::kernelTierDemotions();
+    if (demotions != nullptr && demotions->value() < total) {
+        demotions->add(total - demotions->value());
+    }
 }
 
 void

@@ -176,7 +176,7 @@ TEST(Matrix, MatmulNTMatchesNaiveKernelBitwise)
          {std::array<size_t, 3>{1, 1, 1}, {1, 64, 10}, {3, 7, 5},
           {4, 64, 4}, {4, 16, 8}, {4, 10, 13}, {5, 9, 9}, {8, 8, 16},
           {9, 9, 11}, {9, 9, 15}, {10, 64, 10}, {12, 33, 23},
-          {28, 64, 28}, {33, 23, 17}}) {
+          {28, 64, 28}, {33, 23, 17}, {6, 64, 64}, {7, 12, 64}}) {
         const Matrix a = Matrix::randn(m, k, rng, 1.0);
         const Matrix b = Matrix::randn(n, k, rng, 1.0);
         const Matrix fast = Matrix::matmulNT(a, b);
@@ -201,7 +201,8 @@ TEST(Matrix, MatmulTNAccMatchesMatmulTNBitwise)
     Rng rng(213);
     for (const auto [rows, acols, bcols] :
          {std::array<size_t, 3>{1, 1, 1}, {4, 5, 3}, {10, 64, 64},
-          {7, 16, 1}}) {
+          {7, 16, 1}, {9, 10, 12}, {5, 12, 20}, {3, 65, 33}, {30, 64, 15},
+          {13, 7, 9}}) {
         Matrix a = Matrix::randn(rows, acols, rng, 1.0);
         a.at(rows / 2, acols / 2) = 0.0; // exercise the zero-skip
         const Matrix b = Matrix::randn(rows, bcols, rng, 1.0);
@@ -218,6 +219,131 @@ TEST(Matrix, MatmulTNAccMatchesMatmulTNBitwise)
                               acols * bcols * sizeof(double)),
                   0);
     }
+}
+
+TEST(Matrix, MatmulTNSegBlockedMatchesNaiveBitwise)
+{
+    // The dispatched segment-blocked dW kernel must reproduce the frozen
+    // composed reference (per-segment partial + add chain) bit for bit
+    // across segment lists and shapes covering the 8-row i block, the
+    // 4-row and 1-row i remainders, every j-panel width (8-wide, 4-wide,
+    // scalar), one-row segments, and accumulate-on-top reuse.
+    Rng rng(307);
+    struct Case
+    {
+        std::vector<size_t> segs;
+        size_t acols, bcols;
+    };
+    const Case cases[] = {
+        {{1}, 1, 1},          {{2, 1, 3}, 7, 15}, {{5, 4}, 10, 64},
+        {{3, 1, 6, 2}, 16, 16}, {{1, 1, 1, 1}, 9, 12}, {{4, 7}, 64, 64},
+        {{6}, 12, 33},        {{2, 9, 1}, 20, 7},
+    };
+    for (const auto& cs : cases) {
+        size_t rows = 0;
+        for (const size_t s : cs.segs) {
+            rows += s;
+        }
+        const Matrix a = Matrix::randn(rows, cs.acols, rng, 1.0);
+        const Matrix b = Matrix::randn(rows, cs.bcols, rng, 1.0);
+        Matrix fast(cs.acols, cs.bcols);
+        Matrix naive(cs.acols, cs.bcols);
+        for (int pass = 0; pass < 2; ++pass) {
+            nnkernel::matmulTNSegBlocked(a.row(0), cs.acols, b.row(0),
+                                         cs.bcols, cs.segs.data(),
+                                         cs.segs.size(), cs.acols, cs.bcols,
+                                         fast.row(0), cs.bcols);
+            nnkernel::matmulTNSegBlockedNaive(
+                a.row(0), cs.acols, b.row(0), cs.bcols, cs.segs.data(),
+                cs.segs.size(), cs.acols, cs.bcols, naive.row(0), cs.bcols);
+            EXPECT_EQ(std::memcmp(fast.data().data(), naive.data().data(),
+                                  cs.acols * cs.bcols * sizeof(double)),
+                      0)
+                << "seg kernel diverged at acols=" << cs.acols
+                << " bcols=" << cs.bcols << " nsegs=" << cs.segs.size()
+                << " pass=" << pass;
+        }
+    }
+}
+
+TEST(Matrix, MatmulTNSegBlockedChunksLargePacksBitwise)
+{
+    // A pack larger than the dispatch wrapper's chunk budget is split at
+    // whole-segment boundaries so each slice stays cache-resident. C
+    // passes through memory between chunk calls, resuming the same
+    // per-element add chain, so the result must stay bit-identical to
+    // the unchunked naive walk.
+    Rng rng(311);
+    constexpr size_t acols = 64, bcols = 64;
+    std::vector<size_t> segs(23, 37); // 851 rows x 1 KB/row > 384 KB
+    const size_t rows = segs.size() * segs.front();
+    const Matrix a = Matrix::randn(rows, acols, rng, 0.5);
+    const Matrix b = Matrix::randn(rows, bcols, rng, 0.5);
+    Matrix fast(acols, bcols);
+    Matrix naive(acols, bcols);
+    for (int pass = 0; pass < 2; ++pass) {
+        nnkernel::matmulTNSegBlocked(a.row(0), acols, b.row(0), bcols,
+                                     segs.data(), segs.size(), acols, bcols,
+                                     fast.row(0), bcols);
+        nnkernel::matmulTNSegBlockedNaive(a.row(0), acols, b.row(0), bcols,
+                                          segs.data(), segs.size(), acols,
+                                          bcols, naive.row(0), bcols);
+        EXPECT_EQ(std::memcmp(fast.data().data(), naive.data().data(),
+                              acols * bcols * sizeof(double)),
+                  0)
+            << "chunked seg kernel diverged on pass " << pass;
+    }
+}
+
+TEST(Matrix, SegBlockedAndTNAccNegativeZeroContract)
+{
+    // The naive references skip A elements that compare equal to zero —
+    // including -0.0. That skip is byte-safe only because a partial sum
+    // seeded at +0.0 can never become -0.0 (x + -x rounds to +0.0, and
+    // -0.0 needs -0.0 + -0.0), so adding a +/-0.0 contribution leaves
+    // the accumulator's bytes unchanged. Lace A with signed zeros and
+    // sign-mixed values and hold the vector tiers to the naive bytes.
+    Rng rng(313);
+    constexpr size_t rows = 13, acols = 11, bcols = 10;
+    Matrix a = Matrix::randn(rows, acols, rng, 1.0);
+    for (size_t r = 0; r < rows; ++r) {
+        for (size_t c = 0; c < acols; ++c) {
+            if ((r + c) % 3 == 0) {
+                a.at(r, c) = (r % 2 == 0) ? -0.0 : 0.0;
+            } else if ((r + c) % 3 == 1) {
+                a.at(r, c) = -a.at(r, c);
+            }
+        }
+    }
+    Matrix b = Matrix::randn(rows, bcols, rng, 1.0);
+    for (size_t r = 0; r < rows; ++r) {
+        b.at(r, r % bcols) = (r % 2 == 0) ? 0.0 : -0.0;
+    }
+    const std::vector<size_t> segs = {4, 1, 6, 2};
+    Matrix fast(acols, bcols);
+    Matrix naive(acols, bcols);
+    for (int pass = 0; pass < 2; ++pass) {
+        nnkernel::matmulTNSegBlocked(a.row(0), acols, b.row(0), bcols,
+                                     segs.data(), segs.size(), acols, bcols,
+                                     fast.row(0), bcols);
+        nnkernel::matmulTNSegBlockedNaive(a.row(0), acols, b.row(0), bcols,
+                                          segs.data(), segs.size(), acols,
+                                          bcols, naive.row(0), bcols);
+        EXPECT_EQ(std::memcmp(fast.data().data(), naive.data().data(),
+                              acols * bcols * sizeof(double)),
+                  0)
+            << "seg kernel -0.0 contract broke on pass " << pass;
+    }
+    Matrix acc_fast(acols, bcols);
+    Matrix acc_naive(acols, bcols);
+    nnkernel::matmulTNAcc(a.row(0), rows, acols, acols, b.row(0), bcols,
+                          bcols, acc_fast.row(0), bcols);
+    nnkernel::matmulTNAccNaive(a.row(0), rows, acols, acols, b.row(0),
+                               bcols, bcols, acc_naive.row(0), bcols);
+    EXPECT_EQ(std::memcmp(acc_fast.data().data(), acc_naive.data().data(),
+                          acols * bcols * sizeof(double)),
+              0)
+        << "TNAcc -0.0 contract broke";
 }
 
 TEST(SegmentTableAlias, AliasedSegmentsShareRows)
